@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A3 — ablation of the sectioning granularity.
+ *
+ * The paper samples counters over "sections of equal counts of
+ * retired instructions" to localize phase behaviour. This sweep
+ * regenerates the suite at several section lengths (holding total
+ * simulated instructions roughly constant) and shows the tradeoff:
+ * short sections are noisy samples of the machine state, very long
+ * sections blur distinct phases together; both ends cost accuracy.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "ml/eval/cross_validation.h"
+
+using namespace mtperf;
+
+int
+main()
+{
+    std::cout << bench::rule(
+        "A3: section length sweep (equal-instruction sectioning)");
+    std::cout << padRight("instr/section", 15) << padLeft("sections", 10)
+              << padLeft("C", 9) << padLeft("MAE", 9)
+              << padLeft("RAE", 9) << padLeft("leaves", 8) << "\n";
+
+    for (std::uint64_t instructions :
+         {1000u, 4000u, 10000u, 40000u, 100000u}) {
+        workload::RunnerOptions run = bench::suiteRunnerOptions();
+        run.instructionsPerSection = instructions;
+        // Keep total simulated work ~constant at 10k * scale 0.5.
+        run.sectionScale =
+            0.5 * 10000.0 / static_cast<double>(instructions);
+        const Dataset ds = perf::collectSuiteDataset(run);
+        if (ds.size() < 100)
+            continue;
+
+        M5Options options = bench::paperTreeOptions();
+        // Keep the leaf population threshold proportional to the
+        // dataset so tree capacity is comparable across rows.
+        options.minInstances = std::max<std::size_t>(
+            20, ds.size() * 430 / 9540);
+        const auto cv = crossValidate(
+            [&options] { return std::make_unique<M5Prime>(options); },
+            ds, 10, 7);
+        M5Prime full(options);
+        full.fit(ds);
+        std::cout << padRight(std::to_string(instructions), 15)
+                  << padLeft(std::to_string(ds.size()), 10)
+                  << padLeft(formatDouble(cv.pooled.correlation, 4), 9)
+                  << padLeft(formatDouble(cv.pooled.mae, 3), 9)
+                  << padLeft(
+                         formatDouble(cv.pooled.rae * 100.0, 1) + "%", 9)
+                  << padLeft(std::to_string(full.numLeaves()), 8)
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A1 — ablation of the M5' design choices.
+ *
+ * The paper adopts WEKA's defaults for smoothing, pruning and model
+ * simplification; this ablation quantifies what each buys on the
+ * counter dataset by toggling them independently under the same
+ * 10-fold CV.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "ml/eval/cross_validation.h"
+
+using namespace mtperf;
+
+int
+main()
+{
+    const Dataset ds = bench::loadSuiteDataset();
+    const M5Options base = bench::paperTreeOptions();
+
+    struct Variant
+    {
+        std::string name;
+        M5Options options;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"paper defaults", base});
+
+    M5Options no_smooth = base;
+    no_smooth.smooth = false;
+    variants.push_back({"no smoothing", no_smooth});
+
+    M5Options no_prune = base;
+    no_prune.prune = false;
+    variants.push_back({"no pruning", no_prune});
+
+    M5Options no_simplify = base;
+    no_simplify.simplifyModels = false;
+    variants.push_back({"no term dropping", no_simplify});
+
+    M5Options bare = base;
+    bare.smooth = false;
+    bare.prune = false;
+    bare.simplifyModels = false;
+    variants.push_back({"none of the three", bare});
+
+    M5Options strong_smooth = base;
+    strong_smooth.smoothingK = 60.0;
+    variants.push_back({"smoothing k=60", strong_smooth});
+
+    std::cout << bench::rule(
+        "A1: M5' option ablation (10-fold CV, minInstances=430)");
+    std::cout << padRight("variant", 22) << padLeft("C", 9)
+              << padLeft("MAE", 9) << padLeft("RAE", 9)
+              << padLeft("leaves", 9) << padLeft("avg terms", 11)
+              << "\n";
+    for (const auto &variant : variants) {
+        const auto &opts = variant.options;
+        const auto cv = crossValidate(
+            [&opts] { return std::make_unique<M5Prime>(opts); }, ds, 10,
+            7);
+        M5Prime full(variant.options);
+        full.fit(ds);
+        std::size_t terms = 0;
+        for (std::size_t leaf = 0; leaf < full.numLeaves(); ++leaf)
+            terms += full.leafModel(leaf).terms().size();
+        std::cout << padRight(variant.name, 22)
+                  << padLeft(formatDouble(cv.pooled.correlation, 4), 9)
+                  << padLeft(formatDouble(cv.pooled.mae, 3), 9)
+                  << padLeft(
+                         formatDouble(cv.pooled.rae * 100.0, 1) + "%", 9)
+                  << padLeft(std::to_string(full.numLeaves()), 9)
+                  << padLeft(formatDouble(double(terms) /
+                                              double(full.numLeaves()),
+                                          1),
+                             11)
+                  << "\n";
+    }
+    return 0;
+}

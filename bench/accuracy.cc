@@ -1,0 +1,57 @@
+/**
+ * @file
+ * E4 — Section V-B headline accuracy numbers.
+ *
+ * The paper reports, for 10-fold cross-validation of the M5' model on
+ * its counter dataset: correlation ~0.98 (0.9845 in the conclusions),
+ * MAE ~0.05 CPI and relative absolute error 7.83%. This bench
+ * reproduces the same protocol on the simulated suite and prints
+ * paper-vs-measured side by side.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "ml/eval/cross_validation.h"
+
+using namespace mtperf;
+
+int
+main()
+{
+    const Dataset ds = bench::loadSuiteDataset();
+    const M5Options options = bench::paperTreeOptions();
+    const auto cv = crossValidate(
+        [&options] { return std::make_unique<M5Prime>(options); }, ds, 10,
+        /*seed=*/7);
+
+    std::cout << bench::rule(
+        "Section V-B: 10-fold cross-validation accuracy of M5'");
+    std::cout << padRight("metric", 26) << padLeft("paper", 12)
+              << padLeft("measured", 12) << "\n";
+    std::cout << padRight("correlation coefficient", 26)
+              << padLeft("0.98", 12)
+              << padLeft(formatDouble(cv.pooled.correlation, 4), 12)
+              << "\n";
+    std::cout << padRight("mean absolute error", 26)
+              << padLeft("0.05", 12)
+              << padLeft(formatDouble(cv.pooled.mae, 4), 12) << "\n";
+    std::cout << padRight("relative absolute error", 26)
+              << padLeft("7.83%", 12)
+              << padLeft(formatDouble(cv.pooled.rae * 100.0, 2) + "%",
+                         12)
+              << "\n";
+    std::cout << "\nper-fold means (WEKA-style averaging): C="
+              << formatDouble(cv.meanFoldCorrelation(), 4)
+              << " MAE=" << formatDouble(cv.meanFoldMae(), 4)
+              << " RAE=" << formatDouble(cv.meanFoldRae() * 100.0, 2)
+              << "%\n";
+    std::cout << "\nNote: absolute parity with the paper is not "
+                 "expected (its data came from PMU counters on real "
+                 "hardware); the claim reproduced here is high C with "
+                 "low single-to-low-double-digit RAE from an "
+                 "interpretable model.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Every bench runs against the same deterministic full-scale suite
+ * dataset, cached as CSV in the working directory so the suite is
+ * simulated only once per checkout.
+ */
+
+#ifndef MTPERF_BENCH_BENCH_UTIL_H_
+#define MTPERF_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "ml/tree/m5prime.h"
+#include "perf/section_collector.h"
+#include "workload/runner.h"
+
+namespace mtperf::bench {
+
+/** Runner options every experiment shares (the "measurement setup"). */
+inline workload::RunnerOptions
+suiteRunnerOptions()
+{
+    workload::RunnerOptions options;
+    options.instructionsPerSection = 25000;
+    options.sectionScale = 1.0;
+    options.paramJitter = 0.15;
+    options.seed = 42;
+    return options;
+}
+
+/** Load (or simulate and cache) the full-scale suite dataset. */
+inline Dataset
+loadSuiteDataset()
+{
+    return perf::loadOrCollectSuiteDataset("spec_like_sections_full.csv",
+                                           suiteRunnerOptions());
+}
+
+/**
+ * The paper's model configuration: minimum 430 instances per leaf
+ * (Section IV-A), WEKA-default smoothing and pruning.
+ */
+inline M5Options
+paperTreeOptions()
+{
+    M5Options options;
+    options.minInstances = 430;
+    return options;
+}
+
+/** Section separator for bench output. */
+inline std::string
+rule(const std::string &title)
+{
+    std::string line(72, '=');
+    return line + "\n" + title + "\n" + line + "\n";
+}
+
+} // namespace mtperf::bench
+
+#endif // MTPERF_BENCH_BENCH_UTIL_H_

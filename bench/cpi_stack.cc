@@ -1,0 +1,156 @@
+/**
+ * @file
+ * E11 (extension) — simulator CPI stacks vs. model-tree attribution.
+ *
+ * The timing core attributes every cycle to a stall cause while it
+ * runs (interval-analysis style); that "CPI stack" is an independent
+ * ground truth for the attribution question the paper answers with
+ * leaf models. This bench prints the per-workload stacks, then
+ * correlates the simulator's L2 share with the tree's L2M
+ * contribution across workloads — if the tree's "what" answers are
+ * right, the two rankings must agree.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "math/stats.h"
+#include "perf/analyzer.h"
+#include "perf/section_collector.h"
+#include "uarch/core.h"
+#include "workload/spec_suite.h"
+#include "workload/stream_gen.h"
+
+using namespace mtperf;
+
+namespace {
+
+struct WorkloadStack
+{
+    double cpi = 0.0;
+    uarch::CpiStack stack;
+    std::uint64_t instructions = 0;
+};
+
+WorkloadStack
+measureStack(const workload::WorkloadSpec &spec)
+{
+    workload::RunnerOptions options = bench::suiteRunnerOptions();
+    options.sectionScale = 0.2;
+    uarch::Core core(options.coreConfig);
+
+    // Replicate the runner's sectioned execution (with jitter) so the
+    // stack matches the dataset's conditions.
+    Rng jitter_rng(options.seed);
+    for (const auto &phase : spec.phases) {
+        const std::size_t sections = std::max<std::size_t>(
+            1, static_cast<std::size_t>(phase.sections *
+                                        options.sectionScale));
+        workload::StreamGenerator gen(phase.params, options.seed + 1);
+        for (std::size_t s = 0; s < sections; ++s) {
+            gen.setParams(workload::jitterPhase(
+                phase.params, options.paramJitter, jitter_rng));
+            for (std::uint64_t i = 0;
+                 i < options.instructionsPerSection; ++i) {
+                core.execute(gen.next());
+            }
+        }
+    }
+
+    WorkloadStack result;
+    result.stack = core.cpiStack();
+    result.instructions = core.instructionsRetired();
+    result.cpi = static_cast<double>(core.counters().cycles) /
+                 static_cast<double>(result.instructions);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << bench::rule(
+        "E11: simulator-attributed CPI stacks (cycles per "
+        "instruction by cause)");
+    std::cout << padRight("workload", 17) << padLeft("CPI", 7)
+              << padLeft("base", 7) << padLeft("front", 7)
+              << padLeft("steer", 7) << padLeft("L2", 7)
+              << padLeft("L1D", 7) << padLeft("DTLB", 7)
+              << padLeft("stfwd", 7) << padLeft("other", 7)
+              << padLeft("window", 8) << "\n";
+
+    std::map<std::string, double> sim_l2_share;
+    for (const auto &spec : workload::specLikeSuite()) {
+        const WorkloadStack ws = measureStack(spec);
+        const auto per_instr = [&ws](std::uint64_t cycles) {
+            return static_cast<double>(cycles) /
+                   static_cast<double>(ws.instructions);
+        };
+        sim_l2_share[spec.name] = per_instr(ws.stack.memL2) / ws.cpi;
+        std::cout << padRight(spec.name, 17)
+                  << padLeft(formatDouble(ws.cpi, 2), 7)
+                  << padLeft(formatDouble(per_instr(ws.stack.base), 2),
+                             7)
+                  << padLeft(
+                         formatDouble(per_instr(ws.stack.frontend), 2),
+                         7)
+                  << padLeft(
+                         formatDouble(per_instr(ws.stack.resteer), 2),
+                         7)
+                  << padLeft(formatDouble(per_instr(ws.stack.memL2), 2),
+                             7)
+                  << padLeft(
+                         formatDouble(per_instr(ws.stack.memL1d), 2), 7)
+                  << padLeft(formatDouble(per_instr(ws.stack.dtlb), 2),
+                             7)
+                  << padLeft(formatDouble(
+                                 per_instr(ws.stack.storeForward) +
+                                     per_instr(ws.stack.memOther),
+                                 2),
+                             7)
+                  << padLeft(
+                         formatDouble(per_instr(ws.stack.longLatency),
+                                      2),
+                         7)
+                  << padLeft(formatDouble(per_instr(ws.stack.window), 2),
+                             8)
+                  << "\n";
+    }
+
+    // Compare the simulator's L2 share with the tree's attribution.
+    const Dataset ds = bench::loadSuiteDataset();
+    M5Prime tree(bench::paperTreeOptions());
+    tree.fit(ds);
+    const perf::PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    std::map<std::string, std::pair<double, std::size_t>> tree_share;
+    const auto l2_attr = static_cast<std::size_t>(uarch::PerfMetric::L2M);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        auto &[sum, n] = tree_share[perf::workloadOfTag(ds.tag(r))];
+        sum += analyzer.potentialGain(ds.row(r), l2_attr);
+        ++n;
+    }
+
+    std::vector<double> sim_shares, tree_shares;
+    std::cout << "\n" << padRight("workload", 17)
+              << padLeft("sim L2 share", 14)
+              << padLeft("tree L2 share", 15) << "\n";
+    for (const auto &[name, share] : sim_l2_share) {
+        const auto &[sum, n] = tree_share[name];
+        const double tree_value = sum / static_cast<double>(n);
+        sim_shares.push_back(share);
+        tree_shares.push_back(tree_value);
+        std::cout << padRight(name, 17)
+                  << padLeft(formatDouble(share * 100.0, 1) + "%", 14)
+                  << padLeft(formatDouble(tree_value * 100.0, 1) + "%",
+                             15)
+                  << "\n";
+    }
+    std::cout << "\ncross-workload correlation of the two attributions: "
+              << formatDouble(correlation(sim_shares, tree_shares), 3)
+              << "\n";
+    return 0;
+}

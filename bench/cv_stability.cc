@@ -1,0 +1,64 @@
+/**
+ * @file
+ * E12 (extension) — statistical stability of the headline numbers.
+ *
+ * The paper reports one cross-validation run. Repeating the protocol
+ * with independent fold shuffles quantifies how much of C / MAE / RAE
+ * is luck of the folds — a cheap rigor check its single numbers
+ * cannot provide. Small spread means the 0.98 / 7.8% style headline
+ * is a property of the data and model, not the shuffle.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "math/stats.h"
+#include "ml/eval/cross_validation.h"
+
+using namespace mtperf;
+
+int
+main()
+{
+    const Dataset ds = bench::loadSuiteDataset();
+    const M5Options options = bench::paperTreeOptions();
+
+    std::vector<double> correlations, maes, raes;
+    std::cout << bench::rule(
+        "E12: 10-fold CV repeated over independent fold shuffles");
+    std::cout << padRight("seed", 8) << padLeft("C", 9)
+              << padLeft("MAE", 9) << padLeft("RAE", 9) << "\n";
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto cv = crossValidate(
+            [&options] { return std::make_unique<M5Prime>(options); },
+            ds, 10, seed);
+        correlations.push_back(cv.pooled.correlation);
+        maes.push_back(cv.pooled.mae);
+        raes.push_back(cv.pooled.rae);
+        std::cout << padRight(std::to_string(seed), 8)
+                  << padLeft(formatDouble(cv.pooled.correlation, 4), 9)
+                  << padLeft(formatDouble(cv.pooled.mae, 3), 9)
+                  << padLeft(
+                         formatDouble(cv.pooled.rae * 100.0, 2) + "%", 9)
+                  << "\n";
+    }
+
+    auto report = [](const char *name, const std::vector<double> &xs,
+                     double scale) {
+        std::cout << padRight(name, 6) << "mean "
+                  << formatDouble(mean(xs) * scale, 4) << "  sd "
+                  << formatDouble(stddev(xs) * scale, 4) << "  range ["
+                  << formatDouble(minValue(xs) * scale, 4) << ", "
+                  << formatDouble(maxValue(xs) * scale, 4) << "]\n";
+    };
+    std::cout << "\n";
+    report("C", correlations, 1.0);
+    report("MAE", maes, 1.0);
+    report("RAE%", raes, 100.0);
+    std::cout << "\nA fold-shuffle standard deviation orders of "
+                 "magnitude below the mean confirms the headline "
+                 "numbers are shuffle-independent.\n";
+    return 0;
+}

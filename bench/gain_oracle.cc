@@ -1,0 +1,187 @@
+/**
+ * @file
+ * E10 (extension) — oracle validation of the "how much" answers.
+ *
+ * The paper estimates the gain from eliminating an event as
+ * coef * rate / CPI read off the leaf model, but on real hardware
+ * that claim cannot be checked — one cannot switch off L2 misses.
+ * The simulator can: rerunning a workload with an event's penalty
+ * zeroed gives the true (oracle) gain, including every second-order
+ * effect the linear model cannot see. This bench compares, for each
+ * (workload, event) pair with a meaningful gain, the tree-predicted
+ * potential gain against the counterfactual measurement.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "math/stats.h"
+#include "perf/analyzer.h"
+#include "perf/section_collector.h"
+#include "uarch/event_counters.h"
+#include "workload/spec_suite.h"
+
+using namespace mtperf;
+using uarch::PerfMetric;
+
+namespace {
+
+/** Mean CPI of one workload under a given machine config. */
+double
+meanCpi(const std::string &workload, const uarch::CoreConfig &config)
+{
+    workload::RunnerOptions options = bench::suiteRunnerOptions();
+    options.sectionScale = 0.25;
+    options.coreConfig = config;
+    const auto records = workload::runWorkload(
+        workload::suiteWorkload(workload), options);
+    const Dataset ds = perf::sectionsToDataset(records);
+    return mean(ds.targets());
+}
+
+struct Case
+{
+    std::string workload;
+    PerfMetric metric;
+    uarch::CoreConfig fixed; //!< config with the event's cost removed
+};
+
+} // namespace
+
+int
+main()
+{
+    const Dataset ds = bench::loadSuiteDataset();
+    M5Prime tree(bench::paperTreeOptions());
+    tree.fit(ds);
+    const perf::PerformanceAnalyzer analyzer(tree, ds.schema());
+    const auto split_impacts = analyzer.splitImpacts(ds);
+
+    const uarch::CoreConfig base = uarch::CoreConfig::core2Like();
+
+    std::vector<Case> cases;
+    {
+        // "Fix" L2 misses: memory responds at L2 speed.
+        uarch::CoreConfig fix = base;
+        fix.memLatency = fix.l2HitLatency;
+        cases.push_back({"mcf_like", PerfMetric::L2M, fix});
+        cases.push_back({"soplex_like", PerfMetric::L2M, fix});
+        cases.push_back({"lbm_like", PerfMetric::L2M, fix});
+    }
+    {
+        // "Fix" DTLB misses: page walks at L0-miss speed.
+        uarch::CoreConfig fix = base;
+        fix.pageWalkLatency = fix.dtlbL0MissLatency;
+        cases.push_back({"astar_like", PerfMetric::DtlbLdM, fix});
+        cases.push_back({"omnetpp_like", PerfMetric::DtlbLdM, fix});
+    }
+    {
+        // "Fix" branch mispredicts: free re-steer.
+        uarch::CoreConfig fix = base;
+        fix.mispredictPenalty = 0;
+        cases.push_back({"sjeng_like", PerfMetric::BrMisPr, fix});
+        cases.push_back({"gobmk_like", PerfMetric::BrMisPr, fix});
+    }
+    {
+        // "Fix" LCP stalls: zero pre-decode bubble.
+        uarch::CoreConfig fix = base;
+        fix.decoder.lcpStallCycles = 0;
+        cases.push_back({"gcc_like", PerfMetric::LCP, fix});
+    }
+    {
+        // "Fix" misalignment (and the splits it causes).
+        uarch::CoreConfig fix = base;
+        fix.misalignPenalty = 0;
+        fix.splitPenalty = 0;
+        cases.push_back({"h264_like", PerfMetric::MisalRef, fix});
+    }
+
+    std::cout << bench::rule(
+        "E10: tree-predicted potential gain vs. counterfactual "
+        "(oracle) gain");
+    std::cout << padRight("workload", 17) << padRight("fixed event", 12)
+              << padLeft("baseCPI", 9) << padLeft("fixedCPI", 9)
+              << padLeft("oracle", 8) << padLeft("model", 8)
+              << padLeft("split", 8) << "\n";
+
+    for (const auto &test_case : cases) {
+        const double base_cpi = meanCpi(test_case.workload, base);
+        const double fixed_cpi =
+            meanCpi(test_case.workload, test_case.fixed);
+        const double oracle = 1.0 - fixed_cpi / base_cpi;
+
+        // Method 1 (Eq. 4): leaf-model contribution, averaged over
+        // the workload's sections. Method 2 (Sec. V-A.2): for
+        // sections whose class is *gated* by a split on the event,
+        // the split's mean-difference relative impact.
+        double predicted_model = 0.0, predicted_split = 0.0;
+        std::size_t n = 0;
+        const auto attr =
+            static_cast<std::size_t>(test_case.metric);
+        for (std::size_t r = 0; r < ds.size(); ++r) {
+            if (perf::workloadOfTag(ds.tag(r)) != test_case.workload)
+                continue;
+            predicted_model +=
+                analyzer.potentialGain(ds.row(r), attr);
+
+            // Is this row's leaf on the high side of a split on the
+            // event? If so, attribute the split's relative impact.
+            const auto &path =
+                tree.leafInfo(tree.leafIndexFor(ds.row(r))).path;
+            double best = 0.0;
+            for (std::size_t depth = 0; depth < path.size(); ++depth) {
+                if (path[depth].attr != attr || !path[depth].goesRight)
+                    continue;
+                for (const auto &impact : split_impacts) {
+                    if (impact.site.pathTo.size() != depth ||
+                        impact.site.attr != attr) {
+                        continue;
+                    }
+                    bool same = true;
+                    for (std::size_t d = 0; d < depth; ++d) {
+                        const auto &a = impact.site.pathTo[d];
+                        const auto &b = path[d];
+                        if (a.attr != b.attr || a.value != b.value ||
+                            a.goesRight != b.goesRight) {
+                            same = false;
+                            break;
+                        }
+                    }
+                    if (same) {
+                        best = std::max(best, impact.relativeImpact);
+                        break;
+                    }
+                }
+            }
+            predicted_split += best;
+            ++n;
+        }
+        predicted_model /= static_cast<double>(n);
+        predicted_split /= static_cast<double>(n);
+
+        std::cout << padRight(test_case.workload, 17)
+                  << padRight(uarch::metricName(test_case.metric), 12)
+                  << padLeft(formatDouble(base_cpi, 2), 9)
+                  << padLeft(formatDouble(fixed_cpi, 2), 9)
+                  << padLeft(formatDouble(oracle * 100.0, 1) + "%", 8)
+                  << padLeft(
+                         formatDouble(predicted_model * 100.0, 1) + "%",
+                         8)
+                  << padLeft(
+                         formatDouble(predicted_split * 100.0, 1) + "%",
+                         8)
+                  << "\n";
+    }
+
+    std::cout
+        << "\nReading: 'model' is the Eq.-4 leaf-model estimate, "
+           "'split' the Sec.-V-A.2 split-variable estimate; they are "
+           "complementary — an event can price CPI through a leaf "
+           "coefficient, by gating the class, or (the blind spot both "
+           "share) by being near-constant within every class, where "
+           "its cost hides in the intercept. Against the oracle the "
+           "estimates are prioritization signals, not digit-accurate "
+           "predictions — which is how the paper positions them.\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * P1 — google-benchmark microbenchmarks of the learners.
+ *
+ * Measures training and prediction throughput of the M5' tree and the
+ * baselines as functions of dataset size, on synthetic piecewise data
+ * shaped like the counter dataset (20 attributes).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "ml/knn/knn.h"
+#include "ml/linear/linear_model.h"
+#include "ml/tree/m5prime.h"
+#include "ml/tree/regression_tree.h"
+
+namespace {
+
+using namespace mtperf;
+
+Dataset
+syntheticDataset(std::size_t rows)
+{
+    std::vector<std::string> names;
+    for (int a = 0; a < 20; ++a)
+        names.push_back("x" + std::to_string(a));
+    Dataset ds(Schema(names, "y"));
+    Rng rng(1234);
+    std::vector<double> row(20);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (auto &v : row)
+            v = rng.uniform();
+        const double y = row[0] > 0.5 ? 5.0 + 60.0 * row[1]
+                                      : 0.5 + 10.0 * row[2];
+        ds.addRow(row, y + rng.normal(0.0, 0.1));
+    }
+    return ds;
+}
+
+void
+BM_M5PrimeFit(benchmark::State &state)
+{
+    const Dataset ds = syntheticDataset(
+        static_cast<std::size_t>(state.range(0)));
+    M5Options options;
+    options.minInstances =
+        std::max<std::size_t>(4, ds.size() / 20);
+    for (auto _ : state) {
+        M5Prime tree(options);
+        tree.fit(ds);
+        benchmark::DoNotOptimize(tree.numLeaves());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_M5PrimeFit)->Arg(500)->Arg(2000)->Arg(8000);
+
+void
+BM_M5PrimePredict(benchmark::State &state)
+{
+    const Dataset ds = syntheticDataset(4000);
+    M5Options options;
+    options.minInstances = 200;
+    M5Prime tree(options);
+    tree.fit(ds);
+    std::size_t r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.predict(ds.row(r)));
+        r = (r + 1) % ds.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_M5PrimePredict);
+
+void
+BM_RegressionTreeFit(benchmark::State &state)
+{
+    const Dataset ds = syntheticDataset(
+        static_cast<std::size_t>(state.range(0)));
+    RegressionTreeOptions options;
+    options.minInstances = std::max<std::size_t>(4, ds.size() / 20);
+    for (auto _ : state) {
+        RegressionTree tree(options);
+        tree.fit(ds);
+        benchmark::DoNotOptimize(tree.numLeaves());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_RegressionTreeFit)->Arg(2000)->Arg(8000);
+
+void
+BM_LinearRegressionFit(benchmark::State &state)
+{
+    const Dataset ds = syntheticDataset(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        LinearRegression lr;
+        lr.fit(ds);
+        benchmark::DoNotOptimize(lr.model().intercept());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_LinearRegressionFit)->Arg(2000)->Arg(8000);
+
+void
+BM_KnnPredict(benchmark::State &state)
+{
+    const Dataset ds = syntheticDataset(4000);
+    KnnRegressor knn;
+    knn.fit(ds);
+    std::size_t r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(knn.predict(ds.row(r)));
+        r = (r + 1) % ds.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnPredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * P2 — google-benchmark microbenchmarks of the timing simulator.
+ *
+ * Measures instruction throughput (items/s = simulated instructions
+ * per second) of the core model under contrasting workload profiles,
+ * plus the raw component models.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "uarch/core.h"
+#include "workload/spec_suite.h"
+#include "workload/stream_gen.h"
+
+namespace {
+
+using namespace mtperf;
+using namespace mtperf::workload;
+
+void
+runCoreBenchmark(benchmark::State &state, const PhaseParams &phase)
+{
+    uarch::Core core;
+    StreamGenerator gen(phase, 99);
+    for (auto _ : state)
+        core.execute(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CoreComputeBound(benchmark::State &state)
+{
+    runCoreBenchmark(state,
+                     suiteWorkload("hmmer_like").phases[0].params);
+}
+BENCHMARK(BM_CoreComputeBound);
+
+void
+BM_CoreMemoryBound(benchmark::State &state)
+{
+    runCoreBenchmark(state, suiteWorkload("mcf_like").phases[0].params);
+}
+BENCHMARK(BM_CoreMemoryBound);
+
+void
+BM_CoreStreaming(benchmark::State &state)
+{
+    runCoreBenchmark(
+        state, suiteWorkload("libquantum_like").phases[0].params);
+}
+BENCHMARK(BM_CoreStreaming);
+
+void
+BM_StreamGeneratorOnly(benchmark::State &state)
+{
+    StreamGenerator gen(suiteWorkload("mcf_like").phases[0].params, 99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamGeneratorOnly);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    uarch::Cache cache(uarch::CacheConfig{"bench", 32 * 1024, 8, 64,
+                                          false, 1});
+    uarch::Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    uarch::BranchPredictor bp;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bp.predictAndUpdate(0x400000 + (i % 64) * 4, (i & 3) != 0));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+} // namespace
+
+BENCHMARK_MAIN();

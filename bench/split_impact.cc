@@ -1,0 +1,71 @@
+/**
+ * @file
+ * E7 — Section V-A.2: impact of split variables.
+ *
+ * Split variables gate a performance class without necessarily
+ * appearing in its linear model; the paper quantifies them two ways:
+ *
+ *  1. mean difference — e.g., for the LdBlSta split it compares the
+ *     right side's mean CPI (0.84) with the average of the left
+ *     side's class means (mean(0.57, 0.51)) giving 0.30, or ~35% of
+ *     the right side's CPI;
+ *  2. a one-variable regression of CPI on the split variable over
+ *     the instances at the node, reading R^2 as the contribution.
+ *
+ * This bench applies both estimators to every split of the learned
+ * tree.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "perf/analyzer.h"
+
+using namespace mtperf;
+
+int
+main()
+{
+    const Dataset ds = bench::loadSuiteDataset();
+    M5Prime tree(bench::paperTreeOptions());
+    tree.fit(ds);
+    const perf::PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    const auto impacts = analyzer.splitImpacts(ds);
+
+    std::cout << bench::rule(
+        "Split-variable impact (mean-difference and R^2 methods)");
+    std::cout << padRight("split", 24) << padLeft("depth", 6)
+              << padLeft("n(L)", 7) << padLeft("n(R)", 7)
+              << padLeft("CPI(L)", 8) << padLeft("CPI(R)", 8)
+              << padLeft("impact", 8) << padLeft("rel", 7)
+              << padLeft("R^2", 7) << "\n";
+    for (const auto &impact : impacts) {
+        const std::string label =
+            ds.schema().attributeName(impact.site.attr) + " @ " +
+            formatDouble(impact.site.value, 4);
+        std::cout << padRight(label, 24)
+                  << padLeft(std::to_string(impact.site.pathTo.size()),
+                             6)
+                  << padLeft(std::to_string(impact.nLeft), 7)
+                  << padLeft(std::to_string(impact.nRight), 7)
+                  << padLeft(formatDouble(impact.meanLeft, 2), 8)
+                  << padLeft(formatDouble(impact.meanRight, 2), 8)
+                  << padLeft(formatDouble(impact.meanDiffImpact, 2), 8)
+                  << padLeft(
+                         formatDouble(impact.relativeImpact * 100.0, 0) +
+                             "%",
+                         7)
+                  << padLeft(formatDouble(impact.rSquared, 2), 7)
+                  << "\n";
+    }
+
+    std::cout
+        << "\nReading guide (paper's example): a split whose right "
+           "side mean exceeds the averaged left-side class means by "
+           "0.30 CPI attributes ~35% of the right side's CPI to that "
+           "variable; the R^2 column is the regression-based "
+           "refinement suggested alongside.\n";
+    return 0;
+}

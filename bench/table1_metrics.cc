@@ -1,0 +1,73 @@
+/**
+ * @file
+ * E1 — Table I: the selected metrics used in this study.
+ *
+ * Reprints the paper's Table I (metric, underlying event expression,
+ * description) from the implemented counter model, then appends the
+ * summary statistics of every metric over the generated suite dataset
+ * so the reader can see each event actually fires.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "math/stats.h"
+#include "uarch/event_counters.h"
+
+using namespace mtperf;
+using uarch::PerfMetric;
+
+int
+main()
+{
+    std::cout << bench::rule(
+        "Table I: selected metrics used in this study");
+
+    std::cout << padRight("Metric", 11) << padRight("Corresponding event", 52)
+              << "Description\n";
+    for (std::size_t i = 0; i < uarch::kNumPerfMetrics; ++i) {
+        const auto metric = static_cast<PerfMetric>(i);
+        std::cout << padRight(uarch::metricName(metric), 11)
+                  << padRight(uarch::metricEvent(metric), 52)
+                  << uarch::metricDescription(metric) << "\n";
+    }
+    std::cout << padRight("CPI", 11)
+              << padRight("CPU_CLK_UNHALTED.CORE / INST_RETIRED.ANY", 52)
+              << "CPU clock cycles per instruction\n";
+
+    const Dataset ds = bench::loadSuiteDataset();
+    std::cout << "\n"
+              << bench::rule("Per-metric statistics over the suite "
+                             "dataset (" +
+                             std::to_string(ds.size()) + " sections)");
+    std::cout << padRight("Metric", 11) << padLeft("mean/1k-inst", 14)
+              << padLeft("p50/1k", 10) << padLeft("p95/1k", 10)
+              << padLeft("max/1k", 10) << padLeft("nonzero%", 10)
+              << "\n";
+    for (std::size_t a = 0; a < ds.numAttributes(); ++a) {
+        const auto col = ds.column(a);
+        std::size_t nonzero = 0;
+        for (double v : col)
+            nonzero += v > 0.0;
+        std::cout << padRight(ds.schema().attributeName(a), 11)
+                  << padLeft(formatDouble(mean(col) * 1000.0, 3), 14)
+                  << padLeft(formatDouble(quantile(col, 0.5) * 1000.0, 3),
+                             10)
+                  << padLeft(
+                         formatDouble(quantile(col, 0.95) * 1000.0, 3),
+                         10)
+                  << padLeft(formatDouble(maxValue(col) * 1000.0, 2), 10)
+                  << padLeft(formatDouble(100.0 * nonzero / ds.size(), 1),
+                             10)
+                  << "\n";
+    }
+    const auto &cpi = ds.targets();
+    std::cout << padRight("CPI", 11)
+              << padLeft(formatDouble(mean(cpi), 3), 14)
+              << padLeft(formatDouble(quantile(cpi, 0.5), 3), 10)
+              << padLeft(formatDouble(quantile(cpi, 0.95), 3), 10)
+              << padLeft(formatDouble(maxValue(cpi), 2), 10)
+              << padLeft("100.0", 10) << "  (absolute, not per-1k)\n";
+    return 0;
+}

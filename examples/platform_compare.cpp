@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Example: compare the performance behaviour of two platforms.
+ *
+ * The paper's introduction lists platform comparison and new-platform
+ * design among the uses of counter-based performance models. This
+ * example runs the same suite on two machine configurations — the
+ * Core-2-like baseline and a "value" variant with a 1 MB L2 and a
+ * shallower window — trains a model tree per platform, and contrasts
+ * (a) the per-workload CPI deltas and (b) how the trees' bottleneck
+ * structure shifts (the L2M discriminator remains, but its learned
+ * threshold and the class populations move with the machine).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "common/strings.h"
+#include "math/stats.h"
+#include "ml/tree/m5prime.h"
+#include "perf/section_collector.h"
+#include "uarch/event_counters.h"
+#include "workload/runner.h"
+
+using namespace mtperf;
+
+namespace {
+
+Dataset
+runPlatform(const uarch::CoreConfig &config, double scale)
+{
+    workload::RunnerOptions options;
+    options.sectionScale = scale;
+    options.coreConfig = config;
+    return perf::collectSuiteDataset(options);
+}
+
+std::map<std::string, double>
+meanCpiByWorkload(const Dataset &ds)
+{
+    std::map<std::string, std::pair<double, std::size_t>> acc;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        auto &[sum, n] = acc[perf::workloadOfTag(ds.tag(r))];
+        sum += ds.target(r);
+        ++n;
+    }
+    std::map<std::string, double> means;
+    for (const auto &[name, entry] : acc)
+        means[name] = entry.first / static_cast<double>(entry.second);
+    return means;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+    const uarch::CoreConfig baseline = uarch::CoreConfig::core2Like();
+    uarch::CoreConfig value = baseline;
+    value.l2.sizeBytes = 1 * 1024 * 1024;
+    value.robSize = 48;
+    value.width = 2;
+
+    std::cout << "simulating baseline (4MB L2, 96-entry window, "
+                 "4-wide)...\n";
+    const Dataset base_ds = runPlatform(baseline, scale);
+    std::cout << "simulating value part (1MB L2, 48-entry window, "
+                 "2-wide)...\n";
+    const Dataset value_ds = runPlatform(value, scale);
+
+    std::cout << "\n" << padRight("workload", 18) << padLeft("base", 8)
+              << padLeft("value", 8) << padLeft("slowdown", 10) << "\n";
+    const auto base_cpi = meanCpiByWorkload(base_ds);
+    const auto value_cpi = meanCpiByWorkload(value_ds);
+    for (const auto &[name, base] : base_cpi) {
+        const double val = value_cpi.at(name);
+        std::cout << padRight(name, 18)
+                  << padLeft(formatDouble(base, 2), 8)
+                  << padLeft(formatDouble(val, 2), 8)
+                  << padLeft(formatDouble(val / base, 2) + "x", 10)
+                  << "\n";
+    }
+
+    // Train one model per platform and compare the structure.
+    auto train = [](const Dataset &ds) {
+        M5Options options;
+        options.minInstances =
+            std::max<std::size_t>(20, ds.size() / 22);
+        M5Prime tree(options);
+        tree.fit(ds);
+        return tree;
+    };
+    const M5Prime base_tree = train(base_ds);
+    const M5Prime value_tree = train(value_ds);
+
+    auto describe = [](const char *label, const M5Prime &tree,
+                       const Dataset &ds) {
+        std::cout << "\n" << label << ": " << tree.numLeaves()
+                  << " classes, root split on "
+                  << (tree.rootSplitAttribute()
+                          ? ds.schema().attributeName(
+                                *tree.rootSplitAttribute())
+                          : std::string("none"));
+        const auto sites = tree.splitSites();
+        if (!sites.empty()) {
+            std::cout << " @ "
+                      << formatDouble(sites[0].value * 1000.0, 2)
+                      << "/1k-inst";
+        }
+        // Fraction of training sections on the memory-bound side.
+        if (tree.rootSplitAttribute()) {
+            double right = 0.0;
+            for (std::size_t leaf = 0; leaf < tree.numLeaves();
+                 ++leaf) {
+                const auto &info = tree.leafInfo(leaf);
+                if (!info.path.empty() && info.path[0].goesRight)
+                    right += info.trainFraction;
+            }
+            std::cout << "; " << formatDouble(right * 100.0, 1)
+                      << "% of sections above the root threshold";
+        }
+        std::cout << "\n";
+    };
+    describe("baseline model", base_tree, base_ds);
+    describe("value model  ", value_tree, value_ds);
+
+    std::cout << "\nReading: per-workload slowdowns expose each "
+                 "workload's sensitivity (cache-resident working sets "
+                 "suffer the width cut ~2x; sets that spill the "
+                 "smaller L2, like astar's, suffer far more). The "
+                 "trees adapt too: the same L2M event stays the root "
+                 "discriminator, but its learned threshold moves with "
+                 "the machine's miss economics.\n";
+    return 0;
+}

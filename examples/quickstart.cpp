@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: the whole pipeline in ~60 lines.
+ *
+ *  1. simulate the SPEC-like suite into a section dataset,
+ *  2. train an M5' model tree (CPI from the 20 Table-I metrics),
+ *  3. print the tree and its leaf models,
+ *  4. cross-validate, and
+ *  5. ask the "what / how much" questions for one section.
+ *
+ * Usage: quickstart [section_scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/strings.h"
+
+#include "ml/eval/cross_validation.h"
+#include "ml/tree/m5prime.h"
+#include "perf/analyzer.h"
+#include "perf/section_collector.h"
+#include "uarch/event_counters.h"
+
+using namespace mtperf;
+
+int
+main(int argc, char **argv)
+{
+    workload::RunnerOptions run;
+    run.sectionScale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+    // 1. Simulate: every section is 10k retired instructions with the
+    //    Table-I counters and measured CPI.
+    const std::string cache =
+        "spec_like_sections_" + formatDouble(run.sectionScale, 2) +
+        ".csv";
+    const Dataset sections = perf::loadOrCollectSuiteDataset(cache, run);
+
+    // 2. Train the model tree. minInstances scales with the dataset
+    //    like the paper's 430-instance choice did for its set.
+    M5Options options;
+    options.minInstances =
+        std::max<std::size_t>(20, sections.size() / 25);
+    M5Prime tree(options);
+    tree.fit(sections);
+
+    // 3. Show the learned performance classes.
+    std::cout << tree.toString() << "\n";
+
+    // 4. 10-fold cross-validation, as the paper evaluates.
+    const auto cv = crossValidate(
+        [&options] { return std::make_unique<M5Prime>(options); },
+        sections, 10, /*seed=*/7);
+    std::cout << "10-fold CV: " << cv.pooled.summary() << "\n\n";
+
+    // 5. "What limits this section, and how much is recoverable?"
+    const perf::PerformanceAnalyzer analyzer(tree, sections.schema());
+    const std::size_t row = sections.size() / 2;
+    std::cout << "Section " << row << " (" << sections.tag(row)
+              << "), measured CPI "
+              << formatDouble(sections.target(row), 3) << ":\n";
+    for (const auto &c : analyzer.contributions(sections.row(row))) {
+        if (c.contribution < 0.01)
+            continue;
+        std::cout << "  " << padRight(
+                         sections.schema().attributeName(c.attr), 10)
+                  << " contributes "
+                  << formatDouble(c.contribution * 100.0, 1)
+                  << "% of predicted CPI\n";
+    }
+    return 0;
+}

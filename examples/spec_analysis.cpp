@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Example: the paper's intended workflow — tune one application.
+ *
+ * Trains the performance model on the whole suite (the "training
+ * corpus"), then analyzes a single target workload the way a
+ * performance engineer would: which classes do its sections fall in,
+ * which events limit it, and how much is recoverable from fixing
+ * each ("what" and "how much", Section III).
+ *
+ * Usage: spec_analysis [workload_name] [section_scale]
+ *        (default: mcf_like 0.3; see suite_explorer for names)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "common/strings.h"
+#include "ml/tree/m5prime.h"
+#include "perf/analyzer.h"
+#include "perf/section_collector.h"
+#include "workload/runner.h"
+#include "workload/spec_suite.h"
+
+using namespace mtperf;
+
+int
+main(int argc, char **argv)
+{
+    const std::string target = argc > 1 ? argv[1] : "mcf_like";
+
+    workload::RunnerOptions run;
+    run.sectionScale = argc > 2 ? std::atof(argv[2]) : 0.3;
+
+    // 1. Train the model on the whole suite.
+    const Dataset suite = perf::collectSuiteDataset(run);
+    M5Options options;
+    options.minInstances = std::max<std::size_t>(20, suite.size() / 22);
+    M5Prime tree(options);
+    tree.fit(suite);
+    const perf::PerformanceAnalyzer analyzer(tree, suite.schema());
+
+    // 2. Pull out the target workload's sections.
+    Dataset sections(suite.schema());
+    for (std::size_t r = 0; r < suite.size(); ++r) {
+        if (perf::workloadOfTag(suite.tag(r)) == target)
+            sections.addRow(suite.row(r), suite.target(r), suite.tag(r));
+    }
+    if (sections.empty()) {
+        std::cerr << "no such workload: " << target << "\n";
+        return 1;
+    }
+
+    std::cout << "Analysis of " << target << " (" << sections.size()
+              << " sections)\n\n";
+
+    // 3. Which performance classes does it occupy?
+    const auto summary = analyzer.classify(sections);
+    std::cout << "Class occupancy:\n";
+    for (std::size_t leaf = 0; leaf < tree.numLeaves(); ++leaf) {
+        if (summary.leafCounts[leaf] == 0)
+            continue;
+        const double frac = 100.0 * summary.leafCounts[leaf] /
+                            sections.size();
+        std::cout << "  LM" << (leaf + 1) << "  "
+                  << padLeft(formatDouble(frac, 1), 5) << "%  rules: "
+                  << analyzer.describeLeafRules(leaf) << "\n";
+    }
+
+    // 4. "What" and "how much", per phase of the workload.
+    std::map<std::string, std::pair<std::vector<double>, std::size_t>>
+        phase_mean;
+    for (std::size_t r = 0; r < sections.size(); ++r) {
+        auto &[acc, n] = phase_mean[sections.tag(r)];
+        if (acc.empty())
+            acc.assign(sections.numAttributes(), 0.0);
+        const auto row = sections.row(r);
+        for (std::size_t a = 0; a < row.size(); ++a)
+            acc[a] += row[a];
+        ++n;
+    }
+    std::cout << "\nOptimization guidance per phase:\n";
+    for (auto &[phase, entry] : phase_mean) {
+        auto &[acc, n] = entry;
+        for (auto &v : acc)
+            v /= static_cast<double>(n);
+        const double cpi = tree.predict(acc);
+        std::cout << "  " << phase << " (predicted CPI "
+                  << formatDouble(cpi, 2) << "):\n";
+        std::size_t shown = 0;
+        for (const auto &c : analyzer.contributions(acc)) {
+            if (c.contribution < 0.02 || shown == 4)
+                break;
+            std::cout << "    - address "
+                      << padRight(
+                             sections.schema().attributeName(c.attr),
+                             10)
+                      << "for up to "
+                      << formatDouble(c.contribution * 100.0, 1)
+                      << "% CPI reduction\n";
+            ++shown;
+        }
+        if (shown == 0)
+            std::cout << "    - no dominant limiter (compute bound)\n";
+    }
+
+    // 5. Implicit split variables that gate the occupied classes.
+    std::cout << "\nImplicit (split-variable) factors on this "
+                 "workload's paths:\n";
+    for (const auto &impact : analyzer.splitImpacts(suite)) {
+        // Only report splits whose right side this workload occupies.
+        if (impact.rSquared < 0.2)
+            continue;
+        std::cout << "  "
+                  << suite.schema().attributeName(impact.site.attr)
+                  << " > " << formatDouble(impact.site.value, 4)
+                  << " costs ~"
+                  << formatDouble(impact.meanDiffImpact, 2)
+                  << " CPI (R^2 "
+                  << formatDouble(impact.rSquared, 2) << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Example: explore the synthetic SPEC-like suite.
+ *
+ * Runs every workload in the suite for a configurable number of
+ * sections and prints its mean CPI and the per-instruction rates of
+ * the dominant Table-I events — a quick way to see the bottleneck
+ * diversity the model tree will later classify.
+ *
+ * Usage: suite_explorer [section_scale] [instructions_per_section]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/strings.h"
+#include "math/stats.h"
+#include "perf/section_collector.h"
+#include "uarch/event_counters.h"
+#include "workload/runner.h"
+#include "workload/spec_suite.h"
+
+using namespace mtperf;
+
+int
+main(int argc, char **argv)
+{
+    workload::RunnerOptions options;
+    options.sectionScale = argc > 1 ? std::atof(argv[1]) : 0.1;
+    if (argc > 2)
+        options.instructionsPerSection = std::atoll(argv[2]);
+
+    const auto suite = workload::specLikeSuite();
+    std::cout << padRight("workload", 18) << padLeft("sections", 9)
+              << padLeft("CPI", 8);
+    const std::vector<uarch::PerfMetric> shown = {
+        uarch::PerfMetric::L2M,      uarch::PerfMetric::L1DM,
+        uarch::PerfMetric::L1IM,     uarch::PerfMetric::DtlbLdM,
+        uarch::PerfMetric::BrMisPr,  uarch::PerfMetric::ItlbM,
+        uarch::PerfMetric::LCP,      uarch::PerfMetric::LdBlSta,
+        uarch::PerfMetric::MisalRef,
+    };
+    for (auto metric : shown)
+        std::cout << padLeft(uarch::metricName(metric), 10);
+    std::cout << "\n";
+
+    for (const auto &spec : suite) {
+        const auto records = workload::runWorkload(spec, options);
+        if (records.empty())
+            continue;
+        const Dataset ds = perf::sectionsToDataset(records);
+
+        std::cout << padRight(spec.name, 18)
+                  << padLeft(std::to_string(ds.size()), 9)
+                  << padLeft(formatDouble(mean(ds.targets()), 3), 8);
+        for (auto metric : shown) {
+            const auto col =
+                ds.column(static_cast<std::size_t>(metric));
+            std::cout << padLeft(formatDouble(mean(col) * 1000.0, 3),
+                                 10);
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n(event columns are occurrences per 1000 "
+                 "instructions)\n";
+    return 0;
+}

@@ -1,0 +1,138 @@
+#include "cli/args.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mtperf::cli {
+
+void
+ArgParser::addString(const std::string &name,
+                     const std::string &default_value,
+                     const std::string &help, bool required)
+{
+    options_[name] = {Kind::String, default_value, help, required,
+                      false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addDouble(const std::string &name, double default_value,
+                     const std::string &help)
+{
+    std::ostringstream os;
+    os << default_value;
+    options_[name] = {Kind::Double, os.str(), help, false, false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addSize(const std::string &name, std::uint64_t default_value,
+                   const std::string &help)
+{
+    options_[name] = {Kind::Size, std::to_string(default_value), help,
+                      false, false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    options_[name] = {Kind::Flag, "0", help, false, false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::parse(const std::vector<std::string> &tokens)
+{
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &token = tokens[i];
+        if (!startsWith(token, "--"))
+            mtperf_fatal("unexpected argument '", token,
+                         "' (options start with --)");
+        const std::string name = token.substr(2);
+        auto it = options_.find(name);
+        if (it == options_.end())
+            mtperf_fatal("unknown option --", name);
+        Option &option = it->second;
+        option.given = true;
+        if (option.kind == Kind::Flag) {
+            option.value = "1";
+            continue;
+        }
+        if (i + 1 >= tokens.size())
+            mtperf_fatal("option --", name, " needs a value");
+        option.value = tokens[++i];
+        // Validate numerics eagerly so errors point at the option.
+        if (option.kind == Kind::Double || option.kind == Kind::Size)
+            parseDouble(option.value, "--" + name);
+    }
+    for (const auto &[name, option] : options_) {
+        if (option.required && !option.given)
+            mtperf_fatal("missing required option --", name);
+    }
+}
+
+const ArgParser::Option &
+ArgParser::require(const std::string &name, Kind kind) const
+{
+    const auto it = options_.find(name);
+    mtperf_assert(it != options_.end(), "undeclared option ", name);
+    mtperf_assert(it->second.kind == kind, "option kind mismatch for ",
+                  name);
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return require(name, Kind::String).value;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return parseDouble(require(name, Kind::Double).value, name);
+}
+
+std::uint64_t
+ArgParser::getSize(const std::string &name) const
+{
+    return static_cast<std::uint64_t>(
+        parseDouble(require(name, Kind::Size).value, name));
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return require(name, Kind::Flag).value == "1";
+}
+
+bool
+ArgParser::given(const std::string &name) const
+{
+    const auto it = options_.find(name);
+    return it != options_.end() && it->second.given;
+}
+
+std::string
+ArgParser::helpText() const
+{
+    std::ostringstream os;
+    for (const auto &name : order_) {
+        const Option &option = options_.at(name);
+        std::string left = "  --" + name;
+        if (option.kind != Kind::Flag)
+            left += " <value>";
+        os << padRight(left, 28) << option.help;
+        if (option.required)
+            os << " (required)";
+        else if (option.kind != Kind::Flag)
+            os << " [default: " << option.value << "]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mtperf::cli

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal declarative command-line option parser for the mtperf tool.
+ *
+ * Callers declare the options a command accepts (typed, with defaults
+ * and required-ness), then parse the argument vector; unknown options
+ * and missing values are reported as FatalError so the CLI prints a
+ * clean message instead of crashing.
+ */
+
+#ifndef MTPERF_CLI_ARGS_H_
+#define MTPERF_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mtperf::cli {
+
+/** Declarative option set + parsed values. */
+class ArgParser
+{
+  public:
+    /** Declare a string option ("--name value"). */
+    void addString(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help, bool required = false);
+
+    /** Declare a numeric option. */
+    void addDouble(const std::string &name, double default_value,
+                   const std::string &help);
+
+    /** Declare an integer option. */
+    void addSize(const std::string &name, std::uint64_t default_value,
+                 const std::string &help);
+
+    /** Declare a boolean flag ("--name", no value). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse the tokens (excluding program and subcommand names).
+     * @throw FatalError on unknown options, missing values, missing
+     * required options or unparsable numbers.
+     */
+    void parse(const std::vector<std::string> &tokens);
+
+    std::string getString(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    std::uint64_t getSize(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** True if the option was explicitly given on the command line. */
+    bool given(const std::string &name) const;
+
+    /** Usage text listing every declared option. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { String, Double, Size, Flag };
+    struct Option
+    {
+        Kind kind = Kind::String;
+        std::string value;
+        std::string help;
+        bool required = false;
+        bool given = false;
+    };
+
+    const Option &require(const std::string &name, Kind kind) const;
+
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace mtperf::cli
+
+#endif // MTPERF_CLI_ARGS_H_

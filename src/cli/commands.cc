@@ -1,0 +1,339 @@
+#include "cli/commands.h"
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "cli/args.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/io.h"
+#include "ml/eval/cross_validation.h"
+#include "ml/tree/m5prime.h"
+#include "perf/analyzer.h"
+#include "perf/diff.h"
+#include "perf/json_report.h"
+#include "perf/section_collector.h"
+#include "workload/runner.h"
+#include "workload/spec_suite.h"
+#include "workload/stream_gen.h"
+
+namespace mtperf::cli {
+
+namespace {
+
+/** Tree-option flags shared by train and crossval. */
+void
+addTreeOptions(ArgParser &parser)
+{
+    parser.addSize("min-instances", 4,
+                   "minimum training instances per leaf");
+    parser.addDouble("sd-fraction", 0.05,
+                     "purity stop vs. root std-dev");
+    parser.addFlag("no-prune", "disable bottom-up pruning");
+    parser.addFlag("no-smooth", "disable leaf-model smoothing");
+    parser.addFlag("no-simplify", "disable greedy term dropping");
+    parser.addSize("max-depth", 0, "maximum tree depth (0 = unlimited)");
+}
+
+M5Options
+treeOptionsFrom(const ArgParser &parser, std::size_t dataset_size)
+{
+    M5Options options;
+    options.minInstances =
+        parser.given("min-instances")
+            ? parser.getSize("min-instances")
+            : std::max<std::size_t>(4, dataset_size / 22);
+    options.sdFraction = parser.getDouble("sd-fraction");
+    options.prune = !parser.getFlag("no-prune");
+    options.smooth = !parser.getFlag("no-smooth");
+    options.simplifyModels = !parser.getFlag("no-simplify");
+    options.maxDepth = parser.getSize("max-depth");
+    return options;
+}
+
+} // namespace
+
+int
+cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("out", "sections.csv", "output CSV path");
+    parser.addDouble("scale", 1.0, "section-budget scale factor");
+    parser.addSize("instructions", 10000, "instructions per section");
+    parser.addSize("seed", 42, "master seed");
+    parser.addDouble("jitter", 0.18, "per-section parameter jitter");
+    parser.parse(args);
+
+    workload::RunnerOptions options;
+    options.sectionScale = parser.getDouble("scale");
+    options.instructionsPerSection = parser.getSize("instructions");
+    options.seed = parser.getSize("seed");
+    options.paramJitter = parser.getDouble("jitter");
+
+    const Dataset ds = perf::collectSuiteDataset(options);
+    writeDatasetCsvFile(parser.getString("out"), ds);
+    out << "wrote " << ds.size() << " sections to "
+        << parser.getString("out") << "\n";
+    return 0;
+}
+
+int
+cmdTrain(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("data", "", "training CSV (with CPI column)", true);
+    parser.addString("out", "model.m5", "model output path");
+    parser.addString("target", "CPI", "target column name");
+    addTreeOptions(parser);
+    parser.parse(args);
+
+    const Dataset ds =
+        readDatasetCsvFile(parser.getString("data"),
+                           parser.getString("target"));
+    M5Prime tree(treeOptionsFrom(parser, ds.size()));
+    tree.fit(ds);
+    tree.saveFile(parser.getString("out"));
+
+    out << tree.toString() << "\n";
+    out << "model with " << tree.numLeaves() << " leaves saved to "
+        << parser.getString("out") << "\n";
+    return 0;
+}
+
+int
+cmdPrint(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("model", "", "saved model path", true);
+    parser.parse(args);
+    const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
+    out << tree.toString();
+    return 0;
+}
+
+int
+cmdPredict(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("model", "", "saved model path", true);
+    parser.addString("data", "", "CSV to predict on", true);
+    parser.addString("out", "", "optional predictions CSV path");
+    parser.addString("target", "CPI", "target column name");
+    parser.parse(args);
+
+    const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
+    const Dataset ds =
+        readDatasetCsvFile(parser.getString("data"),
+                           parser.getString("target"));
+    if (!(ds.schema() == tree.schema()))
+        mtperf_fatal("dataset schema does not match the model's");
+
+    const auto predictions = tree.predictAll(ds);
+    const auto metrics = computeMetrics(ds.targets(), predictions);
+    out << "predicted " << ds.size()
+        << " sections: " << metrics.summary() << "\n";
+
+    const std::string out_path = parser.getString("out");
+    if (!out_path.empty()) {
+        CsvTable table;
+        table.header = {"actual", "predicted", "tag"};
+        for (std::size_t r = 0; r < ds.size(); ++r) {
+            std::ostringstream a, p;
+            a.precision(10);
+            p.precision(10);
+            a << ds.target(r);
+            p << predictions[r];
+            table.rows.push_back({a.str(), p.str(), ds.tag(r)});
+        }
+        writeCsvFile(out_path, table);
+        out << "predictions written to " << out_path << "\n";
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("model", "", "saved model path", true);
+    parser.addString("data", "", "CSV to analyze", true);
+    parser.addString("target", "CPI", "target column name");
+    parser.addFlag("json", "emit the report as JSON");
+    parser.parse(args);
+
+    const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
+    const Dataset ds =
+        readDatasetCsvFile(parser.getString("data"),
+                           parser.getString("target"));
+    if (!(ds.schema() == tree.schema()))
+        mtperf_fatal("dataset schema does not match the model's");
+
+    if (parser.getFlag("json")) {
+        out << perf::analysisToJson(tree, ds) << "\n";
+        return 0;
+    }
+    const perf::PerformanceAnalyzer analyzer(tree, tree.schema());
+    out << analyzer.report(ds);
+    return 0;
+}
+
+int
+cmdCrossval(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("data", "", "CSV to cross-validate on", true);
+    parser.addString("target", "CPI", "target column name");
+    parser.addSize("folds", 10, "number of folds");
+    parser.addSize("seed", 7, "fold-shuffle seed");
+    addTreeOptions(parser);
+    parser.parse(args);
+
+    const Dataset ds =
+        readDatasetCsvFile(parser.getString("data"),
+                           parser.getString("target"));
+    const M5Options options = treeOptionsFrom(parser, ds.size());
+    const auto cv = crossValidate(
+        [&options] { return std::make_unique<M5Prime>(options); }, ds,
+        parser.getSize("folds"), parser.getSize("seed"));
+
+    out << parser.getSize("folds")
+        << "-fold CV: " << cv.pooled.summary() << "\n";
+    for (std::size_t f = 0; f < cv.perFold.size(); ++f)
+        out << "  fold " << (f + 1) << ": "
+            << cv.perFold[f].summary() << "\n";
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("model", "", "saved model path", true);
+    parser.addString("before", "", "baseline section CSV", true);
+    parser.addString("after", "", "changed-run section CSV", true);
+    parser.addString("target", "CPI", "target column name");
+    parser.parse(args);
+
+    const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
+    const Dataset before =
+        readDatasetCsvFile(parser.getString("before"),
+                           parser.getString("target"));
+    const Dataset after =
+        readDatasetCsvFile(parser.getString("after"),
+                           parser.getString("target"));
+    const perf::DiffReport report =
+        perf::diffDatasets(tree, before, after);
+    out << perf::formatDiff(report, tree);
+    return 0;
+}
+
+int
+cmdStack(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("workload", "",
+                     "suite workload name (see suite_explorer)", true);
+    parser.addSize("instructions", 500000, "instructions to simulate");
+    parser.addSize("seed", 42, "stream seed");
+    parser.parse(args);
+
+    const auto spec =
+        workload::suiteWorkload(parser.getString("workload"));
+    uarch::Core core;
+    const std::uint64_t budget = parser.getSize("instructions");
+    std::uint64_t executed = 0;
+    for (const auto &phase : spec.phases) {
+        workload::StreamGenerator gen(phase.params,
+                                      parser.getSize("seed"));
+        const std::uint64_t share =
+            budget * phase.sections / spec.totalSections();
+        for (std::uint64_t i = 0; i < share; ++i)
+            core.execute(gen.next());
+        executed += share;
+    }
+    if (executed == 0)
+        mtperf_fatal("no instructions executed");
+
+    const auto &stack = core.cpiStack();
+    const auto per_instr = [executed](std::uint64_t cycles) {
+        return static_cast<double>(cycles) /
+               static_cast<double>(executed);
+    };
+    out << "CPI stack of " << spec.name << " over " << executed
+        << " instructions (cycles/instruction):\n";
+    const double cpi = per_instr(core.counters().cycles);
+    auto line = [&](const char *name, std::uint64_t cycles) {
+        if (cycles == 0)
+            return;
+        out << "  " << padRight(name, 15)
+            << padLeft(formatDouble(per_instr(cycles), 3), 8) << "  ("
+            << formatDouble(100.0 * per_instr(cycles) / cpi, 1)
+            << "%)\n";
+    };
+    out << "  " << padRight("total CPI", 15)
+        << padLeft(formatDouble(cpi, 3), 8) << "\n";
+    line("base", stack.base);
+    line("frontend", stack.frontend);
+    line("resteer", stack.resteer);
+    line("L2 miss", stack.memL2);
+    line("L1D miss", stack.memL1d);
+    line("TLB walks", stack.dtlb);
+    line("store-forward", stack.storeForward);
+    line("misalign/split", stack.memOther);
+    line("long latency", stack.longLatency);
+    line("window/dep", stack.window);
+    return 0;
+}
+
+std::string
+usageText()
+{
+    return "usage: mtperf <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  simulate   run the SPEC-like suite, write a section CSV\n"
+           "  train      learn an M5' model tree from a section CSV\n"
+           "  print      pretty-print a saved model\n"
+           "  predict    apply a saved model to a CSV\n"
+           "  analyze    performance-analysis report for a CSV\n"
+           "  crossval   k-fold cross-validation on a CSV\n"
+           "  diff       before/after comparison of two CSVs\n"
+           "  stack      simulator CPI stack for one suite workload\n"
+           "  help       show this text\n"
+           "\n"
+           "every command fails fast with a message naming any\n"
+           "unknown or missing option.\n";
+}
+
+int
+runCommand(const std::string &subcommand,
+           const std::vector<std::string> &args, std::ostream &out)
+{
+    try {
+        if (subcommand == "simulate")
+            return cmdSimulate(args, out);
+        if (subcommand == "train")
+            return cmdTrain(args, out);
+        if (subcommand == "print")
+            return cmdPrint(args, out);
+        if (subcommand == "predict")
+            return cmdPredict(args, out);
+        if (subcommand == "analyze")
+            return cmdAnalyze(args, out);
+        if (subcommand == "crossval")
+            return cmdCrossval(args, out);
+        if (subcommand == "diff")
+            return cmdDiff(args, out);
+        if (subcommand == "stack")
+            return cmdStack(args, out);
+    } catch (const FatalError &e) {
+        out << "error: " << e.what() << "\n";
+        return 1;
+    }
+    out << usageText();
+    return subcommand == "help" ? 0 : 2;
+}
+
+} // namespace mtperf::cli

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The mtperf command-line tool's subcommands.
+ *
+ * Each subcommand is a plain function taking its argument tokens and
+ * an output stream, so the whole CLI is unit-testable without spawning
+ * processes. The binary in tools/ is a thin dispatcher over these.
+ *
+ * Subcommands:
+ *   simulate  — run the SPEC-like suite, write a section CSV
+ *   train     — learn an M5' model from a section CSV, save it
+ *   print     — pretty-print a saved model
+ *   predict   — apply a saved model to a CSV, report accuracy
+ *   analyze   — classification + contribution report for a CSV
+ *   crossval  — k-fold cross-validation of M5' on a CSV
+ *   diff      — before/after comparison of two section CSVs
+ *   stack     — simulator-attributed CPI stack for one workload
+ */
+
+#ifndef MTPERF_CLI_COMMANDS_H_
+#define MTPERF_CLI_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mtperf::cli {
+
+/** Exit status of a subcommand (0 = success). */
+using CommandFn = int (*)(const std::vector<std::string> &args,
+                          std::ostream &out);
+
+int cmdSimulate(const std::vector<std::string> &args, std::ostream &out);
+int cmdTrain(const std::vector<std::string> &args, std::ostream &out);
+int cmdPrint(const std::vector<std::string> &args, std::ostream &out);
+int cmdPredict(const std::vector<std::string> &args, std::ostream &out);
+int cmdAnalyze(const std::vector<std::string> &args, std::ostream &out);
+int cmdCrossval(const std::vector<std::string> &args, std::ostream &out);
+int cmdDiff(const std::vector<std::string> &args, std::ostream &out);
+int cmdStack(const std::vector<std::string> &args, std::ostream &out);
+
+/**
+ * Dispatch @p subcommand; "help" (or anything unknown) prints usage.
+ * FatalError from a subcommand is caught and reported on @p out.
+ * @return process exit status.
+ */
+int runCommand(const std::string &subcommand,
+               const std::vector<std::string> &args, std::ostream &out);
+
+/** Top-level usage text. */
+std::string usageText();
+
+} // namespace mtperf::cli
+
+#endif // MTPERF_CLI_COMMANDS_H_

@@ -1,0 +1,131 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+std::size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    mtperf_fatal("CSV has no column named '", name, "'");
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field.push_back('"');
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+        } else if (c == '"') {
+            in_quotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(field));
+            field.clear();
+        } else if (c != '\r') {
+            field.push_back(c);
+        }
+    }
+    if (in_quotes)
+        mtperf_fatal("unterminated quote in CSV line: ", line);
+    fields.push_back(std::move(field));
+    return fields;
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+CsvTable
+readCsv(std::istream &in)
+{
+    CsvTable table;
+    std::string line;
+    bool have_header = false;
+    while (std::getline(in, line)) {
+        if (line.empty() || line == "\r")
+            continue;
+        auto fields = parseCsvLine(line);
+        if (!have_header) {
+            table.header = std::move(fields);
+            have_header = true;
+        } else {
+            if (fields.size() != table.header.size()) {
+                mtperf_fatal("ragged CSV row: expected ",
+                             table.header.size(), " fields, got ",
+                             fields.size());
+            }
+            table.rows.push_back(std::move(fields));
+        }
+    }
+    if (!have_header)
+        mtperf_fatal("empty CSV input");
+    return table;
+}
+
+CsvTable
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        mtperf_fatal("cannot open CSV file: ", path);
+    return readCsv(in);
+}
+
+void
+writeCsv(std::ostream &out, const CsvTable &table)
+{
+    auto write_row = [&out](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            out << csvEscape(row[i]);
+        }
+        out << '\n';
+    };
+    write_row(table.header);
+    for (const auto &row : table.rows)
+        write_row(row);
+}
+
+void
+writeCsvFile(const std::string &path, const CsvTable &table)
+{
+    std::ofstream out(path);
+    if (!out)
+        mtperf_fatal("cannot open CSV file for writing: ", path);
+    writeCsv(out, table);
+}
+
+} // namespace mtperf

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal CSV reading and writing.
+ *
+ * Supports the subset of CSV the library produces and consumes:
+ * comma-separated fields, optional double-quote quoting with embedded
+ * commas/quotes, one header row. This is deliberately not a general
+ * RFC-4180 implementation (no embedded newlines in fields).
+ */
+
+#ifndef MTPERF_COMMON_CSV_H_
+#define MTPERF_COMMON_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mtperf {
+
+/** An in-memory CSV table: a header plus data rows of equal width. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Number of columns (from the header). */
+    std::size_t columns() const { return header.size(); }
+
+    /**
+     * Index of the named column.
+     * @throw FatalError if the column is absent.
+     */
+    std::size_t columnIndex(const std::string &name) const;
+};
+
+/** Parse a single CSV line into fields, honoring quoting. */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+/** Quote a field if it needs quoting, else return it unchanged. */
+std::string csvEscape(const std::string &field);
+
+/**
+ * Read a CSV table from a stream.
+ * @throw FatalError on ragged rows or an empty file.
+ */
+CsvTable readCsv(std::istream &in);
+
+/**
+ * Read a CSV table from a file path.
+ * @throw FatalError if the file cannot be opened.
+ */
+CsvTable readCsvFile(const std::string &path);
+
+/** Write @p table to a stream. */
+void writeCsv(std::ostream &out, const CsvTable &table);
+
+/** Write @p table to a file, replacing any existing content. */
+void writeCsvFile(const std::string &path, const CsvTable &table);
+
+} // namespace mtperf
+
+#endif // MTPERF_COMMON_CSV_H_

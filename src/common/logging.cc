@@ -1,0 +1,65 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mtperf {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(globalLevel))
+        return;
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    logMessage(LogLevel::Error,
+               concat("fatal: ", msg, " (", file, ":", line, ")"));
+    throw FatalError(msg);
+}
+
+} // namespace detail
+
+} // namespace mtperf

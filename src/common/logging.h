@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities.
+ *
+ * Follows the gem5 split between unrecoverable internal errors (panic)
+ * and user-caused errors (fatal): panic() aborts, fatal() throws a
+ * FatalError so library users and tests can catch misconfiguration.
+ */
+
+#ifndef MTPERF_COMMON_LOGGING_H_
+#define MTPERF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtperf {
+
+/** Error thrown for user-caused conditions (bad arguments, bad files). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Severity levels for log messages. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Set the global minimum level at which messages are emitted.
+ * Messages below this level are suppressed. Default is Info.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return the current global minimum log level. */
+LogLevel logLevel();
+
+/** Emit a message to stderr if @p level passes the global threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+/** Build a string from stream-style arguments. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Log an informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log a warning message. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace mtperf
+
+/** Abort on an internal invariant violation (a library bug). */
+#define mtperf_panic(...)                                                    \
+    ::mtperf::detail::panicImpl(__FILE__, __LINE__,                          \
+                                ::mtperf::detail::concat(__VA_ARGS__))
+
+/** Throw FatalError for a user-caused condition (bad input or config). */
+#define mtperf_fatal(...)                                                    \
+    ::mtperf::detail::fatalImpl(__FILE__, __LINE__,                          \
+                                ::mtperf::detail::concat(__VA_ARGS__))
+
+/** Panic if @p cond does not hold. */
+#define mtperf_assert(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::mtperf::detail::panicImpl(                                     \
+                __FILE__, __LINE__,                                          \
+                ::mtperf::detail::concat("assertion failed: " #cond " ",    \
+                                         ##__VA_ARGS__));                    \
+        }                                                                    \
+    } while (0)
+
+#endif // MTPERF_COMMON_LOGGING_H_

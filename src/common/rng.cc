@@ -1,0 +1,203 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    hasCachedNormal_ = false;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    mtperf_assert(n > 0, "uniformInt(0) is undefined");
+    // Lemire's nearly-divisionless bounded draw with rejection.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+        std::uint64_t threshold = -n % n;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    mtperf_assert(lo <= hi, "empty integer range");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double lambda)
+{
+    mtperf_assert(lambda > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    mtperf_assert(p > 0.0 && p <= 1.0, "geometric p out of range");
+    if (p >= 1.0)
+        return 0;
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    mtperf_assert(n > 0, "zipf over empty support");
+    if (n == 1)
+        return 0;
+
+    // Rejection-inversion sampling (Hormann & Derflinger 1996). The
+    // helper H is the antiderivative of x^-s generalized to s == 1.
+    const double e = s;
+    auto h_integral = [e](double x) {
+        const double log_x = std::log(x);
+        if (std::abs(1.0 - e) < 1e-12)
+            return log_x;
+        return std::expm1((1.0 - e) * log_x) / (1.0 - e);
+    };
+    auto h = [e](double x) { return std::exp(-e * std::log(x)); };
+    auto h_integral_inverse = [e](double x) {
+        if (std::abs(1.0 - e) < 1e-12)
+            return std::exp(x);
+        double t = x * (1.0 - e);
+        if (t < -1.0)
+            t = -1.0;
+        return std::exp(std::log1p(t) / (1.0 - e));
+    };
+
+    const double h_x1 = h_integral(1.5) - 1.0;
+    const double h_n = h_integral(static_cast<double>(n) + 0.5);
+    const double d = h_integral(0.5);
+    const double span = h_n - d;
+
+    for (;;) {
+        const double u = d + span * uniform();
+        const double x = h_integral_inverse(u);
+        double k = std::floor(x + 0.5);
+        if (k < 1.0)
+            k = 1.0;
+        else if (k > static_cast<double>(n))
+            k = static_cast<double>(n);
+        if (k - x <= h_x1 || u >= h_integral(k + 0.5) - h(k)) {
+            return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+}
+
+} // namespace mtperf

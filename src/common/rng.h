@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (workload synthesis, fold
+ * shuffling, learner initialization) draw from Rng so that every
+ * experiment is reproducible from a single seed. The generator is
+ * xoshiro256**, which is fast, has a 256-bit state and passes BigCrush.
+ */
+
+#ifndef MTPERF_COMMON_RNG_H_
+#define MTPERF_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mtperf {
+
+/**
+ * A seedable xoshiro256** generator with the distribution helpers the
+ * library needs. Satisfies the UniformRandomBitGenerator concept so it
+ * can also be handed to <random> and <algorithm> facilities.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Reseed the generator, discarding all previous state. */
+    void seed(std::uint64_t seed);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p);
+
+    /** Standard normal via Box-Muller (cached second variate). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential with rate @p lambda. @pre lambda > 0. */
+    double exponential(double lambda);
+
+    /**
+     * Geometric number of failures before the first success,
+     * success probability @p p in (0, 1].
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent @p s, drawn by
+     * inversion over a precomputed CDF would be per-call expensive, so
+     * this uses rejection-inversion (Hormann & Derflinger) which is
+     * O(1) per draw.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Fisher-Yates shuffle of @p v. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(static_cast<std::uint64_t>(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_COMMON_RNG_H_

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef MTPERF_COMMON_STRINGS_H_
+#define MTPERF_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtperf {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/**
+ * Format a double the way a report wants it: fixed with @p digits
+ * decimals, no trailing spaces.
+ */
+std::string formatDouble(double value, int digits);
+
+/** Parse a double, throwing FatalError with context on failure. */
+double parseDouble(std::string_view text, std::string_view context);
+
+/** Right-pad @p text with spaces to at least @p width characters. */
+std::string padRight(std::string_view text, std::size_t width);
+
+/** Left-pad @p text with spaces to at least @p width characters. */
+std::string padLeft(std::string_view text, std::size_t width);
+
+} // namespace mtperf
+
+#endif // MTPERF_COMMON_STRINGS_H_

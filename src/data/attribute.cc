@@ -1,0 +1,77 @@
+#include "data/attribute.h"
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+Schema::Schema(std::vector<std::string> attribute_names,
+               std::string target_name)
+    : targetName_(std::move(target_name))
+{
+    attributes_.reserve(attribute_names.size());
+    for (auto &name : attribute_names)
+        attributes_.push_back({std::move(name), ""});
+}
+
+Schema::Schema(std::vector<Attribute> attributes, std::string target_name)
+    : attributes_(std::move(attributes)), targetName_(std::move(target_name))
+{
+}
+
+const Attribute &
+Schema::attribute(std::size_t i) const
+{
+    mtperf_assert(i < attributes_.size(), "attribute index out of range");
+    return attributes_[i];
+}
+
+const std::string &
+Schema::attributeName(std::size_t i) const
+{
+    return attribute(i).name;
+}
+
+std::vector<std::string>
+Schema::attributeNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(attributes_.size());
+    for (const auto &a : attributes_)
+        names.push_back(a.name);
+    return names;
+}
+
+std::size_t
+Schema::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+        if (attributes_[i].name == name)
+            return i;
+    }
+    return npos;
+}
+
+std::size_t
+Schema::requireIndexOf(const std::string &name) const
+{
+    const std::size_t i = indexOf(name);
+    if (i == npos)
+        mtperf_fatal("schema has no attribute named '", name, "'");
+    return i;
+}
+
+bool
+Schema::operator==(const Schema &other) const
+{
+    if (targetName_ != other.targetName_ ||
+        attributes_.size() != other.attributes_.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+        if (attributes_[i].name != other.attributes_[i].name)
+            return false;
+    }
+    return true;
+}
+
+} // namespace mtperf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Attribute metadata and schema for tabular datasets.
+ *
+ * All attributes in this library are numeric (the paper's predictors
+ * are per-instruction event ratios); a schema is an ordered list of
+ * named attributes plus a named target.
+ */
+
+#ifndef MTPERF_DATA_ATTRIBUTE_H_
+#define MTPERF_DATA_ATTRIBUTE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtperf {
+
+/** A named numeric attribute with an optional human description. */
+struct Attribute
+{
+    std::string name;
+    std::string description;
+};
+
+/** Ordered attribute list plus target name. */
+class Schema
+{
+  public:
+    Schema() = default;
+
+    /** Build from attribute names; descriptions default to empty. */
+    Schema(std::vector<std::string> attribute_names,
+           std::string target_name);
+
+    /** Build from full attribute records. */
+    Schema(std::vector<Attribute> attributes, std::string target_name);
+
+    std::size_t numAttributes() const { return attributes_.size(); }
+    const Attribute &attribute(std::size_t i) const;
+    const std::string &attributeName(std::size_t i) const;
+    const std::string &targetName() const { return targetName_; }
+
+    /** All attribute names in order. */
+    std::vector<std::string> attributeNames() const;
+
+    /**
+     * Index of the named attribute.
+     * @return the index, or npos when absent.
+     */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** Like indexOf but throws FatalError when absent. */
+    std::size_t requireIndexOf(const std::string &name) const;
+
+    /** Sentinel returned by indexOf for missing names. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    bool operator==(const Schema &other) const;
+
+  private:
+    std::vector<Attribute> attributes_;
+    std::string targetName_;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_DATA_ATTRIBUTE_H_

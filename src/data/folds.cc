@@ -1,0 +1,82 @@
+#include "data/folds.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+std::vector<std::vector<std::size_t>>
+kfoldIndices(std::size_t n, std::size_t k, Rng &rng)
+{
+    if (k < 2)
+        mtperf_fatal("k-fold requires k >= 2, got k=", k);
+    if (k > n)
+        mtperf_fatal("k-fold requires k <= n, got k=", k, " n=", n);
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::vector<std::vector<std::size_t>> folds(k);
+    for (std::size_t i = 0; i < n; ++i)
+        folds[i % k].push_back(order[i]);
+    return folds;
+}
+
+Split
+splitForFold(const std::vector<std::vector<std::size_t>> &folds,
+             std::size_t fold)
+{
+    mtperf_assert(fold < folds.size(), "fold index out of range");
+    Split split;
+    split.test = folds[fold];
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+        if (f == fold)
+            continue;
+        split.train.insert(split.train.end(), folds[f].begin(),
+                           folds[f].end());
+    }
+    std::sort(split.train.begin(), split.train.end());
+    std::sort(split.test.begin(), split.test.end());
+    return split;
+}
+
+Split
+holdoutSplit(std::size_t n, double test_fraction, Rng &rng)
+{
+    if (n < 2)
+        mtperf_fatal("hold-out split needs at least two rows");
+    if (test_fraction <= 0.0 || test_fraction >= 1.0)
+        mtperf_fatal("test fraction must be in (0, 1)");
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    auto n_test = static_cast<std::size_t>(
+        static_cast<double>(n) * test_fraction);
+    n_test = std::clamp<std::size_t>(n_test, 1, n - 1);
+
+    Split split;
+    split.test.assign(order.begin(), order.begin() + n_test);
+    split.train.assign(order.begin() + n_test, order.end());
+    std::sort(split.train.begin(), split.train.end());
+    std::sort(split.test.begin(), split.test.end());
+    return split;
+}
+
+Dataset
+trainSubset(const Dataset &ds, const Split &split)
+{
+    return ds.subset(split.train);
+}
+
+Dataset
+testSubset(const Dataset &ds, const Split &split)
+{
+    return ds.subset(split.test);
+}
+
+} // namespace mtperf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dataset partitioning for hold-out and k-fold cross-validation.
+ */
+
+#ifndef MTPERF_DATA_FOLDS_H_
+#define MTPERF_DATA_FOLDS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace mtperf {
+
+/** A train/test split expressed as row-index lists. */
+struct Split
+{
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+};
+
+/**
+ * Shuffle row indices and cut them into @p k folds whose sizes differ
+ * by at most one.
+ *
+ * @throw FatalError if k < 2 or k > n.
+ */
+std::vector<std::vector<std::size_t>> kfoldIndices(std::size_t n,
+                                                   std::size_t k, Rng &rng);
+
+/** Train/test index split for fold @p fold of @p folds. */
+Split splitForFold(const std::vector<std::vector<std::size_t>> &folds,
+                   std::size_t fold);
+
+/**
+ * Single shuffled hold-out split with @p test_fraction of rows in the
+ * test set (at least one row on each side).
+ */
+Split holdoutSplit(std::size_t n, double test_fraction, Rng &rng);
+
+/** Materialize the train part of @p split from @p ds. */
+Dataset trainSubset(const Dataset &ds, const Split &split);
+
+/** Materialize the test part of @p split from @p ds. */
+Dataset testSubset(const Dataset &ds, const Split &split);
+
+} // namespace mtperf
+
+#endif // MTPERF_DATA_FOLDS_H_

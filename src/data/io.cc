@@ -1,0 +1,210 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mtperf {
+
+Dataset
+readDatasetCsv(std::istream &in, const std::string &target_name)
+{
+    const CsvTable table = readCsv(in);
+    const std::size_t target_col = table.columnIndex(target_name);
+
+    std::size_t tag_col = Schema::npos;
+    std::vector<std::string> attr_names;
+    std::vector<std::size_t> attr_cols;
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+        if (c == target_col)
+            continue;
+        if (table.header[c] == "tag") {
+            tag_col = c;
+            continue;
+        }
+        attr_names.push_back(table.header[c]);
+        attr_cols.push_back(c);
+    }
+
+    Dataset ds(Schema(std::move(attr_names), target_name));
+    std::vector<double> attrs(attr_cols.size());
+    for (const auto &row : table.rows) {
+        for (std::size_t i = 0; i < attr_cols.size(); ++i)
+            attrs[i] = parseDouble(row[attr_cols[i]], "CSV cell");
+        const double target = parseDouble(row[target_col], "CSV target");
+        std::string tag =
+            tag_col == Schema::npos ? std::string() : row[tag_col];
+        ds.addRow(attrs, target, std::move(tag));
+    }
+    return ds;
+}
+
+Dataset
+readDatasetCsvFile(const std::string &path, const std::string &target_name)
+{
+    std::ifstream in(path);
+    if (!in)
+        mtperf_fatal("cannot open dataset file: ", path);
+    return readDatasetCsv(in, target_name);
+}
+
+void
+writeDatasetCsv(std::ostream &out, const Dataset &ds)
+{
+    CsvTable table;
+    table.header = ds.schema().attributeNames();
+    table.header.push_back(ds.schema().targetName());
+    table.header.push_back("tag");
+    table.rows.reserve(ds.size());
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        std::vector<std::string> row;
+        row.reserve(table.header.size());
+        for (double v : ds.row(r)) {
+            std::ostringstream os;
+            os.precision(12);
+            os << v;
+            row.push_back(os.str());
+        }
+        std::ostringstream os;
+        os.precision(12);
+        os << ds.target(r);
+        row.push_back(os.str());
+        row.push_back(ds.tag(r));
+        table.rows.push_back(std::move(row));
+    }
+    writeCsv(out, table);
+}
+
+void
+writeDatasetCsvFile(const std::string &path, const Dataset &ds)
+{
+    std::ofstream out(path);
+    if (!out)
+        mtperf_fatal("cannot open dataset file for writing: ", path);
+    writeDatasetCsv(out, ds);
+}
+
+Dataset
+readDatasetArff(std::istream &in)
+{
+    std::vector<std::string> numeric_names;
+    std::size_t tag_attr = Schema::npos;
+    std::vector<bool> is_numeric;
+    std::string line;
+    bool in_data = false;
+
+    Dataset ds;
+    bool schema_built = false;
+
+    while (std::getline(in, line)) {
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '%')
+            continue;
+        const std::string lower = toLower(trimmed);
+        if (!in_data) {
+            if (startsWith(lower, "@relation")) {
+                continue;
+            } else if (startsWith(lower, "@attribute")) {
+                std::istringstream fields(trimmed);
+                std::string keyword, name, type;
+                fields >> keyword >> name;
+                std::getline(fields, type);
+                type = toLower(trim(type));
+                if (type == "numeric" || type == "real" ||
+                    type == "integer") {
+                    numeric_names.push_back(name);
+                    is_numeric.push_back(true);
+                } else if (type == "string") {
+                    if (tag_attr != Schema::npos)
+                        mtperf_fatal("ARFF: at most one string attribute "
+                                     "(the tag) is supported");
+                    tag_attr = is_numeric.size();
+                    is_numeric.push_back(false);
+                } else {
+                    mtperf_fatal("ARFF: unsupported attribute type '", type,
+                                 "' for attribute ", name);
+                }
+            } else if (startsWith(lower, "@data")) {
+                if (numeric_names.size() < 2) {
+                    mtperf_fatal("ARFF: need at least one attribute and "
+                                 "one target");
+                }
+                const std::string target_name = numeric_names.back();
+                numeric_names.pop_back();
+                ds = Dataset(Schema(numeric_names, target_name));
+                schema_built = true;
+                in_data = true;
+            } else {
+                mtperf_fatal("ARFF: unexpected header line: ", trimmed);
+            }
+        } else {
+            const auto fields = parseCsvLine(trimmed);
+            if (fields.size() != is_numeric.size()) {
+                mtperf_fatal("ARFF: data row has ", fields.size(),
+                             " fields, expected ", is_numeric.size());
+            }
+            std::vector<double> values;
+            std::string tag;
+            for (std::size_t i = 0; i < fields.size(); ++i) {
+                if (i == tag_attr) {
+                    tag = trim(fields[i]);
+                    if (tag.size() >= 2 && tag.front() == '\'' &&
+                        tag.back() == '\'') {
+                        tag = tag.substr(1, tag.size() - 2);
+                    }
+                } else {
+                    values.push_back(parseDouble(fields[i], "ARFF cell"));
+                }
+            }
+            const double target = values.back();
+            values.pop_back();
+            ds.addRow(values, target, std::move(tag));
+        }
+    }
+    if (!schema_built)
+        mtperf_fatal("ARFF: missing @data section");
+    return ds;
+}
+
+Dataset
+readDatasetArffFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        mtperf_fatal("cannot open ARFF file: ", path);
+    return readDatasetArff(in);
+}
+
+void
+writeDatasetArff(std::ostream &out, const Dataset &ds,
+                 const std::string &relation)
+{
+    out << "@relation " << relation << "\n\n";
+    for (std::size_t a = 0; a < ds.numAttributes(); ++a)
+        out << "@attribute " << ds.schema().attributeName(a) << " numeric\n";
+    out << "@attribute tag string\n";
+    out << "@attribute " << ds.schema().targetName() << " numeric\n";
+    out << "\n@data\n";
+    out.precision(12);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        for (double v : ds.row(r))
+            out << v << ',';
+        out << '\'' << ds.tag(r) << "'," << ds.target(r) << '\n';
+    }
+}
+
+void
+writeDatasetArffFile(const std::string &path, const Dataset &ds,
+                     const std::string &relation)
+{
+    std::ofstream out(path);
+    if (!out)
+        mtperf_fatal("cannot open ARFF file for writing: ", path);
+    writeDatasetArff(out, ds, relation);
+}
+
+} // namespace mtperf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dataset serialization: CSV and a numeric subset of ARFF.
+ *
+ * The paper's pipeline exported counter data to WEKA's ARFF format;
+ * this library reads and writes both ARFF (numeric attributes only)
+ * and plain CSV. A reserved CSV column name, "tag", round-trips the
+ * per-row provenance label.
+ */
+
+#ifndef MTPERF_DATA_IO_H_
+#define MTPERF_DATA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mtperf {
+
+/**
+ * Read a dataset from CSV. The column named @p target_name becomes the
+ * target; a column named "tag", if present, becomes the row tag; every
+ * other column becomes an attribute in file order.
+ *
+ * @throw FatalError on missing target column or non-numeric cells.
+ */
+Dataset readDatasetCsv(std::istream &in, const std::string &target_name);
+
+/** File-path convenience wrapper for readDatasetCsv(). */
+Dataset readDatasetCsvFile(const std::string &path,
+                           const std::string &target_name);
+
+/** Write @p ds as CSV: attributes, target column, then a tag column. */
+void writeDatasetCsv(std::ostream &out, const Dataset &ds);
+
+/** File-path convenience wrapper for writeDatasetCsv(). */
+void writeDatasetCsvFile(const std::string &path, const Dataset &ds);
+
+/**
+ * Read a numeric-only ARFF relation; the last numeric attribute is the
+ * target (WEKA's convention for regression). String attributes are
+ * accepted only for the optional tag.
+ */
+Dataset readDatasetArff(std::istream &in);
+
+/** File-path convenience wrapper for readDatasetArff(). */
+Dataset readDatasetArffFile(const std::string &path);
+
+/** Write @p ds as an ARFF relation named @p relation. */
+void writeDatasetArff(std::ostream &out, const Dataset &ds,
+                      const std::string &relation);
+
+/** File-path convenience wrapper for writeDatasetArff(). */
+void writeDatasetArffFile(const std::string &path, const Dataset &ds,
+                          const std::string &relation);
+
+} // namespace mtperf
+
+#endif // MTPERF_DATA_IO_H_

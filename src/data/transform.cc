@@ -1,0 +1,63 @@
+#include "data/transform.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "math/stats.h"
+
+namespace mtperf {
+
+void
+Standardizer::fit(const Dataset &ds)
+{
+    if (ds.empty())
+        mtperf_fatal("cannot fit a standardizer on an empty dataset");
+    const std::size_t n_attr = ds.numAttributes();
+    means_.assign(n_attr, 0.0);
+    stddevs_.assign(n_attr, 1.0);
+
+    std::vector<OnlineStats> stats(n_attr);
+    OnlineStats target_stats;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const auto row = ds.row(r);
+        for (std::size_t a = 0; a < n_attr; ++a)
+            stats[a].add(row[a]);
+        target_stats.add(ds.target(r));
+    }
+    for (std::size_t a = 0; a < n_attr; ++a) {
+        means_[a] = stats[a].mean();
+        const double sd = stats[a].stddev();
+        stddevs_[a] = sd > 0.0 ? sd : 1.0;
+    }
+    targetMean_ = target_stats.mean();
+    const double tsd = target_stats.stddev();
+    targetStddev_ = tsd > 0.0 ? tsd : 1.0;
+}
+
+void
+Standardizer::transformRow(std::span<const double> row,
+                           std::vector<double> &out) const
+{
+    mtperf_assert(fitted(), "standardizer used before fit()");
+    mtperf_assert(row.size() == means_.size(),
+                  "standardizer row width mismatch");
+    out.resize(row.size());
+    for (std::size_t a = 0; a < row.size(); ++a)
+        out[a] = (row[a] - means_[a]) / stddevs_[a];
+}
+
+double
+Standardizer::transformTarget(double y) const
+{
+    mtperf_assert(fitted(), "standardizer used before fit()");
+    return (y - targetMean_) / targetStddev_;
+}
+
+double
+Standardizer::inverseTarget(double y_std) const
+{
+    mtperf_assert(fitted(), "standardizer used before fit()");
+    return y_std * targetStddev_ + targetMean_;
+}
+
+} // namespace mtperf

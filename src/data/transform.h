@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Feature scaling for learners that need standardized inputs.
+ *
+ * The model tree works on raw event ratios (interpretability requires
+ * untransformed coefficients), but the MLP, SVR and k-NN baselines are
+ * scale-sensitive, so they standardize internally with this helper.
+ */
+
+#ifndef MTPERF_DATA_TRANSFORM_H_
+#define MTPERF_DATA_TRANSFORM_H_
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mtperf {
+
+/**
+ * Per-column z-score standardizer fit on a training set and applied to
+ * train and test rows alike. Columns with zero variance map to zero.
+ * The target can optionally be standardized too, with an inverse
+ * transform for predictions.
+ */
+class Standardizer
+{
+  public:
+    Standardizer() = default;
+
+    /** Learn per-attribute and target statistics from @p ds. */
+    void fit(const Dataset &ds);
+
+    /** Standardize one attribute row into @p out (resized as needed). */
+    void transformRow(std::span<const double> row,
+                      std::vector<double> &out) const;
+
+    /** Standardized target value. */
+    double transformTarget(double y) const;
+
+    /** Invert transformTarget(). */
+    double inverseTarget(double y_std) const;
+
+    bool fitted() const { return !means_.empty(); }
+    std::size_t numAttributes() const { return means_.size(); }
+
+  private:
+    std::vector<double> means_;
+    std::vector<double> stddevs_;
+    double targetMean_ = 0.0;
+    double targetStddev_ = 1.0;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_DATA_TRANSFORM_H_

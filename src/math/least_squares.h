@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Linear least-squares solvers.
+ *
+ * The model-tree leaf models and the baseline regressors all reduce to
+ * solving min_x ||A x - b||_2. The primary solver uses Householder QR,
+ * which is numerically stable for the tall skinny systems that arise
+ * (hundreds to thousands of rows, ~20 columns). When A is (near) rank
+ * deficient — common at small leaves where an event never fires — a
+ * small ridge penalty is added, which both regularizes and guarantees
+ * full rank.
+ */
+
+#ifndef MTPERF_MATH_LEAST_SQUARES_H_
+#define MTPERF_MATH_LEAST_SQUARES_H_
+
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace mtperf {
+
+/** Result of a least-squares solve. */
+struct LeastSquaresResult
+{
+    /** Solution vector x. */
+    std::vector<double> x;
+    /** True if the ridge fallback was used (rank-deficient system). */
+    bool regularized = false;
+};
+
+/**
+ * Solve min_x ||A x - b||_2 by Householder QR.
+ *
+ * @param a design matrix, rows >= cols required for a unique solution;
+ *          fewer rows than columns triggers the ridge fallback.
+ * @param b right-hand side with a.rows() entries.
+ * @param ridge penalty used by the fallback when the QR factors are
+ *          rank-deficient (diagonal of R has a tiny entry).
+ * @throw FatalError if dimensions are inconsistent.
+ */
+LeastSquaresResult solveLeastSquares(const Matrix &a,
+                                     const std::vector<double> &b,
+                                     double ridge = 1e-8);
+
+/**
+ * Solve the ridge-regularized normal equations
+ * (A^T A + ridge I) x = A^T b directly (Cholesky).
+ *
+ * Exposed for callers that always want regularization, e.g. the MLP
+ * output layer initialization and kernel methods.
+ */
+std::vector<double> solveRidge(const Matrix &a, const std::vector<double> &b,
+                               double ridge);
+
+} // namespace mtperf
+
+#endif // MTPERF_MATH_LEAST_SQUARES_H_

@@ -1,0 +1,178 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+variance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) {
+        const double d = x - m;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+sampleVariance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    return variance(xs) * static_cast<double>(xs.size()) /
+           static_cast<double>(xs.size() - 1);
+}
+
+double
+minValue(std::span<const double> xs)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        best = std::min(best, x);
+    return best;
+}
+
+double
+maxValue(std::span<const double> xs)
+{
+    double best = -std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        best = std::max(best, x);
+    return best;
+}
+
+double
+correlation(std::span<const double> xs, std::span<const double> ys)
+{
+    mtperf_assert(xs.size() == ys.size(),
+                  "correlation of unequal-length spans");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    mtperf_assert(!xs.empty(), "quantile of empty sample");
+    mtperf_assert(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+rSquared(std::span<const double> actual, std::span<const double> pred)
+{
+    mtperf_assert(actual.size() == pred.size(),
+                  "rSquared of unequal-length spans");
+    if (actual.empty())
+        return 0.0;
+    const double m = mean(actual);
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double r = actual[i] - pred[i];
+        const double d = actual[i] - m;
+        ss_res += r * r;
+        ss_tot += d * d;
+    }
+    if (ss_tot <= 0.0)
+        return ss_res <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.n_) /
+             static_cast<double>(total);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::min() const
+{
+    return n_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double
+OnlineStats::max() const
+{
+    return n_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+} // namespace mtperf

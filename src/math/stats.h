@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Descriptive statistics over spans of doubles.
+ *
+ * Used by the split search (variance / standard deviation reduction),
+ * the evaluation metrics and the analysis reports.
+ */
+
+#ifndef MTPERF_MATH_STATS_H_
+#define MTPERF_MATH_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mtperf {
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Population variance (divides by n); 0 for n < 2. */
+double variance(std::span<const double> xs);
+
+/** Population standard deviation. */
+double stddev(std::span<const double> xs);
+
+/** Sample variance (divides by n-1); 0 for n < 2. */
+double sampleVariance(std::span<const double> xs);
+
+/** Minimum; +inf for an empty span. */
+double minValue(std::span<const double> xs);
+
+/** Maximum; -inf for an empty span. */
+double maxValue(std::span<const double> xs);
+
+/**
+ * Pearson correlation coefficient of two equal-length spans.
+ * Returns 0 when either side has zero variance.
+ */
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Quantile by linear interpolation of the sorted sample,
+ * @p q in [0, 1].
+ */
+double quantile(std::vector<double> xs, double q);
+
+/**
+ * Coefficient of determination (R^2) of predictions @p pred against
+ * observations @p actual. Can be negative for models worse than the
+ * mean predictor.
+ */
+double rSquared(std::span<const double> actual, std::span<const double> pred);
+
+/**
+ * Numerically stable one-pass accumulator (Welford) for mean and
+ * variance, usable where the data is streamed (per-cycle simulator
+ * statistics, online split evaluation).
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const OnlineStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const { return n_ >= 2 ? m2_ / n_ : 0.0; }
+    /** Sample variance. */
+    double sampleVariance() const
+    {
+        return n_ >= 2 ? m2_ / (n_ - 1) : 0.0;
+    }
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_MATH_STATS_H_

@@ -1,0 +1,88 @@
+#include "ml/eval/cross_validation.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/folds.h"
+#include "math/stats.h"
+
+namespace mtperf {
+
+namespace {
+
+double
+meanOf(const std::vector<RegressionMetrics> &folds,
+       double RegressionMetrics::*field)
+{
+    if (folds.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &m : folds)
+        acc += m.*field;
+    return acc / static_cast<double>(folds.size());
+}
+
+} // namespace
+
+double
+CrossValidationResult::meanFoldCorrelation() const
+{
+    return meanOf(perFold, &RegressionMetrics::correlation);
+}
+
+double
+CrossValidationResult::meanFoldMae() const
+{
+    return meanOf(perFold, &RegressionMetrics::mae);
+}
+
+double
+CrossValidationResult::meanFoldRae() const
+{
+    return meanOf(perFold, &RegressionMetrics::rae);
+}
+
+CrossValidationResult
+crossValidate(const RegressorFactory &factory, const Dataset &ds,
+              std::size_t k, std::uint64_t seed)
+{
+    if (ds.empty())
+        mtperf_fatal("cross-validation on an empty dataset");
+
+    Rng rng(seed);
+    const auto folds = kfoldIndices(ds.size(), k, rng);
+
+    CrossValidationResult result;
+    result.predictions.assign(ds.size(), 0.0);
+
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+        const Split split = splitForFold(folds, f);
+        const Dataset train = trainSubset(ds, split);
+        const Dataset test = testSubset(ds, split);
+
+        auto learner = factory();
+        mtperf_assert(learner != nullptr, "factory returned null learner");
+        learner->fit(train);
+
+        std::vector<double> actual;
+        std::vector<double> predicted;
+        actual.reserve(split.test.size());
+        predicted.reserve(split.test.size());
+        for (std::size_t i = 0; i < split.test.size(); ++i) {
+            const std::size_t row = split.test[i];
+            const double p = learner->predict(ds.row(row));
+            result.predictions[row] = p;
+            actual.push_back(ds.target(row));
+            predicted.push_back(p);
+        }
+
+        // WEKA computes RAE/RRSE against the training-set mean.
+        const double train_mean = mean(train.targets());
+        result.perFold.push_back(
+            computeMetrics(actual, predicted, train_mean));
+    }
+
+    result.pooled = computeMetrics(ds.targets(), result.predictions);
+    return result;
+}
+
+} // namespace mtperf

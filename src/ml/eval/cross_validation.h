@@ -1,0 +1,62 @@
+/**
+ * @file
+ * k-fold cross-validation engine.
+ *
+ * The paper validates with 10-fold cross-validation: the dataset is
+ * cut into 10 disjoint folds, each fold serves once as the test set
+ * for a model trained on the other nine, and the metrics average over
+ * folds. This engine also keeps the out-of-fold prediction for every
+ * row so Figure 3 (predicted vs. actual scatter) falls straight out.
+ */
+
+#ifndef MTPERF_ML_EVAL_CROSS_VALIDATION_H_
+#define MTPERF_ML_EVAL_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/eval/metrics.h"
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/** Outcome of one cross-validation run. */
+struct CrossValidationResult
+{
+    /** Metrics per fold, computed with the fold's training mean. */
+    std::vector<RegressionMetrics> perFold;
+
+    /**
+     * Pooled metrics over all out-of-fold predictions (each point is
+     * predicted by the model that never saw it).
+     */
+    RegressionMetrics pooled;
+
+    /** Out-of-fold prediction for every dataset row, in row order. */
+    std::vector<double> predictions;
+
+    /** Mean of a per-fold metric (averaged the way WEKA reports). */
+    double meanFoldCorrelation() const;
+    double meanFoldMae() const;
+    double meanFoldRae() const;
+};
+
+/** Factory producing a fresh, untrained learner for each fold. */
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/**
+ * Run @p k -fold cross-validation of the learner made by @p factory on
+ * @p ds. Folds are shuffled with @p seed.
+ *
+ * @throw FatalError when k is out of range for the dataset.
+ */
+CrossValidationResult crossValidate(const RegressorFactory &factory,
+                                    const Dataset &ds, std::size_t k,
+                                    std::uint64_t seed);
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_EVAL_CROSS_VALIDATION_H_

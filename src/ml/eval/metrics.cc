@@ -1,0 +1,59 @@
+#include "ml/eval/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "math/stats.h"
+
+namespace mtperf {
+
+std::string
+RegressionMetrics::summary() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << "C=" << correlation << " MAE=" << mae << " RMSE=" << rmse
+       << " RAE=" << rae * 100.0 << "% RRSE=" << rrse * 100.0 << "%"
+       << " (n=" << n << ")";
+    return os.str();
+}
+
+RegressionMetrics
+computeMetrics(std::span<const double> actual,
+               std::span<const double> predicted, double naive_mean)
+{
+    mtperf_assert(actual.size() == predicted.size(),
+                  "metrics need equal-length actual/predicted");
+    RegressionMetrics m;
+    m.n = actual.size();
+    if (m.n == 0)
+        return m;
+
+    double abs_err = 0.0, sq_err = 0.0;
+    double naive_abs = 0.0, naive_sq = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double e = predicted[i] - actual[i];
+        abs_err += std::abs(e);
+        sq_err += e * e;
+        const double ne = naive_mean - actual[i];
+        naive_abs += std::abs(ne);
+        naive_sq += ne * ne;
+    }
+    const auto n = static_cast<double>(m.n);
+    m.mae = abs_err / n;
+    m.rmse = std::sqrt(sq_err / n);
+    m.rae = naive_abs > 0.0 ? abs_err / naive_abs : 0.0;
+    m.rrse = naive_sq > 0.0 ? std::sqrt(sq_err / naive_sq) : 0.0;
+    m.correlation = correlation(actual, predicted);
+    return m;
+}
+
+RegressionMetrics
+computeMetrics(std::span<const double> actual,
+               std::span<const double> predicted)
+{
+    return computeMetrics(actual, predicted, mean(actual));
+}
+
+} // namespace mtperf

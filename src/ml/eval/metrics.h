@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regression quality metrics.
+ *
+ * The paper evaluates with three metrics — the correlation coefficient
+ * (C), the mean absolute error (MAE) and the relative absolute error
+ * (RAE) — following its companion study [Ould-Ahmed-Vall et al.,
+ * SMART'07]. RMSE and RRSE are included because WEKA reports them
+ * alongside and the ablation benches use them.
+ */
+
+#ifndef MTPERF_ML_EVAL_METRICS_H_
+#define MTPERF_ML_EVAL_METRICS_H_
+
+#include <span>
+#include <string>
+
+namespace mtperf {
+
+/** A bundle of regression metrics over one evaluation set. */
+struct RegressionMetrics
+{
+    std::size_t n = 0;        //!< number of evaluated points
+    double correlation = 0.0; //!< Pearson C between actual and predicted
+    double mae = 0.0;         //!< mean |error|
+    double rmse = 0.0;        //!< root mean squared error
+    double rae = 0.0;         //!< MAE relative to the naive mean predictor
+    double rrse = 0.0;        //!< RMSE relative to the naive mean predictor
+
+    /** One-line summary, e.g. "C=0.984 MAE=0.051 RAE=7.8%". */
+    std::string summary() const;
+};
+
+/**
+ * Compute all metrics.
+ *
+ * @param actual observed targets.
+ * @param predicted model outputs, same length.
+ * @param naive_mean the mean used by the naive baseline in RAE/RRSE.
+ *        WEKA uses the *training-set* target mean; pass the training
+ *        mean when evaluating a fold, or the mean of @p actual for
+ *        pooled reporting.
+ */
+RegressionMetrics computeMetrics(std::span<const double> actual,
+                                 std::span<const double> predicted,
+                                 double naive_mean);
+
+/** Overload that uses mean(actual) as the naive predictor. */
+RegressionMetrics computeMetrics(std::span<const double> actual,
+                                 std::span<const double> predicted);
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_EVAL_METRICS_H_

@@ -1,0 +1,64 @@
+#include "ml/knn/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+KnnRegressor::KnnRegressor(KnnOptions options) : options_(options)
+{
+    if (options_.k == 0)
+        mtperf_fatal("kNN: k must be positive");
+}
+
+void
+KnnRegressor::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("kNN: empty training set");
+    standardizer_.fit(train);
+    points_.assign(train.size(), {});
+    targets_.resize(train.size());
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        standardizer_.transformRow(train.row(r), points_[r]);
+        targets_[r] = train.target(r);
+    }
+}
+
+double
+KnnRegressor::predict(std::span<const double> row) const
+{
+    mtperf_assert(!points_.empty(), "predict() before fit()");
+    std::vector<double> x;
+    standardizer_.transformRow(row, x);
+
+    const std::size_t k = std::min(options_.k, points_.size());
+    // Partial selection of the k smallest squared distances.
+    std::vector<std::pair<double, std::size_t>> dist;
+    dist.reserve(points_.size());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        double d2 = 0.0;
+        const auto &p = points_[i];
+        for (std::size_t j = 0; j < x.size(); ++j) {
+            const double d = p[j] - x[j];
+            d2 += d * d;
+        }
+        dist.emplace_back(d2, i);
+    }
+    std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+
+    double weight_sum = 0.0, acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto [d2, idx] = dist[i];
+        const double w = options_.distanceWeighted
+                             ? 1.0 / (std::sqrt(d2) + 1e-9)
+                             : 1.0;
+        acc += w * targets_[idx];
+        weight_sum += w;
+    }
+    return acc / weight_sum;
+}
+
+} // namespace mtperf

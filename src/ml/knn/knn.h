@@ -1,0 +1,50 @@
+/**
+ * @file
+ * k-nearest-neighbour regression baseline.
+ *
+ * A simple instance-based comparator: predictions average the targets
+ * of the k nearest training rows in standardized Euclidean space,
+ * optionally weighted by inverse distance. Included to round out the
+ * accuracy comparison (E5) with a non-parametric method.
+ */
+
+#ifndef MTPERF_ML_KNN_KNN_H_
+#define MTPERF_ML_KNN_KNN_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/transform.h"
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/** Hyper-parameters for KnnRegressor. */
+struct KnnOptions
+{
+    std::size_t k = 8;
+    bool distanceWeighted = true;
+};
+
+/** k-NN regressor over standardized attributes. */
+class KnnRegressor : public Regressor
+{
+  public:
+    explicit KnnRegressor(KnnOptions options = {});
+
+    void fit(const Dataset &train) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "kNN"; }
+
+  private:
+    KnnOptions options_;
+    Standardizer standardizer_;
+    std::vector<std::vector<double>> points_;
+    std::vector<double> targets_;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_KNN_KNN_H_

@@ -1,0 +1,207 @@
+#include "ml/linear/linear_model.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "math/least_squares.h"
+
+namespace mtperf {
+
+LinearModel
+LinearModel::constant(double intercept)
+{
+    LinearModel m;
+    m.intercept_ = intercept;
+    return m;
+}
+
+LinearModel
+LinearModel::fit(const Dataset &ds, std::span<const std::size_t> rows,
+                 std::span<const std::size_t> attrs)
+{
+    mtperf_assert(!rows.empty(), "cannot fit a model on zero rows");
+
+    LinearModel m;
+    if (attrs.empty()) {
+        double acc = 0.0;
+        for (std::size_t r : rows)
+            acc += ds.target(r);
+        m.intercept_ = acc / static_cast<double>(rows.size());
+        return m;
+    }
+
+    // Design matrix: one column per chosen attribute plus an intercept
+    // column of ones.
+    Matrix a(rows.size(), attrs.size() + 1);
+    std::vector<double> b(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto row = ds.row(rows[i]);
+        for (std::size_t j = 0; j < attrs.size(); ++j)
+            a(i, j) = row[attrs[j]];
+        a(i, attrs.size()) = 1.0;
+        b[i] = ds.target(rows[i]);
+    }
+
+    const auto solution = solveLeastSquares(a, b);
+    m.terms_.reserve(attrs.size());
+    for (std::size_t j = 0; j < attrs.size(); ++j)
+        m.terms_.push_back({attrs[j], solution.x[j]});
+    m.intercept_ = solution.x[attrs.size()];
+    return m;
+}
+
+void
+LinearModel::addTerm(std::size_t attr, double coef)
+{
+    for (auto &term : terms_) {
+        if (term.attr == attr) {
+            term.coef = coef;
+            return;
+        }
+    }
+    terms_.push_back({attr, coef});
+}
+
+double
+LinearModel::coefficient(std::size_t attr) const
+{
+    for (const auto &t : terms_) {
+        if (t.attr == attr)
+            return t.coef;
+    }
+    return 0.0;
+}
+
+double
+LinearModel::predict(std::span<const double> row) const
+{
+    double acc = intercept_;
+    for (const auto &t : terms_) {
+        mtperf_assert(t.attr < row.size(), "model term out of row range");
+        acc += t.coef * row[t.attr];
+    }
+    return acc;
+}
+
+double
+LinearModel::meanAbsoluteError(const Dataset &ds,
+                               std::span<const std::size_t> rows) const
+{
+    if (rows.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t r : rows)
+        acc += std::abs(predict(ds.row(r)) - ds.target(r));
+    return acc / static_cast<double>(rows.size());
+}
+
+double
+LinearModel::compensatedError(const Dataset &ds,
+                              std::span<const std::size_t> rows) const
+{
+    const auto n = static_cast<double>(rows.size());
+    const auto v = static_cast<double>(numParameters());
+    if (n <= v)
+        return std::numeric_limits<double>::infinity();
+    return (n + v) / (n - v) * meanAbsoluteError(ds, rows);
+}
+
+void
+LinearModel::simplify(const Dataset &ds, std::span<const std::size_t> rows)
+{
+    double best_err = compensatedError(ds, rows);
+    while (!terms_.empty()) {
+        // Try removing each surviving term; keep the single removal
+        // that improves the compensated error the most.
+        double best_candidate_err = best_err;
+        std::size_t best_drop = terms_.size();
+        LinearModel best_model;
+
+        for (std::size_t drop = 0; drop < terms_.size(); ++drop) {
+            std::vector<std::size_t> kept;
+            kept.reserve(terms_.size() - 1);
+            for (std::size_t j = 0; j < terms_.size(); ++j) {
+                if (j != drop)
+                    kept.push_back(terms_[j].attr);
+            }
+            LinearModel candidate = fit(ds, rows, kept);
+            const double err = candidate.compensatedError(ds, rows);
+            if (err < best_candidate_err) {
+                best_candidate_err = err;
+                best_drop = drop;
+                best_model = std::move(candidate);
+            }
+        }
+
+        if (best_drop == terms_.size())
+            break;
+        *this = std::move(best_model);
+        best_err = best_candidate_err;
+    }
+}
+
+std::string
+LinearModel::toString(const Schema &schema, int digits) const
+{
+    std::ostringstream os;
+    os << schema.targetName() << " = " << formatDouble(intercept_, digits);
+    for (const auto &t : terms_) {
+        const char *sign = t.coef < 0.0 ? " - " : " + ";
+        os << sign << formatDouble(std::abs(t.coef), digits) << " * "
+           << schema.attributeName(t.attr);
+    }
+    return os.str();
+}
+
+void
+LinearModel::blendWith(const LinearModel &other, double n, double k)
+{
+    const double denom = n + k;
+    mtperf_assert(denom > 0.0, "degenerate smoothing blend");
+    const double wa = n / denom;
+    const double wb = k / denom;
+
+    intercept_ = wa * intercept_ + wb * other.intercept_;
+    for (auto &t : terms_)
+        t.coef *= wa;
+    for (const auto &ot : other.terms_) {
+        bool found = false;
+        for (auto &t : terms_) {
+            if (t.attr == ot.attr) {
+                t.coef += wb * ot.coef;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            terms_.push_back({ot.attr, wb * ot.coef});
+    }
+    // Drop terms that cancelled to keep the printed models tidy.
+    std::erase_if(terms_, [](const Term &t) { return t.coef == 0.0; });
+}
+
+void
+LinearRegression::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("LinearRegression: empty training set");
+    std::vector<std::size_t> rows(train.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    std::vector<std::size_t> attrs(train.numAttributes());
+    std::iota(attrs.begin(), attrs.end(), 0);
+    model_ = LinearModel::fit(train, rows, attrs);
+    if (simplify_)
+        model_.simplify(train, rows);
+}
+
+double
+LinearRegression::predict(std::span<const double> row) const
+{
+    return model_.predict(row);
+}
+
+} // namespace mtperf

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Multi-variate linear models over dataset attributes.
+ *
+ * These are the models M5' places at tree nodes: an intercept plus a
+ * sparse set of (attribute, coefficient) terms. They support the M5
+ * machinery — least-squares fitting over a row subset, the pessimistic
+ * (n+v)/(n-v) error compensation, and greedy term elimination — and
+ * render themselves the way the paper prints them, e.g.
+ *
+ *   CPI = 0.52 + 139.91 * ItlbM + 2.22 * DtlbL0LdM + 6.69 * L1IM
+ */
+
+#ifndef MTPERF_ML_LINEAR_LINEAR_MODEL_H_
+#define MTPERF_ML_LINEAR_LINEAR_MODEL_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/** A sparse linear model: target = intercept + sum coef_i * attr_i. */
+class LinearModel
+{
+  public:
+    /** One model term. */
+    struct Term
+    {
+        std::size_t attr = 0; //!< attribute index in the schema
+        double coef = 0.0;
+    };
+
+    /** Constant model predicting @p intercept. */
+    static LinearModel constant(double intercept);
+
+    /**
+     * Ordinary least squares over the rows of @p ds selected by
+     * @p rows, using only the attributes in @p attrs. Falls back to
+     * ridge when the system is rank-deficient (e.g., an event that
+     * never fires inside a leaf).
+     */
+    static LinearModel fit(const Dataset &ds,
+                           std::span<const std::size_t> rows,
+                           std::span<const std::size_t> attrs);
+
+    double intercept() const { return intercept_; }
+    void setIntercept(double b) { intercept_ = b; }
+    const std::vector<Term> &terms() const { return terms_; }
+
+    /**
+     * Set the coefficient of @p attr, appending a new term or
+     * replacing an existing one (used when deserializing models).
+     */
+    void addTerm(std::size_t attr, double coef);
+
+    /** Coefficient for @p attr, or 0 when the term is absent. */
+    double coefficient(std::size_t attr) const;
+
+    /** Predict for one attribute row. */
+    double predict(std::span<const double> row) const;
+
+    /** Mean absolute residual over @p rows of @p ds. */
+    double meanAbsoluteError(const Dataset &ds,
+                             std::span<const std::size_t> rows) const;
+
+    /**
+     * M5's pessimistic error estimate: MAE scaled by (n+v)/(n-v)
+     * where v is the number of fitted parameters (terms + intercept).
+     * Returns +inf when n <= v, so over-parameterized models always
+     * lose pruning comparisons.
+     */
+    double compensatedError(const Dataset &ds,
+                            std::span<const std::size_t> rows) const;
+
+    /**
+     * Greedily drop terms while doing so lowers the compensated error
+     * (refitting the survivors after each drop). This is M5's model
+     * simplification step; it trades a slightly larger raw residual
+     * for fewer parameters.
+     */
+    void simplify(const Dataset &ds, std::span<const std::size_t> rows);
+
+    /** Number of fitted parameters (terms + intercept). */
+    std::size_t numParameters() const { return terms_.size() + 1; }
+
+    /**
+     * Render as "<target> = b + c1 * A1 + ...". Coefficients are
+     * printed with @p digits decimals; negative coefficients render
+     * as "- |c| * A".
+     */
+    std::string toString(const Schema &schema, int digits = 4) const;
+
+    /**
+     * Blend with another model over the same schema:
+     * this = (n * this + k * other) / (n + k). Used to compile M5
+     * smoothing into leaf models.
+     */
+    void blendWith(const LinearModel &other, double n, double k);
+
+  private:
+    double intercept_ = 0.0;
+    std::vector<Term> terms_;
+};
+
+/**
+ * Global multiple linear regression baseline: a single LinearModel
+ * over all attributes, optionally simplified. This is the classical
+ * "one formula for the whole workload" approach the paper improves on.
+ */
+class LinearRegression : public Regressor
+{
+  public:
+    /** @param simplify run M5-style greedy term elimination when true. */
+    explicit LinearRegression(bool simplify = false)
+        : simplify_(simplify)
+    {
+    }
+
+    void fit(const Dataset &train) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "LinearRegression"; }
+
+    /** The fitted model. @pre fit() has been called. */
+    const LinearModel &model() const { return model_; }
+
+  private:
+    bool simplify_;
+    LinearModel model_;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_LINEAR_LINEAR_MODEL_H_

@@ -1,0 +1,194 @@
+#include "ml/mlp/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mtperf {
+
+MlpRegressor::MlpRegressor(MlpOptions options) : options_(std::move(options))
+{
+    if (options_.hiddenLayers.empty())
+        mtperf_fatal("MLP: need at least one hidden layer");
+    for (std::size_t units : options_.hiddenLayers) {
+        if (units == 0)
+            mtperf_fatal("MLP: hidden layer with zero units");
+    }
+    if (options_.batchSize == 0)
+        mtperf_fatal("MLP: batch size must be positive");
+}
+
+void
+MlpRegressor::forward(const std::vector<double> &input,
+                      std::vector<std::vector<double>> &activations) const
+{
+    activations.resize(layers_.size() + 1);
+    activations[0] = input;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        auto &out = activations[l + 1];
+        out.assign(layer.outSize, 0.0);
+        const auto &in = activations[l];
+        for (std::size_t o = 0; o < layer.outSize; ++o) {
+            double acc = layer.b[o];
+            const double *w_row = layer.w.data() + o * layer.inSize;
+            for (std::size_t i = 0; i < layer.inSize; ++i)
+                acc += w_row[i] * in[i];
+            out[o] = layer.linear ? acc : std::tanh(acc);
+        }
+    }
+}
+
+void
+MlpRegressor::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("MLP: empty training set");
+
+    standardizer_.fit(train);
+    const std::size_t n_in = train.numAttributes();
+
+    // Assemble layer sizes: inputs -> hidden... -> 1 linear output.
+    std::vector<std::size_t> sizes;
+    sizes.push_back(n_in);
+    for (std::size_t units : options_.hiddenLayers)
+        sizes.push_back(units);
+    sizes.push_back(1);
+
+    Rng rng(options_.seed);
+    layers_.clear();
+    for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+        Layer layer;
+        layer.inSize = sizes[l];
+        layer.outSize = sizes[l + 1];
+        layer.linear = (l + 2 == sizes.size());
+        layer.w.resize(layer.inSize * layer.outSize);
+        layer.b.assign(layer.outSize, 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.vb.assign(layer.outSize, 0.0);
+        // Xavier/Glorot uniform initialization keeps tanh units in
+        // their linear region at the start of training.
+        const double limit =
+            std::sqrt(6.0 / static_cast<double>(layer.inSize +
+                                                layer.outSize));
+        for (auto &w : layer.w)
+            w = rng.uniform(-limit, limit);
+        layers_.push_back(std::move(layer));
+    }
+
+    // Pre-standardize the training set once.
+    std::vector<std::vector<double>> inputs(train.size());
+    std::vector<double> targets(train.size());
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        standardizer_.transformRow(train.row(r), inputs[r]);
+        targets[r] = standardizer_.transformTarget(train.target(r));
+    }
+
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<std::vector<double>> acts;
+    std::vector<std::vector<double>> deltas(layers_.size());
+
+    // Per-batch gradient accumulators, shaped like the weights.
+    std::vector<std::vector<double>> gw(layers_.size());
+    std::vector<std::vector<double>> gb(layers_.size());
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        gw[l].assign(layers_[l].w.size(), 0.0);
+        gb[l].assign(layers_[l].b.size(), 0.0);
+    }
+
+    for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+
+        for (std::size_t start = 0; start < order.size();
+             start += options_.batchSize) {
+            const std::size_t end =
+                std::min(order.size(), start + options_.batchSize);
+            const auto batch = static_cast<double>(end - start);
+
+            for (auto &g : gw)
+                std::fill(g.begin(), g.end(), 0.0);
+            for (auto &g : gb)
+                std::fill(g.begin(), g.end(), 0.0);
+
+            for (std::size_t bi = start; bi < end; ++bi) {
+                const std::size_t r = order[bi];
+                forward(inputs[r], acts);
+                const double pred = acts.back()[0];
+                const double err = pred - targets[r];
+                epoch_loss += err * err;
+
+                // Backward pass: delta for the linear output is the
+                // raw error; hidden deltas apply tanh' = 1 - a^2.
+                deltas.back().assign(1, err);
+                for (std::size_t l = layers_.size() - 1; l-- > 0;) {
+                    const Layer &next = layers_[l + 1];
+                    auto &delta = deltas[l];
+                    delta.assign(layers_[l].outSize, 0.0);
+                    const auto &next_delta = deltas[l + 1];
+                    for (std::size_t o = 0; o < next.outSize; ++o) {
+                        const double d = next_delta[o];
+                        const double *w_row =
+                            next.w.data() + o * next.inSize;
+                        for (std::size_t i = 0; i < next.inSize; ++i)
+                            delta[i] += d * w_row[i];
+                    }
+                    const auto &a = acts[l + 1];
+                    for (std::size_t i = 0; i < delta.size(); ++i)
+                        delta[i] *= 1.0 - a[i] * a[i];
+                }
+
+                for (std::size_t l = 0; l < layers_.size(); ++l) {
+                    const auto &in = acts[l];
+                    const auto &delta = deltas[l];
+                    for (std::size_t o = 0; o < layers_[l].outSize; ++o) {
+                        const double d = delta[o];
+                        double *g_row =
+                            gw[l].data() + o * layers_[l].inSize;
+                        for (std::size_t i = 0; i < layers_[l].inSize;
+                             ++i) {
+                            g_row[i] += d * in[i];
+                        }
+                        gb[l][o] += d;
+                    }
+                }
+            }
+
+            // Momentum SGD update with L2 decay.
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer &layer = layers_[l];
+                for (std::size_t i = 0; i < layer.w.size(); ++i) {
+                    const double grad = gw[l][i] / batch +
+                                        options_.l2 * layer.w[i];
+                    layer.vw[i] = options_.momentum * layer.vw[i] -
+                                  options_.learningRate * grad;
+                    layer.w[i] += layer.vw[i];
+                }
+                for (std::size_t i = 0; i < layer.b.size(); ++i) {
+                    const double grad = gb[l][i] / batch;
+                    layer.vb[i] = options_.momentum * layer.vb[i] -
+                                  options_.learningRate * grad;
+                    layer.b[i] += layer.vb[i];
+                }
+            }
+        }
+        finalLoss_ = epoch_loss / static_cast<double>(train.size());
+    }
+}
+
+double
+MlpRegressor::predict(std::span<const double> row) const
+{
+    mtperf_assert(!layers_.empty(), "predict() before fit()");
+    std::vector<double> input;
+    standardizer_.transformRow(row, input);
+    std::vector<std::vector<double>> acts;
+    forward(input, acts);
+    return standardizer_.inverseTarget(acts.back()[0]);
+}
+
+} // namespace mtperf

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Multilayer-perceptron regressor (the paper's ANN comparator).
+ *
+ * A fully connected feed-forward network with one or two hidden tanh
+ * layers and a linear output unit, trained by mini-batch gradient
+ * descent with momentum on standardized inputs and target. This mirrors
+ * the WEKA MultilayerPerceptron setup the companion study used as the
+ * black-box accuracy ceiling: slightly better raw accuracy than the
+ * model tree, with no interpretability.
+ */
+
+#ifndef MTPERF_ML_MLP_MLP_H_
+#define MTPERF_ML_MLP_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/transform.h"
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/** Hyper-parameters for MlpRegressor. */
+struct MlpOptions
+{
+    std::vector<std::size_t> hiddenLayers = {16}; //!< units per layer
+    std::size_t epochs = 400;
+    std::size_t batchSize = 32;
+    double learningRate = 0.01;
+    double momentum = 0.9;
+    double l2 = 1e-5;          //!< weight decay
+    std::uint64_t seed = 1;    //!< weight-init and shuffle seed
+};
+
+/** Feed-forward neural-network regressor. */
+class MlpRegressor : public Regressor
+{
+  public:
+    explicit MlpRegressor(MlpOptions options = {});
+
+    void fit(const Dataset &train) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "MLP"; }
+
+    /** Mean squared training error of the final epoch (standardized). */
+    double finalTrainingLoss() const { return finalLoss_; }
+
+  private:
+    /** One dense layer: out = act(W in + b). */
+    struct Layer
+    {
+        std::size_t inSize = 0;
+        std::size_t outSize = 0;
+        std::vector<double> w;  //!< outSize x inSize, row-major
+        std::vector<double> b;
+        std::vector<double> vw; //!< momentum buffers
+        std::vector<double> vb;
+        bool linear = false;    //!< output layer has no activation
+    };
+
+    void forward(const std::vector<double> &input,
+                 std::vector<std::vector<double>> &activations) const;
+
+    MlpOptions options_;
+    Standardizer standardizer_;
+    std::vector<Layer> layers_;
+    double finalLoss_ = 0.0;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_MLP_MLP_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The common interface all regression learners implement.
+ *
+ * The evaluation harness (cross-validation, model-comparison benches)
+ * drives every learner — M5', CART, MLP, SVR, k-NN, linear regression,
+ * the first-order penalty model — through this interface.
+ */
+
+#ifndef MTPERF_ML_REGRESSOR_H_
+#define MTPERF_ML_REGRESSOR_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mtperf {
+
+/** Abstract regression learner: fit on a Dataset, predict per row. */
+class Regressor
+{
+  public:
+    virtual ~Regressor() = default;
+
+    /**
+     * Train on @p train, replacing any previous state.
+     * @throw FatalError on an empty or degenerate training set.
+     */
+    virtual void fit(const Dataset &train) = 0;
+
+    /**
+     * Predict the target for one attribute row.
+     * @pre fit() has been called; the row matches the training schema.
+     */
+    virtual double predict(std::span<const double> row) const = 0;
+
+    /** Short human-readable learner name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Predict every row of @p ds (convenience for evaluation). */
+    std::vector<double>
+    predictAll(const Dataset &ds) const
+    {
+        std::vector<double> out;
+        out.reserve(ds.size());
+        for (std::size_t r = 0; r < ds.size(); ++r)
+            out.push_back(predict(ds.row(r)));
+        return out;
+    }
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_REGRESSOR_H_

@@ -1,0 +1,176 @@
+#include "ml/svr/svr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mtperf {
+
+namespace {
+
+/**
+ * Kernel-matrix cache cap: above this many training rows the learner
+ * subsamples, keeping memory O(cap^2) and each sweep O(cap^2). This is
+ * the usual practical concession for quadratic-cost kernel solvers.
+ */
+constexpr std::size_t kMaxTrainRows = 2048;
+
+} // namespace
+
+SvrRegressor::SvrRegressor(SvrOptions options) : options_(options)
+{
+    if (options_.c <= 0.0)
+        mtperf_fatal("SVR: C must be positive");
+    if (options_.epsilon < 0.0)
+        mtperf_fatal("SVR: epsilon must be non-negative");
+}
+
+double
+SvrRegressor::kernel(std::span<const double> a,
+                     std::span<const double> b) const
+{
+    mtperf_assert(a.size() == b.size(), "kernel dimension mismatch");
+    if (options_.kernel == SvrKernel::Linear) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            dot += a[i] * b[i];
+        return dot;
+    }
+    double dist2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        dist2 += d * d;
+    }
+    return std::exp(-gamma_ * dist2);
+}
+
+void
+SvrRegressor::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("SVR: empty training set");
+
+    standardizer_.fit(train);
+    gamma_ = options_.gamma > 0.0
+                 ? options_.gamma
+                 : 1.0 / static_cast<double>(train.numAttributes());
+
+    // Subsample when the kernel cache would not fit; deterministic so
+    // experiments reproduce.
+    std::vector<std::size_t> rows(train.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    if (rows.size() > kMaxTrainRows) {
+        Rng rng(0x5f3759df);
+        rng.shuffle(rows);
+        rows.resize(kMaxTrainRows);
+    }
+
+    const std::size_t n = rows.size();
+    vectors_.assign(n, {});
+    std::vector<double> targets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        standardizer_.transformRow(train.row(rows[i]), vectors_[i]);
+        targets[i] = standardizer_.transformTarget(train.target(rows[i]));
+    }
+
+    // Bias-augmented kernel K' = K + 1 regularizes the bias term and
+    // removes the equality constraint, so single-variable analytic
+    // updates (dual coordinate descent) solve the problem exactly.
+    std::vector<float> k(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const auto v = static_cast<float>(
+                kernel(vectors_[i], vectors_[j]) + 1.0);
+            k[i * n + j] = v;
+            k[j * n + i] = v;
+        }
+    }
+
+    beta_.assign(n, 0.0);
+    bias_ = 0.0;
+    std::vector<double> f(n, 0.0); // current decision values
+
+    Rng rng(0x2545f491);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    const double c = options_.c;
+    const double eps = options_.epsilon;
+    std::size_t updates = 0;
+    for (std::size_t sweep = 0; sweep < 1000; ++sweep) {
+        rng.shuffle(order);
+        double max_delta = 0.0;
+        for (std::size_t idx : order) {
+            const double h = k[idx * n + idx];
+            if (h <= 0.0)
+                continue;
+            // Residual excluding i's own contribution, then the
+            // soft-thresholded unconstrained minimizer, clamped to
+            // the box [-C, C].
+            const double r = targets[idx] - (f[idx] - h * beta_[idx]);
+            double nb = 0.0;
+            if (r > eps)
+                nb = (r - eps) / h;
+            else if (r < -eps)
+                nb = (r + eps) / h;
+            nb = std::clamp(nb, -c, c);
+
+            const double delta = nb - beta_[idx];
+            if (delta == 0.0)
+                continue;
+            beta_[idx] = nb;
+            const float *k_row = k.data() + idx * n;
+            for (std::size_t j = 0; j < n; ++j)
+                f[j] += delta * k_row[j];
+            max_delta = std::max(max_delta, std::abs(delta));
+            if (++updates >= options_.maxPasses)
+                break;
+        }
+        if (max_delta < options_.tolerance * c ||
+            updates >= options_.maxPasses) {
+            break;
+        }
+    }
+
+    // Compact to support vectors only; prediction cost scales with
+    // the number of nonzero betas.
+    std::vector<std::vector<double>> sv;
+    std::vector<double> sv_beta;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (beta_[i] != 0.0) {
+            sv.push_back(std::move(vectors_[i]));
+            sv_beta.push_back(beta_[i]);
+        }
+    }
+    vectors_ = std::move(sv);
+    beta_ = std::move(sv_beta);
+}
+
+double
+SvrRegressor::decision(std::span<const double> x) const
+{
+    double acc = bias_;
+    for (std::size_t i = 0; i < vectors_.size(); ++i)
+        acc += beta_[i] * (kernel(vectors_[i], x) + 1.0);
+    return acc;
+}
+
+double
+SvrRegressor::predict(std::span<const double> row) const
+{
+    mtperf_assert(standardizer_.fitted(), "predict() before fit()");
+    std::vector<double> x;
+    standardizer_.transformRow(row, x);
+    return standardizer_.inverseTarget(decision(x));
+}
+
+std::size_t
+SvrRegressor::numSupportVectors() const
+{
+    return beta_.size();
+}
+
+} // namespace mtperf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Epsilon-insensitive support-vector regression (the SVM comparator).
+ *
+ * Solves the epsilon-SVR dual with analytic single-variable updates
+ * over the bias-augmented kernel (K + 1), i.e., SMO-style dual
+ * coordinate descent in the spirit of the Shevade/Keerthi SMO
+ * improvements the paper cites. Regularizing the bias removes the
+ * equality constraint, so each one-variable subproblem has the closed
+ * soft-thresholding solution. Inputs and target are standardized;
+ * RBF and linear kernels are provided.
+ */
+
+#ifndef MTPERF_ML_SVR_SVR_H_
+#define MTPERF_ML_SVR_SVR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/transform.h"
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/** Kernel choice for SvrRegressor. */
+enum class SvrKernel { Rbf, Linear };
+
+/** Hyper-parameters for SvrRegressor. */
+struct SvrOptions
+{
+    SvrKernel kernel = SvrKernel::Rbf;
+    double c = 10.0;          //!< box constraint
+    double epsilon = 0.05;    //!< insensitive-tube half-width (std units)
+    double gamma = 0.0;       //!< RBF width; 0 means 1 / numAttributes
+    double tolerance = 1e-3;  //!< KKT violation tolerance
+    std::size_t maxPasses = 200000; //!< SMO iteration cap
+};
+
+/** Support-vector regressor trained with SMO. */
+class SvrRegressor : public Regressor
+{
+  public:
+    explicit SvrRegressor(SvrOptions options = {});
+
+    void fit(const Dataset &train) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "SVR"; }
+
+    /** Number of support vectors (nonzero beta) after training. */
+    std::size_t numSupportVectors() const;
+
+  private:
+    double kernel(std::span<const double> a, std::span<const double> b) const;
+    double decision(std::span<const double> x) const;
+
+    SvrOptions options_;
+    Standardizer standardizer_;
+    double gamma_ = 1.0;
+    std::vector<std::vector<double>> vectors_; //!< standardized train rows
+    std::vector<double> beta_;  //!< alpha - alpha*, one per train row
+    double bias_ = 0.0;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_SVR_SVR_H_

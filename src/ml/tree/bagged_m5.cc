@@ -1,0 +1,66 @@
+#include "ml/tree/bagged_m5.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mtperf {
+
+BaggedM5::BaggedM5(BaggedM5Options options) : options_(std::move(options))
+{
+    if (options_.bags == 0)
+        mtperf_fatal("BaggedM5: need at least one bag");
+}
+
+void
+BaggedM5::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("BaggedM5: empty training set");
+    numAttributes_ = train.numAttributes();
+    trees_.clear();
+    trees_.reserve(options_.bags);
+
+    Rng rng(options_.seed);
+    std::vector<std::size_t> sample(train.size());
+    for (std::size_t b = 0; b < options_.bags; ++b) {
+        // Bootstrap resample with replacement, same size as train.
+        for (auto &idx : sample)
+            idx = rng.uniformInt(std::uint64_t(train.size()));
+        const Dataset bag = train.subset(sample);
+
+        auto tree = std::make_unique<M5Prime>(options_.treeOptions);
+        tree->fit(bag);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+BaggedM5::predict(std::span<const double> row) const
+{
+    mtperf_assert(!trees_.empty(), "predict() before fit()");
+    double acc = 0.0;
+    for (const auto &tree : trees_)
+        acc += tree->predict(row);
+    return acc / static_cast<double>(trees_.size());
+}
+
+const M5Prime &
+BaggedM5::tree(std::size_t i) const
+{
+    mtperf_assert(i < trees_.size(), "tree index out of range");
+    return *trees_[i];
+}
+
+std::vector<std::size_t>
+BaggedM5::splitFrequency() const
+{
+    mtperf_assert(!trees_.empty(), "splitFrequency() before fit()");
+    std::vector<std::size_t> frequency(numAttributes_, 0);
+    for (const auto &tree : trees_) {
+        for (std::size_t attr : tree->splitAttributes())
+            ++frequency[attr];
+    }
+    return frequency;
+}
+
+} // namespace mtperf

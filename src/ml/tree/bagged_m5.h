@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bagged ensemble of M5' model trees.
+ *
+ * A natural extension of the paper's method (in the spirit of its
+ * "other machine learning techniques" comparison): train B trees on
+ * bootstrap resamples and average their predictions. The ensemble
+ * usually buys a few points of accuracy at the cost of the single
+ * tree's one-look interpretability — which is precisely the tradeoff
+ * the paper argues against black-box models, so the comparison bench
+ * quantifies it.
+ */
+
+#ifndef MTPERF_ML_TREE_BAGGED_M5_H_
+#define MTPERF_ML_TREE_BAGGED_M5_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/regressor.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf {
+
+/** Hyper-parameters for the bagged ensemble. */
+struct BaggedM5Options
+{
+    M5Options treeOptions{};
+    std::size_t bags = 10;
+    std::uint64_t seed = 1; //!< bootstrap resampling seed
+};
+
+/** Bootstrap-aggregated M5' trees (predictions are averaged). */
+class BaggedM5 : public Regressor
+{
+  public:
+    explicit BaggedM5(BaggedM5Options options = {});
+
+    void fit(const Dataset &train) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "BaggedM5"; }
+
+    /** Number of trained member trees. */
+    std::size_t numTrees() const { return trees_.size(); }
+
+    /** Access a member tree (for inspection). */
+    const M5Prime &tree(std::size_t i) const;
+
+    /**
+     * How often each attribute is used as a split variable across the
+     * ensemble — a variable-importance signal the single tree cannot
+     * provide. Indexed by attribute, counts in [0, bags].
+     */
+    std::vector<std::size_t> splitFrequency() const;
+
+  private:
+    BaggedM5Options options_;
+    std::size_t numAttributes_ = 0;
+    std::vector<std::unique_ptr<M5Prime>> trees_;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_TREE_BAGGED_M5_H_

@@ -1,0 +1,750 @@
+#include "ml/tree/m5prime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "math/stats.h"
+
+namespace mtperf {
+
+/** One tree node; leaves own their training rows until fit() ends. */
+struct M5Prime::Node
+{
+    bool leaf = true;
+    std::size_t splitAttr = 0;
+    double splitValue = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+
+    std::vector<std::size_t> rows; //!< training rows reaching this node
+    std::size_t count = 0;
+    double meanTarget = 0.0;
+    double sdTarget = 0.0;
+
+    LinearModel model;
+    std::vector<std::size_t> subtreeAttrs; //!< split attrs in this subtree
+    int leafId = -1;
+};
+
+namespace {
+
+/** Mean and population standard deviation of targets over @p rows. */
+void
+targetStats(const Dataset &ds, const std::vector<std::size_t> &rows,
+            double &mean_out, double &sd_out)
+{
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t r : rows) {
+        const double y = ds.target(r);
+        sum += y;
+        sq += y * y;
+    }
+    const auto n = static_cast<double>(rows.size());
+    mean_out = rows.empty() ? 0.0 : sum / n;
+    const double var = rows.empty() ? 0.0 : std::max(0.0, sq / n -
+                                                     mean_out * mean_out);
+    sd_out = std::sqrt(var);
+}
+
+/** Best split of one attribute by standard-deviation reduction. */
+struct SplitCandidate
+{
+    bool valid = false;
+    std::size_t attr = 0;
+    double value = 0.0;
+    double sdr = -1.0;
+};
+
+} // namespace
+
+M5Prime::M5Prime(M5Options options) : options_(std::move(options))
+{
+    if (options_.minInstances < 1)
+        mtperf_fatal("M5Prime: minInstances must be >= 1");
+    if (options_.sdFraction < 0.0)
+        mtperf_fatal("M5Prime: sdFraction must be >= 0");
+    if (options_.smoothingK < 0.0)
+        mtperf_fatal("M5Prime: smoothingK must be >= 0");
+}
+
+M5Prime::~M5Prime() = default;
+M5Prime::M5Prime(M5Prime &&) noexcept = default;
+M5Prime &M5Prime::operator=(M5Prime &&) noexcept = default;
+
+void
+M5Prime::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("M5Prime: empty training set");
+
+    schema_ = train.schema();
+    trainData_ = &train;
+    trainSize_ = train.size();
+    leaves_.clear();
+    leafNodes_.clear();
+
+    std::vector<std::size_t> all_rows(train.size());
+    std::iota(all_rows.begin(), all_rows.end(), 0);
+
+    root_ = std::make_unique<Node>();
+    double root_mean = 0.0;
+    targetStats(train, all_rows, root_mean, rootSd_);
+
+    growNode(*root_, all_rows, 0);
+    std::vector<std::size_t> path_attrs;
+    buildModels(*root_, path_attrs);
+    pruneNode(root_);
+    if (options_.smooth && options_.smoothingK > 0.0) {
+        std::vector<const Node *> ancestors;
+        smoothLeaves(*root_, ancestors);
+    }
+
+    std::vector<PathStep> path;
+    collectLeaves(*root_, path);
+
+    // Release per-node training rows; predictions don't need them.
+    struct Scrubber
+    {
+        static void
+        scrub(Node &n)
+        {
+            n.rows.clear();
+            n.rows.shrink_to_fit();
+            n.subtreeAttrs.clear();
+            if (n.left)
+                scrub(*n.left);
+            if (n.right)
+                scrub(*n.right);
+        }
+    };
+    Scrubber::scrub(*root_);
+    trainData_ = nullptr;
+}
+
+void
+M5Prime::growNode(Node &node, std::vector<std::size_t> &rows,
+                  std::size_t depth)
+{
+    const Dataset &ds = *trainData_;
+    node.count = rows.size();
+    targetStats(ds, rows, node.meanTarget, node.sdTarget);
+
+    const bool too_small = rows.size() < 2 * options_.minInstances ||
+                           rows.size() < 4;
+    const bool pure = node.sdTarget < options_.sdFraction * rootSd_;
+    const bool too_deep =
+        options_.maxDepth != 0 && depth >= options_.maxDepth;
+    if (too_small || pure || too_deep) {
+        node.leaf = true;
+        node.rows = std::move(rows);
+        return;
+    }
+
+    // Split search: for every attribute, sort the rows by that
+    // attribute and scan the cut points between adjacent distinct
+    // values, scoring each by the standard-deviation reduction
+    //   SDR = sd(T) - sum_i |T_i|/|T| * sd(T_i).
+    SplitCandidate best;
+    const std::size_t n = rows.size();
+    std::vector<std::size_t> sorted(rows);
+    std::vector<double> keys(n), targets(n);
+
+    for (std::size_t attr = 0; attr < ds.numAttributes(); ++attr) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&ds, attr](std::size_t a, std::size_t b) {
+                      return ds.value(a, attr) < ds.value(b, attr);
+                  });
+        for (std::size_t i = 0; i < n; ++i) {
+            keys[i] = ds.value(sorted[i], attr);
+            targets[i] = ds.target(sorted[i]);
+        }
+        if (keys.front() == keys.back())
+            continue; // constant attribute at this node
+
+        double left_sum = 0.0, left_sq = 0.0;
+        double total_sum = 0.0, total_sq = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            total_sum += targets[i];
+            total_sq += targets[i] * targets[i];
+        }
+        const auto dn = static_cast<double>(n);
+        const double sd_all = std::sqrt(std::max(
+            0.0, total_sq / dn - (total_sum / dn) * (total_sum / dn)));
+
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            left_sum += targets[i];
+            left_sq += targets[i] * targets[i];
+            const std::size_t nl = i + 1;
+            const std::size_t nr = n - nl;
+            if (nl < options_.minInstances || nr < options_.minInstances)
+                continue;
+            if (keys[i] == keys[i + 1])
+                continue; // not a boundary between distinct values
+
+            const auto dl = static_cast<double>(nl);
+            const auto dr = static_cast<double>(nr);
+            const double right_sum = total_sum - left_sum;
+            const double right_sq = total_sq - left_sq;
+            const double sd_l = std::sqrt(std::max(
+                0.0, left_sq / dl - (left_sum / dl) * (left_sum / dl)));
+            const double sd_r = std::sqrt(std::max(
+                0.0,
+                right_sq / dr - (right_sum / dr) * (right_sum / dr)));
+            const double sdr = sd_all - (dl / dn) * sd_l - (dr / dn) * sd_r;
+            if (sdr > best.sdr) {
+                best.valid = true;
+                best.sdr = sdr;
+                best.attr = attr;
+                best.value = 0.5 * (keys[i] + keys[i + 1]);
+            }
+        }
+    }
+
+    if (!best.valid) {
+        node.leaf = true;
+        node.rows = std::move(rows);
+        return;
+    }
+
+    node.leaf = false;
+    node.splitAttr = best.attr;
+    node.splitValue = best.value;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    left_rows.reserve(n);
+    right_rows.reserve(n);
+    for (std::size_t r : rows) {
+        if (ds.value(r, best.attr) <= best.value)
+            left_rows.push_back(r);
+        else
+            right_rows.push_back(r);
+    }
+    mtperf_assert(!left_rows.empty() && !right_rows.empty(),
+                  "degenerate split");
+    node.rows = std::move(rows); // interior nodes keep rows for models
+
+    node.left = std::make_unique<Node>();
+    node.right = std::make_unique<Node>();
+    growNode(*node.left, left_rows, depth + 1);
+    growNode(*node.right, right_rows, depth + 1);
+}
+
+void
+M5Prime::buildModels(Node &node, std::vector<std::size_t> &path_attrs)
+{
+    const Dataset &ds = *trainData_;
+    if (node.leaf) {
+        node.subtreeAttrs.clear();
+        // A grown leaf has no subtree tests; its model may regress on
+        // the attributes tested on the way down (the split variables
+        // that define its class), then simplification keeps only the
+        // ones that matter — often none, which reproduces constant
+        // leaves like the paper's LM18.
+        if (path_attrs.empty()) {
+            node.model = LinearModel::constant(node.meanTarget);
+            return;
+        }
+        std::vector<std::size_t> attrs = path_attrs;
+        std::sort(attrs.begin(), attrs.end());
+        attrs.erase(std::unique(attrs.begin(), attrs.end()),
+                    attrs.end());
+        node.model = LinearModel::fit(ds, node.rows, attrs);
+        if (options_.simplifyModels)
+            node.model.simplify(ds, node.rows);
+        return;
+    }
+
+    path_attrs.push_back(node.splitAttr);
+    buildModels(*node.left, path_attrs);
+    buildModels(*node.right, path_attrs);
+    path_attrs.pop_back();
+
+    // The node model may use every attribute tested in its subtree
+    // (Wang & Witten) plus the tests that led here.
+    std::vector<std::size_t> attrs;
+    attrs.push_back(node.splitAttr);
+    attrs.insert(attrs.end(), node.left->subtreeAttrs.begin(),
+                 node.left->subtreeAttrs.end());
+    attrs.insert(attrs.end(), node.right->subtreeAttrs.begin(),
+                 node.right->subtreeAttrs.end());
+    std::sort(attrs.begin(), attrs.end());
+    attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+    node.subtreeAttrs = attrs;
+
+    std::vector<std::size_t> fit_attrs = attrs;
+    fit_attrs.insert(fit_attrs.end(), path_attrs.begin(),
+                     path_attrs.end());
+    std::sort(fit_attrs.begin(), fit_attrs.end());
+    fit_attrs.erase(std::unique(fit_attrs.begin(), fit_attrs.end()),
+                    fit_attrs.end());
+
+    node.model = LinearModel::fit(ds, node.rows, fit_attrs);
+    if (options_.simplifyModels)
+        node.model.simplify(ds, node.rows);
+}
+
+M5Prime::SubtreeCost
+M5Prime::pruneNode(std::unique_ptr<Node> &node_ptr)
+{
+    Node &node = *node_ptr;
+    const Dataset &ds = *trainData_;
+    const auto n = static_cast<double>(node.count);
+
+    // Quinlan's pessimistic compensation, charging v parameters
+    // against n instances. Subtrees are charged for every leaf-model
+    // parameter *and* every split threshold below the node, so deep
+    // structure must buy a real residual reduction to survive.
+    auto compensated = [n](double raw_mae, std::size_t v) {
+        const auto dv = static_cast<double>(v);
+        if (n <= dv)
+            return std::numeric_limits<double>::infinity();
+        return (n + dv) / (n - dv) * raw_mae;
+    };
+
+    if (node.leaf) {
+        return {node.model.meanAbsoluteError(ds, node.rows),
+                node.model.numParameters()};
+    }
+
+    const SubtreeCost left = pruneNode(node.left);
+    const SubtreeCost right = pruneNode(node.right);
+    const auto nl = static_cast<double>(node.left->count);
+    const auto nr = static_cast<double>(node.right->count);
+
+    SubtreeCost subtree;
+    subtree.rawMae = (nl * left.rawMae + nr * right.rawMae) / (nl + nr);
+    subtree.parameters = left.parameters + right.parameters + 1;
+
+    const double subtree_err =
+        compensated(subtree.rawMae, subtree.parameters);
+    const double node_err =
+        compensated(node.model.meanAbsoluteError(ds, node.rows),
+                    node.model.numParameters());
+
+    if (options_.prune && node_err <= subtree_err) {
+        node.leaf = true;
+        node.left.reset();
+        node.right.reset();
+        return {node.model.meanAbsoluteError(ds, node.rows),
+                node.model.numParameters()};
+    }
+    return subtree;
+}
+
+void
+M5Prime::smoothLeaves(Node &node, std::vector<const Node *> &ancestors)
+{
+    if (node.leaf) {
+        LinearModel blended = node.model;
+        const Node *below = &node;
+        for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it) {
+            blended.blendWith((*it)->model,
+                              static_cast<double>(below->count),
+                              options_.smoothingK);
+            below = *it;
+        }
+        node.model = std::move(blended);
+        return;
+    }
+    ancestors.push_back(&node);
+    smoothLeaves(*node.left, ancestors);
+    smoothLeaves(*node.right, ancestors);
+    ancestors.pop_back();
+}
+
+void
+M5Prime::collectLeaves(Node &node, std::vector<PathStep> &path)
+{
+    if (node.leaf) {
+        node.leafId = static_cast<int>(leaves_.size());
+        LeafInfo info;
+        info.id = leaves_.size();
+        info.count = node.count;
+        info.trainFraction =
+            static_cast<double>(node.count) /
+            static_cast<double>(trainSize_);
+        info.meanTarget = node.meanTarget;
+        info.sdTarget = node.sdTarget;
+        info.path = path;
+        leaves_.push_back(std::move(info));
+        leafNodes_.push_back(&node);
+        return;
+    }
+    path.push_back({node.splitAttr, node.splitValue, false});
+    collectLeaves(*node.left, path);
+    path.back().goesRight = true;
+    collectLeaves(*node.right, path);
+    path.pop_back();
+}
+
+double
+M5Prime::predict(std::span<const double> row) const
+{
+    mtperf_assert(root_ != nullptr, "predict() before fit()");
+    const Node *node = root_.get();
+    while (!node->leaf) {
+        node = row[node->splitAttr] <= node->splitValue ? node->left.get()
+                                                        : node->right.get();
+    }
+    return node->model.predict(row);
+}
+
+std::size_t
+M5Prime::numLeaves() const
+{
+    return leaves_.size();
+}
+
+std::size_t
+M5Prime::depth() const
+{
+    mtperf_assert(root_ != nullptr, "depth() before fit()");
+    std::size_t best = 0;
+    for (const auto &leaf : leaves_)
+        best = std::max(best, leaf.path.size());
+    return best;
+}
+
+std::size_t
+M5Prime::numNodes() const
+{
+    struct Counter
+    {
+        static std::size_t
+        count(const Node &n)
+        {
+            if (n.leaf)
+                return 1;
+            return 1 + count(*n.left) + count(*n.right);
+        }
+    };
+    mtperf_assert(root_ != nullptr, "numNodes() before fit()");
+    return Counter::count(*root_);
+}
+
+std::size_t
+M5Prime::leafIndexFor(std::span<const double> row) const
+{
+    mtperf_assert(root_ != nullptr, "leafIndexFor() before fit()");
+    const Node *node = root_.get();
+    while (!node->leaf) {
+        node = row[node->splitAttr] <= node->splitValue ? node->left.get()
+                                                        : node->right.get();
+    }
+    return static_cast<std::size_t>(node->leafId);
+}
+
+const LeafInfo &
+M5Prime::leafInfo(std::size_t leaf) const
+{
+    mtperf_assert(leaf < leaves_.size(), "leaf index out of range");
+    return leaves_[leaf];
+}
+
+const LinearModel &
+M5Prime::leafModel(std::size_t leaf) const
+{
+    mtperf_assert(leaf < leafNodes_.size(), "leaf index out of range");
+    return leafNodes_[leaf]->model;
+}
+
+std::vector<std::size_t>
+M5Prime::splitAttributes() const
+{
+    std::vector<std::size_t> attrs;
+    for (const auto &leaf : leaves_)
+        for (const auto &step : leaf.path)
+            attrs.push_back(step.attr);
+    std::sort(attrs.begin(), attrs.end());
+    attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+    return attrs;
+}
+
+std::vector<SplitSite>
+M5Prime::splitSites() const
+{
+    mtperf_assert(root_ != nullptr, "splitSites() before fit()");
+    std::vector<SplitSite> sites;
+    std::vector<PathStep> path;
+
+    struct Walker
+    {
+        std::vector<SplitSite> &sites;
+        std::vector<PathStep> &path;
+
+        void
+        walk(const Node &node)
+        {
+            if (node.leaf)
+                return;
+            sites.push_back({path, node.splitAttr, node.splitValue,
+                             node.count});
+            path.push_back({node.splitAttr, node.splitValue, false});
+            walk(*node.left);
+            path.back().goesRight = true;
+            walk(*node.right);
+            path.pop_back();
+        }
+    };
+    Walker{sites, path}.walk(*root_);
+    return sites;
+}
+
+std::optional<std::size_t>
+M5Prime::rootSplitAttribute() const
+{
+    mtperf_assert(root_ != nullptr, "rootSplitAttribute() before fit()");
+    if (root_->leaf)
+        return std::nullopt;
+    return root_->splitAttr;
+}
+
+void
+M5Prime::print(std::ostream &os) const
+{
+    mtperf_assert(root_ != nullptr, "print() before fit()");
+
+    // Recursive WEKA-style rendering. A child that is a leaf prints on
+    // the same line as the split test that reaches it.
+    struct Printer
+    {
+        const M5Prime &tree;
+        std::ostream &os;
+
+        void
+        leafLabel(const Node &n)
+        {
+            const auto &info = tree.leaves_[static_cast<std::size_t>(
+                n.leafId)];
+            os << " LM" << (n.leafId + 1) << " (" << n.count << "/"
+               << formatDouble(info.trainFraction * 100.0, 1) << "%)";
+        }
+
+        void
+        walk(const Node &n, int depth)
+        {
+            if (n.leaf) {
+                // Only reached when the whole tree is one leaf.
+                os << "LM1 (" << n.count << "/100.0%)\n";
+                return;
+            }
+            const std::string &attr =
+                tree.schema_.attributeName(n.splitAttr);
+            const std::string value = formatDouble(n.splitValue, 6);
+            auto branch = [&](const Node &child, const char *op) {
+                for (int i = 0; i < depth; ++i)
+                    os << "|   ";
+                os << attr << ' ' << op << ' ' << value << " :";
+                if (child.leaf) {
+                    leafLabel(child);
+                    os << '\n';
+                } else {
+                    os << '\n';
+                    walk(child, depth + 1);
+                }
+            };
+            branch(*n.left, "<=");
+            branch(*n.right, "> ");
+        }
+    };
+
+    os << schema_.targetName() << " model tree (M5')\n\n";
+    Printer{*this, os}.walk(*root_, 0);
+    os << "\nNumber of leaves: " << numLeaves() << "\n\n";
+    for (std::size_t i = 0; i < leaves_.size(); ++i) {
+        os << "LM" << (i + 1) << ": " << leafModel(i).toString(schema_)
+           << "\n";
+    }
+}
+
+std::string
+M5Prime::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void
+M5Prime::save(std::ostream &os) const
+{
+    mtperf_assert(root_ != nullptr, "save() before fit()");
+    os.precision(17);
+    os << "m5prime-model v1\n";
+    os << "target " << schema_.targetName() << "\n";
+    os << "attributes " << schema_.numAttributes() << "\n";
+    for (std::size_t a = 0; a < schema_.numAttributes(); ++a)
+        os << "a " << schema_.attributeName(a) << "\n";
+    os << "trainSize " << trainSize_ << "\n";
+    os << "options " << options_.minInstances << " "
+       << options_.sdFraction << " " << (options_.prune ? 1 : 0) << " "
+       << (options_.smooth ? 1 : 0) << " " << options_.smoothingK << " "
+       << (options_.simplifyModels ? 1 : 0) << " " << options_.maxDepth
+       << "\n";
+
+    struct Writer
+    {
+        std::ostream &os;
+
+        void
+        walk(const Node &node)
+        {
+            if (!node.leaf) {
+                os << "node s " << node.splitAttr << " "
+                   << node.splitValue << " " << node.count << " "
+                   << node.meanTarget << " " << node.sdTarget << "\n";
+                walk(*node.left);
+                walk(*node.right);
+                return;
+            }
+            os << "node l " << node.count << " " << node.meanTarget
+               << " " << node.sdTarget << " "
+               << node.model.intercept() << " "
+               << node.model.terms().size();
+            for (const auto &term : node.model.terms())
+                os << " " << term.attr << " " << term.coef;
+            os << "\n";
+        }
+    };
+    Writer{os}.walk(*root_);
+    os << "end\n";
+}
+
+void
+M5Prime::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        mtperf_fatal("cannot open model file for writing: ", path);
+    save(out);
+}
+
+M5Prime
+M5Prime::load(std::istream &is)
+{
+    std::string word;
+    auto expect = [&is, &word](const char *expected) {
+        if (!(is >> word) || word != expected)
+            mtperf_fatal("malformed model file: expected '", expected,
+                         "', got '", word, "'");
+    };
+
+    expect("m5prime-model");
+    expect("v1");
+    expect("target");
+    std::string target;
+    if (!(is >> target))
+        mtperf_fatal("malformed model file: missing target name");
+    expect("attributes");
+    std::size_t n_attrs = 0;
+    if (!(is >> n_attrs))
+        mtperf_fatal("malformed model file: missing attribute count");
+    std::vector<std::string> names;
+    for (std::size_t a = 0; a < n_attrs; ++a) {
+        expect("a");
+        std::string name;
+        if (!(is >> name))
+            mtperf_fatal("malformed model file: missing attribute name");
+        names.push_back(std::move(name));
+    }
+    expect("trainSize");
+    std::size_t train_size = 0;
+    if (!(is >> train_size))
+        mtperf_fatal("malformed model file: missing trainSize");
+
+    expect("options");
+    M5Options options;
+    int prune = 1, smooth = 1, simplify = 1;
+    if (!(is >> options.minInstances >> options.sdFraction >> prune >>
+          smooth >> options.smoothingK >> simplify >>
+          options.maxDepth)) {
+        mtperf_fatal("malformed model file: bad options line");
+    }
+    options.prune = prune != 0;
+    options.smooth = smooth != 0;
+    options.simplifyModels = simplify != 0;
+
+    // Recursive-descent reconstruction of the pre-order node list.
+    struct Reader
+    {
+        std::istream &is;
+        std::size_t n_attrs;
+
+        std::unique_ptr<Node>
+        readNode()
+        {
+            std::string keyword, kind;
+            if (!(is >> keyword >> kind) || keyword != "node")
+                mtperf_fatal("malformed model file: expected a node");
+            auto node = std::make_unique<Node>();
+            if (kind == "s") {
+                if (!(is >> node->splitAttr >> node->splitValue >>
+                      node->count >> node->meanTarget >>
+                      node->sdTarget)) {
+                    mtperf_fatal("malformed model file: bad split node");
+                }
+                if (node->splitAttr >= n_attrs)
+                    mtperf_fatal("model file references attribute ",
+                                 node->splitAttr, " out of range");
+                node->leaf = false;
+                node->left = readNode();
+                node->right = readNode();
+                return node;
+            }
+            if (kind != "l")
+                mtperf_fatal("malformed model file: unknown node kind '",
+                             kind, "'");
+            double intercept = 0.0;
+            std::size_t n_terms = 0;
+            if (!(is >> node->count >> node->meanTarget >>
+                  node->sdTarget >> intercept >> n_terms)) {
+                mtperf_fatal("malformed model file: bad leaf node");
+            }
+            node->model = LinearModel::constant(intercept);
+            for (std::size_t t = 0; t < n_terms; ++t) {
+                std::size_t attr = 0;
+                double coef = 0.0;
+                if (!(is >> attr >> coef))
+                    mtperf_fatal("malformed model file: bad model term");
+                if (attr >= n_attrs)
+                    mtperf_fatal("model file references attribute ",
+                                 attr, " out of range");
+                node->model.addTerm(attr, coef);
+            }
+            node->leaf = true;
+            return node;
+        }
+    };
+
+    M5Prime tree(options);
+    tree.schema_ = Schema(names, target);
+    tree.trainSize_ = train_size;
+    Reader reader{is, n_attrs};
+    tree.root_ = reader.readNode();
+
+    std::string tail;
+    if (!(is >> tail) || tail != "end")
+        mtperf_fatal("malformed model file: missing 'end'");
+
+    std::vector<PathStep> path;
+    tree.collectLeaves(*tree.root_, path);
+    return tree;
+}
+
+M5Prime
+M5Prime::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        mtperf_fatal("cannot open model file: ", path);
+    return load(in);
+}
+
+} // namespace mtperf

@@ -1,0 +1,252 @@
+#include "ml/tree/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+struct RegressionTree::Node
+{
+    bool leaf = true;
+    std::size_t splitAttr = 0;
+    double splitValue = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+
+    std::vector<std::size_t> rows;
+    std::size_t count = 0;
+    double meanTarget = 0.0;
+    double sdTarget = 0.0;
+};
+
+RegressionTree::RegressionTree(RegressionTreeOptions options)
+    : options_(options)
+{
+    if (options_.minInstances < 1)
+        mtperf_fatal("RegressionTree: minInstances must be >= 1");
+}
+
+RegressionTree::~RegressionTree() = default;
+RegressionTree::RegressionTree(RegressionTree &&) noexcept = default;
+RegressionTree &
+RegressionTree::operator=(RegressionTree &&) noexcept = default;
+
+void
+RegressionTree::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("RegressionTree: empty training set");
+    trainData_ = &train;
+
+    std::vector<std::size_t> rows(train.size());
+    std::iota(rows.begin(), rows.end(), 0);
+
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t r : rows) {
+        sum += train.target(r);
+        sq += train.target(r) * train.target(r);
+    }
+    const auto n = static_cast<double>(rows.size());
+    rootSd_ = std::sqrt(std::max(0.0, sq / n - (sum / n) * (sum / n)));
+
+    root_ = std::make_unique<Node>();
+    growNode(*root_, rows, 0);
+    if (options_.prune)
+        pruneNode(*root_);
+
+    struct Scrubber
+    {
+        static void
+        scrub(Node &node)
+        {
+            node.rows.clear();
+            node.rows.shrink_to_fit();
+            if (node.left)
+                scrub(*node.left);
+            if (node.right)
+                scrub(*node.right);
+        }
+    };
+    Scrubber::scrub(*root_);
+    trainData_ = nullptr;
+}
+
+void
+RegressionTree::growNode(Node &node, std::vector<std::size_t> &rows,
+                         std::size_t depth)
+{
+    const Dataset &ds = *trainData_;
+    node.count = rows.size();
+
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t r : rows) {
+        sum += ds.target(r);
+        sq += ds.target(r) * ds.target(r);
+    }
+    const auto dn = static_cast<double>(rows.size());
+    node.meanTarget = sum / dn;
+    node.sdTarget = std::sqrt(
+        std::max(0.0, sq / dn - node.meanTarget * node.meanTarget));
+
+    const bool too_small = rows.size() < 2 * options_.minInstances ||
+                           rows.size() < 4;
+    const bool pure = node.sdTarget < options_.sdFraction * rootSd_;
+    const bool too_deep =
+        options_.maxDepth != 0 && depth >= options_.maxDepth;
+    if (too_small || pure || too_deep) {
+        node.rows = std::move(rows);
+        return;
+    }
+
+    double best_sdr = -1.0;
+    std::size_t best_attr = 0;
+    double best_value = 0.0;
+    const std::size_t n = rows.size();
+    std::vector<std::size_t> sorted(rows);
+    std::vector<double> keys(n), targets(n);
+
+    for (std::size_t attr = 0; attr < ds.numAttributes(); ++attr) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&ds, attr](std::size_t a, std::size_t b) {
+                      return ds.value(a, attr) < ds.value(b, attr);
+                  });
+        for (std::size_t i = 0; i < n; ++i) {
+            keys[i] = ds.value(sorted[i], attr);
+            targets[i] = ds.target(sorted[i]);
+        }
+        if (keys.front() == keys.back())
+            continue;
+
+        double left_sum = 0.0, left_sq = 0.0;
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            left_sum += targets[i];
+            left_sq += targets[i] * targets[i];
+            const std::size_t nl = i + 1;
+            const std::size_t nr = n - nl;
+            if (nl < options_.minInstances || nr < options_.minInstances)
+                continue;
+            if (keys[i] == keys[i + 1])
+                continue;
+            const auto dl = static_cast<double>(nl);
+            const auto dr = static_cast<double>(nr);
+            const double rs = sum - left_sum;
+            const double rq = sq - left_sq;
+            const double sd_l = std::sqrt(std::max(
+                0.0, left_sq / dl - (left_sum / dl) * (left_sum / dl)));
+            const double sd_r = std::sqrt(
+                std::max(0.0, rq / dr - (rs / dr) * (rs / dr)));
+            const double sdr =
+                node.sdTarget - (dl / dn) * sd_l - (dr / dn) * sd_r;
+            if (sdr > best_sdr) {
+                best_sdr = sdr;
+                best_attr = attr;
+                best_value = 0.5 * (keys[i] + keys[i + 1]);
+            }
+        }
+    }
+
+    if (best_sdr < 0.0) {
+        node.rows = std::move(rows);
+        return;
+    }
+
+    node.leaf = false;
+    node.splitAttr = best_attr;
+    node.splitValue = best_value;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : rows) {
+        if (ds.value(r, best_attr) <= best_value)
+            left_rows.push_back(r);
+        else
+            right_rows.push_back(r);
+    }
+    node.rows = std::move(rows);
+
+    node.left = std::make_unique<Node>();
+    node.right = std::make_unique<Node>();
+    growNode(*node.left, left_rows, depth + 1);
+    growNode(*node.right, right_rows, depth + 1);
+}
+
+RegressionTree::SubtreeCost
+RegressionTree::pruneNode(Node &node)
+{
+    const Dataset &ds = *trainData_;
+    const auto n = static_cast<double>(node.count);
+
+    auto raw_mae = [&ds](const Node &nd) {
+        double mae = 0.0;
+        for (std::size_t r : nd.rows)
+            mae += std::abs(ds.target(r) - nd.meanTarget);
+        return mae / static_cast<double>(nd.count);
+    };
+    // Pessimistic compensation charging v parameters (leaf means and
+    // split thresholds in the subtree) against n instances.
+    auto compensated = [n](double raw, std::size_t v) {
+        const auto dv = static_cast<double>(v);
+        if (n <= dv)
+            return std::numeric_limits<double>::infinity();
+        return (n + dv) / (n - dv) * raw;
+    };
+
+    if (node.leaf)
+        return {raw_mae(node), 1};
+
+    const SubtreeCost left = pruneNode(*node.left);
+    const SubtreeCost right = pruneNode(*node.right);
+    const auto nl = static_cast<double>(node.left->count);
+    const auto nr = static_cast<double>(node.right->count);
+
+    SubtreeCost subtree;
+    subtree.rawMae = (nl * left.rawMae + nr * right.rawMae) / (nl + nr);
+    subtree.parameters = left.parameters + right.parameters + 1;
+
+    const double subtree_err =
+        compensated(subtree.rawMae, subtree.parameters);
+    const double node_err = compensated(raw_mae(node), 1);
+
+    if (node_err <= subtree_err) {
+        node.leaf = true;
+        node.left.reset();
+        node.right.reset();
+        return {raw_mae(node), 1};
+    }
+    return subtree;
+}
+
+double
+RegressionTree::predict(std::span<const double> row) const
+{
+    mtperf_assert(root_ != nullptr, "predict() before fit()");
+    const Node *node = root_.get();
+    while (!node->leaf) {
+        node = row[node->splitAttr] <= node->splitValue ? node->left.get()
+                                                        : node->right.get();
+    }
+    return node->meanTarget;
+}
+
+std::size_t
+RegressionTree::numLeaves() const
+{
+    struct Counter
+    {
+        static std::size_t
+        count(const Node &node)
+        {
+            if (node.leaf)
+                return 1;
+            return count(*node.left) + count(*node.right);
+        }
+    };
+    mtperf_assert(root_ != nullptr, "numLeaves() before fit()");
+    return Counter::count(*root_);
+}
+
+} // namespace mtperf

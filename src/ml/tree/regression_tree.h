@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A CART-style piecewise-constant regression tree baseline.
+ *
+ * The paper contrasts model trees with classical regression trees
+ * (Breiman et al. 1984), which predict a constant at each leaf. This
+ * implementation grows by variance reduction and prunes bottom-up
+ * with the same pessimistic error estimate M5 uses, so the comparison
+ * isolates exactly the leaf-model difference.
+ */
+
+#ifndef MTPERF_ML_TREE_REGRESSION_TREE_H_
+#define MTPERF_ML_TREE_REGRESSION_TREE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "data/dataset.h"
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/** Tunables for the CART baseline. */
+struct RegressionTreeOptions
+{
+    std::size_t minInstances = 4;  //!< minimum rows on each split side
+    double sdFraction = 0.05;      //!< purity stop vs. root deviation
+    bool prune = true;             //!< bottom-up pessimistic pruning
+    std::size_t maxDepth = 0;      //!< 0 = unlimited
+};
+
+/** Piecewise-constant regression tree. */
+class RegressionTree : public Regressor
+{
+  public:
+    explicit RegressionTree(RegressionTreeOptions options = {});
+    ~RegressionTree() override;
+
+    RegressionTree(RegressionTree &&) noexcept;
+    RegressionTree &operator=(RegressionTree &&) noexcept;
+    RegressionTree(const RegressionTree &) = delete;
+    RegressionTree &operator=(const RegressionTree &) = delete;
+
+    void fit(const Dataset &train) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "RegressionTree"; }
+
+    /** Number of leaves after pruning. */
+    std::size_t numLeaves() const;
+
+  private:
+    struct Node;
+
+    /** Raw residual and parameter count of a (sub)tree, for pruning. */
+    struct SubtreeCost
+    {
+        double rawMae = 0.0;
+        std::size_t parameters = 0;
+    };
+
+    void growNode(Node &node, std::vector<std::size_t> &rows,
+                  std::size_t depth);
+    SubtreeCost pruneNode(Node &node);
+
+    RegressionTreeOptions options_;
+    std::unique_ptr<Node> root_;
+    const Dataset *trainData_ = nullptr;
+    double rootSd_ = 0.0;
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_TREE_REGRESSION_TREE_H_

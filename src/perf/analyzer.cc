@@ -1,0 +1,253 @@
+#include "perf/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "math/stats.h"
+#include "perf/section_collector.h"
+
+namespace mtperf::perf {
+
+double
+ClassificationSummary::workloadFractionInLeaf(const std::string &workload,
+                                              std::size_t leaf) const
+{
+    mtperf_assert(leaf < workloadCounts.size(), "leaf index out of range");
+    const auto total_it = workloadTotals_.find(workload);
+    if (total_it == workloadTotals_.end() || total_it->second == 0)
+        return 0.0;
+    const auto &counts = workloadCounts[leaf];
+    const auto it = counts.find(workload);
+    const std::size_t in_leaf = it == counts.end() ? 0 : it->second;
+    return static_cast<double>(in_leaf) /
+           static_cast<double>(total_it->second);
+}
+
+PerformanceAnalyzer::PerformanceAnalyzer(const M5Prime &tree, Schema schema)
+    : tree_(&tree), schema_(std::move(schema))
+{
+}
+
+std::vector<EventContribution>
+PerformanceAnalyzer::contributions(std::span<const double> row) const
+{
+    const std::size_t leaf = tree_->leafIndexFor(row);
+    const LinearModel &model = tree_->leafModel(leaf);
+    const double cpi = model.predict(row);
+
+    std::vector<EventContribution> out;
+    if (cpi == 0.0)
+        return out;
+    for (const auto &term : model.terms()) {
+        const double value = row[term.attr];
+        if (term.coef == 0.0 || value == 0.0)
+            continue;
+        EventContribution c;
+        c.attr = term.attr;
+        c.coefficient = term.coef;
+        c.value = value;
+        c.contribution = term.coef * value / cpi;
+        out.push_back(c);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EventContribution &a, const EventContribution &b) {
+                  return a.contribution > b.contribution;
+              });
+    return out;
+}
+
+double
+PerformanceAnalyzer::potentialGain(std::span<const double> row,
+                                   std::size_t attr) const
+{
+    const std::size_t leaf = tree_->leafIndexFor(row);
+    const LinearModel &model = tree_->leafModel(leaf);
+    const double cpi = model.predict(row);
+    if (cpi == 0.0)
+        return 0.0;
+    return model.coefficient(attr) * row[attr] / cpi;
+}
+
+ClassificationSummary
+PerformanceAnalyzer::classify(const Dataset &ds) const
+{
+    ClassificationSummary summary;
+    const std::size_t n_leaves = tree_->numLeaves();
+    summary.leafOf.reserve(ds.size());
+    summary.leafCounts.assign(n_leaves, 0);
+    summary.workloadCounts.assign(n_leaves, {});
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const std::size_t leaf = tree_->leafIndexFor(ds.row(r));
+        summary.leafOf.push_back(leaf);
+        ++summary.leafCounts[leaf];
+        const std::string workload = workloadOfTag(ds.tag(r));
+        ++summary.workloadCounts[leaf][workload];
+        ++summary.workloadTotals_[workload];
+    }
+    return summary;
+}
+
+bool
+PerformanceAnalyzer::rowMatchesPath(std::span<const double> row,
+                                    std::span<const PathStep> path) const
+{
+    for (const auto &step : path) {
+        const bool right = row[step.attr] > step.value;
+        if (right != step.goesRight)
+            return false;
+    }
+    return true;
+}
+
+std::vector<SplitImpact>
+PerformanceAnalyzer::splitImpacts(const Dataset &ds) const
+{
+    std::vector<SplitImpact> impacts;
+    for (const auto &site : tree_->splitSites()) {
+        SplitImpact impact;
+        impact.site = site;
+
+        std::vector<double> left_y, right_y, node_x, node_y;
+        // Per-leaf CPI accumulation under the left subtree for the
+        // paper's "average of class means" variant.
+        std::map<std::size_t, std::pair<double, std::size_t>> left_leaves;
+
+        for (std::size_t r = 0; r < ds.size(); ++r) {
+            const auto row = ds.row(r);
+            if (!rowMatchesPath(row, site.pathTo))
+                continue;
+            const double y = ds.target(r);
+            node_x.push_back(row[site.attr]);
+            node_y.push_back(y);
+            if (row[site.attr] > site.value) {
+                right_y.push_back(y);
+            } else {
+                left_y.push_back(y);
+                auto &acc = left_leaves[tree_->leafIndexFor(row)];
+                acc.first += y;
+                ++acc.second;
+            }
+        }
+
+        impact.nLeft = left_y.size();
+        impact.nRight = right_y.size();
+        impact.meanLeft = mean(left_y);
+        impact.meanRight = mean(right_y);
+
+        double leaf_mean_acc = 0.0;
+        for (const auto &[leaf, acc] : left_leaves)
+            leaf_mean_acc += acc.first / static_cast<double>(acc.second);
+        impact.leafMeanLeft =
+            left_leaves.empty()
+                ? 0.0
+                : leaf_mean_acc / static_cast<double>(left_leaves.size());
+
+        impact.meanDiffImpact = impact.meanRight - impact.leafMeanLeft;
+        impact.relativeImpact = impact.meanRight != 0.0
+                                    ? impact.meanDiffImpact /
+                                          impact.meanRight
+                                    : 0.0;
+        const double corr = correlation(node_x, node_y);
+        impact.rSquared = corr * corr;
+        impacts.push_back(std::move(impact));
+    }
+    return impacts;
+}
+
+std::string
+PerformanceAnalyzer::describeLeafRules(std::size_t leaf) const
+{
+    const LeafInfo &info = tree_->leafInfo(leaf);
+    if (info.path.empty())
+        return "(root)";
+    std::ostringstream os;
+    for (std::size_t i = 0; i < info.path.size(); ++i) {
+        const auto &step = info.path[i];
+        if (i)
+            os << " and ";
+        os << schema_.attributeName(step.attr)
+           << (step.goesRight ? " > " : " <= ")
+           << formatDouble(step.value, 6);
+    }
+    return os.str();
+}
+
+std::string
+PerformanceAnalyzer::report(const Dataset &ds) const
+{
+    const ClassificationSummary summary = classify(ds);
+    std::ostringstream os;
+    os << "Performance analysis report\n";
+    os << "===========================\n";
+    os << "Sections analyzed : " << ds.size() << "\n";
+    os << "Performance classes: " << tree_->numLeaves()
+       << " (tree depth " << tree_->depth() << ")\n\n";
+
+    for (std::size_t leaf = 0; leaf < tree_->numLeaves(); ++leaf) {
+        const LeafInfo &info = tree_->leafInfo(leaf);
+        os << "-- LM" << (leaf + 1) << " ------------------------------\n";
+        os << "rules   : " << describeLeafRules(leaf) << "\n";
+        os << "model   : " << tree_->leafModel(leaf).toString(schema_)
+           << "\n";
+        os << "training: " << info.count << " sections ("
+           << formatDouble(info.trainFraction * 100.0, 1)
+           << "%), mean CPI " << formatDouble(info.meanTarget, 3) << "\n";
+
+        os << "sections: " << summary.leafCounts[leaf] << " of this set";
+        // Dominant workloads in this class.
+        std::vector<std::pair<std::string, std::size_t>> by_count(
+            summary.workloadCounts[leaf].begin(),
+            summary.workloadCounts[leaf].end());
+        std::sort(by_count.begin(), by_count.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        if (!by_count.empty()) {
+            os << " [";
+            for (std::size_t i = 0; i < by_count.size() && i < 3; ++i) {
+                if (i)
+                    os << ", ";
+                os << by_count[i].first << ":" << by_count[i].second;
+            }
+            os << "]";
+        }
+        os << "\n";
+
+        // Mean contribution decomposition over this class's rows.
+        if (summary.leafCounts[leaf] > 0) {
+            std::vector<double> mean_row(schema_.numAttributes(), 0.0);
+            std::size_t count = 0;
+            for (std::size_t r = 0; r < ds.size(); ++r) {
+                if (summary.leafOf[r] != leaf)
+                    continue;
+                const auto row = ds.row(r);
+                for (std::size_t a = 0; a < mean_row.size(); ++a)
+                    mean_row[a] += row[a];
+                ++count;
+            }
+            for (auto &v : mean_row)
+                v /= static_cast<double>(count);
+            const auto contribs = contributions(mean_row);
+            if (!contribs.empty()) {
+                os << "top contributions: ";
+                for (std::size_t i = 0; i < contribs.size() && i < 3;
+                     ++i) {
+                    if (i)
+                        os << ", ";
+                    os << schema_.attributeName(contribs[i].attr) << " "
+                       << formatDouble(contribs[i].contribution * 100.0,
+                                       1)
+                       << "%";
+                }
+                os << "\n";
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mtperf::perf

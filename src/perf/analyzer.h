@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The performance-analysis layer: answering "what" and "how much".
+ *
+ * Given a trained M5' tree over the Table-I metrics, the analyzer
+ * reproduces the paper's Section IV-C / V-A methodology:
+ *
+ *  - classify workload sections into performance classes (leaves);
+ *  - decompose a section's predicted CPI into per-event contributions
+ *    coef_i * X_i / CPI (Eq. 4's "6.69 * L1IM / CPI = 20%" example),
+ *    ranking the events worth optimizing first and estimating the
+ *    gain from eliminating each;
+ *  - quantify the implicit split variables on the path (events that
+ *    gate a class without appearing in its model) by the paper's two
+ *    methods: subtree mean difference and single-variable regression
+ *    R-squared at the split node.
+ */
+
+#ifndef MTPERF_PERF_ANALYZER_H_
+#define MTPERF_PERF_ANALYZER_H_
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf::perf {
+
+/** One event's share of a section's predicted CPI. */
+struct EventContribution
+{
+    std::size_t attr = 0;      //!< metric index in the schema
+    double coefficient = 0.0;  //!< leaf-model coefficient
+    double value = 0.0;        //!< observed per-instruction ratio
+    /** coefficient * value / predicted CPI; the "how much" answer. */
+    double contribution = 0.0;
+};
+
+/** Where a dataset's rows land in the tree. */
+struct ClassificationSummary
+{
+    std::vector<std::size_t> leafOf;      //!< leaf index per row
+    std::vector<std::size_t> leafCounts;  //!< rows per leaf
+    /** Per leaf: how many rows each workload contributed. */
+    std::vector<std::map<std::string, std::size_t>> workloadCounts;
+
+    /** Fraction of @p workload's rows that land in @p leaf. */
+    double workloadFractionInLeaf(const std::string &workload,
+                                  std::size_t leaf) const;
+
+  private:
+    friend class PerformanceAnalyzer;
+    std::map<std::string, std::size_t> workloadTotals_;
+};
+
+/** Impact analysis of one interior split. */
+struct SplitImpact
+{
+    SplitSite site;
+    std::size_t nLeft = 0;
+    std::size_t nRight = 0;
+    double meanLeft = 0.0;      //!< mean CPI of rows going left
+    double meanRight = 0.0;     //!< mean CPI of rows going right
+    /** Average of per-leaf mean CPIs under the left subtree (the
+     *  paper's "mean of the two classes" variant). */
+    double leafMeanLeft = 0.0;
+    /** meanRight - leafMeanLeft: the paper's mean-difference impact. */
+    double meanDiffImpact = 0.0;
+    /** meanDiffImpact / meanRight: fraction of CPI attributable. */
+    double relativeImpact = 0.0;
+    /** R^2 of a one-variable regression of CPI on the split metric
+     *  over the rows reaching this node (the paper's refinement). */
+    double rSquared = 0.0;
+};
+
+/**
+ * Read-only analysis facade over a trained tree. The tree must
+ * outlive the analyzer.
+ */
+class PerformanceAnalyzer
+{
+  public:
+    /** @param tree a fitted M5Prime; @param schema its schema. */
+    PerformanceAnalyzer(const M5Prime &tree, Schema schema);
+
+    /**
+     * Per-event contribution decomposition for one section, sorted by
+     * descending contribution. Only events with nonzero coefficient
+     * and value appear.
+     */
+    std::vector<EventContribution> contributions(
+        std::span<const double> row) const;
+
+    /**
+     * Expected fractional CPI reduction from eliminating all
+     * occurrences of @p attr in this section (Eq. 4's reading).
+     */
+    double potentialGain(std::span<const double> row,
+                         std::size_t attr) const;
+
+    /** Route every row of @p ds to its performance class. */
+    ClassificationSummary classify(const Dataset &ds) const;
+
+    /** Impact analysis for every interior split, pre-order. */
+    std::vector<SplitImpact> splitImpacts(const Dataset &ds) const;
+
+    /** Human-readable rule chain for a leaf, e.g.
+     *  "L2M > 0.0011 and L1IM > 0.0042". */
+    std::string describeLeafRules(std::size_t leaf) const;
+
+    /**
+     * Full text report over @p ds: tree shape, per-class coverage,
+     * workload composition, models and top contributions.
+     */
+    std::string report(const Dataset &ds) const;
+
+    const M5Prime &tree() const { return *tree_; }
+    const Schema &schema() const { return schema_; }
+
+  private:
+    bool rowMatchesPath(std::span<const double> row,
+                        std::span<const PathStep> path) const;
+
+    const M5Prime *tree_;
+    Schema schema_;
+};
+
+} // namespace mtperf::perf
+
+#endif // MTPERF_PERF_ANALYZER_H_

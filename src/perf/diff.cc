@@ -1,0 +1,138 @@
+#include "perf/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "math/stats.h"
+
+namespace mtperf::perf {
+
+namespace {
+
+std::vector<double>
+meanRow(const Dataset &ds)
+{
+    std::vector<double> means(ds.numAttributes(), 0.0);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        const auto row = ds.row(r);
+        for (std::size_t a = 0; a < means.size(); ++a)
+            means[a] += row[a];
+    }
+    for (auto &m : means)
+        m /= static_cast<double>(ds.size());
+    return means;
+}
+
+std::vector<std::size_t>
+leafCounts(const M5Prime &tree, const Dataset &ds)
+{
+    std::vector<std::size_t> counts(tree.numLeaves(), 0);
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        ++counts[tree.leafIndexFor(ds.row(r))];
+    return counts;
+}
+
+} // namespace
+
+DiffReport
+diffDatasets(const M5Prime &tree, const Dataset &before,
+             const Dataset &after)
+{
+    if (before.empty() || after.empty())
+        mtperf_fatal("diff needs non-empty before and after datasets");
+    if (!(before.schema() == tree.schema()) ||
+        !(after.schema() == tree.schema())) {
+        mtperf_fatal("diff datasets must match the model's schema");
+    }
+
+    DiffReport report;
+    report.beforeMeanCpi = mean(before.targets());
+    report.afterMeanCpi = mean(after.targets());
+    report.speedup = report.beforeMeanCpi / report.afterMeanCpi;
+    report.beforeLeafCounts = leafCounts(tree, before);
+    report.afterLeafCounts = leafCounts(tree, after);
+
+    const auto before_means = meanRow(before);
+    const auto after_means = meanRow(after);
+
+    // Attribute each rate movement with the mean coefficient the model
+    // applies to that event over the after-run's sections.
+    std::vector<double> mean_coef(tree.schema().numAttributes(), 0.0);
+    for (std::size_t r = 0; r < after.size(); ++r) {
+        const auto &model =
+            tree.leafModel(tree.leafIndexFor(after.row(r)));
+        for (std::size_t a = 0; a < mean_coef.size(); ++a)
+            mean_coef[a] += model.coefficient(a);
+    }
+    for (auto &c : mean_coef)
+        c /= static_cast<double>(after.size());
+
+    for (std::size_t a = 0; a < before_means.size(); ++a) {
+        EventDelta delta;
+        delta.attr = a;
+        delta.beforeRate = before_means[a];
+        delta.afterRate = after_means[a];
+        delta.attributedCpiDelta =
+            mean_coef[a] * (after_means[a] - before_means[a]);
+        report.events.push_back(delta);
+    }
+    std::sort(report.events.begin(), report.events.end(),
+              [](const EventDelta &a, const EventDelta &b) {
+                  return std::abs(a.attributedCpiDelta) >
+                         std::abs(b.attributedCpiDelta);
+              });
+    return report;
+}
+
+std::string
+formatDiff(const DiffReport &report, const M5Prime &tree)
+{
+    const Schema &schema = tree.schema();
+    std::ostringstream os;
+    os << "Before vs after\n";
+    os << "===============\n";
+    os << "mean CPI: " << formatDouble(report.beforeMeanCpi, 3) << " -> "
+       << formatDouble(report.afterMeanCpi, 3) << "  ("
+       << (report.speedup >= 1.0 ? "speedup " : "slowdown ")
+       << formatDouble(report.speedup >= 1.0
+                           ? report.speedup
+                           : 1.0 / report.speedup,
+                       2)
+       << "x)\n\n";
+
+    os << "class migration (sections per class):\n";
+    for (std::size_t leaf = 0; leaf < report.beforeLeafCounts.size();
+         ++leaf) {
+        if (report.beforeLeafCounts[leaf] == 0 &&
+            report.afterLeafCounts[leaf] == 0) {
+            continue;
+        }
+        os << "  LM" << padRight(std::to_string(leaf + 1), 4)
+           << padLeft(std::to_string(report.beforeLeafCounts[leaf]), 6)
+           << " -> "
+           << padLeft(std::to_string(report.afterLeafCounts[leaf]), 6)
+           << "\n";
+    }
+
+    os << "\nattributed event movements (top 5 by CPI impact):\n";
+    std::size_t shown = 0;
+    for (const auto &event : report.events) {
+        if (shown == 5 || std::abs(event.attributedCpiDelta) < 1e-4)
+            break;
+        os << "  " << padRight(schema.attributeName(event.attr), 11)
+           << formatDouble(event.beforeRate * 1000.0, 2) << " -> "
+           << formatDouble(event.afterRate * 1000.0, 2)
+           << " per 1k-inst, attributed CPI "
+           << (event.attributedCpiDelta >= 0 ? "+" : "")
+           << formatDouble(event.attributedCpiDelta, 3) << "\n";
+        ++shown;
+    }
+    if (shown == 0)
+        os << "  (no event movement the model prices)\n";
+    return os.str();
+}
+
+} // namespace mtperf::perf

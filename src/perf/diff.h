@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Before/after comparison of two section datasets.
+ *
+ * The paper's workflow ends with "address the top event and
+ * re-measure"; this module closes that loop. Given a trained model
+ * and two datasets of the same application (a baseline run and an
+ * optimized or regressed run), it reports the CPI movement, how the
+ * sections migrated between performance classes, and which counter
+ * deltas the model holds responsible for the change.
+ */
+
+#ifndef MTPERF_PERF_DIFF_H_
+#define MTPERF_PERF_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf::perf {
+
+/** Movement of one event's mean per-instruction rate. */
+struct EventDelta
+{
+    std::size_t attr = 0;
+    double beforeRate = 0.0;
+    double afterRate = 0.0;
+    /**
+     * Model-attributed CPI impact of the rate change: the mean
+     * leaf-model coefficient (over the after-sections) times the rate
+     * delta. Negative = the change saved cycles.
+     */
+    double attributedCpiDelta = 0.0;
+};
+
+/** Full comparison of two runs of the same application. */
+struct DiffReport
+{
+    double beforeMeanCpi = 0.0;
+    double afterMeanCpi = 0.0;
+    /** beforeMeanCpi / afterMeanCpi; > 1 means the change helped. */
+    double speedup = 1.0;
+
+    /** Sections per performance class, before and after. */
+    std::vector<std::size_t> beforeLeafCounts;
+    std::vector<std::size_t> afterLeafCounts;
+
+    /** Event movements, sorted by |attributedCpiDelta| descending. */
+    std::vector<EventDelta> events;
+};
+
+/**
+ * Compare two datasets under @p tree.
+ * @throw FatalError if either dataset is empty or the schemas differ
+ *        from the tree's.
+ */
+DiffReport diffDatasets(const M5Prime &tree, const Dataset &before,
+                        const Dataset &after);
+
+/** Human-readable rendering of a DiffReport. */
+std::string formatDiff(const DiffReport &report, const M5Prime &tree);
+
+} // namespace mtperf::perf
+
+#endif // MTPERF_PERF_DIFF_H_

@@ -1,0 +1,62 @@
+#include "perf/section_collector.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "data/io.h"
+#include "uarch/event_counters.h"
+#include "workload/spec_suite.h"
+
+namespace mtperf::perf {
+
+Dataset
+sectionsToDataset(const std::vector<workload::SectionRecord> &records)
+{
+    Dataset ds(uarch::perfSchema());
+    for (const auto &record : records) {
+        const auto ratios = uarch::metricRatios(record.counters);
+        ds.addRow(ratios, uarch::cpiOf(record.counters),
+                  record.workload + "/" + record.phase);
+    }
+    return ds;
+}
+
+Dataset
+collectSuiteDataset(const workload::RunnerOptions &options)
+{
+    const auto suite = workload::specLikeSuite();
+    inform("simulating ", suite.size(), " workloads (",
+           options.instructionsPerSection, " instructions/section)...");
+    const auto records = workload::runSuite(suite, options);
+    inform("collected ", records.size(), " sections");
+    return sectionsToDataset(records);
+}
+
+Dataset
+loadOrCollectSuiteDataset(const std::string &path,
+                          const workload::RunnerOptions &options)
+{
+    if (std::filesystem::exists(path)) {
+        Dataset ds = readDatasetCsvFile(path, "CPI");
+        if (ds.schema() == uarch::perfSchema()) {
+            inform("loaded cached suite dataset from ", path, " (",
+                   ds.size(), " sections)");
+            return ds;
+        }
+        warn("cached dataset at ", path,
+             " has a stale schema; regenerating");
+    }
+    Dataset ds = collectSuiteDataset(options);
+    writeDatasetCsvFile(path, ds);
+    inform("cached suite dataset to ", path);
+    return ds;
+}
+
+std::string
+workloadOfTag(const std::string &tag)
+{
+    const auto slash = tag.find('/');
+    return slash == std::string::npos ? tag : tag.substr(0, slash);
+}
+
+} // namespace mtperf::perf

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * From simulated workloads to a learner-ready dataset.
+ *
+ * The collector runs the workload suite on the timing core, converts
+ * every section's counter delta into the paper's 20 per-instruction
+ * ratios with CPI as the target, and tags each row with its
+ * provenance ("workload/phase"). Because suite generation is fully
+ * deterministic, a CSV cache keyed by the run parameters lets every
+ * bench and example share one dataset.
+ */
+
+#ifndef MTPERF_PERF_SECTION_COLLECTOR_H_
+#define MTPERF_PERF_SECTION_COLLECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "workload/runner.h"
+
+namespace mtperf::perf {
+
+/** Convert section records to a dataset over perfSchema(). */
+Dataset sectionsToDataset(
+    const std::vector<workload::SectionRecord> &records);
+
+/** Run the full SPEC-like suite and return its section dataset. */
+Dataset collectSuiteDataset(const workload::RunnerOptions &options = {});
+
+/**
+ * Like collectSuiteDataset(), but backed by a CSV cache at @p path:
+ * if the file exists it is loaded; otherwise the suite runs and the
+ * result is saved there first.
+ */
+Dataset loadOrCollectSuiteDataset(
+    const std::string &path, const workload::RunnerOptions &options = {});
+
+/** The workload name part of a row tag ("mcf_like/chase" -> "mcf_like"). */
+std::string workloadOfTag(const std::string &tag);
+
+} // namespace mtperf::perf
+
+#endif // MTPERF_PERF_SECTION_COLLECTOR_H_

@@ -1,0 +1,76 @@
+#include "uarch/branch_predictor.h"
+
+#include "common/logging.h"
+
+namespace mtperf::uarch {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config)
+{
+    if (config_.historyBits == 0 || config_.historyBits > 24)
+        mtperf_fatal("branch predictor: historyBits out of range");
+    gshare_.assign(1ULL << config_.historyBits, 2); // weakly taken
+    bimodal_.assign(1ULL << config_.bimodalBits, 2);
+    chooser_.assign(1ULL << config_.chooserBits, 2); // slight gshare bias
+}
+
+std::uint8_t
+BranchPredictor::saturate(std::uint8_t counter, bool up)
+{
+    if (up)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+bool
+BranchPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    // Branch PCs are word-ish aligned; drop the low bits for indexing.
+    const std::uint64_t pc_bits = pc >> 2;
+    const std::uint64_t g_index =
+        (pc_bits ^ history_) & (gshare_.size() - 1);
+    const std::uint64_t b_index = pc_bits & (bimodal_.size() - 1);
+    const std::uint64_t c_index = pc_bits & (chooser_.size() - 1);
+
+    const bool g_pred = gshare_[g_index] >= 2;
+    const bool b_pred = bimodal_[b_index] >= 2;
+    const bool use_gshare = chooser_[c_index] >= 2;
+    const bool prediction = use_gshare ? g_pred : b_pred;
+
+    ++predictions_;
+    const bool correct = prediction == taken;
+    if (!correct)
+        ++mispredictions_;
+
+    // Chooser trains toward the component that was right (only when
+    // they disagree).
+    if (g_pred != b_pred)
+        chooser_[c_index] = saturate(chooser_[c_index], g_pred == taken);
+    gshare_[g_index] = saturate(gshare_[g_index], taken);
+    bimodal_[b_index] = saturate(bimodal_[b_index], taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               ((1ULL << config_.historyBits) - 1);
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(gshare_.begin(), gshare_.end(), 2);
+    std::fill(bimodal_.begin(), bimodal_.end(), 2);
+    std::fill(chooser_.begin(), chooser_.end(), 2);
+    history_ = 0;
+    predictions_ = 0;
+    mispredictions_ = 0;
+}
+
+double
+BranchPredictor::mispredictRatio() const
+{
+    if (predictions_ == 0)
+        return 0.0;
+    return static_cast<double>(mispredictions_) /
+           static_cast<double>(predictions_);
+}
+
+} // namespace mtperf::uarch

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Branch direction predictors.
+ *
+ * The timing core uses a gshare/bimodal hybrid comparable in fidelity
+ * to Core 2's front end for the purposes of this study: mostly-biased
+ * branches predict almost perfectly, history-correlated branches are
+ * captured by gshare, and high-entropy branches expose the pipeline
+ * flush penalty the paper's BrMisPr metric measures.
+ */
+
+#ifndef MTPERF_UARCH_BRANCH_PREDICTOR_H_
+#define MTPERF_UARCH_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/types.h"
+
+namespace mtperf::uarch {
+
+/** Geometry of the hybrid predictor. */
+struct BranchPredictorConfig
+{
+    std::uint32_t historyBits = 12;   //!< gshare global-history length
+    std::uint32_t bimodalBits = 12;   //!< log2 of bimodal table entries
+    std::uint32_t chooserBits = 12;   //!< log2 of chooser table entries
+};
+
+/** Gshare/bimodal tournament predictor with 2-bit counters. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config = {});
+
+    /**
+     * Predict the branch at @p pc, then update all tables with the
+     * actual @p taken outcome.
+     * @return true if the prediction was correct.
+     */
+    bool predictAndUpdate(Addr pc, bool taken);
+
+    /** Clear tables, history and statistics. */
+    void reset();
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Misprediction ratio; 0 before any prediction. */
+    double mispredictRatio() const;
+
+  private:
+    static std::uint8_t saturate(std::uint8_t counter, bool up);
+
+    BranchPredictorConfig config_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> chooser_;
+    std::uint64_t history_ = 0;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+} // namespace mtperf::uarch
+
+#endif // MTPERF_UARCH_BRANCH_PREDICTOR_H_

@@ -1,0 +1,132 @@
+#include "uarch/cache.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace mtperf::uarch {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    if (config_.lineBytes == 0 ||
+        (config_.lineBytes & (config_.lineBytes - 1)) != 0) {
+        mtperf_fatal("cache '", config_.name,
+                     "': line size must be a power of two");
+    }
+    if (config_.associativity == 0)
+        mtperf_fatal("cache '", config_.name, "': zero associativity");
+    const std::uint64_t num_lines = config_.sizeBytes / config_.lineBytes;
+    if (num_lines == 0 || num_lines % config_.associativity != 0) {
+        mtperf_fatal("cache '", config_.name,
+                     "': size must be a multiple of assoc * line size");
+    }
+    numSets_ = static_cast<std::uint32_t>(num_lines /
+                                          config_.associativity);
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        mtperf_fatal("cache '", config_.name,
+                     "': set count must be a power of two");
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.lineBytes)));
+    lines_.assign(static_cast<std::size_t>(numSets_) *
+                      config_.associativity,
+                  Line{});
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(line_addr & (numSets_ - 1));
+}
+
+bool
+Cache::lookup(Addr addr, bool demand)
+{
+    const Addr line_addr = addr >> lineShift_;
+    const std::uint32_t set = setIndex(line_addr);
+    Line *base = lines_.data() +
+                 static_cast<std::size_t>(set) * config_.associativity;
+    ++useClock_;
+
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == line_addr) {
+            line.lastUse = useClock_;
+            return true;
+        }
+    }
+
+    // Miss: evict the LRU way.
+    Line *victim = base;
+    for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->lastUse = useClock_;
+    if (!demand)
+        ++prefetchFills_;
+    return false;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++accesses_;
+    const bool hit = lookup(addr, true);
+    if (!hit) {
+        ++misses_;
+        if (config_.nextLinePrefetch) {
+            for (std::uint32_t d = 1; d <= config_.prefetchDegree; ++d)
+                lookup(addr + d * std::uint64_t(config_.lineBytes),
+                       false);
+        }
+    }
+    return hit;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr line_addr = addr >> lineShift_;
+    const std::uint32_t set = setIndex(line_addr);
+    const Line *base = lines_.data() +
+                       static_cast<std::size_t>(set) *
+                           config_.associativity;
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    lookup(addr, false);
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    useClock_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+    prefetchFills_ = 0;
+}
+
+double
+Cache::missRatio() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    return static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+} // namespace mtperf::uarch

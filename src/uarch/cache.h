@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A set-associative cache model with true-LRU replacement.
+ *
+ * The model tracks tags only — no data — because the simulator needs
+ * hit/miss behaviour and counts, not contents. An optional next-line
+ * prefetcher approximates the Core 2 L2 streamer: on a demand miss it
+ * also fills the sequentially next line, so strided workloads expose
+ * fewer demand misses than pointer-chasing ones, as on real hardware.
+ */
+
+#ifndef MTPERF_UARCH_CACHE_H_
+#define MTPERF_UARCH_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/types.h"
+
+namespace mtperf::uarch {
+
+/** Geometry and behaviour of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t associativity = 8;
+    std::uint32_t lineBytes = kLineBytes;
+    bool nextLinePrefetch = false;
+    /** Lines fetched ahead on a demand miss when prefetching is on. */
+    std::uint32_t prefetchDegree = 1;
+};
+
+/** Tag-only set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up (and on miss, fill) the line containing @p addr.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** True if the line containing @p addr is resident (no update). */
+    bool probe(Addr addr) const;
+
+    /** Fill the line containing @p addr without counting a demand access. */
+    void fill(Addr addr);
+
+    /** Invalidate all lines and clear statistics. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t prefetchFills() const { return prefetchFills_; }
+
+    /** Demand miss ratio; 0 when no accesses have been made. */
+    double missRatio() const;
+
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = ~0ULL;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    bool lookup(Addr addr, bool demand);
+
+    CacheConfig config_;
+    std::uint32_t numSets_ = 0;
+    std::uint32_t lineShift_ = 0;
+    std::vector<Line> lines_; //!< numSets * associativity, set-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t prefetchFills_ = 0;
+};
+
+} // namespace mtperf::uarch
+
+#endif // MTPERF_UARCH_CACHE_H_

@@ -1,0 +1,416 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtperf::uarch {
+
+CpiStack
+CpiStack::delta(const CpiStack &earlier) const
+{
+    CpiStack d;
+    d.base = base - earlier.base;
+    d.frontend = frontend - earlier.frontend;
+    d.resteer = resteer - earlier.resteer;
+    d.memL2 = memL2 - earlier.memL2;
+    d.memL1d = memL1d - earlier.memL1d;
+    d.dtlb = dtlb - earlier.dtlb;
+    d.storeForward = storeForward - earlier.storeForward;
+    d.memOther = memOther - earlier.memOther;
+    d.longLatency = longLatency - earlier.longLatency;
+    d.window = window - earlier.window;
+    return d;
+}
+
+Core::Core(const CoreConfig &config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      dtlb_(config.dtlbL0, config.dtlbMain),
+      itlb_(config.itlb),
+      bp_(config.branchPredictor),
+      decoder_(config.decoder),
+      lsq_(config.lsq)
+{
+    if (config_.width == 0)
+        mtperf_fatal("core width must be at least 1");
+    if (config_.robSize == 0)
+        mtperf_fatal("ROB must have at least one entry");
+    robCommit_.assign(config_.robSize, 0);
+    resultReady_.assign(kResultRing, 0);
+    if (config_.modelPortContention) {
+        if (config_.aluPorts == 0 || config_.loadPorts == 0 ||
+            config_.storePorts == 0 || config_.fpAddPorts == 0 ||
+            config_.fpMulPorts == 0) {
+            mtperf_fatal("port contention model needs at least one "
+                         "port per class");
+        }
+        aluPortFree_.assign(config_.aluPorts, 0);
+        loadPortFree_.assign(config_.loadPorts, 0);
+        storePortFree_.assign(config_.storePorts, 0);
+        fpAddPortFree_.assign(config_.fpAddPorts, 0);
+        fpMulPortFree_.assign(config_.fpMulPorts, 0);
+    }
+}
+
+Cycle
+Core::acquirePort(OpClass cls, Cycle dispatch, Cycle ready)
+{
+    if (!config_.modelPortContention)
+        return ready;
+
+    std::vector<Cycle> *ports = nullptr;
+    Cycle occupancy = 1; // pipelined ports accept one op per cycle
+    switch (cls) {
+      case OpClass::Load:
+        ports = &loadPortFree_;
+        break;
+      case OpClass::Store:
+        ports = &storePortFree_;
+        break;
+      case OpClass::FpAdd:
+        ports = &fpAddPortFree_;
+        break;
+      case OpClass::FpMul:
+        ports = &fpMulPortFree_;
+        break;
+      case OpClass::FpDiv:
+        // The divider shares the FP multiply port and is unpipelined.
+        ports = &fpMulPortFree_;
+        occupancy = config_.fpDivLatency;
+        break;
+      default:
+        ports = &aluPortFree_;
+        break;
+    }
+
+    // Pick the earliest-free port. The slot is reserved from dispatch
+    // onward (an out-of-order scheduler gives ready ops priority, so a
+    // data-stalled op must not push the port into the future for the
+    // independent ops behind it); the op then issues when both its
+    // slot and its inputs are ready.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ports->size(); ++i) {
+        if ((*ports)[i] < (*ports)[best])
+            best = i;
+    }
+    const Cycle slot = std::max(dispatch, (*ports)[best]);
+    (*ports)[best] = slot + occupancy;
+    return std::max(ready, slot);
+}
+
+Cycle
+Core::fetch(const MicroOp &op)
+{
+    Cycle ready = fetchReadyCycle_;
+
+    // The fetch unit touches the I-cache once per line, and the ITLB
+    // once per page; redirects (taken branches, mispredict recoveries)
+    // show up as line/page changes in the PC stream itself.
+    const Addr line = op.pc / kLineBytes;
+    if (line != lastFetchLine_) {
+        lastFetchLine_ = line;
+        const Addr page = op.pc / kPageBytes;
+        if (page != lastFetchPage_) {
+            lastFetchPage_ = page;
+            if (!itlb_.access(op.pc)) {
+                ++counters_.itlbMiss;
+                ready += config_.pageWalkLatency;
+                opPenalties_.frontend += config_.pageWalkLatency;
+            }
+        }
+        if (!l1i_.access(op.pc)) {
+            ++counters_.l1iMiss;
+            // Code refills from the unified L2; the PMU's L2M metric
+            // (MEM_LOAD_RETIRED.L2_LINE_MISS) counts loads only, so a
+            // code L2 miss costs time without bumping that counter.
+            const Cycle refill = l2_.access(op.pc)
+                                     ? config_.l1iMissToL2Latency
+                                     : config_.memLatency;
+            ready += refill;
+            opPenalties_.frontend += refill;
+        }
+    }
+
+    const Cycle lcp_bubble = decoder_.decode(op);
+    if (lcp_bubble > 0) {
+        ++counters_.lcpStalls;
+        ready += lcp_bubble;
+        opPenalties_.frontend += lcp_bubble;
+    }
+    return ready;
+}
+
+Cycle
+Core::executeLoad(const MicroOp &op, Cycle issue)
+{
+    Cycle extra = 0;
+
+    const DtlbLoadResult translation = dtlb_.translateLoad(op.addr);
+    if (!translation.l0Hit) {
+        ++counters_.dtlbL0LdMiss;
+        if (translation.mainHit) {
+            extra += config_.dtlbL0MissLatency;
+            opPenalties_.dtlb += config_.dtlbL0MissLatency;
+        } else {
+            ++counters_.dtlbLdMiss;
+            ++counters_.dtlbLdRetiredMiss;
+            ++counters_.dtlbAnyMiss;
+            extra += config_.pageWalkLatency;
+            opPenalties_.dtlb += config_.pageWalkLatency;
+        }
+    }
+
+    const LoadBlockResult block = lsq_.checkLoad(op.addr, op.size, seq_);
+    if (block.sta)
+        ++counters_.ldBlockSta;
+    if (block.std)
+        ++counters_.ldBlockStd;
+    if (block.overlap)
+        ++counters_.ldBlockOverlapStore;
+    extra += block.penalty;
+    opPenalties_.storeForward += block.penalty;
+
+    if (op.addr % op.size != 0) {
+        ++counters_.misalignedMemRef;
+        extra += config_.misalignPenalty;
+        opPenalties_.memOther += config_.misalignPenalty;
+    }
+
+    const bool split =
+        (op.addr / kLineBytes) != ((op.addr + op.size - 1) / kLineBytes);
+    if (split) {
+        ++counters_.l1dSplitLoads;
+        extra += config_.splitPenalty;
+        opPenalties_.memOther += config_.splitPenalty;
+    }
+
+    auto line_latency = [this](Addr addr, bool count_load_miss) {
+        if (l1d_.access(addr))
+            return config_.l1dHitLatency;
+        if (count_load_miss)
+            ++counters_.l1dLineMiss;
+        if (l2_.access(addr)) {
+            opPenalties_.memL1d +=
+                config_.l2HitLatency - config_.l1dHitLatency;
+            return config_.l2HitLatency;
+        }
+        if (count_load_miss)
+            ++counters_.l2LineMiss;
+        opPenalties_.memL2 +=
+            config_.memLatency - config_.l1dHitLatency;
+        return config_.memLatency;
+    };
+
+    Cycle latency = line_latency(op.addr, true);
+    if (split) {
+        // The second half accesses the next line; the load completes
+        // when the slower half returns.
+        latency = std::max(latency,
+                           line_latency(op.addr + op.size - 1, false));
+    }
+    return issue + latency + extra;
+}
+
+Cycle
+Core::executeStore(const MicroOp &op, Cycle issue)
+{
+    Cycle extra = 0;
+
+    if (!dtlb_.translateStore(op.addr)) {
+        ++counters_.dtlbAnyMiss;
+        extra += config_.pageWalkLatency;
+        opPenalties_.dtlb += config_.pageWalkLatency;
+    }
+
+    if (op.addr % op.size != 0) {
+        ++counters_.misalignedMemRef;
+        extra += config_.misalignPenalty;
+        opPenalties_.memOther += config_.misalignPenalty;
+    }
+    const bool split =
+        (op.addr / kLineBytes) != ((op.addr + op.size - 1) / kLineBytes);
+    if (split) {
+        ++counters_.l1dSplitStores;
+        extra += config_.splitPenalty;
+        opPenalties_.memOther += config_.splitPenalty;
+    }
+
+    // Stores retire into the store buffer: the write itself drains in
+    // the background, so cache state updates but store misses do not
+    // add commit latency (and the PMU's load-miss events stay load
+    // only). Write-allocate keeps the tags warm for later loads.
+    if (!l1d_.access(op.addr))
+        l2_.access(op.addr);
+
+    lsq_.recordStore(op.addr, op.size, op.storeAddrSlow, seq_);
+    return issue + 1 + extra;
+}
+
+void
+Core::execute(const MicroOp &op)
+{
+    opPenalties_ = OpPenalties{};
+    // A mispredict's re-steer delays the *following* fetch; charge it
+    // to the first correct-path instruction, whose commit gap shows it.
+    opPenalties_.resteer = pendingResteer_;
+    pendingResteer_ = 0;
+
+    // --- Front end -----------------------------------------------
+    const Cycle fetch_ready = fetch(op);
+    fetchReadyCycle_ = fetch_ready;
+
+    // --- Dispatch: width per cycle, bounded by the reorder window --
+    Cycle dispatch = std::max(fetch_ready, lastDispatchCycle_);
+    dispatch = std::max(dispatch, robCommit_[seq_ % config_.robSize]);
+    if (dispatch == lastDispatchCycle_ &&
+        dispatchedThisCycle_ >= config_.width) {
+        dispatch += 1;
+    }
+    if (dispatch > lastDispatchCycle_) {
+        lastDispatchCycle_ = dispatch;
+        dispatchedThisCycle_ = 1;
+    } else {
+        ++dispatchedThisCycle_;
+    }
+
+    // --- Issue: wait for the producer and an issue port ------------
+    Cycle issue = dispatch;
+    if (op.depDist > 0 && op.depDist <= seq_ &&
+        static_cast<std::size_t>(op.depDist) < kResultRing) {
+        issue = std::max(
+            issue, resultReady_[(seq_ - op.depDist) % kResultRing]);
+    }
+    issue = acquirePort(op.cls, dispatch, issue);
+
+    // --- Execute ---------------------------------------------------
+    Cycle complete = issue;
+    bool mispredicted = false;
+    switch (op.cls) {
+      case OpClass::IntAlu:
+        complete = issue + config_.intAluLatency;
+        break;
+      case OpClass::IntMul:
+        complete = issue + config_.intMulLatency;
+        break;
+      case OpClass::FpAdd:
+        complete = issue + config_.fpAddLatency;
+        break;
+      case OpClass::FpMul:
+        complete = issue + config_.fpMulLatency;
+        break;
+      case OpClass::FpDiv:
+        complete = issue + config_.fpDivLatency;
+        opPenalties_.longLatency += config_.fpDivLatency - 1;
+        break;
+      case OpClass::Load:
+        complete = executeLoad(op, issue);
+        ++counters_.instLoads;
+        break;
+      case OpClass::Store:
+        complete = executeStore(op, issue);
+        ++counters_.instStores;
+        break;
+      case OpClass::Branch:
+        complete = issue + config_.intAluLatency;
+        ++counters_.brRetired;
+        if (!bp_.predictAndUpdate(op.pc, op.taken)) {
+            ++counters_.brMispredicted;
+            pendingResteer_ += config_.mispredictPenalty;
+            mispredicted = true;
+        }
+        break;
+    }
+
+    // --- Commit: in order, width per cycle -------------------------
+    const Cycle commit_before = lastCommitCycle_;
+    Cycle commit = std::max(complete, lastCommitCycle_);
+    if (commit == lastCommitCycle_ &&
+        committedThisCycle_ >= config_.width) {
+        commit += 1;
+    }
+    if (commit > lastCommitCycle_) {
+        lastCommitCycle_ = commit;
+        committedThisCycle_ = 1;
+    } else {
+        ++committedThisCycle_;
+    }
+
+    // --- Cycle attribution -----------------------------------------
+    // Charge this instruction's commit gap to its own penalties,
+    // largest first; one cycle of any remaining gap is the issue
+    // base, the rest is dependency/window stall.
+    Cycle gap = commit - commit_before;
+    if (gap > 0) {
+        auto charge = [&gap](std::uint64_t &bucket, Cycle amount) {
+            const Cycle take = std::min(gap, amount);
+            bucket += take;
+            gap -= take;
+        };
+        charge(stack_.resteer, opPenalties_.resteer);
+        charge(stack_.memL2, opPenalties_.memL2);
+        charge(stack_.dtlb, opPenalties_.dtlb);
+        charge(stack_.memL1d, opPenalties_.memL1d);
+        charge(stack_.frontend, opPenalties_.frontend);
+        charge(stack_.storeForward, opPenalties_.storeForward);
+        charge(stack_.memOther, opPenalties_.memOther);
+        charge(stack_.longLatency, opPenalties_.longLatency);
+        if (gap > 0) {
+            stack_.base += 1;
+            stack_.window += gap - 1;
+        }
+    }
+
+    robCommit_[seq_ % config_.robSize] = commit;
+    resultReady_[seq_ % kResultRing] = complete;
+
+    if (mispredicted) {
+        // Wrong-path fetch is not simulated; the re-steer appears as
+        // the front end going quiet until the branch resolves plus the
+        // pipeline refill penalty.
+        fetchReadyCycle_ = std::max(
+            fetchReadyCycle_, complete + config_.mispredictPenalty);
+        // The next correct-path fetch re-touches I-cache and ITLB.
+        lastFetchLine_ = ~0ULL;
+    }
+
+    ++seq_;
+    ++counters_.instRetired;
+    counters_.cycles = lastCommitCycle_;
+}
+
+void
+Core::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    dtlb_.reset();
+    itlb_.reset();
+    bp_.reset();
+    decoder_.reset();
+    lsq_.reset();
+    counters_.reset();
+    stack_ = CpiStack{};
+    opPenalties_ = OpPenalties{};
+    pendingResteer_ = 0;
+    seq_ = 0;
+    fetchReadyCycle_ = 0;
+    lastDispatchCycle_ = 0;
+    dispatchedThisCycle_ = 0;
+    lastCommitCycle_ = 0;
+    committedThisCycle_ = 0;
+    lastFetchLine_ = ~0ULL;
+    lastFetchPage_ = ~0ULL;
+    std::fill(robCommit_.begin(), robCommit_.end(), 0);
+    std::fill(resultReady_.begin(), resultReady_.end(), 0);
+    std::fill(aluPortFree_.begin(), aluPortFree_.end(), 0);
+    std::fill(loadPortFree_.begin(), loadPortFree_.end(), 0);
+    std::fill(storePortFree_.begin(), storePortFree_.end(), 0);
+    std::fill(fpAddPortFree_.begin(), fpAddPortFree_.end(), 0);
+    std::fill(fpMulPortFree_.begin(), fpMulPortFree_.end(), 0);
+}
+
+} // namespace mtperf::uarch

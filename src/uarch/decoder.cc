@@ -1,0 +1,24 @@
+#include "uarch/decoder.h"
+
+namespace mtperf::uarch {
+
+Decoder::Decoder(const DecoderConfig &config) : config_(config)
+{
+}
+
+Cycle
+Decoder::decode(const MicroOp &op)
+{
+    if (!op.hasLcp)
+        return 0;
+    ++lcpStalls_;
+    return config_.lcpStallCycles;
+}
+
+void
+Decoder::reset()
+{
+    lcpStalls_ = 0;
+}
+
+} // namespace mtperf::uarch

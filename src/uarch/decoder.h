@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Instruction-length decoder model (LCP stalls).
+ *
+ * On Core 2, an operand-size-changing prefix (a "length changing
+ * prefix", e.g. 66h before an instruction with an immediate) defeats
+ * the pre-decoder's length speculation and costs a multi-cycle stall
+ * (ILD_STALL). Workloads compiled with 16-bit immediates — the paper
+ * calls out 403.gcc — hit this repeatedly. The model charges a fixed
+ * pre-decode bubble per LCP-marked instruction.
+ */
+
+#ifndef MTPERF_UARCH_DECODER_H_
+#define MTPERF_UARCH_DECODER_H_
+
+#include <cstdint>
+
+#include "uarch/types.h"
+
+namespace mtperf::uarch {
+
+/** Decoder timing parameters. */
+struct DecoderConfig
+{
+    /** Pre-decode bubble per length-changing prefix, in cycles. */
+    Cycle lcpStallCycles = 6;
+};
+
+/** Front-end length-decoder model: counts and charges LCP stalls. */
+class Decoder
+{
+  public:
+    explicit Decoder(const DecoderConfig &config = {});
+
+    /**
+     * Account for one fetched instruction.
+     * @return the decode bubble in cycles (0 for ordinary encodings).
+     */
+    Cycle decode(const MicroOp &op);
+
+    /** Clear statistics. */
+    void reset();
+
+    std::uint64_t lcpStalls() const { return lcpStalls_; }
+
+  private:
+    DecoderConfig config_;
+    std::uint64_t lcpStalls_ = 0;
+};
+
+} // namespace mtperf::uarch
+
+#endif // MTPERF_UARCH_DECODER_H_

@@ -1,0 +1,168 @@
+#include "uarch/event_counters.h"
+
+#include "common/logging.h"
+
+namespace mtperf::uarch {
+
+namespace {
+
+struct MetricRow
+{
+    std::string name;
+    std::string event;
+    std::string description;
+};
+
+const std::array<MetricRow, kNumPerfMetrics> &
+metricTable()
+{
+    static const std::array<MetricRow, kNumPerfMetrics> table = {{
+        {"InstLd", "INST_RETIRED.LOADS", "Loads per instruction"},
+        {"InstSt", "INST_RETIRED.STORES", "Stores per instruction"},
+        {"BrMisPr", "BR_INST_RETIRED.MISPRED",
+         "Mispredicted branches per instruction"},
+        {"BrPred", "BR_INST_RETIRED.ANY - BR_INST_RETIRED.MISPRED",
+         "Correctly predicted branches per instruction"},
+        {"InstOther",
+         "INST_RETIRED.ANY - (INST_RETIRED.LOADS + INST_RETIRED.STORES "
+         "+ BR_INST_RETIRED.ANY)",
+         "Non-branch and memory instructions per instruction"},
+        {"L1DM", "MEM_LOAD_RETIRED.L1D_LINE_MISS",
+         "L1 data misses per instruction"},
+        {"L1IM", "L1I_MISSES", "L1 instruction misses per instruction"},
+        {"L2M", "MEM_LOAD_RETIRED.L2_LINE_MISS",
+         "L2 misses per instruction"},
+        {"DtlbL0LdM", "DTLB_MISSES.L0_MISS_LD",
+         "Lowest level DTLB load misses per instruction"},
+        {"DtlbLdM", "DTLB_MISSES.MISS_LD",
+         "Last level DTLB load misses per instruction"},
+        {"DtlbLdReM", "MEM_LOAD_RETIRED.DTLB_MISS",
+         "Last level DTLB retired load misses per instruction"},
+        {"Dtlb", "DTLB_MISSES.ANY",
+         "Last level DTLB misses (including loads) per instruction"},
+        {"ItlbM", "ITLB.MISS_RETIRED", "ITLB misses per instruction"},
+        {"LdBlSta", "LOAD_BLOCK.STA",
+         "Load block store address events per instruction"},
+        {"LdBlStd", "LOAD_BLOCK.STD",
+         "Load block store data events per instruction"},
+        {"LdBlOvSt", "LOAD_BLOCK.OVERLAP_STORE",
+         "Load block overlap store per instruction"},
+        {"MisalRef", "MISALIGN_MEM_REF",
+         "Misaligned memory references per instruction"},
+        {"L1DSpLd", "L1D_SPLIT.LOADS",
+         "L1 data split loads per instruction"},
+        {"L1DSpSt", "L1D_SPLIT.STORES",
+         "L1 data split stores per instruction"},
+        {"LCP", "ILD_STALL",
+         "Length changing prefix stalls per instruction"},
+    }};
+    return table;
+}
+
+} // namespace
+
+EventCounters
+EventCounters::delta(const EventCounters &earlier) const
+{
+    EventCounters d;
+    d.cycles = cycles - earlier.cycles;
+    d.instRetired = instRetired - earlier.instRetired;
+    d.instLoads = instLoads - earlier.instLoads;
+    d.instStores = instStores - earlier.instStores;
+    d.brRetired = brRetired - earlier.brRetired;
+    d.brMispredicted = brMispredicted - earlier.brMispredicted;
+    d.l1dLineMiss = l1dLineMiss - earlier.l1dLineMiss;
+    d.l1iMiss = l1iMiss - earlier.l1iMiss;
+    d.l2LineMiss = l2LineMiss - earlier.l2LineMiss;
+    d.dtlbL0LdMiss = dtlbL0LdMiss - earlier.dtlbL0LdMiss;
+    d.dtlbLdMiss = dtlbLdMiss - earlier.dtlbLdMiss;
+    d.dtlbLdRetiredMiss = dtlbLdRetiredMiss - earlier.dtlbLdRetiredMiss;
+    d.dtlbAnyMiss = dtlbAnyMiss - earlier.dtlbAnyMiss;
+    d.itlbMiss = itlbMiss - earlier.itlbMiss;
+    d.ldBlockSta = ldBlockSta - earlier.ldBlockSta;
+    d.ldBlockStd = ldBlockStd - earlier.ldBlockStd;
+    d.ldBlockOverlapStore = ldBlockOverlapStore - earlier.ldBlockOverlapStore;
+    d.misalignedMemRef = misalignedMemRef - earlier.misalignedMemRef;
+    d.l1dSplitLoads = l1dSplitLoads - earlier.l1dSplitLoads;
+    d.l1dSplitStores = l1dSplitStores - earlier.l1dSplitStores;
+    d.lcpStalls = lcpStalls - earlier.lcpStalls;
+    return d;
+}
+
+const std::string &
+metricName(PerfMetric metric)
+{
+    return metricTable()[static_cast<std::size_t>(metric)].name;
+}
+
+const std::string &
+metricDescription(PerfMetric metric)
+{
+    return metricTable()[static_cast<std::size_t>(metric)].description;
+}
+
+const std::string &
+metricEvent(PerfMetric metric)
+{
+    return metricTable()[static_cast<std::size_t>(metric)].event;
+}
+
+std::array<double, kNumPerfMetrics>
+metricRatios(const EventCounters &c)
+{
+    mtperf_assert(c.instRetired > 0,
+                  "metric ratios need a nonzero instruction count");
+    const auto inst = static_cast<double>(c.instRetired);
+    auto per_inst = [inst](std::uint64_t count) {
+        return static_cast<double>(count) / inst;
+    };
+
+    const std::uint64_t br_pred = c.brRetired - c.brMispredicted;
+    const std::uint64_t mem_br =
+        c.instLoads + c.instStores + c.brRetired;
+    const std::uint64_t other =
+        c.instRetired > mem_br ? c.instRetired - mem_br : 0;
+
+    return {
+        per_inst(c.instLoads),
+        per_inst(c.instStores),
+        per_inst(c.brMispredicted),
+        per_inst(br_pred),
+        per_inst(other),
+        per_inst(c.l1dLineMiss),
+        per_inst(c.l1iMiss),
+        per_inst(c.l2LineMiss),
+        per_inst(c.dtlbL0LdMiss),
+        per_inst(c.dtlbLdMiss),
+        per_inst(c.dtlbLdRetiredMiss),
+        per_inst(c.dtlbAnyMiss),
+        per_inst(c.itlbMiss),
+        per_inst(c.ldBlockSta),
+        per_inst(c.ldBlockStd),
+        per_inst(c.ldBlockOverlapStore),
+        per_inst(c.misalignedMemRef),
+        per_inst(c.l1dSplitLoads),
+        per_inst(c.l1dSplitStores),
+        per_inst(c.lcpStalls),
+    };
+}
+
+double
+cpiOf(const EventCounters &c)
+{
+    mtperf_assert(c.instRetired > 0, "CPI needs a nonzero instruction count");
+    return static_cast<double>(c.cycles) /
+           static_cast<double>(c.instRetired);
+}
+
+Schema
+perfSchema()
+{
+    std::vector<Attribute> attrs;
+    attrs.reserve(kNumPerfMetrics);
+    for (const auto &row : metricTable())
+        attrs.push_back({row.name, row.description});
+    return Schema(std::move(attrs), "CPI");
+}
+
+} // namespace mtperf::uarch

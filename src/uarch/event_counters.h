@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The hardware event counters of Table I.
+ *
+ * EventCounters is the per-core counter file every structural model
+ * increments. PerfMetric enumerates the paper's 20 derived
+ * per-instruction predictor metrics; metricRatios() turns a counter
+ * delta into those ratios and perfSchema() names them for datasets,
+ * matching the paper's abbreviations (InstLd, BrMisPr, L2M, ...).
+ */
+
+#ifndef MTPERF_UARCH_EVENT_COUNTERS_H_
+#define MTPERF_UARCH_EVENT_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "data/attribute.h"
+
+namespace mtperf::uarch {
+
+/** Raw event counts, mirroring the Core-2 events of Table I. */
+struct EventCounters
+{
+    std::uint64_t cycles = 0;          //!< CPU_CLK_UNHALTED.CORE
+    std::uint64_t instRetired = 0;     //!< INST_RETIRED.ANY
+    std::uint64_t instLoads = 0;       //!< INST_RETIRED.LOADS
+    std::uint64_t instStores = 0;      //!< INST_RETIRED.STORES
+    std::uint64_t brRetired = 0;       //!< BR_INST_RETIRED.ANY
+    std::uint64_t brMispredicted = 0;  //!< BR_INST_RETIRED.MISPRED
+    std::uint64_t l1dLineMiss = 0;     //!< MEM_LOAD_RETIRED.L1D_LINE_MISS
+    std::uint64_t l1iMiss = 0;         //!< L1I_MISSES
+    std::uint64_t l2LineMiss = 0;      //!< MEM_LOAD_RETIRED.L2_LINE_MISS
+    std::uint64_t dtlbL0LdMiss = 0;    //!< DTLB_MISSES.L0_MISS_LD
+    std::uint64_t dtlbLdMiss = 0;      //!< DTLB_MISSES.MISS_LD
+    std::uint64_t dtlbLdRetiredMiss = 0; //!< MEM_LOAD_RETIRED.DTLB_MISS
+    std::uint64_t dtlbAnyMiss = 0;     //!< DTLB_MISSES.ANY
+    std::uint64_t itlbMiss = 0;        //!< ITLB.MISS_RETIRED
+    std::uint64_t ldBlockSta = 0;      //!< LOAD_BLOCK.STA
+    std::uint64_t ldBlockStd = 0;      //!< LOAD_BLOCK.STD
+    std::uint64_t ldBlockOverlapStore = 0; //!< LOAD_BLOCK.OVERLAP_STORE
+    std::uint64_t misalignedMemRef = 0; //!< MISALIGN_MEM_REF
+    std::uint64_t l1dSplitLoads = 0;   //!< L1D_SPLIT.LOADS
+    std::uint64_t l1dSplitStores = 0;  //!< L1D_SPLIT.STORES
+    std::uint64_t lcpStalls = 0;       //!< ILD_STALL
+
+    /** Zero every counter. */
+    void reset() { *this = EventCounters{}; }
+
+    /** Elementwise difference (this - earlier snapshot). */
+    EventCounters delta(const EventCounters &earlier) const;
+};
+
+/** The paper's 20 predictor metrics, in Table I order (minus CPI). */
+enum class PerfMetric : std::uint8_t {
+    InstLd,
+    InstSt,
+    BrMisPr,
+    BrPred,
+    InstOther,
+    L1DM,
+    L1IM,
+    L2M,
+    DtlbL0LdM,
+    DtlbLdM,
+    DtlbLdReM,
+    Dtlb,
+    ItlbM,
+    LdBlSta,
+    LdBlStd,
+    LdBlOvSt,
+    MisalRef,
+    L1DSpLd,
+    L1DSpSt,
+    LCP,
+};
+
+/** Number of predictor metrics. */
+inline constexpr std::size_t kNumPerfMetrics = 20;
+
+/** Short name of a metric, as the paper abbreviates it. */
+const std::string &metricName(PerfMetric metric);
+
+/** Human description of a metric (Table I's description column). */
+const std::string &metricDescription(PerfMetric metric);
+
+/** Underlying hardware event expression (Table I's event column). */
+const std::string &metricEvent(PerfMetric metric);
+
+/**
+ * Per-instruction ratios of a counter delta, in PerfMetric order.
+ * @pre counters.instRetired > 0.
+ */
+std::array<double, kNumPerfMetrics> metricRatios(
+    const EventCounters &counters);
+
+/** CPI of a counter delta. @pre counters.instRetired > 0. */
+double cpiOf(const EventCounters &counters);
+
+/**
+ * Dataset schema with one attribute per PerfMetric (with Table I
+ * descriptions) and "CPI" as the target.
+ */
+Schema perfSchema();
+
+} // namespace mtperf::uarch
+
+#endif // MTPERF_UARCH_EVENT_COUNTERS_H_

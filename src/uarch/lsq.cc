@@ -1,0 +1,87 @@
+#include "uarch/lsq.h"
+
+#include "common/logging.h"
+
+namespace mtperf::uarch {
+
+LoadStoreQueue::LoadStoreQueue(const LsqConfig &config) : config_(config)
+{
+    if (config_.storeBufferEntries == 0)
+        mtperf_fatal("LSQ: store buffer must have at least one entry");
+    buffer_.assign(config_.storeBufferEntries, StoreEntry{});
+}
+
+void
+LoadStoreQueue::recordStore(Addr addr, std::uint8_t size, bool addr_slow,
+                            std::uint64_t seq)
+{
+    buffer_[head_] = {addr, size, addr_slow, seq, true};
+    head_ = (head_ + 1) % buffer_.size();
+}
+
+LoadBlockResult
+LoadStoreQueue::checkLoad(Addr addr, std::uint8_t size, std::uint64_t seq)
+{
+    LoadBlockResult result;
+    const Addr load_begin = addr;
+    const Addr load_end = addr + size;
+
+    // Scan from the youngest store backwards; the nearest interacting
+    // store determines the outcome, matching how the hardware resolves
+    // the youngest-older-store dependence.
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+        const std::size_t slot =
+            (head_ + buffer_.size() - 1 - i) % buffer_.size();
+        const StoreEntry &store = buffer_[slot];
+        if (!store.valid || store.seq >= seq)
+            continue;
+        const std::uint64_t age = seq - store.seq;
+
+        // An unresolved store address blocks every younger load: the
+        // load cannot prove independence until the address computes.
+        if (store.addrSlow && age <= config_.staWindowOps) {
+            result.sta = true;
+            result.penalty += config_.staBlockCycles;
+            ++staBlocks_;
+            break;
+        }
+
+        const Addr store_begin = store.addr;
+        const Addr store_end = store.addr + store.size;
+        const bool disjoint =
+            load_end <= store_begin || store_end <= load_begin;
+        if (disjoint)
+            continue;
+
+        const bool covers = store_begin <= load_begin &&
+                            store_end >= load_end;
+        if (!covers) {
+            // Partial overlap can never forward; the load waits for
+            // the store to drain to the cache.
+            result.overlap = true;
+            result.penalty += config_.overlapBlockCycles;
+            ++overlapBlocks_;
+        } else if (age <= config_.stdWindowOps) {
+            // Full cover but the store data is not produced yet.
+            result.std = true;
+            result.penalty += config_.stdBlockCycles;
+            ++stdBlocks_;
+        }
+        // Full cover with ready data forwards for free.
+        break;
+    }
+    return result;
+}
+
+void
+LoadStoreQueue::reset()
+{
+    for (auto &entry : buffer_)
+        entry = StoreEntry{};
+    head_ = 0;
+    staBlocks_ = 0;
+    stdBlocks_ = 0;
+    overlapBlocks_ = 0;
+}
+
+} // namespace mtperf::uarch

@@ -1,0 +1,102 @@
+#include "uarch/tlb.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace mtperf::uarch {
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    if (config_.pageBytes == 0 ||
+        (config_.pageBytes & (config_.pageBytes - 1)) != 0) {
+        mtperf_fatal("TLB: page size must be a power of two");
+    }
+    if (config_.associativity == 0 ||
+        config_.entries % config_.associativity != 0) {
+        mtperf_fatal("TLB: entries must be a multiple of associativity");
+    }
+    numSets_ = config_.entries / config_.associativity;
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        mtperf_fatal("TLB: set count must be a power of two");
+    pageShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.pageBytes)));
+    entries_.assign(static_cast<std::size_t>(config_.entries), Entry{});
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    ++accesses_;
+    ++useClock_;
+    const Addr vpn = addr >> pageShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(vpn & (numSets_ - 1));
+    Entry *base = entries_.data() +
+                  static_cast<std::size_t>(set) * config_.associativity;
+
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lastUse = useClock_;
+            return true;
+        }
+    }
+
+    ++misses_;
+    Entry *victim = base;
+    for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = useClock_;
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    useClock_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+TwoLevelDtlb::TwoLevelDtlb(const TlbConfig &l0, const TlbConfig &main)
+    : l0_(l0), main_(main)
+{
+}
+
+DtlbLoadResult
+TwoLevelDtlb::translateLoad(Addr addr)
+{
+    DtlbLoadResult result;
+    result.l0Hit = l0_.access(addr);
+    if (result.l0Hit) {
+        result.mainHit = true; // inclusive: L0 content is in main
+        return result;
+    }
+    result.mainHit = main_.access(addr);
+    return result;
+}
+
+bool
+TwoLevelDtlb::translateStore(Addr addr)
+{
+    return main_.access(addr);
+}
+
+void
+TwoLevelDtlb::reset()
+{
+    l0_.reset();
+    main_.reset();
+}
+
+} // namespace mtperf::uarch

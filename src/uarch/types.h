@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental types shared by the microarchitecture model.
+ */
+
+#ifndef MTPERF_UARCH_TYPES_H_
+#define MTPERF_UARCH_TYPES_H_
+
+#include <cstdint>
+
+namespace mtperf::uarch {
+
+/** A byte address in the simulated virtual address space. */
+using Addr = std::uint64_t;
+
+/** A cycle timestamp. */
+using Cycle = std::uint64_t;
+
+/** Cache line size used throughout the Core-2-like hierarchy. */
+inline constexpr Addr kLineBytes = 64;
+
+/** Virtual page size for the TLB models. */
+inline constexpr Addr kPageBytes = 4096;
+
+/** Operation classes the timing core distinguishes. */
+enum class OpClass : std::uint8_t {
+    IntAlu,  //!< single-cycle integer op
+    IntMul,  //!< pipelined integer multiply
+    FpAdd,   //!< pipelined FP add/sub
+    FpMul,   //!< pipelined FP multiply
+    FpDiv,   //!< unpipelined FP divide
+    Load,    //!< memory read
+    Store,   //!< memory write
+    Branch,  //!< conditional branch
+};
+
+/** One dynamic instruction as the workload generator emits it. */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    Addr pc = 0;              //!< fetch address (drives L1I/ITLB/BP)
+    Addr addr = 0;            //!< effective address for Load/Store
+    std::uint8_t size = 4;    //!< access size in bytes for Load/Store
+    std::uint16_t depDist = 0; //!< distance to the producer op (0 = none)
+    bool taken = false;       //!< branch outcome
+    bool hasLcp = false;      //!< length-changing prefix in the encoding
+    bool storeAddrSlow = false; //!< store address produced late (STA risk)
+};
+
+} // namespace mtperf::uarch
+
+#endif // MTPERF_UARCH_TYPES_H_

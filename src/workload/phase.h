@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parameterization of a workload execution phase.
+ *
+ * The paper's suite (a subset of SPEC CPU2006) cannot ship with this
+ * repository, so workloads are described by the statistical properties
+ * that drive the Table-I events: instruction mix, data working set and
+ * access patterns, branch predictability, code footprint and the
+ * encoding/forwarding quirks. A workload is a sequence of phases;
+ * sectioning the execution by equal retired-instruction counts then
+ * yields the paper's phase-classified dataset.
+ */
+
+#ifndef MTPERF_WORKLOAD_PHASE_H_
+#define MTPERF_WORKLOAD_PHASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtperf::workload {
+
+/** Statistical description of one execution phase. */
+struct PhaseParams
+{
+    std::string name = "phase";
+
+    /** @name Instruction mix (fractions of the dynamic stream) */
+    ///@{
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpAddFrac = 0.0;
+    double fpMulFrac = 0.0;
+    double fpDivFrac = 0.0;
+    double intMulFrac = 0.02;
+    ///@}
+
+    /** @name Data-access behaviour */
+    ///@{
+    std::uint64_t workingSetBytes = 256 * 1024;
+    /**
+     * Fraction of random accesses that hit a small hot region (stack,
+     * locals, globals) instead of the large working set. Real codes
+     * spend roughly half their references there, which is what keeps
+     * L1 miss ratios in the single digits.
+     */
+    double hotFrac = 0.45;
+    /** Size of that hot region. */
+    std::uint64_t hotBytes = 16 * 1024;
+    /** Fraction of loads that pointer-chase (serial dependent misses). */
+    double pointerChaseFrac = 0.0;
+    /**
+     * Fraction of chase hops that stay on the current page (nodes
+     * allocated together). High values give L2-bound chases that are
+     * nonetheless DTLB-friendly.
+     */
+    double chasePageLocalFrac = 0.55;
+    /** Fraction of loads that stream sequentially with strideBytes. */
+    double streamFrac = 0.0;
+    std::uint64_t strideBytes = 64;
+    /** Zipf exponent of the random-access component (higher = hotter). */
+    double zipfS = 0.9;
+    ///@}
+
+    /** @name Branch behaviour */
+    ///@{
+    /** Probability a branch outcome is pure noise (unpredictable). */
+    double branchEntropy = 0.05;
+    /** Taken probability of the biased (predictable) branches. */
+    double takenBias = 0.7;
+    ///@}
+
+    /** @name Code behaviour */
+    ///@{
+    std::uint64_t codeFootprintBytes = 16 * 1024;
+    /** Zipf exponent of branch-target locality inside the footprint. */
+    double codeZipfS = 1.1;
+    /** Fraction of taken branches that jump far (new code region). */
+    double farJumpFrac = 0.15;
+    ///@}
+
+    /** @name Instruction-level parallelism */
+    ///@{
+    /** Geometric parameter of producer distance; higher = less ILP. */
+    double depGeoP = 0.25;
+    /** Fraction of ops with no register dependency at all. */
+    double depNoneFrac = 0.3;
+    ///@}
+
+    /** @name Encoding / forwarding quirks */
+    ///@{
+    double lcpFrac = 0.0;            //!< ops with a length-changing prefix
+    double misalignedFrac = 0.0;     //!< memory ops with unaligned address
+    double storeForwardFrac = 0.0;   //!< loads that read a recent store
+    double storeForwardPartialFrac = 0.25; //!< of those, partial overlaps
+    double storeAddrSlowFrac = 0.0;  //!< stores with late-resolving address
+    ///@}
+
+    /**
+     * Validate ranges (fractions in [0,1], mixes summing below 1).
+     * @throw FatalError with the offending field named.
+     */
+    void validate() const;
+};
+
+/** A phase and how many sections of it a run should execute. */
+struct PhaseSpec
+{
+    PhaseParams params;
+    std::size_t sections = 1;
+};
+
+/** A named workload: an ordered list of phases. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<PhaseSpec> phases;
+
+    /** Total sections across all phases. */
+    std::size_t totalSections() const;
+};
+
+} // namespace mtperf::workload
+
+#endif // MTPERF_WORKLOAD_PHASE_H_

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sectioned workload execution.
+ *
+ * The paper samples counters over spans of equal retired-instruction
+ * counts ("sections"). The runner executes a workload's phases on a
+ * timing core, snapshotting the counter file at section boundaries,
+ * and optionally jitters the phase parameters a little per section —
+ * real program phases are not statistically stationary, and that
+ * within-class variation is what gives the leaf models something to
+ * regress.
+ */
+
+#ifndef MTPERF_WORKLOAD_RUNNER_H_
+#define MTPERF_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "uarch/core.h"
+#include "workload/phase.h"
+
+namespace mtperf::workload {
+
+/** Counter deltas for one section of one workload. */
+struct SectionRecord
+{
+    std::string workload;
+    std::string phase;
+    std::size_t sectionIndex = 0; //!< position within the workload run
+    uarch::EventCounters counters; //!< deltas over the section
+};
+
+/** Execution parameters for a suite run. */
+struct RunnerOptions
+{
+    /** Retired instructions per section (the sectioning grain). */
+    std::uint64_t instructionsPerSection = 10000;
+
+    /** Relative per-section jitter applied to phase parameters. */
+    double paramJitter = 0.18;
+
+    /** Master seed; workload streams derive from it deterministically. */
+    std::uint64_t seed = 42;
+
+    /** Scale factor on every phase's section budget. */
+    double sectionScale = 1.0;
+
+    /** Machine model to run on. */
+    uarch::CoreConfig coreConfig = uarch::CoreConfig::core2Like();
+};
+
+/**
+ * Jitter a phase's parameters by up to +/- @p jitter relatively,
+ * keeping every field in its valid range.
+ */
+PhaseParams jitterPhase(const PhaseParams &params, double jitter, Rng &rng);
+
+/** Run one workload and return its per-section counter records. */
+std::vector<SectionRecord> runWorkload(const WorkloadSpec &spec,
+                                       const RunnerOptions &options);
+
+/** Run every workload in @p suite (fresh core per workload). */
+std::vector<SectionRecord> runSuite(const std::vector<WorkloadSpec> &suite,
+                                    const RunnerOptions &options);
+
+} // namespace mtperf::workload
+
+#endif // MTPERF_WORKLOAD_RUNNER_H_

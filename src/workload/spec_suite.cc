@@ -1,0 +1,443 @@
+#include "workload/spec_suite.h"
+
+#include "common/logging.h"
+
+namespace mtperf::workload {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/** Common starting point: a mildly branchy integer mix. */
+PhaseParams
+basePhase(const std::string &name)
+{
+    PhaseParams p;
+    p.name = name;
+    p.loadFrac = 0.26;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.16;
+    p.intMulFrac = 0.02;
+    p.workingSetBytes = 256 * kKiB;
+    p.hotFrac = 0.55;
+    p.zipfS = 1.05;
+    p.branchEntropy = 0.05;
+    p.takenBias = 0.92;
+    p.codeFootprintBytes = 24 * kKiB;
+    p.codeZipfS = 1.1;
+    p.farJumpFrac = 0.12;
+    p.depGeoP = 0.3;
+    p.depNoneFrac = 0.35;
+    return p;
+}
+
+WorkloadSpec
+mcfLike()
+{
+    // 429.mcf: network simplex over a huge pointer-linked graph.
+    // Dominated by dependent L2/DRAM misses and DTLB walks.
+    auto chase = basePhase("chase");
+    chase.loadFrac = 0.32;
+    chase.storeFrac = 0.08;
+    chase.branchFrac = 0.18;
+    chase.workingSetBytes = 96 * kMiB;
+    chase.pointerChaseFrac = 0.14;
+    chase.zipfS = 0.85;
+    chase.hotFrac = 0.45;
+    chase.branchEntropy = 0.09;
+    chase.depNoneFrac = 0.25;
+
+    auto relax = chase;
+    relax.name = "relax";
+    relax.pointerChaseFrac = 0.06;
+    relax.streamFrac = 0.18;
+    relax.workingSetBytes = 48 * kMiB;
+
+    return {"mcf_like", {{chase, 340}, {relax, 260}}};
+}
+
+WorkloadSpec
+cactusLike()
+{
+    // 436.cactusADM: staggered-leapfrog PDE solver; famously large
+    // code footprint (instruction misses) on top of big FP data.
+    auto kernel = basePhase("kernel");
+    kernel.loadFrac = 0.34;
+    kernel.storeFrac = 0.12;
+    kernel.branchFrac = 0.06;
+    kernel.fpAddFrac = 0.16;
+    kernel.fpMulFrac = 0.14;
+    kernel.workingSetBytes = 48 * kMiB;
+    kernel.streamFrac = 0.40;
+    kernel.strideBytes = 16;
+    kernel.pointerChaseFrac = 0.04;
+    kernel.zipfS = 1.0;
+    kernel.codeFootprintBytes = 1536 * kKiB;
+    kernel.codeZipfS = 0.95;
+    kernel.farJumpFrac = 0.22;
+    kernel.branchEntropy = 0.03;
+    kernel.depNoneFrac = 0.55;
+    return {"cactus_like", {{kernel, 620}}};
+}
+
+WorkloadSpec
+gccLike()
+{
+    // 403.gcc: compiler passes; moderate cache misses plus the LCP
+    // (length-changing-prefix) decode stalls the paper highlights,
+    // concentrated in ~20% of the sections.
+    auto lcp_phase = basePhase("lcp_pass");
+    lcp_phase.lcpFrac = 0.10;
+    lcp_phase.workingSetBytes = 2 * kMiB;
+    lcp_phase.zipfS = 1.05;
+    lcp_phase.codeFootprintBytes = 768 * kKiB;
+    lcp_phase.farJumpFrac = 0.12;
+    lcp_phase.codeZipfS = 1.25;
+    lcp_phase.branchFrac = 0.20;
+    lcp_phase.branchEntropy = 0.07;
+
+    auto normal = basePhase("middle_end");
+    normal.lcpFrac = 0.005;
+    normal.workingSetBytes = 6 * kMiB;
+    normal.codeFootprintBytes = 640 * kKiB;
+    normal.farJumpFrac = 0.10;
+    normal.codeZipfS = 1.25;
+    normal.branchFrac = 0.20;
+    normal.branchEntropy = 0.08;
+    normal.zipfS = 1.0;
+
+    return {"gcc_like", {{lcp_phase, 130}, {normal, 470}}};
+}
+
+WorkloadSpec
+hmmerLike()
+{
+    // 456.hmmer: profile HMM scoring; tight compute loops, tiny
+    // working set, near-perfect branches — the low-CPI anchor.
+    auto inner = basePhase("viterbi");
+    inner.loadFrac = 0.30;
+    inner.storeFrac = 0.12;
+    inner.branchFrac = 0.08;
+    inner.workingSetBytes = 96 * kKiB;
+    inner.zipfS = 1.1;
+    inner.branchEntropy = 0.01;
+    inner.takenBias = 0.97;
+    inner.codeFootprintBytes = 8 * kKiB;
+    inner.depNoneFrac = 0.55;
+    inner.depGeoP = 0.5;
+    return {"hmmer_like", {{inner, 560}}};
+}
+
+WorkloadSpec
+libquantumLike()
+{
+    // 462.libquantum: long unit-stride sweeps over a gate array; the
+    // streamer prefetcher turns DRAM misses into L2 hits, and high
+    // MLP hides the rest.
+    auto sweep = basePhase("gate_sweep");
+    sweep.loadFrac = 0.30;
+    sweep.storeFrac = 0.14;
+    sweep.branchFrac = 0.12;
+    sweep.workingSetBytes = 32 * kMiB;
+    sweep.streamFrac = 0.85;
+    sweep.strideBytes = 16;
+    sweep.branchEntropy = 0.01;
+    sweep.takenBias = 0.97;
+    sweep.codeFootprintBytes = 6 * kKiB;
+    sweep.depNoneFrac = 0.6;
+    sweep.depGeoP = 0.45;
+    return {"libquantum_like", {{sweep, 560}}};
+}
+
+WorkloadSpec
+omnetppLike()
+{
+    // 471.omnetpp: discrete-event simulation over heap-allocated
+    // message objects; scattered accesses, DTLB pressure, branchy.
+    auto events = basePhase("event_loop");
+    events.loadFrac = 0.30;
+    events.storeFrac = 0.12;
+    events.branchFrac = 0.20;
+    events.workingSetBytes = 40 * kMiB;
+    events.pointerChaseFrac = 0.055;
+    events.zipfS = 0.8;
+    events.branchEntropy = 0.08;
+    events.codeFootprintBytes = 256 * kKiB;
+    events.farJumpFrac = 0.10;
+    events.depNoneFrac = 0.3;
+    return {"omnetpp_like", {{events, 600}}};
+}
+
+WorkloadSpec
+sjengLike()
+{
+    // 458.sjeng: game-tree search; data fits caches, but branches are
+    // data-dependent and mispredict constantly.
+    auto search = basePhase("search");
+    search.loadFrac = 0.24;
+    search.storeFrac = 0.08;
+    search.branchFrac = 0.21;
+    search.workingSetBytes = 4 * kMiB;
+    search.zipfS = 1.0;
+    search.branchEntropy = 0.08;
+    search.takenBias = 0.88;
+    search.codeFootprintBytes = 96 * kKiB;
+    search.farJumpFrac = 0.2;
+    return {"sjeng_like", {{search, 600}}};
+}
+
+WorkloadSpec
+bzip2Like()
+{
+    // 401.bzip2: alternating compress / decompress phases with very
+    // different locality, a classic phase-behaviour example.
+    auto compress = basePhase("compress");
+    compress.workingSetBytes = 9 * kMiB;
+    compress.zipfS = 0.8;
+    compress.branchFrac = 0.18;
+    compress.branchEntropy = 0.07;
+    compress.loadFrac = 0.28;
+    compress.storeFrac = 0.11;
+
+    auto decompress = basePhase("decompress");
+    decompress.workingSetBytes = 1 * kMiB;
+    decompress.streamFrac = 0.30;
+    decompress.branchFrac = 0.18;
+    decompress.branchEntropy = 0.08;
+    decompress.zipfS = 1.0;
+
+    return {"bzip2_like",
+            {{compress, 170},
+             {decompress, 130},
+             {compress, 170},
+             {decompress, 130}}};
+}
+
+WorkloadSpec
+h264Like()
+{
+    // 464.h264ref: motion estimation reads misaligned 4/8-byte pixel
+    // windows that frequently split cache lines and collide with
+    // just-written reference data (store-forward traffic).
+    auto encode = basePhase("motion_est");
+    encode.loadFrac = 0.34;
+    encode.storeFrac = 0.13;
+    encode.branchFrac = 0.13;
+    encode.fpAddFrac = 0.04;
+    encode.workingSetBytes = 2 * kMiB;
+    encode.streamFrac = 0.45;
+    encode.strideBytes = 16;
+    encode.misalignedFrac = 0.16;
+    encode.storeForwardFrac = 0.12;
+    encode.storeForwardPartialFrac = 0.35;
+    encode.branchEntropy = 0.07;
+    encode.codeFootprintBytes = 192 * kKiB;
+    encode.depNoneFrac = 0.45;
+    return {"h264_like", {{encode, 600}}};
+}
+
+WorkloadSpec
+gobmkLike()
+{
+    // 445.gobmk: Go engine; branch-heavy pattern matching over a
+    // moderate working set and code footprint.
+    auto patterns = basePhase("patterns");
+    patterns.loadFrac = 0.27;
+    patterns.storeFrac = 0.10;
+    patterns.branchFrac = 0.22;
+    patterns.workingSetBytes = 3 * kMiB;
+    patterns.branchEntropy = 0.08;
+    patterns.takenBias = 0.88;
+    patterns.codeFootprintBytes = 384 * kKiB;
+    patterns.farJumpFrac = 0.10;
+    patterns.codeZipfS = 1.15;
+    return {"gobmk_like", {{patterns, 600}}};
+}
+
+WorkloadSpec
+bwavesLike()
+{
+    // 410.bwaves: blocked FP stencil; streaming DRAM traffic with
+    // plenty of independent loads (high MLP).
+    auto stencil = basePhase("stencil");
+    stencil.loadFrac = 0.36;
+    stencil.storeFrac = 0.12;
+    stencil.branchFrac = 0.05;
+    stencil.fpAddFrac = 0.18;
+    stencil.fpMulFrac = 0.14;
+    stencil.workingSetBytes = 72 * kMiB;
+    stencil.streamFrac = 0.70;
+    stencil.strideBytes = 24;
+    stencil.branchEntropy = 0.01;
+    stencil.takenBias = 0.97;
+    stencil.codeFootprintBytes = 12 * kKiB;
+    stencil.depNoneFrac = 0.55;
+    stencil.depGeoP = 0.45;
+    return {"bwaves_like", {{stencil, 600}}};
+}
+
+WorkloadSpec
+lbmLike()
+{
+    // 470.lbm: lattice-Boltzmann; strided sweeps over a huge grid,
+    // memory-bandwidth bound with some write traffic.
+    auto collide = basePhase("collide_stream");
+    collide.loadFrac = 0.33;
+    collide.storeFrac = 0.17;
+    collide.branchFrac = 0.04;
+    collide.fpAddFrac = 0.16;
+    collide.fpMulFrac = 0.12;
+    collide.workingSetBytes = 128 * kMiB;
+    collide.streamFrac = 0.55;
+    collide.strideBytes = 32;
+    collide.zipfS = 0.8;
+    collide.branchEntropy = 0.01;
+    collide.codeFootprintBytes = 8 * kKiB;
+    collide.depNoneFrac = 0.5;
+    return {"lbm_like", {{collide, 600}}};
+}
+
+WorkloadSpec
+leslieLike()
+{
+    // 437.leslie3d: finite-difference fluid dynamics; mixed strided
+    // and reused accesses on a mid-sized set.
+    auto solve = basePhase("solve");
+    solve.loadFrac = 0.34;
+    solve.storeFrac = 0.13;
+    solve.branchFrac = 0.06;
+    solve.fpAddFrac = 0.15;
+    solve.fpMulFrac = 0.12;
+    solve.workingSetBytes = 20 * kMiB;
+    solve.streamFrac = 0.5;
+    solve.strideBytes = 24;
+    solve.zipfS = 0.7;
+    solve.branchEntropy = 0.02;
+    solve.codeFootprintBytes = 48 * kKiB;
+    solve.depNoneFrac = 0.45;
+    return {"leslie_like", {{solve, 600}}};
+}
+
+WorkloadSpec
+povrayLike()
+{
+    // 453.povray: ray tracing; cache-resident FP compute with divides
+    // and moderately predictable branching.
+    auto trace = basePhase("trace");
+    trace.loadFrac = 0.28;
+    trace.storeFrac = 0.09;
+    trace.branchFrac = 0.15;
+    trace.fpAddFrac = 0.12;
+    trace.fpMulFrac = 0.10;
+    trace.fpDivFrac = 0.015;
+    trace.workingSetBytes = 512 * kKiB;
+    trace.zipfS = 1.0;
+    trace.branchEntropy = 0.07;
+    trace.codeFootprintBytes = 160 * kKiB;
+    trace.farJumpFrac = 0.2;
+    trace.depNoneFrac = 0.4;
+    return {"povray_like", {{trace, 600}}};
+}
+
+WorkloadSpec
+soplexLike()
+{
+    // 450.soplex: sparse LP solver; walks large column-major arrays
+    // through indirection that is page-local but line-missing, so L2
+    // misses are high and serialized while the DTLB stays quiet.
+    auto simplex = basePhase("price_ratio");
+    simplex.loadFrac = 0.33;
+    simplex.storeFrac = 0.08;
+    simplex.branchFrac = 0.14;
+    simplex.fpAddFrac = 0.08;
+    simplex.fpMulFrac = 0.06;
+    simplex.workingSetBytes = 56 * kMiB;
+    simplex.pointerChaseFrac = 0.16;
+    simplex.chasePageLocalFrac = 0.93;
+    simplex.zipfS = 1.05;
+    simplex.hotFrac = 0.6;
+    simplex.branchEntropy = 0.06;
+    simplex.codeFootprintBytes = 64 * kKiB;
+    simplex.depNoneFrac = 0.3;
+    return {"soplex_like", {{simplex, 600}}};
+}
+
+WorkloadSpec
+astarLike()
+{
+    // 473.astar: pathfinding over a few-MB map; the working set fits
+    // the 4 MB L2 but its pages far exceed DTLB reach (the paper
+    // notes the Core 2 DTLB maps only ~1/4 of the L2), so page walks
+    // dominate while L2 misses stay rare.
+    auto path = basePhase("pathfind");
+    path.loadFrac = 0.31;
+    path.storeFrac = 0.09;
+    path.branchFrac = 0.17;
+    path.workingSetBytes = 3 * kMiB;
+    path.zipfS = 0.5;
+    path.hotFrac = 0.3;
+    path.pointerChaseFrac = 0.10;
+    path.chasePageLocalFrac = 0.25;
+    path.branchEntropy = 0.09;
+    path.codeFootprintBytes = 32 * kKiB;
+    path.depNoneFrac = 0.28;
+    return {"astar_like", {{path, 600}}};
+}
+
+WorkloadSpec
+perlLike()
+{
+    // 400.perlbench: interpreter; store-forwarding hazards from stack
+    // traffic (late-resolving store addresses blocking loads) plus
+    // branchy dispatch.
+    auto interp = basePhase("interp");
+    interp.loadFrac = 0.30;
+    interp.storeFrac = 0.14;
+    interp.branchFrac = 0.19;
+    interp.workingSetBytes = 1 * kMiB;
+    interp.zipfS = 1.0;
+    interp.branchEntropy = 0.08;
+    interp.storeForwardFrac = 0.30;
+    interp.storeForwardPartialFrac = 0.3;
+    interp.storeAddrSlowFrac = 0.25;
+    interp.codeFootprintBytes = 448 * kKiB;
+    interp.farJumpFrac = 0.12;
+    interp.codeZipfS = 1.2;
+    return {"perl_like", {{interp, 600}}};
+}
+
+} // namespace
+
+std::vector<WorkloadSpec>
+specLikeSuite()
+{
+    return {
+        mcfLike(),     cactusLike(), gccLike(),        hmmerLike(),
+        libquantumLike(), omnetppLike(), sjengLike(),  bzip2Like(),
+        h264Like(),    gobmkLike(),  bwavesLike(),     lbmLike(),
+        leslieLike(),  povrayLike(), perlLike(),       soplexLike(),
+        astarLike(),
+    };
+}
+
+WorkloadSpec
+suiteWorkload(const std::string &name)
+{
+    for (auto &spec : specLikeSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    mtperf_fatal("no suite workload named '", name, "'");
+}
+
+std::vector<std::string>
+suiteWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : specLikeSuite())
+        names.push_back(spec.name);
+    return names;
+}
+
+} // namespace mtperf::workload

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The synthetic SPEC-CPU2006-like workload suite.
+ *
+ * Each workload is a phase-parameter model of the qualitative
+ * behaviour the corresponding SPEC benchmark shows on a Core-2-class
+ * machine: 429.mcf pointer-chases a huge working set (L2 + DTLB
+ * bound), 436.cactusADM combines a large code footprint with big data
+ * (L1I + L2 bound), 403.gcc has LCP-afflicted phases, 458.sjeng is
+ * mispredict bound, 462.libquantum streams prefetch-friendly data,
+ * and so on. The absolute numbers are tuned, not measured; what the
+ * experiments rely on is that the suite spans the same diverse mix of
+ * bottleneck classes the paper's dataset did.
+ */
+
+#ifndef MTPERF_WORKLOAD_SPEC_SUITE_H_
+#define MTPERF_WORKLOAD_SPEC_SUITE_H_
+
+#include <vector>
+
+#include "workload/phase.h"
+
+namespace mtperf::workload {
+
+/** The full 17-workload suite, with per-phase section budgets. */
+std::vector<WorkloadSpec> specLikeSuite();
+
+/** Look up one suite workload by name. @throw FatalError if absent. */
+WorkloadSpec suiteWorkload(const std::string &name);
+
+/** Names of all suite workloads, in suite order. */
+std::vector<std::string> suiteWorkloadNames();
+
+} // namespace mtperf::workload
+
+#endif // MTPERF_WORKLOAD_SPEC_SUITE_H_

@@ -1,0 +1,175 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+#include "workload/stream_gen.h"
+
+namespace mtperf::workload {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5450544d; // "MTPT" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordBytes = 24;
+
+struct Header
+{
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kVersion;
+    std::uint64_t count = 0;
+};
+
+void
+encode(const uarch::MicroOp &op, unsigned char *buffer)
+{
+    buffer[0] = static_cast<unsigned char>(op.cls);
+    buffer[1] = op.size;
+    buffer[2] = static_cast<unsigned char>((op.taken ? 1 : 0) |
+                                           (op.hasLcp ? 2 : 0) |
+                                           (op.storeAddrSlow ? 4 : 0));
+    buffer[3] = 0;
+    std::memcpy(buffer + 4, &op.depDist, sizeof(op.depDist));
+    buffer[6] = 0;
+    buffer[7] = 0;
+    std::memcpy(buffer + 8, &op.pc, sizeof(op.pc));
+    std::memcpy(buffer + 16, &op.addr, sizeof(op.addr));
+}
+
+void
+decode(const unsigned char *buffer, uarch::MicroOp &op)
+{
+    op.cls = static_cast<uarch::OpClass>(buffer[0]);
+    op.size = buffer[1];
+    op.taken = (buffer[2] & 1) != 0;
+    op.hasLcp = (buffer[2] & 2) != 0;
+    op.storeAddrSlow = (buffer[2] & 4) != 0;
+    std::memcpy(&op.depDist, buffer + 4, sizeof(op.depDist));
+    std::memcpy(&op.pc, buffer + 8, sizeof(op.pc));
+    std::memcpy(&op.addr, buffer + 16, sizeof(op.addr));
+}
+
+} // namespace
+
+struct TraceWriter::Impl
+{
+    std::ofstream out;
+    bool closed = false;
+};
+
+TraceWriter::TraceWriter(const std::string &path) : impl_(new Impl)
+{
+    impl_->out.open(path, std::ios::binary | std::ios::trunc);
+    if (!impl_->out) {
+        delete impl_;
+        mtperf_fatal("cannot open trace file for writing: ", path);
+    }
+    Header header;
+    impl_->out.write(reinterpret_cast<const char *>(&header),
+                     sizeof(header));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+    delete impl_;
+}
+
+void
+TraceWriter::write(const uarch::MicroOp &op)
+{
+    mtperf_assert(!impl_->closed, "write() after close()");
+    unsigned char buffer[kRecordBytes];
+    encode(op, buffer);
+    impl_->out.write(reinterpret_cast<const char *>(buffer),
+                     kRecordBytes);
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (impl_->closed)
+        return;
+    impl_->closed = true;
+    // Rewrite the header with the final count.
+    Header header;
+    header.count = count_;
+    impl_->out.seekp(0);
+    impl_->out.write(reinterpret_cast<const char *>(&header),
+                     sizeof(header));
+    impl_->out.flush();
+    if (!impl_->out)
+        mtperf_fatal("trace write failed while finalizing");
+    impl_->out.close();
+}
+
+struct TraceReader::Impl
+{
+    std::ifstream in;
+};
+
+TraceReader::TraceReader(const std::string &path) : impl_(new Impl)
+{
+    impl_->in.open(path, std::ios::binary);
+    if (!impl_->in) {
+        delete impl_;
+        mtperf_fatal("cannot open trace file: ", path);
+    }
+    Header header;
+    impl_->in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!impl_->in || header.magic != kMagic) {
+        delete impl_;
+        mtperf_fatal("not an mtperf trace: ", path);
+    }
+    if (header.version != kVersion) {
+        delete impl_;
+        mtperf_fatal("unsupported trace version in ", path);
+    }
+    count_ = header.count;
+}
+
+TraceReader::~TraceReader()
+{
+    delete impl_;
+}
+
+bool
+TraceReader::next(uarch::MicroOp &op)
+{
+    if (position_ >= count_)
+        return false;
+    unsigned char buffer[kRecordBytes];
+    impl_->in.read(reinterpret_cast<char *>(buffer), kRecordBytes);
+    if (!impl_->in)
+        mtperf_fatal("truncated trace (", position_, " of ", count_,
+                     " records)");
+    decode(buffer, op);
+    ++position_;
+    return true;
+}
+
+std::uint64_t
+recordTrace(const PhaseParams &phase, std::uint64_t seed,
+            std::uint64_t instructions, const std::string &path)
+{
+    StreamGenerator generator(phase, seed);
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < instructions; ++i)
+        writer.write(generator.next());
+    writer.close();
+    return writer.written();
+}
+
+std::uint64_t
+replayTrace(const std::string &path, uarch::Core &core)
+{
+    TraceReader reader(path);
+    uarch::MicroOp op;
+    while (reader.next(op))
+        core.execute(op);
+    return reader.position();
+}
+
+} // namespace mtperf::workload

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Instruction-trace capture and replay.
+ *
+ * The related work the paper contrasts itself with is trace-driven
+ * simulation; this module makes the substrate usable in that mode
+ * too: capture a workload's MicroOp stream to a compact binary trace
+ * once, then replay it deterministically through any machine
+ * configuration. Replaying the same trace on two configs isolates
+ * the machine's contribution exactly (no workload randomness), which
+ * the design-space examples exploit.
+ *
+ * Format (little-endian, fixed-size records):
+ *   header: magic "MTPT" u32, version u32, count u64
+ *   record: cls u8, size u8, flags u8 (bit0 taken, bit1 lcp,
+ *           bit2 addrSlow), pad u8, depDist u16, pad u16,
+ *           pc u64, addr u64
+ */
+
+#ifndef MTPERF_WORKLOAD_TRACE_H_
+#define MTPERF_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "uarch/core.h"
+#include "uarch/types.h"
+#include "workload/phase.h"
+
+namespace mtperf::workload {
+
+/** Streaming writer for binary instruction traces. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing. @throw FatalError on I/O failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one instruction. */
+    void write(const uarch::MicroOp &op);
+
+    /** Flush and finalize the header. Called by the destructor too. */
+    void close();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    struct Impl;
+    Impl *impl_;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming reader for binary instruction traces. */
+class TraceReader
+{
+  public:
+    /** Open @p path. @throw FatalError on missing/corrupt file. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Total instructions in the trace. */
+    std::uint64_t size() const { return count_; }
+
+    /** Instructions read so far. */
+    std::uint64_t position() const { return position_; }
+
+    /**
+     * Read the next instruction into @p op.
+     * @return false at end of trace.
+     * @throw FatalError on a truncated file.
+     */
+    bool next(uarch::MicroOp &op);
+
+  private:
+    struct Impl;
+    Impl *impl_;
+    std::uint64_t count_ = 0;
+    std::uint64_t position_ = 0;
+};
+
+/**
+ * Capture @p instructions of one phase's stream to @p path.
+ * @return the number written.
+ */
+std::uint64_t recordTrace(const PhaseParams &phase, std::uint64_t seed,
+                          std::uint64_t instructions,
+                          const std::string &path);
+
+/**
+ * Replay a whole trace through @p core.
+ * @return instructions replayed.
+ */
+std::uint64_t replayTrace(const std::string &path, uarch::Core &core);
+
+} // namespace mtperf::workload
+
+#endif // MTPERF_WORKLOAD_TRACE_H_

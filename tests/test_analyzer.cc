@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the performance-analysis layer ("what" / "how much").
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "perf/analyzer.h"
+
+namespace mtperf::perf {
+namespace {
+
+/**
+ * Two clearly separated performance classes over a two-attribute
+ * schema modeled on the paper's events:
+ *   l2m <= 0.05:  cpi = 0.5 + 10 * brmis
+ *   l2m >  0.05:  cpi = 1.0 + 60 * l2m
+ */
+Dataset
+twoClassDataset(std::size_t n, std::uint64_t seed = 1)
+{
+    Dataset ds(Schema(std::vector<std::string>{"L2M", "BrMisPr"}, "CPI"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool memory_bound = rng.chance(0.5);
+        const double l2m = memory_bound ? rng.uniform(0.08, 0.2)
+                                        : rng.uniform(0.0, 0.02);
+        const double brmis = rng.uniform(0.0, 0.03);
+        const double cpi = memory_bound ? 1.0 + 60.0 * l2m
+                                        : 0.5 + 10.0 * brmis;
+        ds.addRow(std::vector<double>{l2m, brmis}, cpi,
+                  memory_bound ? "membound/x" : "cpubound/y");
+    }
+    return ds;
+}
+
+M5Prime
+trainedTree(const Dataset &ds)
+{
+    M5Options o;
+    o.minInstances = 40;
+    o.smooth = false; // exact leaf-model arithmetic in tests
+    M5Prime tree(o);
+    tree.fit(ds);
+    return tree;
+}
+
+TEST(Analyzer, ContributionsMatchEquationFourArithmetic)
+{
+    const Dataset ds = twoClassDataset(2000);
+    const M5Prime tree = trainedTree(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    // A memory-bound section: CPI = 1.0 + 60 * 0.1 = 7.0; the L2M
+    // contribution per Eq. 4 is 60 * 0.1 / 7.0.
+    const std::vector<double> row{0.1, 0.01};
+    const auto contribs = analyzer.contributions(row);
+    ASSERT_FALSE(contribs.empty());
+    EXPECT_EQ(contribs[0].attr, 0u);
+    EXPECT_NEAR(contribs[0].contribution, 6.0 / 7.0, 0.05);
+    // And they are sorted descending.
+    for (std::size_t i = 1; i < contribs.size(); ++i)
+        EXPECT_LE(contribs[i].contribution,
+                  contribs[i - 1].contribution);
+}
+
+TEST(Analyzer, PotentialGainMatchesContribution)
+{
+    const Dataset ds = twoClassDataset(2000);
+    const M5Prime tree = trainedTree(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    // Eliminating the dominant event of a memory-bound section:
+    // 60 * 0.1 / (1 + 6) ~ 86%.
+    const std::vector<double> mem_row{0.1, 0.01};
+    EXPECT_NEAR(analyzer.potentialGain(mem_row, 0), 6.0 / 7.0, 0.05);
+
+    // potentialGain agrees with the contributions() decomposition for
+    // every reported event.
+    for (const auto &c : analyzer.contributions(mem_row)) {
+        EXPECT_NEAR(analyzer.potentialGain(mem_row, c.attr),
+                    c.contribution, 1e-12);
+    }
+}
+
+TEST(Analyzer, ClassifyCountsAndComposition)
+{
+    const Dataset ds = twoClassDataset(2000);
+    const M5Prime tree = trainedTree(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    const auto summary = analyzer.classify(ds);
+    EXPECT_EQ(summary.leafOf.size(), ds.size());
+    std::size_t total = 0;
+    for (std::size_t c : summary.leafCounts)
+        total += c;
+    EXPECT_EQ(total, ds.size());
+
+    // The classes separate the workloads: summed over the leaves on
+    // the memory-bound side of the root split (L2M > threshold), the
+    // membound workload accounts for (nearly) all rows and cpubound
+    // for none.
+    const auto sites = tree.splitSites();
+    ASSERT_FALSE(sites.empty());
+    double mem_in_right = 0.0, cpu_in_right = 0.0;
+    for (std::size_t leaf = 0; leaf < tree.numLeaves(); ++leaf) {
+        const auto &path = tree.leafInfo(leaf).path;
+        if (path.empty() || !path[0].goesRight)
+            continue;
+        mem_in_right +=
+            summary.workloadFractionInLeaf("membound", leaf);
+        cpu_in_right +=
+            summary.workloadFractionInLeaf("cpubound", leaf);
+    }
+    EXPECT_GT(mem_in_right, 0.95);
+    EXPECT_LT(cpu_in_right, 0.05);
+}
+
+TEST(Analyzer, SplitImpactsIdentifyTheRootVariable)
+{
+    const Dataset ds = twoClassDataset(3000);
+    const M5Prime tree = trainedTree(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    const auto impacts = analyzer.splitImpacts(ds);
+    ASSERT_FALSE(impacts.empty());
+    const auto &root = impacts[0];
+    EXPECT_TRUE(root.site.pathTo.empty());
+    EXPECT_EQ(root.site.attr, 0u); // L2M separates the classes
+    EXPECT_EQ(root.nLeft + root.nRight, ds.size());
+    // Memory-bound side CPI mean ~ 1 + 60*0.14 = 9.4 vs ~0.65.
+    EXPECT_GT(root.meanRight, root.meanLeft + 5.0);
+    EXPECT_GT(root.meanDiffImpact, 5.0);
+    EXPECT_GT(root.relativeImpact, 0.5);
+    // CPI correlates strongly with L2M across the whole node.
+    EXPECT_GT(root.rSquared, 0.5);
+}
+
+TEST(Analyzer, DescribeLeafRulesChainsDecisions)
+{
+    const Dataset ds = twoClassDataset(2000);
+    const M5Prime tree = trainedTree(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    const std::size_t leaf =
+        tree.leafIndexFor(std::vector<double>{0.15, 0.01});
+    const std::string rules = analyzer.describeLeafRules(leaf);
+    EXPECT_NE(rules.find("L2M"), std::string::npos);
+    EXPECT_NE(rules.find(">"), std::string::npos);
+}
+
+TEST(Analyzer, SingleLeafTreeDescribesRoot)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "CPI"));
+    for (int i = 0; i < 50; ++i)
+        ds.addRow(std::vector<double>{double(i)}, 1.0);
+    M5Prime tree;
+    tree.fit(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+    EXPECT_EQ(analyzer.describeLeafRules(0), "(root)");
+    EXPECT_TRUE(analyzer.splitImpacts(ds).empty());
+}
+
+TEST(Analyzer, ReportContainsClassesModelsAndWorkloads)
+{
+    const Dataset ds = twoClassDataset(2000);
+    const M5Prime tree = trainedTree(ds);
+    const PerformanceAnalyzer analyzer(tree, ds.schema());
+
+    const std::string report = analyzer.report(ds);
+    EXPECT_NE(report.find("Performance analysis report"),
+              std::string::npos);
+    EXPECT_NE(report.find("LM1"), std::string::npos);
+    EXPECT_NE(report.find("CPI ="), std::string::npos);
+    EXPECT_NE(report.find("membound"), std::string::npos);
+    EXPECT_NE(report.find("top contributions"), std::string::npos);
+}
+
+} // namespace
+} // namespace mtperf::perf

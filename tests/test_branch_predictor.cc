@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the hybrid branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "uarch/branch_predictor.h"
+
+namespace mtperf::uarch {
+namespace {
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndUpdate(0x400000, true);
+    EXPECT_EQ(bp.predictions(), 1000u);
+    // A couple of warmup mispredicts at most.
+    EXPECT_LE(bp.mispredictions(), 2u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    std::uint64_t late_mispredicts = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool correct = bp.predictAndUpdate(0x400100, false);
+        if (i > 50 && !correct)
+            ++late_mispredicts;
+    }
+    EXPECT_EQ(late_mispredicts, 0u);
+}
+
+TEST(BranchPredictor, GshareLearnsAlternatingPattern)
+{
+    // T,N,T,N... is perfectly predictable from one bit of history.
+    BranchPredictor bp;
+    std::uint64_t late_mispredicts = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = (i % 2) == 0;
+        const bool correct = bp.predictAndUpdate(0x400200, taken);
+        if (i >= 200 && !correct)
+            ++late_mispredicts;
+    }
+    EXPECT_LT(static_cast<double>(late_mispredicts) / 1800.0, 0.02);
+}
+
+TEST(BranchPredictor, GshareLearnsLongerPeriodicPattern)
+{
+    // Period-4 pattern TTNT requires correlating on history.
+    BranchPredictor bp;
+    const bool pattern[4] = {true, true, false, true};
+    std::uint64_t late_mispredicts = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = pattern[i % 4];
+        const bool correct = bp.predictAndUpdate(0x400300, taken);
+        if (i >= 400 && !correct)
+            ++late_mispredicts;
+    }
+    EXPECT_LT(static_cast<double>(late_mispredicts) / 3600.0, 0.02);
+}
+
+TEST(BranchPredictor, RandomBranchesMispredictHalfTheTime)
+{
+    BranchPredictor bp;
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i)
+        bp.predictAndUpdate(0x400400 + (i % 16) * 4, rng.chance(0.5));
+    EXPECT_NEAR(bp.mispredictRatio(), 0.5, 0.05);
+}
+
+TEST(BranchPredictor, BiasedBranchesMispredictNearBias)
+{
+    BranchPredictor bp;
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i)
+        bp.predictAndUpdate(0x400500, rng.chance(0.9));
+    // Predicting "taken" always would mispredict 10%; the predictor
+    // should be in that neighbourhood, not at 50%.
+    EXPECT_LT(bp.mispredictRatio(), 0.2);
+    EXPECT_GT(bp.mispredictRatio(), 0.05);
+}
+
+TEST(BranchPredictor, IndependentPcsDoNotDestroyEachOther)
+{
+    BranchPredictor bp;
+    std::uint64_t late_mispredicts = 0;
+    for (int i = 0; i < 4000; ++i) {
+        // Two distinct, individually constant branches.
+        const bool c1 = bp.predictAndUpdate(0x400600, true);
+        const bool c2 = bp.predictAndUpdate(0x400700, false);
+        if (i >= 400) {
+            late_mispredicts += !c1;
+            late_mispredicts += !c2;
+        }
+    }
+    EXPECT_LT(static_cast<double>(late_mispredicts) / 7200.0, 0.05);
+}
+
+TEST(BranchPredictor, ResetClearsStats)
+{
+    BranchPredictor bp;
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x400800, rng.chance(0.5));
+    bp.reset();
+    EXPECT_EQ(bp.predictions(), 0u);
+    EXPECT_EQ(bp.mispredictions(), 0u);
+    EXPECT_DOUBLE_EQ(bp.mispredictRatio(), 0.0);
+}
+
+TEST(BranchPredictor, InvalidConfigThrows)
+{
+    BranchPredictorConfig bad;
+    bad.historyBits = 0;
+    EXPECT_THROW(BranchPredictor{bad}, FatalError);
+    bad.historyBits = 30;
+    EXPECT_THROW(BranchPredictor{bad}, FatalError);
+}
+
+} // namespace
+} // namespace mtperf::uarch

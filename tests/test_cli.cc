@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the CLI argument parser and subcommands.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "common/logging.h"
+
+namespace mtperf::cli {
+namespace {
+
+// ---------------------------------------------------------------
+// ArgParser
+// ---------------------------------------------------------------
+
+ArgParser
+sampleParser()
+{
+    ArgParser parser;
+    parser.addString("data", "", "input", /*required=*/true);
+    parser.addDouble("scale", 1.5, "scale");
+    parser.addSize("folds", 10, "folds");
+    parser.addFlag("verbose", "flag");
+    return parser;
+}
+
+TEST(ArgParser, DefaultsApplyWhenAbsent)
+{
+    ArgParser parser = sampleParser();
+    parser.parse({"--data", "x.csv"});
+    EXPECT_EQ(parser.getString("data"), "x.csv");
+    EXPECT_DOUBLE_EQ(parser.getDouble("scale"), 1.5);
+    EXPECT_EQ(parser.getSize("folds"), 10u);
+    EXPECT_FALSE(parser.getFlag("verbose"));
+    EXPECT_TRUE(parser.given("data"));
+    EXPECT_FALSE(parser.given("scale"));
+}
+
+TEST(ArgParser, ValuesOverrideDefaults)
+{
+    ArgParser parser = sampleParser();
+    parser.parse({"--data", "a.csv", "--scale", "0.25", "--folds", "5",
+                  "--verbose"});
+    EXPECT_DOUBLE_EQ(parser.getDouble("scale"), 0.25);
+    EXPECT_EQ(parser.getSize("folds"), 5u);
+    EXPECT_TRUE(parser.getFlag("verbose"));
+}
+
+TEST(ArgParser, ErrorsAreSpecific)
+{
+    EXPECT_THROW(sampleParser().parse({"--bogus", "1"}), FatalError);
+    EXPECT_THROW(sampleParser().parse({"positional"}), FatalError);
+    EXPECT_THROW(sampleParser().parse({"--data"}), FatalError);
+    EXPECT_THROW(sampleParser().parse({}), FatalError); // missing --data
+    EXPECT_THROW(
+        sampleParser().parse({"--data", "x", "--scale", "abc"}),
+        FatalError);
+}
+
+TEST(ArgParser, HelpTextMentionsEveryOption)
+{
+    const std::string help = sampleParser().helpText();
+    for (const char *name : {"--data", "--scale", "--folds", "--verbose"})
+        EXPECT_NE(help.find(name), std::string::npos) << name;
+    EXPECT_NE(help.find("(required)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Subcommands (exercised end-to-end through temp files)
+// ---------------------------------------------------------------
+
+class CliCommandTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = testing::TempDir() + "/mtperf_cli";
+        std::filesystem::create_directories(dir_);
+        csv_ = dir_ + "/sections.csv";
+        model_ = dir_ + "/model.m5";
+    }
+
+    /** Simulate a tiny dataset once per test. */
+    void
+    simulate()
+    {
+        std::ostringstream out;
+        ASSERT_EQ(cmdSimulate({"--out", csv_, "--scale", "0.02",
+                               "--instructions", "2000"},
+                              out),
+                  0);
+        ASSERT_TRUE(std::filesystem::exists(csv_));
+    }
+
+    void
+    train()
+    {
+        std::ostringstream out;
+        ASSERT_EQ(cmdTrain({"--data", csv_, "--out", model_}, out), 0);
+        ASSERT_TRUE(std::filesystem::exists(model_));
+    }
+
+    std::string dir_, csv_, model_;
+};
+
+TEST_F(CliCommandTest, SimulateWritesLoadableCsv)
+{
+    simulate();
+    std::ostringstream out;
+    EXPECT_EQ(cmdCrossval({"--data", csv_, "--folds", "3"}, out), 0);
+    EXPECT_NE(out.str().find("3-fold CV"), std::string::npos);
+    EXPECT_NE(out.str().find("fold 3"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, TrainPrintPredictAnalyzeRoundTrip)
+{
+    simulate();
+    train();
+
+    std::ostringstream print_out;
+    EXPECT_EQ(cmdPrint({"--model", model_}, print_out), 0);
+    EXPECT_NE(print_out.str().find("model tree (M5')"),
+              std::string::npos);
+
+    std::ostringstream predict_out;
+    const std::string pred_csv = dir_ + "/pred.csv";
+    EXPECT_EQ(cmdPredict({"--model", model_, "--data", csv_, "--out",
+                          pred_csv},
+                         predict_out),
+              0);
+    EXPECT_NE(predict_out.str().find("C="), std::string::npos);
+    EXPECT_TRUE(std::filesystem::exists(pred_csv));
+
+    std::ostringstream analyze_out;
+    EXPECT_EQ(cmdAnalyze({"--model", model_, "--data", csv_},
+                         analyze_out),
+              0);
+    EXPECT_NE(analyze_out.str().find("Performance analysis report"),
+              std::string::npos);
+}
+
+TEST_F(CliCommandTest, TreeOptionFlagsReachTheLearner)
+{
+    simulate();
+    std::ostringstream out;
+    EXPECT_EQ(cmdTrain({"--data", csv_, "--out", model_,
+                        "--min-instances", "10000"},
+                       out),
+              0);
+    // A threshold larger than the dataset forces a single leaf.
+    EXPECT_NE(out.str().find("model with 1 leaves"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, RunCommandDispatchesAndCatchesErrors)
+{
+    std::ostringstream ok_out;
+    EXPECT_EQ(runCommand("help", {}, ok_out), 0);
+    EXPECT_NE(ok_out.str().find("usage: mtperf"), std::string::npos);
+
+    std::ostringstream unknown_out;
+    EXPECT_EQ(runCommand("frobnicate", {}, unknown_out), 2);
+
+    // A FatalError inside a command becomes exit status 1 + message.
+    std::ostringstream error_out;
+    EXPECT_EQ(runCommand("print",
+                         {"--model", "/nonexistent/model.m5"},
+                         error_out),
+              1);
+    EXPECT_NE(error_out.str().find("error:"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, DiffComparesTwoRuns)
+{
+    simulate();
+    train();
+    // Reuse the same CSV for both sides: a null diff must succeed and
+    // report a ~1x ratio with no priced movements.
+    std::ostringstream out;
+    EXPECT_EQ(cmdDiff({"--model", model_, "--before", csv_, "--after",
+                       csv_},
+                      out),
+              0);
+    EXPECT_NE(out.str().find("mean CPI"), std::string::npos);
+    EXPECT_NE(out.str().find("1.00x"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, AnalyzeJsonFlag)
+{
+    simulate();
+    train();
+    std::ostringstream out;
+    EXPECT_EQ(cmdAnalyze({"--model", model_, "--data", csv_, "--json"},
+                         out),
+              0);
+    EXPECT_EQ(out.str().front(), '{');
+    EXPECT_NE(out.str().find("\"classes\""), std::string::npos);
+}
+
+TEST_F(CliCommandTest, StackReportsAttribution)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cmdStack({"--workload", "mcf_like", "--instructions",
+                        "20000"},
+                       out),
+              0);
+    EXPECT_NE(out.str().find("total CPI"), std::string::npos);
+    EXPECT_NE(out.str().find("L2 miss"), std::string::npos);
+
+    std::ostringstream error_out;
+    EXPECT_EQ(runCommand("stack", {"--workload", "429.mcf"},
+                         error_out),
+              1);
+}
+
+TEST_F(CliCommandTest, PredictRejectsSchemaMismatch)
+{
+    simulate();
+    train();
+    const std::string other_csv = dir_ + "/other.csv";
+    {
+        std::ofstream out(other_csv);
+        out << "foo,CPI,tag\n1,2,x\n";
+    }
+    std::ostringstream out;
+    EXPECT_EQ(runCommand("predict",
+                         {"--model", model_, "--data", other_csv},
+                         out),
+              1);
+    EXPECT_NE(out.str().find("schema"), std::string::npos);
+}
+
+} // namespace
+} // namespace mtperf::cli

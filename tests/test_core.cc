@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Behavioural tests for the out-of-order timing core.
+ *
+ * These check the *mechanisms* the dataset generation relies on:
+ * width-limited throughput, dependency serialization, miss-latency
+ * exposure and overlap (MLP), front-end penalties and the reorder
+ * window limit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "uarch/core.h"
+
+namespace mtperf::uarch {
+namespace {
+
+MicroOp
+aluOp(Addr pc)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.pc = pc;
+    return op;
+}
+
+/** Run n ALU ops with sequential PCs in a tiny loop footprint. */
+void
+runAlu(Core &core, std::size_t n, std::uint16_t dep_dist = 0)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        op.depDist = dep_dist;
+        core.execute(op);
+    }
+}
+
+double
+cpiOfRun(const Core &core)
+{
+    return static_cast<double>(core.counters().cycles) /
+           static_cast<double>(core.counters().instRetired);
+}
+
+TEST(Core, IndependentAluStreamReachesFullWidth)
+{
+    Core core;
+    runAlu(core, 40000);
+    // 4-wide machine: CPI -> 0.25.
+    EXPECT_NEAR(cpiOfRun(core), 0.25, 0.02);
+}
+
+TEST(Core, SerialDependencyChainRunsAtUnitLatency)
+{
+    Core core;
+    runAlu(core, 20000, /*dep_dist=*/1);
+    // Every op waits for its predecessor: CPI -> 1.0.
+    EXPECT_NEAR(cpiOfRun(core), 1.0, 0.05);
+}
+
+TEST(Core, TwoIndependentChainsDoubleThroughput)
+{
+    Core core;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        op.depDist = 2; // two interleaved serial chains
+        core.execute(op);
+    }
+    EXPECT_NEAR(cpiOfRun(core), 0.5, 0.05);
+}
+
+TEST(Core, FpDivLatencyExposedOnSerialChain)
+{
+    Core core;
+    for (std::size_t i = 0; i < 3000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::FpDiv;
+        op.depDist = 1;
+        core.execute(op);
+    }
+    EXPECT_NEAR(cpiOfRun(core), static_cast<double>(
+                                    core.config().fpDivLatency),
+                1.5);
+}
+
+TEST(Core, CacheResidentLoadsAreCheap)
+{
+    Core core;
+    for (std::size_t i = 0; i < 30000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        op.cls = OpClass::Load;
+        op.addr = 0x100000 + (i % 256) * 8; // 2 KB working set
+        op.size = 8;
+        core.execute(op);
+    }
+    EXPECT_LT(cpiOfRun(core), 0.35);
+    EXPECT_LT(core.l1d().missRatio(), 0.01);
+}
+
+TEST(Core, SerializedMissChainExposesFullMemoryLatency)
+{
+    // Dependent loads, each to a fresh line far beyond any cache:
+    // the chain serializes at ~memLatency per load.
+    CoreConfig config;
+    config.l2.nextLinePrefetch = false;
+    Core core(config);
+    const std::size_t n = 2000;
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::Load;
+        // Large stride defeats caches and the line-based DTLB reuse
+        // is also minimal (one page per 64 lines stride... use pages).
+        op.addr = 0x10000000ULL + i * 4096ULL;
+        op.size = 8;
+        op.depDist = 1;
+        core.execute(op);
+    }
+    const double cpi = cpiOfRun(core);
+    EXPECT_GT(cpi, static_cast<double>(core.config().memLatency) * 0.9);
+}
+
+TEST(Core, IndependentMissesOverlap)
+{
+    // Same miss stream but independent: memory-level parallelism in
+    // the 96-entry window must hide most of the latency.
+    CoreConfig config;
+    config.l2.nextLinePrefetch = false;
+    Core serial_cfg_core(config), parallel_core(config);
+
+    const std::size_t n = 2000;
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::Load;
+        op.addr = 0x10000000ULL + i * 4096ULL;
+        op.size = 8;
+        op.depDist = 0;
+        parallel_core.execute(op);
+    }
+    const double parallel_cpi =
+        static_cast<double>(parallel_core.counters().cycles) /
+        static_cast<double>(n);
+    // At least 10x cheaper than the serialized case.
+    EXPECT_LT(parallel_cpi,
+              static_cast<double>(config.memLatency) / 10.0);
+    // But the misses still cost more than cache-resident loads.
+    EXPECT_GT(parallel_cpi, 1.0);
+}
+
+TEST(Core, MispredictsAddResteerPenalty)
+{
+    Core clean, noisy;
+    const std::size_t n = 40000;
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        if (i % 8 == 0) {
+            op.cls = OpClass::Branch;
+            op.taken = false;
+        }
+        clean.execute(op);
+    }
+    Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        if (i % 8 == 0) {
+            op.cls = OpClass::Branch;
+            // Random outcome the predictor cannot learn.
+            op.taken = rng.chance(0.5);
+        }
+        noisy.execute(op);
+    }
+    EXPECT_LT(clean.counters().brMispredicted * 20,
+              noisy.counters().brMispredicted);
+    EXPECT_GT(cpiOfRun(noisy), cpiOfRun(clean) + 0.3);
+}
+
+TEST(Core, LcpStallsSlowTheFrontEnd)
+{
+    Core plain, lcp;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        plain.execute(op);
+        op.hasLcp = (i % 4 == 0);
+        lcp.execute(op);
+    }
+    EXPECT_EQ(lcp.counters().lcpStalls, 5000u);
+    // A quarter of ops paying a 6-cycle bubble dominates a 0.25-CPI
+    // baseline.
+    EXPECT_GT(cpiOfRun(lcp), cpiOfRun(plain) + 1.0);
+}
+
+TEST(Core, LargeCodeFootprintCausesL1iMisses)
+{
+    Core core;
+    // March the PC through 256 KB of code repeatedly; only 32 KB fits.
+    const std::size_t code_lines = 256 * 1024 / 64;
+    std::size_t line = 0;
+    for (std::size_t i = 0; i < 100000; ++i) {
+        MicroOp op = aluOp(0x400000 + (line * 64) + (i % 16) * 4);
+        if (i % 16 == 15)
+            line = (line + 1) % code_lines;
+        core.execute(op);
+    }
+    EXPECT_GT(core.counters().l1iMiss, 1000u);
+}
+
+TEST(Core, ItlbMissesOnHugeCodeFootprint)
+{
+    Core core;
+    // Jump across pages: 1024 code pages >> 128-entry ITLB.
+    for (std::size_t i = 0; i < 50000; ++i) {
+        const Addr page = (i * 769) % 1024;
+        MicroOp op = aluOp(0x400000 + page * 4096);
+        core.execute(op);
+    }
+    EXPECT_GT(core.counters().itlbMiss, 10000u);
+}
+
+TEST(Core, DtlbCountersFollowLoadPageBehaviour)
+{
+    Core core;
+    // 4096 pages of data touched round-robin: misses in both levels.
+    for (std::size_t i = 0; i < 50000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::Load;
+        op.addr = 0x10000000ULL + (i % 4096) * 4096ULL;
+        op.size = 8;
+        core.execute(op);
+    }
+    EXPECT_GT(core.counters().dtlbLdMiss, 10000u);
+    EXPECT_GE(core.counters().dtlbL0LdMiss, core.counters().dtlbLdMiss);
+    EXPECT_EQ(core.counters().dtlbLdMiss,
+              core.counters().dtlbLdRetiredMiss);
+    EXPECT_GE(core.counters().dtlbAnyMiss, core.counters().dtlbLdMiss);
+}
+
+TEST(Core, MisalignedAndSplitCountersFire)
+{
+    Core core;
+    for (std::size_t i = 0; i < 1000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::Load;
+        op.size = 8;
+        op.addr = 0x100000 + i * 64 + 61; // misaligned and line-split
+        core.execute(op);
+    }
+    EXPECT_EQ(core.counters().misalignedMemRef, 1000u);
+    EXPECT_EQ(core.counters().l1dSplitLoads, 1000u);
+}
+
+TEST(Core, StoreSplitCounterSeparateFromLoads)
+{
+    Core core;
+    MicroOp op = aluOp(0x1000);
+    op.cls = OpClass::Store;
+    op.size = 8;
+    op.addr = 0x100000 + 61;
+    core.execute(op);
+    EXPECT_EQ(core.counters().l1dSplitStores, 1u);
+    EXPECT_EQ(core.counters().l1dSplitLoads, 0u);
+    EXPECT_EQ(core.counters().misalignedMemRef, 1u);
+}
+
+TEST(Core, LoadMissCountersAreLoadOnly)
+{
+    CoreConfig config;
+    config.l2.nextLinePrefetch = false;
+    Core core(config);
+    // Store misses should not bump the MEM_LOAD_RETIRED counters.
+    for (std::size_t i = 0; i < 1000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::Store;
+        op.addr = 0x10000000ULL + i * 4096ULL;
+        op.size = 8;
+        core.execute(op);
+    }
+    EXPECT_EQ(core.counters().l1dLineMiss, 0u);
+    EXPECT_EQ(core.counters().l2LineMiss, 0u);
+    EXPECT_EQ(core.counters().instStores, 1000u);
+}
+
+TEST(Core, InstructionMixCountersAdd)
+{
+    Core core;
+    for (std::size_t i = 0; i < 900; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        if (i % 3 == 0) {
+            op.cls = OpClass::Load;
+            op.addr = 0x100000 + (i % 128) * 8;
+        } else if (i % 3 == 1) {
+            op.cls = OpClass::Store;
+            op.addr = 0x100000 + (i % 128) * 8;
+        } else {
+            op.cls = OpClass::Branch;
+            op.taken = false;
+        }
+        core.execute(op);
+    }
+    EXPECT_EQ(core.counters().instRetired, 900u);
+    EXPECT_EQ(core.counters().instLoads, 300u);
+    EXPECT_EQ(core.counters().instStores, 300u);
+    EXPECT_EQ(core.counters().brRetired, 300u);
+}
+
+TEST(Core, CountersDeltaIsolatesSections)
+{
+    Core core;
+    runAlu(core, 1000);
+    const EventCounters snapshot = core.counters();
+    runAlu(core, 1000);
+    const EventCounters delta = core.counters().delta(snapshot);
+    EXPECT_EQ(delta.instRetired, 1000u);
+    EXPECT_GT(delta.cycles, 0u);
+    EXPECT_LT(delta.cycles, 1000u);
+}
+
+TEST(Core, ResetRestoresColdState)
+{
+    Core core;
+    runAlu(core, 5000);
+    core.reset();
+    EXPECT_EQ(core.counters().instRetired, 0u);
+    EXPECT_EQ(core.currentCycle(), 0u);
+    runAlu(core, 5000);
+    EXPECT_NEAR(cpiOfRun(core), 0.25, 0.05);
+}
+
+TEST(Core, ConfigValidation)
+{
+    CoreConfig bad_width;
+    bad_width.width = 0;
+    EXPECT_THROW(Core{bad_width}, FatalError);
+
+    CoreConfig bad_rob;
+    bad_rob.robSize = 0;
+    EXPECT_THROW(Core{bad_rob}, FatalError);
+}
+
+TEST(Core, NarrowMachineIsSlower)
+{
+    CoreConfig narrow;
+    narrow.width = 1;
+    Core one(narrow), four;
+    runAlu(one, 20000);
+    runAlu(four, 20000);
+    EXPECT_NEAR(cpiOfRun(one), 1.0, 0.05);
+    EXPECT_LT(cpiOfRun(four), 0.3);
+}
+
+TEST(Core, SmallRobLimitsMlp)
+{
+    // With a 4-entry window, independent misses can barely overlap.
+    CoreConfig small;
+    small.robSize = 4;
+    small.l2.nextLinePrefetch = false;
+    CoreConfig big;
+    big.robSize = 256;
+    big.l2.nextLinePrefetch = false;
+
+    auto run_misses = [](Core &core) {
+        for (std::size_t i = 0; i < 2000; ++i) {
+            MicroOp op;
+            op.cls = OpClass::Load;
+            op.pc = 0x1000 + (i % 16) * 4;
+            op.addr = 0x10000000ULL + i * 4096ULL;
+            op.size = 8;
+            core.execute(op);
+        }
+    };
+    Core small_core(small), big_core(big);
+    run_misses(small_core);
+    run_misses(big_core);
+    EXPECT_GT(cpiOfRun(small_core), 2.0 * cpiOfRun(big_core));
+}
+
+} // namespace
+} // namespace mtperf::uarch

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the optional issue-port contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "uarch/core.h"
+
+namespace mtperf::uarch {
+namespace {
+
+CoreConfig
+portsConfig()
+{
+    CoreConfig config;
+    config.modelPortContention = true;
+    return config;
+}
+
+MicroOp
+opOf(OpClass cls, Addr pc)
+{
+    MicroOp op;
+    op.cls = cls;
+    op.pc = pc;
+    return op;
+}
+
+double
+cpiOf(const Core &core)
+{
+    return static_cast<double>(core.counters().cycles) /
+           static_cast<double>(core.counters().instRetired);
+}
+
+TEST(CorePorts, AluStreamLimitedByAluPorts)
+{
+    // Three ALU ports: independent integer ops run at 3/cycle even on
+    // a 4-wide machine.
+    Core core(portsConfig());
+    for (std::size_t i = 0; i < 30000; ++i)
+        core.execute(opOf(OpClass::IntAlu, 0x1000 + (i % 64) * 4));
+    EXPECT_NEAR(cpiOf(core), 1.0 / 3.0, 0.02);
+}
+
+TEST(CorePorts, LoadStreamLimitedBySingleLoadPort)
+{
+    Core core(portsConfig());
+    for (std::size_t i = 0; i < 30000; ++i) {
+        MicroOp op = opOf(OpClass::Load, 0x1000 + (i % 64) * 4);
+        op.addr = 0x100000 + (i % 256) * 8;
+        op.size = 8;
+        core.execute(op);
+    }
+    // One load per cycle regardless of machine width.
+    EXPECT_NEAR(cpiOf(core), 1.0, 0.05);
+}
+
+TEST(CorePorts, MixedStreamUsesPortsInParallel)
+{
+    // 1 load + 1 store + 2 ALU per group: each class fits its ports,
+    // so the group sustains the full 4-wide rate.
+    Core core(portsConfig());
+    for (std::size_t i = 0; i < 40000; ++i) {
+        MicroOp op = opOf(OpClass::IntAlu, 0x1000 + (i % 64) * 4);
+        if (i % 4 == 0) {
+            op.cls = OpClass::Load;
+            op.addr = 0x100000 + (i % 256) * 8;
+            op.size = 8;
+        } else if (i % 4 == 1) {
+            op.cls = OpClass::Store;
+            op.addr = 0x110000 + (i % 256) * 8;
+            op.size = 8;
+        }
+        core.execute(op);
+    }
+    EXPECT_NEAR(cpiOf(core), 0.25, 0.03);
+}
+
+TEST(CorePorts, UnpipelinedDividerSerializes)
+{
+    Core core(portsConfig());
+    for (std::size_t i = 0; i < 2000; ++i)
+        core.execute(opOf(OpClass::FpDiv, 0x1000 + (i % 16) * 4));
+    // Independent divides still serialize on the unpipelined unit.
+    EXPECT_NEAR(cpiOf(core),
+                static_cast<double>(core.config().fpDivLatency), 2.0);
+}
+
+TEST(CorePorts, DividerBlocksMultiplyPort)
+{
+    Core with_div(portsConfig()), without_div(portsConfig());
+    for (std::size_t i = 0; i < 8000; ++i) {
+        const Addr pc = 0x1000 + (i % 64) * 4;
+        without_div.execute(opOf(OpClass::FpMul, pc));
+        with_div.execute(
+            opOf(i % 8 == 0 ? OpClass::FpDiv : OpClass::FpMul, pc));
+    }
+    EXPECT_GT(cpiOf(with_div), cpiOf(without_div) * 2.0);
+}
+
+TEST(CorePorts, DisabledModelMatchesLegacyBehaviour)
+{
+    Core contended(portsConfig()), free_issue;
+    for (std::size_t i = 0; i < 20000; ++i) {
+        contended.execute(opOf(OpClass::IntAlu, 0x1000 + (i % 64) * 4));
+        free_issue.execute(opOf(OpClass::IntAlu, 0x1000 + (i % 64) * 4));
+    }
+    // Without the model, width (4) is the only limit.
+    EXPECT_NEAR(cpiOf(free_issue), 0.25, 0.02);
+    EXPECT_GT(cpiOf(contended), cpiOf(free_issue));
+}
+
+TEST(CorePorts, ZeroPortsRejected)
+{
+    CoreConfig config = portsConfig();
+    config.loadPorts = 0;
+    EXPECT_THROW(Core{config}, FatalError);
+}
+
+TEST(CorePorts, ResetClearsPortState)
+{
+    Core core(portsConfig());
+    for (std::size_t i = 0; i < 1000; ++i)
+        core.execute(opOf(OpClass::FpDiv, 0x1000));
+    core.reset();
+    for (std::size_t i = 0; i < 30000; ++i)
+        core.execute(opOf(OpClass::IntAlu, 0x1000 + (i % 64) * 4));
+    EXPECT_NEAR(cpiOf(core), 1.0 / 3.0, 0.02);
+}
+
+} // namespace
+} // namespace mtperf::uarch

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the simulator's cycle-attribution (CPI stack).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "uarch/core.h"
+
+namespace mtperf::uarch {
+namespace {
+
+MicroOp
+aluOp(Addr pc)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.pc = pc;
+    return op;
+}
+
+TEST(CpiStack, ComponentsSumToTotalCycles)
+{
+    Core core;
+    Rng rng(1);
+    for (std::size_t i = 0; i < 30000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 256) * 4);
+        const double kind = rng.uniform();
+        if (kind < 0.3) {
+            op.cls = OpClass::Load;
+            op.addr = 0x10000000ULL +
+                      rng.uniformInt(std::uint64_t(1 << 22));
+            op.addr &= ~7ULL;
+            op.size = 8;
+        } else if (kind < 0.4) {
+            op.cls = OpClass::Store;
+            op.addr = 0x10000000ULL +
+                      rng.uniformInt(std::uint64_t(1 << 20));
+            op.addr &= ~7ULL;
+            op.size = 8;
+        } else if (kind < 0.55) {
+            op.cls = OpClass::Branch;
+            op.taken = rng.chance(0.7);
+        }
+        core.execute(op);
+    }
+    EXPECT_EQ(core.cpiStack().total(), core.counters().cycles);
+}
+
+TEST(CpiStack, ComputeBoundIsAllBase)
+{
+    Core core;
+    for (std::size_t i = 0; i < 20000; ++i)
+        core.execute(aluOp(0x1000 + (i % 64) * 4));
+    const CpiStack &stack = core.cpiStack();
+    EXPECT_GT(stack.base, core.counters().cycles * 9 / 10);
+    EXPECT_EQ(stack.memL2, 0u);
+    EXPECT_EQ(stack.dtlb, 0u);
+}
+
+TEST(CpiStack, SerializedMissesChargeToL2)
+{
+    CoreConfig config;
+    config.l2.nextLinePrefetch = false;
+    Core core(config);
+    for (std::size_t i = 0; i < 3000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.cls = OpClass::Load;
+        op.addr = 0x10000000ULL + i * 4096ULL;
+        op.size = 8;
+        op.depDist = 1;
+        core.execute(op);
+    }
+    const CpiStack &stack = core.cpiStack();
+    EXPECT_GT(stack.memL2, core.counters().cycles * 6 / 10);
+    EXPECT_GT(stack.dtlb, 0u);
+}
+
+TEST(CpiStack, MispredictsChargeToResteer)
+{
+    Core core;
+    Rng rng(2);
+    for (std::size_t i = 0; i < 40000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        if (i % 4 == 0) {
+            op.cls = OpClass::Branch;
+            op.taken = rng.chance(0.5); // unpredictable
+        }
+        core.execute(op);
+    }
+    const CpiStack &stack = core.cpiStack();
+    // Half the branches mispredict at ~15 cycles each; the resteer
+    // bucket must carry a large share of the total.
+    EXPECT_GT(stack.resteer, core.counters().cycles / 4);
+    EXPECT_EQ(stack.memL2, 0u);
+}
+
+TEST(CpiStack, LcpChargesToFrontend)
+{
+    Core core;
+    for (std::size_t i = 0; i < 10000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 64) * 4);
+        op.hasLcp = (i % 2 == 0);
+        core.execute(op);
+    }
+    EXPECT_GT(core.cpiStack().frontend,
+              core.counters().cycles * 6 / 10);
+}
+
+TEST(CpiStack, StoreForwardBlocksCharge)
+{
+    Core core;
+    // Store, then a partial-overlap load whose result feeds the next
+    // store's address: the dependency chain exposes the block penalty
+    // (independent blocked loads would pipeline it away).
+    for (std::size_t i = 0; i < 5000; ++i) {
+        MicroOp store = aluOp(0x1000 + (i % 16) * 4);
+        store.cls = OpClass::Store;
+        store.addr = 0x100000 + (i % 64) * 16;
+        store.size = 4;
+        store.depDist = 1; // address from the previous load
+        core.execute(store);
+
+        MicroOp load = aluOp(0x1040 + (i % 16) * 4);
+        load.cls = OpClass::Load;
+        load.addr = store.addr + 2; // partial overlap
+        load.size = 8;
+        load.depDist = 2; // chained through the previous load
+        core.execute(load);
+    }
+    EXPECT_GT(core.counters().ldBlockOverlapStore, 1000u);
+    EXPECT_GT(core.cpiStack().storeForward, 1000u);
+}
+
+TEST(CpiStack, DeltaIsolatesSections)
+{
+    Core core;
+    for (std::size_t i = 0; i < 5000; ++i)
+        core.execute(aluOp(0x1000 + (i % 64) * 4));
+    const CpiStack snapshot = core.cpiStack();
+    for (std::size_t i = 0; i < 5000; ++i) {
+        MicroOp op = aluOp(0x1000 + (i % 16) * 4);
+        op.hasLcp = true;
+        core.execute(op);
+    }
+    const CpiStack delta = core.cpiStack().delta(snapshot);
+    // The first section pays only cold-start fetch misses; the LCP
+    // section's front-end bubbles dominate it by orders of magnitude.
+    EXPECT_GT(delta.frontend, 20 * snapshot.frontend);
+    const EventCounters counters = core.counters();
+    EXPECT_EQ(delta.total() + snapshot.total(), counters.cycles);
+}
+
+TEST(CpiStack, ResetClears)
+{
+    Core core;
+    MicroOp op = aluOp(0x1000);
+    op.hasLcp = true;
+    core.execute(op);
+    core.reset();
+    EXPECT_EQ(core.cpiStack().total(), 0u);
+}
+
+} // namespace
+} // namespace mtperf::uarch

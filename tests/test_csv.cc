@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for CSV parsing and writing.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace mtperf {
+namespace {
+
+TEST(ParseCsvLine, PlainFields)
+{
+    const auto f = parseCsvLine("a,b,c");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[1], "b");
+}
+
+TEST(ParseCsvLine, QuotedComma)
+{
+    const auto f = parseCsvLine("a,\"b,c\",d");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[1], "b,c");
+}
+
+TEST(ParseCsvLine, EscapedQuote)
+{
+    const auto f = parseCsvLine("\"say \"\"hi\"\"\"");
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, StripsCarriageReturn)
+{
+    const auto f = parseCsvLine("a,b\r");
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[1], "b");
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows)
+{
+    EXPECT_THROW(parseCsvLine("\"open"), FatalError);
+}
+
+TEST(CsvEscape, OnlyWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(ReadCsv, HeaderAndRows)
+{
+    std::istringstream in("x,y\n1,2\n3,4\n");
+    const auto table = readCsv(in);
+    EXPECT_EQ(table.columns(), 2u);
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.rows[1][0], "3");
+}
+
+TEST(ReadCsv, SkipsBlankLines)
+{
+    std::istringstream in("x\n\n1\n\n2\n");
+    const auto table = readCsv(in);
+    EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(ReadCsv, RaggedRowThrows)
+{
+    std::istringstream in("x,y\n1\n");
+    EXPECT_THROW(readCsv(in), FatalError);
+}
+
+TEST(ReadCsv, EmptyInputThrows)
+{
+    std::istringstream in("");
+    EXPECT_THROW(readCsv(in), FatalError);
+}
+
+TEST(CsvTable, ColumnIndex)
+{
+    CsvTable table;
+    table.header = {"a", "b"};
+    EXPECT_EQ(table.columnIndex("b"), 1u);
+    EXPECT_THROW(table.columnIndex("c"), FatalError);
+}
+
+TEST(WriteCsv, RoundTrip)
+{
+    CsvTable table;
+    table.header = {"name", "value"};
+    table.rows = {{"x,1", "2"}, {"plain", "3.5"}};
+
+    std::ostringstream out;
+    writeCsv(out, table);
+    std::istringstream in(out.str());
+    const auto back = readCsv(in);
+
+    EXPECT_EQ(back.header, table.header);
+    EXPECT_EQ(back.rows, table.rows);
+}
+
+TEST(CsvFile, WriteAndReadBack)
+{
+    const std::string path =
+        testing::TempDir() + "/mtperf_csv_test.csv";
+    CsvTable table;
+    table.header = {"k"};
+    table.rows = {{"v"}};
+    writeCsvFile(path, table);
+    const auto back = readCsvFile(path);
+    EXPECT_EQ(back.rows[0][0], "v");
+}
+
+TEST(CsvFile, MissingFileThrows)
+{
+    EXPECT_THROW(readCsvFile("/nonexistent/path.csv"), FatalError);
+}
+
+} // namespace
+} // namespace mtperf

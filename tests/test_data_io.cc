@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for dataset CSV/ARFF serialization.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/io.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+sampleDataset()
+{
+    Dataset ds(Schema(std::vector<std::string>{"a", "b"}, "y"));
+    ds.addRow(std::vector<double>{1.5, 2.0}, 10.0, "w1/p1");
+    ds.addRow(std::vector<double>{-0.25, 3.0}, 20.0, "w2/p2");
+    return ds;
+}
+
+TEST(DatasetCsv, RoundTripPreservesEverything)
+{
+    const Dataset ds = sampleDataset();
+    std::ostringstream out;
+    writeDatasetCsv(out, ds);
+    std::istringstream in(out.str());
+    const Dataset back = readDatasetCsv(in, "y");
+
+    EXPECT_TRUE(back.schema() == ds.schema());
+    ASSERT_EQ(back.size(), ds.size());
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        EXPECT_DOUBLE_EQ(back.target(r), ds.target(r));
+        EXPECT_EQ(back.tag(r), ds.tag(r));
+        for (std::size_t a = 0; a < ds.numAttributes(); ++a)
+            EXPECT_DOUBLE_EQ(back.value(r, a), ds.value(r, a));
+    }
+}
+
+TEST(DatasetCsv, TargetColumnAnywhere)
+{
+    std::istringstream in("y,a,b\n1,2,3\n");
+    const Dataset ds = readDatasetCsv(in, "y");
+    EXPECT_EQ(ds.numAttributes(), 2u);
+    EXPECT_DOUBLE_EQ(ds.target(0), 1.0);
+    EXPECT_DOUBLE_EQ(ds.value(0, 0), 2.0);
+}
+
+TEST(DatasetCsv, MissingTargetThrows)
+{
+    std::istringstream in("a,b\n1,2\n");
+    EXPECT_THROW(readDatasetCsv(in, "y"), FatalError);
+}
+
+TEST(DatasetCsv, NonNumericCellThrows)
+{
+    std::istringstream in("a,y\nfoo,1\n");
+    EXPECT_THROW(readDatasetCsv(in, "y"), FatalError);
+}
+
+TEST(DatasetCsv, NoTagColumnDefaultsToEmpty)
+{
+    std::istringstream in("a,y\n1,2\n");
+    const Dataset ds = readDatasetCsv(in, "y");
+    EXPECT_EQ(ds.tag(0), "");
+}
+
+TEST(DatasetCsv, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "/mtperf_ds.csv";
+    writeDatasetCsvFile(path, sampleDataset());
+    const Dataset back = readDatasetCsvFile(path, "y");
+    EXPECT_EQ(back.size(), 2u);
+}
+
+TEST(DatasetArff, RoundTripPreservesEverything)
+{
+    const Dataset ds = sampleDataset();
+    std::ostringstream out;
+    writeDatasetArff(out, ds, "sections");
+    std::istringstream in(out.str());
+    const Dataset back = readDatasetArff(in);
+
+    EXPECT_TRUE(back.schema() == ds.schema());
+    ASSERT_EQ(back.size(), ds.size());
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        EXPECT_DOUBLE_EQ(back.target(r), ds.target(r));
+        EXPECT_EQ(back.tag(r), ds.tag(r));
+        for (std::size_t a = 0; a < ds.numAttributes(); ++a)
+            EXPECT_DOUBLE_EQ(back.value(r, a), ds.value(r, a));
+    }
+}
+
+TEST(DatasetArff, AcceptsCommentsAndCase)
+{
+    std::istringstream in(
+        "% comment\n"
+        "@RELATION test\n"
+        "@ATTRIBUTE x NUMERIC\n"
+        "@ATTRIBUTE y REAL\n"
+        "@DATA\n"
+        "1,2\n"
+        "3,4\n");
+    const Dataset ds = readDatasetArff(in);
+    EXPECT_EQ(ds.numAttributes(), 1u);
+    EXPECT_EQ(ds.schema().targetName(), "y");
+    EXPECT_EQ(ds.size(), 2u);
+    EXPECT_DOUBLE_EQ(ds.target(1), 4.0);
+}
+
+TEST(DatasetArff, RejectsNominalAttributes)
+{
+    std::istringstream in(
+        "@relation t\n@attribute c {a,b}\n@data\na\n");
+    EXPECT_THROW(readDatasetArff(in), FatalError);
+}
+
+TEST(DatasetArff, RejectsMissingData)
+{
+    std::istringstream in("@relation t\n@attribute x numeric\n");
+    EXPECT_THROW(readDatasetArff(in), FatalError);
+}
+
+TEST(DatasetArff, RejectsTooFewAttributes)
+{
+    std::istringstream in("@relation t\n@attribute x numeric\n@data\n1\n");
+    EXPECT_THROW(readDatasetArff(in), FatalError);
+}
+
+TEST(DatasetArff, RaggedRowThrows)
+{
+    std::istringstream in(
+        "@relation t\n@attribute x numeric\n@attribute y numeric\n"
+        "@data\n1\n");
+    EXPECT_THROW(readDatasetArff(in), FatalError);
+}
+
+} // namespace
+} // namespace mtperf

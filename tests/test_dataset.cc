@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for Schema and Dataset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/dataset.h"
+
+namespace mtperf {
+namespace {
+
+Schema
+xySchema()
+{
+    return Schema(std::vector<std::string>{"x1", "x2"}, "y");
+}
+
+TEST(Schema, NamesAndLookup)
+{
+    const Schema s = xySchema();
+    EXPECT_EQ(s.numAttributes(), 2u);
+    EXPECT_EQ(s.attributeName(1), "x2");
+    EXPECT_EQ(s.targetName(), "y");
+    EXPECT_EQ(s.indexOf("x1"), 0u);
+    EXPECT_EQ(s.indexOf("nope"), Schema::npos);
+    EXPECT_EQ(s.requireIndexOf("x2"), 1u);
+    EXPECT_THROW(s.requireIndexOf("nope"), FatalError);
+}
+
+TEST(Schema, EqualityComparesNamesAndTarget)
+{
+    EXPECT_TRUE(xySchema() == xySchema());
+    EXPECT_FALSE(xySchema() == Schema(std::vector<std::string>{"x1"}, "y"));
+    EXPECT_FALSE(xySchema() == Schema(std::vector<std::string>{"x1", "x2"}, "z"));
+    EXPECT_FALSE(xySchema() == Schema(std::vector<std::string>{"x1", "xx"}, "y"));
+}
+
+TEST(Schema, AttributeDescriptions)
+{
+    Schema s({Attribute{"a", "the a metric"}}, "t");
+    EXPECT_EQ(s.attribute(0).description, "the a metric");
+}
+
+TEST(Dataset, AddAndAccessRows)
+{
+    Dataset ds(xySchema());
+    EXPECT_TRUE(ds.empty());
+    ds.addRow(std::vector<double>{1.0, 2.0}, 3.0, "tagged");
+    ds.addRow(std::vector<double>{4.0, 5.0}, 6.0);
+    EXPECT_EQ(ds.size(), 2u);
+    EXPECT_DOUBLE_EQ(ds.value(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(ds.target(1), 6.0);
+    EXPECT_EQ(ds.tag(0), "tagged");
+    EXPECT_EQ(ds.tag(1), "");
+    EXPECT_EQ(ds.row(1).size(), 2u);
+    EXPECT_DOUBLE_EQ(ds.row(1)[0], 4.0);
+}
+
+TEST(Dataset, WrongWidthThrows)
+{
+    Dataset ds(xySchema());
+    EXPECT_THROW(ds.addRow(std::vector<double>{1.0}, 2.0), FatalError);
+    EXPECT_THROW(ds.addRow(std::vector<double>{1.0, 2.0, 3.0}, 2.0),
+                 FatalError);
+}
+
+TEST(Dataset, Column)
+{
+    Dataset ds(xySchema());
+    ds.addRow(std::vector<double>{1.0, 2.0}, 0.0);
+    ds.addRow(std::vector<double>{3.0, 4.0}, 0.0);
+    const auto col = ds.column(1);
+    ASSERT_EQ(col.size(), 2u);
+    EXPECT_DOUBLE_EQ(col[0], 2.0);
+    EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(Dataset, SubsetSelectsAndOrders)
+{
+    Dataset ds(xySchema());
+    for (int i = 0; i < 5; ++i)
+        ds.addRow(std::vector<double>{double(i), 0.0}, double(i * 10),
+                  "t" + std::to_string(i));
+    const std::vector<std::size_t> picks = {4, 0, 2};
+    const Dataset sub = ds.subset(picks);
+    ASSERT_EQ(sub.size(), 3u);
+    EXPECT_DOUBLE_EQ(sub.value(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(sub.target(1), 0.0);
+    EXPECT_EQ(sub.tag(2), "t2");
+}
+
+TEST(Dataset, AppendMatchingSchema)
+{
+    Dataset a(xySchema()), b(xySchema());
+    a.addRow(std::vector<double>{1, 1}, 1.0);
+    b.addRow(std::vector<double>{2, 2}, 2.0);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_DOUBLE_EQ(a.target(1), 2.0);
+}
+
+TEST(Dataset, AppendMismatchedSchemaThrows)
+{
+    Dataset a(xySchema());
+    Dataset b(Schema(std::vector<std::string>{"z"}, "y"));
+    EXPECT_THROW(a.append(b), FatalError);
+}
+
+TEST(Dataset, WithAttributesProjectsColumns)
+{
+    Dataset ds(Schema(std::vector<std::string>{"a", "b", "c"}, "y"));
+    ds.addRow(std::vector<double>{1, 2, 3}, 10.0, "t0");
+    ds.addRow(std::vector<double>{4, 5, 6}, 20.0, "t1");
+    const std::vector<std::size_t> keep = {2, 0};
+    const Dataset projected = ds.withAttributes(keep);
+    EXPECT_EQ(projected.numAttributes(), 2u);
+    EXPECT_EQ(projected.schema().attributeName(0), "c");
+    EXPECT_EQ(projected.schema().attributeName(1), "a");
+    EXPECT_DOUBLE_EQ(projected.value(1, 0), 6.0);
+    EXPECT_DOUBLE_EQ(projected.value(1, 1), 4.0);
+    EXPECT_DOUBLE_EQ(projected.target(0), 10.0);
+    EXPECT_EQ(projected.tag(1), "t1");
+}
+
+TEST(Dataset, WithAttributesEmptySelection)
+{
+    Dataset ds(Schema(std::vector<std::string>{"a"}, "y"));
+    ds.addRow(std::vector<double>{1}, 5.0);
+    const Dataset projected =
+        ds.withAttributes(std::vector<std::size_t>{});
+    EXPECT_EQ(projected.numAttributes(), 0u);
+    EXPECT_EQ(projected.size(), 1u);
+    EXPECT_DOUBLE_EQ(projected.target(0), 5.0);
+}
+
+TEST(Dataset, TargetsVector)
+{
+    Dataset ds(xySchema());
+    ds.addRow(std::vector<double>{0, 0}, 1.5);
+    ds.addRow(std::vector<double>{0, 0}, 2.5);
+    EXPECT_EQ(ds.targets(), (std::vector<double>{1.5, 2.5}));
+}
+
+} // namespace
+} // namespace mtperf

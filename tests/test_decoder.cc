@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the LCP decoder model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/decoder.h"
+
+namespace mtperf::uarch {
+namespace {
+
+TEST(Decoder, OrdinaryInstructionIsFree)
+{
+    Decoder decoder;
+    MicroOp op;
+    op.hasLcp = false;
+    EXPECT_EQ(decoder.decode(op), 0u);
+    EXPECT_EQ(decoder.lcpStalls(), 0u);
+}
+
+TEST(Decoder, LcpChargesConfiguredBubble)
+{
+    DecoderConfig config;
+    config.lcpStallCycles = 6;
+    Decoder decoder(config);
+    MicroOp op;
+    op.hasLcp = true;
+    EXPECT_EQ(decoder.decode(op), 6u);
+    EXPECT_EQ(decoder.decode(op), 6u);
+    EXPECT_EQ(decoder.lcpStalls(), 2u);
+}
+
+TEST(Decoder, CustomStallWidth)
+{
+    DecoderConfig config;
+    config.lcpStallCycles = 11;
+    Decoder decoder(config);
+    MicroOp op;
+    op.hasLcp = true;
+    EXPECT_EQ(decoder.decode(op), 11u);
+}
+
+TEST(Decoder, ResetClearsCount)
+{
+    Decoder decoder;
+    MicroOp op;
+    op.hasLcp = true;
+    decoder.decode(op);
+    decoder.reset();
+    EXPECT_EQ(decoder.lcpStalls(), 0u);
+}
+
+} // namespace
+} // namespace mtperf::uarch

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the before/after diff report.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "perf/diff.h"
+
+namespace mtperf::perf {
+namespace {
+
+/** Two-attribute CPI world: cpi = 0.5 + 60*l2m + 15*brmis. */
+Dataset
+runWith(double l2m_center, double brmis_center, std::size_t n,
+        std::uint64_t seed)
+{
+    Dataset ds(Schema(std::vector<std::string>{"L2M", "BrMisPr"}, "CPI"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double l2m =
+            std::max(0.0, l2m_center * rng.uniform(0.7, 1.3));
+        const double brmis =
+            std::max(0.0, brmis_center * rng.uniform(0.7, 1.3));
+        ds.addRow(std::vector<double>{l2m, brmis},
+                  0.5 + 60.0 * l2m + 15.0 * brmis, "app/run");
+    }
+    return ds;
+}
+
+M5Prime
+worldTree()
+{
+    // Train on a mixture wide enough to cover both runs.
+    Dataset train(Schema(std::vector<std::string>{"L2M", "BrMisPr"},
+                         "CPI"));
+    Rng rng(1);
+    for (int i = 0; i < 3000; ++i) {
+        const double l2m = rng.uniform(0.0, 0.15);
+        const double brmis = rng.uniform(0.0, 0.03);
+        train.addRow(std::vector<double>{l2m, brmis},
+                     0.5 + 60.0 * l2m + 15.0 * brmis);
+    }
+    M5Options options;
+    options.minInstances = 50;
+    options.smooth = false;
+    M5Prime tree(options);
+    tree.fit(train);
+    return tree;
+}
+
+TEST(Diff, DetectsCpiImprovementAndBlamesTheRightEvent)
+{
+    const M5Prime tree = worldTree();
+    // The "optimization" halves L2 misses, leaves branches alone.
+    const Dataset before = runWith(0.10, 0.01, 400, 2);
+    const Dataset after = runWith(0.05, 0.01, 400, 3);
+
+    const DiffReport report = diffDatasets(tree, before, after);
+    EXPECT_GT(report.beforeMeanCpi, report.afterMeanCpi);
+    EXPECT_GT(report.speedup, 1.3);
+
+    ASSERT_FALSE(report.events.empty());
+    // The top attributed movement must be L2M (attr 0), negative
+    // (cycles saved), and of roughly 60 * (0.05 - 0.10) = -3.0.
+    EXPECT_EQ(report.events[0].attr, 0u);
+    EXPECT_LT(report.events[0].attributedCpiDelta, -2.0);
+    EXPECT_NEAR(report.events[0].beforeRate, 0.10, 0.01);
+    EXPECT_NEAR(report.events[0].afterRate, 0.05, 0.01);
+}
+
+TEST(Diff, DetectsRegression)
+{
+    const M5Prime tree = worldTree();
+    const Dataset before = runWith(0.02, 0.005, 300, 4);
+    const Dataset after = runWith(0.02, 0.025, 300, 5); // branchier
+    const DiffReport report = diffDatasets(tree, before, after);
+    EXPECT_LT(report.speedup, 1.0);
+    EXPECT_EQ(report.events[0].attr, 1u);
+    EXPECT_GT(report.events[0].attributedCpiDelta, 0.1);
+}
+
+TEST(Diff, LeafCountsTrackClassMigration)
+{
+    const M5Prime tree = worldTree();
+    const Dataset before = runWith(0.10, 0.01, 400, 6);
+    const Dataset after = runWith(0.01, 0.01, 400, 7);
+    const DiffReport report = diffDatasets(tree, before, after);
+
+    std::size_t before_total = 0, after_total = 0;
+    for (std::size_t c : report.beforeLeafCounts)
+        before_total += c;
+    for (std::size_t c : report.afterLeafCounts)
+        after_total += c;
+    EXPECT_EQ(before_total, before.size());
+    EXPECT_EQ(after_total, after.size());
+    // The dominant class must change when L2M drops 10x.
+    const auto argmax = [](const std::vector<std::size_t> &v) {
+        return std::distance(v.begin(),
+                             std::max_element(v.begin(), v.end()));
+    };
+    EXPECT_NE(argmax(report.beforeLeafCounts),
+              argmax(report.afterLeafCounts));
+}
+
+TEST(Diff, FormatMentionsTheHeadlines)
+{
+    const M5Prime tree = worldTree();
+    const Dataset before = runWith(0.10, 0.01, 200, 8);
+    const Dataset after = runWith(0.05, 0.01, 200, 9);
+    const std::string text =
+        formatDiff(diffDatasets(tree, before, after), tree);
+    EXPECT_NE(text.find("speedup"), std::string::npos);
+    EXPECT_NE(text.find("class migration"), std::string::npos);
+    EXPECT_NE(text.find("L2M"), std::string::npos);
+}
+
+TEST(Diff, ErrorsOnBadInputs)
+{
+    const M5Prime tree = worldTree();
+    const Dataset ok = runWith(0.05, 0.01, 100, 10);
+    Dataset empty(ok.schema());
+    EXPECT_THROW(diffDatasets(tree, empty, ok), FatalError);
+    EXPECT_THROW(diffDatasets(tree, ok, empty), FatalError);
+
+    Dataset wrong(Schema(std::vector<std::string>{"other"}, "CPI"));
+    wrong.addRow(std::vector<double>{1.0}, 1.0);
+    EXPECT_THROW(diffDatasets(tree, wrong, ok), FatalError);
+}
+
+} // namespace
+} // namespace mtperf::perf

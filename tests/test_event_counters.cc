@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the Table-I event counters and metric schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/event_counters.h"
+
+namespace mtperf::uarch {
+namespace {
+
+TEST(EventCounters, DeltaSubtractsEveryField)
+{
+    EventCounters before;
+    before.cycles = 100;
+    before.instRetired = 50;
+    before.l2LineMiss = 5;
+
+    EventCounters after = before;
+    after.cycles = 300;
+    after.instRetired = 150;
+    after.l2LineMiss = 9;
+    after.lcpStalls = 7;
+
+    const EventCounters d = after.delta(before);
+    EXPECT_EQ(d.cycles, 200u);
+    EXPECT_EQ(d.instRetired, 100u);
+    EXPECT_EQ(d.l2LineMiss, 4u);
+    EXPECT_EQ(d.lcpStalls, 7u);
+    EXPECT_EQ(d.instLoads, 0u);
+}
+
+TEST(EventCounters, ResetZeroesAll)
+{
+    EventCounters c;
+    c.cycles = 5;
+    c.itlbMiss = 2;
+    c.reset();
+    EXPECT_EQ(c.cycles, 0u);
+    EXPECT_EQ(c.itlbMiss, 0u);
+}
+
+TEST(EventCounters, CpiOf)
+{
+    EventCounters c;
+    c.cycles = 250;
+    c.instRetired = 100;
+    EXPECT_DOUBLE_EQ(cpiOf(c), 2.5);
+}
+
+TEST(Metrics, NamesMatchPaperAbbreviations)
+{
+    EXPECT_EQ(metricName(PerfMetric::InstLd), "InstLd");
+    EXPECT_EQ(metricName(PerfMetric::BrMisPr), "BrMisPr");
+    EXPECT_EQ(metricName(PerfMetric::L2M), "L2M");
+    EXPECT_EQ(metricName(PerfMetric::DtlbL0LdM), "DtlbL0LdM");
+    EXPECT_EQ(metricName(PerfMetric::LCP), "LCP");
+    EXPECT_EQ(metricName(PerfMetric::LdBlOvSt), "LdBlOvSt");
+}
+
+TEST(Metrics, EventExpressionsMatchTableI)
+{
+    EXPECT_EQ(metricEvent(PerfMetric::L2M),
+              "MEM_LOAD_RETIRED.L2_LINE_MISS");
+    EXPECT_EQ(metricEvent(PerfMetric::LCP), "ILD_STALL");
+    EXPECT_EQ(metricEvent(PerfMetric::ItlbM), "ITLB.MISS_RETIRED");
+}
+
+TEST(Metrics, DescriptionsPresent)
+{
+    for (std::size_t i = 0; i < kNumPerfMetrics; ++i) {
+        const auto metric = static_cast<PerfMetric>(i);
+        EXPECT_FALSE(metricDescription(metric).empty());
+        EXPECT_FALSE(metricName(metric).empty());
+    }
+}
+
+TEST(Metrics, RatiosComputePerInstruction)
+{
+    EventCounters c;
+    c.instRetired = 1000;
+    c.instLoads = 300;
+    c.instStores = 100;
+    c.brRetired = 150;
+    c.brMispredicted = 30;
+    c.l2LineMiss = 10;
+    c.lcpStalls = 5;
+
+    const auto ratios = metricRatios(c);
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::InstLd)], 0.3);
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::InstSt)], 0.1);
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::BrMisPr)], 0.03);
+    // BrPred = (150 - 30) / 1000.
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::BrPred)], 0.12);
+    // InstOther = (1000 - 300 - 100 - 150) / 1000.
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::InstOther)], 0.45);
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::L2M)], 0.01);
+    EXPECT_DOUBLE_EQ(
+        ratios[static_cast<std::size_t>(PerfMetric::LCP)], 0.005);
+}
+
+TEST(Metrics, SchemaMatchesMetricOrder)
+{
+    const Schema schema = perfSchema();
+    EXPECT_EQ(schema.numAttributes(), kNumPerfMetrics);
+    EXPECT_EQ(schema.targetName(), "CPI");
+    for (std::size_t i = 0; i < kNumPerfMetrics; ++i) {
+        EXPECT_EQ(schema.attributeName(i),
+                  metricName(static_cast<PerfMetric>(i)));
+    }
+    // Descriptions flow into the schema (Table I's description column).
+    EXPECT_EQ(schema.attribute(7).description,
+              metricDescription(PerfMetric::L2M));
+}
+
+TEST(MetricsDeathTest, RatiosRequireInstructions)
+{
+    EventCounters c;
+    EXPECT_DEATH((void)metricRatios(c), "nonzero instruction count");
+    EXPECT_DEATH((void)cpiOf(c), "nonzero instruction count");
+}
+
+} // namespace
+} // namespace mtperf::uarch

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for k-fold and hold-out splitting.
+ */
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/folds.h"
+
+namespace mtperf {
+namespace {
+
+class KFoldParamTest
+    : public testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(KFoldParamTest, PartitionProperties)
+{
+    const auto [n, k] = GetParam();
+    Rng rng(n * 31 + k);
+    const auto folds = kfoldIndices(n, k, rng);
+    ASSERT_EQ(folds.size(), k);
+
+    // Disjoint cover of [0, n).
+    std::set<std::size_t> seen;
+    std::size_t max_size = 0, min_size = n;
+    for (const auto &fold : folds) {
+        max_size = std::max(max_size, fold.size());
+        min_size = std::min(min_size, fold.size());
+        for (std::size_t idx : fold) {
+            EXPECT_LT(idx, n);
+            EXPECT_TRUE(seen.insert(idx).second)
+                << "duplicate index " << idx;
+        }
+    }
+    EXPECT_EQ(seen.size(), n);
+    // Balanced within one element.
+    EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KFoldParamTest,
+    testing::Values(std::pair<std::size_t, std::size_t>{10, 2},
+                    std::pair<std::size_t, std::size_t>{10, 10},
+                    std::pair<std::size_t, std::size_t>{103, 10},
+                    std::pair<std::size_t, std::size_t>{1000, 7},
+                    std::pair<std::size_t, std::size_t>{5, 3}));
+
+TEST(KFold, InvalidArgumentsThrow)
+{
+    Rng rng(1);
+    EXPECT_THROW(kfoldIndices(10, 1, rng), FatalError);
+    EXPECT_THROW(kfoldIndices(3, 4, rng), FatalError);
+}
+
+TEST(KFold, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    EXPECT_EQ(kfoldIndices(50, 5, a), kfoldIndices(50, 5, b));
+}
+
+TEST(SplitForFold, ComplementaryTrainAndTest)
+{
+    Rng rng(9);
+    const auto folds = kfoldIndices(20, 4, rng);
+    for (std::size_t f = 0; f < 4; ++f) {
+        const Split split = splitForFold(folds, f);
+        EXPECT_EQ(split.train.size() + split.test.size(), 20u);
+        std::set<std::size_t> train(split.train.begin(),
+                                    split.train.end());
+        for (std::size_t idx : split.test)
+            EXPECT_EQ(train.count(idx), 0u);
+    }
+}
+
+TEST(HoldoutSplit, FractionRespected)
+{
+    Rng rng(11);
+    const Split split = holdoutSplit(100, 0.3, rng);
+    EXPECT_EQ(split.test.size(), 30u);
+    EXPECT_EQ(split.train.size(), 70u);
+}
+
+TEST(HoldoutSplit, AlwaysAtLeastOneEachSide)
+{
+    Rng rng(13);
+    const Split tiny = holdoutSplit(2, 0.01, rng);
+    EXPECT_EQ(tiny.test.size(), 1u);
+    EXPECT_EQ(tiny.train.size(), 1u);
+}
+
+TEST(HoldoutSplit, InvalidArgumentsThrow)
+{
+    Rng rng(15);
+    EXPECT_THROW(holdoutSplit(1, 0.5, rng), FatalError);
+    EXPECT_THROW(holdoutSplit(10, 0.0, rng), FatalError);
+    EXPECT_THROW(holdoutSplit(10, 1.0, rng), FatalError);
+}
+
+TEST(Subsets, MaterializeCorrectRows)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    for (int i = 0; i < 6; ++i)
+        ds.addRow(std::vector<double>{double(i)}, double(i));
+    Split split;
+    split.train = {0, 2, 4};
+    split.test = {1, 3, 5};
+    const Dataset train = trainSubset(ds, split);
+    const Dataset test = testSubset(ds, split);
+    EXPECT_DOUBLE_EQ(train.value(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(test.value(2, 0), 5.0);
+}
+
+} // namespace
+} // namespace mtperf

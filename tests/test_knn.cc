@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the k-NN regressor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/eval/metrics.h"
+#include "ml/knn/knn.h"
+
+namespace mtperf {
+namespace {
+
+TEST(Knn, ExactRecallOnTrainingPoints)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    for (int i = 0; i < 10; ++i)
+        ds.addRow(std::vector<double>{double(i)}, double(i * i));
+    KnnOptions o;
+    o.k = 1;
+    KnnRegressor knn(o);
+    knn.fit(ds);
+    // Distance weighting makes the zero-distance neighbour dominate.
+    EXPECT_NEAR(knn.predict(std::vector<double>{4.0}), 16.0, 1e-6);
+}
+
+TEST(Knn, UnweightedAveragesNeighbours)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    ds.addRow(std::vector<double>{0.0}, 0.0);
+    ds.addRow(std::vector<double>{1.0}, 10.0);
+    ds.addRow(std::vector<double>{100.0}, 1000.0);
+    KnnOptions o;
+    o.k = 2;
+    o.distanceWeighted = false;
+    KnnRegressor knn(o);
+    knn.fit(ds);
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.5}), 5.0);
+}
+
+TEST(Knn, KLargerThanDatasetIsClamped)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    ds.addRow(std::vector<double>{0.0}, 2.0);
+    ds.addRow(std::vector<double>{1.0}, 4.0);
+    KnnOptions o;
+    o.k = 50;
+    o.distanceWeighted = false;
+    KnnRegressor knn(o);
+    knn.fit(ds);
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.5}), 3.0);
+}
+
+TEST(Knn, SmoothFunctionAccuracy)
+{
+    Dataset train(Schema(std::vector<std::string>{"x"}, "y")), test(Schema(std::vector<std::string>{"x"}, "y"));
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(0, 10);
+        train.addRow(std::vector<double>{x}, 3.0 * x + 1.0);
+    }
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(0.5, 9.5);
+        test.addRow(std::vector<double>{x}, 3.0 * x + 1.0);
+    }
+    KnnRegressor knn;
+    knn.fit(train);
+    const auto m = computeMetrics(test.targets(), knn.predictAll(test));
+    EXPECT_GT(m.correlation, 0.999);
+}
+
+TEST(Knn, StandardizationMakesScalesComparable)
+{
+    // One attribute is 1000x the other; without standardization the
+    // wide attribute would dominate the distance and the prediction
+    // would ignore x2 entirely.
+    Dataset ds(Schema(std::vector<std::string>{"x1", "x2"}, "y"));
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        const double x1 = rng.uniform(0, 1000);
+        const double x2 = rng.uniform(0, 1);
+        ds.addRow(std::vector<double>{x1, x2}, x2 > 0.5 ? 1.0 : 0.0);
+    }
+    KnnOptions o;
+    o.k = 5;
+    KnnRegressor knn(o);
+    knn.fit(ds);
+    EXPECT_GT(knn.predict(std::vector<double>{500.0, 0.95}), 0.6);
+    EXPECT_LT(knn.predict(std::vector<double>{500.0, 0.05}), 0.4);
+}
+
+TEST(Knn, InvalidOptionsThrow)
+{
+    KnnOptions o;
+    o.k = 0;
+    EXPECT_THROW(KnnRegressor{o}, FatalError);
+}
+
+TEST(Knn, EmptyTrainingThrows)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    KnnRegressor knn;
+    EXPECT_THROW(knn.fit(ds), FatalError);
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the least-squares solvers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "math/least_squares.h"
+
+namespace mtperf {
+namespace {
+
+TEST(LeastSquares, SolvesSquareSystemExactly)
+{
+    const auto a = Matrix::fromRows({{2, 1}, {1, 3}});
+    const std::vector<double> b = {5, 10};
+    const auto result = solveLeastSquares(a, b);
+    ASSERT_EQ(result.x.size(), 2u);
+    EXPECT_FALSE(result.regularized);
+    EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+    EXPECT_NEAR(result.x[1], 3.0, 1e-9);
+}
+
+TEST(LeastSquares, RecoversPlantedCoefficients)
+{
+    // y = 3 x1 - 2 x2 + 0.5, exactly.
+    Rng rng(99);
+    Matrix a(200, 3);
+    std::vector<double> b(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        const double x1 = rng.uniform(-1, 1);
+        const double x2 = rng.uniform(-1, 1);
+        a(i, 0) = x1;
+        a(i, 1) = x2;
+        a(i, 2) = 1.0;
+        b[i] = 3.0 * x1 - 2.0 * x2 + 0.5;
+    }
+    const auto result = solveLeastSquares(a, b);
+    EXPECT_NEAR(result.x[0], 3.0, 1e-8);
+    EXPECT_NEAR(result.x[1], -2.0, 1e-8);
+    EXPECT_NEAR(result.x[2], 0.5, 1e-8);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns)
+{
+    // The defining property of the LS solution: A^T (b - A x) = 0.
+    Rng rng(7);
+    Matrix a(50, 4);
+    std::vector<double> b(50);
+    for (std::size_t i = 0; i < 50; ++i) {
+        for (std::size_t j = 0; j < 4; ++j)
+            a(i, j) = rng.normal();
+        b[i] = rng.normal();
+    }
+    const auto result = solveLeastSquares(a, b);
+    const auto pred = a * result.x;
+    for (std::size_t j = 0; j < 4; ++j) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < 50; ++i)
+            dot += a(i, j) * (b[i] - pred[i]);
+        EXPECT_NEAR(dot, 0.0, 1e-8);
+    }
+}
+
+TEST(LeastSquares, RankDeficientFallsBackToRidge)
+{
+    // Second column is an exact copy of the first.
+    Matrix a(10, 2);
+    std::vector<double> b(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        a(i, 0) = static_cast<double>(i);
+        a(i, 1) = static_cast<double>(i);
+        b[i] = 2.0 * static_cast<double>(i);
+    }
+    const auto result = solveLeastSquares(a, b);
+    EXPECT_TRUE(result.regularized);
+    // Ridge splits the weight across the duplicated columns; the
+    // prediction should still be right.
+    EXPECT_NEAR(result.x[0] + result.x[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquares, ZeroColumnFallsBackToRidge)
+{
+    Matrix a(5, 2);
+    std::vector<double> b(5, 1.0);
+    for (std::size_t i = 0; i < 5; ++i)
+        a(i, 0) = 1.0; // column 1 stays all-zero
+    const auto result = solveLeastSquares(a, b);
+    EXPECT_TRUE(result.regularized);
+    EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(result.x[1], 0.0, 1e-3);
+}
+
+TEST(LeastSquares, UnderdeterminedUsesRidge)
+{
+    Matrix a(2, 3, 1.0);
+    a(0, 1) = 2.0;
+    const std::vector<double> b = {1.0, 2.0};
+    const auto result = solveLeastSquares(a, b);
+    EXPECT_TRUE(result.regularized);
+    ASSERT_EQ(result.x.size(), 3u);
+}
+
+TEST(LeastSquares, EmptyColumnsYieldEmptySolution)
+{
+    Matrix a(3, 0);
+    const std::vector<double> b = {1, 2, 3};
+    const auto result = solveLeastSquares(a, b);
+    EXPECT_TRUE(result.x.empty());
+}
+
+TEST(LeastSquares, DimensionMismatchThrows)
+{
+    Matrix a(3, 2);
+    const std::vector<double> b = {1, 2};
+    EXPECT_THROW(solveLeastSquares(a, b), FatalError);
+}
+
+TEST(SolveRidge, ShrinksTowardZero)
+{
+    Matrix a(20, 1);
+    std::vector<double> b(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+        a(i, 0) = 1.0;
+        b[i] = 4.0;
+    }
+    const auto small = solveRidge(a, b, 1e-9);
+    const auto large = solveRidge(a, b, 1e3);
+    EXPECT_NEAR(small[0], 4.0, 1e-6);
+    EXPECT_LT(large[0], small[0]);
+    EXPECT_GT(large[0], 0.0);
+}
+
+TEST(SolveRidge, MatchesQrOnWellPosedSystem)
+{
+    Rng rng(3);
+    Matrix a(100, 3);
+    std::vector<double> b(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        for (std::size_t j = 0; j < 3; ++j)
+            a(i, j) = rng.normal();
+        b[i] = rng.normal();
+    }
+    const auto qr = solveLeastSquares(a, b);
+    const auto ridge = solveRidge(a, b, 1e-10);
+    for (std::size_t j = 0; j < 3; ++j)
+        EXPECT_NEAR(qr.x[j], ridge[j], 1e-5);
+}
+
+TEST(LeastSquares, BadlyScaledColumnsStillSolve)
+{
+    // Columns spanning 12 orders of magnitude, as raw event ratios do.
+    Rng rng(13);
+    Matrix a(300, 3);
+    std::vector<double> b(300);
+    for (std::size_t i = 0; i < 300; ++i) {
+        const double x1 = rng.uniform() * 1e-6;
+        const double x2 = rng.uniform() * 1e6;
+        a(i, 0) = x1;
+        a(i, 1) = x2;
+        a(i, 2) = 1.0;
+        b[i] = 2e6 * x1 + 3e-6 * x2 + 1.0;
+    }
+    const auto result = solveLeastSquares(a, b);
+    EXPECT_NEAR(result.x[0], 2e6, 1e-2);
+    EXPECT_NEAR(result.x[1], 3e-6, 1e-10);
+    EXPECT_NEAR(result.x[2], 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace mtperf

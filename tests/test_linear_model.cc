@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for LinearModel and the LinearRegression baseline.
+ */
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/linear/linear_model.h"
+
+namespace mtperf {
+namespace {
+
+/** y = 2 x1 - 3 x2 + 1 with optional noise; x3 is pure noise. */
+Dataset
+plantedDataset(std::size_t n, double noise_sd, std::uint64_t seed = 1)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x1", "x2", "x3"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x1 = rng.uniform(-2, 2);
+        const double x2 = rng.uniform(-2, 2);
+        const double x3 = rng.uniform(-2, 2);
+        const double y = 2.0 * x1 - 3.0 * x2 + 1.0 +
+                         rng.normal(0.0, noise_sd);
+        ds.addRow(std::vector<double>{x1, x2, x3}, y);
+    }
+    return ds;
+}
+
+std::vector<std::size_t>
+allRows(const Dataset &ds)
+{
+    std::vector<std::size_t> rows(ds.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    return rows;
+}
+
+TEST(LinearModel, ConstantModel)
+{
+    const auto m = LinearModel::constant(2.5);
+    EXPECT_DOUBLE_EQ(m.intercept(), 2.5);
+    EXPECT_TRUE(m.terms().empty());
+    EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{1.0, 2.0}), 2.5);
+    EXPECT_EQ(m.numParameters(), 1u);
+}
+
+TEST(LinearModel, FitRecoversPlantedCoefficients)
+{
+    const Dataset ds = plantedDataset(300, 0.0);
+    const auto rows = allRows(ds);
+    const std::vector<std::size_t> attrs = {0, 1, 2};
+    const auto m = LinearModel::fit(ds, rows, attrs);
+    EXPECT_NEAR(m.coefficient(0), 2.0, 1e-8);
+    EXPECT_NEAR(m.coefficient(1), -3.0, 1e-8);
+    EXPECT_NEAR(m.coefficient(2), 0.0, 1e-8);
+    EXPECT_NEAR(m.intercept(), 1.0, 1e-8);
+}
+
+TEST(LinearModel, FitWithAttributeSubset)
+{
+    const Dataset ds = plantedDataset(300, 0.0);
+    const auto rows = allRows(ds);
+    const std::vector<std::size_t> attrs = {1};
+    const auto m = LinearModel::fit(ds, rows, attrs);
+    EXPECT_EQ(m.terms().size(), 1u);
+    EXPECT_EQ(m.terms()[0].attr, 1u);
+    EXPECT_NEAR(m.coefficient(1), -3.0, 0.3);
+    EXPECT_DOUBLE_EQ(m.coefficient(0), 0.0);
+}
+
+TEST(LinearModel, EmptyAttrsFitsMean)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    ds.addRow(std::vector<double>{0.0}, 2.0);
+    ds.addRow(std::vector<double>{1.0}, 4.0);
+    const auto rows = allRows(ds);
+    const auto m = LinearModel::fit(ds, rows, {});
+    EXPECT_DOUBLE_EQ(m.intercept(), 3.0);
+}
+
+TEST(LinearModel, MeanAbsoluteError)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    ds.addRow(std::vector<double>{0.0}, 1.0);
+    ds.addRow(std::vector<double>{0.0}, 3.0);
+    const auto m = LinearModel::constant(2.0);
+    const auto rows = allRows(ds);
+    EXPECT_DOUBLE_EQ(m.meanAbsoluteError(ds, rows), 1.0);
+}
+
+TEST(LinearModel, CompensatedErrorExceedsRawError)
+{
+    const Dataset ds = plantedDataset(50, 0.5);
+    const auto rows = allRows(ds);
+    const auto m =
+        LinearModel::fit(ds, rows, std::vector<std::size_t>{0, 1, 2});
+    EXPECT_GT(m.compensatedError(ds, rows),
+              m.meanAbsoluteError(ds, rows));
+}
+
+TEST(LinearModel, CompensatedErrorInfiniteWhenOverParameterized)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x1", "x2"}, "y"));
+    ds.addRow(std::vector<double>{1, 2}, 1.0);
+    ds.addRow(std::vector<double>{2, 1}, 2.0);
+    const auto rows = allRows(ds);
+    const auto m =
+        LinearModel::fit(ds, rows, std::vector<std::size_t>{0, 1});
+    EXPECT_TRUE(std::isinf(m.compensatedError(ds, rows)));
+}
+
+TEST(LinearModel, SimplifyDropsNoiseTerm)
+{
+    const Dataset ds = plantedDataset(200, 0.3);
+    const auto rows = allRows(ds);
+    auto m =
+        LinearModel::fit(ds, rows, std::vector<std::size_t>{0, 1, 2});
+    m.simplify(ds, rows);
+    // The pure-noise attribute x3 should have been eliminated; the
+    // real predictors should survive.
+    EXPECT_DOUBLE_EQ(m.coefficient(2), 0.0);
+    EXPECT_NE(m.coefficient(0), 0.0);
+    EXPECT_NE(m.coefficient(1), 0.0);
+}
+
+TEST(LinearModel, SimplifyKeepsPerfectFitIntact)
+{
+    const Dataset ds = plantedDataset(200, 0.0);
+    const auto rows = allRows(ds);
+    auto m =
+        LinearModel::fit(ds, rows, std::vector<std::size_t>{0, 1});
+    const double before = m.meanAbsoluteError(ds, rows);
+    m.simplify(ds, rows);
+    EXPECT_EQ(m.terms().size(), 2u);
+    EXPECT_NEAR(m.meanAbsoluteError(ds, rows), before, 1e-9);
+}
+
+TEST(LinearModel, ToStringFormat)
+{
+    LinearModel m = LinearModel::constant(0.52);
+    const Schema schema(std::vector<std::string>{"ItlbM", "L1IM"}, "CPI");
+    EXPECT_EQ(m.toString(schema, 2), "CPI = 0.52");
+
+    Dataset ds(schema);
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        const double a = rng.uniform(), b = rng.uniform();
+        ds.addRow(std::vector<double>{a, b}, 139.91 * a - 6.69 * b + 0.52);
+    }
+    const auto fit = LinearModel::fit(
+        ds, allRows(ds), std::vector<std::size_t>{0, 1});
+    const std::string text = fit.toString(schema, 2);
+    EXPECT_EQ(text, "CPI = 0.52 + 139.91 * ItlbM - 6.69 * L1IM");
+}
+
+TEST(LinearModel, BlendWithAveragesCoefficients)
+{
+    LinearModel a = LinearModel::constant(1.0);
+    LinearModel b = LinearModel::constant(3.0);
+    // n = k means an even blend.
+    a.blendWith(b, 15.0, 15.0);
+    EXPECT_DOUBLE_EQ(a.intercept(), 2.0);
+}
+
+TEST(LinearModel, BlendWithMergesTerms)
+{
+    Dataset ds(Schema(std::vector<std::string>{"u", "v"}, "y"));
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        const double u = rng.uniform(), v = rng.uniform();
+        ds.addRow(std::vector<double>{u, v}, 2 * u + 4 * v);
+    }
+    const auto rows = allRows(ds);
+    auto mu = LinearModel::fit(ds, rows, std::vector<std::size_t>{0});
+    const auto mv = LinearModel::fit(ds, rows, std::vector<std::size_t>{1});
+    mu.blendWith(mv, 10.0, 30.0); // weights 0.25 / 0.75
+    // mu has a u-term scaled by 0.25 and gains v scaled by 0.75.
+    EXPECT_NE(mu.coefficient(0), 0.0);
+    EXPECT_NE(mu.coefficient(1), 0.0);
+    // Prediction equals the weighted blend of the two models.
+    const std::vector<double> x{0.3, 0.7};
+    const auto mu_fresh =
+        LinearModel::fit(ds, rows, std::vector<std::size_t>{0});
+    EXPECT_NEAR(mu.predict(x),
+                0.25 * mu_fresh.predict(x) + 0.75 * mv.predict(x),
+                1e-12);
+}
+
+TEST(LinearRegression, FitsAndPredicts)
+{
+    const Dataset ds = plantedDataset(200, 0.0);
+    LinearRegression lr;
+    lr.fit(ds);
+    EXPECT_EQ(lr.name(), "LinearRegression");
+    EXPECT_NEAR(lr.predict(std::vector<double>{1.0, 1.0, 0.0}), 0.0,
+                1e-6);
+    EXPECT_NEAR(lr.predict(std::vector<double>{0.0, 0.0, 0.0}), 1.0,
+                1e-6);
+}
+
+TEST(LinearRegression, SimplifyingVariantDropsNoise)
+{
+    const Dataset ds = plantedDataset(300, 0.2);
+    LinearRegression lr(/*simplify=*/true);
+    lr.fit(ds);
+    EXPECT_DOUBLE_EQ(lr.model().coefficient(2), 0.0);
+}
+
+TEST(LinearRegression, EmptyTrainingThrows)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    LinearRegression lr;
+    EXPECT_THROW(lr.fit(ds), FatalError);
+}
+
+} // namespace
+} // namespace mtperf

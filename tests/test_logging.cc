@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for logging and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace mtperf {
+namespace {
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        mtperf_fatal("bad thing: ", 42);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad thing: 42");
+    }
+}
+
+TEST(Logging, LogLevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    mtperf_assert(1 + 1 == 2, "arithmetic holds");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(mtperf_panic("boom"), "panic: boom");
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(mtperf_assert(false, "context"), "assertion failed");
+}
+
+} // namespace
+} // namespace mtperf

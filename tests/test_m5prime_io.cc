@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for M5Prime model serialization.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+piecewiseDataset(std::size_t n, std::uint64_t seed = 31)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x0", "x1"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform();
+        const double x1 = rng.uniform();
+        const double y = x0 <= 0.5 ? 1.0 + 2.0 * x1 : 10.0 - 3.0 * x1;
+        ds.addRow(std::vector<double>{x0, x1},
+                  y + rng.normal(0.0, 0.1));
+    }
+    return ds;
+}
+
+M5Prime
+fittedTree(const Dataset &ds)
+{
+    M5Options options;
+    options.minInstances = 30;
+    M5Prime tree(options);
+    tree.fit(ds);
+    return tree;
+}
+
+TEST(M5PrimeIo, RoundTripPredictsIdentically)
+{
+    const Dataset ds = piecewiseDataset(1000);
+    const M5Prime tree = fittedTree(ds);
+
+    std::stringstream buffer;
+    tree.save(buffer);
+    const M5Prime loaded = M5Prime::load(buffer);
+
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        EXPECT_DOUBLE_EQ(loaded.predict(ds.row(r)),
+                         tree.predict(ds.row(r)));
+    }
+}
+
+TEST(M5PrimeIo, RoundTripPreservesStructure)
+{
+    const Dataset ds = piecewiseDataset(1500);
+    const M5Prime tree = fittedTree(ds);
+
+    std::stringstream buffer;
+    tree.save(buffer);
+    const M5Prime loaded = M5Prime::load(buffer);
+
+    EXPECT_EQ(loaded.numLeaves(), tree.numLeaves());
+    EXPECT_EQ(loaded.depth(), tree.depth());
+    EXPECT_EQ(loaded.numNodes(), tree.numNodes());
+    EXPECT_TRUE(loaded.schema() == tree.schema());
+    EXPECT_EQ(loaded.toString(), tree.toString());
+    EXPECT_EQ(loaded.options().minInstances,
+              tree.options().minInstances);
+    for (std::size_t leaf = 0; leaf < tree.numLeaves(); ++leaf) {
+        EXPECT_EQ(loaded.leafInfo(leaf).count,
+                  tree.leafInfo(leaf).count);
+        EXPECT_EQ(loaded.leafInfo(leaf).path.size(),
+                  tree.leafInfo(leaf).path.size());
+    }
+}
+
+TEST(M5PrimeIo, RoundTripLeafRoutingAgrees)
+{
+    const Dataset ds = piecewiseDataset(800);
+    const M5Prime tree = fittedTree(ds);
+    std::stringstream buffer;
+    tree.save(buffer);
+    const M5Prime loaded = M5Prime::load(buffer);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        EXPECT_EQ(loaded.leafIndexFor(ds.row(r)),
+                  tree.leafIndexFor(ds.row(r)));
+    }
+}
+
+TEST(M5PrimeIo, FileRoundTrip)
+{
+    const Dataset ds = piecewiseDataset(500);
+    const M5Prime tree = fittedTree(ds);
+    const std::string path = testing::TempDir() + "/mtperf_model.m5";
+    tree.saveFile(path);
+    const M5Prime loaded = M5Prime::loadFile(path);
+    EXPECT_DOUBLE_EQ(loaded.predict(std::vector<double>{0.3, 0.5}),
+                     tree.predict(std::vector<double>{0.3, 0.5}));
+}
+
+TEST(M5PrimeIo, SingleLeafTreeRoundTrips)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    for (int i = 0; i < 20; ++i)
+        ds.addRow(std::vector<double>{double(i)}, 2.0);
+    M5Prime tree;
+    tree.fit(ds);
+    std::stringstream buffer;
+    tree.save(buffer);
+    const M5Prime loaded = M5Prime::load(buffer);
+    EXPECT_EQ(loaded.numLeaves(), 1u);
+    EXPECT_DOUBLE_EQ(loaded.predict(std::vector<double>{5.0}), 2.0);
+}
+
+TEST(M5PrimeIo, MalformedInputsThrow)
+{
+    auto load_text = [](const std::string &text) {
+        std::istringstream in(text);
+        return M5Prime::load(in);
+    };
+    EXPECT_THROW(load_text(""), FatalError);
+    EXPECT_THROW(load_text("not-a-model v1"), FatalError);
+    EXPECT_THROW(load_text("m5prime-model v1\ntarget y\n"), FatalError);
+    EXPECT_THROW(
+        load_text("m5prime-model v1\ntarget y\nattributes 1\na x\n"
+                  "trainSize 5\noptions 4 0.05 1 1 15 1 0\n"
+                  "node z\nend\n"),
+        FatalError);
+    // Attribute index out of range in a leaf model term.
+    EXPECT_THROW(
+        load_text("m5prime-model v1\ntarget y\nattributes 1\na x\n"
+                  "trainSize 5\noptions 4 0.05 1 1 15 1 0\n"
+                  "node l 5 1.0 0.1 2.0 1 7 3.5\nend\n"),
+        FatalError);
+    // Missing trailing 'end'.
+    EXPECT_THROW(
+        load_text("m5prime-model v1\ntarget y\nattributes 1\na x\n"
+                  "trainSize 5\noptions 4 0.05 1 1 15 1 0\n"
+                  "node l 5 1.0 0.1 2.0 0\n"),
+        FatalError);
+}
+
+TEST(M5PrimeIo, LoadFileMissingThrows)
+{
+    EXPECT_THROW(M5Prime::loadFile("/nonexistent/model.m5"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parameterized option-sweep invariants for M5Prime.
+ *
+ * Every combination of (minInstances, smoothing, pruning, term
+ * dropping) must preserve the structural invariants: leaves cover the
+ * training set, every leaf respects the population floor, routing is
+ * consistent with the printed rules, and held-out accuracy stays well
+ * above the mean predictor.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/eval/metrics.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+sweepDataset(std::size_t n, std::uint64_t seed)
+{
+    Dataset ds(Schema(std::vector<std::string>{"a", "b", "c", "d"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(), b = rng.uniform();
+        const double c = rng.uniform(), d = rng.uniform();
+        double y;
+        if (a <= 0.33)
+            y = 1.0 + 2.0 * b;
+        else if (a <= 0.66)
+            y = 5.0 - c;
+        else
+            y = 9.0 + d;
+        ds.addRow(std::vector<double>{a, b, c, d},
+                  y + rng.normal(0.0, 0.15));
+    }
+    return ds;
+}
+
+using SweepParam = std::tuple<std::size_t, bool, bool, bool>;
+
+class M5OptionSweepTest : public testing::TestWithParam<SweepParam>
+{
+  protected:
+    M5Options
+    optionsFromParam() const
+    {
+        const auto [min_instances, smooth, prune, simplify] = GetParam();
+        M5Options options;
+        options.minInstances = min_instances;
+        options.smooth = smooth;
+        options.prune = prune;
+        options.simplifyModels = simplify;
+        return options;
+    }
+};
+
+TEST_P(M5OptionSweepTest, StructuralInvariantsHold)
+{
+    const Dataset ds = sweepDataset(1200, 101);
+    M5Prime tree(optionsFromParam());
+    tree.fit(ds);
+
+    ASSERT_GE(tree.numLeaves(), 1u);
+    EXPECT_EQ(tree.numNodes(), 2 * tree.numLeaves() - 1);
+
+    std::size_t covered = 0;
+    for (std::size_t leaf = 0; leaf < tree.numLeaves(); ++leaf) {
+        const auto &info = tree.leafInfo(leaf);
+        EXPECT_GE(info.count, tree.options().minInstances);
+        covered += info.count;
+    }
+    EXPECT_EQ(covered, ds.size());
+}
+
+TEST_P(M5OptionSweepTest, RoutingConsistentWithRules)
+{
+    const Dataset ds = sweepDataset(800, 102);
+    M5Prime tree(optionsFromParam());
+    tree.fit(ds);
+    for (std::size_t r = 0; r < ds.size(); r += 7) {
+        const auto row = ds.row(r);
+        const auto &info = tree.leafInfo(tree.leafIndexFor(row));
+        for (const auto &step : info.path)
+            EXPECT_EQ(row[step.attr] > step.value, step.goesRight);
+    }
+}
+
+TEST_P(M5OptionSweepTest, AccuracyAboveMeanPredictor)
+{
+    const Dataset train = sweepDataset(1500, 103);
+    const Dataset test = sweepDataset(400, 104);
+    M5Prime tree(optionsFromParam());
+    tree.fit(train);
+    const auto m = computeMetrics(test.targets(),
+                                  tree.predictAll(test));
+    EXPECT_LT(m.rae, 0.6);
+    EXPECT_GT(m.correlation, 0.9);
+}
+
+TEST_P(M5OptionSweepTest, SerializationRoundTripsEveryVariant)
+{
+    const Dataset ds = sweepDataset(900, 105);
+    M5Prime tree(optionsFromParam());
+    tree.fit(ds);
+    std::stringstream buffer;
+    tree.save(buffer);
+    const M5Prime loaded = M5Prime::load(buffer);
+    for (std::size_t r = 0; r < ds.size(); r += 13) {
+        EXPECT_DOUBLE_EQ(loaded.predict(ds.row(r)),
+                         tree.predict(ds.row(r)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, M5OptionSweepTest,
+    testing::Combine(testing::Values<std::size_t>(10, 60, 250),
+                     testing::Bool(),  // smooth
+                     testing::Bool(),  // prune
+                     testing::Bool()), // simplify
+    [](const testing::TestParamInfo<SweepParam> &info) {
+        return "min" + std::to_string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) ? "_smooth" : "_raw") +
+               (std::get<2>(info.param) ? "_pruned" : "_grown") +
+               (std::get<3>(info.param) ? "_dropped" : "_full");
+    });
+
+} // namespace
+} // namespace mtperf

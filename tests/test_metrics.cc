@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the regression metrics.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/eval/metrics.h"
+
+namespace mtperf {
+namespace {
+
+TEST(Metrics, PerfectPrediction)
+{
+    const std::vector<double> y = {1, 2, 3, 4};
+    const auto m = computeMetrics(y, y);
+    EXPECT_EQ(m.n, 4u);
+    EXPECT_NEAR(m.correlation, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.mae, 0.0);
+    EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+    EXPECT_DOUBLE_EQ(m.rae, 0.0);
+    EXPECT_DOUBLE_EQ(m.rrse, 0.0);
+}
+
+TEST(Metrics, HandComputedValues)
+{
+    const std::vector<double> actual = {1.0, 2.0, 3.0};
+    const std::vector<double> predicted = {1.5, 2.0, 2.5};
+    const auto m = computeMetrics(actual, predicted);
+    // errors: 0.5, 0, -0.5 -> MAE = 1/3, RMSE = sqrt(1/6).
+    EXPECT_NEAR(m.mae, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(m.rmse, std::sqrt(1.0 / 6.0), 1e-12);
+    // naive |errors| vs mean 2: 1, 0, 1 -> sum 2; our sum = 1.
+    EXPECT_NEAR(m.rae, 0.5, 1e-12);
+    // naive squared: 1 + 0 + 1 = 2; ours = 0.5 -> rrse = 0.5.
+    EXPECT_NEAR(m.rrse, 0.5, 1e-12);
+    EXPECT_NEAR(m.correlation, 1.0, 1e-12);
+}
+
+TEST(Metrics, MeanPredictorScoresRaeOne)
+{
+    const std::vector<double> actual = {1.0, 2.0, 3.0, 6.0};
+    const std::vector<double> mean_pred(4, 3.0);
+    const auto m = computeMetrics(actual, mean_pred);
+    EXPECT_NEAR(m.rae, 1.0, 1e-12);
+    EXPECT_NEAR(m.rrse, 1.0, 1e-12);
+}
+
+TEST(Metrics, ExternalNaiveMean)
+{
+    const std::vector<double> actual = {1.0, 3.0};
+    const std::vector<double> predicted = {1.0, 3.0};
+    // Against a training mean of 0 the naive error sums are 1+3 = 4.
+    const auto m = computeMetrics(actual, predicted, 0.0);
+    EXPECT_DOUBLE_EQ(m.rae, 0.0);
+    const std::vector<double> off = {2.0, 4.0};
+    const auto m2 = computeMetrics(actual, off, 0.0);
+    EXPECT_NEAR(m2.rae, 2.0 / 4.0, 1e-12);
+}
+
+TEST(Metrics, EmptyInput)
+{
+    const auto m = computeMetrics(std::vector<double>{},
+                                  std::vector<double>{});
+    EXPECT_EQ(m.n, 0u);
+    EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+TEST(Metrics, ConstantActualGivesZeroDenominators)
+{
+    const std::vector<double> actual = {2.0, 2.0};
+    const std::vector<double> predicted = {1.0, 3.0};
+    const auto m = computeMetrics(actual, predicted);
+    EXPECT_DOUBLE_EQ(m.rae, 0.0);
+    EXPECT_DOUBLE_EQ(m.rrse, 0.0);
+    EXPECT_DOUBLE_EQ(m.correlation, 0.0);
+}
+
+TEST(Metrics, SummaryMentionsAllFields)
+{
+    RegressionMetrics m;
+    m.n = 10;
+    m.correlation = 0.98;
+    m.mae = 0.05;
+    m.rae = 0.078;
+    const std::string s = m.summary();
+    EXPECT_NE(s.find("C="), std::string::npos);
+    EXPECT_NE(s.find("MAE="), std::string::npos);
+    EXPECT_NE(s.find("RAE="), std::string::npos);
+    EXPECT_NE(s.find("n=10"), std::string::npos);
+}
+
+} // namespace
+} // namespace mtperf

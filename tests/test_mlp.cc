@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the MLP regressor.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/eval/metrics.h"
+#include "ml/mlp/mlp.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+linearDataset(std::size_t n, std::uint64_t seed)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x1", "x2"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x1 = rng.uniform(-1, 1);
+        const double x2 = rng.uniform(-1, 1);
+        ds.addRow(std::vector<double>{x1, x2}, 3.0 * x1 - x2 + 0.5);
+    }
+    return ds;
+}
+
+Dataset
+nonlinearDataset(std::size_t n, std::uint64_t seed)
+{
+    // y = x1 * x2 — not representable by any linear model.
+    Dataset ds(Schema(std::vector<std::string>{"x1", "x2"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x1 = rng.uniform(-1, 1);
+        const double x2 = rng.uniform(-1, 1);
+        ds.addRow(std::vector<double>{x1, x2}, x1 * x2);
+    }
+    return ds;
+}
+
+TEST(Mlp, LearnsLinearFunction)
+{
+    const Dataset train = linearDataset(600, 1);
+    const Dataset test = linearDataset(200, 2);
+    MlpOptions o;
+    o.epochs = 200;
+    MlpRegressor mlp(o);
+    mlp.fit(train);
+    const auto m = computeMetrics(test.targets(), mlp.predictAll(test));
+    EXPECT_GT(m.correlation, 0.995);
+    EXPECT_LT(m.rae, 0.08);
+}
+
+TEST(Mlp, LearnsNonlinearInteraction)
+{
+    const Dataset train = nonlinearDataset(1500, 3);
+    const Dataset test = nonlinearDataset(300, 4);
+    MlpOptions o;
+    o.hiddenLayers = {16, 8};
+    o.epochs = 600;
+    MlpRegressor mlp(o);
+    mlp.fit(train);
+    const auto m = computeMetrics(test.targets(), mlp.predictAll(test));
+    // A global linear model would score correlation ~0 here.
+    EXPECT_GT(m.correlation, 0.95);
+}
+
+TEST(Mlp, DeterministicForFixedSeed)
+{
+    const Dataset train = linearDataset(200, 5);
+    MlpOptions o;
+    o.epochs = 50;
+    o.seed = 99;
+    MlpRegressor a(o), b(o);
+    a.fit(train);
+    b.fit(train);
+    const std::vector<double> x{0.3, -0.4};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Mlp, DifferentSeedsDifferSlightly)
+{
+    const Dataset train = linearDataset(200, 6);
+    MlpOptions oa, ob;
+    oa.epochs = ob.epochs = 30;
+    oa.seed = 1;
+    ob.seed = 2;
+    MlpRegressor a(oa), b(ob);
+    a.fit(train);
+    b.fit(train);
+    const std::vector<double> x{0.3, -0.4};
+    EXPECT_NE(a.predict(x), b.predict(x));
+}
+
+TEST(Mlp, TrainingLossDecreasesWithEpochs)
+{
+    const Dataset train = nonlinearDataset(400, 7);
+    MlpOptions short_opts, long_opts;
+    short_opts.epochs = 5;
+    long_opts.epochs = 200;
+    short_opts.seed = long_opts.seed = 3;
+    MlpRegressor short_run(short_opts), long_run(long_opts);
+    short_run.fit(train);
+    long_run.fit(train);
+    EXPECT_LT(long_run.finalTrainingLoss(),
+              short_run.finalTrainingLoss());
+}
+
+TEST(Mlp, InvalidOptionsThrow)
+{
+    MlpOptions no_hidden;
+    no_hidden.hiddenLayers = {};
+    EXPECT_THROW(MlpRegressor{no_hidden}, FatalError);
+
+    MlpOptions zero_units;
+    zero_units.hiddenLayers = {8, 0};
+    EXPECT_THROW(MlpRegressor{zero_units}, FatalError);
+
+    MlpOptions zero_batch;
+    zero_batch.batchSize = 0;
+    EXPECT_THROW(MlpRegressor{zero_batch}, FatalError);
+}
+
+TEST(Mlp, EmptyTrainingThrows)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    MlpRegressor mlp;
+    EXPECT_THROW(mlp.fit(ds), FatalError);
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for phase parameter validation and workload specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/phase.h"
+
+namespace mtperf::workload {
+namespace {
+
+TEST(PhaseParams, DefaultsValidate)
+{
+    PhaseParams p;
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PhaseParams, MixMustNotExceedOne)
+{
+    PhaseParams p;
+    p.loadFrac = 0.5;
+    p.storeFrac = 0.3;
+    p.branchFrac = 0.3;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(PhaseParams, FractionsOutOfRangeRejected)
+{
+    PhaseParams p;
+    p.loadFrac = -0.1;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    PhaseParams q;
+    q.branchEntropy = 1.5;
+    EXPECT_THROW(q.validate(), FatalError);
+
+    PhaseParams r;
+    r.misalignedFrac = 2.0;
+    EXPECT_THROW(r.validate(), FatalError);
+
+    PhaseParams s;
+    s.hotFrac = -0.01;
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
+TEST(PhaseParams, ChasePlusStreamMustNotExceedOne)
+{
+    PhaseParams p;
+    p.pointerChaseFrac = 0.6;
+    p.streamFrac = 0.6;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(PhaseParams, DepGeoPRange)
+{
+    PhaseParams p;
+    p.depGeoP = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p.depGeoP = 1.5;
+    EXPECT_THROW(p.validate(), FatalError);
+    p.depGeoP = 1.0;
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PhaseParams, SizesMustBePositive)
+{
+    PhaseParams p;
+    p.workingSetBytes = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    PhaseParams q;
+    q.codeFootprintBytes = 0;
+    EXPECT_THROW(q.validate(), FatalError);
+
+    PhaseParams r;
+    r.strideBytes = 0;
+    EXPECT_THROW(r.validate(), FatalError);
+
+    PhaseParams s;
+    s.hotBytes = 0;
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
+TEST(PhaseParams, ZipfExponentsMustBePositive)
+{
+    PhaseParams p;
+    p.zipfS = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    PhaseParams q;
+    q.codeZipfS = -1.0;
+    EXPECT_THROW(q.validate(), FatalError);
+}
+
+TEST(WorkloadSpec, TotalSections)
+{
+    WorkloadSpec spec;
+    spec.name = "w";
+    spec.phases.push_back({PhaseParams{}, 10});
+    spec.phases.push_back({PhaseParams{}, 32});
+    EXPECT_EQ(spec.totalSections(), 42u);
+}
+
+TEST(WorkloadSpec, EmptyHasZeroSections)
+{
+    WorkloadSpec spec;
+    EXPECT_EQ(spec.totalSections(), 0u);
+}
+
+} // namespace
+} // namespace mtperf::workload

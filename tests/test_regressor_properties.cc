@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Property tests every regressor must satisfy.
+ *
+ * Each learner in the library is run through the same battery:
+ * finite predictions, beating the naive mean predictor on structured
+ * data, tolerating constant targets, and refit replacing old state.
+ */
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/eval/metrics.h"
+#include "ml/knn/knn.h"
+#include "ml/linear/linear_model.h"
+#include "ml/mlp/mlp.h"
+#include "ml/svr/svr.h"
+#include "ml/tree/m5prime.h"
+#include "ml/tree/m5rules.h"
+#include "ml/tree/regression_tree.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+structuredDataset(std::size_t n, std::uint64_t seed)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x0", "x1", "x2"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform();
+        const double x1 = rng.uniform();
+        const double x2 = rng.uniform();
+        const double y = (x0 <= 0.5 ? 2.0 + x1 : 8.0 - 2.0 * x1) +
+                         rng.normal(0.0, 0.1);
+        ds.addRow(std::vector<double>{x0, x1, x2}, y);
+    }
+    return ds;
+}
+
+Dataset
+constantDataset(std::size_t n)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x0", "x1", "x2"}, "y"));
+    Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        ds.addRow(std::vector<double>{rng.uniform(), rng.uniform(),
+                                      rng.uniform()},
+                  3.25);
+    }
+    return ds;
+}
+
+struct LearnerCase
+{
+    std::string name;
+    std::function<std::unique_ptr<Regressor>()> factory;
+};
+
+std::vector<LearnerCase>
+allLearners()
+{
+    std::vector<LearnerCase> learners;
+    learners.push_back({"M5Prime", [] {
+                            M5Options o;
+                            o.minInstances = 25;
+                            return std::make_unique<M5Prime>(o);
+                        }});
+    learners.push_back({"M5Rules", [] {
+                            M5RulesOptions o;
+                            o.treeOptions.minInstances = 25;
+                            return std::make_unique<M5Rules>(o);
+                        }});
+    learners.push_back({"RegressionTree", [] {
+                            RegressionTreeOptions o;
+                            o.minInstances = 25;
+                            return std::make_unique<RegressionTree>(o);
+                        }});
+    learners.push_back(
+        {"LinearRegression",
+         [] { return std::make_unique<LinearRegression>(); }});
+    learners.push_back({"MLP", [] {
+                            MlpOptions o;
+                            o.epochs = 120;
+                            return std::make_unique<MlpRegressor>(o);
+                        }});
+    learners.push_back({"SVR", [] {
+                            return std::make_unique<SvrRegressor>();
+                        }});
+    learners.push_back(
+        {"kNN", [] { return std::make_unique<KnnRegressor>(); }});
+    return learners;
+}
+
+class RegressorPropertyTest : public testing::TestWithParam<std::size_t>
+{
+  protected:
+    LearnerCase learner_ = allLearners()[GetParam()];
+};
+
+TEST_P(RegressorPropertyTest, PredictionsAreFinite)
+{
+    const Dataset train = structuredDataset(600, 1);
+    auto learner = learner_.factory();
+    learner->fit(train);
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const std::vector<double> row{rng.uniform(-0.5, 1.5),
+                                      rng.uniform(-0.5, 1.5),
+                                      rng.uniform(-0.5, 1.5)};
+        EXPECT_TRUE(std::isfinite(learner->predict(row)))
+            << learner_.name;
+    }
+}
+
+TEST_P(RegressorPropertyTest, BeatsTheMeanPredictor)
+{
+    const Dataset train = structuredDataset(800, 3);
+    const Dataset test = structuredDataset(300, 4);
+    auto learner = learner_.factory();
+    learner->fit(train);
+    const auto m = computeMetrics(test.targets(),
+                                  learner->predictAll(test));
+    EXPECT_LT(m.rae, 0.7) << learner_.name;
+    EXPECT_GT(m.correlation, 0.8) << learner_.name;
+}
+
+TEST_P(RegressorPropertyTest, HandlesConstantTarget)
+{
+    const Dataset train = constantDataset(200);
+    auto learner = learner_.factory();
+    learner->fit(train);
+    EXPECT_NEAR(learner->predict(std::vector<double>{0.5, 0.5, 0.5}),
+                3.25, 0.3)
+        << learner_.name;
+}
+
+TEST_P(RegressorPropertyTest, RefitReplacesState)
+{
+    auto learner = learner_.factory();
+    learner->fit(structuredDataset(400, 5));
+
+    // Retrain on a shifted problem; predictions must track it.
+    Dataset shifted(Schema(std::vector<std::string>{"x0", "x1", "x2"},
+                           "y"));
+    Rng rng(6);
+    for (int i = 0; i < 400; ++i) {
+        shifted.addRow(std::vector<double>{rng.uniform(), rng.uniform(),
+                                           rng.uniform()},
+                       100.0);
+    }
+    learner->fit(shifted);
+    EXPECT_NEAR(learner->predict(std::vector<double>{0.5, 0.5, 0.5}),
+                100.0, 10.0)
+        << learner_.name;
+}
+
+TEST_P(RegressorPropertyTest, DeterministicTraining)
+{
+    const Dataset train = structuredDataset(400, 7);
+    auto a = learner_.factory();
+    auto b = learner_.factory();
+    a->fit(train);
+    b->fit(train);
+    Rng rng(8);
+    for (int i = 0; i < 20; ++i) {
+        const std::vector<double> row{rng.uniform(), rng.uniform(),
+                                      rng.uniform()};
+        EXPECT_DOUBLE_EQ(a->predict(row), b->predict(row))
+            << learner_.name;
+    }
+}
+
+TEST_P(RegressorPropertyTest, NameMatchesRegistry)
+{
+    auto learner = learner_.factory();
+    EXPECT_EQ(learner->name(), learner_.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLearners, RegressorPropertyTest,
+    testing::Range<std::size_t>(0, allLearners().size()),
+    [](const testing::TestParamInfo<std::size_t> &info) {
+        return allLearners()[info.param].name;
+    });
+
+} // namespace
+} // namespace mtperf

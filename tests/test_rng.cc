@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the deterministic random number generator.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mtperf {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const auto first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 2.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 2.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversSupportUniformly)
+{
+    Rng rng(17);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(std::uint64_t(10))];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(19);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t(-2), std::int64_t(2));
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceProbabilityApprox)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(31);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(37);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(41);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(43);
+    const double p = 0.25;
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of failures-before-success geometric is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero)
+{
+    Rng rng(47);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ZipfSupport)
+{
+    Rng rng(53);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.zipf(100, 1.0), 100u);
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng rng(59);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.zipf(1, 1.2), 0u);
+}
+
+TEST(Rng, ZipfRankFrequenciesDecrease)
+{
+    Rng rng(61);
+    std::vector<int> counts(50, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[rng.zipf(50, 1.0)];
+    // Head elements should dominate tail elements clearly.
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[0], 4 * counts[24]);
+    EXPECT_GT(counts[1], counts[30]);
+}
+
+TEST(Rng, ZipfMatchesTheoreticalHeadMass)
+{
+    Rng rng(67);
+    const std::uint64_t n = 1000;
+    const double s = 1.0;
+    std::vector<int> counts(n, 0);
+    const int draws = 300000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.zipf(n, s)];
+    double harmonic = 0.0;
+    for (std::uint64_t r = 1; r <= n; ++r)
+        harmonic += 1.0 / static_cast<double>(r);
+    const double expected_first = 1.0 / harmonic;
+    EXPECT_NEAR(static_cast<double>(counts[0]) / draws, expected_first,
+                0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(71);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto copy = v;
+    rng.shuffle(copy);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), copy.begin()));
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton)
+{
+    Rng rng(73);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{42};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<int>{42});
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for sectioned workload execution and parameter jitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "uarch/event_counters.h"
+#include "workload/runner.h"
+
+namespace mtperf::workload {
+namespace {
+
+WorkloadSpec
+tinyWorkload()
+{
+    PhaseParams a;
+    a.name = "alpha";
+    a.workingSetBytes = 64 * 1024;
+    PhaseParams b;
+    b.name = "beta";
+    b.workingSetBytes = 8 * 1024 * 1024;
+    b.branchEntropy = 0.2;
+    return {"tiny", {{a, 3}, {b, 2}}};
+}
+
+RunnerOptions
+fastOptions()
+{
+    RunnerOptions options;
+    options.instructionsPerSection = 2000;
+    return options;
+}
+
+TEST(Runner, ProducesOneRecordPerSection)
+{
+    const auto records = runWorkload(tinyWorkload(), fastOptions());
+    ASSERT_EQ(records.size(), 5u);
+    EXPECT_EQ(records[0].phase, "alpha");
+    EXPECT_EQ(records[3].phase, "beta");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].workload, "tiny");
+        EXPECT_EQ(records[i].sectionIndex, i);
+        EXPECT_EQ(records[i].counters.instRetired, 2000u);
+        EXPECT_GT(records[i].counters.cycles, 0u);
+    }
+}
+
+TEST(Runner, SectionScaleMultipliesBudgets)
+{
+    RunnerOptions options = fastOptions();
+    options.sectionScale = 2.0;
+    EXPECT_EQ(runWorkload(tinyWorkload(), options).size(), 10u);
+    options.sectionScale = 0.4;
+    // 3 * 0.4 rounds to 1, 2 * 0.4 rounds to 1.
+    EXPECT_EQ(runWorkload(tinyWorkload(), options).size(), 2u);
+}
+
+TEST(Runner, DeterministicForSeed)
+{
+    const auto a = runWorkload(tinyWorkload(), fastOptions());
+    const auto b = runWorkload(tinyWorkload(), fastOptions());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].counters.cycles, b[i].counters.cycles);
+        EXPECT_EQ(a[i].counters.l2LineMiss, b[i].counters.l2LineMiss);
+    }
+}
+
+TEST(Runner, SeedChangesData)
+{
+    RunnerOptions other = fastOptions();
+    other.seed = 777;
+    const auto a = runWorkload(tinyWorkload(), fastOptions());
+    const auto b = runWorkload(tinyWorkload(), other);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_difference |= a[i].counters.cycles != b[i].counters.cycles;
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Runner, JitterCreatesSectionVariation)
+{
+    WorkloadSpec spec;
+    PhaseParams p;
+    p.name = "only";
+    spec.name = "jittered";
+    spec.phases.push_back({p, 10});
+
+    RunnerOptions no_jitter = fastOptions();
+    no_jitter.paramJitter = 0.0;
+    RunnerOptions jitter = fastOptions();
+    jitter.paramJitter = 0.3;
+
+    auto spread = [](const std::vector<SectionRecord> &records) {
+        std::uint64_t lo = ~0ULL, hi = 0;
+        for (const auto &r : records) {
+            lo = std::min(lo, r.counters.cycles);
+            hi = std::max(hi, r.counters.cycles);
+        }
+        return hi - lo;
+    };
+    EXPECT_GT(spread(runWorkload(spec, jitter)),
+              spread(runWorkload(spec, no_jitter)));
+}
+
+TEST(Runner, PhaseChangeShowsUpInCounters)
+{
+    // alpha (cache-resident WS) sections must have far fewer L2
+    // misses than beta (8 MB WS) sections once both are warm: compare
+    // the last section of each phase with long enough sections to
+    // amortize cold-start effects.
+    RunnerOptions options = fastOptions();
+    options.instructionsPerSection = 20000;
+    const auto records = runWorkload(tinyWorkload(), options);
+    const auto alpha_miss = records[2].counters.l2LineMiss;
+    const auto beta_miss = records[4].counters.l2LineMiss;
+    EXPECT_GT(beta_miss, alpha_miss * 3 + 10);
+}
+
+TEST(Runner, SuiteConcatenatesWorkloads)
+{
+    WorkloadSpec w1 = tinyWorkload();
+    WorkloadSpec w2 = tinyWorkload();
+    w2.name = "tiny2";
+    const auto records = runSuite({w1, w2}, fastOptions());
+    ASSERT_EQ(records.size(), 10u);
+    EXPECT_EQ(records[0].workload, "tiny");
+    EXPECT_EQ(records[5].workload, "tiny2");
+    // Section indices restart per workload.
+    EXPECT_EQ(records[5].sectionIndex, 0u);
+}
+
+TEST(Runner, InvalidOptionsThrow)
+{
+    RunnerOptions bad = fastOptions();
+    bad.instructionsPerSection = 0;
+    EXPECT_THROW(runWorkload(tinyWorkload(), bad), FatalError);
+
+    WorkloadSpec empty;
+    empty.name = "empty";
+    EXPECT_THROW(runWorkload(empty, fastOptions()), FatalError);
+}
+
+TEST(JitterPhase, ZeroJitterIsIdentity)
+{
+    Rng rng(1);
+    const PhaseParams p = tinyWorkload().phases[0].params;
+    const PhaseParams q = jitterPhase(p, 0.0, rng);
+    EXPECT_EQ(q.loadFrac, p.loadFrac);
+    EXPECT_EQ(q.workingSetBytes, p.workingSetBytes);
+}
+
+TEST(JitterPhase, StaysWithinRelativeBounds)
+{
+    Rng rng(2);
+    PhaseParams p;
+    p.loadFrac = 0.3;
+    p.workingSetBytes = 1 << 20;
+    for (int i = 0; i < 200; ++i) {
+        const PhaseParams q = jitterPhase(p, 0.2, rng);
+        EXPECT_NO_THROW(q.validate());
+        EXPECT_GE(q.loadFrac, 0.3 * 0.8 - 1e-12);
+        EXPECT_LE(q.loadFrac, 0.3 * 1.2 + 1e-12);
+        EXPECT_GE(q.workingSetBytes, (1u << 20) * 0.8 - 1);
+        EXPECT_LE(q.workingSetBytes, (1u << 20) * 1.2 + 1);
+    }
+}
+
+TEST(JitterPhase, RenormalizesOverfullMix)
+{
+    Rng rng(3);
+    PhaseParams p;
+    p.loadFrac = 0.5;
+    p.storeFrac = 0.3;
+    p.branchFrac = 0.2;
+    for (int i = 0; i < 100; ++i) {
+        const PhaseParams q = jitterPhase(p, 0.3, rng);
+        EXPECT_LE(q.loadFrac + q.storeFrac + q.branchFrac +
+                      q.fpAddFrac + q.fpMulFrac + q.fpDivFrac +
+                      q.intMulFrac,
+                  1.0 + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace mtperf::workload

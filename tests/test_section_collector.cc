@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the section-to-dataset collector and its CSV cache.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "perf/section_collector.h"
+#include "uarch/event_counters.h"
+#include "workload/spec_suite.h"
+
+namespace mtperf::perf {
+namespace {
+
+workload::RunnerOptions
+fastOptions()
+{
+    workload::RunnerOptions options;
+    options.instructionsPerSection = 2000;
+    options.sectionScale = 0.01; // a handful of sections per workload
+    return options;
+}
+
+TEST(SectionCollector, RecordsBecomeRows)
+{
+    workload::SectionRecord record;
+    record.workload = "w";
+    record.phase = "p";
+    record.counters.instRetired = 1000;
+    record.counters.cycles = 1500;
+    record.counters.instLoads = 250;
+    record.counters.l2LineMiss = 10;
+
+    const Dataset ds = sectionsToDataset({record});
+    ASSERT_EQ(ds.size(), 1u);
+    EXPECT_TRUE(ds.schema() == uarch::perfSchema());
+    EXPECT_DOUBLE_EQ(ds.target(0), 1.5);
+    EXPECT_EQ(ds.tag(0), "w/p");
+    EXPECT_DOUBLE_EQ(
+        ds.value(0, static_cast<std::size_t>(uarch::PerfMetric::InstLd)),
+        0.25);
+    EXPECT_DOUBLE_EQ(
+        ds.value(0, static_cast<std::size_t>(uarch::PerfMetric::L2M)),
+        0.01);
+}
+
+TEST(SectionCollector, SuiteDatasetHasAllWorkloads)
+{
+    const Dataset ds = collectSuiteDataset(fastOptions());
+    EXPECT_GT(ds.size(), 16u);
+    std::set<std::string> workloads;
+    for (std::size_t r = 0; r < ds.size(); ++r)
+        workloads.insert(workloadOfTag(ds.tag(r)));
+    EXPECT_EQ(workloads.size(), workload::specLikeSuite().size());
+}
+
+TEST(SectionCollector, CacheRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "/mtperf_suite_cache.csv";
+    std::filesystem::remove(path);
+
+    const Dataset fresh = loadOrCollectSuiteDataset(path, fastOptions());
+    ASSERT_TRUE(std::filesystem::exists(path));
+    const Dataset cached = loadOrCollectSuiteDataset(path, fastOptions());
+
+    ASSERT_EQ(fresh.size(), cached.size());
+    for (std::size_t r = 0; r < fresh.size(); ++r) {
+        EXPECT_EQ(fresh.tag(r), cached.tag(r));
+        EXPECT_NEAR(fresh.target(r), cached.target(r), 1e-9);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(SectionCollector, StaleCacheRegenerates)
+{
+    const std::string path =
+        testing::TempDir() + "/mtperf_stale_cache.csv";
+    {
+        std::ofstream out(path);
+        out << "foo,CPI,tag\n1,2,x\n";
+    }
+    const Dataset ds = loadOrCollectSuiteDataset(path, fastOptions());
+    EXPECT_TRUE(ds.schema() == uarch::perfSchema());
+    EXPECT_GT(ds.size(), 1u);
+    std::filesystem::remove(path);
+}
+
+TEST(WorkloadOfTag, SplitsAtSlash)
+{
+    EXPECT_EQ(workloadOfTag("mcf_like/chase"), "mcf_like");
+    EXPECT_EQ(workloadOfTag("plain"), "plain");
+    EXPECT_EQ(workloadOfTag(""), "");
+}
+
+} // namespace
+} // namespace mtperf::perf

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the SPEC-like workload suite definitions.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/spec_suite.h"
+
+namespace mtperf::workload {
+namespace {
+
+TEST(SpecSuite, SeventeenWorkloads)
+{
+    EXPECT_EQ(specLikeSuite().size(), 17u);
+}
+
+TEST(SpecSuite, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &spec : specLikeSuite())
+        EXPECT_TRUE(names.insert(spec.name).second)
+            << "duplicate workload " << spec.name;
+}
+
+TEST(SpecSuite, EveryPhaseValidates)
+{
+    for (const auto &spec : specLikeSuite()) {
+        ASSERT_FALSE(spec.phases.empty()) << spec.name;
+        for (const auto &phase : spec.phases) {
+            EXPECT_NO_THROW(phase.params.validate())
+                << spec.name << "/" << phase.params.name;
+            EXPECT_GT(phase.sections, 0u);
+        }
+    }
+}
+
+TEST(SpecSuite, SectionBudgetsAreSubstantial)
+{
+    std::size_t total = 0;
+    for (const auto &spec : specLikeSuite()) {
+        EXPECT_GE(spec.totalSections(), 500u) << spec.name;
+        total += spec.totalSections();
+    }
+    // The full suite must be big enough for min-430 leaves to form
+    // a paper-sized tree.
+    EXPECT_GE(total, 8000u);
+}
+
+TEST(SpecSuite, SignatureWorkloadsPresent)
+{
+    const auto names = suiteWorkloadNames();
+    const std::set<std::string> set(names.begin(), names.end());
+    for (const char *expected :
+         {"mcf_like", "cactus_like", "gcc_like", "hmmer_like",
+          "libquantum_like", "sjeng_like", "h264_like", "perl_like",
+          "soplex_like", "astar_like"}) {
+        EXPECT_EQ(set.count(expected), 1u) << expected;
+    }
+}
+
+TEST(SpecSuite, QualitativeSignatures)
+{
+    // The phase parameters must encode the bottleneck each SPEC
+    // benchmark is famous for.
+    const auto mcf = suiteWorkload("mcf_like");
+    EXPECT_GT(mcf.phases[0].params.pointerChaseFrac, 0.1);
+    EXPECT_GT(mcf.phases[0].params.workingSetBytes, 32u << 20);
+
+    const auto cactus = suiteWorkload("cactus_like");
+    EXPECT_GT(cactus.phases[0].params.codeFootprintBytes, 1u << 20);
+
+    const auto gcc = suiteWorkload("gcc_like");
+    EXPECT_GT(gcc.phases[0].params.lcpFrac, 0.05);
+
+    const auto sjeng = suiteWorkload("sjeng_like");
+    EXPECT_GT(sjeng.phases[0].params.branchEntropy, 0.05);
+
+    const auto quantum = suiteWorkload("libquantum_like");
+    EXPECT_GT(quantum.phases[0].params.streamFrac, 0.5);
+
+    const auto h264 = suiteWorkload("h264_like");
+    EXPECT_GT(h264.phases[0].params.misalignedFrac, 0.1);
+
+    const auto perl = suiteWorkload("perl_like");
+    EXPECT_GT(perl.phases[0].params.storeAddrSlowFrac, 0.1);
+
+    const auto soplex = suiteWorkload("soplex_like");
+    EXPECT_GT(soplex.phases[0].params.chasePageLocalFrac, 0.8);
+
+    // astar: L2-resident working set whose pages exceed DTLB reach.
+    const auto astar = suiteWorkload("astar_like");
+    EXPECT_LT(astar.phases[0].params.workingSetBytes, 4u << 20);
+    EXPECT_GT(astar.phases[0].params.workingSetBytes, 1u << 20);
+}
+
+TEST(SpecSuite, PhaseStructureWhereExpected)
+{
+    // bzip2 alternates compress/decompress; gcc has an LCP phase.
+    EXPECT_GE(suiteWorkload("bzip2_like").phases.size(), 4u);
+    EXPECT_GE(suiteWorkload("gcc_like").phases.size(), 2u);
+    EXPECT_GE(suiteWorkload("mcf_like").phases.size(), 2u);
+}
+
+TEST(SpecSuite, UnknownNameThrows)
+{
+    EXPECT_THROW(suiteWorkload("429.mcf"), FatalError);
+}
+
+TEST(SpecSuite, NamesAccessorMatchesSuite)
+{
+    const auto suite = specLikeSuite();
+    const auto names = suiteWorkloadNames();
+    ASSERT_EQ(names.size(), suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(names[i], suite[i].name);
+}
+
+} // namespace
+} // namespace mtperf::workload

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for descriptive statistics.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/stats.h"
+
+namespace mtperf {
+namespace {
+
+TEST(Stats, MeanBasic)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev)
+{
+    const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+    const std::vector<double> constant(10, 3.3);
+    EXPECT_DOUBLE_EQ(variance(constant), 0.0);
+}
+
+TEST(Stats, SampleVariance)
+{
+    const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(sampleVariance(xs), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> xs = {3, -1, 7};
+    EXPECT_DOUBLE_EQ(minValue(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxValue(xs), 7.0);
+    EXPECT_TRUE(std::isinf(minValue(std::vector<double>{})));
+}
+
+TEST(Stats, CorrelationPerfectAndInverse)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    const std::vector<double> ys = {2, 4, 6, 8};
+    EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+    const std::vector<double> neg = {8, 6, 4, 2};
+    EXPECT_NEAR(correlation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationZeroVariance)
+{
+    const std::vector<double> xs = {1, 1, 1};
+    const std::vector<double> ys = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(correlation(xs, ys), 0.0);
+}
+
+TEST(Stats, CorrelationOfIndependentSamplesIsSmall)
+{
+    Rng rng(5);
+    std::vector<double> xs(20000), ys(20000);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xs[i] = rng.normal();
+        ys[i] = rng.normal();
+    }
+    EXPECT_NEAR(correlation(xs, ys), 0.0, 0.03);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, RSquared)
+{
+    const std::vector<double> actual = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(rSquared(actual, actual), 1.0);
+    const std::vector<double> mean_pred(4, 2.5);
+    EXPECT_DOUBLE_EQ(rSquared(actual, mean_pred), 0.0);
+    // A terrible model has negative R^2.
+    const std::vector<double> bad = {4, 3, 2, 1};
+    EXPECT_LT(rSquared(actual, bad), 0.0);
+}
+
+class OnlineStatsParamTest : public testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(OnlineStatsParamTest, MatchesBatchComputation)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 2654435761ULL + 1);
+    std::vector<double> xs(n);
+    OnlineStats online;
+    for (auto &x : xs) {
+        x = rng.normal(3.0, 2.0);
+        online.add(x);
+    }
+    EXPECT_EQ(online.count(), n);
+    EXPECT_NEAR(online.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(online.variance(), variance(xs), 1e-8);
+    EXPECT_DOUBLE_EQ(online.min(), minValue(xs));
+    EXPECT_DOUBLE_EQ(online.max(), maxValue(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OnlineStatsParamTest,
+                         testing::Values(2, 3, 10, 100, 1000));
+
+TEST(OnlineStats, MergeEqualsSequential)
+{
+    Rng rng(17);
+    OnlineStats a, b, all;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal();
+        (i < 200 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    OnlineStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(OnlineStats, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+} // namespace
+} // namespace mtperf

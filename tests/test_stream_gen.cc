@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the synthetic instruction-stream generator.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/stream_gen.h"
+
+namespace mtperf::workload {
+namespace {
+
+using uarch::MicroOp;
+using uarch::OpClass;
+
+PhaseParams
+testPhase()
+{
+    PhaseParams p;
+    p.name = "test";
+    p.loadFrac = 0.30;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.20;
+    p.workingSetBytes = 1024 * 1024;
+    p.codeFootprintBytes = 64 * 1024;
+    return p;
+}
+
+TEST(StreamGenerator, DeterministicForSeed)
+{
+    StreamGenerator a(testPhase(), 42), b(testPhase(), 42);
+    for (int i = 0; i < 1000; ++i) {
+        const MicroOp x = a.next();
+        const MicroOp y = b.next();
+        EXPECT_EQ(x.cls, y.cls);
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.depDist, y.depDist);
+        EXPECT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(StreamGenerator, SeedsProduceDifferentStreams)
+{
+    StreamGenerator a(testPhase(), 1), b(testPhase(), 2);
+    int same = 0;
+    for (int i = 0; i < 200; ++i)
+        same += a.next().addr == b.next().addr;
+    EXPECT_LT(same, 150);
+}
+
+TEST(StreamGenerator, MixFractionsApproximatelyRespected)
+{
+    StreamGenerator gen(testPhase(), 3);
+    std::map<OpClass, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+    EXPECT_NEAR(counts[OpClass::Load] / double(n), 0.30, 0.01);
+    EXPECT_NEAR(counts[OpClass::Store] / double(n), 0.10, 0.01);
+    EXPECT_NEAR(counts[OpClass::Branch] / double(n), 0.20, 0.01);
+    EXPECT_NEAR(counts[OpClass::IntAlu] / double(n), 0.38, 0.02);
+}
+
+TEST(StreamGenerator, FpMixAppearsWhenRequested)
+{
+    PhaseParams p = testPhase();
+    p.fpAddFrac = 0.15;
+    p.fpMulFrac = 0.10;
+    p.fpDivFrac = 0.02;
+    StreamGenerator gen(p, 4);
+    std::map<OpClass, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().cls];
+    EXPECT_NEAR(counts[OpClass::FpAdd] / double(n), 0.15, 0.01);
+    EXPECT_NEAR(counts[OpClass::FpMul] / double(n), 0.10, 0.01);
+    EXPECT_NEAR(counts[OpClass::FpDiv] / double(n), 0.02, 0.005);
+}
+
+TEST(StreamGenerator, BranchTakenRateTracksBias)
+{
+    PhaseParams p = testPhase();
+    p.branchEntropy = 0.0;
+    p.takenBias = 0.9;
+    StreamGenerator gen(p, 5);
+    int branches = 0, taken = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Branch) {
+            ++branches;
+            taken += op.taken;
+        }
+    }
+    EXPECT_NEAR(taken / double(branches), 0.9, 0.02);
+}
+
+TEST(StreamGenerator, PcStaysInsideCodeFootprint)
+{
+    PhaseParams p = testPhase();
+    p.farJumpFrac = 0.5;
+    StreamGenerator gen(p, 6);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        EXPECT_GE(op.pc, 0x00400000ULL);
+        EXPECT_LT(op.pc, 0x00400000ULL + p.codeFootprintBytes);
+    }
+}
+
+TEST(StreamGenerator, LcpFractionRespected)
+{
+    PhaseParams p = testPhase();
+    p.lcpFrac = 0.08;
+    StreamGenerator gen(p, 7);
+    int lcp = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        lcp += gen.next().hasLcp;
+    EXPECT_NEAR(lcp / double(n), 0.08, 0.01);
+}
+
+TEST(StreamGenerator, MisalignedFractionAffectsMemoryOps)
+{
+    PhaseParams p = testPhase();
+    p.misalignedFrac = 0.5;
+    StreamGenerator gen(p, 8);
+    int mem = 0, misaligned = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+            ++mem;
+            misaligned += (op.addr % op.size) != 0;
+        }
+    }
+    EXPECT_NEAR(misaligned / double(mem), 0.5, 0.05);
+}
+
+TEST(StreamGenerator, AlignedByDefault)
+{
+    StreamGenerator gen(testPhase(), 9);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Load || op.cls == OpClass::Store) {
+            EXPECT_EQ(op.addr % op.size, 0u);
+        }
+    }
+}
+
+TEST(StreamGenerator, ChaseLoadsCarryDependencies)
+{
+    PhaseParams p = testPhase();
+    p.pointerChaseFrac = 1.0; // every load chases
+    StreamGenerator gen(p, 10);
+    int loads = 0, dependent = 0;
+    bool first_load = true;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load)
+            continue;
+        ++loads;
+        if (first_load) {
+            first_load = false;
+            continue;
+        }
+        dependent += op.depDist > 0;
+    }
+    EXPECT_GT(loads, 1000);
+    EXPECT_EQ(dependent, loads - 1);
+}
+
+TEST(StreamGenerator, StoreAddrSlowFlag)
+{
+    PhaseParams p = testPhase();
+    p.storeAddrSlowFrac = 0.4;
+    StreamGenerator gen(p, 11);
+    int stores = 0, slow = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Store) {
+            ++stores;
+            slow += op.storeAddrSlow;
+        }
+    }
+    EXPECT_NEAR(slow / double(stores), 0.4, 0.05);
+}
+
+TEST(StreamGenerator, StoreForwardLoadsReuseStoreAddresses)
+{
+    PhaseParams p = testPhase();
+    p.storeForwardFrac = 1.0;
+    p.storeForwardPartialFrac = 0.0;
+    p.storeFrac = 0.3;
+    p.loadFrac = 0.3;
+    StreamGenerator gen(p, 12);
+    std::map<uarch::Addr, int> store_addrs;
+    int forwarded = 0, loads = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls == OpClass::Store) {
+            ++store_addrs[op.addr];
+        } else if (op.cls == OpClass::Load) {
+            ++loads;
+            forwarded += store_addrs.count(op.addr) > 0;
+        }
+    }
+    // Once stores exist, every load reads a previously stored address.
+    EXPECT_GT(forwarded, loads * 9 / 10);
+}
+
+TEST(StreamGenerator, StreamLoadsAdvanceByStride)
+{
+    PhaseParams p = testPhase();
+    p.streamFrac = 1.0;
+    p.strideBytes = 64;
+    p.loadFrac = 1.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.intMulFrac = 0.0;
+    StreamGenerator gen(p, 13);
+    uarch::Addr prev = 0;
+    bool have_prev = false;
+    int monotone = 0, total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const MicroOp op = gen.next();
+        if (have_prev) {
+            ++total;
+            monotone += (op.addr > prev) &&
+                        (op.addr - prev <= 2 * p.strideBytes);
+        }
+        prev = op.addr;
+        have_prev = true;
+    }
+    // All but the wrap-around steps advance by ~stride.
+    EXPECT_GT(monotone, total - 5);
+}
+
+TEST(StreamGenerator, SetParamsKeepsRunningState)
+{
+    StreamGenerator gen(testPhase(), 14);
+    for (int i = 0; i < 100; ++i)
+        gen.next();
+    PhaseParams p = testPhase();
+    p.lcpFrac = 1.0;
+    gen.setParams(p);
+    const MicroOp op = gen.next();
+    EXPECT_TRUE(op.hasLcp);
+    EXPECT_EQ(gen.params().lcpFrac, 1.0);
+}
+
+TEST(StreamGenerator, DataAddressesStayInKnownRegions)
+{
+    PhaseParams p = testPhase();
+    p.pointerChaseFrac = 0.2;
+    p.streamFrac = 0.2;
+    StreamGenerator gen(p, 15);
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = gen.next();
+        if (op.cls != OpClass::Load && op.cls != OpClass::Store)
+            continue;
+        const bool in_heap = op.addr >= 0x10000000ULL &&
+                             op.addr < 0x10000000ULL +
+                                           p.workingSetBytes + 64;
+        const bool in_hot =
+            op.addr >= 0x08000000ULL &&
+            op.addr < 0x08000000ULL + p.hotBytes + 64;
+        EXPECT_TRUE(in_heap || in_hot)
+            << "address 0x" << std::hex << op.addr;
+    }
+}
+
+} // namespace
+} // namespace mtperf::workload

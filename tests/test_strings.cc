@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mtperf {
+namespace {
+
+TEST(Split, Basic)
+{
+    const auto fields = split("a,b,c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields)
+{
+    const auto fields = split(",x,,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "");
+    EXPECT_EQ(fields[1], "x");
+    EXPECT_EQ(fields[2], "");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, SingleField)
+{
+    const auto fields = split("abc", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(ToLower, Basic)
+{
+    EXPECT_EQ(toLower("HeLLo123"), "hello123");
+    EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StartsWith, Basic)
+{
+    EXPECT_TRUE(startsWith("@attribute x", "@attribute"));
+    EXPECT_FALSE(startsWith("@attr", "@attribute"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(139.912, 2), "139.91");
+}
+
+TEST(ParseDouble, ValidInputs)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("3.5", "test"), 3.5);
+    EXPECT_DOUBLE_EQ(parseDouble("  -2e3 ", "test"), -2000.0);
+    EXPECT_DOUBLE_EQ(parseDouble("0", "test"), 0.0);
+}
+
+TEST(ParseDouble, InvalidInputThrows)
+{
+    EXPECT_THROW(parseDouble("abc", "ctx"), FatalError);
+    EXPECT_THROW(parseDouble("1.5x", "ctx"), FatalError);
+    EXPECT_THROW(parseDouble("", "ctx"), FatalError);
+}
+
+TEST(Padding, RightAndLeft)
+{
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+} // namespace
+} // namespace mtperf

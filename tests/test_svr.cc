@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the epsilon-SVR learner.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/eval/metrics.h"
+#include "ml/svr/svr.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+linearDataset(std::size_t n, std::uint64_t seed)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x1", "x2"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x1 = rng.uniform(-1, 1);
+        const double x2 = rng.uniform(-1, 1);
+        ds.addRow(std::vector<double>{x1, x2}, 2.0 * x1 + x2 - 1.0);
+    }
+    return ds;
+}
+
+Dataset
+sineDataset(std::size_t n, std::uint64_t seed)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(-3, 3);
+        ds.addRow(std::vector<double>{x}, std::sin(x));
+    }
+    return ds;
+}
+
+TEST(Svr, LinearKernelFitsLinearData)
+{
+    const Dataset train = linearDataset(400, 1);
+    const Dataset test = linearDataset(100, 2);
+    SvrOptions o;
+    o.kernel = SvrKernel::Linear;
+    o.epsilon = 0.01;
+    SvrRegressor svr(o);
+    svr.fit(train);
+    const auto m = computeMetrics(test.targets(), svr.predictAll(test));
+    EXPECT_GT(m.correlation, 0.995);
+    EXPECT_LT(m.rae, 0.08);
+}
+
+TEST(Svr, RbfKernelFitsSine)
+{
+    const Dataset train = sineDataset(600, 3);
+    const Dataset test = sineDataset(150, 4);
+    SvrOptions o;
+    o.kernel = SvrKernel::Rbf;
+    o.gamma = 2.0;
+    o.epsilon = 0.01;
+    o.c = 50.0;
+    SvrRegressor svr(o);
+    svr.fit(train);
+    const auto m = computeMetrics(test.targets(), svr.predictAll(test));
+    EXPECT_GT(m.correlation, 0.99);
+}
+
+TEST(Svr, WideTubeUsesFewerSupportVectors)
+{
+    const Dataset train = sineDataset(500, 5);
+    SvrOptions narrow, wide;
+    narrow.epsilon = 0.001;
+    wide.epsilon = 0.3;
+    SvrRegressor a(narrow), b(wide);
+    a.fit(train);
+    b.fit(train);
+    EXPECT_LT(b.numSupportVectors(), a.numSupportVectors());
+    EXPECT_LE(a.numSupportVectors(), train.size());
+}
+
+TEST(Svr, DeterministicTraining)
+{
+    const Dataset train = sineDataset(300, 6);
+    SvrRegressor a, b;
+    a.fit(train);
+    b.fit(train);
+    const std::vector<double> x{0.7};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(Svr, LargeTrainingSetIsSubsampled)
+{
+    // 3000 rows exceeds the kernel-cache cap; training must still
+    // work and stay accurate.
+    const Dataset train = linearDataset(3000, 7);
+    SvrOptions o;
+    o.kernel = SvrKernel::Linear;
+    SvrRegressor svr(o);
+    svr.fit(train);
+    EXPECT_LE(svr.numSupportVectors(), 2048u);
+    const Dataset test = linearDataset(100, 8);
+    const auto m = computeMetrics(test.targets(), svr.predictAll(test));
+    EXPECT_GT(m.correlation, 0.99);
+}
+
+TEST(Svr, InvalidOptionsThrow)
+{
+    SvrOptions bad_c;
+    bad_c.c = 0.0;
+    EXPECT_THROW(SvrRegressor{bad_c}, FatalError);
+
+    SvrOptions bad_eps;
+    bad_eps.epsilon = -0.1;
+    EXPECT_THROW(SvrRegressor{bad_eps}, FatalError);
+}
+
+TEST(Svr, EmptyTrainingThrows)
+{
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    SvrRegressor svr;
+    EXPECT_THROW(svr.fit(ds), FatalError);
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for instruction-trace capture and replay.
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/spec_suite.h"
+#include "workload/stream_gen.h"
+#include "workload/trace.h"
+
+namespace mtperf::workload {
+namespace {
+
+std::string
+tracePath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+PhaseParams
+testPhase()
+{
+    PhaseParams p;
+    p.name = "trace_test";
+    p.workingSetBytes = 2 * 1024 * 1024;
+    p.lcpFrac = 0.05;
+    p.misalignedFrac = 0.1;
+    p.storeAddrSlowFrac = 0.2;
+    p.pointerChaseFrac = 0.1;
+    return p;
+}
+
+TEST(Trace, RoundTripPreservesEveryField)
+{
+    const std::string path = tracePath("roundtrip.trace");
+    const std::uint64_t n = 5000;
+    ASSERT_EQ(recordTrace(testPhase(), 7, n, path), n);
+
+    StreamGenerator reference(testPhase(), 7);
+    TraceReader reader(path);
+    EXPECT_EQ(reader.size(), n);
+
+    uarch::MicroOp from_trace;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const uarch::MicroOp expected = reference.next();
+        ASSERT_TRUE(reader.next(from_trace));
+        EXPECT_EQ(from_trace.cls, expected.cls);
+        EXPECT_EQ(from_trace.pc, expected.pc);
+        EXPECT_EQ(from_trace.addr, expected.addr);
+        EXPECT_EQ(from_trace.size, expected.size);
+        EXPECT_EQ(from_trace.depDist, expected.depDist);
+        EXPECT_EQ(from_trace.taken, expected.taken);
+        EXPECT_EQ(from_trace.hasLcp, expected.hasLcp);
+        EXPECT_EQ(from_trace.storeAddrSlow, expected.storeAddrSlow);
+    }
+    EXPECT_FALSE(reader.next(from_trace));
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, ReplayMatchesLiveExecutionExactly)
+{
+    const std::string path = tracePath("replay.trace");
+    const std::uint64_t n = 20000;
+    recordTrace(testPhase(), 11, n, path);
+
+    uarch::Core live, replayed;
+    StreamGenerator generator(testPhase(), 11);
+    for (std::uint64_t i = 0; i < n; ++i)
+        live.execute(generator.next());
+    EXPECT_EQ(replayTrace(path, replayed), n);
+
+    EXPECT_EQ(replayed.counters().cycles, live.counters().cycles);
+    EXPECT_EQ(replayed.counters().l2LineMiss,
+              live.counters().l2LineMiss);
+    EXPECT_EQ(replayed.counters().brMispredicted,
+              live.counters().brMispredicted);
+    EXPECT_EQ(replayed.counters().lcpStalls, live.counters().lcpStalls);
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, SameTraceDifferentMachinesIsolatesTheMachine)
+{
+    const std::string path = tracePath("machines.trace");
+    recordTrace(testPhase(), 13, 20000, path);
+
+    uarch::CoreConfig narrow;
+    narrow.width = 1;
+    uarch::Core wide, one_wide(narrow);
+    replayTrace(path, wide);
+    replayTrace(path, one_wide);
+
+    // Identical event counts (same trace) but different cycle counts
+    // (different machines): trace-driven mode isolates the machine.
+    EXPECT_EQ(wide.counters().instLoads, one_wide.counters().instLoads);
+    EXPECT_EQ(wide.counters().brRetired,
+              one_wide.counters().brRetired);
+    EXPECT_LT(wide.counters().cycles, one_wide.counters().cycles);
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, EmptyTraceIsValid)
+{
+    const std::string path = tracePath("empty.trace");
+    {
+        TraceWriter writer(path);
+        writer.close();
+        EXPECT_EQ(writer.written(), 0u);
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.size(), 0u);
+    uarch::MicroOp op;
+    EXPECT_FALSE(reader.next(op));
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, ErrorsAreReported)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/trace.bin"), FatalError);
+
+    // A file that is not a trace.
+    const std::string junk = tracePath("junk.trace");
+    {
+        std::ofstream out(junk, std::ios::binary);
+        out << "definitely not a trace";
+    }
+    EXPECT_THROW(TraceReader{junk}, FatalError);
+    std::filesystem::remove(junk);
+
+    // A truncated trace: header promises more records than exist.
+    const std::string truncated = tracePath("truncated.trace");
+    recordTrace(testPhase(), 17, 100, truncated);
+    std::filesystem::resize_file(truncated, 16 + 24 * 10);
+    TraceReader reader(truncated);
+    uarch::MicroOp op;
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(reader.next(op));
+    EXPECT_THROW(reader.next(op), FatalError);
+    std::filesystem::remove(truncated);
+}
+
+} // namespace
+} // namespace mtperf::workload

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the z-score standardizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/transform.h"
+#include "math/stats.h"
+
+namespace mtperf {
+namespace {
+
+Dataset
+randomDataset(std::size_t n)
+{
+    Dataset ds(Schema(std::vector<std::string>{"a", "b"}, "y"));
+    Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        ds.addRow(std::vector<double>{rng.normal(10, 3),
+                                      rng.normal(-2, 0.5)},
+                  rng.normal(100, 20));
+    }
+    return ds;
+}
+
+TEST(Standardizer, TransformedColumnsHaveZeroMeanUnitSd)
+{
+    const Dataset ds = randomDataset(500);
+    Standardizer st;
+    st.fit(ds);
+
+    std::vector<double> col_a, col_b;
+    std::vector<double> out;
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+        st.transformRow(ds.row(r), out);
+        col_a.push_back(out[0]);
+        col_b.push_back(out[1]);
+    }
+    EXPECT_NEAR(mean(col_a), 0.0, 1e-10);
+    EXPECT_NEAR(stddev(col_a), 1.0, 1e-10);
+    EXPECT_NEAR(mean(col_b), 0.0, 1e-10);
+    EXPECT_NEAR(stddev(col_b), 1.0, 1e-10);
+}
+
+TEST(Standardizer, TargetRoundTrip)
+{
+    const Dataset ds = randomDataset(100);
+    Standardizer st;
+    st.fit(ds);
+    for (double y : {0.0, 57.5, -3.0}) {
+        EXPECT_NEAR(st.inverseTarget(st.transformTarget(y)), y, 1e-10);
+    }
+}
+
+TEST(Standardizer, ZeroVarianceColumnMapsToZero)
+{
+    Dataset ds(Schema(std::vector<std::string>{"c"}, "y"));
+    for (int i = 0; i < 10; ++i)
+        ds.addRow(std::vector<double>{7.0}, double(i));
+    Standardizer st;
+    st.fit(ds);
+    std::vector<double> out;
+    st.transformRow(ds.row(0), out);
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Standardizer, ConstantTargetIdentityInverse)
+{
+    Dataset ds(Schema(std::vector<std::string>{"c"}, "y"));
+    for (int i = 0; i < 5; ++i)
+        ds.addRow(std::vector<double>{double(i)}, 4.0);
+    Standardizer st;
+    st.fit(ds);
+    EXPECT_DOUBLE_EQ(st.transformTarget(4.0), 0.0);
+    EXPECT_DOUBLE_EQ(st.inverseTarget(0.0), 4.0);
+}
+
+TEST(Standardizer, EmptyDatasetThrows)
+{
+    Dataset ds(Schema(std::vector<std::string>{"c"}, "y"));
+    Standardizer st;
+    EXPECT_THROW(st.fit(ds), FatalError);
+}
+
+TEST(Standardizer, FittedFlag)
+{
+    Standardizer st;
+    EXPECT_FALSE(st.fitted());
+    st.fit(randomDataset(10));
+    EXPECT_TRUE(st.fitted());
+    EXPECT_EQ(st.numAttributes(), 2u);
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * The mtperf command-line tool: simulate, train, analyze.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cout << mtperf::cli::usageText();
+        return 2;
+    }
+    const std::string subcommand = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    return mtperf::cli::runCommand(subcommand, args, std::cout);
+}
