@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter_subsets.dir/ablation_counter_subsets.cc.o"
+  "CMakeFiles/ablation_counter_subsets.dir/ablation_counter_subsets.cc.o.d"
+  "ablation_counter_subsets"
+  "ablation_counter_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

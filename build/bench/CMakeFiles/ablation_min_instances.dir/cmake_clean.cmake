@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_min_instances.dir/ablation_min_instances.cc.o"
+  "CMakeFiles/ablation_min_instances.dir/ablation_min_instances.cc.o.d"
+  "ablation_min_instances"
+  "ablation_min_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_min_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_port_model.dir/ablation_port_model.cc.o"
+  "CMakeFiles/ablation_port_model.dir/ablation_port_model.cc.o.d"
+  "ablation_port_model"
+  "ablation_port_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_port_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

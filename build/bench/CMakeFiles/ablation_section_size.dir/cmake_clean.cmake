@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_section_size.dir/ablation_section_size.cc.o"
+  "CMakeFiles/ablation_section_size.dir/ablation_section_size.cc.o.d"
+  "ablation_section_size"
+  "ablation_section_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_section_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

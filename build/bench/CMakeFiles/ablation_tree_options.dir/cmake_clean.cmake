@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_options.dir/ablation_tree_options.cc.o"
+  "CMakeFiles/ablation_tree_options.dir/ablation_tree_options.cc.o.d"
+  "ablation_tree_options"
+  "ablation_tree_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

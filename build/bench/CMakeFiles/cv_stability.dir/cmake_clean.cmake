@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_stability.dir/cv_stability.cc.o"
+  "CMakeFiles/cv_stability.dir/cv_stability.cc.o.d"
+  "cv_stability"
+  "cv_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tree.dir/fig2_tree.cc.o"
+  "CMakeFiles/fig2_tree.dir/fig2_tree.cc.o.d"
+  "fig2_tree"
+  "fig2_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

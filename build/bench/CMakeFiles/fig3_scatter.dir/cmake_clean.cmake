@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scatter.dir/fig3_scatter.cc.o"
+  "CMakeFiles/fig3_scatter.dir/fig3_scatter.cc.o.d"
+  "fig3_scatter"
+  "fig3_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

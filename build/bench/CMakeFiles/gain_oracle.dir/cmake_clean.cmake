@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_oracle.dir/gain_oracle.cc.o"
+  "CMakeFiles/gain_oracle.dir/gain_oracle.cc.o.d"
+  "gain_oracle"
+  "gain_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_analysis.dir/lm_analysis.cc.o"
+  "CMakeFiles/lm_analysis.dir/lm_analysis.cc.o.d"
+  "lm_analysis"
+  "lm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

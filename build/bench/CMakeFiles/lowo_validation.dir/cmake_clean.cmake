@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowo_validation.dir/lowo_validation.cc.o"
+  "CMakeFiles/lowo_validation.dir/lowo_validation.cc.o.d"
+  "lowo_validation"
+  "lowo_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowo_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

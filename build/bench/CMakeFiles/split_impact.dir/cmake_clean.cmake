@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_impact.dir/split_impact.cc.o"
+  "CMakeFiles/split_impact.dir/split_impact.cc.o.d"
+  "split_impact"
+  "split_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_counters.dir/custom_counters.cpp.o"
+  "CMakeFiles/custom_counters.dir/custom_counters.cpp.o.d"
+  "custom_counters"
+  "custom_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

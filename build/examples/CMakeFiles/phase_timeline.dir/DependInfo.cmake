@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/phase_timeline.cpp" "examples/CMakeFiles/phase_timeline.dir/phase_timeline.cpp.o" "gcc" "examples/CMakeFiles/phase_timeline.dir/phase_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

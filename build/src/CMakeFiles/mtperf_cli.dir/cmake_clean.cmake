@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_cli.dir/cli/args.cc.o"
+  "CMakeFiles/mtperf_cli.dir/cli/args.cc.o.d"
+  "CMakeFiles/mtperf_cli.dir/cli/commands.cc.o"
+  "CMakeFiles/mtperf_cli.dir/cli/commands.cc.o.d"
+  "libmtperf_cli.a"
+  "libmtperf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

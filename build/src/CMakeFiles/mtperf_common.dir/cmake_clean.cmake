@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_common.dir/common/csv.cc.o"
+  "CMakeFiles/mtperf_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/mtperf_common.dir/common/logging.cc.o"
+  "CMakeFiles/mtperf_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mtperf_common.dir/common/rng.cc.o"
+  "CMakeFiles/mtperf_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/mtperf_common.dir/common/strings.cc.o"
+  "CMakeFiles/mtperf_common.dir/common/strings.cc.o.d"
+  "libmtperf_common.a"
+  "libmtperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/attribute.cc" "src/CMakeFiles/mtperf_data.dir/data/attribute.cc.o" "gcc" "src/CMakeFiles/mtperf_data.dir/data/attribute.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mtperf_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mtperf_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/folds.cc" "src/CMakeFiles/mtperf_data.dir/data/folds.cc.o" "gcc" "src/CMakeFiles/mtperf_data.dir/data/folds.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/mtperf_data.dir/data/io.cc.o" "gcc" "src/CMakeFiles/mtperf_data.dir/data/io.cc.o.d"
+  "/root/repo/src/data/transform.cc" "src/CMakeFiles/mtperf_data.dir/data/transform.cc.o" "gcc" "src/CMakeFiles/mtperf_data.dir/data/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_data.dir/data/attribute.cc.o"
+  "CMakeFiles/mtperf_data.dir/data/attribute.cc.o.d"
+  "CMakeFiles/mtperf_data.dir/data/dataset.cc.o"
+  "CMakeFiles/mtperf_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/mtperf_data.dir/data/folds.cc.o"
+  "CMakeFiles/mtperf_data.dir/data/folds.cc.o.d"
+  "CMakeFiles/mtperf_data.dir/data/io.cc.o"
+  "CMakeFiles/mtperf_data.dir/data/io.cc.o.d"
+  "CMakeFiles/mtperf_data.dir/data/transform.cc.o"
+  "CMakeFiles/mtperf_data.dir/data/transform.cc.o.d"
+  "libmtperf_data.a"
+  "libmtperf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mtperf_data.
+# This may be replaced when dependencies are built.

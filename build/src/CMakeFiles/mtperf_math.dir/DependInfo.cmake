@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/least_squares.cc" "src/CMakeFiles/mtperf_math.dir/math/least_squares.cc.o" "gcc" "src/CMakeFiles/mtperf_math.dir/math/least_squares.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/mtperf_math.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/mtperf_math.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/CMakeFiles/mtperf_math.dir/math/stats.cc.o" "gcc" "src/CMakeFiles/mtperf_math.dir/math/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_math.dir/math/least_squares.cc.o"
+  "CMakeFiles/mtperf_math.dir/math/least_squares.cc.o.d"
+  "CMakeFiles/mtperf_math.dir/math/matrix.cc.o"
+  "CMakeFiles/mtperf_math.dir/math/matrix.cc.o.d"
+  "CMakeFiles/mtperf_math.dir/math/stats.cc.o"
+  "CMakeFiles/mtperf_math.dir/math/stats.cc.o.d"
+  "libmtperf_math.a"
+  "libmtperf_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/eval/cross_validation.cc" "src/CMakeFiles/mtperf_ml.dir/ml/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/eval/cross_validation.cc.o.d"
+  "/root/repo/src/ml/eval/metrics.cc" "src/CMakeFiles/mtperf_ml.dir/ml/eval/metrics.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/eval/metrics.cc.o.d"
+  "/root/repo/src/ml/knn/knn.cc" "src/CMakeFiles/mtperf_ml.dir/ml/knn/knn.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/knn/knn.cc.o.d"
+  "/root/repo/src/ml/linear/linear_model.cc" "src/CMakeFiles/mtperf_ml.dir/ml/linear/linear_model.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/linear/linear_model.cc.o.d"
+  "/root/repo/src/ml/mlp/mlp.cc" "src/CMakeFiles/mtperf_ml.dir/ml/mlp/mlp.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/mlp/mlp.cc.o.d"
+  "/root/repo/src/ml/svr/svr.cc" "src/CMakeFiles/mtperf_ml.dir/ml/svr/svr.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/svr/svr.cc.o.d"
+  "/root/repo/src/ml/tree/bagged_m5.cc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/bagged_m5.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/bagged_m5.cc.o.d"
+  "/root/repo/src/ml/tree/m5prime.cc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/m5prime.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/m5prime.cc.o.d"
+  "/root/repo/src/ml/tree/m5rules.cc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/m5rules.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/m5rules.cc.o.d"
+  "/root/repo/src/ml/tree/regression_tree.cc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/regression_tree.cc.o" "gcc" "src/CMakeFiles/mtperf_ml.dir/ml/tree/regression_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_ml.dir/ml/eval/cross_validation.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/eval/cross_validation.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/eval/metrics.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/eval/metrics.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/knn/knn.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/knn/knn.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/linear/linear_model.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/linear/linear_model.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/mlp/mlp.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/mlp/mlp.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/svr/svr.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/svr/svr.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/bagged_m5.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/bagged_m5.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/m5prime.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/m5prime.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/m5rules.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/m5rules.cc.o.d"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/regression_tree.cc.o"
+  "CMakeFiles/mtperf_ml.dir/ml/tree/regression_tree.cc.o.d"
+  "libmtperf_ml.a"
+  "libmtperf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

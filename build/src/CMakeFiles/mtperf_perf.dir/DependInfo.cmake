@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/analyzer.cc" "src/CMakeFiles/mtperf_perf.dir/perf/analyzer.cc.o" "gcc" "src/CMakeFiles/mtperf_perf.dir/perf/analyzer.cc.o.d"
+  "/root/repo/src/perf/diff.cc" "src/CMakeFiles/mtperf_perf.dir/perf/diff.cc.o" "gcc" "src/CMakeFiles/mtperf_perf.dir/perf/diff.cc.o.d"
+  "/root/repo/src/perf/first_order_model.cc" "src/CMakeFiles/mtperf_perf.dir/perf/first_order_model.cc.o" "gcc" "src/CMakeFiles/mtperf_perf.dir/perf/first_order_model.cc.o.d"
+  "/root/repo/src/perf/json_report.cc" "src/CMakeFiles/mtperf_perf.dir/perf/json_report.cc.o" "gcc" "src/CMakeFiles/mtperf_perf.dir/perf/json_report.cc.o.d"
+  "/root/repo/src/perf/section_collector.cc" "src/CMakeFiles/mtperf_perf.dir/perf/section_collector.cc.o" "gcc" "src/CMakeFiles/mtperf_perf.dir/perf/section_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_perf.dir/perf/analyzer.cc.o"
+  "CMakeFiles/mtperf_perf.dir/perf/analyzer.cc.o.d"
+  "CMakeFiles/mtperf_perf.dir/perf/diff.cc.o"
+  "CMakeFiles/mtperf_perf.dir/perf/diff.cc.o.d"
+  "CMakeFiles/mtperf_perf.dir/perf/first_order_model.cc.o"
+  "CMakeFiles/mtperf_perf.dir/perf/first_order_model.cc.o.d"
+  "CMakeFiles/mtperf_perf.dir/perf/json_report.cc.o"
+  "CMakeFiles/mtperf_perf.dir/perf/json_report.cc.o.d"
+  "CMakeFiles/mtperf_perf.dir/perf/section_collector.cc.o"
+  "CMakeFiles/mtperf_perf.dir/perf/section_collector.cc.o.d"
+  "libmtperf_perf.a"
+  "libmtperf_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

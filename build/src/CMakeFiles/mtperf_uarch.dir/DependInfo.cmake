@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/branch_predictor.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/cache.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/cache.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/core.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/core.cc.o.d"
+  "/root/repo/src/uarch/decoder.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/decoder.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/decoder.cc.o.d"
+  "/root/repo/src/uarch/event_counters.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/event_counters.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/event_counters.cc.o.d"
+  "/root/repo/src/uarch/lsq.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/lsq.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/lsq.cc.o.d"
+  "/root/repo/src/uarch/tlb.cc" "src/CMakeFiles/mtperf_uarch.dir/uarch/tlb.cc.o" "gcc" "src/CMakeFiles/mtperf_uarch.dir/uarch/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_uarch.dir/uarch/branch_predictor.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/branch_predictor.cc.o.d"
+  "CMakeFiles/mtperf_uarch.dir/uarch/cache.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/cache.cc.o.d"
+  "CMakeFiles/mtperf_uarch.dir/uarch/core.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/core.cc.o.d"
+  "CMakeFiles/mtperf_uarch.dir/uarch/decoder.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/decoder.cc.o.d"
+  "CMakeFiles/mtperf_uarch.dir/uarch/event_counters.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/event_counters.cc.o.d"
+  "CMakeFiles/mtperf_uarch.dir/uarch/lsq.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/lsq.cc.o.d"
+  "CMakeFiles/mtperf_uarch.dir/uarch/tlb.cc.o"
+  "CMakeFiles/mtperf_uarch.dir/uarch/tlb.cc.o.d"
+  "libmtperf_uarch.a"
+  "libmtperf_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_workload.dir/workload/phase.cc.o"
+  "CMakeFiles/mtperf_workload.dir/workload/phase.cc.o.d"
+  "CMakeFiles/mtperf_workload.dir/workload/runner.cc.o"
+  "CMakeFiles/mtperf_workload.dir/workload/runner.cc.o.d"
+  "CMakeFiles/mtperf_workload.dir/workload/spec_suite.cc.o"
+  "CMakeFiles/mtperf_workload.dir/workload/spec_suite.cc.o.d"
+  "CMakeFiles/mtperf_workload.dir/workload/stream_gen.cc.o"
+  "CMakeFiles/mtperf_workload.dir/workload/stream_gen.cc.o.d"
+  "CMakeFiles/mtperf_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/mtperf_workload.dir/workload/trace.cc.o.d"
+  "libmtperf_workload.a"
+  "libmtperf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtperf_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cli.dir/test_cli.cc.o"
+  "CMakeFiles/tests_cli.dir/test_cli.cc.o.d"
+  "tests_cli"
+  "tests_cli.pdb"
+  "tests_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

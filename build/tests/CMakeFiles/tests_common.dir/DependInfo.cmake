@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csv.cc" "tests/CMakeFiles/tests_common.dir/test_csv.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_csv.cc.o.d"
+  "/root/repo/tests/test_least_squares.cc" "tests/CMakeFiles/tests_common.dir/test_least_squares.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_least_squares.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/tests_common.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/tests_common.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tests_common.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/tests_common.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_strings.cc" "tests/CMakeFiles/tests_common.dir/test_strings.cc.o" "gcc" "tests/CMakeFiles/tests_common.dir/test_strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_data.dir/test_data_io.cc.o"
+  "CMakeFiles/tests_data.dir/test_data_io.cc.o.d"
+  "CMakeFiles/tests_data.dir/test_dataset.cc.o"
+  "CMakeFiles/tests_data.dir/test_dataset.cc.o.d"
+  "CMakeFiles/tests_data.dir/test_folds.cc.o"
+  "CMakeFiles/tests_data.dir/test_folds.cc.o.d"
+  "CMakeFiles/tests_data.dir/test_transform.cc.o"
+  "CMakeFiles/tests_data.dir/test_transform.cc.o.d"
+  "tests_data"
+  "tests_data.pdb"
+  "tests_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

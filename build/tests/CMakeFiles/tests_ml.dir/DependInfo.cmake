@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bagged_m5.cc" "tests/CMakeFiles/tests_ml.dir/test_bagged_m5.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_bagged_m5.cc.o.d"
+  "/root/repo/tests/test_cross_validation.cc" "tests/CMakeFiles/tests_ml.dir/test_cross_validation.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_cross_validation.cc.o.d"
+  "/root/repo/tests/test_knn.cc" "tests/CMakeFiles/tests_ml.dir/test_knn.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_knn.cc.o.d"
+  "/root/repo/tests/test_linear_model.cc" "tests/CMakeFiles/tests_ml.dir/test_linear_model.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_linear_model.cc.o.d"
+  "/root/repo/tests/test_m5prime.cc" "tests/CMakeFiles/tests_ml.dir/test_m5prime.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_m5prime.cc.o.d"
+  "/root/repo/tests/test_m5prime_io.cc" "tests/CMakeFiles/tests_ml.dir/test_m5prime_io.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_m5prime_io.cc.o.d"
+  "/root/repo/tests/test_m5prime_options.cc" "tests/CMakeFiles/tests_ml.dir/test_m5prime_options.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_m5prime_options.cc.o.d"
+  "/root/repo/tests/test_m5rules.cc" "tests/CMakeFiles/tests_ml.dir/test_m5rules.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_m5rules.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/tests_ml.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_mlp.cc" "tests/CMakeFiles/tests_ml.dir/test_mlp.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_mlp.cc.o.d"
+  "/root/repo/tests/test_regression_tree.cc" "tests/CMakeFiles/tests_ml.dir/test_regression_tree.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_regression_tree.cc.o.d"
+  "/root/repo/tests/test_regressor_properties.cc" "tests/CMakeFiles/tests_ml.dir/test_regressor_properties.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_regressor_properties.cc.o.d"
+  "/root/repo/tests/test_svr.cc" "tests/CMakeFiles/tests_ml.dir/test_svr.cc.o" "gcc" "tests/CMakeFiles/tests_ml.dir/test_svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ml.dir/test_bagged_m5.cc.o"
+  "CMakeFiles/tests_ml.dir/test_bagged_m5.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_cross_validation.cc.o"
+  "CMakeFiles/tests_ml.dir/test_cross_validation.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_knn.cc.o"
+  "CMakeFiles/tests_ml.dir/test_knn.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_linear_model.cc.o"
+  "CMakeFiles/tests_ml.dir/test_linear_model.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_m5prime.cc.o"
+  "CMakeFiles/tests_ml.dir/test_m5prime.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_m5prime_io.cc.o"
+  "CMakeFiles/tests_ml.dir/test_m5prime_io.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_m5prime_options.cc.o"
+  "CMakeFiles/tests_ml.dir/test_m5prime_options.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_m5rules.cc.o"
+  "CMakeFiles/tests_ml.dir/test_m5rules.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_metrics.cc.o"
+  "CMakeFiles/tests_ml.dir/test_metrics.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_mlp.cc.o"
+  "CMakeFiles/tests_ml.dir/test_mlp.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_regression_tree.cc.o"
+  "CMakeFiles/tests_ml.dir/test_regression_tree.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_regressor_properties.cc.o"
+  "CMakeFiles/tests_ml.dir/test_regressor_properties.cc.o.d"
+  "CMakeFiles/tests_ml.dir/test_svr.cc.o"
+  "CMakeFiles/tests_ml.dir/test_svr.cc.o.d"
+  "tests_ml"
+  "tests_ml.pdb"
+  "tests_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyzer.cc" "tests/CMakeFiles/tests_perf.dir/test_analyzer.cc.o" "gcc" "tests/CMakeFiles/tests_perf.dir/test_analyzer.cc.o.d"
+  "/root/repo/tests/test_diff.cc" "tests/CMakeFiles/tests_perf.dir/test_diff.cc.o" "gcc" "tests/CMakeFiles/tests_perf.dir/test_diff.cc.o.d"
+  "/root/repo/tests/test_first_order_model.cc" "tests/CMakeFiles/tests_perf.dir/test_first_order_model.cc.o" "gcc" "tests/CMakeFiles/tests_perf.dir/test_first_order_model.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/tests_perf.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/tests_perf.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_json_report.cc" "tests/CMakeFiles/tests_perf.dir/test_json_report.cc.o" "gcc" "tests/CMakeFiles/tests_perf.dir/test_json_report.cc.o.d"
+  "/root/repo/tests/test_section_collector.cc" "tests/CMakeFiles/tests_perf.dir/test_section_collector.cc.o" "gcc" "tests/CMakeFiles/tests_perf.dir/test_section_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_perf.dir/test_analyzer.cc.o"
+  "CMakeFiles/tests_perf.dir/test_analyzer.cc.o.d"
+  "CMakeFiles/tests_perf.dir/test_diff.cc.o"
+  "CMakeFiles/tests_perf.dir/test_diff.cc.o.d"
+  "CMakeFiles/tests_perf.dir/test_first_order_model.cc.o"
+  "CMakeFiles/tests_perf.dir/test_first_order_model.cc.o.d"
+  "CMakeFiles/tests_perf.dir/test_integration.cc.o"
+  "CMakeFiles/tests_perf.dir/test_integration.cc.o.d"
+  "CMakeFiles/tests_perf.dir/test_json_report.cc.o"
+  "CMakeFiles/tests_perf.dir/test_json_report.cc.o.d"
+  "CMakeFiles/tests_perf.dir/test_section_collector.cc.o"
+  "CMakeFiles/tests_perf.dir/test_section_collector.cc.o.d"
+  "tests_perf"
+  "tests_perf.pdb"
+  "tests_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/tests_uarch.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/tests_uarch.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/tests_uarch.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_ports.cc" "tests/CMakeFiles/tests_uarch.dir/test_core_ports.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_core_ports.cc.o.d"
+  "/root/repo/tests/test_cpi_stack.cc" "tests/CMakeFiles/tests_uarch.dir/test_cpi_stack.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_cpi_stack.cc.o.d"
+  "/root/repo/tests/test_decoder.cc" "tests/CMakeFiles/tests_uarch.dir/test_decoder.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_decoder.cc.o.d"
+  "/root/repo/tests/test_event_counters.cc" "tests/CMakeFiles/tests_uarch.dir/test_event_counters.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_event_counters.cc.o.d"
+  "/root/repo/tests/test_lsq.cc" "tests/CMakeFiles/tests_uarch.dir/test_lsq.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_lsq.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/tests_uarch.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_uarch_properties.cc" "tests/CMakeFiles/tests_uarch.dir/test_uarch_properties.cc.o" "gcc" "tests/CMakeFiles/tests_uarch.dir/test_uarch_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_uarch.dir/test_branch_predictor.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_branch_predictor.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_cache.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_cache.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_core.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_core.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_core_ports.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_core_ports.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_cpi_stack.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_cpi_stack.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_decoder.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_decoder.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_event_counters.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_event_counters.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_lsq.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_lsq.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_tlb.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_tlb.cc.o.d"
+  "CMakeFiles/tests_uarch.dir/test_uarch_properties.cc.o"
+  "CMakeFiles/tests_uarch.dir/test_uarch_properties.cc.o.d"
+  "tests_uarch"
+  "tests_uarch.pdb"
+  "tests_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_phase.cc" "tests/CMakeFiles/tests_workload.dir/test_phase.cc.o" "gcc" "tests/CMakeFiles/tests_workload.dir/test_phase.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/tests_workload.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/tests_workload.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_spec_suite.cc" "tests/CMakeFiles/tests_workload.dir/test_spec_suite.cc.o" "gcc" "tests/CMakeFiles/tests_workload.dir/test_spec_suite.cc.o.d"
+  "/root/repo/tests/test_stream_gen.cc" "tests/CMakeFiles/tests_workload.dir/test_stream_gen.cc.o" "gcc" "tests/CMakeFiles/tests_workload.dir/test_stream_gen.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/tests_workload.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/tests_workload.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtperf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mtperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

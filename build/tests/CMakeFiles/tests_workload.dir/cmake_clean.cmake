@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workload.dir/test_phase.cc.o"
+  "CMakeFiles/tests_workload.dir/test_phase.cc.o.d"
+  "CMakeFiles/tests_workload.dir/test_runner.cc.o"
+  "CMakeFiles/tests_workload.dir/test_runner.cc.o.d"
+  "CMakeFiles/tests_workload.dir/test_spec_suite.cc.o"
+  "CMakeFiles/tests_workload.dir/test_spec_suite.cc.o.d"
+  "CMakeFiles/tests_workload.dir/test_stream_gen.cc.o"
+  "CMakeFiles/tests_workload.dir/test_stream_gen.cc.o.d"
+  "CMakeFiles/tests_workload.dir/test_trace.cc.o"
+  "CMakeFiles/tests_workload.dir/test_trace.cc.o.d"
+  "tests_workload"
+  "tests_workload.pdb"
+  "tests_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_common[1]_include.cmake")
+include("/root/repo/build/tests/tests_data[1]_include.cmake")
+include("/root/repo/build/tests/tests_ml[1]_include.cmake")
+include("/root/repo/build/tests/tests_uarch[1]_include.cmake")
+include("/root/repo/build/tests/tests_workload[1]_include.cmake")
+include("/root/repo/build/tests/tests_cli[1]_include.cmake")
+include("/root/repo/build/tests/tests_perf[1]_include.cmake")

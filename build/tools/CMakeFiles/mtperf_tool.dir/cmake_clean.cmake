@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtperf_tool.dir/mtperf_main.cc.o"
+  "CMakeFiles/mtperf_tool.dir/mtperf_main.cc.o.d"
+  "mtperf"
+  "mtperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtperf_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
