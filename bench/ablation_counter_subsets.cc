@@ -101,9 +101,8 @@ main()
               << padLeft("RAE", 9) << "\n";
     for (const auto &variant : variants) {
         const Dataset ds = full.withAttributes(variant.attrs);
-        const auto cv = crossValidate(
-            [&options] { return std::make_unique<M5Prime>(options); },
-            ds, 10, 7);
+        const M5Prime prototype(options);
+        const auto cv = crossValidate(prototype, ds, 10, 7);
         std::cout << padRight(variant.name, 26)
                   << padLeft(std::to_string(variant.attrs.size()), 8)
                   << padLeft(formatDouble(cv.pooled.correlation, 4), 9)

@@ -34,9 +34,8 @@ main()
          {25u, 50u, 100u, 215u, 430u, 860u, 1720u, 3440u}) {
         M5Options options = bench::paperTreeOptions();
         options.minInstances = min_instances;
-        const auto cv = crossValidate(
-            [&options] { return std::make_unique<M5Prime>(options); },
-            ds, 10, 7);
+        const M5Prime prototype(options);
+        const auto cv = crossValidate(prototype, ds, 10, 7);
         M5Prime full(options);
         full.fit(ds);
         std::cout << padRight(std::to_string(min_instances), 14)

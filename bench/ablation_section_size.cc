@@ -44,9 +44,8 @@ main()
         // dataset so tree capacity is comparable across rows.
         options.minInstances = std::max<std::size_t>(
             20, ds.size() * 430 / 9540);
-        const auto cv = crossValidate(
-            [&options] { return std::make_unique<M5Prime>(options); },
-            ds, 10, 7);
+        const M5Prime prototype(options);
+        const auto cv = crossValidate(prototype, ds, 10, 7);
         M5Prime full(options);
         full.fit(ds);
         std::cout << padRight(std::to_string(instructions), 15)

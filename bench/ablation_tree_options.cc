@@ -61,9 +61,8 @@ main()
               << "\n";
     for (const auto &variant : variants) {
         const auto &opts = variant.options;
-        const auto cv = crossValidate(
-            [&opts] { return std::make_unique<M5Prime>(opts); }, ds, 10,
-            7);
+        const M5Prime prototype(opts);
+        const auto cv = crossValidate(prototype, ds, 10, 7);
         M5Prime full(variant.options);
         full.fit(ds);
         std::size_t terms = 0;

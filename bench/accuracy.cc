@@ -23,9 +23,8 @@ main()
 {
     const Dataset ds = bench::loadSuiteDataset();
     const M5Options options = bench::paperTreeOptions();
-    const auto cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); }, ds, 10,
-        /*seed=*/7);
+    const M5Prime prototype(options);
+    const auto cv = crossValidate(prototype, ds, 10, /*seed=*/7);
 
     std::cout << bench::rule(
         "Section V-B: 10-fold cross-validation accuracy of M5'");

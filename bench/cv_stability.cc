@@ -16,6 +16,7 @@
 #include "common/strings.h"
 #include "math/stats.h"
 #include "ml/eval/cross_validation.h"
+#include "ml/registry.h"
 
 using namespace mtperf;
 
@@ -23,7 +24,8 @@ int
 main()
 {
     const Dataset ds = bench::loadSuiteDataset();
-    const M5Options options = bench::paperTreeOptions();
+    const auto prototype =
+        RegressorFactory::create("m5prime:min-instances=430");
 
     std::vector<double> correlations, maes, raes;
     std::cout << bench::rule(
@@ -31,9 +33,7 @@ main()
     std::cout << padRight("seed", 8) << padLeft("C", 9)
               << padLeft("MAE", 9) << padLeft("RAE", 9) << "\n";
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-        const auto cv = crossValidate(
-            [&options] { return std::make_unique<M5Prime>(options); },
-            ds, 10, seed);
+        const auto cv = crossValidate(*prototype, ds, 10, seed);
         correlations.push_back(cv.pooled.correlation);
         maes.push_back(cv.pooled.mae);
         raes.push_back(cv.pooled.rae);

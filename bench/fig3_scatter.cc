@@ -26,9 +26,8 @@ main()
 {
     const Dataset ds = bench::loadSuiteDataset();
     const M5Options options = bench::paperTreeOptions();
-    const auto cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); }, ds, 10,
-        /*seed=*/7);
+    const M5Prime prototype(options);
+    const auto cv = crossValidate(prototype, ds, 10, /*seed=*/7);
 
     // (a) machine-readable pairs.
     const std::string csv_path = "fig3_predicted_vs_actual.csv";

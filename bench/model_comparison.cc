@@ -8,24 +8,20 @@
  * while staying interpretable. This bench runs the full comparison —
  * M5', MLP, SVR, k-NN, a global linear regression, a CART-style
  * regression tree, and the traditional fixed-penalty first-order
- * model — under identical 10-fold cross-validation folds.
+ * model — under identical 10-fold cross-validation folds. Every
+ * learner is named by its RegressorFactory spec string, so the table
+ * doubles as a smoke test of the registry.
  */
 
-#include <functional>
+#include <chrono>
 #include <iostream>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/strings.h"
 #include "ml/eval/cross_validation.h"
-#include "ml/knn/knn.h"
-#include "ml/linear/linear_model.h"
-#include "ml/mlp/mlp.h"
-#include "ml/svr/svr.h"
-#include "ml/tree/bagged_m5.h"
-#include "ml/tree/m5rules.h"
-#include "ml/tree/regression_tree.h"
-#include "perf/first_order_model.h"
+#include "ml/registry.h"
 
 using namespace mtperf;
 
@@ -33,61 +29,28 @@ int
 main()
 {
     const Dataset ds = bench::loadSuiteDataset();
-    const M5Options tree_options = bench::paperTreeOptions();
 
     struct Row
     {
         std::string name;
         std::string paper_c;
-        RegressorFactory factory;
+        std::string spec;
         bool interpretable;
     };
 
-    MlpOptions mlp_options;
-    mlp_options.hiddenLayers = {24, 12};
-    mlp_options.epochs = 250;
-
-    SvrOptions svr_options;
-    svr_options.c = 20.0;
-    svr_options.epsilon = 0.03;
-
-    RegressionTreeOptions cart_options;
-    cart_options.minInstances = tree_options.minInstances;
-
-    M5RulesOptions rules_options;
-    rules_options.treeOptions = tree_options;
-
-    BaggedM5Options bagged_options;
-    bagged_options.treeOptions = tree_options;
-    bagged_options.bags = 10;
-
     const std::vector<Row> rows = {
         {"M5Prime (model tree)", "0.98",
-         [&] { return std::make_unique<M5Prime>(tree_options); }, true},
-        {"MLP (ANN)", "0.99",
-         [&] { return std::make_unique<MlpRegressor>(mlp_options); },
-         false},
-        {"SVR (SVM)", "0.98",
-         [&] { return std::make_unique<SvrRegressor>(svr_options); },
-         false},
-        {"kNN (k=8)", "-",
-         [] { return std::make_unique<KnnRegressor>(); }, false},
+         "m5prime:min-instances=430", true},
+        {"MLP (ANN)", "0.99", "mlp:hidden=24-12,epochs=250", false},
+        {"SVR (SVM)", "0.98", "svr:c=20,epsilon=0.03", false},
+        {"kNN (k=8)", "-", "knn", false},
         {"M5Rules (decision list)", "-",
-         [&] { return std::make_unique<M5Rules>(rules_options); },
-         true},
+         "m5rules:min-instances=430", true},
         {"BaggedM5 (10 bags)", "-",
-         [&] { return std::make_unique<BaggedM5>(bagged_options); },
-         false},
-        {"LinearRegression", "-",
-         [] { return std::make_unique<LinearRegression>(true); }, true},
-        {"RegressionTree (CART)", "-",
-         [&] {
-             return std::make_unique<RegressionTree>(cart_options);
-         },
-         true},
-        {"FirstOrder (fixed penalty)", "-",
-         [] { return std::make_unique<perf::FirstOrderModel>(); },
-         true},
+         "bagged-m5:min-instances=430,bags=10", false},
+        {"LinearRegression", "-", "linear:simplify=on", true},
+        {"RegressionTree (CART)", "-", "cart:min-instances=430", true},
+        {"FirstOrder (fixed penalty)", "-", "first-order", true},
     };
 
     std::cout << bench::rule("Section V-B: accuracy comparison, "
@@ -96,11 +59,14 @@ main()
     std::cout << padRight("model", 28) << padLeft("paper C", 9)
               << padLeft("C", 9) << padLeft("MAE", 9)
               << padLeft("RAE", 9) << padLeft("RMSE", 9)
-              << "  interpretable\n";
+              << padLeft("secs", 7) << "  interpretable\n";
 
     double m5_mae = 0.0, first_order_mae = 0.0;
     for (const auto &row : rows) {
-        const auto cv = crossValidate(row.factory, ds, 10, /*seed=*/7);
+        const auto start = std::chrono::steady_clock::now();
+        const auto cv = crossValidate(row.spec, ds, 10, /*seed=*/7);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
         std::cout << padRight(row.name, 28)
                   << padLeft(row.paper_c, 9)
                   << padLeft(formatDouble(cv.pooled.correlation, 4), 9)
@@ -108,6 +74,7 @@ main()
                   << padLeft(
                          formatDouble(cv.pooled.rae * 100.0, 1) + "%", 9)
                   << padLeft(formatDouble(cv.pooled.rmse, 3), 9)
+                  << padLeft(formatDouble(elapsed.count(), 1), 7)
                   << "  " << (row.interpretable ? "yes" : "no") << "\n";
         if (row.name.rfind("M5Prime", 0) == 0)
             m5_mae = cv.pooled.mae;

@@ -50,9 +50,7 @@ main(int argc, char **argv)
     std::cout << tree.toString() << "\n";
 
     // 4. 10-fold cross-validation, as the paper evaluates.
-    const auto cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); },
-        sections, 10, /*seed=*/7);
+    const auto cv = crossValidate(tree, sections, 10, /*seed=*/7);
     std::cout << "10-fold CV: " << cv.pooled.summary() << "\n\n";
 
     // 5. "What limits this section, and how much is recoverable?"

@@ -7,9 +7,11 @@
 #include "cli/args.h"
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "data/io.h"
 #include "ml/eval/cross_validation.h"
+#include "ml/registry.h"
 #include "ml/tree/m5prime.h"
 #include "perf/analyzer.h"
 #include "perf/diff.h"
@@ -22,6 +24,26 @@
 namespace mtperf::cli {
 
 namespace {
+
+/**
+ * The --threads flag every command accepts. 0 (the default) means
+ * "auto": the MTPERF_THREADS environment variable if set, otherwise
+ * the hardware concurrency.
+ */
+void
+addThreadsOption(ArgParser &parser)
+{
+    parser.addSize("threads", 0,
+                   "worker threads (0 = auto: MTPERF_THREADS env "
+                   "or hardware concurrency)");
+}
+
+/** Size the global pool from --threads; call right after parse(). */
+void
+applyThreadsOption(const ArgParser &parser)
+{
+    setGlobalThreadCount(parser.getSize("threads"));
+}
 
 /** Tree-option flags shared by train and crossval. */
 void
@@ -53,6 +75,22 @@ treeOptionsFrom(const ArgParser &parser, std::size_t dataset_size)
     return options;
 }
 
+/**
+ * Learner selection shared by train and crossval: --model takes a
+ * RegressorFactory spec ("name[:key=value,...]"); a bare "m5prime"
+ * additionally honours the individual tree-option flags.
+ */
+std::unique_ptr<Regressor>
+learnerFrom(const ArgParser &parser, std::size_t dataset_size)
+{
+    const std::string spec = parser.getString("model");
+    if (spec == "m5prime") {
+        return std::make_unique<M5Prime>(
+            treeOptionsFrom(parser, dataset_size));
+    }
+    return RegressorFactory::create(spec);
+}
+
 } // namespace
 
 int
@@ -64,7 +102,9 @@ cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
     parser.addSize("instructions", 10000, "instructions per section");
     parser.addSize("seed", 42, "master seed");
     parser.addDouble("jitter", 0.18, "per-section parameter jitter");
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     workload::RunnerOptions options;
     options.sectionScale = parser.getDouble("scale");
@@ -86,18 +126,28 @@ cmdTrain(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("data", "", "training CSV (with CPI column)", true);
     parser.addString("out", "model.m5", "model output path");
     parser.addString("target", "CPI", "target column name");
+    parser.addString("model", "m5prime",
+                     "learner spec (RegressorFactory name[:key=value,...]; "
+                     "must resolve to an M5' tree to be saved)");
     addTreeOptions(parser);
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
                            parser.getString("target"));
-    M5Prime tree(treeOptionsFrom(parser, ds.size()));
-    tree.fit(ds);
-    tree.saveFile(parser.getString("out"));
+    auto learner = learnerFrom(parser, ds.size());
+    learner->fit(ds);
 
-    out << tree.toString() << "\n";
-    out << "model with " << tree.numLeaves() << " leaves saved to "
+    auto *tree = dynamic_cast<M5Prime *>(learner.get());
+    if (tree == nullptr)
+        mtperf_fatal("only m5prime learners can be saved as model "
+                     "files; got ", learner->name());
+    tree->saveFile(parser.getString("out"));
+
+    out << tree->toString() << "\n";
+    out << "model with " << tree->numLeaves() << " leaves saved to "
         << parser.getString("out") << "\n";
     return 0;
 }
@@ -107,7 +157,9 @@ cmdPrint(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
     parser.addString("model", "", "saved model path", true);
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     out << tree.toString();
     return 0;
@@ -121,7 +173,9 @@ cmdPredict(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("data", "", "CSV to predict on", true);
     parser.addString("out", "", "optional predictions CSV path");
     parser.addString("target", "CPI", "target column name");
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     const Dataset ds =
@@ -161,7 +215,9 @@ cmdAnalyze(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("data", "", "CSV to analyze", true);
     parser.addString("target", "CPI", "target column name");
     parser.addFlag("json", "emit the report as JSON");
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     const Dataset ds =
@@ -185,18 +241,23 @@ cmdCrossval(const std::vector<std::string> &args, std::ostream &out)
     ArgParser parser;
     parser.addString("data", "", "CSV to cross-validate on", true);
     parser.addString("target", "CPI", "target column name");
+    parser.addString("model", "m5prime",
+                     "learner spec (RegressorFactory "
+                     "name[:key=value,...])");
     parser.addSize("folds", 10, "number of folds");
     parser.addSize("seed", 7, "fold-shuffle seed");
     addTreeOptions(parser);
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
                            parser.getString("target"));
-    const M5Options options = treeOptionsFrom(parser, ds.size());
-    const auto cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); }, ds,
-        parser.getSize("folds"), parser.getSize("seed"));
+    const auto prototype = learnerFrom(parser, ds.size());
+    const auto cv = crossValidate(*prototype, ds,
+                                  parser.getSize("folds"),
+                                  parser.getSize("seed"));
 
     out << parser.getSize("folds")
         << "-fold CV: " << cv.pooled.summary() << "\n";
@@ -214,7 +275,9 @@ cmdDiff(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("before", "", "baseline section CSV", true);
     parser.addString("after", "", "changed-run section CSV", true);
     parser.addString("target", "CPI", "target column name");
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     const Dataset before =
@@ -237,7 +300,9 @@ cmdStack(const std::vector<std::string> &args, std::ostream &out)
                      "suite workload name (see suite_explorer)", true);
     parser.addSize("instructions", 500000, "instructions to simulate");
     parser.addSize("seed", 42, "stream seed");
+    addThreadsOption(parser);
     parser.parse(args);
+    applyThreadsOption(parser);
 
     const auto spec =
         workload::suiteWorkload(parser.getString("workload"));
@@ -302,6 +367,12 @@ usageText()
            "  diff       before/after comparison of two CSVs\n"
            "  stack      simulator CPI stack for one suite workload\n"
            "  help       show this text\n"
+           "\n"
+           "every command accepts --threads N to size the worker\n"
+           "pool (0 = auto: MTPERF_THREADS env, else hardware\n"
+           "concurrency; 1 = fully serial). train and crossval take\n"
+           "--model name[:key=value,...] to pick the learner, e.g.\n"
+           "--model mlp:hidden=24-12,epochs=250.\n"
            "\n"
            "every command fails fast with a message naming any\n"
            "unknown or missing option.\n";

@@ -1,13 +1,22 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace mtperf {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Info;
+/**
+ * Pool workers log concurrently (e.g., per-workload progress lines in
+ * a parallel suite run), so the level is atomic and the sink is
+ * serialized: each message is formatted off-lock and written as one
+ * flush under the mutex, keeping lines intact under contention.
+ */
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+std::mutex sinkMutex;
 
 const char *
 levelName(LogLevel level)
@@ -26,21 +35,29 @@ levelName(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(globalLevel))
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
-    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += "[";
+    line += levelName(level);
+    line += "] ";
+    line += msg;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::cerr << line;
 }
 
 namespace detail {

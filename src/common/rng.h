@@ -6,6 +6,11 @@
  * shuffling, learner initialization) draw from Rng so that every
  * experiment is reproducible from a single seed. The generator is
  * xoshiro256**, which is fast, has a 256-bit state and passes BigCrush.
+ *
+ * Rng instances are plain mutable state — there are no globals and no
+ * internal locking — so an instance must never be shared across pool
+ * tasks. Parallel loops draw everything they need before dispatch or
+ * give each task its own seed-derived instance (see common/parallel.h).
  */
 
 #ifndef MTPERF_COMMON_RNG_H_

@@ -1,0 +1,98 @@
+#include "ml/baseline/first_order_model.h"
+
+#include "common/logging.h"
+
+namespace mtperf::perf {
+
+using uarch::PerfMetric;
+
+FirstOrderModel::FirstOrderModel(const uarch::CoreConfig &config)
+{
+    auto set = [this](PerfMetric metric, double cycles) {
+        penalties_[static_cast<std::size_t>(metric)] = cycles;
+    };
+    // Instruction-mix metrics carry no penalty in a first-order model.
+    set(PerfMetric::BrMisPr, static_cast<double>(
+                                 config.mispredictPenalty));
+    // A L1D miss that hits L2 costs the L2 latency beyond the L1 hit.
+    set(PerfMetric::L1DM, static_cast<double>(config.l2HitLatency -
+                                              config.l1dHitLatency));
+    set(PerfMetric::L1IM,
+        static_cast<double>(config.l1iMissToL2Latency));
+    // An L2 miss costs the full memory latency beyond L2.
+    set(PerfMetric::L2M,
+        static_cast<double>(config.memLatency - config.l2HitLatency));
+    set(PerfMetric::DtlbL0LdM,
+        static_cast<double>(config.dtlbL0MissLatency));
+    set(PerfMetric::DtlbLdM,
+        static_cast<double>(config.pageWalkLatency));
+    // DtlbLdReM and Dtlb largely duplicate DtlbLdM; charging them all
+    // would triple-count, which is itself a classic pitfall of the
+    // ad-hoc method. Charge the walk once via DtlbLdM; Dtlb picks up
+    // the store-side walks not in DtlbLdM.
+    set(PerfMetric::ItlbM, static_cast<double>(config.pageWalkLatency));
+    set(PerfMetric::LdBlSta, static_cast<double>(
+                                 config.lsq.staBlockCycles));
+    set(PerfMetric::LdBlStd, static_cast<double>(
+                                 config.lsq.stdBlockCycles));
+    set(PerfMetric::LdBlOvSt, static_cast<double>(
+                                  config.lsq.overlapBlockCycles));
+    set(PerfMetric::MisalRef,
+        static_cast<double>(config.misalignPenalty));
+    set(PerfMetric::L1DSpLd, static_cast<double>(config.splitPenalty));
+    set(PerfMetric::L1DSpSt, static_cast<double>(config.splitPenalty));
+    set(PerfMetric::LCP,
+        static_cast<double>(config.decoder.lcpStallCycles));
+}
+
+void
+FirstOrderModel::fit(const Dataset &train)
+{
+    if (train.empty())
+        mtperf_fatal("FirstOrderModel: empty training set");
+    if (train.numAttributes() != uarch::kNumPerfMetrics) {
+        mtperf_fatal("FirstOrderModel expects the ", uarch::kNumPerfMetrics,
+                     "-metric perf schema, got ", train.numAttributes(),
+                     " attributes");
+    }
+    // Calibrate the ideal steady-state CPI as the mean residual after
+    // subtracting the fixed penalties.
+    double acc = 0.0;
+    for (std::size_t r = 0; r < train.size(); ++r) {
+        const auto row = train.row(r);
+        double penalty_sum = 0.0;
+        for (std::size_t a = 0; a < penalties_.size(); ++a)
+            penalty_sum += penalties_[a] * row[a];
+        acc += train.target(r) - penalty_sum;
+    }
+    baseCpi_ = acc / static_cast<double>(train.size());
+    fitted_ = true;
+}
+
+double
+FirstOrderModel::predict(std::span<const double> row) const
+{
+    mtperf_assert(fitted_, "predict() before fit()");
+    double cpi = baseCpi_;
+    for (std::size_t a = 0; a < penalties_.size(); ++a)
+        cpi += penalties_[a] * row[a];
+    return cpi;
+}
+
+double
+FirstOrderModel::penalty(PerfMetric metric) const
+{
+    return penalties_[static_cast<std::size_t>(metric)];
+}
+
+std::unique_ptr<Regressor>
+FirstOrderModel::clone() const
+{
+    // The penalty table IS the configuration; calibration state stays
+    // behind per the clone() contract.
+    auto copy = std::make_unique<FirstOrderModel>();
+    copy->penalties_ = penalties_;
+    return copy;
+}
+
+} // namespace mtperf::perf

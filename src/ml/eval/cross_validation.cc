@@ -1,9 +1,11 @@
 #include "ml/eval/cross_validation.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "data/folds.h"
 #include "math/stats.h"
+#include "ml/registry.h"
 
 namespace mtperf {
 
@@ -42,25 +44,30 @@ CrossValidationResult::meanFoldRae() const
 }
 
 CrossValidationResult
-crossValidate(const RegressorFactory &factory, const Dataset &ds,
+crossValidate(const Regressor &prototype, const Dataset &ds,
               std::size_t k, std::uint64_t seed)
 {
     if (ds.empty())
         mtperf_fatal("cross-validation on an empty dataset");
 
+    // The fold assignment is fixed before any fold trains, so the
+    // parallel schedule below cannot influence it.
     Rng rng(seed);
     const auto folds = kfoldIndices(ds.size(), k, rng);
 
     CrossValidationResult result;
     result.predictions.assign(ds.size(), 0.0);
+    result.perFold.resize(folds.size());
 
-    for (std::size_t f = 0; f < folds.size(); ++f) {
+    // Each fold touches only perFold[f] and the prediction slots of
+    // its own (disjoint) test rows; the dataset is shared read-only.
+    globalPool().parallelFor(folds.size(), [&](std::size_t f) {
         const Split split = splitForFold(folds, f);
         const Dataset train = trainSubset(ds, split);
-        const Dataset test = testSubset(ds, split);
 
-        auto learner = factory();
-        mtperf_assert(learner != nullptr, "factory returned null learner");
+        auto learner = prototype.clone();
+        mtperf_assert(learner != nullptr,
+                      "clone() returned a null learner");
         learner->fit(train);
 
         std::vector<double> actual;
@@ -77,12 +84,20 @@ crossValidate(const RegressorFactory &factory, const Dataset &ds,
 
         // WEKA computes RAE/RRSE against the training-set mean.
         const double train_mean = mean(train.targets());
-        result.perFold.push_back(
-            computeMetrics(actual, predicted, train_mean));
-    }
+        result.perFold[f] =
+            computeMetrics(actual, predicted, train_mean);
+    });
 
     result.pooled = computeMetrics(ds.targets(), result.predictions);
     return result;
+}
+
+CrossValidationResult
+crossValidate(const std::string &learnerSpec, const Dataset &ds,
+              std::size_t k, std::uint64_t seed)
+{
+    const auto prototype = RegressorFactory::create(learnerSpec);
+    return crossValidate(*prototype, ds, k, seed);
 }
 
 } // namespace mtperf

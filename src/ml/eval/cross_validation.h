@@ -7,14 +7,19 @@
  * for a model trained on the other nine, and the metrics average over
  * folds. This engine also keeps the out-of-fold prediction for every
  * row so Figure 3 (predicted vs. actual scatter) falls straight out.
+ *
+ * Folds are independent, so they train concurrently on the global
+ * thread pool. The fold assignment is drawn from the seed before any
+ * fold runs and every fold writes only its own rows/slot, so the
+ * result is bit-identical for every thread count (including 1, which
+ * takes the plain serial path).
  */
 
 #ifndef MTPERF_ML_EVAL_CROSS_VALIDATION_H_
 #define MTPERF_ML_EVAL_CROSS_VALIDATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -44,16 +49,23 @@ struct CrossValidationResult
     double meanFoldRae() const;
 };
 
-/** Factory producing a fresh, untrained learner for each fold. */
-using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
-
 /**
- * Run @p k -fold cross-validation of the learner made by @p factory on
- * @p ds. Folds are shuffled with @p seed.
+ * Run @p k -fold cross-validation of @p prototype on @p ds: each fold
+ * trains a fresh prototype.clone() on the other k-1 folds. Folds are
+ * shuffled with @p seed and trained concurrently on the global pool.
  *
  * @throw FatalError when k is out of range for the dataset.
  */
-CrossValidationResult crossValidate(const RegressorFactory &factory,
+CrossValidationResult crossValidate(const Regressor &prototype,
+                                    const Dataset &ds, std::size_t k,
+                                    std::uint64_t seed);
+
+/**
+ * Convenience overload: the learner is created from a
+ * RegressorFactory spec string such as "m5prime:min-instances=430"
+ * (see ml/registry.h).
+ */
+CrossValidationResult crossValidate(const std::string &learnerSpec,
                                     const Dataset &ds, std::size_t k,
                                     std::uint64_t seed);
 

@@ -38,6 +38,12 @@ class KnnRegressor : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "kNN"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<KnnRegressor>(options_);
+    }
+
   private:
     KnnOptions options_;
     Standardizer standardizer_;

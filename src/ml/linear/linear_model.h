@@ -124,6 +124,12 @@ class LinearRegression : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "LinearRegression"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<LinearRegression>(simplify_);
+    }
+
     /** The fitted model. @pre fit() has been called. */
     const LinearModel &model() const { return model_; }
 

@@ -46,6 +46,12 @@ class MlpRegressor : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "MLP"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<MlpRegressor>(options_);
+    }
+
     /** Mean squared training error of the final epoch (standardized). */
     double finalTrainingLoss() const { return finalLoss_; }
 

@@ -1,0 +1,271 @@
+#include "ml/registry.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "ml/baseline/first_order_model.h"
+#include "ml/knn/knn.h"
+#include "ml/linear/linear_model.h"
+#include "ml/mlp/mlp.h"
+#include "ml/svr/svr.h"
+#include "ml/tree/bagged_m5.h"
+#include "ml/tree/m5prime.h"
+#include "ml/tree/m5rules.h"
+#include "ml/tree/regression_tree.h"
+
+namespace mtperf {
+
+RegressorParams::RegressorParams(std::string learner,
+                                 std::map<std::string, std::string> values)
+    : learner_(std::move(learner)), values_(std::move(values))
+{
+}
+
+std::string
+RegressorParams::str(const std::string &key, const std::string &def)
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::string value = it->second;
+    values_.erase(it);
+    return value;
+}
+
+double
+RegressorParams::real(const std::string &key, double def)
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const double value =
+        parseDouble(it->second, learner_ + ":" + key);
+    values_.erase(it);
+    return value;
+}
+
+std::size_t
+RegressorParams::size(const std::string &key, std::size_t def)
+{
+    const double value = real(key, static_cast<double>(def));
+    if (value < 0 || value != std::floor(value))
+        mtperf_fatal("parameter ", key, " of learner ", learner_,
+                     " must be a non-negative integer");
+    return static_cast<std::size_t>(value);
+}
+
+std::uint64_t
+RegressorParams::seed(const std::string &key, std::uint64_t def)
+{
+    return static_cast<std::uint64_t>(
+        size(key, static_cast<std::size_t>(def)));
+}
+
+bool
+RegressorParams::flag(const std::string &key, bool def)
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string value = toLower(it->second);
+    values_.erase(it);
+    if (value == "on" || value == "true" || value == "1")
+        return true;
+    if (value == "off" || value == "false" || value == "0")
+        return false;
+    mtperf_fatal("parameter ", key, " of learner ", learner_,
+                 " must be on/off, got '", value, "'");
+}
+
+void
+RegressorParams::finish()
+{
+    if (values_.empty())
+        return;
+    mtperf_fatal("unknown parameter '", values_.begin()->first,
+                 "' for learner ", learner_);
+}
+
+namespace {
+
+/** Tree knobs shared by m5prime, m5rules and bagged-m5. */
+M5Options
+m5OptionsFrom(RegressorParams &params)
+{
+    M5Options options;
+    options.minInstances =
+        params.size("min-instances", options.minInstances);
+    options.sdFraction = params.real("sd-fraction", options.sdFraction);
+    options.prune = params.flag("prune", options.prune);
+    options.smooth = params.flag("smooth", options.smooth);
+    options.smoothingK = params.real("smoothing-k", options.smoothingK);
+    options.simplifyModels =
+        params.flag("simplify", options.simplifyModels);
+    options.maxDepth = params.size("max-depth", options.maxDepth);
+    return options;
+}
+
+/** "24-12" -> {24, 12}. */
+std::vector<std::size_t>
+parseHiddenLayers(const std::string &text, const std::string &learner)
+{
+    std::vector<std::size_t> layers;
+    for (const std::string &field : split(text, '-')) {
+        const double v = parseDouble(field, learner + ":hidden");
+        if (v < 1 || v != std::floor(v))
+            mtperf_fatal("hidden layer sizes of ", learner,
+                         " must be positive integers, got '", text, "'");
+        layers.push_back(static_cast<std::size_t>(v));
+    }
+    return layers;
+}
+
+std::map<std::string, RegressorFactory::Builder>
+builtinBuilders()
+{
+    std::map<std::string, RegressorFactory::Builder> builders;
+
+    builders["m5prime"] = [](RegressorParams &p) {
+        return std::make_unique<M5Prime>(m5OptionsFrom(p));
+    };
+    builders["m5rules"] = [](RegressorParams &p) {
+        M5RulesOptions options;
+        options.treeOptions = m5OptionsFrom(p);
+        options.maxRules = p.size("max-rules", options.maxRules);
+        return std::make_unique<M5Rules>(options);
+    };
+    builders["bagged-m5"] = [](RegressorParams &p) {
+        BaggedM5Options options;
+        options.treeOptions = m5OptionsFrom(p);
+        options.bags = p.size("bags", options.bags);
+        options.seed = p.seed("seed", options.seed);
+        return std::make_unique<BaggedM5>(options);
+    };
+    builders["cart"] = [](RegressorParams &p) {
+        RegressionTreeOptions options;
+        options.minInstances =
+            p.size("min-instances", options.minInstances);
+        options.sdFraction = p.real("sd-fraction", options.sdFraction);
+        options.prune = p.flag("prune", options.prune);
+        options.maxDepth = p.size("max-depth", options.maxDepth);
+        return std::make_unique<RegressionTree>(options);
+    };
+    builders["linear"] = [](RegressorParams &p) {
+        return std::make_unique<LinearRegression>(
+            p.flag("simplify", false));
+    };
+    builders["knn"] = [](RegressorParams &p) {
+        KnnOptions options;
+        options.k = p.size("k", options.k);
+        options.distanceWeighted =
+            p.flag("weighted", options.distanceWeighted);
+        return std::make_unique<KnnRegressor>(options);
+    };
+    builders["mlp"] = [](RegressorParams &p) {
+        MlpOptions options;
+        const std::string hidden = p.str("hidden", "");
+        if (!hidden.empty())
+            options.hiddenLayers =
+                parseHiddenLayers(hidden, p.learner());
+        options.epochs = p.size("epochs", options.epochs);
+        options.batchSize = p.size("batch", options.batchSize);
+        options.learningRate = p.real("lr", options.learningRate);
+        options.momentum = p.real("momentum", options.momentum);
+        options.l2 = p.real("l2", options.l2);
+        options.seed = p.seed("seed", options.seed);
+        return std::make_unique<MlpRegressor>(options);
+    };
+    builders["svr"] = [](RegressorParams &p) {
+        SvrOptions options;
+        const std::string kernel = p.str("kernel", "rbf");
+        if (kernel == "rbf")
+            options.kernel = SvrKernel::Rbf;
+        else if (kernel == "linear")
+            options.kernel = SvrKernel::Linear;
+        else
+            mtperf_fatal("unknown svr kernel '", kernel,
+                         "' (rbf or linear)");
+        options.c = p.real("c", options.c);
+        options.epsilon = p.real("epsilon", options.epsilon);
+        options.gamma = p.real("gamma", options.gamma);
+        options.tolerance = p.real("tolerance", options.tolerance);
+        options.maxPasses = p.size("max-passes", options.maxPasses);
+        return std::make_unique<SvrRegressor>(options);
+    };
+    builders["first-order"] = [](RegressorParams &) {
+        return std::make_unique<perf::FirstOrderModel>();
+    };
+
+    return builders;
+}
+
+} // namespace
+
+std::map<std::string, RegressorFactory::Builder> &
+RegressorFactory::builders()
+{
+    static std::map<std::string, Builder> registry = builtinBuilders();
+    return registry;
+}
+
+std::unique_ptr<Regressor>
+RegressorFactory::create(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    const std::string name = trim(spec.substr(0, colon));
+    std::map<std::string, std::string> values;
+    if (colon != std::string::npos) {
+        for (const std::string &field :
+             split(spec.substr(colon + 1), ',')) {
+            if (trim(field).empty())
+                continue;
+            const auto eq = field.find('=');
+            if (eq == std::string::npos)
+                mtperf_fatal("malformed learner parameter '", field,
+                             "' in spec '", spec, "' (want key=value)");
+            values[trim(field.substr(0, eq))] =
+                trim(field.substr(eq + 1));
+        }
+    }
+
+    const auto it = builders().find(name);
+    if (it == builders().end()) {
+        std::string known_names;
+        for (const auto &n : names())
+            known_names += (known_names.empty() ? "" : ", ") + n;
+        mtperf_fatal("unknown learner '", name, "' (known: ",
+                     known_names, ")");
+    }
+
+    RegressorParams params(name, std::move(values));
+    auto learner = it->second(params);
+    mtperf_assert(learner != nullptr, "builder for ", name,
+                  " returned null");
+    params.finish();
+    return learner;
+}
+
+bool
+RegressorFactory::known(const std::string &name)
+{
+    return builders().count(name) > 0;
+}
+
+std::vector<std::string>
+RegressorFactory::names()
+{
+    std::vector<std::string> out;
+    for (const auto &[name, builder] : builders())
+        out.push_back(name);
+    return out;
+}
+
+void
+RegressorFactory::registerBuilder(const std::string &name,
+                                  Builder builder)
+{
+    builders()[name] = std::move(builder);
+}
+
+} // namespace mtperf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * String-keyed factory registry for regression learners.
+ *
+ * Everything that lets a user pick a learner — the CLI's --model
+ * flag, the comparison benches, scripted experiments — goes through
+ * this registry instead of hard-coded constructor calls. A learner is
+ * named by a spec string:
+ *
+ *     name                       e.g.  "m5prime"
+ *     name:key=value,key=value   e.g.  "m5prime:min-instances=430"
+ *                                      "mlp:hidden=24-12,epochs=250"
+ *
+ * Unknown names and unknown or malformed parameters raise FatalError
+ * naming the offender, so a typo in an experiment config fails fast
+ * instead of silently running the default.
+ *
+ * Built-in learners: m5prime, m5rules, bagged-m5, cart, linear, knn,
+ * mlp, svr, first-order. Library users can register their own
+ * builders (last registration wins, so tests can override).
+ */
+
+#ifndef MTPERF_ML_REGISTRY_H_
+#define MTPERF_ML_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace mtperf {
+
+/**
+ * Parameters of a learner spec, with consumption tracking: builders
+ * pull the keys they understand, then finish() rejects leftovers so
+ * misspelled keys surface as errors.
+ */
+class RegressorParams
+{
+  public:
+    RegressorParams(std::string learner,
+                    std::map<std::string, std::string> values);
+
+    /** The learner name the spec addressed (for error messages). */
+    const std::string &learner() const { return learner_; }
+
+    std::string str(const std::string &key, const std::string &def);
+    double real(const std::string &key, double def);
+    std::size_t size(const std::string &key, std::size_t def);
+    std::uint64_t seed(const std::string &key, std::uint64_t def);
+    bool flag(const std::string &key, bool def); //!< on/off, true/false, 1/0
+
+    /** @throw FatalError if any parameter was never consumed. */
+    void finish();
+
+  private:
+    std::string learner_;
+    std::map<std::string, std::string> values_;
+};
+
+/** Registry of named learner builders. */
+class RegressorFactory
+{
+  public:
+    /** Builds a learner from (already-parsed) spec parameters. */
+    using Builder =
+        std::function<std::unique_ptr<Regressor>(RegressorParams &)>;
+
+    /**
+     * Create a learner from @p spec ("name" or "name:k=v,...").
+     * @throw FatalError for unknown names or bad parameters.
+     */
+    static std::unique_ptr<Regressor> create(const std::string &spec);
+
+    /** True if @p name (no parameters) is a registered learner. */
+    static bool known(const std::string &name);
+
+    /** All registered learner names, sorted. */
+    static std::vector<std::string> names();
+
+    /** Register (or replace) a builder under @p name. */
+    static void registerBuilder(const std::string &name, Builder builder);
+
+  private:
+    static std::map<std::string, Builder> &builders();
+};
+
+} // namespace mtperf
+
+#endif // MTPERF_ML_REGISTRY_H_

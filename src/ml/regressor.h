@@ -37,6 +37,16 @@ class Regressor
      */
     virtual double predict(std::span<const double> row) const = 0;
 
+    /**
+     * Create a fresh, untrained learner with this learner's
+     * configuration (hyper-parameters). Fitted state is NOT copied —
+     * training is deterministic for every learner in the library, so
+     * a caller needing a trained copy clones and refits. This is what
+     * lets the evaluation layer train one independent instance per
+     * cross-validation fold concurrently.
+     */
+    virtual std::unique_ptr<Regressor> clone() const = 0;
+
     /** Short human-readable learner name for reports. */
     virtual std::string name() const = 0;
 

@@ -48,6 +48,12 @@ class SvrRegressor : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "SVR"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<SvrRegressor>(options_);
+    }
+
     /** Number of support vectors (nonzero beta) after training. */
     std::size_t numSupportVectors() const;
 

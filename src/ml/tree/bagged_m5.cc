@@ -1,6 +1,7 @@
 #include "ml/tree/bagged_m5.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace mtperf {
@@ -18,20 +19,27 @@ BaggedM5::fit(const Dataset &train)
         mtperf_fatal("BaggedM5: empty training set");
     numAttributes_ = train.numAttributes();
     trees_.clear();
-    trees_.reserve(options_.bags);
 
+    // Draw every bootstrap resample from the single seeded stream
+    // first (exactly as the serial loop did), then fit the bags
+    // concurrently: tree construction is the expensive part and each
+    // bag writes only its own slot.
     Rng rng(options_.seed);
-    std::vector<std::size_t> sample(train.size());
+    std::vector<std::vector<std::size_t>> samples(
+        options_.bags, std::vector<std::size_t>(train.size()));
     for (std::size_t b = 0; b < options_.bags; ++b) {
         // Bootstrap resample with replacement, same size as train.
-        for (auto &idx : sample)
+        for (auto &idx : samples[b])
             idx = rng.uniformInt(std::uint64_t(train.size()));
-        const Dataset bag = train.subset(sample);
+    }
 
+    trees_.resize(options_.bags);
+    globalPool().parallelFor(options_.bags, [&](std::size_t b) {
+        const Dataset bag = train.subset(samples[b]);
         auto tree = std::make_unique<M5Prime>(options_.treeOptions);
         tree->fit(bag);
-        trees_.push_back(std::move(tree));
-    }
+        trees_[b] = std::move(tree);
+    });
 }
 
 double

@@ -43,8 +43,16 @@ class BaggedM5 : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "BaggedM5"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<BaggedM5>(options_);
+    }
+
     /** Number of trained member trees. */
     std::size_t numTrees() const { return trees_.size(); }
+
+    const BaggedM5Options &options() const { return options_; }
 
     /** Access a member tree (for inspection). */
     const M5Prime &tree(std::size_t i) const;

@@ -121,6 +121,13 @@ class M5Prime : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "M5Prime"; }
 
+    /** Configuration clone; the fitted tree is not copied (use save/load). */
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<M5Prime>(options_);
+    }
+
     const M5Options &options() const { return options_; }
 
     /** @name Structure introspection (valid after fit()) */

@@ -64,6 +64,12 @@ class M5Rules : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "M5Rules"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<M5Rules>(options_);
+    }
+
     /** The learned decision list, in application order. */
     const std::vector<M5Rule> &rules() const { return rules_; }
 

@@ -46,6 +46,12 @@ class RegressionTree : public Regressor
     double predict(std::span<const double> row) const override;
     std::string name() const override { return "RegressionTree"; }
 
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<RegressionTree>(options_);
+    }
+
     /** Number of leaves after pruning. */
     std::size_t numLeaves() const;
 

@@ -1,62 +1,14 @@
 /**
  * @file
- * The traditional uniform-penalty CPI model (the paper's strawman).
- *
- * First-order models in the style of Karkhanis & Smith express CPI as
- * an ideal steady-state CPI plus a fixed penalty per event occurrence:
- *
- *     CPI = CPI_base + sum_i penalty_i * X_i
- *
- * with the penalties taken from the machine's latency numbers (an L2
- * miss costs the memory latency, a mispredict the re-steer cost, ...).
- * The paper's introduction argues this misattributes cost on an
- * out-of-order machine because overlap and interaction change the
- * *exposed* penalty per event; the model-comparison bench quantifies
- * exactly that gap. fit() only calibrates CPI_base (the average
- * residual after subtracting the fixed penalties), which is how such
- * models are used in practice.
+ * Forwarding header: perf::FirstOrderModel moved to the ml layer so
+ * the RegressorFactory registry (ml/registry.h) can construct it
+ * without a perf <-> ml link cycle. Include ml/baseline/ directly in
+ * new code.
  */
 
-#ifndef MTPERF_PERF_FIRST_ORDER_MODEL_H_
-#define MTPERF_PERF_FIRST_ORDER_MODEL_H_
+#ifndef MTPERF_PERF_FIRST_ORDER_MODEL_FWD_H_
+#define MTPERF_PERF_FIRST_ORDER_MODEL_FWD_H_
 
-#include <array>
-#include <span>
-#include <string>
+#include "ml/baseline/first_order_model.h"
 
-#include "ml/regressor.h"
-#include "uarch/core.h"
-#include "uarch/event_counters.h"
-
-namespace mtperf::perf {
-
-/** Fixed-penalty first-order CPI model. */
-class FirstOrderModel : public Regressor
-{
-  public:
-    /**
-     * Derive the per-event penalty table from a machine config (e.g.,
-     * an L2 load miss costs config.memLatency cycles).
-     */
-    explicit FirstOrderModel(
-        const uarch::CoreConfig &config = uarch::CoreConfig::core2Like());
-
-    void fit(const Dataset &train) override;
-    double predict(std::span<const double> row) const override;
-    std::string name() const override { return "FirstOrder"; }
-
-    /** The fixed penalty for one metric, in cycles per event. */
-    double penalty(uarch::PerfMetric metric) const;
-
-    /** Calibrated base CPI. @pre fit() has been called. */
-    double baseCpi() const { return baseCpi_; }
-
-  private:
-    std::array<double, uarch::kNumPerfMetrics> penalties_{};
-    double baseCpi_ = 0.0;
-    bool fitted_ = false;
-};
-
-} // namespace mtperf::perf
-
-#endif // MTPERF_PERF_FIRST_ORDER_MODEL_H_
+#endif // MTPERF_PERF_FIRST_ORDER_MODEL_FWD_H_

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "data/io.h"
 #include "uarch/event_counters.h"
 #include "workload/spec_suite.h"
@@ -26,7 +27,9 @@ collectSuiteDataset(const workload::RunnerOptions &options)
 {
     const auto suite = workload::specLikeSuite();
     inform("simulating ", suite.size(), " workloads (",
-           options.instructionsPerSection, " instructions/section)...");
+           options.instructionsPerSection, " instructions/section, ",
+           globalThreadCount(), " thread",
+           globalThreadCount() == 1 ? "" : "s", ")...");
     const auto records = workload::runSuite(suite, options);
     inform("collected ", records.size(), " sections");
     return sectionsToDataset(records);

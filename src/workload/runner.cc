@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "workload/stream_gen.h"
 
 namespace mtperf::workload {
@@ -134,9 +135,21 @@ std::vector<SectionRecord>
 runSuite(const std::vector<WorkloadSpec> &suite,
          const RunnerOptions &options)
 {
+    // Workloads are independent simulations with name-keyed seeds
+    // (see runWorkload), so they can run concurrently; merging in
+    // suite order keeps the record stream byte-identical to a serial
+    // run regardless of thread count.
+    auto per_workload =
+        parallelMap(globalPool(), suite.size(), [&](std::size_t i) {
+            return runWorkload(suite[i], options);
+        });
+
     std::vector<SectionRecord> all;
-    for (const auto &spec : suite) {
-        auto records = runWorkload(spec, options);
+    std::size_t total = 0;
+    for (const auto &records : per_workload)
+        total += records.size();
+    all.reserve(total);
+    for (auto &records : per_workload) {
         all.insert(all.end(), std::make_move_iterator(records.begin()),
                    std::make_move_iterator(records.end()));
     }

@@ -45,6 +45,11 @@ class MeanRegressor : public Regressor
         return mean_;
     }
     std::string name() const override { return "Mean"; }
+    std::unique_ptr<Regressor>
+    clone() const override
+    {
+        return std::make_unique<MeanRegressor>();
+    }
 
   private:
     double mean_ = 0.0;
@@ -53,8 +58,7 @@ class MeanRegressor : public Regressor
 TEST(CrossValidation, FoldCountsAndCoverage)
 {
     const Dataset ds = linearDataset(103, 0.1);
-    const auto cv = crossValidate(
-        [] { return std::make_unique<LinearRegression>(); }, ds, 10, 42);
+    const auto cv = crossValidate(LinearRegression(), ds, 10, 42);
     EXPECT_EQ(cv.perFold.size(), 10u);
     EXPECT_EQ(cv.predictions.size(), ds.size());
     std::size_t total_test = 0;
@@ -66,8 +70,7 @@ TEST(CrossValidation, FoldCountsAndCoverage)
 TEST(CrossValidation, AccurateLearnerScoresWell)
 {
     const Dataset ds = linearDataset(200, 0.01);
-    const auto cv = crossValidate(
-        [] { return std::make_unique<LinearRegression>(); }, ds, 10, 7);
+    const auto cv = crossValidate(LinearRegression(), ds, 10, 7);
     EXPECT_GT(cv.pooled.correlation, 0.999);
     EXPECT_LT(cv.pooled.rae, 0.05);
     EXPECT_GT(cv.meanFoldCorrelation(), 0.99);
@@ -76,8 +79,7 @@ TEST(CrossValidation, AccurateLearnerScoresWell)
 TEST(CrossValidation, MeanPredictorScoresRaeNearOne)
 {
     const Dataset ds = linearDataset(200, 0.1);
-    const auto cv = crossValidate(
-        [] { return std::make_unique<MeanRegressor>(); }, ds, 10, 7);
+    const auto cv = crossValidate(MeanRegressor(), ds, 10, 7);
     EXPECT_NEAR(cv.pooled.rae, 1.0, 0.1);
     EXPECT_NEAR(cv.meanFoldRae(), 1.0, 0.1);
 }
@@ -85,11 +87,11 @@ TEST(CrossValidation, MeanPredictorScoresRaeNearOne)
 TEST(CrossValidation, DeterministicForSeed)
 {
     const Dataset ds = linearDataset(150, 0.2);
-    auto factory = [] { return std::make_unique<LinearRegression>(); };
-    const auto a = crossValidate(factory, ds, 5, 11);
-    const auto b = crossValidate(factory, ds, 5, 11);
+    const LinearRegression prototype;
+    const auto a = crossValidate(prototype, ds, 5, 11);
+    const auto b = crossValidate(prototype, ds, 5, 11);
     EXPECT_EQ(a.predictions, b.predictions);
-    const auto c = crossValidate(factory, ds, 5, 12);
+    const auto c = crossValidate(prototype, ds, 5, 12);
     EXPECT_NE(a.predictions, c.predictions);
 }
 
@@ -104,8 +106,7 @@ TEST(CrossValidation, PredictionsAreOutOfFold)
     Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
     for (int i = 0; i < 20; ++i)
         ds.addRow(std::vector<double>{double(i)}, double(i));
-    const auto cv = crossValidate(
-        [] { return std::make_unique<MeanRegressor>(); }, ds, 4, 3);
+    const auto cv = crossValidate(MeanRegressor(), ds, 4, 3);
     int differs = 0;
     for (double p : cv.predictions)
         differs += std::abs(p - 9.5) > 1e-12;
@@ -115,8 +116,7 @@ TEST(CrossValidation, PredictionsAreOutOfFold)
 TEST(CrossValidation, MeanFoldMaeAveragesFolds)
 {
     const Dataset ds = linearDataset(100, 0.3);
-    const auto cv = crossValidate(
-        [] { return std::make_unique<LinearRegression>(); }, ds, 5, 1);
+    const auto cv = crossValidate(LinearRegression(), ds, 5, 1);
     double acc = 0.0;
     for (const auto &fold : cv.perFold)
         acc += fold.mae;
@@ -126,11 +126,11 @@ TEST(CrossValidation, MeanFoldMaeAveragesFolds)
 TEST(CrossValidation, InvalidArgumentsThrow)
 {
     const Dataset ds = linearDataset(10, 0.1);
-    auto factory = [] { return std::make_unique<LinearRegression>(); };
-    EXPECT_THROW(crossValidate(factory, ds, 1, 1), FatalError);
-    EXPECT_THROW(crossValidate(factory, ds, 11, 1), FatalError);
+    const LinearRegression prototype;
+    EXPECT_THROW(crossValidate(prototype, ds, 1, 1), FatalError);
+    EXPECT_THROW(crossValidate(prototype, ds, 11, 1), FatalError);
     Dataset empty(Schema(std::vector<std::string>{"x"}, "y"));
-    EXPECT_THROW(crossValidate(factory, empty, 2, 1), FatalError);
+    EXPECT_THROW(crossValidate(prototype, empty, 2, 1), FatalError);
 }
 
 } // namespace

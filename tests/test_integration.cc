@@ -56,9 +56,7 @@ TEST(Integration, ModelTreeCrossValidatesAccurately)
 {
     const Dataset &ds = suiteDataset();
     const M5Options options = suiteTreeOptions(ds);
-    const auto cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); }, ds,
-        10, 1);
+    const auto cv = crossValidate(M5Prime(options), ds, 10, 1);
     // The paper reports C ~ 0.98, RAE < 8% on real hardware data; at
     // one-tenth scale we require the same ballpark.
     EXPECT_GT(cv.pooled.correlation, 0.93);
@@ -69,11 +67,8 @@ TEST(Integration, ModelTreeBeatsGlobalLinearRegression)
 {
     const Dataset &ds = suiteDataset();
     const M5Options options = suiteTreeOptions(ds);
-    const auto tree_cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); }, ds,
-        10, 2);
-    const auto lr_cv = crossValidate(
-        [] { return std::make_unique<LinearRegression>(); }, ds, 10, 2);
+    const auto tree_cv = crossValidate(M5Prime(options), ds, 10, 2);
+    const auto lr_cv = crossValidate(LinearRegression(), ds, 10, 2);
     EXPECT_LT(tree_cv.pooled.mae, lr_cv.pooled.mae);
 }
 
@@ -81,12 +76,9 @@ TEST(Integration, ModelTreeBeatsFirstOrderPenaltyModel)
 {
     const Dataset &ds = suiteDataset();
     const M5Options options = suiteTreeOptions(ds);
-    const auto tree_cv = crossValidate(
-        [&options] { return std::make_unique<M5Prime>(options); }, ds,
-        10, 3);
-    const auto fo_cv = crossValidate(
-        [] { return std::make_unique<perf::FirstOrderModel>(); }, ds, 10,
-        3);
+    const auto tree_cv = crossValidate(M5Prime(options), ds, 10, 3);
+    const auto fo_cv =
+        crossValidate(perf::FirstOrderModel(), ds, 10, 3);
     // The intro's motivating claim: uniform penalties misattribute
     // cost on an out-of-order machine.
     EXPECT_LT(tree_cv.pooled.mae, fo_cv.pooled.mae * 0.7);

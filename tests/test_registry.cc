@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the string-keyed RegressorFactory registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/registry.h"
+#include "ml/tree/bagged_m5.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf {
+namespace {
+
+TEST(RegressorFactory, EveryBuiltinNameCreatesAndClones)
+{
+    const std::vector<std::pair<std::string, std::string>> expected = {
+        {"m5prime", "M5Prime"},       {"m5rules", "M5Rules"},
+        {"bagged-m5", "BaggedM5"},    {"cart", "RegressionTree"},
+        {"linear", "LinearRegression"}, {"knn", "kNN"},
+        {"mlp", "MLP"},               {"svr", "SVR"},
+        {"first-order", "FirstOrder"},
+    };
+    for (const auto &[spec, display] : expected) {
+        EXPECT_TRUE(RegressorFactory::known(spec)) << spec;
+        const auto learner = RegressorFactory::create(spec);
+        ASSERT_NE(learner, nullptr) << spec;
+        EXPECT_EQ(learner->name(), display) << spec;
+        const auto copy = learner->clone();
+        ASSERT_NE(copy, nullptr) << spec;
+        EXPECT_EQ(copy->name(), display) << spec;
+    }
+    EXPECT_GE(RegressorFactory::names().size(), expected.size());
+}
+
+TEST(RegressorFactory, ParametersReachTheLearner)
+{
+    const auto tree =
+        RegressorFactory::create("m5prime:min-instances=430,smooth=off");
+    const auto *m5 = dynamic_cast<const M5Prime *>(tree.get());
+    ASSERT_NE(m5, nullptr);
+    EXPECT_EQ(m5->options().minInstances, 430u);
+    EXPECT_FALSE(m5->options().smooth);
+
+    const auto bagged =
+        RegressorFactory::create("bagged-m5:bags=5,min-instances=50");
+    const auto *bm = dynamic_cast<const BaggedM5 *>(bagged.get());
+    ASSERT_NE(bm, nullptr);
+    EXPECT_EQ(bm->options().bags, 5u);
+    EXPECT_EQ(bm->options().treeOptions.minInstances, 50u);
+}
+
+TEST(RegressorFactory, SpecEqualsConstructedLearner)
+{
+    // A registry-built learner must train identically to the same
+    // learner built by hand — the registry adds naming, not behavior.
+    Dataset ds(Schema(std::vector<std::string>{"x"}, "y"));
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(-1, 1);
+        ds.addRow(std::vector<double>{x}, 3.0 * x + rng.normal(0, 0.05));
+    }
+
+    M5Options options;
+    options.minInstances = 25;
+    M5Prime direct(options);
+    direct.fit(ds);
+
+    const auto from_spec =
+        RegressorFactory::create("m5prime:min-instances=25");
+    from_spec->fit(ds);
+    for (double x : {-0.9, -0.3, 0.0, 0.4, 0.8}) {
+        const std::vector<double> row{x};
+        EXPECT_DOUBLE_EQ(from_spec->predict(row), direct.predict(row));
+    }
+}
+
+TEST(RegressorFactory, UnknownNameThrowsListingKnownNames)
+{
+    try {
+        RegressorFactory::create("m5primo");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("m5primo"), std::string::npos);
+        EXPECT_NE(what.find("m5prime"), std::string::npos);
+    }
+}
+
+TEST(RegressorFactory, BadParametersThrow)
+{
+    // Unknown key.
+    EXPECT_THROW(RegressorFactory::create("m5prime:min-leaves=4"),
+                 FatalError);
+    // Malformed values.
+    EXPECT_THROW(RegressorFactory::create("m5prime:min-instances=four"),
+                 FatalError);
+    EXPECT_THROW(RegressorFactory::create("knn:k=-2"), FatalError);
+    EXPECT_THROW(RegressorFactory::create("linear:simplify=maybe"),
+                 FatalError);
+    // Empty name.
+    EXPECT_THROW(RegressorFactory::create(""), FatalError);
+}
+
+TEST(RegressorFactory, RegisteredBuilderIsCreatable)
+{
+    class Stub : public Regressor
+    {
+      public:
+        void fit(const Dataset &) override {}
+        double predict(std::span<const double>) const override
+        {
+            return 0.0;
+        }
+        std::string name() const override { return "Stub"; }
+        std::unique_ptr<Regressor> clone() const override
+        {
+            return std::make_unique<Stub>();
+        }
+    };
+    RegressorFactory::registerBuilder(
+        "stub", [](RegressorParams &) { return std::make_unique<Stub>(); });
+    EXPECT_TRUE(RegressorFactory::known("stub"));
+    EXPECT_EQ(RegressorFactory::create("stub")->name(), "Stub");
+}
+
+TEST(RegressorParams, ConsumptionTrackingRejectsLeftovers)
+{
+    RegressorParams params("demo", {{"k", "8"}, {"typo", "1"}});
+    EXPECT_EQ(params.size("k", 0), 8u);
+    EXPECT_EQ(params.real("absent", 2.5), 2.5);
+    EXPECT_THROW(params.finish(), FatalError);
+
+    RegressorParams clean("demo", {{"weighted", "on"}});
+    EXPECT_TRUE(clean.flag("weighted", false));
+    clean.finish();
+}
+
+} // namespace
+} // namespace mtperf

@@ -175,6 +175,28 @@ TEST_P(RegressorPropertyTest, DeterministicTraining)
     }
 }
 
+TEST_P(RegressorPropertyTest, CloneCopiesConfigurationNotFit)
+{
+    const Dataset train = structuredDataset(400, 9);
+    auto original = learner_.factory();
+    original->fit(train);
+
+    // A clone carries the configuration but no fitted state: training
+    // is deterministic, so fitting the clone on the same data must
+    // reproduce the original's predictions exactly.
+    auto copy = original->clone();
+    ASSERT_NE(copy, nullptr) << learner_.name;
+    EXPECT_EQ(copy->name(), original->name());
+    copy->fit(train);
+    Rng rng(10);
+    for (int i = 0; i < 20; ++i) {
+        const std::vector<double> row{rng.uniform(), rng.uniform(),
+                                      rng.uniform()};
+        EXPECT_DOUBLE_EQ(copy->predict(row), original->predict(row))
+            << learner_.name;
+    }
+}
+
 TEST_P(RegressorPropertyTest, NameMatchesRegistry)
 {
     auto learner = learner_.factory();
