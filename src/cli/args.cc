@@ -49,12 +49,12 @@ ArgParser::parse(const std::vector<std::string> &tokens)
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const std::string &token = tokens[i];
         if (!startsWith(token, "--"))
-            mtperf_fatal("unexpected argument '", token,
-                         "' (options start with --)");
+            throw UsageError("unexpected argument '" + token +
+                             "' (options start with --)");
         const std::string name = token.substr(2);
         auto it = options_.find(name);
         if (it == options_.end())
-            mtperf_fatal("unknown option --", name);
+            throw UsageError("unknown option --" + name);
         Option &option = it->second;
         option.given = true;
         if (option.kind == Kind::Flag) {
@@ -62,15 +62,23 @@ ArgParser::parse(const std::vector<std::string> &tokens)
             continue;
         }
         if (i + 1 >= tokens.size())
-            mtperf_fatal("option --", name, " needs a value");
+            throw UsageError("option --" + name + " needs a value");
         option.value = tokens[++i];
         // Validate numerics eagerly so errors point at the option.
-        if (option.kind == Kind::Double || option.kind == Kind::Size)
-            parseDouble(option.value, "--" + name);
+        try {
+            if (option.kind == Kind::Double)
+                parseDouble(option.value, "--" + name);
+            else if (option.kind == Kind::Size)
+                parseSize(option.value, "--" + name);
+        } catch (const UsageError &) {
+            throw;
+        } catch (const FatalError &e) {
+            throw UsageError(e.what());
+        }
     }
     for (const auto &[name, option] : options_) {
         if (option.required && !option.given)
-            mtperf_fatal("missing required option --", name);
+            throw UsageError("missing required option --" + name);
     }
 }
 
@@ -99,8 +107,35 @@ ArgParser::getDouble(const std::string &name) const
 std::uint64_t
 ArgParser::getSize(const std::string &name) const
 {
-    return static_cast<std::uint64_t>(
-        parseDouble(require(name, Kind::Size).value, name));
+    return parseSize(require(name, Kind::Size).value, name);
+}
+
+double
+ArgParser::getDouble(const std::string &name, double min,
+                     double max) const
+{
+    const double value = getDouble(name);
+    if (!(value >= min && value <= max)) {
+        std::ostringstream os;
+        os << "--" << name << " must be in [" << min << ", " << max
+           << "], got " << value;
+        throw UsageError(os.str());
+    }
+    return value;
+}
+
+std::uint64_t
+ArgParser::getSize(const std::string &name, std::uint64_t min,
+                   std::uint64_t max) const
+{
+    const std::uint64_t value = getSize(name);
+    if (value < min || value > max) {
+        std::ostringstream os;
+        os << "--" << name << " must be in [" << min << ", " << max
+           << "], got " << value;
+        throw UsageError(os.str());
+    }
+    return value;
 }
 
 bool

@@ -40,8 +40,10 @@ class ArgParser
 
     /**
      * Parse the tokens (excluding program and subcommand names).
-     * @throw FatalError on unknown options, missing values, missing
-     * required options or unparsable numbers.
+     * @throw UsageError on unknown options, missing values, missing
+     * required options or unparsable numbers (integer options reject
+     * signs, fractions and overflow here, so a "--threads -1" fails
+     * at parse time instead of wrapping around later).
      */
     void parse(const std::vector<std::string> &tokens);
 
@@ -49,6 +51,15 @@ class ArgParser
     double getDouble(const std::string &name) const;
     std::uint64_t getSize(const std::string &name) const;
     bool getFlag(const std::string &name) const;
+
+    /**
+     * Range-validated getters: @throw UsageError naming the option
+     * and the accepted range when the value falls outside [min, max].
+     */
+    double getDouble(const std::string &name, double min,
+                     double max) const;
+    std::uint64_t getSize(const std::string &name, std::uint64_t min,
+                          std::uint64_t max) const;
 
     /** True if the option was explicitly given on the command line. */
     bool given(const std::string &name) const;

@@ -6,10 +6,12 @@
 
 #include "cli/args.h"
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "data/io.h"
+#include "perf/checkpoint.h"
 #include "ml/eval/cross_validation.h"
 #include "ml/registry.h"
 #include "ml/tree/m5prime.h"
@@ -26,23 +28,48 @@ namespace mtperf::cli {
 namespace {
 
 /**
- * The --threads flag every command accepts. 0 (the default) means
- * "auto": the MTPERF_THREADS environment variable if set, otherwise
- * the hardware concurrency.
+ * Flags every command accepts: --threads sizes the worker pool (0 =
+ * auto: the MTPERF_THREADS environment variable if set, otherwise the
+ * hardware concurrency) and --fault-spec arms deterministic fault
+ * injection for robustness testing.
  */
 void
-addThreadsOption(ArgParser &parser)
+addCommonOptions(ArgParser &parser)
 {
     parser.addSize("threads", 0,
                    "worker threads (0 = auto: MTPERF_THREADS env "
                    "or hardware concurrency)");
+    parser.addString("fault-spec", "",
+                     "arm fault injection: site[:prob[:max]],... "
+                     "(see DESIGN.md for the site catalogue)");
 }
 
-/** Size the global pool from --threads; call right after parse(). */
+/** Apply the common options; call right after parse(). */
 void
-applyThreadsOption(const ArgParser &parser)
+applyCommonOptions(const ArgParser &parser)
 {
-    setGlobalThreadCount(parser.getSize("threads"));
+    setGlobalThreadCount(parser.getSize("threads", 0, 1024));
+    if (parser.given("fault-spec"))
+        fault::configure(parser.getString("fault-spec"));
+    else
+        fault::configureFromEnv();
+}
+
+/** The --salvage flag for commands that read datasets. */
+void
+addSalvageOption(ArgParser &parser)
+{
+    parser.addFlag("salvage",
+                   "recover the valid rows of a damaged input instead "
+                   "of failing (drops are counted and logged)");
+}
+
+DatasetReadOptions
+datasetOptionsFrom(const ArgParser &parser)
+{
+    DatasetReadOptions options;
+    options.salvage = parser.getFlag("salvage");
+    return options;
 }
 
 /** Tree-option flags shared by train and crossval. */
@@ -65,13 +92,13 @@ treeOptionsFrom(const ArgParser &parser, std::size_t dataset_size)
     M5Options options;
     options.minInstances =
         parser.given("min-instances")
-            ? parser.getSize("min-instances")
+            ? parser.getSize("min-instances", 1, 1000000000)
             : std::max<std::size_t>(4, dataset_size / 22);
-    options.sdFraction = parser.getDouble("sd-fraction");
+    options.sdFraction = parser.getDouble("sd-fraction", 0.0, 1.0);
     options.prune = !parser.getFlag("no-prune");
     options.smooth = !parser.getFlag("no-smooth");
     options.simplifyModels = !parser.getFlag("no-simplify");
-    options.maxDepth = parser.getSize("max-depth");
+    options.maxDepth = parser.getSize("max-depth", 0, 255);
     return options;
 }
 
@@ -102,17 +129,25 @@ cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
     parser.addSize("instructions", 10000, "instructions per section");
     parser.addSize("seed", 42, "master seed");
     parser.addDouble("jitter", 0.18, "per-section parameter jitter");
-    addThreadsOption(parser);
+    parser.addString("checkpoint", "",
+                     "checkpoint path for crash-safe resume (completed "
+                     "workloads survive a kill; removed on success)");
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
     workload::RunnerOptions options;
-    options.sectionScale = parser.getDouble("scale");
-    options.instructionsPerSection = parser.getSize("instructions");
+    options.sectionScale = parser.getDouble("scale", 1e-6, 1e6);
+    options.instructionsPerSection =
+        parser.getSize("instructions", 1, 1000000000000ULL);
     options.seed = parser.getSize("seed");
-    options.paramJitter = parser.getDouble("jitter");
+    options.paramJitter = parser.getDouble("jitter", 0.0, 1.0);
 
-    const Dataset ds = perf::collectSuiteDataset(options);
+    const std::string checkpoint = parser.getString("checkpoint");
+    const Dataset ds =
+        checkpoint.empty()
+            ? perf::collectSuiteDataset(options)
+            : perf::collectSuiteDatasetCheckpointed(options, checkpoint);
     writeDatasetCsvFile(parser.getString("out"), ds);
     out << "wrote " << ds.size() << " sections to "
         << parser.getString("out") << "\n";
@@ -130,20 +165,24 @@ cmdTrain(const std::vector<std::string> &args, std::ostream &out)
                      "learner spec (RegressorFactory name[:key=value,...]; "
                      "must resolve to an M5' tree to be saved)");
     addTreeOptions(parser);
-    addThreadsOption(parser);
+    addSalvageOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
-                           parser.getString("target"));
+                           parser.getString("target"),
+                           datasetOptionsFrom(parser));
+    if (ds.size() == 0)
+        mtperf_fatal("training dataset is empty");
     auto learner = learnerFrom(parser, ds.size());
     learner->fit(ds);
 
     auto *tree = dynamic_cast<M5Prime *>(learner.get());
     if (tree == nullptr)
-        mtperf_fatal("only m5prime learners can be saved as model "
-                     "files; got ", learner->name());
+        throw UsageError("only m5prime learners can be saved as model "
+                         "files; got " + learner->name());
     tree->saveFile(parser.getString("out"));
 
     out << tree->toString() << "\n";
@@ -157,9 +196,9 @@ cmdPrint(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
     parser.addString("model", "", "saved model path", true);
-    addThreadsOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     out << tree.toString();
     return 0;
@@ -173,14 +212,16 @@ cmdPredict(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("data", "", "CSV to predict on", true);
     parser.addString("out", "", "optional predictions CSV path");
     parser.addString("target", "CPI", "target column name");
-    addThreadsOption(parser);
+    addSalvageOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
-                           parser.getString("target"));
+                           parser.getString("target"),
+                           datasetOptionsFrom(parser));
     if (!(ds.schema() == tree.schema()))
         mtperf_fatal("dataset schema does not match the model's");
 
@@ -215,14 +256,16 @@ cmdAnalyze(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("data", "", "CSV to analyze", true);
     parser.addString("target", "CPI", "target column name");
     parser.addFlag("json", "emit the report as JSON");
-    addThreadsOption(parser);
+    addSalvageOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
-                           parser.getString("target"));
+                           parser.getString("target"),
+                           datasetOptionsFrom(parser));
     if (!(ds.schema() == tree.schema()))
         mtperf_fatal("dataset schema does not match the model's");
 
@@ -247,20 +290,26 @@ cmdCrossval(const std::vector<std::string> &args, std::ostream &out)
     parser.addSize("folds", 10, "number of folds");
     parser.addSize("seed", 7, "fold-shuffle seed");
     addTreeOptions(parser);
-    addThreadsOption(parser);
+    addSalvageOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
+    const std::uint64_t folds = parser.getSize("folds", 2, 1000);
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
-                           parser.getString("target"));
+                           parser.getString("target"),
+                           datasetOptionsFrom(parser));
+    if (folds > ds.size()) {
+        throw UsageError("--folds " + std::to_string(folds) +
+                         " exceeds the dataset's " +
+                         std::to_string(ds.size()) + " rows");
+    }
     const auto prototype = learnerFrom(parser, ds.size());
-    const auto cv = crossValidate(*prototype, ds,
-                                  parser.getSize("folds"),
+    const auto cv = crossValidate(*prototype, ds, folds,
                                   parser.getSize("seed"));
 
-    out << parser.getSize("folds")
-        << "-fold CV: " << cv.pooled.summary() << "\n";
+    out << folds << "-fold CV: " << cv.pooled.summary() << "\n";
     for (std::size_t f = 0; f < cv.perFold.size(); ++f)
         out << "  fold " << (f + 1) << ": "
             << cv.perFold[f].summary() << "\n";
@@ -275,17 +324,20 @@ cmdDiff(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("before", "", "baseline section CSV", true);
     parser.addString("after", "", "changed-run section CSV", true);
     parser.addString("target", "CPI", "target column name");
-    addThreadsOption(parser);
+    addSalvageOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
     const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
     const Dataset before =
         readDatasetCsvFile(parser.getString("before"),
-                           parser.getString("target"));
+                           parser.getString("target"),
+                           datasetOptionsFrom(parser));
     const Dataset after =
         readDatasetCsvFile(parser.getString("after"),
-                           parser.getString("target"));
+                           parser.getString("target"),
+                           datasetOptionsFrom(parser));
     const perf::DiffReport report =
         perf::diffDatasets(tree, before, after);
     out << perf::formatDiff(report, tree);
@@ -300,14 +352,15 @@ cmdStack(const std::vector<std::string> &args, std::ostream &out)
                      "suite workload name (see suite_explorer)", true);
     parser.addSize("instructions", 500000, "instructions to simulate");
     parser.addSize("seed", 42, "stream seed");
-    addThreadsOption(parser);
+    addCommonOptions(parser);
     parser.parse(args);
-    applyThreadsOption(parser);
+    applyCommonOptions(parser);
 
     const auto spec =
         workload::suiteWorkload(parser.getString("workload"));
     uarch::Core core;
-    const std::uint64_t budget = parser.getSize("instructions");
+    const std::uint64_t budget =
+        parser.getSize("instructions", 1, 1000000000000ULL);
     std::uint64_t executed = 0;
     for (const auto &phase : spec.phases) {
         workload::StreamGenerator gen(phase.params,
@@ -370,12 +423,17 @@ usageText()
            "\n"
            "every command accepts --threads N to size the worker\n"
            "pool (0 = auto: MTPERF_THREADS env, else hardware\n"
-           "concurrency; 1 = fully serial). train and crossval take\n"
+           "concurrency; 1 = fully serial) and --fault-spec to arm\n"
+           "deterministic fault injection. commands that read\n"
+           "datasets accept --salvage to recover the valid rows of a\n"
+           "damaged file. simulate --checkpoint PATH resumes a killed\n"
+           "run. train and crossval take\n"
            "--model name[:key=value,...] to pick the learner, e.g.\n"
            "--model mlp:hidden=24-12,epochs=250.\n"
            "\n"
-           "every command fails fast with a message naming any\n"
-           "unknown or missing option.\n";
+           "exit codes: 0 success, 2 usage error (bad flags or\n"
+           "values), 3 bad data (missing, corrupt or unparsable\n"
+           "input), 4 internal error.\n";
 }
 
 int
@@ -399,9 +457,17 @@ runCommand(const std::string &subcommand,
             return cmdDiff(args, out);
         if (subcommand == "stack")
             return cmdStack(args, out);
+    } catch (const UsageError &e) {
+        out << "usage error: " << e.what() << "\n";
+        return 2;
     } catch (const FatalError &e) {
         out << "error: " << e.what() << "\n";
-        return 1;
+        return 3;
+    } catch (const std::exception &e) {
+        // Anything not raised through the mtperf error taxonomy is an
+        // internal bug, not a user or data problem; distinguish it.
+        out << "internal error: " << e.what() << "\n";
+        return 4;
     }
     out << usageText();
     return subcommand == "help" ? 0 : 2;

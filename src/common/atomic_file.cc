@@ -1,0 +1,78 @@
+#include "common/atomic_file.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace mtperf {
+
+AtomicFile::AtomicFile(const std::string &path, bool binary)
+    : path_(path), temp_(path + ".tmp")
+{
+    MTPERF_FAULT_POINT("fs.open.fail");
+    auto mode = std::ios::out | std::ios::trunc;
+    if (binary)
+        mode |= std::ios::binary;
+    out_.open(temp_, mode);
+    if (!out_)
+        mtperf_fatal("cannot open '", temp_, "' for writing");
+}
+
+AtomicFile::~AtomicFile()
+{
+    if (!done_)
+        discard();
+}
+
+void
+AtomicFile::commit()
+{
+    mtperf_assert(!done_, "commit() on a finished AtomicFile");
+    out_.flush();
+    const bool write_ok = static_cast<bool>(out_);
+    out_.close();
+    std::error_code ec;
+    if (!write_ok) {
+        std::filesystem::remove(temp_, ec);
+        done_ = true;
+        mtperf_fatal("write to '", temp_, "' failed; '", path_,
+                     "' left untouched");
+    }
+    try {
+        MTPERF_FAULT_POINT("atomic.commit.fail");
+        std::filesystem::rename(temp_, path_);
+    } catch (const std::filesystem::filesystem_error &e) {
+        std::filesystem::remove(temp_, ec);
+        done_ = true;
+        mtperf_fatal("cannot rename '", temp_, "' to '", path_,
+                     "': ", e.what());
+    } catch (...) {
+        std::filesystem::remove(temp_, ec);
+        done_ = true;
+        throw;
+    }
+    done_ = true;
+}
+
+void
+AtomicFile::discard()
+{
+    done_ = true;
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(temp_, ec);
+}
+
+void
+atomicWriteFile(const std::string &path,
+                const std::function<void(std::ostream &)> &writer,
+                bool binary)
+{
+    AtomicFile file(path, binary);
+    writer(file.stream());
+    file.commit();
+}
+
+} // namespace mtperf

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Crash-safe file writes: write a temp file, flush, then rename.
+ *
+ * Every artifact a later pipeline stage trusts (traces, trained
+ * models, dataset CSVs, checkpoints) is written through this class so
+ * that a process killed mid-write can never leave a half-written file
+ * at the final path: either the complete new content is renamed into
+ * place on commit(), or the old content (or absence) survives
+ * untouched. The temp file lives next to the target (same directory,
+ * ".tmp" suffix) so the rename stays within one filesystem.
+ */
+
+#ifndef MTPERF_COMMON_ATOMIC_FILE_H_
+#define MTPERF_COMMON_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace mtperf {
+
+/**
+ * An output file that only appears at its final path on commit().
+ * Destruction without commit() (e.g. during exception unwind)
+ * discards the temp file and leaves the target untouched.
+ */
+class AtomicFile
+{
+  public:
+    /**
+     * Open @p path's temp sibling for writing.
+     * @throw FatalError when the temp file cannot be opened.
+     */
+    explicit AtomicFile(const std::string &path, bool binary = false);
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /** The stream to write content to. */
+    std::ofstream &stream() { return out_; }
+
+    const std::string &path() const { return path_; }
+    const std::string &tempPath() const { return temp_; }
+
+    /**
+     * Flush, close and rename the temp file over the target.
+     * @throw FatalError when any step fails (the temp is removed and
+     * the target stays untouched).
+     */
+    void commit();
+
+    /** Close and delete the temp file; the target stays untouched. */
+    void discard();
+
+  private:
+    std::string path_;
+    std::string temp_;
+    std::ofstream out_;
+    bool done_ = false;
+};
+
+/**
+ * Convenience wrapper: run @p writer against a temp-file stream, then
+ * commit. Any exception from @p writer discards the temp file first.
+ */
+void atomicWriteFile(const std::string &path,
+                     const std::function<void(std::ostream &)> &writer,
+                     bool binary = false);
+
+} // namespace mtperf
+
+#endif // MTPERF_COMMON_ATOMIC_FILE_H_

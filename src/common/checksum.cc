@@ -1,0 +1,69 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace mtperf {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t n)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = kTable[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+crc32Hex(std::uint32_t crc)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
+        out[i] = digits[crc & 0xFu];
+        crc >>= 4;
+    }
+    return out;
+}
+
+bool
+parseCrc32Hex(std::string_view text, std::uint32_t &out)
+{
+    if (text.size() != 8)
+        return false;
+    std::uint32_t value = 0;
+    for (char c : text) {
+        value <<= 4;
+        if (c >= '0' && c <= '9')
+            value |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            value |= static_cast<std::uint32_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    out = value;
+    return true;
+}
+
+} // namespace mtperf

@@ -3,9 +3,66 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/checksum.h"
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace mtperf {
+
+namespace {
+
+constexpr const char *kFooterPrefix = "#mtperf-footer ";
+
+/** "source:line:" or "source:line:column:" error location prefix. */
+std::string
+at(const std::string &source, std::size_t line_no, std::size_t column = 0)
+{
+    std::string where = source + ":" + std::to_string(line_no);
+    if (column != 0)
+        where += ":" + std::to_string(column);
+    return where + ": ";
+}
+
+/**
+ * Parse and check a "#mtperf-footer rows=N crc32=HHHHHHHH" line
+ * against the observed content. @return an error message, empty on
+ * success.
+ */
+std::string
+checkFooter(const std::string &line, std::size_t rows_seen,
+            std::uint32_t content_crc)
+{
+    std::istringstream fields(line.substr(std::string(kFooterPrefix).size()));
+    std::string rows_word, crc_word;
+    if (!(fields >> rows_word >> crc_word) ||
+        !startsWith(rows_word, "rows=") || !startsWith(crc_word, "crc32=")) {
+        return "malformed integrity footer";
+    }
+    std::uint64_t rows = 0;
+    try {
+        rows = parseSize(rows_word.substr(5), "footer row count");
+    } catch (const FatalError &) {
+        return "malformed integrity footer row count";
+    }
+    std::uint32_t crc = 0;
+    if (!parseCrc32Hex(crc_word.substr(6), crc))
+        return "malformed integrity footer checksum";
+    if (rows != rows_seen) {
+        return "integrity footer expects " + std::to_string(rows) +
+               " rows but the file has " + std::to_string(rows_seen) +
+               " (truncated or corrupt)";
+    }
+    if (crc != content_crc) {
+        return "integrity checksum mismatch (expected " + crc32Hex(crc) +
+               ", content hashes to " + crc32Hex(content_crc) +
+               "; the file is corrupt)";
+    }
+    return {};
+}
+
+} // namespace
 
 std::size_t
 CsvTable::columnIndex(const std::string &name) const
@@ -14,15 +71,23 @@ CsvTable::columnIndex(const std::string &name) const
         if (header[i] == name)
             return i;
     }
-    mtperf_fatal("CSV has no column named '", name, "'");
+    mtperf_fatal(source, ": CSV has no column named '", name, "'");
 }
 
 std::vector<std::string>
 parseCsvLine(const std::string &line)
 {
+    return parseCsvLine(line, "<csv>", 0);
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line, const std::string &source,
+             std::size_t line_no)
+{
     std::vector<std::string> fields;
     std::string field;
     bool in_quotes = false;
+    std::size_t quote_column = 0;
     for (std::size_t i = 0; i < line.size(); ++i) {
         const char c = line[i];
         if (in_quotes) {
@@ -38,6 +103,7 @@ parseCsvLine(const std::string &line)
             }
         } else if (c == '"') {
             in_quotes = true;
+            quote_column = i + 1;
         } else if (c == ',') {
             fields.push_back(std::move(field));
             field.clear();
@@ -45,8 +111,10 @@ parseCsvLine(const std::string &line)
             field.push_back(c);
         }
     }
-    if (in_quotes)
-        mtperf_fatal("unterminated quote in CSV line: ", line);
+    if (in_quotes) {
+        mtperf_fatal(at(source, line_no, quote_column),
+                     "unterminated quote in CSV line");
+    }
     fields.push_back(std::move(field));
     return fields;
 }
@@ -68,39 +136,88 @@ csvEscape(const std::string &field)
 }
 
 CsvTable
-readCsv(std::istream &in)
+readCsv(std::istream &in, const std::string &source,
+        const CsvReadOptions &options)
 {
     CsvTable table;
+    table.source = source;
     std::string line;
     bool have_header = false;
+    bool footer_seen = false;
+    std::size_t line_no = 0;
+    Crc32 content_crc;
     while (std::getline(in, line)) {
-        if (line.empty() || line == "\r")
+        ++line_no;
+        if (startsWith(line, kFooterPrefix)) {
+            footer_seen = true;
+            const std::string error =
+                checkFooter(line, table.rows.size(), content_crc.value());
+            if (error.empty()) {
+                table.footerVerified = true;
+            } else if (options.salvage) {
+                warn(at(source, line_no), error, " (salvaging)");
+            } else {
+                mtperf_fatal(at(source, line_no), error);
+            }
             continue;
-        auto fields = parseCsvLine(line);
+        }
+        // The footer checksum covers every content line, including
+        // comments and blanks, exactly as written ('\n' endings).
+        content_crc.update(line);
+        content_crc.update("\n", 1);
+        if (line.empty() || line == "\r" || line[0] == '#')
+            continue;
+        std::vector<std::string> fields;
+        try {
+            fields = parseCsvLine(line, source, line_no);
+        } catch (const FatalError &) {
+            if (!options.salvage)
+                throw;
+            ++table.droppedRows;
+            continue;
+        }
         if (!have_header) {
             table.header = std::move(fields);
             have_header = true;
         } else {
             if (fields.size() != table.header.size()) {
-                mtperf_fatal("ragged CSV row: expected ",
+                if (options.salvage) {
+                    ++table.droppedRows;
+                    continue;
+                }
+                mtperf_fatal(at(source, line_no),
+                             "ragged CSV row: expected ",
                              table.header.size(), " fields, got ",
                              fields.size());
             }
             table.rows.push_back(std::move(fields));
+            table.rowLines.push_back(line_no);
         }
     }
     if (!have_header)
-        mtperf_fatal("empty CSV input");
+        mtperf_fatal(source, ": empty CSV input");
+    if (!footer_seen) {
+        // Either a foreign CSV or an mtperf CSV whose tail (rows and
+        // footer) was cut off -- the two are indistinguishable, so
+        // accept the data but say that completeness is unverified.
+        warn(source, ": no integrity footer; truncation would be "
+             "undetectable");
+    }
+    if (table.droppedRows > 0) {
+        warn(source, ": salvage dropped ", table.droppedRows,
+             " malformed CSV row", table.droppedRows == 1 ? "" : "s");
+    }
     return table;
 }
 
 CsvTable
-readCsvFile(const std::string &path)
+readCsvFile(const std::string &path, const CsvReadOptions &options)
 {
+    MTPERF_FAULT_POINT("fs.open.fail");
     std::ifstream in(path);
     if (!in)
         mtperf_fatal("cannot open CSV file: ", path);
-    return readCsv(in);
+    return readCsv(in, path, options);
 }
 
 void
@@ -122,10 +239,14 @@ writeCsv(std::ostream &out, const CsvTable &table)
 void
 writeCsvFile(const std::string &path, const CsvTable &table)
 {
-    std::ofstream out(path);
-    if (!out)
-        mtperf_fatal("cannot open CSV file for writing: ", path);
-    writeCsv(out, table);
+    std::ostringstream content;
+    writeCsv(content, table);
+    MTPERF_FAULT_POINT("csv.write.fail");
+    const std::string text = content.str();
+    atomicWriteFile(path, [&](std::ostream &out) {
+        out << text << kFooterPrefix << "rows=" << table.rows.size()
+            << " crc32=" << crc32Hex(crc32(text)) << "\n";
+    });
 }
 
 } // namespace mtperf

@@ -1,11 +1,22 @@
 /**
  * @file
- * Minimal CSV reading and writing.
+ * Minimal CSV reading and writing, with positions and integrity.
  *
  * Supports the subset of CSV the library produces and consumes:
  * comma-separated fields, optional double-quote quoting with embedded
  * commas/quotes, one header row. This is deliberately not a general
  * RFC-4180 implementation (no embedded newlines in fields).
+ *
+ * Robustness contract:
+ *  - every parse error names the source and 1-based line (and column
+ *    where one exists), e.g. "data.csv:17:42: unterminated quote";
+ *  - lines starting with '#' are comments and are skipped;
+ *  - a trailing "#mtperf-footer rows=N crc32=HHHHHHHH" line (written
+ *    by writeCsvFile) lets readers detect truncation and bit flips in
+ *    otherwise-well-formed text; files without a footer are accepted
+ *    (foreign CSVs) but cannot be integrity-checked;
+ *  - salvage mode recovers the valid rows instead of failing, and the
+ *    table reports how many rows were dropped.
  */
 
 #ifndef MTPERF_COMMON_CSV_H_
@@ -17,14 +28,44 @@
 
 namespace mtperf {
 
+/** How readCsv() treats malformed rows and integrity failures. */
+struct CsvReadOptions
+{
+    /**
+     * When true, drop malformed rows (and tolerate a bad or missing
+     * integrity footer) instead of throwing; drops are counted on the
+     * returned table and logged.
+     */
+    bool salvage = false;
+};
+
 /** An in-memory CSV table: a header plus data rows of equal width. */
 struct CsvTable
 {
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
 
+    /** Where the table came from ("<stream>" or a file path). */
+    std::string source = "<csv>";
+
+    /** 1-based source line of each row (parallel to rows). */
+    std::vector<std::size_t> rowLines;
+
+    /** True when an integrity footer was present and verified. */
+    bool footerVerified = false;
+
+    /** Rows dropped in salvage mode. */
+    std::size_t droppedRows = 0;
+
     /** Number of columns (from the header). */
     std::size_t columns() const { return header.size(); }
+
+    /** 1-based source line of row @p r (0 when unknown). */
+    std::size_t
+    rowLine(std::size_t r) const
+    {
+        return r < rowLines.size() ? rowLines[r] : 0;
+    }
 
     /**
      * Index of the named column.
@@ -36,25 +77,39 @@ struct CsvTable
 /** Parse a single CSV line into fields, honoring quoting. */
 std::vector<std::string> parseCsvLine(const std::string &line);
 
+/**
+ * Parse a single CSV line, reporting errors as "source:line:column".
+ */
+std::vector<std::string> parseCsvLine(const std::string &line,
+                                      const std::string &source,
+                                      std::size_t line_no);
+
 /** Quote a field if it needs quoting, else return it unchanged. */
 std::string csvEscape(const std::string &field);
 
 /**
- * Read a CSV table from a stream.
- * @throw FatalError on ragged rows or an empty file.
+ * Read a CSV table from a stream. @p source names the stream in
+ * error messages.
+ * @throw FatalError on ragged rows, an empty file, or an integrity
+ * footer that does not match the content (unless salvaging).
  */
-CsvTable readCsv(std::istream &in);
+CsvTable readCsv(std::istream &in, const std::string &source = "<csv>",
+                 const CsvReadOptions &options = {});
 
 /**
  * Read a CSV table from a file path.
  * @throw FatalError if the file cannot be opened.
  */
-CsvTable readCsvFile(const std::string &path);
+CsvTable readCsvFile(const std::string &path,
+                     const CsvReadOptions &options = {});
 
-/** Write @p table to a stream. */
+/** Write @p table to a stream (no integrity footer). */
 void writeCsv(std::ostream &out, const CsvTable &table);
 
-/** Write @p table to a file, replacing any existing content. */
+/**
+ * Atomically write @p table to a file with an integrity footer: the
+ * file appears complete-with-footer or not at all.
+ */
 void writeCsvFile(const std::string &path, const CsvTable &table);
 
 } // namespace mtperf

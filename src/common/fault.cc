@@ -1,0 +1,164 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace mtperf::fault {
+
+namespace detail {
+std::atomic<bool> armed{false};
+} // namespace detail
+
+namespace {
+
+struct Site
+{
+    double prob = 1.0;
+    std::uint64_t maxTriggers = UINT64_MAX;
+    std::uint64_t visits = 0;
+    std::uint64_t triggered = 0;
+};
+
+std::mutex registryMutex;
+std::map<std::string, Site> registry;
+std::uint64_t faultSeed = 0;
+
+std::uint64_t
+fnv1a(std::string_view text)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (char c : text)
+        hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    return hash;
+}
+
+/** splitmix64: a well-mixed pure function of its input. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+configure(const std::string &spec, std::uint64_t seed)
+{
+    std::map<std::string, Site> parsed;
+    for (const std::string &entry : split(trim(spec), ',')) {
+        const std::string item = trim(entry);
+        if (item.empty())
+            continue;
+        const auto fields = split(item, ':');
+        if (fields.size() > 3 || trim(fields[0]).empty()) {
+            throw UsageError("bad fault spec '" + item +
+                             "' (want site[:prob[:max]])");
+        }
+        Site site;
+        try {
+            if (fields.size() >= 2) {
+                site.prob = parseDouble(
+                    fields[1], "fault probability in '" + item + "'");
+            }
+            if (fields.size() == 3) {
+                site.maxTriggers = parseSize(
+                    fields[2], "fault trigger budget in '" + item + "'");
+            }
+        } catch (const FatalError &e) {
+            throw UsageError(e.what());
+        }
+        if (site.prob < 0.0 || site.prob > 1.0) {
+            throw UsageError("fault probability out of [0,1] in '" +
+                             item + "'");
+        }
+        parsed[trim(fields[0])] = site;
+    }
+
+    std::lock_guard<std::mutex> lock(registryMutex);
+    registry = std::move(parsed);
+    faultSeed = seed;
+    detail::armed.store(!registry.empty(), std::memory_order_relaxed);
+}
+
+void
+configureFromEnv()
+{
+    const char *spec = std::getenv("MTPERF_FAULTS");
+    if (spec == nullptr || *spec == '\0')
+        return;
+    std::uint64_t seed = 0;
+    if (const char *seed_env = std::getenv("MTPERF_FAULT_SEED"))
+        seed = parseSize(seed_env, "MTPERF_FAULT_SEED");
+    configure(spec, seed);
+}
+
+void
+clear()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    registry.clear();
+    detail::armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+shouldFail(const char *site)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    const auto it = registry.find(site);
+    if (it == registry.end())
+        return false;
+    Site &s = it->second;
+    const std::uint64_t visit = s.visits++;
+    if (s.triggered >= s.maxTriggers)
+        return false;
+    bool fire;
+    if (s.prob >= 1.0) {
+        fire = true;
+    } else if (s.prob <= 0.0) {
+        fire = false;
+    } else {
+        // A pure function of (seed, site, visit index): the same spec
+        // reproduces the same failure schedule in every run.
+        const std::uint64_t h = mix(faultSeed ^ fnv1a(site) ^
+                                    (visit * 0x9E3779B97F4A7C15ULL));
+        fire = static_cast<double>(h >> 11) * 0x1.0p-53 < s.prob;
+    }
+    if (fire)
+        ++s.triggered;
+    return fire;
+}
+
+std::uint64_t
+visits(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    const auto it = registry.find(site);
+    return it == registry.end() ? 0 : it->second.visits;
+}
+
+std::uint64_t
+triggered(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    const auto it = registry.find(site);
+    return it == registry.end() ? 0 : it->second.triggered;
+}
+
+std::vector<std::string>
+activeSites()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    std::vector<std::string> names;
+    names.reserve(registry.size());
+    for (const auto &[name, site] : registry)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace mtperf::fault

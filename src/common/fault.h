@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Seed-deterministic fault injection for failure rehearsal.
+ *
+ * Long pipelines die in ways unit tests rarely exercise: a disk fills
+ * mid-write, a worker task throws, an open() fails under pressure.
+ * This registry lets tests and operators make those failures happen
+ * *on purpose and reproducibly*: code marks named fault points
+ * (MTPERF_FAULT_POINT("trace.write.short")), and a spec — from the
+ * --fault-spec CLI flag or the MTPERF_FAULTS environment variable —
+ * arms a subset of them with a trigger probability and an optional
+ * trigger budget.
+ *
+ * Spec grammar (comma-separated):
+ *
+ *     site[:prob[:max]]
+ *
+ * e.g. "fs.open.fail" (always fire), "pool.task.throw:0.25" (fire on
+ * a deterministic 25% of visits), "trace.write.short:1:1" (fire on
+ * the first visit only). Decisions are a pure function of
+ * (seed, site, visit index), so the same spec and seed reproduce the
+ * same failure schedule run after run.
+ *
+ * Cost when disarmed: a single relaxed atomic load per fault point
+ * (the registry is consulted only once some spec armed it). Defining
+ * MTPERF_DISABLE_FAULT_INJECTION compiles every fault point to
+ * nothing for shipping builds that must not carry the hooks.
+ *
+ * Fault-point catalogue (kept current in DESIGN.md "Robustness"):
+ *   fs.open.fail          opening any artifact for read or write
+ *   atomic.commit.fail    the rename step of an atomic file write
+ *   trace.write.short     a trace record write is cut short mid-record
+ *   model.save.fail       M5' model serialization fails mid-stream
+ *   csv.write.fail        CSV/dataset export fails mid-stream
+ *   pool.task.throw       a thread-pool task throws
+ *   sim.workload.fail     a suite workload simulation dies
+ *   checkpoint.write.fail persisting a suite checkpoint fails
+ */
+
+#ifndef MTPERF_COMMON_FAULT_H_
+#define MTPERF_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mtperf::fault {
+
+/**
+ * The error an armed fault point throws. Derives from FatalError so
+ * generic error handling (CLI exit codes, parallel-loop rethrow)
+ * treats an injected failure exactly like the real one it rehearses.
+ */
+class InjectedFault : public FatalError
+{
+  public:
+    explicit InjectedFault(const std::string &site)
+        : FatalError("injected fault at '" + site + "'"), site_(site)
+    {}
+
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+namespace detail {
+extern std::atomic<bool> armed;
+} // namespace detail
+
+/** True once configure() armed at least one site. */
+inline bool
+armed()
+{
+    return detail::armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Arm the registry from a spec string (see the grammar above). An
+ * empty spec disarms everything. @p seed drives the deterministic
+ * per-visit trigger decisions.
+ * @throw UsageError on a malformed spec.
+ */
+void configure(const std::string &spec, std::uint64_t seed = 0);
+
+/**
+ * Arm from the MTPERF_FAULTS environment variable (seed from
+ * MTPERF_FAULT_SEED, default 0). No-op when the variable is unset, so
+ * programmatic configure() calls survive.
+ */
+void configureFromEnv();
+
+/** Disarm every site and forget all counters. */
+void clear();
+
+/**
+ * Deterministically decide whether the fault at @p site fires on this
+ * visit. Counts the visit either way. Most callers use
+ * MTPERF_FAULT_POINT instead; call this directly only when the
+ * failure needs site-specific behavior (e.g. a short write) rather
+ * than a plain throw.
+ */
+bool shouldFail(const char *site);
+
+/** Visits a site has seen since it was armed (0 if never armed). */
+std::uint64_t visits(const std::string &site);
+
+/** Times a site actually fired. */
+std::uint64_t triggered(const std::string &site);
+
+/** The armed site names, for diagnostics. */
+std::vector<std::string> activeSites();
+
+} // namespace mtperf::fault
+
+#ifdef MTPERF_DISABLE_FAULT_INJECTION
+#define MTPERF_FAULT_POINT(site) ((void)0)
+#else
+/** Throw InjectedFault at a named site when armed and triggered. */
+#define MTPERF_FAULT_POINT(site)                                          \
+    do {                                                                  \
+        if (::mtperf::fault::armed() &&                                   \
+            ::mtperf::fault::shouldFail(site)) {                          \
+            throw ::mtperf::fault::InjectedFault(site);                   \
+        }                                                                 \
+    } while (0)
+#endif
+
+#endif // MTPERF_COMMON_FAULT_H_

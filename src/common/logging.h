@@ -23,6 +23,17 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/**
+ * A FatalError caused by how the tool was invoked (bad flags, values
+ * out of range) rather than by what it read. The CLI maps UsageError
+ * to exit code 2 and other FatalErrors to exit code 3 (bad data).
+ */
+class UsageError : public FatalError
+{
+  public:
+    explicit UsageError(const std::string &msg) : FatalError(msg) {}
+};
+
 /** Severity levels for log messages. */
 enum class LogLevel { Debug, Info, Warn, Error };
 

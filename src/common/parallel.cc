@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace mtperf {
@@ -83,6 +84,7 @@ ThreadPool::runJob(const std::shared_ptr<Job> &job)
         if (i >= job->n)
             break;
         try {
+            MTPERF_FAULT_POINT("pool.task.throw");
             (*job->body)(i);
         } catch (...) {
             std::lock_guard<std::mutex> lock(job->doneMutex);
@@ -105,8 +107,10 @@ ThreadPool::parallelFor(std::size_t n,
         return;
     if (threads_ <= 1 || n == 1 || poolTaskDepth > 0) {
         // The exact serial code path (also taken for nested loops).
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            MTPERF_FAULT_POINT("pool.task.throw");
             body(i);
+        }
         return;
     }
 

@@ -75,6 +75,21 @@ parseDouble(std::string_view text, std::string_view context)
     return value;
 }
 
+std::uint64_t
+parseSize(std::string_view text, std::string_view context)
+{
+    const std::string trimmed = trim(text);
+    std::uint64_t value = 0;
+    const char *first = trimmed.data();
+    const char *last = trimmed.data() + trimmed.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (trimmed.empty() || ec != std::errc() || ptr != last) {
+        mtperf_fatal("cannot parse '", trimmed,
+                     "' as a non-negative integer (", context, ")");
+    }
+    return value;
+}
+
 std::string
 padRight(std::string_view text, std::size_t width)
 {

@@ -6,6 +6,7 @@
 #ifndef MTPERF_COMMON_STRINGS_H_
 #define MTPERF_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,14 @@ std::string formatDouble(double value, int digits);
 
 /** Parse a double, throwing FatalError with context on failure. */
 double parseDouble(std::string_view text, std::string_view context);
+
+/**
+ * Parse a non-negative integer. Unlike parseDouble(), this rejects
+ * signs, fractions and values that overflow 64 bits, so "--threads -1"
+ * cannot silently wrap to a huge count.
+ * @throw FatalError with context on failure.
+ */
+std::uint64_t parseSize(std::string_view text, std::string_view context);
 
 /** Right-pad @p text with spaces to at least @p width characters. */
 std::string padRight(std::string_view text, std::size_t width);

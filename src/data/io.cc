@@ -1,19 +1,53 @@
 #include "data/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace mtperf {
 
-Dataset
-readDatasetCsv(std::istream &in, const std::string &target_name)
+namespace {
+
+/** "source:line:field N (name)" context for one CSV cell. */
+std::string
+cellContext(const CsvTable &table, std::size_t row, std::size_t col)
 {
-    const CsvTable table = readCsv(in);
+    std::ostringstream os;
+    os << table.source << ":" << table.rowLine(row) << ":field "
+       << (col + 1);
+    if (col < table.header.size())
+        os << " (" << table.header[col] << ")";
+    return os.str();
+}
+
+} // namespace
+
+Dataset
+readDatasetCsv(std::istream &in, const std::string &target_name,
+               const DatasetReadOptions &options,
+               DatasetReadReport *report)
+{
+    CsvReadOptions csv_options;
+    csv_options.salvage = options.salvage;
+    const CsvTable table = readCsv(in, "<csv>", csv_options);
+    return datasetFromCsvTable(table, target_name, options, report);
+}
+
+Dataset
+datasetFromCsvTable(const CsvTable &table, const std::string &target_name,
+                    const DatasetReadOptions &options,
+                    DatasetReadReport *report)
+{
+    const bool drop_bad_rows = options.salvage;
+    const bool drop_non_finite =
+        options.salvage || options.nonFinite == NonFinitePolicy::Drop;
     const std::size_t target_col = table.columnIndex(target_name);
 
     std::size_t tag_col = Schema::npos;
@@ -32,28 +66,82 @@ readDatasetCsv(std::istream &in, const std::string &target_name)
 
     Dataset ds(Schema(std::move(attr_names), target_name));
     std::vector<double> attrs(attr_cols.size());
-    for (const auto &row : table.rows) {
-        for (std::size_t i = 0; i < attr_cols.size(); ++i)
-            attrs[i] = parseDouble(row[attr_cols[i]], "CSV cell");
-        const double target = parseDouble(row[target_col], "CSV target");
+    std::size_t dropped = table.droppedRows;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        const auto &row = table.rows[r];
+        bool row_ok = true;
+        double target = 0.0;
+        try {
+            for (std::size_t i = 0; i < attr_cols.size(); ++i) {
+                attrs[i] = parseDouble(row[attr_cols[i]],
+                                       cellContext(table, r,
+                                                   attr_cols[i]));
+            }
+            target = parseDouble(row[target_col],
+                                 cellContext(table, r, target_col));
+        } catch (const FatalError &) {
+            if (!drop_bad_rows)
+                throw;
+            row_ok = false;
+        }
+        if (row_ok) {
+            std::size_t bad_col = Schema::npos;
+            for (std::size_t i = 0; i < attr_cols.size(); ++i) {
+                if (!std::isfinite(attrs[i])) {
+                    bad_col = attr_cols[i];
+                    break;
+                }
+            }
+            if (bad_col == Schema::npos && !std::isfinite(target))
+                bad_col = target_col;
+            if (bad_col != Schema::npos) {
+                if (!drop_non_finite) {
+                    mtperf_fatal(cellContext(table, r, bad_col),
+                                 ": non-finite value '", row[bad_col],
+                                 "' (use --salvage to drop such rows)");
+                }
+                row_ok = false;
+            }
+        }
+        if (!row_ok) {
+            ++dropped;
+            continue;
+        }
         std::string tag =
             tag_col == Schema::npos ? std::string() : row[tag_col];
         ds.addRow(attrs, target, std::move(tag));
+    }
+    if (dropped > table.droppedRows) {
+        warn(table.source, ": dropped ", dropped - table.droppedRows,
+             " row", dropped - table.droppedRows == 1 ? "" : "s",
+             " with unparsable or non-finite values");
+    }
+    if (report != nullptr) {
+        report->droppedRows = dropped;
+        report->footerVerified = table.footerVerified;
     }
     return ds;
 }
 
 Dataset
-readDatasetCsvFile(const std::string &path, const std::string &target_name)
+readDatasetCsvFile(const std::string &path, const std::string &target_name,
+                   const DatasetReadOptions &options,
+                   DatasetReadReport *report)
 {
+    MTPERF_FAULT_POINT("fs.open.fail");
     std::ifstream in(path);
     if (!in)
         mtperf_fatal("cannot open dataset file: ", path);
-    return readDatasetCsv(in, target_name);
+    CsvReadOptions csv_options;
+    csv_options.salvage = options.salvage;
+    const CsvTable table = readCsv(in, path, csv_options);
+    return datasetFromCsvTable(table, target_name, options, report);
 }
 
-void
-writeDatasetCsv(std::ostream &out, const Dataset &ds)
+namespace {
+
+CsvTable
+datasetToCsvTable(const Dataset &ds)
 {
     CsvTable table;
     table.header = ds.schema().attributeNames();
@@ -76,16 +164,21 @@ writeDatasetCsv(std::ostream &out, const Dataset &ds)
         row.push_back(ds.tag(r));
         table.rows.push_back(std::move(row));
     }
-    writeCsv(out, table);
+    return table;
+}
+
+} // namespace
+
+void
+writeDatasetCsv(std::ostream &out, const Dataset &ds)
+{
+    writeCsv(out, datasetToCsvTable(ds));
 }
 
 void
 writeDatasetCsvFile(const std::string &path, const Dataset &ds)
 {
-    std::ofstream out(path);
-    if (!out)
-        mtperf_fatal("cannot open dataset file for writing: ", path);
-    writeDatasetCsv(out, ds);
+    writeCsvFile(path, datasetToCsvTable(ds));
 }
 
 Dataset
@@ -157,7 +250,11 @@ readDatasetArff(std::istream &in)
                         tag = tag.substr(1, tag.size() - 2);
                     }
                 } else {
-                    values.push_back(parseDouble(fields[i], "ARFF cell"));
+                    const double v = parseDouble(fields[i], "ARFF cell");
+                    if (!std::isfinite(v))
+                        mtperf_fatal("ARFF: non-finite value '",
+                                     fields[i], "'");
+                    values.push_back(v);
                 }
             }
             const double target = values.back();
@@ -173,6 +270,7 @@ readDatasetArff(std::istream &in)
 Dataset
 readDatasetArffFile(const std::string &path)
 {
+    MTPERF_FAULT_POINT("fs.open.fail");
     std::ifstream in(path);
     if (!in)
         mtperf_fatal("cannot open ARFF file: ", path);
@@ -201,10 +299,9 @@ void
 writeDatasetArffFile(const std::string &path, const Dataset &ds,
                      const std::string &relation)
 {
-    std::ofstream out(path);
-    if (!out)
-        mtperf_fatal("cannot open ARFF file for writing: ", path);
-    writeDatasetArff(out, ds, relation);
+    atomicWriteFile(path, [&](std::ostream &out) {
+        writeDatasetArff(out, ds, relation);
+    });
 }
 
 } // namespace mtperf

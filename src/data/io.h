@@ -6,6 +6,12 @@
  * this library reads and writes both ARFF (numeric attributes only)
  * and plain CSV. A reserved CSV column name, "tag", round-trips the
  * per-row provenance label.
+ *
+ * Robustness: dataset CSV files are written atomically with an
+ * integrity footer (see common/csv.h), readers report errors as
+ * "file:line:field", non-finite values are rejected (or dropped under
+ * the Drop policy), and salvage mode recovers the valid rows of a
+ * damaged file while logging what was dropped.
  */
 
 #ifndef MTPERF_DATA_IO_H_
@@ -18,23 +24,68 @@
 
 namespace mtperf {
 
+struct CsvTable;
+
+/** What to do with NaN/Inf values at dataset ingestion. */
+enum class NonFinitePolicy {
+    Reject, //!< throw FatalError naming file, line and column
+    Drop,   //!< drop the offending row, count and log it
+};
+
+/** Parsing policy for dataset readers. */
+struct DatasetReadOptions
+{
+    /**
+     * Recover what can be recovered instead of failing: malformed
+     * rows are dropped and counted, and a bad or missing integrity
+     * footer degrades to a warning. Also switches the non-finite
+     * policy to Drop.
+     */
+    bool salvage = false;
+
+    /** NaN/Inf handling (salvage forces Drop). */
+    NonFinitePolicy nonFinite = NonFinitePolicy::Reject;
+};
+
+/** What a dataset read dropped or verified, for callers that care. */
+struct DatasetReadReport
+{
+    std::size_t droppedRows = 0;   //!< malformed or non-finite rows
+    bool footerVerified = false;   //!< CSV integrity footer checked OK
+};
+
 /**
  * Read a dataset from CSV. The column named @p target_name becomes the
  * target; a column named "tag", if present, becomes the row tag; every
  * other column becomes an attribute in file order.
  *
- * @throw FatalError on missing target column or non-numeric cells.
+ * @throw FatalError on missing target column, non-numeric cells or
+ * non-finite values (under the Reject policy), naming the source
+ * position.
  */
-Dataset readDatasetCsv(std::istream &in, const std::string &target_name);
+Dataset readDatasetCsv(std::istream &in, const std::string &target_name,
+                       const DatasetReadOptions &options = {},
+                       DatasetReadReport *report = nullptr);
+
+/** Convert an already-parsed CSV table into a dataset. */
+Dataset datasetFromCsvTable(const CsvTable &table,
+                            const std::string &target_name,
+                            const DatasetReadOptions &options = {},
+                            DatasetReadReport *report = nullptr);
 
 /** File-path convenience wrapper for readDatasetCsv(). */
 Dataset readDatasetCsvFile(const std::string &path,
-                           const std::string &target_name);
+                           const std::string &target_name,
+                           const DatasetReadOptions &options = {},
+                           DatasetReadReport *report = nullptr);
 
 /** Write @p ds as CSV: attributes, target column, then a tag column. */
 void writeDatasetCsv(std::ostream &out, const Dataset &ds);
 
-/** File-path convenience wrapper for writeDatasetCsv(). */
+/**
+ * Atomically write @p ds as CSV with an integrity footer; a killed
+ * process never leaves a partial file at @p path.
+ */
 void writeDatasetCsvFile(const std::string &path, const Dataset &ds);
 
 /**
@@ -51,7 +102,7 @@ Dataset readDatasetArffFile(const std::string &path);
 void writeDatasetArff(std::ostream &out, const Dataset &ds,
                       const std::string &relation);
 
-/** File-path convenience wrapper for writeDatasetArff(). */
+/** File-path convenience wrapper for writeDatasetArff() (atomic). */
 void writeDatasetArffFile(const std::string &path, const Dataset &ds,
                           const std::string &relation);
 

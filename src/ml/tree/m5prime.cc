@@ -4,15 +4,42 @@
 #include <cmath>
 #include <limits>
 #include <fstream>
+#include <iterator>
 #include <numeric>
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/checksum.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "math/stats.h"
 
 namespace mtperf {
+
+namespace {
+
+/**
+ * Guard a freshly fitted model against numeric blowup: a singular or
+ * ill-conditioned regression can yield NaN/Inf coefficients, which
+ * would poison every downstream prediction. Degrade to the node's
+ * mean target (a constant model) instead — the same fallback M5'
+ * already uses for leaves with no usable attributes.
+ */
+void
+guardFiniteModel(LinearModel &model, double mean_target)
+{
+    bool finite = std::isfinite(model.intercept());
+    for (const auto &term : model.terms())
+        finite = finite && std::isfinite(term.coef);
+    if (!finite) {
+        model = LinearModel::constant(
+            std::isfinite(mean_target) ? mean_target : 0.0);
+    }
+}
+
+} // namespace
 
 /** One tree node; leaves own their training rows until fit() ends. */
 struct M5Prime::Node
@@ -258,6 +285,7 @@ M5Prime::buildModels(Node &node, std::vector<std::size_t> &path_attrs)
         node.model = LinearModel::fit(ds, node.rows, attrs);
         if (options_.simplifyModels)
             node.model.simplify(ds, node.rows);
+        guardFiniteModel(node.model, node.meanTarget);
         return;
     }
 
@@ -288,6 +316,7 @@ M5Prime::buildModels(Node &node, std::vector<std::size_t> &path_attrs)
     node.model = LinearModel::fit(ds, node.rows, fit_attrs);
     if (options_.simplifyModels)
         node.model.simplify(ds, node.rows);
+    guardFiniteModel(node.model, node.meanTarget);
 }
 
 M5Prime::SubtreeCost
@@ -576,8 +605,18 @@ void
 M5Prime::save(std::ostream &os) const
 {
     mtperf_assert(root_ != nullptr, "save() before fit()");
-    os.precision(17);
-    os << "m5prime-model v1\n";
+    std::ostringstream body;
+    body.precision(17);
+    writeBody(body);
+    MTPERF_FAULT_POINT("model.save.fail");
+    const std::string text = body.str();
+    os << text << "checksum " << crc32Hex(crc32(text)) << "\n";
+}
+
+void
+M5Prime::writeBody(std::ostream &os) const
+{
+    os << "m5prime-model v2\n";
     os << "target " << schema_.targetName() << "\n";
     os << "attributes " << schema_.numAttributes() << "\n";
     for (std::size_t a = 0; a < schema_.numAttributes(); ++a)
@@ -620,52 +659,89 @@ M5Prime::save(std::ostream &os) const
 void
 M5Prime::saveFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        mtperf_fatal("cannot open model file for writing: ", path);
-    save(out);
+    atomicWriteFile(path, [this](std::ostream &out) { save(out); });
 }
 
 M5Prime
 M5Prime::load(std::istream &is)
 {
+    return load(is, "<stream>");
+}
+
+M5Prime
+M5Prime::load(std::istream &is, const std::string &source)
+{
+    // Slurp the whole input so the v2 checksum can be verified before
+    // a single byte is interpreted: corrupt files fail with a checksum
+    // diagnostic rather than a confusing parse error deep in the body.
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    if (startsWith(text, "m5prime-model v2")) {
+        const std::string marker = "\nchecksum ";
+        const auto pos = text.rfind(marker);
+        if (pos == std::string::npos) {
+            mtperf_fatal("corrupt model ", source,
+                         ": missing checksum footer (truncated file?)");
+        }
+        const std::string body = text.substr(0, pos + 1);
+        std::uint32_t stored = 0;
+        if (!parseCrc32Hex(trim(text.substr(pos + marker.size())),
+                           stored)) {
+            mtperf_fatal("corrupt model ", source,
+                         ": malformed checksum footer");
+        }
+        const std::uint32_t actual = crc32(body);
+        if (stored != actual) {
+            mtperf_fatal("corrupt model ", source,
+                         ": checksum mismatch (footer says ",
+                         crc32Hex(stored), ", content hashes to ",
+                         crc32Hex(actual), ")");
+        }
+        text = body;
+    }
+
+    std::istringstream in(text);
     std::string word;
-    auto expect = [&is, &word](const char *expected) {
-        if (!(is >> word) || word != expected)
-            mtperf_fatal("malformed model file: expected '", expected,
-                         "', got '", word, "'");
+    auto expect = [&in, &word, &source](const char *expected) {
+        if (!(in >> word) || word != expected)
+            mtperf_fatal("malformed model ", source, ": expected '",
+                         expected, "', got '", word, "'");
     };
 
     expect("m5prime-model");
-    expect("v1");
+    if (!(in >> word) || (word != "v1" && word != "v2"))
+        mtperf_fatal("malformed model ", source,
+                     ": unsupported format version '", word, "'");
     expect("target");
     std::string target;
-    if (!(is >> target))
-        mtperf_fatal("malformed model file: missing target name");
+    if (!(in >> target))
+        mtperf_fatal("malformed model ", source, ": missing target name");
     expect("attributes");
     std::size_t n_attrs = 0;
-    if (!(is >> n_attrs))
-        mtperf_fatal("malformed model file: missing attribute count");
+    if (!(in >> n_attrs))
+        mtperf_fatal("malformed model ", source,
+                     ": missing attribute count");
     std::vector<std::string> names;
     for (std::size_t a = 0; a < n_attrs; ++a) {
         expect("a");
         std::string name;
-        if (!(is >> name))
-            mtperf_fatal("malformed model file: missing attribute name");
+        if (!(in >> name))
+            mtperf_fatal("malformed model ", source,
+                         ": missing attribute name");
         names.push_back(std::move(name));
     }
     expect("trainSize");
     std::size_t train_size = 0;
-    if (!(is >> train_size))
-        mtperf_fatal("malformed model file: missing trainSize");
+    if (!(in >> train_size))
+        mtperf_fatal("malformed model ", source, ": missing trainSize");
 
     expect("options");
     M5Options options;
     int prune = 1, smooth = 1, simplify = 1;
-    if (!(is >> options.minInstances >> options.sdFraction >> prune >>
+    if (!(in >> options.minInstances >> options.sdFraction >> prune >>
           smooth >> options.smoothingK >> simplify >>
           options.maxDepth)) {
-        mtperf_fatal("malformed model file: bad options line");
+        mtperf_fatal("malformed model ", source, ": bad options line");
     }
     options.prune = prune != 0;
     options.smooth = smooth != 0;
@@ -675,6 +751,7 @@ M5Prime::load(std::istream &is)
     struct Reader
     {
         std::istream &is;
+        const std::string &source;
         std::size_t n_attrs;
 
         std::unique_ptr<Node>
@@ -682,16 +759,19 @@ M5Prime::load(std::istream &is)
         {
             std::string keyword, kind;
             if (!(is >> keyword >> kind) || keyword != "node")
-                mtperf_fatal("malformed model file: expected a node");
+                mtperf_fatal("malformed model ", source,
+                             ": expected a node");
             auto node = std::make_unique<Node>();
             if (kind == "s") {
                 if (!(is >> node->splitAttr >> node->splitValue >>
                       node->count >> node->meanTarget >>
                       node->sdTarget)) {
-                    mtperf_fatal("malformed model file: bad split node");
+                    mtperf_fatal("malformed model ", source,
+                                 ": bad split node");
                 }
                 if (node->splitAttr >= n_attrs)
-                    mtperf_fatal("model file references attribute ",
+                    mtperf_fatal("model ", source,
+                                 " references attribute ",
                                  node->splitAttr, " out of range");
                 node->leaf = false;
                 node->left = readNode();
@@ -699,23 +779,32 @@ M5Prime::load(std::istream &is)
                 return node;
             }
             if (kind != "l")
-                mtperf_fatal("malformed model file: unknown node kind '",
-                             kind, "'");
+                mtperf_fatal("malformed model ", source,
+                             ": unknown node kind '", kind, "'");
             double intercept = 0.0;
             std::size_t n_terms = 0;
             if (!(is >> node->count >> node->meanTarget >>
                   node->sdTarget >> intercept >> n_terms)) {
-                mtperf_fatal("malformed model file: bad leaf node");
+                mtperf_fatal("malformed model ", source,
+                             ": bad leaf node");
             }
+            if (!std::isfinite(intercept))
+                mtperf_fatal("malformed model ", source,
+                             ": non-finite leaf intercept");
             node->model = LinearModel::constant(intercept);
             for (std::size_t t = 0; t < n_terms; ++t) {
                 std::size_t attr = 0;
                 double coef = 0.0;
                 if (!(is >> attr >> coef))
-                    mtperf_fatal("malformed model file: bad model term");
+                    mtperf_fatal("malformed model ", source,
+                                 ": bad model term");
                 if (attr >= n_attrs)
-                    mtperf_fatal("model file references attribute ",
-                                 attr, " out of range");
+                    mtperf_fatal("model ", source,
+                                 " references attribute ", attr,
+                                 " out of range");
+                if (!std::isfinite(coef))
+                    mtperf_fatal("malformed model ", source,
+                                 ": non-finite model coefficient");
                 node->model.addTerm(attr, coef);
             }
             node->leaf = true;
@@ -726,12 +815,12 @@ M5Prime::load(std::istream &is)
     M5Prime tree(options);
     tree.schema_ = Schema(names, target);
     tree.trainSize_ = train_size;
-    Reader reader{is, n_attrs};
+    Reader reader{in, source, n_attrs};
     tree.root_ = reader.readNode();
 
     std::string tail;
-    if (!(is >> tail) || tail != "end")
-        mtperf_fatal("malformed model file: missing 'end'");
+    if (!(in >> tail) || tail != "end")
+        mtperf_fatal("malformed model ", source, ": missing 'end'");
 
     std::vector<PathStep> path;
     tree.collectLeaves(*tree.root_, path);
@@ -741,10 +830,11 @@ M5Prime::load(std::istream &is)
 M5Prime
 M5Prime::loadFile(const std::string &path)
 {
+    MTPERF_FAULT_POINT("fs.open.fail");
     std::ifstream in(path);
     if (!in)
         mtperf_fatal("cannot open model file: ", path);
-    return load(in);
+    return load(in, path);
 }
 
 } // namespace mtperf

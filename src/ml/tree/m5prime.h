@@ -179,19 +179,28 @@ class M5Prime : public Regressor
     /**
      * Serialize the fitted tree (schema, options, structure and leaf
      * models) to a line-based text format that load() reads back.
+     * Format v2 appends a "checksum <hex8>" CRC32 footer covering the
+     * whole body, so any bit flip or truncation is detected on load.
      * @pre fit() has been called.
      */
     void save(std::ostream &os) const;
 
-    /** Save to a file path. @throw FatalError on I/O failure. */
+    /**
+     * Save to a file path, atomically (temp file + rename): a killed
+     * process never leaves a partial model at @p path.
+     * @throw FatalError on I/O failure.
+     */
     void saveFile(const std::string &path) const;
 
     /**
-     * Reconstruct a fitted tree from save() output. The loaded tree
-     * predicts identically to the saved one.
-     * @throw FatalError on malformed input.
+     * Reconstruct a fitted tree from save() output (v1 or v2). The
+     * loaded tree predicts identically to the saved one. For v2 input
+     * the checksum footer is verified before any parsing.
+     * @throw FatalError on malformed or corrupt input, naming
+     * @p source (defaults to "<stream>") and the cause.
      */
     static M5Prime load(std::istream &is);
+    static M5Prime load(std::istream &is, const std::string &source);
 
     /** Load from a file path. @throw FatalError on I/O failure. */
     static M5Prime loadFile(const std::string &path);
@@ -202,6 +211,9 @@ class M5Prime : public Regressor
 
   private:
     struct Node;
+
+    /** Serialize everything but the checksum footer. */
+    void writeBody(std::ostream &os) const;
 
     void growNode(Node &node, std::vector<std::size_t> &rows,
                   std::size_t depth);

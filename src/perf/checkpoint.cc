@@ -1,0 +1,256 @@
+#include "perf/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/atomic_file.h"
+#include "common/checksum.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "perf/section_collector.h"
+#include "workload/spec_suite.h"
+
+namespace mtperf::perf {
+
+namespace {
+
+constexpr const char *kHeaderLine = "mtperf-checkpoint v1";
+
+/**
+ * Counter fields in serialization order. Every field is a uint64, so
+ * the text round-trip is exact and a resumed run reproduces the
+ * uninterrupted run's dataset byte for byte.
+ */
+void
+writeCounters(std::ostream &os, const uarch::EventCounters &c)
+{
+    os << c.cycles << " " << c.instRetired << " " << c.instLoads << " "
+       << c.instStores << " " << c.brRetired << " " << c.brMispredicted
+       << " " << c.l1dLineMiss << " " << c.l1iMiss << " "
+       << c.l2LineMiss << " " << c.dtlbL0LdMiss << " " << c.dtlbLdMiss
+       << " " << c.dtlbLdRetiredMiss << " " << c.dtlbAnyMiss << " "
+       << c.itlbMiss << " " << c.ldBlockSta << " " << c.ldBlockStd
+       << " " << c.ldBlockOverlapStore << " " << c.misalignedMemRef
+       << " " << c.l1dSplitLoads << " " << c.l1dSplitStores << " "
+       << c.lcpStalls;
+}
+
+bool
+readCounters(std::istream &is, uarch::EventCounters &c)
+{
+    return static_cast<bool>(
+        is >> c.cycles >> c.instRetired >> c.instLoads >> c.instStores >>
+        c.brRetired >> c.brMispredicted >> c.l1dLineMiss >> c.l1iMiss >>
+        c.l2LineMiss >> c.dtlbL0LdMiss >> c.dtlbLdMiss >>
+        c.dtlbLdRetiredMiss >> c.dtlbAnyMiss >> c.itlbMiss >>
+        c.ldBlockSta >> c.ldBlockStd >> c.ldBlockOverlapStore >>
+        c.misalignedMemRef >> c.l1dSplitLoads >> c.l1dSplitStores >>
+        c.lcpStalls);
+}
+
+} // namespace
+
+std::string
+runnerFingerprint(const workload::RunnerOptions &options)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "instructionsPerSection " << options.instructionsPerSection
+       << "\nparamJitter " << options.paramJitter << "\nseed "
+       << options.seed << "\nsectionScale " << options.sectionScale
+       << "\n";
+    for (const auto &spec : workload::specLikeSuite())
+        os << "workload " << spec.name << " " << spec.phases.size()
+           << "\n";
+    return crc32Hex(crc32(os.str()));
+}
+
+SuiteCheckpoint::SuiteCheckpoint(std::string path,
+                                 std::string fingerprint)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint))
+{
+}
+
+void
+SuiteCheckpoint::load()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return; // no checkpoint yet: a fresh run
+
+    auto reject = [this](const std::string &cause) {
+        warn("ignoring checkpoint ", path_, ": ", cause,
+             "; restarting the suite from scratch");
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_.clear();
+    };
+
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const std::string marker = "\nchecksum ";
+    const auto pos = text.rfind(marker);
+    if (pos == std::string::npos)
+        return reject("missing checksum footer (truncated file?)");
+    const std::string body = text.substr(0, pos + 1);
+    std::uint32_t stored = 0;
+    if (!parseCrc32Hex(trim(text.substr(pos + marker.size())), stored))
+        return reject("malformed checksum footer");
+    if (stored != crc32(body))
+        return reject("checksum mismatch (the file is corrupt)");
+
+    std::istringstream is(body);
+    std::string line;
+    if (!std::getline(is, line) || line != kHeaderLine)
+        return reject("unrecognized header");
+    std::string word, fingerprint;
+    if (!(is >> word >> fingerprint) || word != "fingerprint")
+        return reject("missing fingerprint");
+    if (fingerprint != fingerprint_) {
+        return reject(
+            "it was written with different run parameters (fingerprint " +
+            fingerprint + ", this run is " + fingerprint_ + ")");
+    }
+
+    std::map<std::string, std::vector<workload::SectionRecord>> done;
+    while (is >> word) {
+        if (word == "end")
+            break;
+        if (word != "workload")
+            return reject("unexpected token '" + word + "'");
+        std::string name;
+        std::size_t count = 0;
+        if (!(is >> name >> count))
+            return reject("bad workload line");
+        std::vector<workload::SectionRecord> records;
+        records.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            workload::SectionRecord record;
+            record.workload = name;
+            if (!(is >> word >> record.phase >> record.sectionIndex) ||
+                word != "record" ||
+                !readCounters(is, record.counters)) {
+                return reject("bad record in workload " + name);
+            }
+            records.push_back(std::move(record));
+        }
+        done[name] = std::move(records);
+    }
+    if (word != "end")
+        return reject("missing 'end'");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = std::move(done);
+}
+
+bool
+SuiteCheckpoint::completed(const std::string &workload) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.count(workload) != 0;
+}
+
+std::vector<workload::SectionRecord>
+SuiteCheckpoint::recordsFor(const std::string &workload) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = done_.find(workload);
+    mtperf_assert(it != done_.end(),
+                  "recordsFor() on an incomplete workload");
+    return it->second;
+}
+
+void
+SuiteCheckpoint::record(const std::string &workload,
+                        std::vector<workload::SectionRecord> records)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_[workload] = std::move(records);
+    persistLocked();
+}
+
+std::size_t
+SuiteCheckpoint::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.size();
+}
+
+void
+SuiteCheckpoint::removeFile()
+{
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+}
+
+void
+SuiteCheckpoint::persistLocked() const
+{
+    MTPERF_FAULT_POINT("checkpoint.write.fail");
+    std::ostringstream body;
+    body << kHeaderLine << "\n";
+    body << "fingerprint " << fingerprint_ << "\n";
+    for (const auto &[name, records] : done_) {
+        body << "workload " << name << " " << records.size() << "\n";
+        for (const auto &record : records) {
+            body << "record " << record.phase << " "
+                 << record.sectionIndex << " ";
+            writeCounters(body, record.counters);
+            body << "\n";
+        }
+    }
+    body << "end\n";
+    const std::string text = body.str();
+    atomicWriteFile(path_, [&](std::ostream &out) {
+        out << text << "checksum " << crc32Hex(crc32(text)) << "\n";
+    });
+}
+
+Dataset
+collectSuiteDatasetCheckpointed(const workload::RunnerOptions &options,
+                                const std::string &checkpoint_path)
+{
+    const auto suite = workload::specLikeSuite();
+    SuiteCheckpoint checkpoint(checkpoint_path,
+                               runnerFingerprint(options));
+    checkpoint.load();
+    const std::size_t resumed = checkpoint.completedCount();
+    if (resumed > 0) {
+        inform("resuming from checkpoint ", checkpoint_path, ": ",
+               resumed, " of ", suite.size(),
+               " workloads already complete");
+    }
+    inform("simulating ", suite.size(), " workloads (",
+           options.instructionsPerSection, " instructions/section, ",
+           globalThreadCount(), " thread",
+           globalThreadCount() == 1 ? "" : "s", ")...");
+
+    auto per_workload =
+        parallelMap(globalPool(), suite.size(), [&](std::size_t i) {
+            const auto &spec = suite[i];
+            if (checkpoint.completed(spec.name))
+                return checkpoint.recordsFor(spec.name);
+            auto records = workload::runWorkload(spec, options);
+            checkpoint.record(spec.name, records);
+            return records;
+        });
+
+    std::vector<workload::SectionRecord> all;
+    std::size_t total = 0;
+    for (const auto &records : per_workload)
+        total += records.size();
+    all.reserve(total);
+    for (auto &records : per_workload) {
+        all.insert(all.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+    }
+    inform("collected ", all.size(), " sections");
+    Dataset ds = sectionsToDataset(all);
+    checkpoint.removeFile();
+    return ds;
+}
+
+} // namespace mtperf::perf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume for suite simulation.
+ *
+ * A full suite run is minutes of work; a killed process should not
+ * have to repeat the workloads it already finished. The checkpoint
+ * records completed workloads (the deterministic restart unit: a
+ * workload's sections share core state, but workloads are independent
+ * and seeded by name), is rewritten atomically after each one, and
+ * carries a fingerprint of the run parameters plus a checksum footer.
+ * Resuming after a kill at any --threads value yields a dataset
+ * byte-identical to an uninterrupted run: counters are integers and
+ * incomplete workloads re-run in full from their name-keyed seeds.
+ *
+ * A corrupt or parameter-mismatched checkpoint is never trusted: it
+ * is reported and the run restarts from scratch.
+ */
+
+#ifndef MTPERF_PERF_CHECKPOINT_H_
+#define MTPERF_PERF_CHECKPOINT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "workload/runner.h"
+
+namespace mtperf::perf {
+
+/**
+ * Fingerprint of the runner options that determine suite output.
+ * Two runs resume from each other's checkpoints iff these match.
+ */
+std::string runnerFingerprint(const workload::RunnerOptions &options);
+
+/** Persistent set of completed workloads for one suite run. */
+class SuiteCheckpoint
+{
+  public:
+    SuiteCheckpoint(std::string path, std::string fingerprint);
+
+    /**
+     * Load any existing checkpoint file. A missing file starts fresh;
+     * a corrupt file or a fingerprint mismatch is reported with a
+     * warning and also starts fresh (stale results are never reused).
+     */
+    void load();
+
+    /** Has @p workload's result been checkpointed? Thread-safe. */
+    bool completed(const std::string &workload) const;
+
+    /** Stored records of a completed workload (copy). Thread-safe. */
+    std::vector<workload::SectionRecord>
+    recordsFor(const std::string &workload) const;
+
+    /**
+     * Record a finished workload and atomically rewrite the
+     * checkpoint file. Thread-safe; a kill during the rewrite leaves
+     * the previous checkpoint intact.
+     */
+    void record(const std::string &workload,
+                std::vector<workload::SectionRecord> records);
+
+    /** Number of workloads checkpointed so far. Thread-safe. */
+    std::size_t completedCount() const;
+
+    /** Delete the checkpoint file (after a successful full run). */
+    void removeFile();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void persistLocked() const;
+
+    std::string path_;
+    std::string fingerprint_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<workload::SectionRecord>> done_;
+};
+
+/**
+ * collectSuiteDataset() with checkpoint/resume backed by @p path.
+ * Completed workloads are replayed from the checkpoint; the file is
+ * removed once the whole suite has run and the dataset is assembled.
+ */
+Dataset collectSuiteDatasetCheckpointed(
+    const workload::RunnerOptions &options,
+    const std::string &checkpoint_path);
+
+} // namespace mtperf::perf
+
+#endif // MTPERF_PERF_CHECKPOINT_H_

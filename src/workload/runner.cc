@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "workload/stream_gen.h"
@@ -89,6 +90,7 @@ runWorkload(const WorkloadSpec &spec, const RunnerOptions &options)
         mtperf_fatal("workload '", spec.name, "' has no phases");
     if (options.instructionsPerSection == 0)
         mtperf_fatal("instructionsPerSection must be positive");
+    MTPERF_FAULT_POINT("sim.workload.fail");
 
     // Per-workload deterministic seeds, independent of suite order.
     std::uint64_t name_hash = 1469598103934665603ULL;

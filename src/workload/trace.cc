@@ -1,8 +1,12 @@
 #include "workload/trace.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
+#include "common/checksum.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "workload/stream_gen.h"
 
@@ -10,9 +14,13 @@ namespace mtperf::workload {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x5450544d; // "MTPT" little-endian
-constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kRecordBytes = 24;
+constexpr std::uint32_t kMagic = 0x5450544d;        // "MTPT" little-endian
+constexpr std::uint32_t kTrailerMagic = 0x4550544d; // "MTPE" little-endian
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kPayloadBytes = 24;
+constexpr std::size_t kRecordBytesV1 = kPayloadBytes;
+constexpr std::size_t kRecordBytesV2 = kPayloadBytes + 4;
+constexpr std::size_t kHeaderBytes = 16;
 
 struct Header
 {
@@ -20,6 +28,17 @@ struct Header
     std::uint32_t version = kVersion;
     std::uint64_t count = 0;
 };
+
+struct Trailer
+{
+    std::uint32_t magic = kTrailerMagic;
+    std::uint32_t pad0 = 0;
+    std::uint64_t count = 0;
+    std::uint32_t crcOfCrcs = 0;
+    std::uint32_t pad1 = 0;
+};
+static_assert(sizeof(Trailer) == 24, "no padding bytes in the trailer");
+static_assert(sizeof(Header) == 16, "no padding bytes in the header");
 
 void
 encode(const uarch::MicroOp &op, unsigned char *buffer)
@@ -37,9 +56,24 @@ encode(const uarch::MicroOp &op, unsigned char *buffer)
     std::memcpy(buffer + 16, &op.addr, sizeof(op.addr));
 }
 
-void
+/**
+ * Decode a payload, validating the structural invariants every writer
+ * maintains (class in range, reserved bits and pad bytes zero) so
+ * that v1 files, which carry no checksum, still flag damage to those
+ * bytes. @return an error message, empty on success.
+ */
+const char *
 decode(const unsigned char *buffer, uarch::MicroOp &op)
 {
+    if (buffer[0] > static_cast<unsigned char>(uarch::OpClass::Branch))
+        return "op class out of range";
+    if (buffer[1] == 0)
+        return "zero op size"; // writers emit 4 or 8; 0 would SIGFPE
+                               // the core's alignment check
+    if ((buffer[2] & ~0x07u) != 0)
+        return "reserved flag bits set";
+    if (buffer[3] != 0 || buffer[6] != 0 || buffer[7] != 0)
+        return "nonzero pad bytes";
     op.cls = static_cast<uarch::OpClass>(buffer[0]);
     op.size = buffer[1];
     op.taken = (buffer[2] & 1) != 0;
@@ -48,6 +82,7 @@ decode(const unsigned char *buffer, uarch::MicroOp &op)
     std::memcpy(&op.depDist, buffer + 4, sizeof(op.depDist));
     std::memcpy(&op.pc, buffer + 8, sizeof(op.pc));
     std::memcpy(&op.addr, buffer + 16, sizeof(op.addr));
+    return nullptr;
 }
 
 } // namespace
@@ -55,12 +90,24 @@ decode(const unsigned char *buffer, uarch::MicroOp &op)
 struct TraceWriter::Impl
 {
     std::ofstream out;
+    std::string path;
+    std::string temp;
+    Crc32 crcOfCrcs;
     bool closed = false;
+    bool failed = false;
 };
 
 TraceWriter::TraceWriter(const std::string &path) : impl_(new Impl)
 {
-    impl_->out.open(path, std::ios::binary | std::ios::trunc);
+    impl_->path = path;
+    impl_->temp = path + ".tmp";
+    try {
+        MTPERF_FAULT_POINT("fs.open.fail");
+    } catch (...) {
+        delete impl_;
+        throw;
+    }
+    impl_->out.open(impl_->temp, std::ios::binary | std::ios::trunc);
     if (!impl_->out) {
         delete impl_;
         mtperf_fatal("cannot open trace file for writing: ", path);
@@ -72,7 +119,12 @@ TraceWriter::TraceWriter(const std::string &path) : impl_(new Impl)
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; close() already cleaned up the
+        // temp file before reporting, so the target stays intact.
+    }
     delete impl_;
 }
 
@@ -80,10 +132,28 @@ void
 TraceWriter::write(const uarch::MicroOp &op)
 {
     mtperf_assert(!impl_->closed, "write() after close()");
-    unsigned char buffer[kRecordBytes];
+    unsigned char buffer[kRecordBytesV2];
     encode(op, buffer);
+    const std::uint32_t crc = crc32(buffer, kPayloadBytes);
+    std::memcpy(buffer + kPayloadBytes, &crc, sizeof(crc));
+    if (fault::armed() && fault::shouldFail("trace.write.short")) {
+        // Rehearse a mid-record failure (disk full, kill -9): half a
+        // record reaches the temp file, then the write dies. close()
+        // discards the temp, so the final path never sees the damage.
+        impl_->out.write(reinterpret_cast<const char *>(buffer),
+                         kRecordBytesV2 / 2);
+        impl_->out.flush();
+        impl_->failed = true;
+        throw fault::InjectedFault("trace.write.short");
+    }
     impl_->out.write(reinterpret_cast<const char *>(buffer),
-                     kRecordBytes);
+                     kRecordBytesV2);
+    if (!impl_->out) {
+        impl_->failed = true;
+        mtperf_fatal("trace write failed at record ", count_, " of ",
+                     impl_->temp);
+    }
+    impl_->crcOfCrcs.update(&crc, sizeof(crc));
     ++count_;
 }
 
@@ -93,6 +163,17 @@ TraceWriter::close()
     if (impl_->closed)
         return;
     impl_->closed = true;
+    std::error_code ec;
+    if (impl_->failed) {
+        impl_->out.close();
+        std::filesystem::remove(impl_->temp, ec);
+        return;
+    }
+    Trailer trailer;
+    trailer.count = count_;
+    trailer.crcOfCrcs = impl_->crcOfCrcs.value();
+    impl_->out.write(reinterpret_cast<const char *>(&trailer),
+                     sizeof(trailer));
     // Rewrite the header with the final count.
     Header header;
     header.count = count_;
@@ -100,18 +181,45 @@ TraceWriter::close()
     impl_->out.write(reinterpret_cast<const char *>(&header),
                      sizeof(header));
     impl_->out.flush();
-    if (!impl_->out)
-        mtperf_fatal("trace write failed while finalizing");
+    const bool ok = static_cast<bool>(impl_->out);
     impl_->out.close();
+    if (!ok) {
+        std::filesystem::remove(impl_->temp, ec);
+        mtperf_fatal("trace write failed while finalizing ",
+                     impl_->path);
+    }
+    try {
+        std::filesystem::rename(impl_->temp, impl_->path);
+    } catch (const std::filesystem::filesystem_error &e) {
+        std::filesystem::remove(impl_->temp, ec);
+        mtperf_fatal("cannot publish trace at ", impl_->path, ": ",
+                     e.what());
+    }
 }
 
 struct TraceReader::Impl
 {
     std::ifstream in;
+    std::string path;
+    std::uint32_t version = kVersion;
+    Crc32 crcOfCrcs;
+    TraceReadOptions options;
+    std::uint64_t dropped = 0;
+    bool trailerChecked = false;
 };
 
-TraceReader::TraceReader(const std::string &path) : impl_(new Impl)
+TraceReader::TraceReader(const std::string &path,
+                         const TraceReadOptions &options)
+    : impl_(new Impl)
 {
+    impl_->path = path;
+    impl_->options = options;
+    try {
+        MTPERF_FAULT_POINT("fs.open.fail");
+    } catch (...) {
+        delete impl_;
+        throw;
+    }
     impl_->in.open(path, std::ios::binary);
     if (!impl_->in) {
         delete impl_;
@@ -123,10 +231,12 @@ TraceReader::TraceReader(const std::string &path) : impl_(new Impl)
         delete impl_;
         mtperf_fatal("not an mtperf trace: ", path);
     }
-    if (header.version != kVersion) {
+    if (header.version != 1 && header.version != kVersion) {
         delete impl_;
-        mtperf_fatal("unsupported trace version in ", path);
+        mtperf_fatal("unsupported trace version ", header.version,
+                     " in ", path);
     }
+    impl_->version = header.version;
     count_ = header.count;
 }
 
@@ -135,17 +245,75 @@ TraceReader::~TraceReader()
     delete impl_;
 }
 
+std::uint32_t
+TraceReader::version() const
+{
+    return impl_->version;
+}
+
+std::uint64_t
+TraceReader::droppedRecords() const
+{
+    return impl_->dropped;
+}
+
 bool
 TraceReader::next(uarch::MicroOp &op)
 {
-    if (position_ >= count_)
+    const std::size_t record_bytes =
+        impl_->version == 1 ? kRecordBytesV1 : kRecordBytesV2;
+    auto corrupt = [this, record_bytes](const std::string &cause) {
+        const std::uint64_t offset =
+            kHeaderBytes + position_ * record_bytes;
+        if (impl_->options.salvage) {
+            impl_->dropped = count_ - position_;
+            warn("salvaging trace ", impl_->path, ": ", cause,
+                 " at byte offset ", offset, "; keeping the first ",
+                 position_, " of ", count_, " records (dropping ",
+                 impl_->dropped, ")");
+            position_ = count_; // stop iteration at the valid prefix
+            return false;
+        }
+        mtperf_fatal("corrupt trace ", impl_->path, " at byte offset ",
+                     offset, " (record ", position_, " of ", count_,
+                     "): ", cause);
+    };
+
+    if (position_ >= count_) {
+        if (impl_->version == kVersion && !impl_->trailerChecked &&
+            impl_->dropped == 0) {
+            impl_->trailerChecked = true;
+            Trailer trailer;
+            impl_->in.read(reinterpret_cast<char *>(&trailer),
+                           sizeof(trailer));
+            if (!impl_->in)
+                return corrupt("missing trailer (file truncated)");
+            if (trailer.magic != kTrailerMagic)
+                return corrupt("bad trailer magic");
+            if (trailer.count != count_)
+                return corrupt(
+                    "trailer record count disagrees with header");
+            if (trailer.crcOfCrcs != impl_->crcOfCrcs.value())
+                return corrupt("trailer checksum mismatch");
+            if (trailer.pad0 != 0 || trailer.pad1 != 0)
+                return corrupt("nonzero trailer padding");
+        }
         return false;
-    unsigned char buffer[kRecordBytes];
-    impl_->in.read(reinterpret_cast<char *>(buffer), kRecordBytes);
+    }
+    unsigned char buffer[kRecordBytesV2];
+    impl_->in.read(reinterpret_cast<char *>(buffer),
+                   static_cast<std::streamsize>(record_bytes));
     if (!impl_->in)
-        mtperf_fatal("truncated trace (", position_, " of ", count_,
-                     " records)");
-    decode(buffer, op);
+        return corrupt("truncated record");
+    if (impl_->version == kVersion) {
+        std::uint32_t stored = 0;
+        std::memcpy(&stored, buffer + kPayloadBytes, sizeof(stored));
+        if (stored != crc32(buffer, kPayloadBytes))
+            return corrupt("record checksum mismatch");
+        impl_->crcOfCrcs.update(&stored, sizeof(stored));
+    }
+    if (const char *cause = decode(buffer, op))
+        return corrupt(cause);
     ++position_;
     return true;
 }
@@ -163,9 +331,10 @@ recordTrace(const PhaseParams &phase, std::uint64_t seed,
 }
 
 std::uint64_t
-replayTrace(const std::string &path, uarch::Core &core)
+replayTrace(const std::string &path, uarch::Core &core,
+            const TraceReadOptions &options)
 {
-    TraceReader reader(path);
+    TraceReader reader(path, options);
     uarch::MicroOp op;
     while (reader.next(op))
         core.execute(op);

@@ -10,11 +10,22 @@
  * the machine's contribution exactly (no workload randomness), which
  * the design-space examples exploit.
  *
- * Format (little-endian, fixed-size records):
- *   header: magic "MTPT" u32, version u32, count u64
- *   record: cls u8, size u8, flags u8 (bit0 taken, bit1 lcp,
- *           bit2 addrSlow), pad u8, depDist u16, pad u16,
- *           pc u64, addr u64
+ * Format v2 (little-endian, fixed-size records, default for writes):
+ *   header:  magic "MTPT" u32, version u32 = 2, count u64
+ *   record:  cls u8, size u8, flags u8 (bit0 taken, bit1 lcp,
+ *            bit2 addrSlow), pad u8, depDist u16, pad u16,
+ *            pc u64, addr u64, crc32 u32 (over the 24 payload bytes)
+ *   trailer: magic "MTPE" u32, count u64, crc32 u32 (over the
+ *            little-endian sequence of all record CRC words)
+ *
+ * The per-record CRC catches bit flips; the trailer count catches
+ * truncation and a corrupted header count; the trailer CRC catches
+ * record reordering or a corrupted trailer. Version 1 files (24-byte
+ * records, no CRCs, no trailer) remain readable; their payload bytes
+ * carry no redundancy, so only structural damage is detectable.
+ *
+ * Writes go through a temp file renamed into place on close(), so a
+ * killed capture never leaves a partial trace at the target path.
  */
 
 #ifndef MTPERF_WORKLOAD_TRACE_H_
@@ -31,7 +42,7 @@
 
 namespace mtperf::workload {
 
-/** Streaming writer for binary instruction traces. */
+/** Streaming writer for binary instruction traces (format v2). */
 class TraceWriter
 {
   public:
@@ -45,7 +56,12 @@ class TraceWriter
     /** Append one instruction. */
     void write(const uarch::MicroOp &op);
 
-    /** Flush and finalize the header. Called by the destructor too. */
+    /**
+     * Flush, finalize header and trailer, and atomically publish the
+     * trace at its final path. Called by the destructor too; after a
+     * failed write the destructor discards the temp file instead, so
+     * no partial trace ever appears at the target.
+     */
     void close();
 
     std::uint64_t written() const { return count_; }
@@ -56,12 +72,24 @@ class TraceWriter
     std::uint64_t count_ = 0;
 };
 
-/** Streaming reader for binary instruction traces. */
+/** Reading policy for damaged traces. */
+struct TraceReadOptions
+{
+    /**
+     * When true, a truncated or corrupt record ends the trace at the
+     * last valid prefix instead of throwing; the reader reports how
+     * many records were dropped and logs the decision.
+     */
+    bool salvage = false;
+};
+
+/** Streaming reader for binary instruction traces (v1 and v2). */
 class TraceReader
 {
   public:
     /** Open @p path. @throw FatalError on missing/corrupt file. */
-    explicit TraceReader(const std::string &path);
+    explicit TraceReader(const std::string &path,
+                         const TraceReadOptions &options = {});
     ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
@@ -73,10 +101,17 @@ class TraceReader
     /** Instructions read so far. */
     std::uint64_t position() const { return position_; }
 
+    /** Format version of the open file (1 or 2). */
+    std::uint32_t version() const;
+
+    /** Records dropped by salvage (nonzero only after end of trace). */
+    std::uint64_t droppedRecords() const;
+
     /**
      * Read the next instruction into @p op.
      * @return false at end of trace.
-     * @throw FatalError on a truncated file.
+     * @throw FatalError on a truncated or corrupt file naming the
+     * file, byte offset and cause (unless salvaging).
      */
     bool next(uarch::MicroOp &op);
 
@@ -99,7 +134,8 @@ std::uint64_t recordTrace(const PhaseParams &phase, std::uint64_t seed,
  * Replay a whole trace through @p core.
  * @return instructions replayed.
  */
-std::uint64_t replayTrace(const std::string &path, uarch::Core &core);
+std::uint64_t replayTrace(const std::string &path, uarch::Core &core,
+                          const TraceReadOptions &options = {});
 
 } // namespace mtperf::workload
 

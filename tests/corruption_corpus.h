@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Corruption-corpus helpers shared by the robustness tests.
+ *
+ * A "corpus" over an artifact file is the set of every truncation and
+ * every single-bit flip of its bytes. Readers under test must handle
+ * each member without aborting, hanging or tripping a sanitizer; the
+ * per-format tests additionally pin down *which* damage must be
+ * detected (thrown as FatalError) versus tolerated.
+ */
+
+#ifndef MTPERF_TESTS_CORRUPTION_CORPUS_H_
+#define MTPERF_TESTS_CORRUPTION_CORPUS_H_
+
+#include <cstddef>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace mtperf::testutil {
+
+inline std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+inline void
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/**
+ * Call @p check once per truncated prefix of @p bytes (every length
+ * in [0, size)), with the prefix written to @p scratch_path first.
+ * @p stride > 1 samples lengths to keep big corpora fast; length 0
+ * and the last partial byte are always included.
+ */
+inline void
+forEachTruncation(const std::string &bytes,
+                  const std::string &scratch_path,
+                  const std::function<void(std::size_t)> &check,
+                  std::size_t stride = 1)
+{
+    for (std::size_t len = 0; len < bytes.size(); len += stride) {
+        writeFileBytes(scratch_path, bytes.substr(0, len));
+        check(len);
+    }
+    if (bytes.size() > 1) {
+        writeFileBytes(scratch_path,
+                       bytes.substr(0, bytes.size() - 1));
+        check(bytes.size() - 1);
+    }
+}
+
+/**
+ * Call @p check once per single-bit flip of @p bytes (every bit of
+ * every byte when @p stride == 1; sampled otherwise, always covering
+ * the first and last byte), with the damaged copy at @p scratch_path.
+ */
+inline void
+forEachBitFlip(
+    const std::string &bytes, const std::string &scratch_path,
+    const std::function<void(std::size_t, int)> &check,
+    std::size_t stride = 1)
+{
+    auto flip_byte = [&](std::size_t offset) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string damaged = bytes;
+            damaged[offset] = static_cast<char>(
+                static_cast<unsigned char>(damaged[offset]) ^
+                (1u << bit));
+            writeFileBytes(scratch_path, damaged);
+            check(offset, bit);
+        }
+    };
+    for (std::size_t offset = 0; offset < bytes.size();
+         offset += stride) {
+        flip_byte(offset);
+    }
+    if (bytes.size() > 1 && (bytes.size() - 1) % stride != 0)
+        flip_byte(bytes.size() - 1);
+}
+
+} // namespace mtperf::testutil
+
+#endif // MTPERF_TESTS_CORRUPTION_CORPUS_H_

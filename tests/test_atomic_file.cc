@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for crash-safe atomic file publication.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/atomic_file.h"
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace mtperf {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = testing::TempDir() + "/mtperf_atomic";
+        fs::create_directories(dir_);
+        target_ = dir_ + "/artifact.txt";
+        fs::remove(target_);
+        fs::remove(target_ + ".tmp");
+    }
+
+    void
+    TearDown() override
+    {
+        fault::clear();
+    }
+
+    std::string
+    readAll(const std::string &path)
+    {
+        std::ifstream in(path);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    }
+
+    std::string dir_, target_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesContent)
+{
+    {
+        AtomicFile file(target_);
+        file.stream() << "hello\n";
+        EXPECT_FALSE(fs::exists(target_)) << "visible before commit";
+        EXPECT_TRUE(fs::exists(file.tempPath()));
+        file.commit();
+    }
+    EXPECT_EQ(readAll(target_), "hello\n");
+    EXPECT_FALSE(fs::exists(target_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitDiscards)
+{
+    {
+        AtomicFile file(target_);
+        file.stream() << "half-written";
+    }
+    EXPECT_FALSE(fs::exists(target_));
+    EXPECT_FALSE(fs::exists(target_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, FailedWriteLeavesOldContentIntact)
+{
+    // Publish once, then die mid-rewrite: the first content survives.
+    atomicWriteFile(target_, [](std::ostream &os) { os << "v1\n"; });
+    try {
+        atomicWriteFile(target_, [](std::ostream &os) {
+            os << "v2 partial";
+            throw FatalError("simulated mid-write death");
+        });
+        FAIL() << "expected the writer's exception to propagate";
+    } catch (const FatalError &) {
+    }
+    EXPECT_EQ(readAll(target_), "v1\n");
+    EXPECT_FALSE(fs::exists(target_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, OpenFaultPointFires)
+{
+    fault::configure("fs.open.fail");
+    EXPECT_THROW(AtomicFile file(target_), fault::InjectedFault);
+    fault::clear();
+    EXPECT_NO_THROW({
+        AtomicFile file(target_);
+        file.commit();
+    });
+}
+
+TEST_F(AtomicFileTest, CommitFaultLeavesTargetUntouched)
+{
+    atomicWriteFile(target_, [](std::ostream &os) { os << "old\n"; });
+    fault::configure("atomic.commit.fail");
+    EXPECT_THROW(
+        atomicWriteFile(target_,
+                        [](std::ostream &os) { os << "new\n"; }),
+        fault::InjectedFault);
+    fault::clear();
+    EXPECT_EQ(readAll(target_), "old\n");
+    EXPECT_FALSE(fs::exists(target_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryIsFatalError)
+{
+    EXPECT_THROW(AtomicFile("/nonexistent-dir/sub/file.txt"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mtperf

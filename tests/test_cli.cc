@@ -55,13 +55,37 @@ TEST(ArgParser, ValuesOverrideDefaults)
 
 TEST(ArgParser, ErrorsAreSpecific)
 {
-    EXPECT_THROW(sampleParser().parse({"--bogus", "1"}), FatalError);
-    EXPECT_THROW(sampleParser().parse({"positional"}), FatalError);
-    EXPECT_THROW(sampleParser().parse({"--data"}), FatalError);
-    EXPECT_THROW(sampleParser().parse({}), FatalError); // missing --data
+    EXPECT_THROW(sampleParser().parse({"--bogus", "1"}), UsageError);
+    EXPECT_THROW(sampleParser().parse({"positional"}), UsageError);
+    EXPECT_THROW(sampleParser().parse({"--data"}), UsageError);
+    EXPECT_THROW(sampleParser().parse({}), UsageError); // missing --data
     EXPECT_THROW(
         sampleParser().parse({"--data", "x", "--scale", "abc"}),
-        FatalError);
+        UsageError);
+}
+
+TEST(ArgParser, IntegerOptionsRejectSignsAndFractions)
+{
+    // "-1" must fail at parse time, not wrap around to a huge count.
+    EXPECT_THROW(sampleParser().parse({"--data", "x", "--folds", "-1"}),
+                 UsageError);
+    EXPECT_THROW(
+        sampleParser().parse({"--data", "x", "--folds", "2.5"}),
+        UsageError);
+    EXPECT_THROW(
+        sampleParser().parse(
+            {"--data", "x", "--folds", "99999999999999999999999"}),
+        UsageError);
+}
+
+TEST(ArgParser, RangeValidatedGetters)
+{
+    ArgParser parser = sampleParser();
+    parser.parse({"--data", "x", "--scale", "2.0", "--folds", "5"});
+    EXPECT_DOUBLE_EQ(parser.getDouble("scale", 0.0, 10.0), 2.0);
+    EXPECT_EQ(parser.getSize("folds", 2, 1000), 5u);
+    EXPECT_THROW(parser.getDouble("scale", 0.0, 1.0), UsageError);
+    EXPECT_THROW(parser.getSize("folds", 10, 1000), UsageError);
 }
 
 TEST(ArgParser, HelpTextMentionsEveryOption)
@@ -168,13 +192,54 @@ TEST_F(CliCommandTest, RunCommandDispatchesAndCatchesErrors)
     std::ostringstream unknown_out;
     EXPECT_EQ(runCommand("frobnicate", {}, unknown_out), 2);
 
-    // A FatalError inside a command becomes exit status 1 + message.
+    // Bad data (a missing input file) is exit status 3 + message.
     std::ostringstream error_out;
     EXPECT_EQ(runCommand("print",
                          {"--model", "/nonexistent/model.m5"},
                          error_out),
-              1);
+              3);
     EXPECT_NE(error_out.str().find("error:"), std::string::npos);
+
+    // A usage mistake (an unknown flag) is exit status 2.
+    std::ostringstream usage_out;
+    EXPECT_EQ(runCommand("print", {"--bogus", "x"}, usage_out), 2);
+    EXPECT_NE(usage_out.str().find("usage error:"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, NumericValidationExitsWithUsageError)
+{
+    // Out-of-range or malformed numeric arguments must fail cleanly
+    // (exit 2) instead of wrapping around or aborting.
+    const std::vector<std::vector<std::string>> bad_simulate = {
+        {"--threads", "-1"},
+        {"--threads", "4096"},
+        {"--instructions", "0"},
+        {"--scale", "0"},
+        {"--scale", "-2"},
+        {"--jitter", "1.5"},
+        {"--jitter", "-0.1"},
+    };
+    for (const auto &args : bad_simulate) {
+        std::ostringstream out;
+        EXPECT_EQ(runCommand("simulate", args, out), 2)
+            << args[0] << " " << args[1] << ": " << out.str();
+        EXPECT_NE(out.str().find("usage error:"), std::string::npos);
+    }
+
+    std::ostringstream folds_out;
+    EXPECT_EQ(runCommand("crossval",
+                         {"--data", "x.csv", "--folds", "1"},
+                         folds_out),
+              2);
+
+    simulate();
+    // More folds than rows: caught before the learner sees it.
+    std::ostringstream many_out;
+    EXPECT_EQ(runCommand("crossval",
+                         {"--data", csv_, "--folds", "999"},
+                         many_out),
+              2);
+    EXPECT_NE(many_out.str().find("exceeds"), std::string::npos);
 }
 
 TEST_F(CliCommandTest, DiffComparesTwoRuns)
@@ -217,7 +282,7 @@ TEST_F(CliCommandTest, StackReportsAttribution)
     std::ostringstream error_out;
     EXPECT_EQ(runCommand("stack", {"--workload", "429.mcf"},
                          error_out),
-              1);
+              3);
 }
 
 TEST_F(CliCommandTest, PredictRejectsSchemaMismatch)
@@ -233,7 +298,7 @@ TEST_F(CliCommandTest, PredictRejectsSchemaMismatch)
     EXPECT_EQ(runCommand("predict",
                          {"--model", model_, "--data", other_csv},
                          out),
-              1);
+              3);
     EXPECT_NE(out.str().find("schema"), std::string::npos);
 }
 

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection registry and for the
+ * failure behavior it rehearses across the pipeline: aborted trace
+ * captures, failing pool tasks, dying simulations, and kill-and-resume
+ * of a checkpointed suite run.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "data/io.h"
+#include "perf/checkpoint.h"
+#include "perf/section_collector.h"
+#include "workload/spec_suite.h"
+#include "workload/trace.h"
+
+namespace mtperf {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FaultInjectionTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Remove leftovers from previous runs: tests assert on the
+        // *absence* of files after aborted writes.
+        dir_ = testing::TempDir() + "/mtperf_fault";
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        fault::clear();
+    }
+
+    void
+    TearDown() override
+    {
+        fault::clear();
+        setGlobalThreadCount(0);
+    }
+
+    std::string dir_;
+};
+
+/**
+ * Find a seed for "site:0.5:1" whose single firing visit is NOT the
+ * first one: on the serial path an exception propagates immediately,
+ * so killing visit 0 would leave nothing checkpointed. Decisions are
+ * pure in (seed, site, visit), so the hunt is deterministic.
+ */
+std::uint64_t
+seedFiringAfterFirstVisit(const char *site, std::size_t visits)
+{
+    const std::string spec = std::string(site) + ":0.5:1";
+    for (std::uint64_t seed = 0;; ++seed) {
+        fault::configure(spec, seed);
+        bool first = fault::shouldFail(site);
+        bool later = false;
+        for (std::size_t i = 1; i < visits; ++i)
+            later = later || fault::shouldFail(site);
+        if (!first && later) {
+            fault::configure(spec, seed); // reset the visit counters
+            return seed;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Spec parsing and decision determinism
+// ---------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, SpecParsing)
+{
+    fault::configure("a.site, b.site:0.5, c.site:1:2");
+    const auto sites = fault::activeSites();
+    EXPECT_EQ(sites.size(), 3u);
+    EXPECT_TRUE(fault::armed());
+
+    fault::configure("");
+    EXPECT_FALSE(fault::armed());
+    EXPECT_TRUE(fault::activeSites().empty());
+
+    EXPECT_THROW(fault::configure(":0.5"), UsageError);
+    EXPECT_THROW(fault::configure("x:nope"), UsageError);
+    EXPECT_THROW(fault::configure("x:0.5:frac.5"), UsageError);
+    EXPECT_THROW(fault::configure("x:1:2:3"), UsageError);
+    EXPECT_THROW(fault::configure("x:2.0"), UsageError);
+    EXPECT_THROW(fault::configure("x:-0.1"), UsageError);
+}
+
+TEST_F(FaultInjectionTest, DisarmedFaultPointsAreFree)
+{
+    EXPECT_FALSE(fault::armed());
+    EXPECT_NO_THROW(MTPERF_FAULT_POINT("never.armed"));
+    EXPECT_EQ(fault::visits("never.armed"), 0u);
+}
+
+TEST_F(FaultInjectionTest, DecisionsAreDeterministicInSeed)
+{
+    auto schedule = [](std::uint64_t seed) {
+        fault::configure("p:0.3", seed);
+        std::vector<bool> fires;
+        for (int i = 0; i < 64; ++i)
+            fires.push_back(fault::shouldFail("p"));
+        return fires;
+    };
+    const auto a = schedule(7);
+    const auto b = schedule(7);
+    const auto c = schedule(8);
+    EXPECT_EQ(a, b) << "same seed must reproduce the same schedule";
+    EXPECT_NE(a, c) << "a different seed should differ somewhere";
+    // 0.3 over 64 visits: some fire, some don't.
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+    EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FaultInjectionTest, TriggerBudgetCapsFiring)
+{
+    fault::configure("capped:1:2");
+    int thrown = 0;
+    for (int i = 0; i < 10; ++i) {
+        try {
+            MTPERF_FAULT_POINT("capped");
+        } catch (const fault::InjectedFault &e) {
+            EXPECT_EQ(e.site(), "capped");
+            ++thrown;
+        }
+    }
+    EXPECT_EQ(thrown, 2);
+    EXPECT_EQ(fault::visits("capped"), 10u);
+    EXPECT_EQ(fault::triggered("capped"), 2u);
+}
+
+// ---------------------------------------------------------------
+// Fault points wired through the pipeline
+// ---------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, AbortedTraceCaptureLeavesNoFile)
+{
+    const std::string path = dir_ + "/aborted.trace";
+    const auto suite = workload::specLikeSuite();
+    fault::configure("trace.write.short:1:1");
+    EXPECT_THROW(workload::recordTrace(suite[0].phases[0].params, 1,
+                                       500, path),
+                 fault::InjectedFault);
+    fault::clear();
+    EXPECT_FALSE(fs::exists(path))
+        << "a half-written trace must never appear at the target path";
+    EXPECT_FALSE(fs::exists(path + ".tmp"))
+        << "the temp file must be cleaned up";
+
+    // The same capture succeeds once disarmed and replays fully.
+    const auto written = workload::recordTrace(suite[0].phases[0].params,
+                                               1, 500, path);
+    EXPECT_EQ(written, 500u);
+    uarch::Core core;
+    EXPECT_EQ(workload::replayTrace(path, core), 500u);
+}
+
+TEST_F(FaultInjectionTest, PoolTaskFaultPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(3);
+    fault::configure("pool.task.throw:1:1");
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(16, [&](std::size_t) { ++ran; }),
+        fault::InjectedFault);
+    fault::clear();
+    // The pool drains the loop and stays usable afterwards.
+    std::atomic<int> after{0};
+    pool.parallelFor(16, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 16);
+}
+
+TEST_F(FaultInjectionTest, WorkloadFaultSurfacesThroughSuiteRun)
+{
+    fault::configure("sim.workload.fail:1:1");
+    workload::RunnerOptions options;
+    options.sectionScale = 0.02;
+    options.instructionsPerSection = 500;
+    EXPECT_THROW(perf::collectSuiteDataset(options),
+                 fault::InjectedFault);
+}
+
+TEST_F(FaultInjectionTest, CliFaultSpecYieldsBadDataExit)
+{
+    const std::string out_csv = dir_ + "/faulted.csv";
+    std::ostringstream out;
+    const int rc = cli::runCommand(
+        "simulate",
+        {"--out", out_csv, "--scale", "0.02", "--instructions", "500",
+         "--fault-spec", "sim.workload.fail:1:1"},
+        out);
+    fault::clear();
+    EXPECT_EQ(rc, 3) << out.str();
+    EXPECT_NE(out.str().find("injected fault"), std::string::npos);
+    EXPECT_FALSE(fs::exists(out_csv));
+}
+
+// ---------------------------------------------------------------
+// Checkpoint/resume: kill-and-resume must be byte-identical
+// ---------------------------------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class CheckpointResumeTest
+    : public testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    TearDown() override
+    {
+        fault::clear();
+        setGlobalThreadCount(0);
+    }
+};
+
+TEST_P(CheckpointResumeTest, KillAndResumeIsByteIdentical)
+{
+    const std::string dir = testing::TempDir() + "/mtperf_resume" +
+                            std::to_string(GetParam());
+    fs::create_directories(dir);
+    const std::string reference_csv = dir + "/reference.csv";
+    const std::string resumed_csv = dir + "/resumed.csv";
+    const std::string ckpt = dir + "/suite.ckpt";
+    fs::remove(ckpt);
+
+    setGlobalThreadCount(GetParam());
+    workload::RunnerOptions options;
+    options.sectionScale = 0.02;
+    options.instructionsPerSection = 500;
+
+    // Uninterrupted run: the ground truth.
+    writeDatasetCsvFile(reference_csv,
+                        perf::collectSuiteDataset(options));
+
+    // "Kill" a checkpointed run partway: one workload dies after at
+    // least one completed workload has been checkpointed.
+    seedFiringAfterFirstVisit("sim.workload.fail",
+                              workload::specLikeSuite().size());
+    EXPECT_THROW(
+        perf::collectSuiteDatasetCheckpointed(options, ckpt),
+        fault::InjectedFault);
+    fault::clear();
+    ASSERT_TRUE(fs::exists(ckpt))
+        << "completed workloads should have been checkpointed";
+
+    // Resume: completed workloads load from the checkpoint, the rest
+    // re-run; the result must match the uninterrupted run exactly.
+    const Dataset resumed =
+        perf::collectSuiteDatasetCheckpointed(options, ckpt);
+    writeDatasetCsvFile(resumed_csv, resumed);
+    EXPECT_EQ(slurp(resumed_csv), slurp(reference_csv));
+    EXPECT_FALSE(fs::exists(ckpt))
+        << "the checkpoint is removed after a successful run";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CheckpointResumeTest,
+                         testing::Values(1, 3));
+
+TEST_F(FaultInjectionTest, CorruptCheckpointIsIgnoredNotTrusted)
+{
+    const std::string ckpt = dir_ + "/corrupt.ckpt";
+    {
+        std::ofstream out(ckpt);
+        out << "mtperf-checkpoint v1\nfingerprint deadbeef\ngarbage\n";
+    }
+    workload::RunnerOptions options;
+    options.sectionScale = 0.02;
+    options.instructionsPerSection = 500;
+    // A corrupt checkpoint restarts the run instead of failing it or
+    // silently reusing bad data.
+    const Dataset ds =
+        perf::collectSuiteDatasetCheckpointed(options, ckpt);
+    EXPECT_GT(ds.size(), 0u);
+    EXPECT_FALSE(fs::exists(ckpt));
+}
+
+TEST_F(FaultInjectionTest, MismatchedFingerprintRestartsRun)
+{
+    const std::string ckpt = dir_ + "/stale.ckpt";
+    workload::RunnerOptions options;
+    options.sectionScale = 0.02;
+    options.instructionsPerSection = 500;
+
+    // Checkpoint a run with one parameter set...
+    seedFiringAfterFirstVisit("sim.workload.fail",
+                              workload::specLikeSuite().size());
+    EXPECT_THROW(perf::collectSuiteDatasetCheckpointed(options, ckpt),
+                 fault::InjectedFault);
+    fault::clear();
+    ASSERT_TRUE(fs::exists(ckpt));
+
+    // ...then resume with a different seed: the stale results must
+    // not leak into the new run.
+    workload::RunnerOptions changed = options;
+    changed.seed = options.seed + 1;
+    const Dataset fresh =
+        perf::collectSuiteDatasetCheckpointed(changed, ckpt);
+    const Dataset reference = perf::collectSuiteDataset(changed);
+    ASSERT_EQ(fresh.size(), reference.size());
+    for (std::size_t r = 0; r < fresh.size(); ++r)
+        ASSERT_EQ(fresh.target(r), reference.target(r)) << "row " << r;
+}
+
+TEST_F(FaultInjectionTest, CheckpointWriteFaultDoesNotCorrupt)
+{
+    const std::string ckpt = dir_ + "/unwritable.ckpt";
+    workload::RunnerOptions options;
+    options.sectionScale = 0.02;
+    options.instructionsPerSection = 500;
+    fault::configure("checkpoint.write.fail:1:1");
+    // The first persist dies; the error propagates out of the run.
+    EXPECT_THROW(perf::collectSuiteDatasetCheckpointed(options, ckpt),
+                 fault::InjectedFault);
+    fault::clear();
+    // Whatever is on disk (nothing, or a later complete write) must
+    // load cleanly or be rejected — never crash the resume.
+    const Dataset ds =
+        perf::collectSuiteDatasetCheckpointed(options, ckpt);
+    EXPECT_GT(ds.size(), 0u);
+}
+
+} // namespace
+} // namespace mtperf

@@ -1,14 +1,18 @@
 /**
  * @file
- * Tests for M5Prime model serialization.
+ * Tests for M5Prime model serialization, including the corruption
+ * corpus over the checksummed v2 format.
  */
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "corruption_corpus.h"
 #include "ml/tree/m5prime.h"
 
 namespace mtperf {
@@ -148,6 +152,96 @@ TEST(M5PrimeIo, LoadFileMissingThrows)
 {
     EXPECT_THROW(M5Prime::loadFile("/nonexistent/model.m5"),
                  FatalError);
+}
+
+TEST(M5PrimeIo, SavedModelHasChecksumFooter)
+{
+    const Dataset ds = piecewiseDataset(500);
+    const M5Prime tree = fittedTree(ds);
+    const std::string path =
+        testing::TempDir() + "/mtperf_model_footer.m5";
+    tree.saveFile(path);
+
+    const std::string text = testutil::slurpFile(path);
+    EXPECT_EQ(text.rfind("m5prime-model v2\n", 0), 0u);
+    const std::size_t footer = text.rfind("\nchecksum ");
+    ASSERT_NE(footer, std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+
+    // Tampering with a single body byte must trip the checksum.
+    std::string damaged = text;
+    const std::size_t target = text.find("trainSize");
+    ASSERT_NE(target, std::string::npos);
+    damaged[target] = 'T';
+    testutil::writeFileBytes(path, damaged);
+    try {
+        M5Prime::loadFile(path);
+        FAIL() << "tampered model loaded without error";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+    }
+}
+
+TEST(M5PrimeIo, ModelCorpusDetectsOrLoadsIdentically)
+{
+    // Small tree to keep the corpus (8 flips per byte) tractable.
+    const Dataset ds = piecewiseDataset(200);
+    const M5Prime tree = fittedTree(ds);
+    const std::string reference = tree.toString();
+
+    const std::string path =
+        testing::TempDir() + "/mtperf_model_corpus.m5";
+    tree.saveFile(path);
+    const std::string pristine = testutil::slurpFile(path);
+
+    const std::string scratch =
+        testing::TempDir() + "/mtperf_model_scratch.m5";
+    auto outcome = [&](const char *what, std::size_t offset) {
+        try {
+            const M5Prime loaded = M5Prime::loadFile(scratch);
+            // Damage the checksum cannot see (it never happens to the
+            // v2 body) must leave the model semantically untouched.
+            EXPECT_EQ(loaded.toString(), reference)
+                << what << " at byte " << offset
+                << " loaded but changed the model";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(scratch),
+                      std::string::npos)
+                << "error must name the file: " << e.what();
+        }
+    };
+    testutil::forEachBitFlip(
+        pristine, scratch,
+        [&](std::size_t offset, int) { outcome("flip", offset); },
+        /*stride=*/3);
+    testutil::forEachTruncation(
+        pristine, scratch,
+        [&](std::size_t len) { outcome("truncation", len); },
+        /*stride=*/3);
+}
+
+TEST(M5PrimeIo, V1ModelTextWithoutChecksumStillLoads)
+{
+    // Pre-checksum model files carry no footer; they must keep
+    // loading so existing artifacts are not orphaned.
+    std::istringstream in(
+        "m5prime-model v1\ntarget y\nattributes 1\na x\n"
+        "trainSize 5\noptions 4 0.05 1 1 15 1 0\n"
+        "node l 5 1.0 0.1 2.0 0\nend\n");
+    const M5Prime loaded = M5Prime::load(in, "<v1-fixture>");
+    EXPECT_EQ(loaded.numLeaves(), 1u);
+    EXPECT_DOUBLE_EQ(loaded.predict(std::vector<double>{0.0}), 2.0);
+}
+
+TEST(M5PrimeIo, NonFiniteCoefficientsRejectedOnLoad)
+{
+    std::istringstream in(
+        "m5prime-model v1\ntarget y\nattributes 1\na x\n"
+        "trainSize 5\noptions 4 0.05 1 1 15 1 0\n"
+        "node l 5 1.0 0.1 nan 0\nend\n");
+    EXPECT_THROW(M5Prime::load(in, "<bad-fixture>"), FatalError);
 }
 
 } // namespace

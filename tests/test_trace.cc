@@ -132,9 +132,10 @@ TEST(Trace, ErrorsAreReported)
     std::filesystem::remove(junk);
 
     // A truncated trace: header promises more records than exist.
+    // (v2 records are 28 bytes: 24-byte payload + CRC32.)
     const std::string truncated = tracePath("truncated.trace");
     recordTrace(testPhase(), 17, 100, truncated);
-    std::filesystem::resize_file(truncated, 16 + 24 * 10);
+    std::filesystem::resize_file(truncated, 16 + 28 * 10);
     TraceReader reader(truncated);
     uarch::MicroOp op;
     for (int i = 0; i < 10; ++i)
