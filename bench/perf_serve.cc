@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Serving-throughput bench: single-row predictions per second over
+ * loopback TCP, with p50/p95/p99 request latency.
+ *
+ * Spins up an in-process Server on an ephemeral 127.0.0.1 port, then
+ * drives it from several client connections, each keeping a window of
+ * pipelined single-row PREDICT requests in flight — the workload
+ * batching exists for: many tiny requests that only hit the target
+ * rate when the batcher coalesces them across connections. RETRY
+ * backpressure is honored by resubmitting the row.
+ *
+ * Prints a human summary and writes BENCH_serve.json for CI trending:
+ *   {"rows_per_sec":..., "p50_us":..., "p95_us":..., "p99_us":...,
+ *    "rows":..., "server_rows":...}
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "ml/tree/m5prime.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace mtperf;
+
+namespace {
+
+constexpr std::size_t kCounters = 20;
+
+Dataset
+counterDataset(std::size_t n)
+{
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < kCounters; ++c)
+        names.push_back("c" + std::to_string(c));
+    Dataset ds(Schema(names, "CPI"));
+    Rng rng(9);
+    std::vector<double> row(kCounters);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < kCounters; ++c)
+            row[c] = rng.uniform();
+        const double cpi = row[0] <= 0.5
+                               ? 0.8 + 2.0 * row[1] + 0.5 * row[2]
+                               : 3.0 - 1.5 * row[3] + row[4];
+        ds.addRow(row, cpi + rng.normal(0.0, 0.05));
+    }
+    return ds;
+}
+
+struct ClientTotals
+{
+    std::vector<double> latenciesUs;
+    std::uint64_t rows = 0;
+    std::uint64_t retries = 0;
+};
+
+/**
+ * Drive @p total single-row requests with @p window of them pipelined,
+ * recording per-request latency (send to reply).
+ */
+ClientTotals
+driveClient(const std::string &address, const Dataset &ds,
+            std::size_t total, std::size_t window, std::size_t offset)
+{
+    using clock = std::chrono::steady_clock;
+    serve::Client client = serve::Client::connect(address, 0);
+    const std::size_t width = ds.numAttributes();
+
+    ClientTotals totals;
+    totals.latenciesUs.reserve(total);
+    std::map<std::uint32_t, std::pair<std::size_t, clock::time_point>>
+        inflight; // id -> (row index, send time)
+    std::size_t sent = 0;
+
+    auto sendRow = [&](std::size_t row_index) {
+        const auto row = ds.row(row_index % ds.size());
+        const std::uint32_t id = client.sendPredict(row, width);
+        inflight.emplace(id,
+                         std::make_pair(row_index, clock::now()));
+    };
+
+    while (totals.rows < total) {
+        while (sent < total && inflight.size() < window)
+            sendRow(offset + sent++);
+        const serve::Frame reply = client.readReply();
+        const auto it = inflight.find(reply.id);
+        if (it == inflight.end()) {
+            std::cerr << "unmatched reply id " << reply.id << "\n";
+            std::exit(1);
+        }
+        const std::size_t row_index = it->second.first;
+        const auto sent_at = it->second.second;
+        inflight.erase(it);
+        if (reply.type == serve::kMsgRetry) {
+            ++totals.retries;
+            sendRow(row_index); // resubmit, new id and clock
+            continue;
+        }
+        if (reply.type !=
+            (serve::kMsgPredict | serve::kMsgReplyBit)) {
+            std::cerr << "unexpected reply type "
+                      << static_cast<int>(reply.type) << "\n";
+            std::exit(1);
+        }
+        totals.latenciesUs.push_back(
+            std::chrono::duration<double, std::micro>(clock::now() -
+                                                      sent_at)
+                .count());
+        ++totals.rows;
+    }
+    return totals;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[index];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t rows = 200000;
+    std::size_t clients = 4;
+    std::size_t window = 64;
+    std::string json_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[i];
+        };
+        if (arg == "--rows")
+            rows = std::stoull(next());
+        else if (arg == "--clients")
+            clients = std::stoull(next());
+        else if (arg == "--window")
+            window = std::stoull(next());
+        else if (arg == "--json")
+            json_path = next();
+        else {
+            std::cerr << "usage: perf_serve [--rows N] [--clients N] "
+                         "[--window N] [--json PATH]\n";
+            return 2;
+        }
+    }
+
+    const Dataset ds = counterDataset(4000);
+    M5Options tree_options;
+    tree_options.minInstances = 100;
+    M5Prime tree(tree_options);
+    tree.fit(ds);
+    const std::string model_path =
+        (std::filesystem::temp_directory_path() / "perf_serve_model.m5")
+            .string();
+    tree.saveFile(model_path);
+
+    serve::ServerOptions server_options;
+    server_options.modelPath = model_path;
+    server_options.listen = "127.0.0.1";
+    server_options.port = 0;
+    serve::Server server(server_options);
+    server.start();
+    const std::string address =
+        "127.0.0.1:" + std::to_string(server.port());
+
+    const std::size_t per_client = rows / clients;
+    std::vector<ClientTotals> totals(clients);
+    const auto started = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                totals[c] = driveClient(address, ds, per_client,
+                                        window, c * per_client);
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+
+    std::vector<double> latencies;
+    std::uint64_t total_rows = 0;
+    std::uint64_t total_retries = 0;
+    for (const ClientTotals &t : totals) {
+        latencies.insert(latencies.end(), t.latenciesUs.begin(),
+                         t.latenciesUs.end());
+        total_rows += t.rows;
+        total_retries += t.retries;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double rows_per_sec =
+        static_cast<double>(total_rows) / elapsed;
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+
+    // Reconcile against the server's own accounting.
+    serve::Client stats_client = serve::Client::connect(address, 0);
+    const std::string stats_json = stats_client.stats();
+    const serve::StatsSnapshot snapshot = server.stats();
+    if (snapshot.rowsPredicted != total_rows) {
+        std::cerr << "server counted " << snapshot.rowsPredicted
+                  << " rows, clients counted " << total_rows << "\n";
+        return 1;
+    }
+
+    std::cout << "perf_serve: " << total_rows
+              << " single-row predictions over " << clients
+              << " connections (window " << window << ")\n"
+              << "  throughput " << static_cast<std::uint64_t>(rows_per_sec)
+              << " rows/sec (" << elapsed << " s)\n"
+              << "  latency p50 " << p50 << " us, p95 " << p95
+              << " us, p99 " << p99 << " us\n"
+              << "  client retries " << total_retries
+              << ", server stats " << stats_json << "\n";
+
+    std::ofstream json(json_path);
+    json << "{\"rows_per_sec\":" << rows_per_sec << ",\"p50_us\":"
+         << p50 << ",\"p95_us\":" << p95 << ",\"p99_us\":" << p99
+         << ",\"rows\":" << total_rows
+         << ",\"server_rows\":" << snapshot.rowsPredicted
+         << ",\"retries\":" << total_retries << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    server.requestStop();
+    server.wait();
+    std::filesystem::remove(model_path);
+    return 0;
+}

@@ -1,7 +1,12 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <sstream>
 
 #include "cli/args.h"
@@ -19,6 +24,8 @@
 #include "perf/diff.h"
 #include "perf/json_report.h"
 #include "perf/section_collector.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "workload/runner.h"
 #include "workload/spec_suite.h"
 #include "workload/stream_gen.h"
@@ -26,6 +33,9 @@
 namespace mtperf::cli {
 
 namespace {
+
+/** TCP port serve binds and predict --connect dials by default. */
+constexpr std::uint16_t kDefaultServePort = 7077;
 
 /**
  * Flags every command accepts: --threads sizes the worker pool (0 =
@@ -204,11 +214,49 @@ cmdPrint(const std::vector<std::string> &args, std::ostream &out)
     return 0;
 }
 
+namespace {
+
+/** Send the dataset through a prediction server in bounded chunks. */
+std::vector<double>
+predictRemote(const Dataset &ds, const std::string &address,
+              int timeout_ms)
+{
+    serve::Client::Options options;
+    if (timeout_ms > 0)
+        options.timeoutMs = timeout_ms;
+    serve::Client client =
+        serve::Client::connect(address, kDefaultServePort, options);
+
+    constexpr std::size_t kChunkRows = 256;
+    const std::size_t width = ds.numAttributes();
+    const std::span<const double> flat = ds.flatValues();
+    std::vector<double> predictions;
+    predictions.reserve(ds.size());
+    for (std::size_t first = 0; first < ds.size();
+         first += kChunkRows) {
+        const std::size_t count =
+            std::min(kChunkRows, ds.size() - first);
+        const serve::PredictResponse response = client.predict(
+            flat.subspan(first * width, count * width), width);
+        predictions.insert(predictions.end(),
+                           response.predictions.begin(),
+                           response.predictions.end());
+    }
+    return predictions;
+}
+
+} // namespace
+
 int
 cmdPredict(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
-    parser.addString("model", "", "saved model path", true);
+    parser.addString("model", "", "saved model path");
+    parser.addString("connect", "",
+                     "predict via a running server instead of a "
+                     "model file (HOST[:PORT] or unix:PATH)");
+    parser.addSize("timeout-ms", 0,
+                   "server receive timeout (0 = client default)");
     parser.addString("data", "", "CSV to predict on", true);
     parser.addString("out", "", "optional predictions CSV path");
     parser.addString("target", "CPI", "target column name");
@@ -217,15 +265,29 @@ cmdPredict(const std::vector<std::string> &args, std::ostream &out)
     parser.parse(args);
     applyCommonOptions(parser);
 
-    const M5Prime tree = M5Prime::loadFile(parser.getString("model"));
+    const std::string model_path = parser.getString("model");
+    const std::string address = parser.getString("connect");
+    if (model_path.empty() == address.empty())
+        throw UsageError(
+            "predict needs exactly one of --model FILE (local) or "
+            "--connect ADDRESS (remote)");
+    const int timeout_ms = static_cast<int>(
+        parser.getSize("timeout-ms", 0, 3600000));
+
     const Dataset ds =
         readDatasetCsvFile(parser.getString("data"),
                            parser.getString("target"),
                            datasetOptionsFrom(parser));
-    if (!(ds.schema() == tree.schema()))
-        mtperf_fatal("dataset schema does not match the model's");
 
-    const auto predictions = tree.predictAll(ds);
+    std::vector<double> predictions;
+    if (!address.empty()) {
+        predictions = predictRemote(ds, address, timeout_ms);
+    } else {
+        const M5Prime tree = M5Prime::loadFile(model_path);
+        if (!(ds.schema() == tree.schema()))
+            mtperf_fatal("dataset schema does not match the model's");
+        predictions = tree.predictAll(ds);
+    }
     const auto metrics = computeMetrics(ds.targets(), predictions);
     out << "predicted " << ds.size()
         << " sections: " << metrics.summary() << "\n";
@@ -405,6 +467,89 @@ cmdStack(const std::vector<std::string> &args, std::ostream &out)
     return 0;
 }
 
+namespace {
+
+/**
+ * The server the signal handlers talk to. Handlers only flip atomics
+ * on it (async-signal-safe); install/uninstall happens on the cmdServe
+ * thread before start() and after wait().
+ */
+std::atomic<serve::Server *> g_signalServer{nullptr};
+
+extern "C" void
+serveSignalHandler(int signum)
+{
+    serve::Server *server =
+        g_signalServer.load(std::memory_order_relaxed);
+    if (server == nullptr)
+        return;
+    if (signum == SIGHUP)
+        server->requestReload();
+    else
+        server->requestStop();
+}
+
+} // namespace
+
+int
+cmdServe(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("model", "", "saved model path", true);
+    parser.addString("listen", "127.0.0.1",
+                     "bind address: HOST, HOST:PORT or unix:PATH");
+    parser.addSize("port", kDefaultServePort,
+                   "TCP port when --listen has none (0 = ephemeral)");
+    parser.addSize("batch-max", 256,
+                   "most rows one inference batch coalesces");
+    parser.addSize("queue-max", 8192,
+                   "queued rows before the server replies RETRY");
+    parser.addSize("timeout-ms", 0,
+                   "drop connections idle this long (0 = never)");
+    addCommonOptions(parser);
+    parser.parse(args);
+    applyCommonOptions(parser);
+
+    // Validate every numeric eagerly so a bad value exits 2 before
+    // any model loading or binding happens.
+    serve::ServerOptions options;
+    options.port =
+        static_cast<std::uint16_t>(parser.getSize("port", 0, 65535));
+    options.batchMaxRows = parser.getSize("batch-max", 1, 1000000);
+    options.queueMaxRows = parser.getSize("queue-max", 1, 100000000);
+    if (options.queueMaxRows < options.batchMaxRows)
+        throw UsageError("--queue-max (" +
+                         std::to_string(options.queueMaxRows) +
+                         ") must be at least --batch-max (" +
+                         std::to_string(options.batchMaxRows) + ")");
+    options.idleTimeoutMs = static_cast<int>(
+        parser.getSize("timeout-ms", 0, 86400000));
+    options.modelPath = parser.getString("model");
+    options.listen = parser.getString("listen");
+
+    serve::Server server(options);
+    g_signalServer.store(&server, std::memory_order_relaxed);
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+    std::signal(SIGHUP, serveSignalHandler);
+
+    server.start();
+    out << "serving " << options.modelPath << " at "
+        << server.endpoint()
+        << " (SIGHUP reloads, SIGINT/SIGTERM stop)\n";
+    out.flush();
+    server.wait();
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGHUP, SIG_DFL);
+    g_signalServer.store(nullptr, std::memory_order_relaxed);
+
+    out << "server stopped; final stats: "
+        << server.stats().toJson() << "\n";
+    return 0;
+}
+
 std::string
 usageText()
 {
@@ -419,6 +564,8 @@ usageText()
            "  crossval   k-fold cross-validation on a CSV\n"
            "  diff       before/after comparison of two CSVs\n"
            "  stack      simulator CPI stack for one suite workload\n"
+           "  serve      prediction server with batched inference,\n"
+           "             hot reload (SIGHUP/RELOAD) and STATS\n"
            "  help       show this text\n"
            "\n"
            "every command accepts --threads N to size the worker\n"
@@ -429,7 +576,9 @@ usageText()
            "damaged file. simulate --checkpoint PATH resumes a killed\n"
            "run. train and crossval take\n"
            "--model name[:key=value,...] to pick the learner, e.g.\n"
-           "--model mlp:hidden=24-12,epochs=250.\n"
+           "--model mlp:hidden=24-12,epochs=250. predict --connect\n"
+           "HOST[:PORT]|unix:PATH sends rows to a running serve\n"
+           "daemon instead of loading a model file.\n"
            "\n"
            "exit codes: 0 success, 2 usage error (bad flags or\n"
            "values), 3 bad data (missing, corrupt or unparsable\n"
@@ -457,6 +606,8 @@ runCommand(const std::string &subcommand,
             return cmdDiff(args, out);
         if (subcommand == "stack")
             return cmdStack(args, out);
+        if (subcommand == "serve")
+            return cmdServe(args, out);
     } catch (const UsageError &e) {
         out << "usage error: " << e.what() << "\n";
         return 2;

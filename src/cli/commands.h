@@ -15,6 +15,7 @@
  *   crossval  — k-fold cross-validation of M5' on a CSV
  *   diff      — before/after comparison of two section CSVs
  *   stack     — simulator-attributed CPI stack for one workload
+ *   serve     — prediction server: batched inference over a socket
  */
 
 #ifndef MTPERF_CLI_COMMANDS_H_
@@ -38,6 +39,7 @@ int cmdAnalyze(const std::vector<std::string> &args, std::ostream &out);
 int cmdCrossval(const std::vector<std::string> &args, std::ostream &out);
 int cmdDiff(const std::vector<std::string> &args, std::ostream &out);
 int cmdStack(const std::vector<std::string> &args, std::ostream &out);
+int cmdServe(const std::vector<std::string> &args, std::ostream &out);
 
 /**
  * Dispatch @p subcommand; "help" (or anything unknown) prints usage.

@@ -35,6 +35,8 @@
  *   pool.task.throw       a thread-pool task throws
  *   sim.workload.fail     a suite workload simulation dies
  *   checkpoint.write.fail persisting a suite checkpoint fails
+ *   serve.accept          the prediction server drops a fresh connection
+ *   serve.read            a serving connection dies mid-frame read
  */
 
 #ifndef MTPERF_COMMON_FAULT_H_

@@ -58,6 +58,12 @@ class Dataset
     /** All targets, in row order. */
     const std::vector<double> &targets() const { return targets_; }
 
+    /**
+     * The dense row-major attribute block, size() * numAttributes()
+     * values. This is what batch prediction consumes directly.
+     */
+    std::span<const double> flatValues() const { return values_; }
+
     /** Copy of attribute column @p a. */
     std::vector<double> column(std::size_t a) const;
 

@@ -139,6 +139,9 @@ builtinBuilders()
         BaggedM5Options options;
         options.treeOptions = m5OptionsFrom(p);
         options.bags = p.size("bags", options.bags);
+        if (options.bags == 0)
+            mtperf_fatal("parameter bags of learner bagged-m5 must "
+                         "be at least 1");
         options.seed = p.seed("seed", options.seed);
         return std::make_unique<BaggedM5>(options);
     };

@@ -38,6 +38,23 @@ class Regressor
     virtual double predict(std::span<const double> row) const = 0;
 
     /**
+     * Predict a batch of rows stored back to back: @p rows holds
+     * out.size() rows of @p width values each, row-major, and
+     * prediction r is written to out[r]. The default implementation is
+     * the plain per-row loop; learners with cheap parallel evaluation
+     * (M5', BaggedM5) override it to fan the batch out over the thread
+     * pool. Every override must produce output bit-identical to the
+     * per-row loop, so serving and offline evaluation agree exactly.
+     */
+    virtual void
+    predictBatch(std::span<const double> rows, std::size_t width,
+                 std::span<double> out) const
+    {
+        for (std::size_t r = 0; r < out.size(); ++r)
+            out[r] = predict(rows.subspan(r * width, width));
+    }
+
+    /**
      * Create a fresh, untrained learner with this learner's
      * configuration (hyper-parameters). Fitted state is NOT copied —
      * training is deterministic for every learner in the library, so
@@ -54,10 +71,9 @@ class Regressor
     std::vector<double>
     predictAll(const Dataset &ds) const
     {
-        std::vector<double> out;
-        out.reserve(ds.size());
-        for (std::size_t r = 0; r < ds.size(); ++r)
-            out.push_back(predict(ds.row(r)));
+        std::vector<double> out(ds.size());
+        if (!ds.empty())
+            predictBatch(ds.flatValues(), ds.numAttributes(), out);
         return out;
     }
 };

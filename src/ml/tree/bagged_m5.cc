@@ -52,6 +52,31 @@ BaggedM5::predict(std::span<const double> row) const
     return acc / static_cast<double>(trees_.size());
 }
 
+void
+BaggedM5::predictBatch(std::span<const double> rows, std::size_t width,
+                       std::span<double> out) const
+{
+    mtperf_assert(!trees_.empty(), "predictBatch() before fit()");
+    mtperf_assert(rows.size() == out.size() * width,
+                  "batch size mismatch: ", rows.size(), " values for ",
+                  out.size(), " rows of width ", width);
+    // One task per member tree; averaging runs serially in tree order
+    // afterwards, which is the same floating-point addition order as
+    // the per-row predict() loop.
+    const auto per_tree =
+        parallelMap(globalPool(), trees_.size(), [&](std::size_t t) {
+            std::vector<double> p(out.size());
+            trees_[t]->predictBatch(rows, width, p);
+            return p;
+        });
+    for (std::size_t r = 0; r < out.size(); ++r) {
+        double acc = 0.0;
+        for (const auto &p : per_tree)
+            acc += p[r];
+        out[r] = acc / static_cast<double>(trees_.size());
+    }
+}
+
 const M5Prime &
 BaggedM5::tree(std::size_t i) const
 {

@@ -41,6 +41,15 @@ class BaggedM5 : public Regressor
 
     void fit(const Dataset &train) override;
     double predict(std::span<const double> row) const override;
+
+    /**
+     * Batch prediction, one pool task per member tree; the per-tree
+     * outputs are averaged in fixed tree order so the result is
+     * bit-identical to the serial per-row loop.
+     */
+    void predictBatch(std::span<const double> rows, std::size_t width,
+                      std::span<double> out) const override;
+
     std::string name() const override { return "BaggedM5"; }
 
     std::unique_ptr<Regressor>

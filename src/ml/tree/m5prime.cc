@@ -13,6 +13,7 @@
 #include "common/checksum.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "math/stats.h"
 
@@ -423,6 +424,27 @@ M5Prime::predict(std::span<const double> row) const
                                                         : node->right.get();
     }
     return node->model.predict(row);
+}
+
+void
+M5Prime::predictBatch(std::span<const double> rows, std::size_t width,
+                      std::span<double> out) const
+{
+    mtperf_assert(root_ != nullptr, "predictBatch() before fit()");
+    mtperf_assert(rows.size() == out.size() * width,
+                  "batch size mismatch: ", rows.size(), " values for ",
+                  out.size(), " rows of width ", width);
+    // Chunks keep per-task overhead negligible next to the tree walks
+    // while still letting a large batch occupy the whole pool.
+    constexpr std::size_t kChunk = 256;
+    const std::size_t n = out.size();
+    const std::size_t chunks = (n + kChunk - 1) / kChunk;
+    globalPool().parallelFor(chunks, [&](std::size_t c) {
+        const std::size_t lo = c * kChunk;
+        const std::size_t hi = std::min(n, lo + kChunk);
+        for (std::size_t r = lo; r < hi; ++r)
+            out[r] = predict(rows.subspan(r * width, width));
+    });
 }
 
 std::size_t

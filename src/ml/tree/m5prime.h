@@ -119,6 +119,16 @@ class M5Prime : public Regressor
 
     void fit(const Dataset &train) override;
     double predict(std::span<const double> row) const override;
+
+    /**
+     * Batch prediction, chunk-parallel over the global pool. Each row
+     * is an independent root-to-leaf walk writing its own output slot,
+     * so the result is bit-identical to the serial loop at any thread
+     * count. This is the server's hot path.
+     */
+    void predictBatch(std::span<const double> rows, std::size_t width,
+                      std::span<double> out) const override;
+
     std::string name() const override { return "M5Prime"; }
 
     /** Configuration clone; the fitted tree is not copied (use save/load). */

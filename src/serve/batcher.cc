@@ -1,0 +1,191 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/logging.h"
+
+namespace mtperf::serve {
+
+Batcher::Batcher(Options options, const ModelHolder &model,
+                 ServeStats &stats)
+    : options_(options), model_(model), stats_(stats)
+{
+    mtperf_assert(options_.batchMaxRows > 0, "batchMaxRows must be >= 1");
+    mtperf_assert(options_.queueMaxRows >= options_.batchMaxRows,
+                  "queueMaxRows must be >= batchMaxRows");
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+Batcher::~Batcher()
+{
+    stop();
+}
+
+bool
+Batcher::submit(PredictJob &&job)
+{
+    const std::size_t rows = job.rowCount();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return false;
+        if (queuedRows_ + rows > options_.queueMaxRows)
+            return false;
+        queuedRows_ += rows;
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+    return true;
+}
+
+void
+Batcher::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && !worker_.joinable())
+            return;
+        stopping_ = true;
+        paused_ = false;
+    }
+    wake_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+void
+Batcher::pause()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void
+Batcher::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    wake_.notify_all();
+}
+
+void
+Batcher::workerLoop()
+{
+    while (true) {
+        std::vector<PredictJob> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return (!paused_ && !queue_.empty()) ||
+                       (stopping_ && queue_.empty());
+            });
+            if (stopping_ && queue_.empty())
+                return;
+            // Take whole jobs until the batch budget is spent; always
+            // at least one so an outsized job still gets served.
+            std::size_t batch_rows = 0;
+            while (!queue_.empty()) {
+                const std::size_t next = queue_.front().rowCount();
+                if (!batch.empty() &&
+                    batch_rows + next > options_.batchMaxRows)
+                    break;
+                batch_rows += next;
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+                queuedRows_ -= next;
+            }
+        }
+        runBatch(batch);
+    }
+}
+
+void
+Batcher::runBatch(std::vector<PredictJob> &batch)
+{
+    const std::shared_ptr<const M5Prime> model = model_.get();
+    const std::size_t width =
+        model ? model->schema().numAttributes() : 0;
+
+    // Coalesce the jobs that match the (current) model schema into
+    // one contiguous block; anything else fails with a per-job error.
+    std::vector<std::size_t> runnable;
+    std::size_t total_rows = 0;
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+        if (model && batch[j].cols == width) {
+            runnable.push_back(j);
+            total_rows += batch[j].rowCount();
+        }
+    }
+
+    std::vector<double> rows;
+    rows.reserve(total_rows * width);
+    for (std::size_t j : runnable)
+        rows.insert(rows.end(), batch[j].rows.begin(),
+                    batch[j].rows.end());
+
+    std::vector<double> predictions(total_rows);
+    std::string batch_error;
+    if (!runnable.empty()) {
+        try {
+            model->predictBatch(rows, width, predictions);
+        } catch (const std::exception &e) {
+            batch_error = e.what();
+        }
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t offset = 0;
+    std::size_t next_runnable = 0;
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+        PredictJob &job = batch[j];
+        JobResult result;
+        const bool is_runnable = next_runnable < runnable.size() &&
+                                 runnable[next_runnable] == j;
+        if (!model) {
+            result.error = "no model loaded";
+        } else if (!is_runnable) {
+            result.error = "request has " + std::to_string(job.cols) +
+                           " columns, model expects " +
+                           std::to_string(width);
+        } else if (!batch_error.empty()) {
+            ++next_runnable;
+            offset += job.rowCount();
+            result.error = "prediction failed: " + batch_error;
+        } else {
+            ++next_runnable;
+            const std::size_t n = job.rowCount();
+            result.ok = true;
+            result.response.predictions.assign(
+                predictions.begin() +
+                    static_cast<std::ptrdiff_t>(offset),
+                predictions.begin() +
+                    static_cast<std::ptrdiff_t>(offset + n));
+            if (job.wantAttribution) {
+                result.response.hasAttribution = true;
+                result.response.leafIds.reserve(n);
+                for (std::size_t r = 0; r < n; ++r) {
+                    const std::span<const double> row(
+                        job.rows.data() + r * width, width);
+                    result.response.leafIds.push_back(
+                        static_cast<std::uint32_t>(
+                            model->leafIndexFor(row)));
+                }
+            }
+            offset += n;
+            stats_.countPredict(n);
+            stats_.recordLatency(
+                std::chrono::duration<double, std::micro>(
+                    now - job.enqueued)
+                    .count());
+        }
+        if (!result.ok)
+            stats_.countError();
+        if (job.done)
+            job.done(std::move(result));
+    }
+}
+
+} // namespace mtperf::serve

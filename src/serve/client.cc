@@ -1,0 +1,126 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mtperf::serve {
+
+Client
+Client::connect(const std::string &address, std::uint16_t default_port,
+                Options options)
+{
+    const net::Endpoint endpoint =
+        net::parseEndpoint(address, default_port);
+    return Client(net::connectTo(endpoint, options.timeoutMs), options);
+}
+
+Client
+Client::connect(const std::string &address, std::uint16_t default_port)
+{
+    return connect(address, default_port, Options{});
+}
+
+Frame
+Client::call(MsgType type, std::string payload)
+{
+    int delay_ms = options_.retryDelayMs;
+    for (int attempt = 0; attempt <= options_.retryMax; ++attempt) {
+        Frame request{type, nextId_++, payload};
+        writeFrame(sock_.fd(), request);
+        Frame reply;
+        if (!readFrame(sock_.fd(), reply, "server"))
+            mtperf_fatal("server closed the connection");
+        if (reply.id != request.id)
+            mtperf_fatal("response id ", reply.id,
+                         " does not match request id ", request.id,
+                         " (pipelining misuse?)");
+        if (reply.type == kMsgRetry) {
+            // Explicit backpressure: wait, then resubmit.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+            delay_ms = std::min(delay_ms * 2, 200);
+            continue;
+        }
+        if (reply.type == kMsgError) {
+            const ErrorInfo error = decodeError(reply.payload);
+            mtperf_fatal("server error (code ", error.code, "): ",
+                         error.message);
+        }
+        if (reply.type != static_cast<MsgType>(type | kMsgReplyBit))
+            mtperf_fatal("unexpected reply type ",
+                         static_cast<int>(reply.type), " to request ",
+                         static_cast<int>(type));
+        return reply;
+    }
+    mtperf_fatal("server kept replying RETRY after ",
+                 options_.retryMax, " attempts (overloaded)");
+}
+
+PredictResponse
+Client::predict(std::span<const double> rows, std::size_t cols,
+                bool want_attribution)
+{
+    PredictRequest request;
+    request.wantAttribution = want_attribution;
+    request.cols = static_cast<std::uint32_t>(cols);
+    request.rows = static_cast<std::uint32_t>(
+        cols == 0 ? 0 : rows.size() / cols);
+    request.values.assign(rows.begin(), rows.end());
+    const Frame reply =
+        call(kMsgPredict, encodePredictRequest(request));
+    return decodePredictResponse(reply.payload);
+}
+
+std::string
+Client::info()
+{
+    return call(kMsgInfo, {}).payload;
+}
+
+std::string
+Client::stats()
+{
+    return call(kMsgStats, {}).payload;
+}
+
+void
+Client::reload()
+{
+    call(kMsgReload, {});
+}
+
+void
+Client::shutdown()
+{
+    call(kMsgShutdown, {});
+}
+
+std::uint32_t
+Client::sendPredict(std::span<const double> rows, std::size_t cols,
+                    bool want_attribution)
+{
+    PredictRequest request;
+    request.wantAttribution = want_attribution;
+    request.cols = static_cast<std::uint32_t>(cols);
+    request.rows = static_cast<std::uint32_t>(
+        cols == 0 ? 0 : rows.size() / cols);
+    request.values.assign(rows.begin(), rows.end());
+    const std::uint32_t id = nextId_++;
+    writeFrame(sock_.fd(),
+               Frame{kMsgPredict, id, encodePredictRequest(request)});
+    return id;
+}
+
+Frame
+Client::readReply()
+{
+    Frame reply;
+    if (!readFrame(sock_.fd(), reply, "server"))
+        mtperf_fatal("server closed the connection");
+    return reply;
+}
+
+} // namespace mtperf::serve

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * C++ client for the mtperf prediction server.
+ *
+ * One connected socket, blocking request/response with transparent
+ * RETRY handling (bounded exponential backoff when the server sheds
+ * load), plus a raw pipelined interface — send many PREDICT frames,
+ * read replies out of order by request id — used by the throughput
+ * bench. This client powers `mtperf predict --connect`, the smoke
+ * tests, and `bench/perf_serve`.
+ *
+ * Any server-reported failure or connection loss raises FatalError
+ * carrying the server's message, so callers inherit the CLI's
+ * exit-code contract for free.
+ */
+
+#ifndef MTPERF_SERVE_CLIENT_H_
+#define MTPERF_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/socket.h"
+#include "serve/protocol.h"
+
+namespace mtperf::serve {
+
+/** A connected prediction-service client. */
+class Client
+{
+  public:
+    struct Options
+    {
+        int timeoutMs = 10000;  //!< receive timeout (0 = none)
+        int retryMax = 50;      //!< RETRY resubmissions before giving up
+        int retryDelayMs = 2;   //!< initial backoff (doubles, capped)
+    };
+
+    /**
+     * Connect to @p address ("HOST[:PORT]" or "unix:PATH").
+     * @throw FatalError when the connection fails.
+     */
+    static Client connect(const std::string &address,
+                          std::uint16_t default_port,
+                          Options options);
+    static Client connect(const std::string &address,
+                          std::uint16_t default_port);
+
+    /**
+     * Predict @p rows (flat, row-major, @p cols values per row).
+     * Handles RETRY backpressure internally.
+     * @throw FatalError on a server error or connection loss.
+     */
+    PredictResponse predict(std::span<const double> rows,
+                            std::size_t cols,
+                            bool want_attribution = false);
+
+    /** Model identity, schema and leaf-model listing. */
+    std::string info();
+
+    /** Stats snapshot as JSON. */
+    std::string stats();
+
+    /**
+     * Ask the server to reload its model file.
+     * @throw FatalError with the server's message when the new file
+     * is corrupt (the server keeps serving the old model).
+     */
+    void reload();
+
+    /** Ask the server to shut down (acknowledged before it stops). */
+    void shutdown();
+
+    /** @name Pipelined access (bench / advanced callers) */
+    ///@{
+
+    /** Send a PREDICT frame without waiting. @return its request id. */
+    std::uint32_t sendPredict(std::span<const double> rows,
+                              std::size_t cols,
+                              bool want_attribution = false);
+
+    /**
+     * Read the next reply frame (any type, any id).
+     * @throw FatalError on connection loss or a damaged frame.
+     */
+    Frame readReply();
+    ///@}
+
+    void close() { sock_.close(); }
+
+  private:
+    Client(net::Socket sock, Options options)
+        : sock_(std::move(sock)), options_(options)
+    {}
+
+    /** Send @p type+@p payload, wait for the matching reply. */
+    Frame call(MsgType type, std::string payload);
+
+    net::Socket sock_;
+    Options options_;
+    std::uint32_t nextId_ = 1;
+};
+
+} // namespace mtperf::serve
+
+#endif // MTPERF_SERVE_CLIENT_H_

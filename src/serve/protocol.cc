@@ -1,0 +1,316 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "common/socket.h"
+
+namespace mtperf::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'T', 'P', 'F'};
+constexpr std::uint8_t kVersion = 1;
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void
+put64(std::string &out, std::uint64_t v)
+{
+    put32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+    put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    put64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/** Bounds-checked little-endian reader over a payload. */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) {
+            v = (v << 8) |
+                static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        const std::uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    double real() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    bytes(std::size_t n)
+    {
+        need(n);
+        std::string out(bytes_.substr(pos_, n));
+        pos_ += n;
+        return out;
+    }
+
+    void
+    finish() const
+    {
+        if (pos_ != bytes_.size())
+            mtperf_fatal("payload has ", bytes_.size() - pos_,
+                         " trailing bytes");
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (bytes_.size() - pos_ < n)
+            mtperf_fatal("payload truncated: need ", n, " bytes at offset ",
+                         pos_, ", have ", bytes_.size() - pos_);
+    }
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    mtperf_assert(frame.payload.size() <= kMaxPayload,
+                  "frame payload exceeds the protocol limit");
+    std::string out;
+    out.reserve(kHeaderSize + frame.payload.size() + kTrailerSize);
+    out.append(kMagic, sizeof(kMagic));
+    out.push_back(static_cast<char>(kVersion));
+    out.push_back(static_cast<char>(frame.type));
+    out.push_back(0);
+    out.push_back(0);
+    put32(out, frame.id);
+    put32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    out += frame.payload;
+    put32(out, crc32(out));
+    return out;
+}
+
+namespace {
+
+/**
+ * Validate a 16-byte header; @return the payload length.
+ * @throw FatalError naming @p source on any structural damage.
+ */
+std::uint32_t
+checkHeader(const char *header, const std::string &source)
+{
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        mtperf_fatal(source, ": bad frame magic");
+    if (static_cast<std::uint8_t>(header[4]) != kVersion) {
+        mtperf_fatal(source, ": unsupported protocol version ",
+                     static_cast<int>(
+                         static_cast<std::uint8_t>(header[4])));
+    }
+    if (header[6] != 0 || header[7] != 0)
+        mtperf_fatal(source, ": nonzero reserved header bytes");
+    std::uint32_t length = 0;
+    for (int i = 3; i >= 0; --i) {
+        length = (length << 8) |
+                 static_cast<unsigned char>(header[12 + i]);
+    }
+    if (length > kMaxPayload)
+        mtperf_fatal(source, ": oversized frame (", length,
+                     " payload bytes, limit ", kMaxPayload, ")");
+    return length;
+}
+
+} // namespace
+
+Frame
+decodeFrame(std::string_view bytes, const std::string &source)
+{
+    if (bytes.size() < kHeaderSize + kTrailerSize)
+        mtperf_fatal(source, ": truncated frame (", bytes.size(),
+                     " bytes, need at least ",
+                     kHeaderSize + kTrailerSize, ")");
+    const std::uint32_t length = checkHeader(bytes.data(), source);
+    if (bytes.size() != kHeaderSize + length + kTrailerSize) {
+        mtperf_fatal(source, ": frame length mismatch (header says ",
+                     length, " payload bytes, buffer holds ",
+                     bytes.size() - kHeaderSize - kTrailerSize, ")");
+    }
+    const std::size_t body = kHeaderSize + length;
+    std::uint32_t stored = 0;
+    for (int i = 3; i >= 0; --i) {
+        stored = (stored << 8) |
+                 static_cast<unsigned char>(
+                     bytes[body + static_cast<std::size_t>(i)]);
+    }
+    const std::uint32_t computed = crc32(bytes.data(), body);
+    if (stored != computed) {
+        mtperf_fatal(source, ": frame checksum mismatch (stored ",
+                     crc32Hex(stored), ", computed ", crc32Hex(computed),
+                     ")");
+    }
+    Frame frame;
+    frame.type = static_cast<MsgType>(bytes[5]);
+    std::uint32_t id = 0;
+    for (int i = 3; i >= 0; --i) {
+        id = (id << 8) |
+             static_cast<unsigned char>(bytes[8 + static_cast<std::size_t>(i)]);
+    }
+    frame.id = id;
+    frame.payload.assign(bytes.substr(kHeaderSize, length));
+    return frame;
+}
+
+bool
+readFrame(int fd, Frame &out, const std::string &source)
+{
+    char header[kHeaderSize];
+    if (!net::readFully(fd, header, sizeof(header)))
+        return false;
+    const std::uint32_t length = checkHeader(header, source);
+    std::string rest(length + kTrailerSize, '\0');
+    if (!net::readFully(fd, rest.data(), rest.size()))
+        mtperf_fatal(source, ": connection closed mid-frame");
+    std::string whole;
+    whole.reserve(sizeof(header) + rest.size());
+    whole.append(header, sizeof(header));
+    whole += rest;
+    out = decodeFrame(whole, source);
+    return true;
+}
+
+void
+writeFrame(int fd, const Frame &frame)
+{
+    const std::string bytes = encodeFrame(frame);
+    net::writeAll(fd, bytes.data(), bytes.size());
+}
+
+std::string
+encodePredictRequest(const PredictRequest &request)
+{
+    mtperf_assert(request.values.size() ==
+                      std::size_t{request.rows} * request.cols,
+                  "predict request shape mismatch");
+    std::string out;
+    out.reserve(12 + request.values.size() * 8);
+    put32(out, request.wantAttribution ? 1u : 0u);
+    put32(out, request.rows);
+    put32(out, request.cols);
+    for (double v : request.values)
+        putDouble(out, v);
+    return out;
+}
+
+PredictRequest
+decodePredictRequest(std::string_view payload)
+{
+    Reader reader(payload);
+    PredictRequest request;
+    const std::uint32_t flags = reader.u32();
+    if ((flags & ~1u) != 0)
+        mtperf_fatal("unknown predict request flags ", flags);
+    request.wantAttribution = (flags & 1u) != 0;
+    request.rows = reader.u32();
+    request.cols = reader.u32();
+    const std::uint64_t count =
+        std::uint64_t{request.rows} * request.cols;
+    if (count > kMaxPayload / 8)
+        mtperf_fatal("predict request too large: ", request.rows,
+                     " rows x ", request.cols, " cols");
+    request.values.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        request.values.push_back(reader.real());
+    reader.finish();
+    return request;
+}
+
+std::string
+encodePredictResponse(const PredictResponse &response)
+{
+    mtperf_assert(!response.hasAttribution ||
+                      response.leafIds.size() ==
+                          response.predictions.size(),
+                  "attribution shape mismatch");
+    std::string out;
+    out.reserve(8 + response.predictions.size() * 12);
+    put32(out, response.hasAttribution ? 1u : 0u);
+    put32(out, static_cast<std::uint32_t>(response.predictions.size()));
+    for (double v : response.predictions)
+        putDouble(out, v);
+    if (response.hasAttribution) {
+        for (std::uint32_t leaf : response.leafIds)
+            put32(out, leaf);
+    }
+    return out;
+}
+
+PredictResponse
+decodePredictResponse(std::string_view payload)
+{
+    Reader reader(payload);
+    PredictResponse response;
+    const std::uint32_t flags = reader.u32();
+    if ((flags & ~1u) != 0)
+        mtperf_fatal("unknown predict response flags ", flags);
+    response.hasAttribution = (flags & 1u) != 0;
+    const std::uint32_t rows = reader.u32();
+    response.predictions.reserve(rows);
+    for (std::uint32_t i = 0; i < rows; ++i)
+        response.predictions.push_back(reader.real());
+    if (response.hasAttribution) {
+        response.leafIds.reserve(rows);
+        for (std::uint32_t i = 0; i < rows; ++i)
+            response.leafIds.push_back(reader.u32());
+    }
+    reader.finish();
+    return response;
+}
+
+std::string
+encodeError(const ErrorInfo &error)
+{
+    std::string out;
+    put32(out, error.code);
+    put32(out, static_cast<std::uint32_t>(error.message.size()));
+    out += error.message;
+    return out;
+}
+
+ErrorInfo
+decodeError(std::string_view payload)
+{
+    Reader reader(payload);
+    ErrorInfo error;
+    error.code = reader.u32();
+    const std::uint32_t length = reader.u32();
+    error.message = reader.bytes(length);
+    reader.finish();
+    return error;
+}
+
+} // namespace mtperf::serve

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The mtperf serving wire protocol: length-prefixed, CRC-framed.
+ *
+ * Every message is one frame:
+ *
+ *     offset  size  field
+ *     0       4     magic "MTPF"
+ *     4       1     protocol version (1)
+ *     5       1     message type
+ *     6       2     reserved (must be 0)
+ *     8       4     request id (echoed verbatim in the response)
+ *     12      4     payload length N (little-endian, <= 64 MiB)
+ *     16      N     payload
+ *     16+N    4     CRC32 over bytes [0, 16+N)
+ *
+ * The trailing CRC covers header *and* payload, so any single-bit
+ * flip or truncation anywhere in the frame is detected — the same
+ * integrity contract as the PR 2 artifact formats, rehearsed by the
+ * same corruption corpus. Multi-byte fields are little-endian by
+ * definition (encoded with shifts, not memcpy), and doubles travel as
+ * their IEEE-754 bit patterns, so predictions are bit-identical
+ * across the wire.
+ *
+ * Request types: PREDICT (N rows x W counters -> N CPI predictions,
+ * optionally with per-row leaf ids for attribution), INFO (model
+ * identity, schema, and the full leaf-model listing), RELOAD (re-read
+ * the model file; the old model keeps serving if the new one is
+ * corrupt), STATS (counter + latency snapshot as JSON), SHUTDOWN.
+ * A successful response echoes the request type with the high bit
+ * set; ERROR carries a code + message; RETRY is explicit
+ * backpressure — the queue is full, resubmit after a short delay.
+ *
+ * Responses carry the request id, so a client may pipeline many
+ * requests on one connection and match replies out of order.
+ */
+
+#ifndef MTPERF_SERVE_PROTOCOL_H_
+#define MTPERF_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtperf::serve {
+
+using MsgType = std::uint8_t;
+
+constexpr MsgType kMsgPredict = 1;
+constexpr MsgType kMsgInfo = 2;
+constexpr MsgType kMsgReload = 3;
+constexpr MsgType kMsgStats = 4;
+constexpr MsgType kMsgShutdown = 5;
+
+/** OK responses echo the request type with this bit set. */
+constexpr MsgType kMsgReplyBit = 0x80;
+/** Failure responses (payload: ErrorInfo). */
+constexpr MsgType kMsgError = 0x7E;
+/** Backpressure: queue full, resubmit later (empty payload). */
+constexpr MsgType kMsgRetry = 0x7F;
+
+/** Error codes carried by kMsgError payloads. */
+constexpr std::uint32_t kErrBadRequest = 1; //!< malformed/mismatched request
+constexpr std::uint32_t kErrModel = 2;      //!< model load/reload failure
+constexpr std::uint32_t kErrInternal = 3;   //!< server-side bug
+constexpr std::uint32_t kErrShutdown = 4;   //!< server is stopping
+
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kTrailerSize = 4; // CRC32
+
+/** One protocol message. */
+struct Frame
+{
+    MsgType type = 0;
+    std::uint32_t id = 0;
+    std::string payload;
+};
+
+/** Serialize @p frame (header + payload + CRC). */
+std::string encodeFrame(const Frame &frame);
+
+/**
+ * Decode a buffer holding exactly one frame. Any damage — bad magic,
+ * unknown version, nonzero reserved bytes, oversized or mismatched
+ * length, CRC failure — raises FatalError naming @p source and the
+ * cause. Truncations and single-bit flips are always detected.
+ */
+Frame decodeFrame(std::string_view bytes,
+                  const std::string &source = "<buffer>");
+
+/**
+ * Read one frame from a connected socket. @return false on a clean
+ * EOF before the first header byte; @throw FatalError on a damaged
+ * frame, a mid-frame EOF, or a socket error.
+ */
+bool readFrame(int fd, Frame &out,
+               const std::string &source = "<socket>");
+
+/** Write one frame to a connected socket. @throw FatalError. */
+void writeFrame(int fd, const Frame &frame);
+
+// ------------------------------------------------------------------
+// Typed payloads
+// ------------------------------------------------------------------
+
+/** PREDICT request: rows x cols counter values, row-major. */
+struct PredictRequest
+{
+    bool wantAttribution = false; //!< also return per-row leaf ids
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<double> values; //!< rows * cols
+};
+
+/** PREDICT response. */
+struct PredictResponse
+{
+    bool hasAttribution = false;
+    std::vector<double> predictions;    //!< one per row
+    std::vector<std::uint32_t> leafIds; //!< one per row when requested
+};
+
+/** ERROR payload. */
+struct ErrorInfo
+{
+    std::uint32_t code = 0;
+    std::string message;
+};
+
+std::string encodePredictRequest(const PredictRequest &request);
+PredictRequest decodePredictRequest(std::string_view payload);
+
+std::string encodePredictResponse(const PredictResponse &response);
+PredictResponse decodePredictResponse(std::string_view payload);
+
+std::string encodeError(const ErrorInfo &error);
+ErrorInfo decodeError(std::string_view payload);
+
+} // namespace mtperf::serve
+
+#endif // MTPERF_SERVE_PROTOCOL_H_

@@ -1,0 +1,315 @@
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace mtperf::serve {
+
+/**
+ * Per-connection shared state. Batcher callbacks hold a shared_ptr,
+ * so the socket outlives the connection thread until the last queued
+ * response for it was written (or dropped). All writes to the socket
+ * go through one mutex because responses complete on the batcher
+ * thread while RETRY/error replies come from the connection thread.
+ */
+struct Server::Connection
+{
+    net::Socket sock;
+    std::mutex writeMutex;
+    std::atomic<bool> open{true};
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      endpoint_(net::parseEndpoint(options_.listen, options_.port))
+{
+    model_.set(std::make_shared<const M5Prime>(
+        M5Prime::loadFile(options_.modelPath)));
+
+    if (endpoint_.unixDomain) {
+        listener_ = net::listenUnix(endpoint_.path);
+    } else {
+        listener_ =
+            net::listenTcp(endpoint_.host, endpoint_.port, &boundPort_);
+        endpoint_.port = boundPort_;
+    }
+
+    Batcher::Options batch_options;
+    batch_options.batchMaxRows = options_.batchMaxRows;
+    batch_options.queueMaxRows = options_.queueMaxRows;
+    batcher_ =
+        std::make_unique<Batcher>(batch_options, model_, stats_);
+}
+
+Server::~Server()
+{
+    requestStop();
+    wait();
+    if (endpoint_.unixDomain)
+        ::unlink(endpoint_.path.c_str());
+}
+
+std::string
+Server::endpoint() const
+{
+    return endpoint_.display();
+}
+
+void
+Server::start()
+{
+    mtperf_assert(!started_, "Server::start() called twice");
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+}
+
+void
+Server::requestReload()
+{
+    reloadRequested_.store(true, std::memory_order_relaxed);
+}
+
+bool
+Server::reloadNow(std::string *error)
+{
+    // One reload at a time; predictions are not blocked (they hold
+    // their own shared_ptr snapshot of the model).
+    std::lock_guard<std::mutex> lock(reloadMutex_);
+    try {
+        auto fresh = std::make_shared<const M5Prime>(
+            M5Prime::loadFile(options_.modelPath));
+        model_.set(std::move(fresh));
+        stats_.countReload(true);
+        inform("reloaded model from ", options_.modelPath);
+        return true;
+    } catch (const std::exception &e) {
+        stats_.countReload(false);
+        warn("model reload failed, keeping the serving model: ",
+             e.what());
+        if (error != nullptr)
+            *error = e.what();
+        return false;
+    }
+}
+
+void
+Server::wait()
+{
+    if (joined_)
+        return;
+    if (!started_) {
+        joined_ = true;
+        batcher_->stop();
+        return;
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Unblock every connection thread parked in a read, then join.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto &weak : connections_) {
+            if (auto conn = weak.lock())
+                conn->sock.shutdownBoth();
+        }
+    }
+    for (auto &thread : connThreads_)
+        thread.join();
+    connThreads_.clear();
+
+    // Complete whatever predictions are still queued before stopping.
+    batcher_->stop();
+    joined_ = true;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        if (reloadRequested_.exchange(false, std::memory_order_relaxed))
+            reloadNow(nullptr);
+        if (!net::waitReadable(listener_.fd(), options_.pollIntervalMs))
+            continue;
+        try {
+            net::Socket accepted = net::acceptOn(listener_);
+            MTPERF_FAULT_POINT("serve.accept");
+            auto conn = std::make_shared<Connection>();
+            conn->sock = std::move(accepted);
+            stats_.countConnection();
+            std::lock_guard<std::mutex> lock(connMutex_);
+            connections_.push_back(conn);
+            connThreads_.emplace_back(
+                [this, conn] { serveConnection(conn); });
+        } catch (const std::exception &e) {
+            // A failed or fault-injected accept drops that one
+            // connection; the server keeps serving.
+            stats_.countError();
+            warn("accept failed: ", e.what());
+        }
+    }
+    listener_.close();
+}
+
+void
+Server::sendOn(const std::shared_ptr<Connection> &conn,
+               const Frame &frame)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (!conn->open.load(std::memory_order_relaxed))
+        return;
+    try {
+        writeFrame(conn->sock.fd(), frame);
+    } catch (const std::exception &) {
+        // Peer is gone; further replies on this connection are moot.
+        conn->open.store(false, std::memory_order_relaxed);
+    }
+}
+
+void
+Server::serveConnection(std::shared_ptr<Connection> conn)
+{
+    using clock = std::chrono::steady_clock;
+    auto last_activity = clock::now();
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           conn->open.load(std::memory_order_relaxed)) {
+        if (!net::waitReadable(conn->sock.fd(),
+                               options_.pollIntervalMs)) {
+            if (options_.idleTimeoutMs > 0 &&
+                clock::now() - last_activity >
+                    std::chrono::milliseconds(options_.idleTimeoutMs))
+                break;
+            continue;
+        }
+        Frame request;
+        try {
+            MTPERF_FAULT_POINT("serve.read");
+            if (!readFrame(conn->sock.fd(), request, "client"))
+                break; // clean EOF
+        } catch (const std::exception &e) {
+            // Damaged frame or injected fault: tell the client if we
+            // can, then drop the connection — framing is lost.
+            stats_.countError();
+            sendOn(conn, Frame{kMsgError, request.id,
+                               encodeError({kErrBadRequest, e.what()})});
+            break;
+        }
+        last_activity = clock::now();
+        stats_.countRequest();
+        if (!dispatch(conn, request))
+            break;
+    }
+    conn->open.store(false, std::memory_order_relaxed);
+    conn->sock.shutdownBoth();
+}
+
+bool
+Server::dispatch(const std::shared_ptr<Connection> &conn,
+                 Frame &request)
+{
+    switch (request.type) {
+    case kMsgPredict: {
+        PredictRequest predict;
+        try {
+            predict = decodePredictRequest(request.payload);
+        } catch (const std::exception &e) {
+            stats_.countError();
+            sendOn(conn, Frame{kMsgError, request.id,
+                               encodeError({kErrBadRequest, e.what()})});
+            return true;
+        }
+        PredictJob job;
+        job.rows = std::move(predict.values);
+        job.cols = predict.cols;
+        job.wantAttribution = predict.wantAttribution;
+        job.enqueued = std::chrono::steady_clock::now();
+        const std::uint32_t id = request.id;
+        job.done = [this, conn, id](JobResult &&result) {
+            if (result.ok) {
+                sendOn(conn,
+                       Frame{static_cast<MsgType>(kMsgPredict |
+                                                  kMsgReplyBit),
+                             id,
+                             encodePredictResponse(result.response)});
+            } else {
+                sendOn(conn,
+                       Frame{kMsgError, id,
+                             encodeError({kErrBadRequest,
+                                          result.error})});
+            }
+        };
+        if (!batcher_->submit(std::move(job))) {
+            stats_.countRetry();
+            sendOn(conn, Frame{kMsgRetry, request.id, {}});
+        }
+        return true;
+    }
+    case kMsgInfo:
+        sendOn(conn,
+               Frame{static_cast<MsgType>(kMsgInfo | kMsgReplyBit),
+                     request.id, infoText()});
+        return true;
+    case kMsgReload: {
+        std::string error;
+        if (reloadNow(&error)) {
+            sendOn(conn, Frame{static_cast<MsgType>(kMsgReload |
+                                                    kMsgReplyBit),
+                               request.id, {}});
+        } else {
+            sendOn(conn, Frame{kMsgError, request.id,
+                               encodeError({kErrModel, error})});
+        }
+        return true;
+    }
+    case kMsgStats:
+        sendOn(conn,
+               Frame{static_cast<MsgType>(kMsgStats | kMsgReplyBit),
+                     request.id, stats_.snapshot().toJson()});
+        return true;
+    case kMsgShutdown:
+        sendOn(conn,
+               Frame{static_cast<MsgType>(kMsgShutdown | kMsgReplyBit),
+                     request.id, {}});
+        requestStop();
+        return false;
+    default:
+        stats_.countError();
+        sendOn(conn,
+               Frame{kMsgError, request.id,
+                     encodeError({kErrBadRequest,
+                                  "unknown request type " +
+                                      std::to_string(request.type)})});
+        return true;
+    }
+}
+
+std::string
+Server::infoText() const
+{
+    const std::shared_ptr<const M5Prime> model = model_.get();
+    std::ostringstream os;
+    os << "model M5Prime\n";
+    os << "source " << options_.modelPath << "\n";
+    const Schema &schema = model->schema();
+    os << "attributes " << schema.numAttributes();
+    for (std::size_t a = 0; a < schema.numAttributes(); ++a)
+        os << " " << schema.attributeName(a);
+    os << "\n";
+    os << "target " << schema.targetName() << "\n";
+    os << "leaves " << model->numLeaves() << "\n";
+    os << "--- tree ---\n";
+    os << model->toString();
+    return os.str();
+}
+
+} // namespace mtperf::serve

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The mtperf prediction server.
+ *
+ * One accept loop (TCP or Unix-domain, chosen by the listen address),
+ * one thread per connection reading frames and dispatching them, one
+ * batcher thread coalescing PREDICT jobs over the shared thread pool.
+ * The lifecycle:
+ *
+ *   Server server(options);   // loads the model, binds, listens
+ *   server.start();           // spawns the accept + batcher threads
+ *   server.wait();            // blocks until SHUTDOWN/requestStop()
+ *
+ * Hot reload (RELOAD request or requestReload(), wired to SIGHUP by
+ * the CLI) re-reads the model file and swaps it in atomically via
+ * shared_ptr; when the replacement is corrupt the old model keeps
+ * serving and the reloader gets the loader's error message. Stopping
+ * is graceful: queued predictions complete, connections close, and a
+ * final stats snapshot remains readable.
+ *
+ * Fault sites `serve.accept` and `serve.read` (common/fault) let
+ * tests rehearse a dying accept loop and mid-frame connection drops
+ * deterministically.
+ */
+
+#ifndef MTPERF_SERVE_SERVER_H_
+#define MTPERF_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "serve/batcher.h"
+#include "serve/stats.h"
+
+namespace mtperf::serve {
+
+/** Server configuration (validated eagerly by the CLI). */
+struct ServerOptions
+{
+    std::string modelPath;           //!< checksummed m5prime model file
+    std::string listen = "127.0.0.1"; //!< HOST, HOST:PORT or unix:PATH
+    std::uint16_t port = 0;           //!< TCP port when listen has none
+    std::size_t batchMaxRows = 256;
+    std::size_t queueMaxRows = 8192;
+    int pollIntervalMs = 50;          //!< stop/reload responsiveness
+    int idleTimeoutMs = 0;            //!< drop idle connections (0 = never)
+};
+
+/** A running prediction server. */
+class Server
+{
+  public:
+    /**
+     * Load the model, bind and listen. @throw FatalError when the
+     * model is unreadable/corrupt or the address cannot be bound.
+     */
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the accept loop (the batcher already runs). */
+    void start();
+
+    /** Block until the server stopped, then release every thread. */
+    void wait();
+
+    /** Ask the server to stop; wait() returns soon after. */
+    void requestStop();
+
+    /** Ask for a model reload at the next accept-loop tick (SIGHUP). */
+    void requestReload();
+
+    /**
+     * Reload the model file now. @return true on success; on failure
+     * the old model keeps serving and @p error (if non-null) receives
+     * the loader's message.
+     */
+    bool reloadNow(std::string *error);
+
+    /** The bound TCP port (0 for Unix-domain sockets). */
+    std::uint16_t port() const { return boundPort_; }
+
+    /** Printable bound address. */
+    std::string endpoint() const;
+
+    StatsSnapshot stats() const { return stats_.snapshot(); }
+
+  private:
+    struct Connection;
+
+    void acceptLoop();
+    void serveConnection(std::shared_ptr<Connection> conn);
+    bool dispatch(const std::shared_ptr<Connection> &conn,
+                  Frame &request);
+    std::string infoText() const;
+    static void sendOn(const std::shared_ptr<Connection> &conn,
+                       const Frame &frame);
+
+    ServerOptions options_;
+    net::Endpoint endpoint_;
+    std::uint16_t boundPort_ = 0;
+    net::Socket listener_;
+
+    ModelHolder model_;
+    ServeStats stats_;
+    std::unique_ptr<Batcher> batcher_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> reloadRequested_{false};
+    std::mutex reloadMutex_;
+
+    std::thread acceptThread_;
+    std::mutex connMutex_;
+    std::vector<std::weak_ptr<Connection>> connections_;
+    std::vector<std::thread> connThreads_;
+    bool started_ = false;
+    bool joined_ = false;
+};
+
+} // namespace mtperf::serve
+
+#endif // MTPERF_SERVE_SERVER_H_

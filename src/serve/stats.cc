@@ -1,0 +1,105 @@
+#include "serve/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mtperf::serve {
+
+std::size_t
+LatencyHistogram::bucketFor(double micros)
+{
+    if (!(micros > kFirstBoundMicros))
+        return 0;
+    const double steps =
+        std::log(micros / kFirstBoundMicros) / std::log(kGrowth);
+    const std::size_t bucket =
+        static_cast<std::size_t>(std::ceil(steps));
+    return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+double
+LatencyHistogram::boundOf(std::size_t bucket)
+{
+    return kFirstBoundMicros *
+           std::pow(kGrowth, static_cast<double>(bucket));
+}
+
+void
+LatencyHistogram::record(double micros)
+{
+    buckets_[bucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bucket : buckets_)
+        total += bucket.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+LatencyHistogram::percentileMicros(double p) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    const double target = p * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b].load(std::memory_order_relaxed);
+        if (static_cast<double>(seen) >= target)
+            return boundOf(b);
+    }
+    return boundOf(kBuckets - 1);
+}
+
+void
+ServeStats::countPredict(std::uint64_t rows)
+{
+    bump(predictRequests_);
+    rowsPredicted_.fetch_add(rows, std::memory_order_relaxed);
+}
+
+void
+ServeStats::countReload(bool ok)
+{
+    bump(ok ? reloads_ : reloadFailures_);
+}
+
+StatsSnapshot
+ServeStats::snapshot() const
+{
+    StatsSnapshot s;
+    s.connections = connections_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.predictRequests = predictRequests_.load(std::memory_order_relaxed);
+    s.rowsPredicted = rowsPredicted_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.reloads = reloads_.load(std::memory_order_relaxed);
+    s.reloadFailures = reloadFailures_.load(std::memory_order_relaxed);
+    s.p50Micros = latency_.percentileMicros(0.50);
+    s.p95Micros = latency_.percentileMicros(0.95);
+    s.p99Micros = latency_.percentileMicros(0.99);
+    return s;
+}
+
+std::string
+StatsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"connections\":" << connections
+       << ",\"requests\":" << requests
+       << ",\"predict_requests\":" << predictRequests
+       << ",\"rows_predicted\":" << rowsPredicted
+       << ",\"errors\":" << errors << ",\"retries\":" << retries
+       << ",\"reloads\":" << reloads
+       << ",\"reload_failures\":" << reloadFailures
+       << ",\"latency_us\":{\"p50\":" << p50Micros
+       << ",\"p95\":" << p95Micros << ",\"p99\":" << p99Micros << "}}";
+    return os.str();
+}
+
+} // namespace mtperf::serve

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Serving-side observability: request/row/error counters and a
+ * latency histogram with percentile readout.
+ *
+ * Everything is lock-free (relaxed atomics): the counters sit on the
+ * request hot path and must not serialize the connection threads.
+ * Percentiles are computed from a geometric bucket histogram — exact
+ * enough for p50/p95/p99 reporting (buckets grow 25% per step, so a
+ * reported percentile is within 25% of the true value), and O(1) to
+ * record. A snapshot is taken by STATS requests, dumped on server
+ * exit, and reconciled against client-side totals in the tests.
+ */
+
+#ifndef MTPERF_SERVE_STATS_H_
+#define MTPERF_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mtperf::serve {
+
+/** Geometric-bucket latency histogram (microseconds). */
+class LatencyHistogram
+{
+  public:
+    /** Record one latency observation. */
+    void record(double micros);
+
+    /**
+     * The upper bound of the bucket containing the @p p quantile
+     * (p in [0, 1]) of all recorded observations; 0 when empty.
+     */
+    double percentileMicros(double p) const;
+
+    std::uint64_t count() const;
+
+  private:
+    // 1us growing 25% per bucket: bucket 95 tops out around 23 min.
+    static constexpr std::size_t kBuckets = 96;
+    static constexpr double kFirstBoundMicros = 1.0;
+    static constexpr double kGrowth = 1.25;
+
+    static std::size_t bucketFor(double micros);
+    static double boundOf(std::size_t bucket);
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/** One consistent-enough read of every counter. */
+struct StatsSnapshot
+{
+    std::uint64_t connections = 0;  //!< connections accepted
+    std::uint64_t requests = 0;     //!< frames dispatched (all types)
+    std::uint64_t predictRequests = 0;
+    std::uint64_t rowsPredicted = 0;
+    std::uint64_t errors = 0;       //!< error replies + dropped conns
+    std::uint64_t retries = 0;      //!< RETRY backpressure replies
+    std::uint64_t reloads = 0;      //!< successful hot reloads
+    std::uint64_t reloadFailures = 0;
+    double p50Micros = 0.0;         //!< predict service latency
+    double p95Micros = 0.0;
+    double p99Micros = 0.0;
+
+    /** Flat JSON rendering ({"requests":N,...}). */
+    std::string toJson() const;
+};
+
+/** The server's counter set. All methods are thread-safe. */
+class ServeStats
+{
+  public:
+    void countConnection() { bump(connections_); }
+    void countRequest() { bump(requests_); }
+    void countPredict(std::uint64_t rows);
+    void countError() { bump(errors_); }
+    void countRetry() { bump(retries_); }
+    void countReload(bool ok);
+
+    /** Record one predict request's service latency. */
+    void recordLatency(double micros) { latency_.record(micros); }
+
+    StatsSnapshot snapshot() const;
+
+  private:
+    static void
+    bump(std::atomic<std::uint64_t> &counter)
+    {
+        counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> predictRequests_{0};
+    std::atomic<std::uint64_t> rowsPredicted_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> reloads_{0};
+    std::atomic<std::uint64_t> reloadFailures_{0};
+    LatencyHistogram latency_;
+};
+
+} // namespace mtperf::serve
+
+#endif // MTPERF_SERVE_STATS_H_

@@ -242,6 +242,66 @@ TEST_F(CliCommandTest, NumericValidationExitsWithUsageError)
     EXPECT_NE(many_out.str().find("exceeds"), std::string::npos);
 }
 
+TEST_F(CliCommandTest, ServeValidatesNumericsBeforeLoadingTheModel)
+{
+    // Every bad numeric must exit 2 even though the model path does
+    // not exist — eager validation runs before any file access.
+    const std::vector<std::vector<std::string>> bad = {
+        {"--port", "65536"},
+        {"--port", "-1"},
+        {"--batch-max", "0"},
+        {"--queue-max", "0"},
+        {"--queue-max", "8", "--batch-max", "16"},
+        {"--timeout-ms", "-5"},
+        {"--timeout-ms", "abc"},
+    };
+    for (auto args : bad) {
+        args.insert(args.begin(), {"--model", "/nonexistent/model.m5"});
+        std::ostringstream out;
+        EXPECT_EQ(runCommand("serve", args, out), 2)
+            << args[2] << " " << args[3] << ": " << out.str();
+        EXPECT_NE(out.str().find("usage error:"), std::string::npos);
+    }
+
+    // With valid numerics, the missing model is a data error (3).
+    std::ostringstream out;
+    EXPECT_EQ(runCommand("serve",
+                         {"--model", "/nonexistent/model.m5",
+                          "--port", "0"},
+                         out),
+              3);
+}
+
+TEST_F(CliCommandTest, PredictConnectValidation)
+{
+    simulate();
+    // Neither --model nor --connect is a usage error,
+    std::ostringstream neither_out;
+    EXPECT_EQ(runCommand("predict", {"--data", csv_}, neither_out), 2);
+    EXPECT_NE(neither_out.str().find("usage error:"),
+              std::string::npos);
+    // ...and so is giving both.
+    std::ostringstream both_out;
+    EXPECT_EQ(runCommand("predict",
+                         {"--model", model_, "--connect", "127.0.0.1",
+                          "--data", csv_},
+                         both_out),
+              2);
+    // A refused connection is a data/environment error (3).
+    std::ostringstream refused_out;
+    EXPECT_EQ(runCommand("predict",
+                         {"--connect", "127.0.0.1:1", "--data", csv_},
+                         refused_out),
+              3);
+    // A malformed endpoint is a usage error.
+    std::ostringstream bad_addr_out;
+    EXPECT_EQ(runCommand("predict",
+                         {"--connect", "127.0.0.1:notaport", "--data",
+                          csv_},
+                         bad_addr_out),
+              2);
+}
+
 TEST_F(CliCommandTest, DiffComparesTwoRuns)
 {
     simulate();

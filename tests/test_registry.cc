@@ -126,6 +126,62 @@ TEST(RegressorFactory, RegisteredBuilderIsCreatable)
     EXPECT_EQ(RegressorFactory::create("stub")->name(), "Stub");
 }
 
+/** Run @p build and return the FatalError message it must raise. */
+std::string
+errorMessageOf(const std::string &spec)
+{
+    try {
+        RegressorFactory::create(spec);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "spec '" << spec << "' did not throw";
+    return {};
+}
+
+TEST(RegressorFactory, UnknownKeyNamesParameterAndLearner)
+{
+    const std::string what = errorMessageOf("m5prime:min-leaves=4");
+    EXPECT_NE(what.find("min-leaves"), std::string::npos) << what;
+    EXPECT_NE(what.find("m5prime"), std::string::npos) << what;
+}
+
+TEST(RegressorFactory, MalformedFieldNamesTheFieldAndTheFix)
+{
+    // A field without '=' must name the offending field and state the
+    // expected shape, not just "bad spec".
+    const std::string what = errorMessageOf("knn:k");
+    EXPECT_NE(what.find("'k'"), std::string::npos) << what;
+    EXPECT_NE(what.find("key=value"), std::string::npos) << what;
+}
+
+TEST(RegressorFactory, OutOfRangeHyperparametersAreActionable)
+{
+    // Zero-size hidden layer.
+    const std::string hidden = errorMessageOf("mlp:hidden=0");
+    EXPECT_NE(hidden.find("positive integers"), std::string::npos)
+        << hidden;
+    EXPECT_NE(hidden.find("mlp"), std::string::npos) << hidden;
+
+    // Unknown SVR kernel: message must list the valid choices.
+    const std::string kernel = errorMessageOf("svr:kernel=foo");
+    EXPECT_NE(kernel.find("foo"), std::string::npos) << kernel;
+    EXPECT_NE(kernel.find("rbf"), std::string::npos) << kernel;
+    EXPECT_NE(kernel.find("linear"), std::string::npos) << kernel;
+
+    // Zero bags is rejected at create() time, not first fit().
+    const std::string bags = errorMessageOf("bagged-m5:bags=0");
+    EXPECT_NE(bags.find("bags"), std::string::npos) << bags;
+    EXPECT_NE(bags.find("at least 1"), std::string::npos) << bags;
+
+    // Negative integer parameters state the accepted domain.
+    const std::string neg =
+        errorMessageOf("m5prime:min-instances=-3");
+    EXPECT_NE(neg.find("min-instances"), std::string::npos) << neg;
+    EXPECT_NE(neg.find("non-negative integer"), std::string::npos)
+        << neg;
+}
+
 TEST(RegressorParams, ConsumptionTrackingRejectsLeftovers)
 {
     RegressorParams params("demo", {{"k", "8"}, {"typo", "1"}});

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * End-to-end tests for the prediction server: byte-identical remote
+ * predictions under concurrent clients, hot reload with a corrupt
+ * replacement, backpressure, fault injection at the serve.* sites,
+ * and client recovery from a killed server.
+ */
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/socket.h"
+#include "corruption_corpus.h"
+#include "data/io.h"
+#include "ml/tree/m5prime.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace mtperf::serve {
+namespace {
+
+constexpr std::size_t kCounters = 20;
+
+/** A 20-counter synthetic dataset shaped like the paper's sections. */
+Dataset
+counterDataset(std::size_t n, std::uint64_t seed = 17)
+{
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < kCounters; ++c)
+        names.push_back("c" + std::to_string(c));
+    Dataset ds(Schema(names, "CPI"));
+    Rng rng(seed);
+    std::vector<double> row(kCounters);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < kCounters; ++c)
+            row[c] = rng.uniform();
+        const double cpi = row[0] <= 0.5
+                               ? 0.8 + 2.0 * row[1] + 0.5 * row[2]
+                               : 3.0 - 1.5 * row[3] + row[4];
+        ds.addRow(row, cpi + rng.normal(0.0, 0.05));
+    }
+    return ds;
+}
+
+class ServeTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // PID-unique dir: ctest runs each test as its own process,
+        // possibly concurrently, and sockets/models must not collide.
+        dir_ = testing::TempDir() + "/mtperf_serve_" +
+               std::to_string(::getpid());
+        std::filesystem::create_directories(dir_);
+        modelPath_ = dir_ + "/model.m5";
+        ds_ = counterDataset(2000);
+        M5Options options;
+        options.minInstances = 40;
+        tree_ = M5Prime(options);
+        tree_.fit(ds_);
+        tree_.saveFile(modelPath_);
+    }
+
+    /** A short per-test unix socket path (sun_path is ~100 bytes). */
+    std::string
+    socketPath(const std::string &tag) const
+    {
+        return dir_ + "/" + tag + ".sock";
+    }
+
+    ServerOptions
+    unixOptions(const std::string &tag) const
+    {
+        ServerOptions options;
+        options.modelPath = modelPath_;
+        options.listen = "unix:" + socketPath(tag);
+        options.pollIntervalMs = 5;
+        return options;
+    }
+
+    std::string dir_, modelPath_;
+    Dataset ds_;
+    M5Prime tree_;
+};
+
+TEST_F(ServeTest, ConcurrentClientsMatchOfflineByteForByte)
+{
+    Server server(unixOptions("e2e"));
+    server.start();
+    const std::string address = "unix:" + socketPath("e2e");
+
+    // >= 10k rows total from 4 concurrent clients, chunked so many
+    // requests interleave in the batcher across connections.
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kRowsPerClient = 2500;
+    constexpr std::size_t kChunk = 97; // odd size: chunks interleave
+    const std::size_t width = ds_.numAttributes();
+
+    std::vector<std::vector<double>> results(kClients);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (std::size_t t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                Client client = Client::connect(address, 0);
+                for (std::size_t first = 0; first < kRowsPerClient;
+                     first += kChunk) {
+                    const std::size_t count = std::min(
+                        kChunk, kRowsPerClient - first);
+                    // Client t predicts rows [t*2500, (t+1)*2500).
+                    const std::size_t base =
+                        (t * kRowsPerClient + first) % ds_.size();
+                    std::vector<double> flat;
+                    flat.reserve(count * width);
+                    for (std::size_t r = 0; r < count; ++r) {
+                        const auto row =
+                            ds_.row((base + r) % ds_.size());
+                        flat.insert(flat.end(), row.begin(),
+                                    row.end());
+                    }
+                    const PredictResponse response =
+                        client.predict(flat, width);
+                    results[t].insert(
+                        results[t].end(),
+                        response.predictions.begin(),
+                        response.predictions.end());
+                }
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // Byte-identical to offline prediction, row by row.
+    for (std::size_t t = 0; t < kClients; ++t) {
+        ASSERT_EQ(results[t].size(), kRowsPerClient);
+        for (std::size_t r = 0; r < kRowsPerClient; ++r) {
+            const std::size_t row =
+                (t * kRowsPerClient + r) % ds_.size();
+            const double offline = tree_.predict(ds_.row(row));
+            const double remote = results[t][r];
+            EXPECT_EQ(std::memcmp(&offline, &remote, sizeof offline),
+                      0)
+                << "client " << t << " row " << r;
+        }
+    }
+
+    // STATS must reconcile with what the clients sent.
+    Client stats_client = Client::connect(address, 0);
+    const std::string stats = stats_client.stats();
+    EXPECT_NE(stats.find("\"rows_predicted\":10000"),
+              std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("\"errors\":0"), std::string::npos) << stats;
+
+    server.requestStop();
+    server.wait();
+    const StatsSnapshot snapshot = server.stats();
+    EXPECT_EQ(snapshot.rowsPredicted, 10000u);
+    EXPECT_EQ(snapshot.connections, 5u);
+}
+
+TEST_F(ServeTest, AttributionReturnsOfflineLeafIds)
+{
+    Server server(unixOptions("attr"));
+    server.start();
+    Client client =
+        Client::connect("unix:" + socketPath("attr"), 0);
+
+    const std::size_t width = ds_.numAttributes();
+    std::vector<double> flat;
+    constexpr std::size_t kRows = 64;
+    for (std::size_t r = 0; r < kRows; ++r) {
+        const auto row = ds_.row(r);
+        flat.insert(flat.end(), row.begin(), row.end());
+    }
+    const PredictResponse response =
+        client.predict(flat, width, /*want_attribution=*/true);
+    ASSERT_TRUE(response.hasAttribution);
+    ASSERT_EQ(response.leafIds.size(), kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        EXPECT_EQ(response.leafIds[r], tree_.leafIndexFor(ds_.row(r)))
+            << "row " << r;
+    }
+}
+
+TEST_F(ServeTest, ReloadWithCorruptFileKeepsOldModelServing)
+{
+    Server server(unixOptions("reload"));
+    server.start();
+    Client client =
+        Client::connect("unix:" + socketPath("reload"), 0);
+
+    const std::size_t width = ds_.numAttributes();
+    const auto first_row = ds_.row(0);
+    const std::vector<double> probe(first_row.begin(),
+                                    first_row.end());
+    const double before = client.predict(probe, width).predictions[0];
+
+    // Clobber the model file, then ask for a reload mid-traffic: the
+    // reloader gets an error, the old model keeps serving.
+    const std::string good = testutil::slurpFile(modelPath_);
+    testutil::writeFileBytes(modelPath_, "not a model at all");
+    EXPECT_THROW(client.reload(), FatalError);
+    const double after = client.predict(probe, width).predictions[0];
+    EXPECT_EQ(before, after);
+
+    // Restore the good bytes: reload succeeds now.
+    testutil::writeFileBytes(modelPath_, good);
+    EXPECT_NO_THROW(client.reload());
+    const double reloaded =
+        client.predict(probe, width).predictions[0];
+    EXPECT_EQ(before, reloaded);
+
+    server.requestStop();
+    server.wait();
+    const StatsSnapshot snapshot = server.stats();
+    EXPECT_EQ(snapshot.reloads, 1u);
+    EXPECT_EQ(snapshot.reloadFailures, 1u);
+}
+
+TEST_F(ServeTest, CliPredictConnectMatchesLocalPredict)
+{
+    // TCP with an ephemeral port, driven through the real CLI.
+    ServerOptions options;
+    options.modelPath = modelPath_;
+    options.listen = "127.0.0.1";
+    options.port = 0;
+    options.pollIntervalMs = 5;
+    Server server(options);
+    server.start();
+    ASSERT_NE(server.port(), 0);
+
+    const std::string csv = dir_ + "/sections.csv";
+    writeDatasetCsvFile(csv, ds_);
+
+    std::ostringstream remote_out;
+    const int remote_status = cli::runCommand(
+        "predict",
+        {"--connect", "127.0.0.1:" + std::to_string(server.port()),
+         "--data", csv},
+        remote_out);
+    EXPECT_EQ(remote_status, 0) << remote_out.str();
+
+    std::ostringstream local_out;
+    const int local_status = cli::runCommand(
+        "predict", {"--model", modelPath_, "--data", csv}, local_out);
+    EXPECT_EQ(local_status, 0) << local_out.str();
+
+    // Identical metrics line => identical predictions.
+    EXPECT_EQ(remote_out.str(), local_out.str());
+}
+
+TEST_F(ServeTest, CliPredictNeedsExactlyOneSource)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cli::runCommand("predict", {"--data", "x.csv"}, out), 2);
+    EXPECT_EQ(cli::runCommand("predict",
+                              {"--model", modelPath_, "--connect",
+                               "127.0.0.1", "--data", "x.csv"},
+                              out),
+              2);
+}
+
+TEST_F(ServeTest, GarbageOnTheWireGetsErrorNotCrash)
+{
+    Server server(unixOptions("garbage"));
+    server.start();
+    const std::string address = "unix:" + socketPath("garbage");
+
+    // Raw garbage bytes: the server must answer with an ERROR frame
+    // (or close), drop that connection, and keep serving others.
+    {
+        net::Socket raw = net::connectTo(
+            net::parseEndpoint(address, 0), 2000);
+        const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+        net::writeAll(raw.fd(), junk, sizeof junk - 1);
+        Frame reply;
+        bool closed = false;
+        try {
+            closed = !readFrame(raw.fd(), reply, "server");
+        } catch (const FatalError &) {
+            closed = true; // server hung up mid-reply: acceptable
+        }
+        if (!closed)
+            EXPECT_EQ(reply.type, kMsgError);
+    }
+
+    // A truncated-but-valid-magic frame must also be survivable: send
+    // a real frame's prefix, then hang up.
+    {
+        net::Socket raw = net::connectTo(
+            net::parseEndpoint(address, 0), 2000);
+        const std::string frame =
+            encodeFrame(Frame{kMsgStats, 1, {}});
+        net::writeAll(raw.fd(), frame.data(), frame.size() / 2);
+    }
+
+    Client client = Client::connect(address, 0);
+    EXPECT_NE(client.info().find("M5Prime"), std::string::npos);
+}
+
+TEST_F(ServeTest, ClientRecoversAfterServerDeath)
+{
+    auto server = std::make_unique<Server>(unixOptions("kill"));
+    server->start();
+    const std::string address = "unix:" + socketPath("kill");
+    Client client = Client::connect(address, 0);
+    const std::size_t width = ds_.numAttributes();
+    const auto row0 = ds_.row(0);
+    const std::vector<double> probe(row0.begin(), row0.end());
+    EXPECT_EQ(client.predict(probe, width).predictions.size(), 1u);
+
+    // Kill the server with the client mid-session: the next request
+    // fails with a clean FatalError, not a hang or a crash.
+    server.reset();
+    EXPECT_THROW(client.predict(probe, width), FatalError);
+
+    // A fresh server on the same address serves a fresh client.
+    Server revived(unixOptions("kill"));
+    revived.start();
+    Client again = Client::connect(address, 0);
+    const double offline = tree_.predict(ds_.row(0));
+    EXPECT_EQ(again.predict(probe, width).predictions[0], offline);
+}
+
+TEST_F(ServeTest, ShutdownRequestStopsTheServer)
+{
+    Server server(unixOptions("shutdown"));
+    server.start();
+    Client client =
+        Client::connect("unix:" + socketPath("shutdown"), 0);
+    client.shutdown();
+    server.wait(); // must return promptly after SHUTDOWN
+    EXPECT_THROW(Client::connect("unix:" + socketPath("shutdown"), 0),
+                 FatalError);
+}
+
+TEST_F(ServeTest, BatcherBackpressureRejectsWhenFull)
+{
+    ModelHolder model;
+    model.set(std::make_shared<const M5Prime>(
+        M5Prime::loadFile(modelPath_)));
+    ServeStats stats;
+    Batcher::Options options;
+    options.batchMaxRows = 4;
+    options.queueMaxRows = 8;
+    Batcher batcher(options, model, stats);
+    batcher.pause();
+
+    std::atomic<int> completed{0};
+    auto makeJob = [&](std::size_t rows) {
+        PredictJob job;
+        job.cols = static_cast<std::uint32_t>(ds_.numAttributes());
+        for (std::size_t r = 0; r < rows; ++r) {
+            const auto row = ds_.row(r);
+            job.rows.insert(job.rows.end(), row.begin(), row.end());
+        }
+        job.enqueued = std::chrono::steady_clock::now();
+        job.done = [&](JobResult &&result) {
+            EXPECT_TRUE(result.ok);
+            completed.fetch_add(1);
+        };
+        return job;
+    };
+
+    // Fill the queue to its 8-row bound while the batcher is held.
+    EXPECT_TRUE(batcher.submit(makeJob(5)));
+    EXPECT_TRUE(batcher.submit(makeJob(3)));
+    EXPECT_FALSE(batcher.submit(makeJob(1))); // full -> RETRY
+    // A job bigger than the whole queue can never be accepted.
+    EXPECT_FALSE(batcher.submit(makeJob(9)));
+
+    batcher.resume();
+    batcher.stop(); // drains the queue before stopping
+    EXPECT_EQ(completed.load(), 2);
+    EXPECT_EQ(stats.snapshot().rowsPredicted, 8u);
+}
+
+TEST_F(ServeTest, MismatchedWidthIsARequestError)
+{
+    Server server(unixOptions("width"));
+    server.start();
+    Client client =
+        Client::connect("unix:" + socketPath("width"), 0);
+    const std::vector<double> short_row(kCounters - 1, 0.5);
+    EXPECT_THROW(client.predict(short_row, kCounters - 1), FatalError);
+    // The connection stays usable after a per-request error.
+    const auto row0 = ds_.row(0);
+    const std::vector<double> probe(row0.begin(), row0.end());
+    EXPECT_EQ(client.predict(probe, kCounters).predictions.size(),
+              1u);
+}
+
+TEST_F(ServeTest, InjectedAcceptFaultDropsOneConnectionOnly)
+{
+    Server server(unixOptions("fault-accept"));
+    server.start();
+    fault::configure("serve.accept:1:1");
+
+    // The first accept dies after the handshake; the client sees the
+    // connection close on its first read. The second connect works.
+    bool first_failed = false;
+    try {
+        Client client = Client::connect(
+            "unix:" + socketPath("fault-accept"), 0);
+        client.info();
+    } catch (const FatalError &) {
+        first_failed = true;
+    }
+    EXPECT_TRUE(first_failed);
+
+    Client second = Client::connect(
+        "unix:" + socketPath("fault-accept"), 0);
+    EXPECT_NE(second.info().find("M5Prime"), std::string::npos);
+    fault::clear();
+
+    server.requestStop();
+    server.wait();
+    EXPECT_GE(server.stats().errors, 1u);
+}
+
+TEST_F(ServeTest, InjectedReadFaultKillsOneConnectionOnly)
+{
+    Server server(unixOptions("fault-read"));
+    server.start();
+    Client doomed = Client::connect(
+        "unix:" + socketPath("fault-read"), 0);
+    fault::configure("serve.read:1:1");
+
+    bool failed = false;
+    try {
+        doomed.info();
+    } catch (const FatalError &) {
+        failed = true;
+    }
+    EXPECT_TRUE(failed);
+    fault::clear();
+
+    Client fresh = Client::connect(
+        "unix:" + socketPath("fault-read"), 0);
+    EXPECT_NE(fresh.info().find("M5Prime"), std::string::npos);
+}
+
+} // namespace
+} // namespace mtperf::serve
