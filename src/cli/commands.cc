@@ -16,6 +16,9 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "data/io.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/checkpoint.h"
 #include "ml/eval/cross_validation.h"
 #include "ml/registry.h"
@@ -38,10 +41,26 @@ namespace {
 constexpr std::uint16_t kDefaultServePort = 7077;
 
 /**
+ * Observability outputs requested by the current command. Stored at
+ * file scope so runCommand() can flush them after the command body
+ * finished (or threw) — the dump must reflect the whole run,
+ * including counters updated by destructors on the error path.
+ */
+struct ObsOutputs
+{
+    std::string tracePath;
+    std::string metricsPath;
+};
+
+ObsOutputs g_obsOutputs;
+
+/**
  * Flags every command accepts: --threads sizes the worker pool (0 =
  * auto: the MTPERF_THREADS environment variable if set, otherwise the
- * hardware concurrency) and --fault-spec arms deterministic fault
- * injection for robustness testing.
+ * hardware concurrency), --fault-spec arms deterministic fault
+ * injection for robustness testing, and the observability quartet
+ * (--trace-out, --metrics-out, --log-json, --log-level) controls
+ * tracing, metrics dumps and structured logging.
  */
 void
 addCommonOptions(ArgParser &parser)
@@ -52,17 +71,37 @@ addCommonOptions(ArgParser &parser)
     parser.addString("fault-spec", "",
                      "arm fault injection: site[:prob[:max]],... "
                      "(see DESIGN.md for the site catalogue)");
+    parser.addString("trace-out", "",
+                     "write a Chrome trace-event JSON of this run "
+                     "(load in Perfetto or chrome://tracing)");
+    parser.addString("metrics-out", "",
+                     "dump the process metrics registry as JSON when "
+                     "the command finishes");
+    parser.addFlag("log-json",
+                   "emit log lines as JSON objects (ts_us, level, "
+                   "thread, component, msg)");
+    parser.addString("log-level", "",
+                     "minimum level to log: debug, info, warn, error");
 }
 
 /** Apply the common options; call right after parse(). */
 void
 applyCommonOptions(const ArgParser &parser)
 {
+    // Logging first, so everything below logs in the requested shape.
+    setLogFormat(parser.getFlag("log-json") ? LogFormat::Json
+                                            : LogFormat::Text);
+    if (parser.given("log-level"))
+        setLogLevel(parseLogLevel(parser.getString("log-level")));
     setGlobalThreadCount(parser.getSize("threads", 0, 1024));
     if (parser.given("fault-spec"))
         fault::configure(parser.getString("fault-spec"));
     else
         fault::configureFromEnv();
+    g_obsOutputs.tracePath = parser.getString("trace-out");
+    g_obsOutputs.metricsPath = parser.getString("metrics-out");
+    if (!g_obsOutputs.tracePath.empty())
+        obs::startTrace();
 }
 
 /** The --salvage flag for commands that read datasets. */
@@ -550,6 +589,21 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
     return 0;
 }
 
+int
+cmdVersion(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    addCommonOptions(parser);
+    parser.parse(args);
+    applyCommonOptions(parser);
+    out << obs::buildSummary() << "\n"
+        << "version " << obs::buildVersion() << "\n"
+        << "git " << obs::buildGitSha() << "\n"
+        << "compiler " << obs::buildCompiler() << "\n"
+        << "build-type " << obs::buildType() << "\n";
+    return 0;
+}
+
 std::string
 usageText()
 {
@@ -566,12 +620,19 @@ usageText()
            "  stack      simulator CPI stack for one suite workload\n"
            "  serve      prediction server with batched inference,\n"
            "             hot reload (SIGHUP/RELOAD) and STATS\n"
+           "  version    build metadata (version, git sha, compiler)\n"
            "  help       show this text\n"
            "\n"
            "every command accepts --threads N to size the worker\n"
            "pool (0 = auto: MTPERF_THREADS env, else hardware\n"
            "concurrency; 1 = fully serial) and --fault-spec to arm\n"
-           "deterministic fault injection. commands that read\n"
+           "deterministic fault injection. observability:\n"
+           "--trace-out FILE writes a Chrome trace-event JSON of the\n"
+           "run (load in Perfetto), --metrics-out FILE dumps the\n"
+           "process metrics registry as JSON, --log-json switches\n"
+           "stderr logging to JSON lines, and --log-level LEVEL sets\n"
+           "the threshold (debug, info, warn, error).\n"
+           "commands that read\n"
            "datasets accept --salvage to recover the valid rows of a\n"
            "damaged file. simulate --checkpoint PATH resumes a killed\n"
            "run. train and crossval take\n"
@@ -585,43 +646,102 @@ usageText()
            "input), 4 internal error.\n";
 }
 
+namespace {
+
+/** The subcommand table runCommand() dispatches over. */
+CommandFn
+commandFor(const std::string &subcommand)
+{
+    if (subcommand == "simulate")
+        return cmdSimulate;
+    if (subcommand == "train")
+        return cmdTrain;
+    if (subcommand == "print")
+        return cmdPrint;
+    if (subcommand == "predict")
+        return cmdPredict;
+    if (subcommand == "analyze")
+        return cmdAnalyze;
+    if (subcommand == "crossval")
+        return cmdCrossval;
+    if (subcommand == "diff")
+        return cmdDiff;
+    if (subcommand == "stack")
+        return cmdStack;
+    if (subcommand == "serve")
+        return cmdServe;
+    if (subcommand == "version")
+        return cmdVersion;
+    return nullptr;
+}
+
+/**
+ * Write the trace/metrics files the command's --trace-out /
+ * --metrics-out asked for. Runs on success and on error paths alike
+ * (a failed run's trace is often the one worth looking at). A flush
+ * failure on an otherwise clean run becomes exit 3; an existing
+ * nonzero status is preserved.
+ */
+int
+flushObsOutputs(int status, std::ostream &out)
+{
+    const ObsOutputs pending = g_obsOutputs;
+    g_obsOutputs = ObsOutputs{};
+    if (!pending.tracePath.empty()) {
+        try {
+            obs::writeTraceFile(pending.tracePath);
+            out << "trace written to " << pending.tracePath << "\n";
+        } catch (const std::exception &e) {
+            warnAs("obs", "failed to write trace file ",
+                   pending.tracePath, ": ", e.what());
+            if (status == 0)
+                status = 3;
+        }
+    }
+    if (!pending.metricsPath.empty()) {
+        try {
+            obs::writeMetricsFile(pending.metricsPath);
+            out << "metrics written to " << pending.metricsPath
+                << "\n";
+        } catch (const std::exception &e) {
+            warnAs("obs", "failed to write metrics file ",
+                   pending.metricsPath, ": ", e.what());
+            if (status == 0)
+                status = 3;
+        }
+    }
+    return status;
+}
+
+} // namespace
+
 int
 runCommand(const std::string &subcommand,
            const std::vector<std::string> &args, std::ostream &out)
 {
+    const CommandFn command = commandFor(subcommand);
+    if (command == nullptr) {
+        out << usageText();
+        return subcommand == "help" ? 0 : 2;
+    }
+
+    g_obsOutputs = ObsOutputs{}; // drop paths from any earlier command
+    int status = 0;
     try {
-        if (subcommand == "simulate")
-            return cmdSimulate(args, out);
-        if (subcommand == "train")
-            return cmdTrain(args, out);
-        if (subcommand == "print")
-            return cmdPrint(args, out);
-        if (subcommand == "predict")
-            return cmdPredict(args, out);
-        if (subcommand == "analyze")
-            return cmdAnalyze(args, out);
-        if (subcommand == "crossval")
-            return cmdCrossval(args, out);
-        if (subcommand == "diff")
-            return cmdDiff(args, out);
-        if (subcommand == "stack")
-            return cmdStack(args, out);
-        if (subcommand == "serve")
-            return cmdServe(args, out);
+        status = command(args, out);
     } catch (const UsageError &e) {
         out << "usage error: " << e.what() << "\n";
-        return 2;
+        status = 2;
     } catch (const FatalError &e) {
         out << "error: " << e.what() << "\n";
-        return 3;
+        status = 3;
     } catch (const std::exception &e) {
         // Anything not raised through the mtperf error taxonomy is an
         // internal bug, not a user or data problem; distinguish it.
         out << "internal error: " << e.what() << "\n";
-        return 4;
+        status = 4;
     }
-    out << usageText();
-    return subcommand == "help" ? 0 : 2;
+    return flushObsOutputs(status, out);
 }
 
 } // namespace mtperf::cli

@@ -16,6 +16,12 @@
  *   diff      — before/after comparison of two section CSVs
  *   stack     — simulator-attributed CPI stack for one workload
  *   serve     — prediction server: batched inference over a socket
+ *   version   — build metadata (version, git sha, compiler)
+ *
+ * Observability: every command also accepts --trace-out FILE (write a
+ * Chrome trace-event JSON of the run, loadable in Perfetto),
+ * --metrics-out FILE (dump the process metrics registry as JSON),
+ * --log-json (structured JSON log lines on stderr) and --log-level.
  */
 
 #ifndef MTPERF_CLI_COMMANDS_H_
@@ -40,6 +46,7 @@ int cmdCrossval(const std::vector<std::string> &args, std::ostream &out);
 int cmdDiff(const std::vector<std::string> &args, std::ostream &out);
 int cmdStack(const std::vector<std::string> &args, std::ostream &out);
 int cmdServe(const std::vector<std::string> &args, std::ostream &out);
+int cmdVersion(const std::vector<std::string> &args, std::ostream &out);
 
 /**
  * Dispatch @p subcommand; "help" (or anything unknown) prints usage.

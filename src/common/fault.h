@@ -37,6 +37,7 @@
  *   checkpoint.write.fail persisting a suite checkpoint fails
  *   serve.accept          the prediction server drops a fresh connection
  *   serve.read            a serving connection dies mid-frame read
+ *   obs.flush             writing a --metrics-out/--trace-out dump fails
  */
 
 #ifndef MTPERF_COMMON_FAULT_H_

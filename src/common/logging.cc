@@ -1,9 +1,13 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "common/strings.h"
+#include "obs/thread_info.h"
 
 namespace mtperf {
 
@@ -16,6 +20,7 @@ namespace {
  * flush under the mutex, keeping lines intact under contention.
  */
 std::atomic<LogLevel> globalLevel{LogLevel::Info};
+std::atomic<LogFormat> globalFormat{LogFormat::Text};
 std::mutex sinkMutex;
 
 const char *
@@ -28,6 +33,56 @@ levelName(LogLevel level)
       case LogLevel::Error: return "error";
     }
     return "?";
+}
+
+/**
+ * Microseconds since the first log call. Monotonic (steady_clock), so
+ * JSON log lines order and diff correctly even if wall time jumps.
+ */
+std::int64_t
+monotonicMicros()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point start = clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               clock::now() - start)
+        .count();
+}
+
+void
+emit(LogLevel level, const char *component, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::string line;
+    if (logFormat() == LogFormat::Json) {
+        line.reserve(msg.size() + 96);
+        line += "{\"ts_us\":";
+        line += std::to_string(monotonicMicros());
+        line += ",\"level\":\"";
+        line += levelName(level);
+        line += "\",\"thread\":";
+        line += std::to_string(obs::currentThreadId());
+        line += ",\"component\":\"";
+        line += jsonEscape(component);
+        line += "\",\"msg\":\"";
+        line += jsonEscape(msg);
+        line += "\"}\n";
+    } else {
+        line.reserve(msg.size() + 24);
+        line += "[";
+        line += levelName(level);
+        line += "] ";
+        if (component[0] != '\0' &&
+            std::string_view(component) != "mtperf") {
+            line += component;
+            line += ": ";
+        }
+        line += msg;
+        line += "\n";
+    }
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::cerr << line;
 }
 
 } // namespace
@@ -44,20 +99,44 @@ logLevel()
     return globalLevel.load(std::memory_order_relaxed);
 }
 
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "debug")
+        return LogLevel::Debug;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "warn")
+        return LogLevel::Warn;
+    if (lower == "error")
+        return LogLevel::Error;
+    throw UsageError("unknown log level '" + name +
+                     "' (expected debug, info, warn, or error)");
+}
+
+void
+setLogFormat(LogFormat format)
+{
+    globalFormat.store(format, std::memory_order_relaxed);
+}
+
+LogFormat
+logFormat()
+{
+    return globalFormat.load(std::memory_order_relaxed);
+}
+
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(logLevel()))
-        return;
-    std::string line;
-    line.reserve(msg.size() + 16);
-    line += "[";
-    line += levelName(level);
-    line += "] ";
-    line += msg;
-    line += "\n";
-    std::lock_guard<std::mutex> lock(sinkMutex);
-    std::cerr << line;
+    emit(level, "mtperf", msg);
+}
+
+void
+logMessage(LogLevel level, const char *component, const std::string &msg)
+{
+    emit(level, component, msg);
 }
 
 namespace detail {

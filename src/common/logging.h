@@ -38,6 +38,14 @@ class UsageError : public FatalError
 enum class LogLevel { Debug, Info, Warn, Error };
 
 /**
+ * Output shape for the log sink. Text is the classic "[level] msg"
+ * line; Json emits one JSON object per line with a monotonic
+ * timestamp, level, thread id, component tag, and message — what
+ * `mtperf <cmd> --log-json` selects for machine consumption.
+ */
+enum class LogFormat { Text, Json };
+
+/**
  * Set the global minimum level at which messages are emitted.
  * Messages below this level are suppressed. Default is Info.
  */
@@ -46,8 +54,25 @@ void setLogLevel(LogLevel level);
 /** @return the current global minimum log level. */
 LogLevel logLevel();
 
+/** Parse "debug"/"info"/"warn"/"error"; @throw UsageError otherwise. */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Select text (default) or JSON-lines log output. */
+void setLogFormat(LogFormat format);
+
+/** @return the current global log format. */
+LogFormat logFormat();
+
 /** Emit a message to stderr if @p level passes the global threshold. */
 void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * Same, tagged with the emitting component ("sim", "tree", "serve",
+ * ...). The tag appears as the "component" field in JSON output and
+ * as a "component: " prefix in text output.
+ */
+void logMessage(LogLevel level, const char *component,
+                const std::string &msg);
 
 namespace detail {
 
@@ -82,6 +107,24 @@ void
 warn(Args &&...args)
 {
     logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log an informational message tagged with a component. */
+template <typename... Args>
+void
+informAs(const char *component, Args &&...args)
+{
+    logMessage(LogLevel::Info, component,
+               detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log a warning message tagged with a component. */
+template <typename... Args>
+void
+warnAs(const char *component, Args &&...args)
+{
+    logMessage(LogLevel::Warn, component,
+               detail::concat(std::forward<Args>(args)...));
 }
 
 } // namespace mtperf

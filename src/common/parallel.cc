@@ -4,8 +4,13 @@
 #include <cstdlib>
 #include <string>
 
+#include <chrono>
+
 #include "common/fault.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/thread_info.h"
+#include "obs/trace.h"
 
 namespace mtperf {
 
@@ -17,6 +22,27 @@ namespace {
  * (or waiting on) our enclosing loop, so queueing would deadlock.
  */
 thread_local int poolTaskDepth = 0;
+
+/**
+ * Pool metrics. The queue-depth gauge counts queued job entries (one
+ * per helper worker recruited, decremented as workers dequeue); its
+ * watermark shows the deepest backlog the run ever built. Task
+ * latency is recorded per claimed index — the granularity at which
+ * the pool schedules — and only on the pooled path, so the serial
+ * degenerate path stays exactly as cheap as a plain loop.
+ */
+obs::Counter &poolLoops = obs::counter("pool.parallel_loops");
+obs::Counter &poolTasks = obs::counter("pool.tasks");
+obs::Gauge &poolQueueDepth = obs::gauge("pool.queue_depth");
+obs::Histogram &poolTaskMicros = obs::histogram("pool.task_micros");
+
+double
+elapsedMicros(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 } // namespace
 
@@ -43,8 +69,13 @@ ThreadPool::ThreadPool(std::size_t threads)
     : threads_(threads == 0 ? 1 : threads)
 {
     workers_.reserve(threads_ - 1);
-    for (std::size_t i = 0; i + 1 < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (std::size_t i = 0; i + 1 < threads_; ++i) {
+        workers_.emplace_back([this, i] {
+            obs::setCurrentThreadName("mtperf-worker-" +
+                                      std::to_string(i + 1));
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -71,6 +102,7 @@ ThreadPool::workerLoop()
             job = pending_.front();
             pending_.pop_front();
         }
+        poolQueueDepth.add(-1);
         runJob(job);
     }
 }
@@ -83,6 +115,7 @@ ThreadPool::runJob(const std::shared_ptr<Job> &job)
         const std::size_t i = job->next.fetch_add(1);
         if (i >= job->n)
             break;
+        const auto start = std::chrono::steady_clock::now();
         try {
             MTPERF_FAULT_POINT("pool.task.throw");
             (*job->body)(i);
@@ -91,6 +124,8 @@ ThreadPool::runJob(const std::shared_ptr<Job> &job)
             if (!job->error)
                 job->error = std::current_exception();
         }
+        poolTasks.increment();
+        poolTaskMicros.record(elapsedMicros(start));
         if (job->completed.fetch_add(1) + 1 == job->n) {
             std::lock_guard<std::mutex> lock(job->doneMutex);
             job->doneCv.notify_all();
@@ -114,6 +149,9 @@ ThreadPool::parallelFor(std::size_t n,
         return;
     }
 
+    obs::ScopedSpan span("pool", "pool.for");
+    poolLoops.increment();
+
     auto job = std::make_shared<Job>();
     job->n = n;
     job->body = &body;
@@ -126,6 +164,7 @@ ThreadPool::parallelFor(std::size_t n,
         for (std::size_t i = 0; i < helpers; ++i)
             pending_.push_back(job);
     }
+    poolQueueDepth.addTracked(static_cast<std::int64_t>(helpers));
     for (std::size_t i = 0; i < helpers; ++i)
         wake_.notify_one();
 

@@ -42,6 +42,12 @@ double parseDouble(std::string_view text, std::string_view context);
  */
 std::uint64_t parseSize(std::string_view text, std::string_view context);
 
+/**
+ * Escape @p text for inclusion inside a JSON string literal (quotes,
+ * backslashes, and control characters; no surrounding quotes).
+ */
+std::string jsonEscape(std::string_view text);
+
 /** Right-pad @p text with spaces to at least @p width characters. */
 std::string padRight(std::string_view text, std::size_t width);
 

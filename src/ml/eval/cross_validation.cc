@@ -8,6 +8,8 @@
 #include "data/folds.h"
 #include "math/stats.h"
 #include "ml/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mtperf {
 
@@ -61,9 +63,12 @@ crossValidate(const Regressor &prototype, const Dataset &ds,
     result.predictions.assign(ds.size(), 0.0);
     result.perFold.resize(folds.size());
 
+    obs::ScopedSpan cv_span("cv", "cv.run k=" + std::to_string(k));
+
     // Each fold touches only perFold[f] and the prediction slots of
     // its own (disjoint) test rows; the dataset is shared read-only.
     globalPool().parallelFor(folds.size(), [&](std::size_t f) {
+        obs::ScopedSpan span("cv", "cv.fold " + std::to_string(f + 1));
         const Split split = splitForFold(folds, f);
         const Dataset train = trainSubset(ds, split);
 
@@ -96,6 +101,11 @@ crossValidate(const Regressor &prototype, const Dataset &ds,
         const double train_mean = mean(train.targets());
         result.perFold[f] =
             computeMetrics(actual, predicted, train_mean);
+
+        static obs::Counter &cvFolds = obs::counter("cv.folds");
+        static obs::Counter &cvRows = obs::counter("cv.rows_predicted");
+        cvFolds.increment();
+        cvRows.add(split.test.size());
     });
 
     result.pooled = computeMetrics(ds.targets(), result.predictions);

@@ -16,6 +16,8 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "math/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mtperf {
 
@@ -125,17 +127,37 @@ M5Prime::fit(const Dataset &train)
     double root_mean = 0.0;
     targetStats(train, all_rows, root_mean, rootSd_);
 
-    growNode(*root_, all_rows, 0);
-    std::vector<std::size_t> path_attrs;
-    buildModels(*root_, path_attrs);
-    pruneNode(root_);
+    std::size_t grown_nodes = 0;
+    {
+        obs::ScopedSpan span("tree", "tree.grow");
+        growNode(*root_, all_rows, 0);
+        grown_nodes = numNodes();
+    }
+    {
+        obs::ScopedSpan span("tree", "tree.build_models");
+        std::vector<std::size_t> path_attrs;
+        buildModels(*root_, path_attrs);
+        // buildModels fits one linear model per node (interior nodes
+        // need one for pruning's subtree-error comparison).
+        obs::counter("tree.model_fits").add(grown_nodes);
+    }
+    {
+        obs::ScopedSpan span("tree", "tree.prune");
+        pruneNode(root_);
+        obs::counter("tree.nodes_pruned").add(grown_nodes - numNodes());
+    }
     if (options_.smooth && options_.smoothingK > 0.0) {
+        obs::ScopedSpan span("tree", "tree.smooth");
         std::vector<const Node *> ancestors;
         smoothLeaves(*root_, ancestors);
     }
 
     std::vector<PathStep> path;
     collectLeaves(*root_, path);
+
+    obs::counter("tree.fits").increment();
+    obs::counter("tree.nodes").add(numNodes());
+    obs::counter("tree.leaves").add(numLeaves());
 
     // Release per-node training rows; predictions don't need them.
     struct Scrubber

@@ -1,0 +1,46 @@
+#include "obs/build_info.h"
+
+#include "obs/build_info_generated.h"
+
+namespace mtperf::obs {
+
+const char *
+buildVersion()
+{
+    return MTPERF_BUILD_VERSION;
+}
+
+const char *
+buildGitSha()
+{
+    return MTPERF_BUILD_GIT_SHA;
+}
+
+const char *
+buildCompiler()
+{
+    return MTPERF_BUILD_COMPILER;
+}
+
+const char *
+buildType()
+{
+    return MTPERF_BUILD_TYPE;
+}
+
+std::string
+buildSummary()
+{
+    std::string out = "mtperf ";
+    out += MTPERF_BUILD_VERSION;
+    out += " (";
+    out += MTPERF_BUILD_GIT_SHA;
+    out += ", ";
+    out += MTPERF_BUILD_COMPILER;
+    out += ", ";
+    out += MTPERF_BUILD_TYPE;
+    out += ")";
+    return out;
+}
+
+} // namespace mtperf::obs

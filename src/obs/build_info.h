@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Accessors for build metadata (version, git sha, compiler, build
+ * type) stamped into the binary at configure time. `mtperf version`
+ * and the serve INFO reply report these, so a trace or metrics file
+ * can always be tied back to the exact build that produced it.
+ */
+
+#ifndef MTPERF_OBS_BUILD_INFO_H_
+#define MTPERF_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace mtperf::obs {
+
+/** Release version (the CMake project version, e.g. "1.0.0"). */
+const char *buildVersion();
+
+/** Short git revision at configure time, or "unknown". */
+const char *buildGitSha();
+
+/** Compiler id and version that produced the binary. */
+const char *buildCompiler();
+
+/** CMake build type (e.g. "RelWithDebInfo"). */
+const char *buildType();
+
+/** One-line summary: "mtperf VERSION (SHA, COMPILER, TYPE)". */
+std::string buildSummary();
+
+} // namespace mtperf::obs
+
+#endif // MTPERF_OBS_BUILD_INFO_H_

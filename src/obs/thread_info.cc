@@ -1,0 +1,71 @@
+#include "obs/thread_info.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace mtperf::obs {
+
+namespace {
+
+std::atomic<std::uint32_t> nextThreadId{0};
+
+struct NameTable
+{
+    std::mutex mutex;
+    std::map<std::uint32_t, std::string> names;
+};
+
+NameTable &
+nameTable()
+{
+    static NameTable *table = new NameTable; // never destroyed
+    return *table;
+}
+
+} // namespace
+
+std::uint32_t
+currentThreadId()
+{
+    thread_local const std::uint32_t id =
+        nextThreadId.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    NameTable &table = nameTable();
+    {
+        std::lock_guard<std::mutex> lock(table.mutex);
+        table.names[currentThreadId()] = name;
+    }
+#if defined(__linux__)
+    // The kernel caps thread names at 15 chars + NUL.
+    pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#endif
+}
+
+std::string
+currentThreadName()
+{
+    NameTable &table = nameTable();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    const auto it = table.names.find(currentThreadId());
+    return it == table.names.end() ? std::string() : it->second;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+namedThreads()
+{
+    NameTable &table = nameTable();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    return {table.names.begin(), table.names.end()};
+}
+
+} // namespace mtperf::obs

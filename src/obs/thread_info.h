@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small per-thread identity: a dense numeric id and a human name.
+ *
+ * The OS thread id is wide, random and useless in a report; every
+ * observability consumer (structured logs, trace tracks, TSan/gdb
+ * output) wants a small stable number and a name like
+ * `mtperf-worker-3`. Threads get an id lazily on first query
+ * (the main thread is 0 when it asks first, which it does in
+ * practice); setCurrentThreadName() also pushes the name into the
+ * kernel via pthread_setname_np where available, so debuggers and
+ * sanitizer reports show it too.
+ */
+
+#ifndef MTPERF_OBS_THREAD_INFO_H_
+#define MTPERF_OBS_THREAD_INFO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtperf::obs {
+
+/** Dense process-unique id of the calling thread (0, 1, 2, ...). */
+std::uint32_t currentThreadId();
+
+/**
+ * Name the calling thread for logs, traces and the OS (the kernel
+ * name is truncated to 15 characters, the pthread limit).
+ */
+void setCurrentThreadName(const std::string &name);
+
+/** The name set for the calling thread ("" if never named). */
+std::string currentThreadName();
+
+/** Every (id, name) pair named so far, for trace metadata tracks. */
+std::vector<std::pair<std::uint32_t, std::string>> namedThreads();
+
+} // namespace mtperf::obs
+
+#endif // MTPERF_OBS_THREAD_INFO_H_

@@ -11,6 +11,8 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/section_collector.h"
 #include "workload/spec_suite.h"
 
@@ -190,6 +192,7 @@ void
 SuiteCheckpoint::persistLocked() const
 {
     MTPERF_FAULT_POINT("checkpoint.write.fail");
+    obs::ScopedSpan span("sim", "sim.checkpoint.persist");
     std::ostringstream body;
     body << kHeaderLine << "\n";
     body << "fingerprint " << fingerprint_ << "\n";
@@ -207,6 +210,9 @@ SuiteCheckpoint::persistLocked() const
     atomicWriteFile(path_, [&](std::ostream &out) {
         out << text << "checksum " << crc32Hex(crc32(text)) << "\n";
     });
+    obs::counter("sim.checkpoints_written").increment();
+    obs::traceInstant("sim", "checkpoint " + std::to_string(done_.size()) +
+                                 " workloads");
 }
 
 Dataset
@@ -219,11 +225,11 @@ collectSuiteDatasetCheckpointed(const workload::RunnerOptions &options,
     checkpoint.load();
     const std::size_t resumed = checkpoint.completedCount();
     if (resumed > 0) {
-        inform("resuming from checkpoint ", checkpoint_path, ": ",
+        informAs("sim", "resuming from checkpoint ", checkpoint_path, ": ",
                resumed, " of ", suite.size(),
                " workloads already complete");
     }
-    inform("simulating ", suite.size(), " workloads (",
+    informAs("sim", "simulating ", suite.size(), " workloads (",
            options.instructionsPerSection, " instructions/section, ",
            globalThreadCount(), " thread",
            globalThreadCount() == 1 ? "" : "s", ")...");
@@ -231,8 +237,11 @@ collectSuiteDatasetCheckpointed(const workload::RunnerOptions &options,
     auto per_workload =
         parallelMap(globalPool(), suite.size(), [&](std::size_t i) {
             const auto &spec = suite[i];
-            if (checkpoint.completed(spec.name))
-                return checkpoint.recordsFor(spec.name);
+            if (checkpoint.completed(spec.name)) {
+                auto records = checkpoint.recordsFor(spec.name);
+                obs::counter("sim.sections_resumed").add(records.size());
+                return records;
+            }
             auto records = workload::runWorkload(spec, options);
             checkpoint.record(spec.name, records);
             return records;
@@ -247,7 +256,7 @@ collectSuiteDatasetCheckpointed(const workload::RunnerOptions &options,
         all.insert(all.end(), std::make_move_iterator(records.begin()),
                    std::make_move_iterator(records.end()));
     }
-    inform("collected ", all.size(), " sections");
+    informAs("sim", "collected ", all.size(), " sections");
     Dataset ds = sectionsToDataset(all);
     checkpoint.removeFile();
     return ds;

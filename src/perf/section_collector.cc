@@ -5,33 +5,73 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "data/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "uarch/event_counters.h"
 #include "workload/spec_suite.h"
 
 namespace mtperf::perf {
 
+namespace {
+
+/**
+ * Counter cross-validation for the simulate -> collect hand-off:
+ * every section a simulator produced this process must end up in a
+ * dataset exactly once (resumed checkpoint sections are counted
+ * separately by the checkpoint reader and enter on the right-hand
+ * side).
+ */
+void
+registerCollectionInvariant()
+{
+    static const bool once = [] {
+        obs::registerInvariant("sim.sections_accounted", [] {
+            const std::uint64_t simulated =
+                obs::counter("sim.sections_simulated").value();
+            const std::uint64_t resumed =
+                obs::counter("sim.sections_resumed").value();
+            const std::uint64_t collected =
+                obs::counter("sim.sections_collected").value();
+            if (collected == simulated + resumed)
+                return std::string();
+            return "sim.sections_collected=" +
+                   std::to_string(collected) +
+                   " != sim.sections_simulated=" +
+                   std::to_string(simulated) +
+                   " + sim.sections_resumed=" + std::to_string(resumed);
+        });
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
 Dataset
 sectionsToDataset(const std::vector<workload::SectionRecord> &records)
 {
+    registerCollectionInvariant();
     Dataset ds(uarch::perfSchema());
     for (const auto &record : records) {
         const auto ratios = uarch::metricRatios(record.counters);
         ds.addRow(ratios, uarch::cpiOf(record.counters),
                   record.workload + "/" + record.phase);
     }
+    obs::counter("sim.sections_collected").add(ds.size());
     return ds;
 }
 
 Dataset
 collectSuiteDataset(const workload::RunnerOptions &options)
 {
+    obs::ScopedSpan span("sim", "sim.collect");
     const auto suite = workload::specLikeSuite();
-    inform("simulating ", suite.size(), " workloads (",
-           options.instructionsPerSection, " instructions/section, ",
-           globalThreadCount(), " thread",
-           globalThreadCount() == 1 ? "" : "s", ")...");
+    informAs("sim", "simulating ", suite.size(), " workloads (",
+             options.instructionsPerSection, " instructions/section, ",
+             globalThreadCount(), " thread",
+             globalThreadCount() == 1 ? "" : "s", ")...");
     const auto records = workload::runSuite(suite, options);
-    inform("collected ", records.size(), " sections");
+    informAs("sim", "collected ", records.size(), " sections");
     return sectionsToDataset(records);
 }
 

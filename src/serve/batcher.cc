@@ -4,6 +4,9 @@
 #include <span>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/thread_info.h"
+#include "obs/trace.h"
 
 namespace mtperf::serve {
 
@@ -14,7 +17,10 @@ Batcher::Batcher(Options options, const ModelHolder &model,
     mtperf_assert(options_.batchMaxRows > 0, "batchMaxRows must be >= 1");
     mtperf_assert(options_.queueMaxRows >= options_.batchMaxRows,
                   "queueMaxRows must be >= batchMaxRows");
-    worker_ = std::thread([this] { workerLoop(); });
+    worker_ = std::thread([this] {
+        obs::setCurrentThreadName("mtperf-batcher");
+        workerLoop();
+    });
 }
 
 Batcher::~Batcher()
@@ -105,6 +111,9 @@ Batcher::workerLoop()
 void
 Batcher::runBatch(std::vector<PredictJob> &batch)
 {
+    obs::ScopedSpan span("serve",
+                         "serve.batch jobs=" +
+                             std::to_string(batch.size()));
     const std::shared_ptr<const M5Prime> model = model_.get();
     const std::size_t width =
         model ? model->schema().numAttributes() : 0;
@@ -139,6 +148,7 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
     const auto now = std::chrono::steady_clock::now();
     std::size_t offset = 0;
     std::size_t next_runnable = 0;
+    std::size_t served_rows = 0;
     for (std::size_t j = 0; j < batch.size(); ++j) {
         PredictJob &job = batch[j];
         JobResult result;
@@ -180,12 +190,21 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
                 std::chrono::duration<double, std::micro>(
                     now - job.enqueued)
                     .count());
+            served_rows += n;
         }
         if (!result.ok)
             stats_.countError();
         if (job.done)
             job.done(std::move(result));
     }
+
+    // The other half of the serve.rows_predicted_vs_batched
+    // invariant (see serve/stats.cc): rows counted as predicted above
+    // must equal rows the batcher actually served.
+    static obs::Counter &batches = obs::counter("serve.batches");
+    static obs::Counter &batchRows = obs::counter("serve.batch_rows");
+    batches.increment();
+    batchRows.add(served_rows);
 }
 
 } // namespace mtperf::serve

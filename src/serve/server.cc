@@ -7,6 +7,8 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "obs/build_info.h"
+#include "obs/thread_info.h"
 
 namespace mtperf::serve {
 
@@ -65,7 +67,10 @@ Server::start()
 {
     mtperf_assert(!started_, "Server::start() called twice");
     started_ = true;
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    acceptThread_ = std::thread([this] {
+        obs::setCurrentThreadName("mtperf-accept");
+        acceptLoop();
+    });
 }
 
 void
@@ -91,12 +96,13 @@ Server::reloadNow(std::string *error)
             M5Prime::loadFile(options_.modelPath));
         model_.set(std::move(fresh));
         stats_.countReload(true);
-        inform("reloaded model from ", options_.modelPath);
+        informAs("serve", "reloaded model from ", options_.modelPath);
         return true;
     } catch (const std::exception &e) {
         stats_.countReload(false);
-        warn("model reload failed, keeping the serving model: ",
-             e.what());
+        warnAs("serve",
+               "model reload failed, keeping the serving model: ",
+               e.what());
         if (error != nullptr)
             *error = e.what();
         return false;
@@ -149,13 +155,17 @@ Server::acceptLoop()
             stats_.countConnection();
             std::lock_guard<std::mutex> lock(connMutex_);
             connections_.push_back(conn);
-            connThreads_.emplace_back(
-                [this, conn] { serveConnection(conn); });
+            const std::size_t conn_index = connections_.size();
+            connThreads_.emplace_back([this, conn, conn_index] {
+                obs::setCurrentThreadName(
+                    "mtperf-conn-" + std::to_string(conn_index));
+                serveConnection(conn);
+            });
         } catch (const std::exception &e) {
             // A failed or fault-injected accept drops that one
             // connection; the server keeps serving.
             stats_.countError();
-            warn("accept failed: ", e.what());
+            warnAs("serve", "accept failed: ", e.what());
         }
     }
     listener_.close();
@@ -298,6 +308,7 @@ Server::infoText() const
 {
     const std::shared_ptr<const M5Prime> model = model_.get();
     std::ostringstream os;
+    os << "build " << obs::buildSummary() << "\n";
     os << "model M5Prime\n";
     os << "source " << options_.modelPath << "\n";
     const Schema &schema = model->schema();

@@ -1,88 +1,93 @@
 #include "serve/stats.h"
 
-#include <cmath>
 #include <sstream>
 
 namespace mtperf::serve {
 
-std::size_t
-LatencyHistogram::bucketFor(double micros)
+namespace {
+
+/**
+ * The shared serve latency histogram. Kept at the layout the serving
+ * path has always used: 1us first bound growing 25% per bucket, 96
+ * buckets (bucket 95 tops out around 23 min).
+ */
+obs::Histogram &
+latencyHistogram()
 {
-    if (!(micros > kFirstBoundMicros))
-        return 0;
-    const double steps =
-        std::log(micros / kFirstBoundMicros) / std::log(kGrowth);
-    const std::size_t bucket =
-        static_cast<std::size_t>(std::ceil(steps));
-    return bucket >= kBuckets ? kBuckets - 1 : bucket;
+    return obs::histogram("serve.predict_micros");
 }
 
-double
-LatencyHistogram::boundOf(std::size_t bucket)
-{
-    return kFirstBoundMicros *
-           std::pow(kGrowth, static_cast<double>(bucket));
-}
+} // namespace
 
-void
-LatencyHistogram::record(double micros)
+ServeStats::ServeStats()
+    : connections_(obs::counter("serve.connections")),
+      requests_(obs::counter("serve.requests")),
+      predictRequests_(obs::counter("serve.predict_requests")),
+      rowsPredicted_(obs::counter("serve.rows_predicted")),
+      errors_(obs::counter("serve.errors")),
+      retries_(obs::counter("serve.retries")),
+      reloads_(obs::counter("serve.reloads")),
+      reloadFailures_(obs::counter("serve.reload_failures")),
+      latency_(latencyHistogram())
 {
-    buckets_[bucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
-}
+    base_.connections = connections_.value();
+    base_.requests = requests_.value();
+    base_.predictRequests = predictRequests_.value();
+    base_.rowsPredicted = rowsPredicted_.value();
+    base_.errors = errors_.value();
+    base_.retries = retries_.value();
+    base_.reloads = reloads_.value();
+    base_.reloadFailures = reloadFailures_.value();
+    baseLatency_ = latency_.snapshot();
 
-std::uint64_t
-LatencyHistogram::count() const
-{
-    std::uint64_t total = 0;
-    for (const auto &bucket : buckets_)
-        total += bucket.load(std::memory_order_relaxed);
-    return total;
-}
-
-double
-LatencyHistogram::percentileMicros(double p) const
-{
-    const std::uint64_t total = count();
-    if (total == 0)
-        return 0.0;
-    const double target = p * static_cast<double>(total);
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-        seen += buckets_[b].load(std::memory_order_relaxed);
-        if (static_cast<double>(seen) >= target)
-            return boundOf(b);
-    }
-    return boundOf(kBuckets - 1);
+    // Cross-validate the pipeline's own bookkeeping: every row the
+    // stats claim was predicted must have passed through a batch (the
+    // batcher counts serve.batch_rows as it runs jobs). Registered
+    // here (idempotently) so any serving process carries the check.
+    obs::registerInvariant("serve.rows_predicted_vs_batched", [] {
+        const std::uint64_t predicted =
+            obs::counter("serve.rows_predicted").value();
+        const std::uint64_t batched =
+            obs::counter("serve.batch_rows").value();
+        if (predicted == batched)
+            return std::string();
+        std::ostringstream os;
+        os << "serve.rows_predicted=" << predicted
+           << " != serve.batch_rows=" << batched;
+        return os.str();
+    });
 }
 
 void
 ServeStats::countPredict(std::uint64_t rows)
 {
-    bump(predictRequests_);
-    rowsPredicted_.fetch_add(rows, std::memory_order_relaxed);
+    predictRequests_.increment();
+    rowsPredicted_.add(rows);
 }
 
 void
 ServeStats::countReload(bool ok)
 {
-    bump(ok ? reloads_ : reloadFailures_);
+    (ok ? reloads_ : reloadFailures_).increment();
 }
 
 StatsSnapshot
 ServeStats::snapshot() const
 {
     StatsSnapshot s;
-    s.connections = connections_.load(std::memory_order_relaxed);
-    s.requests = requests_.load(std::memory_order_relaxed);
-    s.predictRequests = predictRequests_.load(std::memory_order_relaxed);
-    s.rowsPredicted = rowsPredicted_.load(std::memory_order_relaxed);
-    s.errors = errors_.load(std::memory_order_relaxed);
-    s.retries = retries_.load(std::memory_order_relaxed);
-    s.reloads = reloads_.load(std::memory_order_relaxed);
-    s.reloadFailures = reloadFailures_.load(std::memory_order_relaxed);
-    s.p50Micros = latency_.percentileMicros(0.50);
-    s.p95Micros = latency_.percentileMicros(0.95);
-    s.p99Micros = latency_.percentileMicros(0.99);
+    s.connections = connections_.value() - base_.connections;
+    s.requests = requests_.value() - base_.requests;
+    s.predictRequests = predictRequests_.value() - base_.predictRequests;
+    s.rowsPredicted = rowsPredicted_.value() - base_.rowsPredicted;
+    s.errors = errors_.value() - base_.errors;
+    s.retries = retries_.value() - base_.retries;
+    s.reloads = reloads_.value() - base_.reloads;
+    s.reloadFailures = reloadFailures_.value() - base_.reloadFailures;
+    obs::HistogramSnapshot lat = latency_.snapshot();
+    lat.subtract(baseLatency_);
+    s.p50Micros = lat.percentile(0.50);
+    s.p95Micros = lat.percentile(0.95);
+    s.p99Micros = lat.percentile(0.99);
     return s;
 }
 

@@ -1,53 +1,32 @@
 /**
  * @file
- * Serving-side observability: request/row/error counters and a
- * latency histogram with percentile readout.
+ * Serving-side counters and latency percentiles, backed by the
+ * process-wide obs registry.
  *
- * Everything is lock-free (relaxed atomics): the counters sit on the
- * request hot path and must not serialize the connection threads.
- * Percentiles are computed from a geometric bucket histogram — exact
- * enough for p50/p95/p99 reporting (buckets grow 25% per step, so a
- * reported percentile is within 25% of the true value), and O(1) to
- * record. A snapshot is taken by STATS requests, dumped on server
- * exit, and reconciled against client-side totals in the tests.
+ * The original serving-only geometric-bucket histogram was promoted
+ * to obs::Histogram (src/obs/metrics.h) — same layout (96 buckets
+ * from 1us growing 25% per step), but with percentile interpolation
+ * inside the bucket instead of reporting the bucket's upper bound,
+ * and merge/subtract support. ServeStats keeps its per-instance
+ * semantics (a fresh server starts at zero even though the registry
+ * is process-wide) by capturing a baseline of the shared
+ * `serve.*` metrics at construction and reporting deltas: the same
+ * numbers thus appear in STATS replies, in `--metrics-out` dumps,
+ * and in bench reports, from one source of truth.
+ *
+ * Everything stays lock-free (relaxed atomics): the counters sit on
+ * the request hot path and must not serialize connection threads.
  */
 
 #ifndef MTPERF_SERVE_STATS_H_
 #define MTPERF_SERVE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace mtperf::serve {
-
-/** Geometric-bucket latency histogram (microseconds). */
-class LatencyHistogram
-{
-  public:
-    /** Record one latency observation. */
-    void record(double micros);
-
-    /**
-     * The upper bound of the bucket containing the @p p quantile
-     * (p in [0, 1]) of all recorded observations; 0 when empty.
-     */
-    double percentileMicros(double p) const;
-
-    std::uint64_t count() const;
-
-  private:
-    // 1us growing 25% per bucket: bucket 95 tops out around 23 min.
-    static constexpr std::size_t kBuckets = 96;
-    static constexpr double kFirstBoundMicros = 1.0;
-    static constexpr double kGrowth = 1.25;
-
-    static std::size_t bucketFor(double micros);
-    static double boundOf(std::size_t bucket);
-
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
 
 /** One consistent-enough read of every counter. */
 struct StatsSnapshot
@@ -68,15 +47,21 @@ struct StatsSnapshot
     std::string toJson() const;
 };
 
-/** The server's counter set. All methods are thread-safe. */
+/**
+ * The server's counter set, a view over the shared `serve.*` metrics.
+ * All methods are thread-safe; snapshot() reports this instance's
+ * contribution (registry value minus the construction-time baseline).
+ */
 class ServeStats
 {
   public:
-    void countConnection() { bump(connections_); }
-    void countRequest() { bump(requests_); }
+    ServeStats();
+
+    void countConnection() { connections_.increment(); }
+    void countRequest() { requests_.increment(); }
     void countPredict(std::uint64_t rows);
-    void countError() { bump(errors_); }
-    void countRetry() { bump(retries_); }
+    void countError() { errors_.increment(); }
+    void countRetry() { retries_.increment(); }
     void countReload(bool ok);
 
     /** Record one predict request's service latency. */
@@ -85,21 +70,19 @@ class ServeStats
     StatsSnapshot snapshot() const;
 
   private:
-    static void
-    bump(std::atomic<std::uint64_t> &counter)
-    {
-        counter.fetch_add(1, std::memory_order_relaxed);
-    }
+    obs::Counter &connections_;
+    obs::Counter &requests_;
+    obs::Counter &predictRequests_;
+    obs::Counter &rowsPredicted_;
+    obs::Counter &errors_;
+    obs::Counter &retries_;
+    obs::Counter &reloads_;
+    obs::Counter &reloadFailures_;
+    obs::Histogram &latency_;
 
-    std::atomic<std::uint64_t> connections_{0};
-    std::atomic<std::uint64_t> requests_{0};
-    std::atomic<std::uint64_t> predictRequests_{0};
-    std::atomic<std::uint64_t> rowsPredicted_{0};
-    std::atomic<std::uint64_t> errors_{0};
-    std::atomic<std::uint64_t> retries_{0};
-    std::atomic<std::uint64_t> reloads_{0};
-    std::atomic<std::uint64_t> reloadFailures_{0};
-    LatencyHistogram latency_;
+    /** Registry values when this instance was created. */
+    StatsSnapshot base_;
+    obs::HistogramSnapshot baseLatency_;
 };
 
 } // namespace mtperf::serve

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include <chrono>
+
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/stream_gen.h"
 
 namespace mtperf::workload {
@@ -92,6 +96,14 @@ runWorkload(const WorkloadSpec &spec, const RunnerOptions &options)
         mtperf_fatal("instructionsPerSection must be positive");
     MTPERF_FAULT_POINT("sim.workload.fail");
 
+    obs::ScopedSpan span("sim", "sim.workload " + spec.name);
+    static obs::Counter &sectionsSimulated =
+        obs::counter("sim.sections_simulated");
+    static obs::Counter &instructionsExecuted =
+        obs::counter("sim.instructions_executed");
+    static obs::Histogram &sectionMicros =
+        obs::histogram("sim.section_micros");
+
     // Per-workload deterministic seeds, independent of suite order.
     std::uint64_t name_hash = 1469598103934665603ULL;
     for (char c : spec.name)
@@ -117,11 +129,16 @@ runWorkload(const WorkloadSpec &spec, const RunnerOptions &options)
         for (std::size_t s = 0; s < sections; ++s) {
             gen.setParams(jitterPhase(phase_spec.params,
                                       options.paramJitter, jitter_rng));
+            const auto wall_start = std::chrono::steady_clock::now();
             const uarch::EventCounters before = core.counters();
             for (std::uint64_t i = 0;
                  i < options.instructionsPerSection; ++i) {
                 core.execute(gen.next());
             }
+            sectionMicros.record(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count());
             SectionRecord record;
             record.workload = spec.name;
             record.phase = phase_spec.params.name;
@@ -130,6 +147,9 @@ runWorkload(const WorkloadSpec &spec, const RunnerOptions &options)
             records.push_back(std::move(record));
         }
     }
+    sectionsSimulated.add(records.size());
+    instructionsExecuted.add(records.size() *
+                             options.instructionsPerSection);
     return records;
 }
 

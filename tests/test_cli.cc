@@ -11,6 +11,7 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace mtperf::cli {
@@ -343,6 +344,137 @@ TEST_F(CliCommandTest, StackReportsAttribution)
     EXPECT_EQ(runCommand("stack", {"--workload", "429.mcf"},
                          error_out),
               3);
+}
+
+// ---------------------------------------------------------------
+// Observability: version, --trace-out/--metrics-out, --log-json
+// ---------------------------------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST_F(CliCommandTest, VersionReportsBuildMetadata)
+{
+    std::ostringstream out;
+    EXPECT_EQ(runCommand("version", {}, out), 0);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("mtperf "), std::string::npos);
+    for (const char *field : {"version ", "git ", "compiler ",
+                              "build-type "})
+        EXPECT_NE(text.find(field), std::string::npos) << field;
+    // The usage text must advertise the command.
+    std::ostringstream help_out;
+    runCommand("help", {}, help_out);
+    EXPECT_NE(help_out.str().find("version"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, SimulateEmitsTraceWithPipelineSpans)
+{
+    const std::string trace = dir_ + "/simulate_trace.json";
+    std::filesystem::remove(trace);
+    std::ostringstream out;
+    EXPECT_EQ(runCommand("simulate",
+                         {"--out", csv_, "--scale", "0.02",
+                          "--instructions", "2000", "--trace-out",
+                          trace},
+                         out),
+              0);
+    EXPECT_NE(out.str().find("trace written to"), std::string::npos);
+
+    const std::string json = slurp(trace);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("sim.workload"), std::string::npos);
+    EXPECT_NE(json.find("sim.collect"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(CliCommandTest, TrainEmitsTraceAndMetricsDumps)
+{
+    simulate();
+    const std::string trace = dir_ + "/train_trace.json";
+    const std::string metrics = dir_ + "/train_metrics.json";
+    std::filesystem::remove(trace);
+    std::filesystem::remove(metrics);
+
+    std::ostringstream out;
+    EXPECT_EQ(runCommand("train",
+                         {"--data", csv_, "--out", model_,
+                          "--trace-out", trace, "--metrics-out",
+                          metrics},
+                         out),
+              0);
+    EXPECT_NE(out.str().find("trace written to"), std::string::npos);
+    EXPECT_NE(out.str().find("metrics written to"), std::string::npos);
+
+    // The trace shows the tree-build phases the issue promises.
+    const std::string trace_json = slurp(trace);
+    for (const char *span : {"tree.grow", "tree.build_models",
+                             "tree.prune"})
+        EXPECT_NE(trace_json.find(span), std::string::npos) << span;
+
+    // The metrics dump carries the tree counters from the same run.
+    const std::string metrics_json = slurp(metrics);
+    EXPECT_NE(metrics_json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(metrics_json.find("\"histograms\""), std::string::npos);
+    for (const char *name : {"tree.fits", "tree.leaves", "tree.nodes"})
+        EXPECT_NE(metrics_json.find(name), std::string::npos) << name;
+}
+
+TEST_F(CliCommandTest, ObsFlushFaultBecomesExitThreeAndLeavesNoFile)
+{
+    simulate();
+    const std::string metrics = dir_ + "/fault_metrics.json";
+    std::filesystem::remove(metrics);
+
+    std::ostringstream out;
+    EXPECT_EQ(runCommand("train",
+                         {"--data", csv_, "--out", model_,
+                          "--metrics-out", metrics, "--fault-spec",
+                          "obs.flush:1:1"},
+                         out),
+              3);
+    // Crash-safe: a failed dump leaves no partial file behind.
+    EXPECT_FALSE(std::filesystem::exists(metrics));
+    // The command itself succeeded: its model artifact is intact.
+    EXPECT_TRUE(std::filesystem::exists(model_));
+    fault::clear();
+}
+
+TEST_F(CliCommandTest, LogJsonMakesEveryStderrLineAnObject)
+{
+    testing::internal::CaptureStderr();
+    std::ostringstream out;
+    const int status = runCommand("simulate",
+                                  {"--out", csv_, "--scale", "0.02",
+                                   "--instructions", "2000",
+                                   "--log-json"},
+                                  out);
+    const std::string captured =
+        testing::internal::GetCapturedStderr();
+    setLogFormat(LogFormat::Text); // do not leak into later tests
+    ASSERT_EQ(status, 0);
+
+    std::istringstream lines(captured);
+    std::string line;
+    std::size_t seen = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        ++seen;
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"level\":\""), std::string::npos) << line;
+        EXPECT_NE(line.find("\"component\":\""), std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"msg\":\""), std::string::npos) << line;
+    }
+    EXPECT_GT(seen, 0u) << "simulate should log progress lines";
 }
 
 TEST_F(CliCommandTest, PredictRejectsSchemaMismatch)

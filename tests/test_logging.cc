@@ -5,10 +5,62 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace mtperf {
 namespace {
+
+/** RAII guard restoring the global log level and format. */
+struct LogStateGuard
+{
+    LogLevel level = logLevel();
+    LogFormat format = logFormat();
+
+    ~LogStateGuard()
+    {
+        setLogLevel(level);
+        setLogFormat(format);
+    }
+};
+
+std::vector<std::string>
+capturedLines(const std::string &captured)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(captured);
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+/** One log line must be a single flat JSON object. */
+void
+expectJsonLogLine(const std::string &line)
+{
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    // Every mandated field is present.
+    EXPECT_NE(line.find("\"ts_us\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"level\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"thread\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"component\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"msg\":\""), std::string::npos) << line;
+    // Structural sanity: quotes balance once escapes are removed.
+    int quotes = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '\\')
+            ++i; // skip the escaped character
+        else if (line[i] == '"')
+            ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0) << line;
+}
 
 TEST(Logging, FatalThrowsWithMessage)
 {
@@ -26,6 +78,100 @@ TEST(Logging, LogLevelRoundTrip)
     setLogLevel(LogLevel::Error);
     EXPECT_EQ(logLevel(), LogLevel::Error);
     setLogLevel(before);
+}
+
+TEST(Logging, ParseLogLevelRoundTrip)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("WARN"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("Error"), LogLevel::Error);
+    EXPECT_THROW(parseLogLevel("loud"), UsageError);
+    EXPECT_THROW(parseLogLevel(""), UsageError);
+}
+
+TEST(Logging, JsonFormatEmitsOneParsableObjectPerLine)
+{
+    LogStateGuard guard;
+    setLogFormat(LogFormat::Json);
+    setLogLevel(LogLevel::Info);
+
+    testing::internal::CaptureStderr();
+    inform("plain message ", 7);
+    informAs("sim", "tagged message");
+    warnAs("tree", "with \"quotes\" and\nnewline");
+    const auto lines =
+        capturedLines(testing::internal::GetCapturedStderr());
+
+    ASSERT_EQ(lines.size(), 3u);
+    for (const auto &line : lines)
+        expectJsonLogLine(line);
+    EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"msg\":\"plain message 7\""),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"component\":\"sim\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"level\":\"warn\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"component\":\"tree\""), std::string::npos);
+    // Specials are escaped, never emitted raw.
+    EXPECT_NE(lines[2].find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\\n"), std::string::npos);
+}
+
+TEST(Logging, JsonFormatRespectsLevelThreshold)
+{
+    LogStateGuard guard;
+    setLogFormat(LogFormat::Json);
+    setLogLevel(LogLevel::Error);
+
+    testing::internal::CaptureStderr();
+    inform("suppressed info");
+    warn("suppressed warning");
+    logMessage(LogLevel::Error, "cv", "an error line");
+    const auto lines =
+        capturedLines(testing::internal::GetCapturedStderr());
+
+    ASSERT_EQ(lines.size(), 1u);
+    expectJsonLogLine(lines[0]);
+    EXPECT_NE(lines[0].find("\"level\":\"error\""), std::string::npos);
+    EXPECT_NE(lines[0].find("an error line"), std::string::npos);
+    EXPECT_EQ(lines[0].find("suppressed"), std::string::npos);
+}
+
+TEST(Logging, JsonTimestampsAreMonotonic)
+{
+    LogStateGuard guard;
+    setLogFormat(LogFormat::Json);
+    setLogLevel(LogLevel::Info);
+
+    testing::internal::CaptureStderr();
+    inform("first");
+    inform("second");
+    const auto lines =
+        capturedLines(testing::internal::GetCapturedStderr());
+    ASSERT_EQ(lines.size(), 2u);
+
+    auto tsOf = [](const std::string &line) {
+        const auto pos = line.find("\"ts_us\":");
+        EXPECT_NE(pos, std::string::npos);
+        return std::stoll(line.substr(pos + 8));
+    };
+    EXPECT_GE(tsOf(lines[1]), tsOf(lines[0]));
+}
+
+TEST(Logging, TextFormatTagsComponents)
+{
+    LogStateGuard guard;
+    setLogFormat(LogFormat::Text);
+    setLogLevel(LogLevel::Info);
+
+    testing::internal::CaptureStderr();
+    informAs("serve", "component line");
+    inform("bare line");
+    const auto lines =
+        capturedLines(testing::internal::GetCapturedStderr());
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "[info] serve: component line");
+    EXPECT_EQ(lines[1], "[info] bare line");
 }
 
 TEST(Logging, AssertPassesOnTrue)

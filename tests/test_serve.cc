@@ -25,6 +25,8 @@
 #include "corruption_corpus.h"
 #include "data/io.h"
 #include "ml/tree/m5prime.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -175,6 +177,58 @@ TEST_F(ServeTest, ConcurrentClientsMatchOfflineByteForByte)
     const StatsSnapshot snapshot = server.stats();
     EXPECT_EQ(snapshot.rowsPredicted, 10000u);
     EXPECT_EQ(snapshot.connections, 5u);
+}
+
+TEST_F(ServeTest, StatsReconcileWithTheSharedMetricsRegistry)
+{
+    // ServeStats is a per-instance view over the process-wide obs
+    // registry: the STATS numbers must equal the registry deltas.
+    const std::uint64_t rows_before =
+        obs::counter("serve.rows_predicted").value();
+    const std::uint64_t batched_before =
+        obs::counter("serve.batch_rows").value();
+    const std::uint64_t requests_before =
+        obs::counter("serve.requests").value();
+
+    Server server(unixOptions("registry"));
+    server.start();
+    {
+        Client client =
+            Client::connect("unix:" + socketPath("registry"), 0);
+        const std::size_t width = ds_.numAttributes();
+        std::vector<double> flat;
+        constexpr std::size_t kRows = 128;
+        for (std::size_t r = 0; r < kRows; ++r) {
+            const auto row = ds_.row(r);
+            flat.insert(flat.end(), row.begin(), row.end());
+        }
+        ASSERT_EQ(client.predict(flat, width).predictions.size(),
+                  kRows);
+
+        // INFO now leads with build metadata from the same registry
+        // process (satellite: version/build provenance everywhere).
+        const std::string info = client.info();
+        EXPECT_NE(info.find("build mtperf "), std::string::npos)
+            << info;
+    }
+    server.requestStop();
+    server.wait();
+
+    const StatsSnapshot snapshot = server.stats();
+    EXPECT_EQ(snapshot.rowsPredicted, 128u);
+    EXPECT_EQ(obs::counter("serve.rows_predicted").value() -
+                  rows_before,
+              128u);
+    EXPECT_EQ(obs::counter("serve.batch_rows").value() -
+                  batched_before,
+              128u);
+    EXPECT_EQ(obs::counter("serve.requests").value() - requests_before,
+              snapshot.requests);
+
+    // The cross-counter invariant the batcher promises must hold.
+    for (const auto &violation : obs::validateInvariants())
+        EXPECT_NE(violation.name, "serve.rows_predicted_vs_batched")
+            << violation.message;
 }
 
 TEST_F(ServeTest, AttributionReturnsOfflineLeafIds)
