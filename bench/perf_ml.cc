@@ -7,6 +7,13 @@
  * shaped like the counter dataset (20 attributes).
  */
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
@@ -15,6 +22,9 @@
 #include "ml/linear/linear_model.h"
 #include "ml/tree/m5prime.h"
 #include "ml/tree/regression_tree.h"
+#include "ml/tree/split_search.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -121,6 +131,189 @@ BM_KnnPredict(benchmark::State &state)
 }
 BENCHMARK(BM_KnnPredict);
 
+void
+BM_SplitSearchBruteForce(benchmark::State &state)
+{
+    const Dataset ds = syntheticDataset(
+        static_cast<std::size_t>(state.range(0)));
+    std::vector<std::size_t> rows(ds.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            bruteForceBestSplit(ds, rows, 4).valid);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_SplitSearchBruteForce)->Arg(2000)->Arg(8000);
+
+void
+BM_SplitSearchPresorted(benchmark::State &state)
+{
+    // Columns are presorted once outside the loop, as in a real fit:
+    // the per-node cost that repeats at every tree node is the
+    // incremental scan, not the one-time root sort.
+    const Dataset ds = syntheticDataset(
+        static_cast<std::size_t>(state.range(0)));
+    PresortedColumns cols;
+    cols.build(ds);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cols.bestSplit(ds, 0, ds.size(), 4).valid);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(ds.size()));
+}
+BENCHMARK(BM_SplitSearchPresorted)->Arg(2000)->Arg(8000);
+
+/** Best-of-n wall time of @p body, in seconds. */
+template <typename Fn>
+double
+bestWallSeconds(int reps, Fn &&body)
+{
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+        const auto started = std::chrono::steady_clock::now();
+        body();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        best = std::min(best, elapsed);
+    }
+    return best;
+}
+
+/**
+ * Headline measurement + correctness self-check, emitted as
+ * BENCH_ml.json (same flat shape as BENCH_serve.json).
+ *
+ * The self-checks gate on *counters and agreement*, never wall time,
+ * so they are safe to assert in CI on noisy shared runners:
+ *  - the presorted root split must equal the brute-force reference
+ *    bitwise;
+ *  - fitting must actually elide per-node sorts (tree.sort_elided);
+ *  - every registered obs invariant must hold.
+ */
+int
+runHeadline(std::size_t rows, const std::string &json_path)
+{
+    const Dataset ds = syntheticDataset(rows);
+    M5Options options;
+    options.minInstances = std::max<std::size_t>(4, ds.size() / 20);
+
+    // Self-check 1: presorted search agrees with the reference at the
+    // root (the property suite covers full descents).
+    PresortedColumns cols;
+    cols.build(ds);
+    std::vector<std::size_t> all_rows(ds.size());
+    std::iota(all_rows.begin(), all_rows.end(), 0);
+    const SplitChoice fast = cols.bestSplit(ds, 0, ds.size(),
+                                            options.minInstances);
+    const SplitChoice slow = bruteForceBestSplit(ds, all_rows,
+                                                 options.minInstances);
+    if (fast.valid != slow.valid || fast.attr != slow.attr ||
+        fast.value != slow.value || fast.sdr != slow.sdr) {
+        std::cerr << "perf_ml: presorted split search diverged from "
+                     "brute force at the root\n";
+        return 1;
+    }
+
+    const std::uint64_t elided_before =
+        obs::counter("tree.sort_elided").value();
+
+    std::size_t leaves = 0;
+    const double fit_wall = bestWallSeconds(5, [&] {
+        M5Prime tree(options);
+        tree.fit(ds);
+        leaves = tree.numLeaves();
+    });
+
+    // Self-check 2: the presort machinery was actually engaged.
+    const std::uint64_t elided =
+        obs::counter("tree.sort_elided").value() - elided_before;
+    if (leaves > 1 && elided == 0) {
+        std::cerr << "perf_ml: fit elided no per-node sorts\n";
+        return 1;
+    }
+
+    // Self-check 3: global invariants (counter accounting).
+    for (const auto &violation : obs::validateInvariants()) {
+        std::cerr << "perf_ml: invariant " << violation.name
+                  << " violated: " << violation.message << "\n";
+        return 1;
+    }
+
+    // Per-node split-search gain: one root search, fast vs reference.
+    const double presorted_wall = bestWallSeconds(5, [&] {
+        benchmark::DoNotOptimize(
+            cols.bestSplit(ds, 0, ds.size(), options.minInstances)
+                .valid);
+    });
+    const double brute_wall = bestWallSeconds(5, [&] {
+        benchmark::DoNotOptimize(
+            bruteForceBestSplit(ds, all_rows, options.minInstances)
+                .valid);
+    });
+    const double split_speedup =
+        presorted_wall > 0.0 ? brute_wall / presorted_wall : 0.0;
+    const double rows_per_sec =
+        fit_wall > 0.0 ? static_cast<double>(rows) / fit_wall : 0.0;
+
+    std::cout << "perf_ml headline: M5' fit of " << rows
+              << " rows x " << ds.numAttributes() << " attrs in "
+              << fit_wall << " s (best of 5) = "
+              << static_cast<std::uint64_t>(rows_per_sec)
+              << " rows/sec, " << leaves << " leaves\n"
+              << "  root split search: presorted " << presorted_wall
+              << " s vs brute " << brute_wall << " s ("
+              << split_speedup << "x)\n"
+              << "  per-node sorts elided across 5 fits: " << elided
+              << "\n";
+
+    std::ofstream json(json_path);
+    json << "{\"fit_rows_per_sec\":" << rows_per_sec
+         << ",\"fit_wall_seconds\":" << fit_wall
+         << ",\"rows\":" << rows << ",\"leaves\":" << leaves
+         << ",\"split_search_speedup\":" << split_speedup
+         << ",\"sorts_elided\":" << elided << ",\"git_sha\":\""
+         << obs::buildGitSha() << "\"}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our own flags; everything else (--benchmark_*) goes to
+    // google-benchmark untouched.
+    std::string json_path = "BENCH_ml.json";
+    std::size_t rows = 8000;
+    bool micro = true;
+    std::vector<char *> bench_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json_path = next();
+        else if (arg == "--rows")
+            rows = static_cast<std::size_t>(std::stoull(next()));
+        else if (arg == "--headline-only")
+            micro = false;
+        else
+            bench_argv.push_back(argv[i]);
+    }
+
+    if (micro) {
+        int bench_argc = static_cast<int>(bench_argv.size());
+        benchmark::Initialize(&bench_argc, bench_argv.data());
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return runHeadline(rows, json_path);
+}

@@ -7,9 +7,18 @@
  * plus the raw component models.
  */
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
+#include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "uarch/core.h"
+#include "workload/runner.h"
 #include "workload/spec_suite.h"
 #include "workload/stream_gen.h"
 
@@ -89,6 +98,164 @@ BM_BranchPredictor(benchmark::State &state)
 }
 BENCHMARK(BM_BranchPredictor);
 
+/**
+ * Headline measurement + correctness self-check, emitted as
+ * BENCH_sim.json (same flat shape as BENCH_serve.json).
+ *
+ * Runs the full 17-workload suite through the sectioned runner and
+ * reports sections/sec and simulated instructions/sec, plus the
+ * decode-cache hit rate from the obs counters. The self-checks gate
+ * on *counters*, never wall time, so they are safe to assert in CI:
+ *  - the suite run must be deterministic (two runs of the same
+ *    workload produce identical counter deltas);
+ *  - decode-cache accounting must balance (hits + misses == lookups,
+ *    also enforced by the registered obs invariant);
+ *  - every registered obs invariant must hold.
+ */
+int
+runHeadline(double scale, const std::string &json_path)
+{
+    using namespace mtperf;
+
+    RunnerOptions options;
+    options.sectionScale = scale;
+
+    // Self-check 1: determinism. Same spec + options => identical
+    // per-section counters.
+    {
+        const WorkloadSpec spec = suiteWorkload("mcf_like");
+        const auto a = runWorkload(spec, options);
+        const auto b = runWorkload(spec, options);
+        if (a.size() != b.size()) {
+            std::cerr << "perf_sim: non-deterministic section count\n";
+            return 1;
+        }
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (a[i].counters.cycles != b[i].counters.cycles ||
+                a[i].counters.instRetired !=
+                    b[i].counters.instRetired ||
+                a[i].counters.lcpStalls != b[i].counters.lcpStalls) {
+                std::cerr << "perf_sim: non-deterministic counters at "
+                             "section "
+                          << i << "\n";
+                return 1;
+            }
+        }
+    }
+
+    const std::uint64_t lookups_before =
+        obs::counter("decode.cache_lookups").value();
+    const std::uint64_t hits_before =
+        obs::counter("decode.cache_hits").value();
+    const std::uint64_t misses_before =
+        obs::counter("decode.cache_misses").value();
+
+    const auto started = std::chrono::steady_clock::now();
+    const std::vector<SectionRecord> records =
+        runSuite(specLikeSuite(), options);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+
+    if (records.empty()) {
+        std::cerr << "perf_sim: suite run produced no sections\n";
+        return 1;
+    }
+
+    std::uint64_t instructions = 0;
+    for (const SectionRecord &rec : records)
+        instructions += rec.counters.instRetired;
+
+    const std::uint64_t lookups =
+        obs::counter("decode.cache_lookups").value() - lookups_before;
+    const std::uint64_t hits =
+        obs::counter("decode.cache_hits").value() - hits_before;
+    const std::uint64_t misses =
+        obs::counter("decode.cache_misses").value() - misses_before;
+
+    // Self-check 2: decode-cache accounting balances over the run.
+    if (hits + misses != lookups) {
+        std::cerr << "perf_sim: decode cache accounting off: " << hits
+                  << " + " << misses << " != " << lookups << "\n";
+        return 1;
+    }
+    // Self-check 3: global invariants (counter accounting).
+    for (const auto &violation : obs::validateInvariants()) {
+        std::cerr << "perf_sim: invariant " << violation.name
+                  << " violated: " << violation.message << "\n";
+        return 1;
+    }
+
+    const double sections_per_sec =
+        elapsed > 0.0 ? static_cast<double>(records.size()) / elapsed
+                      : 0.0;
+    const double inst_per_sec =
+        elapsed > 0.0 ? static_cast<double>(instructions) / elapsed
+                      : 0.0;
+    const double hit_rate =
+        lookups > 0 ? static_cast<double>(hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+
+    std::cout << "perf_sim headline: suite of " << records.size()
+              << " sections (" << instructions
+              << " simulated instructions) in " << elapsed << " s\n"
+              << "  throughput "
+              << static_cast<std::uint64_t>(sections_per_sec)
+              << " sections/sec, "
+              << static_cast<std::uint64_t>(inst_per_sec)
+              << " instructions/sec\n"
+              << "  decode cache: " << lookups << " lookups, hit rate "
+              << hit_rate << "\n";
+
+    std::ofstream json(json_path);
+    json << "{\"sections_per_sec\":" << sections_per_sec
+         << ",\"instructions_per_sec\":" << inst_per_sec
+         << ",\"sections\":" << records.size()
+         << ",\"instructions\":" << instructions
+         << ",\"wall_seconds\":" << elapsed
+         << ",\"decode_cache_hit_rate\":" << hit_rate
+         << ",\"section_scale\":" << scale << ",\"git_sha\":\""
+         << obs::buildGitSha() << "\"}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our own flags; everything else (--benchmark_*) goes to
+    // google-benchmark untouched.
+    std::string json_path = "BENCH_sim.json";
+    double scale = 0.25;
+    bool micro = true;
+    std::vector<char *> bench_argv{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json_path = next();
+        else if (arg == "--scale")
+            scale = std::stod(next());
+        else if (arg == "--headline-only")
+            micro = false;
+        else
+            bench_argv.push_back(argv[i]);
+    }
+
+    if (micro) {
+        int bench_argc = static_cast<int>(bench_argv.size());
+        benchmark::Initialize(&bench_argc, bench_argv.data());
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return runHeadline(scale, json_path);
+}

@@ -158,43 +158,68 @@ Rng::geometric(double p)
 std::uint64_t
 Rng::zipf(std::uint64_t n, double s)
 {
+    return ZipfSampler(n, s).sample(*this);
+}
+
+namespace {
+
+// Rejection-inversion sampling (Hormann & Derflinger 1996). The
+// helper H is the antiderivative of x^-s generalized to s == 1.
+double
+zipfHIntegral(double e, double x)
+{
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - e) < 1e-12)
+        return log_x;
+    return std::expm1((1.0 - e) * log_x) / (1.0 - e);
+}
+
+double
+zipfH(double e, double x)
+{
+    return std::exp(-e * std::log(x));
+}
+
+double
+zipfHIntegralInverse(double e, double x)
+{
+    if (std::abs(1.0 - e) < 1e-12)
+        return std::exp(x);
+    double t = x * (1.0 - e);
+    if (t < -1.0)
+        t = -1.0;
+    return std::exp(std::log1p(t) / (1.0 - e));
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s)
+{
     mtperf_assert(n > 0, "zipf over empty support");
     if (n == 1)
+        return;
+    hX1_ = zipfHIntegral(s_, 1.5) - 1.0;
+    const double h_n = zipfHIntegral(s_, static_cast<double>(n_) + 0.5);
+    d_ = zipfHIntegral(s_, 0.5);
+    span_ = h_n - d_;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n_ == 1)
         return 0;
 
-    // Rejection-inversion sampling (Hormann & Derflinger 1996). The
-    // helper H is the antiderivative of x^-s generalized to s == 1.
-    const double e = s;
-    auto h_integral = [e](double x) {
-        const double log_x = std::log(x);
-        if (std::abs(1.0 - e) < 1e-12)
-            return log_x;
-        return std::expm1((1.0 - e) * log_x) / (1.0 - e);
-    };
-    auto h = [e](double x) { return std::exp(-e * std::log(x)); };
-    auto h_integral_inverse = [e](double x) {
-        if (std::abs(1.0 - e) < 1e-12)
-            return std::exp(x);
-        double t = x * (1.0 - e);
-        if (t < -1.0)
-            t = -1.0;
-        return std::exp(std::log1p(t) / (1.0 - e));
-    };
-
-    const double h_x1 = h_integral(1.5) - 1.0;
-    const double h_n = h_integral(static_cast<double>(n) + 0.5);
-    const double d = h_integral(0.5);
-    const double span = h_n - d;
-
     for (;;) {
-        const double u = d + span * uniform();
-        const double x = h_integral_inverse(u);
+        const double u = d_ + span_ * rng.uniform();
+        const double x = zipfHIntegralInverse(s_, u);
         double k = std::floor(x + 0.5);
         if (k < 1.0)
             k = 1.0;
-        else if (k > static_cast<double>(n))
-            k = static_cast<double>(n);
-        if (k - x <= h_x1 || u >= h_integral(k + 0.5) - h(k)) {
+        else if (k > static_cast<double>(n_))
+            k = static_cast<double>(n_);
+        if (k - x <= hX1_ ||
+            u >= zipfHIntegral(s_, k + 0.5) - zipfH(s_, k)) {
             return static_cast<std::uint64_t>(k) - 1;
         }
     }

@@ -99,6 +99,39 @@ class Rng
     bool hasCachedNormal_ = false;
 };
 
+/**
+ * A Zipf(n, s) sampler with the rejection-inversion constants
+ * precomputed at construction. Rng::zipf(n, s) recomputes four
+ * transcendental constants on every draw; callers that sample the
+ * same distribution repeatedly (the workload generator draws millions
+ * of addresses per section from fixed footprints) construct one of
+ * these per (n, s) instead. sample() consumes the same uniform stream
+ * and produces bit-identical values to Rng::zipf — Rng::zipf is
+ * implemented on top of it.
+ */
+class ZipfSampler
+{
+  public:
+    /** Trivial sampler over a single value (always returns 0). */
+    ZipfSampler() = default;
+
+    /** Precompute constants for Zipf over [0, n) with exponent s. */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one value in [0, n), consuming uniforms from @p rng. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double s() const { return s_; }
+
+  private:
+    std::uint64_t n_ = 1;
+    double s_ = 0.0;
+    double hX1_ = 0.0;  //!< h_integral(1.5) - 1
+    double d_ = 0.0;    //!< h_integral(0.5)
+    double span_ = 0.0; //!< h_integral(n + 0.5) - d
+};
+
 } // namespace mtperf
 
 #endif // MTPERF_COMMON_RNG_H_

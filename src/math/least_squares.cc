@@ -1,5 +1,6 @@
 #include "math/least_squares.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -80,16 +81,22 @@ qrSolve(Matrix a, std::vector<double> b, std::vector<double> &x)
     return true;
 }
 
-/** Cholesky solve of the SPD system s x = rhs; returns false if not SPD. */
+/**
+ * Cholesky solve of the SPD system s x = rhs; returns false when a
+ * pivot falls to @p tol or below (tol = 0 is the plain SPD test; a
+ * positive tol acts as the rank test the QR path does with its tiny
+ * R-diagonal check).
+ */
 bool
-choleskySolve(Matrix s, std::vector<double> rhs, std::vector<double> &x)
+choleskySolve(Matrix s, std::vector<double> rhs, std::vector<double> &x,
+              double tol = 0.0)
 {
     const std::size_t n = s.rows();
     for (std::size_t j = 0; j < n; ++j) {
         double d = s(j, j);
         for (std::size_t k = 0; k < j; ++k)
             d -= s(j, k) * s(j, k);
-        if (d <= 0.0)
+        if (d <= tol)
             return false;
         const double l = std::sqrt(d);
         s(j, j) = l;
@@ -173,6 +180,81 @@ solveLeastSquares(const Matrix &a, const std::vector<double> &b, double ridge)
     result.x = solveRidge(a, b, ridge);
     result.regularized = true;
     return result;
+}
+
+GramSystem::GramSystem(std::size_t features)
+    : features_(features),
+      xtx_(features + 1, features + 1),
+      xty_(features + 1, 0.0)
+{
+}
+
+void
+GramSystem::addRow(const double *vals, double y)
+{
+    // Upper triangle only; solveSubset mirrors on extraction. The
+    // intercept column of ones lives at index features_.
+    const std::size_t k = features_;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double vi = vals[i];
+        xty_[i] += vi * y;
+        for (std::size_t j = i; j < k; ++j)
+            xtx_(i, j) += vi * vals[j];
+        xtx_(i, k) += vi;
+    }
+    xtx_(k, k) += 1.0;
+    xty_[k] += y;
+    ++rows_;
+}
+
+std::vector<double>
+GramSystem::solveSubset(std::span<const std::size_t> subset,
+                        double ridge) const
+{
+    const std::size_t s = subset.size() + 1; // chosen features + intercept
+    Matrix sm(s, s);
+    std::vector<double> rhs(s, 0.0);
+    auto column = [this, &subset, s](std::size_t i) {
+        if (i + 1 == s)
+            return features_;
+        mtperf_assert(subset[i] < features_,
+                      "Gram subset index out of range");
+        return subset[i];
+    };
+    for (std::size_t i = 0; i < s; ++i) {
+        const std::size_t ci = column(i);
+        rhs[i] = xty_[ci];
+        for (std::size_t j = 0; j < s; ++j) {
+            const std::size_t cj = column(j);
+            sm(i, j) = xtx_(std::min(ci, cj), std::max(ci, cj));
+        }
+    }
+
+    std::vector<double> x;
+    if (rows_ >= s) {
+        // Unregularized attempt, with a relative pivot tolerance
+        // standing in for the QR path's rank test.
+        double max_diag = 0.0;
+        for (std::size_t i = 0; i < s; ++i)
+            max_diag = std::max(max_diag, sm(i, i));
+        const double tol = 1e-12 * std::max(1.0, max_diag);
+        if (choleskySolve(sm, rhs, x, tol))
+            return x;
+    }
+
+    // Underdetermined or rank-deficient: same escalating-ridge policy
+    // as solveRidge().
+    for (std::size_t i = 0; i < s; ++i)
+        sm(i, i) += ridge;
+    double lambda = ridge;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+        if (choleskySolve(sm, rhs, x))
+            return x;
+        for (std::size_t i = 0; i < s; ++i)
+            sm(i, i) += lambda * 9.0;
+        lambda *= 10.0;
+    }
+    mtperf_panic("Gram subset solve failed to converge to an SPD system");
 }
 
 } // namespace mtperf

@@ -14,6 +14,7 @@
 #ifndef MTPERF_MATH_LEAST_SQUARES_H_
 #define MTPERF_MATH_LEAST_SQUARES_H_
 
+#include <span>
 #include <vector>
 
 #include "math/matrix.h"
@@ -52,6 +53,48 @@ LeastSquaresResult solveLeastSquares(const Matrix &a,
  */
 std::vector<double> solveRidge(const Matrix &a, const std::vector<double> &b,
                                double ridge);
+
+/**
+ * Accumulated sufficient statistics for least-squares fits over one
+ * fixed row set: the Gram matrix X^T X and moment vector X^T y over a
+ * feature superset plus an implicit trailing intercept column of
+ * ones. Once the rows have been folded in (one pass, O(n k^2 / 2)),
+ * a fit over *any subset* of the features solves a (s+1) x (s+1)
+ * principal-submatrix system in O(s^3) without touching the rows
+ * again — which is what makes M5's greedy term elimination cheap.
+ *
+ * Numerics policy mirrors solveLeastSquares(): an unregularized solve
+ * is attempted first (Cholesky with a relative rank test instead of
+ * QR), and rank deficiency or an underdetermined subset falls back to
+ * the same escalating-ridge normal equations as solveRidge().
+ */
+class GramSystem
+{
+  public:
+    /** @param features number of feature columns (intercept excluded). */
+    explicit GramSystem(std::size_t features);
+
+    /** Fold in one row: @p vals has features() entries, @p y a target. */
+    void addRow(const double *vals, double y);
+
+    std::size_t features() const { return features_; }
+    std::size_t rowCount() const { return rows_; }
+
+    /**
+     * Solve min_x ||X_S x - y||_2 over the feature subset @p subset
+     * (indices into the feature columns, strictly increasing).
+     * @return coefficients for the subset features in order, with the
+     *         intercept last (subset.size() + 1 entries).
+     */
+    std::vector<double> solveSubset(std::span<const std::size_t> subset,
+                                    double ridge = 1e-8) const;
+
+  private:
+    std::size_t features_;
+    std::size_t rows_ = 0;
+    Matrix xtx_;              //!< (features+1)^2, intercept last
+    std::vector<double> xty_; //!< features+1 entries
+};
 
 } // namespace mtperf
 

@@ -1,5 +1,6 @@
 #include "ml/linear/linear_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -182,6 +183,156 @@ LinearModel::blendWith(const LinearModel &other, double n, double k)
     }
     // Drop terms that cancelled to keep the printed models tidy.
     std::erase_if(terms_, [](const Term &t) { return t.coef == 0.0; });
+}
+
+LinearModelFitter::LinearModelFitter(const Dataset &ds,
+                                     std::span<const std::size_t> rows,
+                                     std::vector<std::size_t> attrs)
+    : attrs_(std::move(attrs)),
+      n_(rows.size()),
+      gram_(attrs_.size())
+{
+    mtperf_assert(n_ > 0, "cannot fit a model on zero rows");
+    const std::size_t k = attrs_.size();
+    y_.resize(n_);
+    cols_.resize(k * n_);
+    resid_.resize(n_);
+    std::vector<double> vals(k);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const auto row = ds.row(rows[i]);
+        for (std::size_t j = 0; j < k; ++j) {
+            vals[j] = row[attrs_[j]];
+            cols_[j * n_ + i] = vals[j];
+        }
+        y_[i] = ds.target(rows[i]);
+        gram_.addRow(vals.data(), y_[i]);
+    }
+}
+
+LinearModel
+LinearModelFitter::fitSubset(std::span<const std::size_t> subset) const
+{
+    LinearModel m;
+    if (attrs_.empty()) {
+        // Same degenerate path as LinearModel::fit: the mean target,
+        // accumulated in row order.
+        double acc = 0.0;
+        for (double y : y_)
+            acc += y;
+        m.setIntercept(acc / static_cast<double>(n_));
+        return m;
+    }
+    const auto solution = gram_.solveSubset(subset);
+    for (std::size_t j = 0; j < subset.size(); ++j)
+        m.addTerm(attrs_[subset[j]], solution[j]);
+    m.setIntercept(solution[subset.size()]);
+    return m;
+}
+
+LinearModel
+LinearModelFitter::fit() const
+{
+    std::vector<std::size_t> all(attrs_.size());
+    std::iota(all.begin(), all.end(), 0);
+    return fitSubset(all);
+}
+
+double
+LinearModelFitter::maeOfSubset(const LinearModel &m,
+                               std::span<const std::size_t> subset) const
+{
+    // Accumulate predictions term by term over contiguous columns.
+    // The per-row addition order (intercept, then terms in order) and
+    // the row-order |residual| sum match LinearModel::predict /
+    // meanAbsoluteError exactly, so both paths agree bit-for-bit.
+    std::fill(resid_.begin(), resid_.end(), m.intercept());
+    const auto &terms = m.terms();
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        const double coef = terms[t].coef;
+        const double *col = cols_.data() + subset[t] * n_;
+        for (std::size_t i = 0; i < n_; ++i)
+            resid_[i] += coef * col[i];
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+        acc += std::abs(resid_[i] - y_[i]);
+    return acc / static_cast<double>(n_);
+}
+
+double
+LinearModelFitter::meanAbsoluteError(const LinearModel &m) const
+{
+    std::vector<std::size_t> subset;
+    subset.reserve(m.terms().size());
+    for (const auto &term : m.terms()) {
+        const auto it =
+            std::lower_bound(attrs_.begin(), attrs_.end(), term.attr);
+        mtperf_assert(it != attrs_.end() && *it == term.attr,
+                      "model term outside the fitter's attribute set");
+        subset.push_back(
+            static_cast<std::size_t>(it - attrs_.begin()));
+    }
+    return maeOfSubset(m, subset);
+}
+
+double
+LinearModelFitter::compensated(double mae, std::size_t parameters) const
+{
+    const auto n = static_cast<double>(n_);
+    const auto v = static_cast<double>(parameters);
+    if (n <= v)
+        return std::numeric_limits<double>::infinity();
+    return (n + v) / (n - v) * mae;
+}
+
+void
+LinearModelFitter::simplify(LinearModel &m) const
+{
+    // Greedy elimination, same policy as LinearModel::simplify: per
+    // round, refit with each surviving term dropped and keep the
+    // single removal that improves the compensated error the most.
+    std::vector<std::size_t> subset;
+    subset.reserve(m.terms().size());
+    for (const auto &term : m.terms()) {
+        const auto it =
+            std::lower_bound(attrs_.begin(), attrs_.end(), term.attr);
+        mtperf_assert(it != attrs_.end() && *it == term.attr,
+                      "model term outside the fitter's attribute set");
+        subset.push_back(
+            static_cast<std::size_t>(it - attrs_.begin()));
+    }
+
+    double best_err =
+        compensated(maeOfSubset(m, subset), m.numParameters());
+    while (!subset.empty()) {
+        double best_candidate_err = best_err;
+        std::size_t best_drop = subset.size();
+        LinearModel best_model;
+
+        for (std::size_t drop = 0; drop < subset.size(); ++drop) {
+            std::vector<std::size_t> kept;
+            kept.reserve(subset.size() - 1);
+            for (std::size_t j = 0; j < subset.size(); ++j) {
+                if (j != drop)
+                    kept.push_back(subset[j]);
+            }
+            LinearModel candidate = fitSubset(kept);
+            const double err = compensated(
+                maeOfSubset(candidate, kept), candidate.numParameters());
+            if (err < best_candidate_err) {
+                best_candidate_err = err;
+                best_drop = drop;
+                best_model = std::move(candidate);
+            }
+        }
+
+        if (best_drop == subset.size())
+            break;
+        subset.erase(subset.begin() +
+                     static_cast<std::ptrdiff_t>(best_drop));
+        m = std::move(best_model);
+        best_err = best_candidate_err;
+    }
 }
 
 void

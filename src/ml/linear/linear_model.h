@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "math/least_squares.h"
 #include "ml/regressor.h"
 
 namespace mtperf {
@@ -104,6 +105,58 @@ class LinearModel
   private:
     double intercept_ = 0.0;
     std::vector<Term> terms_;
+};
+
+/**
+ * One node's fitting context: gathers the node's rows once (targets
+ * and the chosen attribute columns, column-major) and accumulates the
+ * GramSystem over them, so the node's base fit and every candidate
+ * refit during M5 simplification are solved from sufficient
+ * statistics in O(k^3) instead of re-touching the rows with an
+ * O(n k^2) QR factorization per candidate. Error evaluation stays
+ * exact — MAE is L1 and must visit rows — but runs over the gathered
+ * contiguous columns in the same accumulation order as
+ * LinearModel::meanAbsoluteError, so the two agree bit-for-bit.
+ *
+ * One instance serves one (row set, attribute superset) pair; it is
+ * cheap enough to build per tree node and not thread-safe.
+ */
+class LinearModelFitter
+{
+  public:
+    /** @param attrs attribute superset, strictly increasing. */
+    LinearModelFitter(const Dataset &ds,
+                      std::span<const std::size_t> rows,
+                      std::vector<std::size_t> attrs);
+
+    /** OLS over the full attribute superset (Gram-solved). */
+    LinearModel fit() const;
+
+    /**
+     * M5's greedy term elimination (same policy as
+     * LinearModel::simplify), with every candidate refit solved from
+     * the Gram system. @p m must have been produced by fit() or a
+     * previous simplify() over this fitter.
+     */
+    void simplify(LinearModel &m) const;
+
+    /** MAE of @p m over the fitter's rows (terms must be in attrs). */
+    double meanAbsoluteError(const LinearModel &m) const;
+
+    std::size_t rowCount() const { return n_; }
+
+  private:
+    LinearModel fitSubset(std::span<const std::size_t> subset) const;
+    double maeOfSubset(const LinearModel &m,
+                       std::span<const std::size_t> subset) const;
+    double compensated(double mae, std::size_t parameters) const;
+
+    std::vector<std::size_t> attrs_;
+    std::size_t n_;
+    std::vector<double> y_;    //!< gathered targets, row order
+    std::vector<double> cols_; //!< column-major attrs_ x n_ values
+    GramSystem gram_;
+    mutable std::vector<double> resid_; //!< prediction scratch
 };
 
 /**

@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "math/stats.h"
+#include "ml/tree/split_search.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -59,8 +60,25 @@ struct M5Prime::Node
     double sdTarget = 0.0;
 
     LinearModel model;
+    double modelMae = 0.0; //!< model MAE over rows, cached for pruning
     std::vector<std::size_t> subtreeAttrs; //!< split attrs in this subtree
     int leafId = -1;
+};
+
+/** Presorted split-search state threaded through growNode. */
+struct M5Prime::GrowCtx
+{
+    PresortedColumns cols;
+};
+
+/** Path bookkeeping threaded through buildModels. */
+struct M5Prime::BuildCtx
+{
+    /** Occurrences of each attribute among the splits leading here. */
+    std::vector<std::uint32_t> pathCount;
+    std::size_t pathDepth = 0;
+    /** Per-node presence scratch for building attribute lists. */
+    std::vector<std::uint8_t> present;
 };
 
 namespace {
@@ -82,15 +100,6 @@ targetStats(const Dataset &ds, const std::vector<std::size_t> &rows,
                                                      mean_out * mean_out);
     sd_out = std::sqrt(var);
 }
-
-/** Best split of one attribute by standard-deviation reduction. */
-struct SplitCandidate
-{
-    bool valid = false;
-    std::size_t attr = 0;
-    double value = 0.0;
-    double sdr = -1.0;
-};
 
 } // namespace
 
@@ -130,13 +139,16 @@ M5Prime::fit(const Dataset &train)
     std::size_t grown_nodes = 0;
     {
         obs::ScopedSpan span("tree", "tree.grow");
-        growNode(*root_, all_rows, 0);
+        GrowCtx ctx;
+        growNode(*root_, all_rows, 0, train.size(), 0, ctx);
         grown_nodes = numNodes();
     }
     {
         obs::ScopedSpan span("tree", "tree.build_models");
-        std::vector<std::size_t> path_attrs;
-        buildModels(*root_, path_attrs);
+        BuildCtx ctx;
+        ctx.pathCount.assign(train.numAttributes(), 0);
+        ctx.present.assign(train.numAttributes(), 0);
+        buildModels(*root_, ctx);
         // buildModels fits one linear model per node (interior nodes
         // need one for pruning's subtree-error comparison).
         obs::counter("tree.model_fits").add(grown_nodes);
@@ -154,6 +166,7 @@ M5Prime::fit(const Dataset &train)
 
     std::vector<PathStep> path;
     collectLeaves(*root_, path);
+    refreshSplitAttributes();
 
     obs::counter("tree.fits").increment();
     obs::counter("tree.nodes").add(numNodes());
@@ -180,7 +193,8 @@ M5Prime::fit(const Dataset &train)
 
 void
 M5Prime::growNode(Node &node, std::vector<std::size_t> &rows,
-                  std::size_t depth)
+                  std::size_t lo, std::size_t hi, std::size_t depth,
+                  GrowCtx &ctx)
 {
     const Dataset &ds = *trainData_;
     node.count = rows.size();
@@ -197,65 +211,18 @@ M5Prime::growNode(Node &node, std::vector<std::size_t> &rows,
         return;
     }
 
-    // Split search: for every attribute, sort the rows by that
-    // attribute and scan the cut points between adjacent distinct
-    // values, scoring each by the standard-deviation reduction
-    //   SDR = sd(T) - sum_i |T_i|/|T| * sd(T_i).
-    SplitCandidate best;
-    const std::size_t n = rows.size();
-    std::vector<std::size_t> sorted(rows);
-    std::vector<double> keys(n), targets(n);
-
-    for (std::size_t attr = 0; attr < ds.numAttributes(); ++attr) {
-        std::sort(sorted.begin(), sorted.end(),
-                  [&ds, attr](std::size_t a, std::size_t b) {
-                      return ds.value(a, attr) < ds.value(b, attr);
-                  });
-        for (std::size_t i = 0; i < n; ++i) {
-            keys[i] = ds.value(sorted[i], attr);
-            targets[i] = ds.target(sorted[i]);
-        }
-        if (keys.front() == keys.back())
-            continue; // constant attribute at this node
-
-        double left_sum = 0.0, left_sq = 0.0;
-        double total_sum = 0.0, total_sq = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            total_sum += targets[i];
-            total_sq += targets[i] * targets[i];
-        }
-        const auto dn = static_cast<double>(n);
-        const double sd_all = std::sqrt(std::max(
-            0.0, total_sq / dn - (total_sum / dn) * (total_sum / dn)));
-
-        for (std::size_t i = 0; i + 1 < n; ++i) {
-            left_sum += targets[i];
-            left_sq += targets[i] * targets[i];
-            const std::size_t nl = i + 1;
-            const std::size_t nr = n - nl;
-            if (nl < options_.minInstances || nr < options_.minInstances)
-                continue;
-            if (keys[i] == keys[i + 1])
-                continue; // not a boundary between distinct values
-
-            const auto dl = static_cast<double>(nl);
-            const auto dr = static_cast<double>(nr);
-            const double right_sum = total_sum - left_sum;
-            const double right_sq = total_sq - left_sq;
-            const double sd_l = std::sqrt(std::max(
-                0.0, left_sq / dl - (left_sum / dl) * (left_sum / dl)));
-            const double sd_r = std::sqrt(std::max(
-                0.0,
-                right_sq / dr - (right_sum / dr) * (right_sum / dr)));
-            const double sdr = sd_all - (dl / dn) * sd_l - (dr / dn) * sd_r;
-            if (sdr > best.sdr) {
-                best.valid = true;
-                best.sdr = sdr;
-                best.attr = attr;
-                best.value = 0.5 * (keys[i] + keys[i + 1]);
-            }
-        }
-    }
+    // Split search over presorted columns: each feature column is
+    // sorted once (lazily, at the root — the first node to search)
+    // and stably partitioned down the tree, so every non-root search
+    // is a plain O(d * n) scan. tree.sort_elided counts the
+    // per-attribute sorts the old per-node algorithm would have run.
+    static obs::Counter &sortElided = obs::counter("tree.sort_elided");
+    if (!ctx.cols.built())
+        ctx.cols.build(ds);
+    else
+        sortElided.add(ds.numAttributes());
+    const SplitChoice best =
+        ctx.cols.bestSplit(ds, lo, hi, options_.minInstances);
 
     if (!best.valid) {
         node.leaf = true;
@@ -268,8 +235,8 @@ M5Prime::growNode(Node &node, std::vector<std::size_t> &rows,
     node.splitValue = best.value;
 
     std::vector<std::size_t> left_rows, right_rows;
-    left_rows.reserve(n);
-    right_rows.reserve(n);
+    left_rows.reserve(rows.size());
+    right_rows.reserve(rows.size());
     for (std::size_t r : rows) {
         if (ds.value(r, best.attr) <= best.value)
             left_rows.push_back(r);
@@ -280,16 +247,34 @@ M5Prime::growNode(Node &node, std::vector<std::size_t> &rows,
                   "degenerate split");
     node.rows = std::move(rows); // interior nodes keep rows for models
 
+    const std::size_t mid =
+        ctx.cols.partition(ds, lo, hi, best.attr, best.value);
+    mtperf_assert(mid - lo == left_rows.size(),
+                  "presorted partition disagrees with the row split");
+
     node.left = std::make_unique<Node>();
     node.right = std::make_unique<Node>();
-    growNode(*node.left, left_rows, depth + 1);
-    growNode(*node.right, right_rows, depth + 1);
+    growNode(*node.left, left_rows, lo, mid, depth + 1, ctx);
+    growNode(*node.right, right_rows, mid, hi, depth + 1, ctx);
 }
 
 void
-M5Prime::buildModels(Node &node, std::vector<std::size_t> &path_attrs)
+M5Prime::fitNodeModel(Node &node, std::vector<std::size_t> attrs)
 {
     const Dataset &ds = *trainData_;
+    LinearModelFitter fitter(ds, node.rows, std::move(attrs));
+    node.model = fitter.fit();
+    if (options_.simplifyModels)
+        fitter.simplify(node.model);
+    guardFiniteModel(node.model, node.meanTarget);
+    node.modelMae = fitter.meanAbsoluteError(node.model);
+}
+
+void
+M5Prime::buildModels(Node &node, BuildCtx &ctx)
+{
+    const Dataset &ds = *trainData_;
+    const std::size_t d = ds.numAttributes();
     if (node.leaf) {
         node.subtreeAttrs.clear();
         // A grown leaf has no subtree tests; its model may regress on
@@ -297,56 +282,55 @@ M5Prime::buildModels(Node &node, std::vector<std::size_t> &path_attrs)
         // that define its class), then simplification keeps only the
         // ones that matter — often none, which reproduces constant
         // leaves like the paper's LM18.
-        if (path_attrs.empty()) {
+        if (ctx.pathDepth == 0) {
             node.model = LinearModel::constant(node.meanTarget);
+            node.modelMae =
+                node.model.meanAbsoluteError(ds, node.rows);
             return;
         }
-        std::vector<std::size_t> attrs = path_attrs;
-        std::sort(attrs.begin(), attrs.end());
-        attrs.erase(std::unique(attrs.begin(), attrs.end()),
-                    attrs.end());
-        node.model = LinearModel::fit(ds, node.rows, attrs);
-        if (options_.simplifyModels)
-            node.model.simplify(ds, node.rows);
-        guardFiniteModel(node.model, node.meanTarget);
+        // Attribute lists are emitted by scanning presence marks in
+        // index order: ascending and de-duplicated by construction,
+        // with no per-node sort (see DESIGN.md §11).
+        std::vector<std::size_t> attrs;
+        for (std::size_t a = 0; a < d; ++a) {
+            if (ctx.pathCount[a] > 0)
+                attrs.push_back(a);
+        }
+        fitNodeModel(node, std::move(attrs));
         return;
     }
 
-    path_attrs.push_back(node.splitAttr);
-    buildModels(*node.left, path_attrs);
-    buildModels(*node.right, path_attrs);
-    path_attrs.pop_back();
+    ++ctx.pathCount[node.splitAttr];
+    ++ctx.pathDepth;
+    buildModels(*node.left, ctx);
+    buildModels(*node.right, ctx);
+    --ctx.pathCount[node.splitAttr];
+    --ctx.pathDepth;
 
     // The node model may use every attribute tested in its subtree
     // (Wang & Witten) plus the tests that led here.
-    std::vector<std::size_t> attrs;
-    attrs.push_back(node.splitAttr);
-    attrs.insert(attrs.end(), node.left->subtreeAttrs.begin(),
-                 node.left->subtreeAttrs.end());
-    attrs.insert(attrs.end(), node.right->subtreeAttrs.begin(),
-                 node.right->subtreeAttrs.end());
-    std::sort(attrs.begin(), attrs.end());
-    attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
-    node.subtreeAttrs = attrs;
+    std::fill(ctx.present.begin(), ctx.present.end(), 0);
+    ctx.present[node.splitAttr] = 1;
+    for (std::size_t a : node.left->subtreeAttrs)
+        ctx.present[a] = 1;
+    for (std::size_t a : node.right->subtreeAttrs)
+        ctx.present[a] = 1;
+    node.subtreeAttrs.clear();
+    std::vector<std::size_t> fit_attrs;
+    for (std::size_t a = 0; a < d; ++a) {
+        if (ctx.present[a])
+            node.subtreeAttrs.push_back(a);
+        if (ctx.present[a] || ctx.pathCount[a] > 0)
+            fit_attrs.push_back(a);
+    }
 
-    std::vector<std::size_t> fit_attrs = attrs;
-    fit_attrs.insert(fit_attrs.end(), path_attrs.begin(),
-                     path_attrs.end());
-    std::sort(fit_attrs.begin(), fit_attrs.end());
-    fit_attrs.erase(std::unique(fit_attrs.begin(), fit_attrs.end()),
-                    fit_attrs.end());
-
-    node.model = LinearModel::fit(ds, node.rows, fit_attrs);
-    if (options_.simplifyModels)
-        node.model.simplify(ds, node.rows);
-    guardFiniteModel(node.model, node.meanTarget);
+    fitNodeModel(node, std::move(fit_attrs));
 }
 
 M5Prime::SubtreeCost
 M5Prime::pruneNode(std::unique_ptr<Node> &node_ptr)
 {
     Node &node = *node_ptr;
-    const Dataset &ds = *trainData_;
     const auto n = static_cast<double>(node.count);
 
     // Quinlan's pessimistic compensation, charging v parameters
@@ -361,8 +345,10 @@ M5Prime::pruneNode(std::unique_ptr<Node> &node_ptr)
     };
 
     if (node.leaf) {
-        return {node.model.meanAbsoluteError(ds, node.rows),
-                node.model.numParameters()};
+        // modelMae was cached by fitNodeModel over exactly these rows
+        // in the same accumulation order, so reusing it here changes
+        // nothing but the cost of the pass.
+        return {node.modelMae, node.model.numParameters()};
     }
 
     const SubtreeCost left = pruneNode(node.left);
@@ -377,15 +363,13 @@ M5Prime::pruneNode(std::unique_ptr<Node> &node_ptr)
     const double subtree_err =
         compensated(subtree.rawMae, subtree.parameters);
     const double node_err =
-        compensated(node.model.meanAbsoluteError(ds, node.rows),
-                    node.model.numParameters());
+        compensated(node.modelMae, node.model.numParameters());
 
     if (options_.prune && node_err <= subtree_err) {
         node.leaf = true;
         node.left.reset();
         node.right.reset();
-        return {node.model.meanAbsoluteError(ds, node.rows),
-                node.model.numParameters()};
+        return {node.modelMae, node.model.numParameters()};
     }
     return subtree;
 }
@@ -531,13 +515,21 @@ M5Prime::leafModel(std::size_t leaf) const
 std::vector<std::size_t>
 M5Prime::splitAttributes() const
 {
+    return splitAttributes_;
+}
+
+void
+M5Prime::refreshSplitAttributes()
+{
+    // Computed once per fit/load instead of per query; callers used to
+    // trigger a fresh sort+unique over every leaf path on each call.
     std::vector<std::size_t> attrs;
     for (const auto &leaf : leaves_)
         for (const auto &step : leaf.path)
             attrs.push_back(step.attr);
     std::sort(attrs.begin(), attrs.end());
     attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
-    return attrs;
+    splitAttributes_ = std::move(attrs);
 }
 
 std::vector<SplitSite>
@@ -868,6 +860,7 @@ M5Prime::load(std::istream &is, const std::string &source)
 
     std::vector<PathStep> path;
     tree.collectLeaves(*tree.root_, path);
+    tree.refreshSplitAttributes();
     return tree;
 }
 

@@ -221,12 +221,19 @@ class M5Prime : public Regressor
 
   private:
     struct Node;
+    struct GrowCtx;  //!< presorted split-search state (see m5prime.cc)
+    struct BuildCtx; //!< path-attribute bookkeeping for buildModels
 
     /** Serialize everything but the checksum footer. */
     void writeBody(std::ostream &os) const;
 
+    /**
+     * Grow the subtree at @p node over @p rows, which also occupy
+     * range [lo, hi) of every presorted column in @p ctx.
+     */
     void growNode(Node &node, std::vector<std::size_t> &rows,
-                  std::size_t depth);
+                  std::size_t lo, std::size_t hi, std::size_t depth,
+                  GrowCtx &ctx);
     /** Raw residual and parameter count of a (sub)tree, for pruning. */
     struct SubtreeCost
     {
@@ -234,10 +241,17 @@ class M5Prime : public Regressor
         std::size_t parameters = 0;
     };
 
-    void buildModels(Node &node, std::vector<std::size_t> &path_attrs);
+    void buildModels(Node &node, BuildCtx &ctx);
+    /**
+     * Fit (and optionally simplify) one node's model over @p attrs
+     * through the Gram-cached fitter, caching its MAE for pruning.
+     */
+    void fitNodeModel(Node &node, std::vector<std::size_t> attrs);
     SubtreeCost pruneNode(std::unique_ptr<Node> &node_ptr);
     void smoothLeaves(Node &node, std::vector<const Node *> &ancestors);
     void collectLeaves(Node &node, std::vector<PathStep> &path);
+    /** Recompute the cached splitAttributes() answer from leaves_. */
+    void refreshSplitAttributes();
 
     M5Options options_;
     Schema schema_;
@@ -247,6 +261,7 @@ class M5Prime : public Regressor
     std::size_t trainSize_ = 0;
     std::vector<LeafInfo> leaves_;
     std::vector<const Node *> leafNodes_;
+    std::vector<std::size_t> splitAttributes_; //!< sorted, de-duplicated
 };
 
 } // namespace mtperf

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "ml/tree/split_search.h"
 
 namespace mtperf {
 
@@ -22,6 +23,11 @@ struct RegressionTree::Node
     std::size_t count = 0;
     double meanTarget = 0.0;
     double sdTarget = 0.0;
+};
+
+struct RegressionTree::GrowCtx
+{
+    PresortedColumns cols;
 };
 
 RegressionTree::RegressionTree(RegressionTreeOptions options)
@@ -55,7 +61,8 @@ RegressionTree::fit(const Dataset &train)
     rootSd_ = std::sqrt(std::max(0.0, sq / n - (sum / n) * (sum / n)));
 
     root_ = std::make_unique<Node>();
-    growNode(*root_, rows, 0);
+    GrowCtx ctx;
+    growNode(*root_, rows, 0, train.size(), 0, ctx);
     if (options_.prune)
         pruneNode(*root_);
 
@@ -78,7 +85,8 @@ RegressionTree::fit(const Dataset &train)
 
 void
 RegressionTree::growNode(Node &node, std::vector<std::size_t> &rows,
-                         std::size_t depth)
+                         std::size_t lo, std::size_t hi,
+                         std::size_t depth, GrowCtx &ctx)
 {
     const Dataset &ds = *trainData_;
     node.count = rows.size();
@@ -103,75 +111,40 @@ RegressionTree::growNode(Node &node, std::vector<std::size_t> &rows,
         return;
     }
 
-    double best_sdr = -1.0;
-    std::size_t best_attr = 0;
-    double best_value = 0.0;
-    const std::size_t n = rows.size();
-    std::vector<std::size_t> sorted(rows);
-    std::vector<double> keys(n), targets(n);
+    // Same presort-once, partition-down scheme as M5Prime::growNode
+    // (see split_search.h for the ordering contract).
+    if (!ctx.cols.built())
+        ctx.cols.build(ds);
+    const SplitChoice best =
+        ctx.cols.bestSplit(ds, lo, hi, options_.minInstances);
 
-    for (std::size_t attr = 0; attr < ds.numAttributes(); ++attr) {
-        std::sort(sorted.begin(), sorted.end(),
-                  [&ds, attr](std::size_t a, std::size_t b) {
-                      return ds.value(a, attr) < ds.value(b, attr);
-                  });
-        for (std::size_t i = 0; i < n; ++i) {
-            keys[i] = ds.value(sorted[i], attr);
-            targets[i] = ds.target(sorted[i]);
-        }
-        if (keys.front() == keys.back())
-            continue;
-
-        double left_sum = 0.0, left_sq = 0.0;
-        for (std::size_t i = 0; i + 1 < n; ++i) {
-            left_sum += targets[i];
-            left_sq += targets[i] * targets[i];
-            const std::size_t nl = i + 1;
-            const std::size_t nr = n - nl;
-            if (nl < options_.minInstances || nr < options_.minInstances)
-                continue;
-            if (keys[i] == keys[i + 1])
-                continue;
-            const auto dl = static_cast<double>(nl);
-            const auto dr = static_cast<double>(nr);
-            const double rs = sum - left_sum;
-            const double rq = sq - left_sq;
-            const double sd_l = std::sqrt(std::max(
-                0.0, left_sq / dl - (left_sum / dl) * (left_sum / dl)));
-            const double sd_r = std::sqrt(
-                std::max(0.0, rq / dr - (rs / dr) * (rs / dr)));
-            const double sdr =
-                node.sdTarget - (dl / dn) * sd_l - (dr / dn) * sd_r;
-            if (sdr > best_sdr) {
-                best_sdr = sdr;
-                best_attr = attr;
-                best_value = 0.5 * (keys[i] + keys[i + 1]);
-            }
-        }
-    }
-
-    if (best_sdr < 0.0) {
+    if (!best.valid) {
         node.rows = std::move(rows);
         return;
     }
 
     node.leaf = false;
-    node.splitAttr = best_attr;
-    node.splitValue = best_value;
+    node.splitAttr = best.attr;
+    node.splitValue = best.value;
 
     std::vector<std::size_t> left_rows, right_rows;
     for (std::size_t r : rows) {
-        if (ds.value(r, best_attr) <= best_value)
+        if (ds.value(r, best.attr) <= best.value)
             left_rows.push_back(r);
         else
             right_rows.push_back(r);
     }
     node.rows = std::move(rows);
 
+    const std::size_t mid =
+        ctx.cols.partition(ds, lo, hi, best.attr, best.value);
+    mtperf_assert(mid - lo == left_rows.size(),
+                  "presorted partition disagrees with the row split");
+
     node.left = std::make_unique<Node>();
     node.right = std::make_unique<Node>();
-    growNode(*node.left, left_rows, depth + 1);
-    growNode(*node.right, right_rows, depth + 1);
+    growNode(*node.left, left_rows, lo, mid, depth + 1, ctx);
+    growNode(*node.right, right_rows, mid, hi, depth + 1, ctx);
 }
 
 RegressionTree::SubtreeCost

@@ -57,6 +57,7 @@ class RegressionTree : public Regressor
 
   private:
     struct Node;
+    struct GrowCtx; //!< presorted split-search state (regression_tree.cc)
 
     /** Raw residual and parameter count of a (sub)tree, for pruning. */
     struct SubtreeCost
@@ -66,7 +67,8 @@ class RegressionTree : public Regressor
     };
 
     void growNode(Node &node, std::vector<std::size_t> &rows,
-                  std::size_t depth);
+                  std::size_t lo, std::size_t hi, std::size_t depth,
+                  GrowCtx &ctx);
     SubtreeCost pruneNode(Node &node);
 
     RegressionTreeOptions options_;

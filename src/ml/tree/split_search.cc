@@ -1,0 +1,183 @@
+#include "ml/tree/split_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtperf {
+
+void
+scanSplitCandidates(std::span<const double> keys,
+                    std::span<const double> targets, std::size_t attr,
+                    std::size_t min_instances, SplitChoice &best)
+{
+    const std::size_t n = keys.size();
+    if (n == 0 || keys.front() == keys.back())
+        return; // constant attribute at this node
+
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total_sum += targets[i];
+        total_sq += targets[i] * targets[i];
+    }
+    const auto dn = static_cast<double>(n);
+    const double sd_all = std::sqrt(std::max(
+        0.0, total_sq / dn - (total_sum / dn) * (total_sum / dn)));
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_sum += targets[i];
+        left_sq += targets[i] * targets[i];
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < min_instances || nr < min_instances)
+            continue;
+        if (keys[i] == keys[i + 1])
+            continue; // not a boundary between distinct values
+
+        const auto dl = static_cast<double>(nl);
+        const auto dr = static_cast<double>(nr);
+        const double right_sum = total_sum - left_sum;
+        const double right_sq = total_sq - left_sq;
+        const double sd_l = std::sqrt(std::max(
+            0.0, left_sq / dl - (left_sum / dl) * (left_sum / dl)));
+        const double sd_r = std::sqrt(std::max(
+            0.0, right_sq / dr - (right_sum / dr) * (right_sum / dr)));
+        const double sdr = sd_all - (dl / dn) * sd_l - (dr / dn) * sd_r;
+        const double value = 0.5 * (keys[i] + keys[i + 1]);
+        if (splitBeats(best, sdr, attr, value)) {
+            best.valid = true;
+            best.sdr = sdr;
+            best.attr = attr;
+            best.value = value;
+        }
+    }
+}
+
+SplitChoice
+bruteForceBestSplit(const Dataset &ds, std::span<const std::size_t> rows,
+                    std::size_t min_instances)
+{
+    SplitChoice best;
+    const std::size_t n = rows.size();
+    std::vector<std::size_t> sorted(rows.begin(), rows.end());
+    std::vector<double> keys(n), targets(n);
+
+    for (std::size_t attr = 0; attr < ds.numAttributes(); ++attr) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&ds, attr](std::size_t a, std::size_t b) {
+                      const double va = ds.value(a, attr);
+                      const double vb = ds.value(b, attr);
+                      if (va != vb)
+                          return va < vb;
+                      return a < b; // stable: row position breaks ties
+                  });
+        for (std::size_t i = 0; i < n; ++i) {
+            keys[i] = ds.value(sorted[i], attr);
+            targets[i] = ds.target(sorted[i]);
+        }
+        scanSplitCandidates(keys, targets, attr, min_instances, best);
+    }
+    return best;
+}
+
+void
+PresortedColumns::build(const Dataset &ds)
+{
+    const std::size_t n = ds.size();
+    const std::size_t d = ds.numAttributes();
+    mtperf_assert(n < (std::size_t{1} << 32),
+                  "presorted split search caps at 2^32 rows");
+
+    goesLeft_.assign(n, 0);
+    scratch_.resize(n);
+    keys_.resize(n);
+    targets_.resize(n);
+
+    // Work on the raw row-major block: sort comparators and gather
+    // loops run millions of iterations, so per-element accessor calls
+    // (with their bounds asserts) dominate if left in the loop.
+    const double *flat = ds.flatValues().data();
+    cols_.assign(d, {});
+    for (std::size_t attr = 0; attr < d; ++attr) {
+        auto &col = cols_[attr];
+        col.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            col[i] = static_cast<std::uint32_t>(i);
+            keys_[i] = flat[i * d + attr];
+        }
+        const double *keys = keys_.data();
+        std::sort(col.begin(), col.end(),
+                  [keys](std::uint32_t a, std::uint32_t b) {
+                      const double va = keys[a];
+                      const double vb = keys[b];
+                      if (va != vb)
+                          return va < vb;
+                      return a < b; // stable: row id breaks ties
+                  });
+    }
+}
+
+SplitChoice
+PresortedColumns::bestSplit(const Dataset &ds, std::size_t lo,
+                            std::size_t hi, std::size_t min_instances)
+{
+    mtperf_assert(built() && hi <= size() && lo <= hi,
+                  "bestSplit over an invalid presorted range");
+    SplitChoice best;
+    const std::size_t n = hi - lo;
+    const std::size_t d = cols_.size();
+    const double *flat = ds.flatValues().data();
+    const double *tgt = ds.targets().data();
+    for (std::size_t attr = 0; attr < d; ++attr) {
+        const std::uint32_t *col = cols_[attr].data() + lo;
+        for (std::size_t i = 0; i < n; ++i) {
+            keys_[i] = flat[col[i] * d + attr];
+            targets_[i] = tgt[col[i]];
+        }
+        scanSplitCandidates({keys_.data(), n}, {targets_.data(), n},
+                            attr, min_instances, best);
+    }
+    return best;
+}
+
+std::size_t
+PresortedColumns::partition(const Dataset &ds, std::size_t lo,
+                            std::size_t hi, std::size_t attr,
+                            double value)
+{
+    mtperf_assert(built() && hi <= size() && lo <= hi,
+                  "partition over an invalid presorted range");
+    // Mark membership once; each column is then split by a stable
+    // two-way pass (left rows compact in place, right rows spill to
+    // the scratch buffer and copy back), preserving the (value, row)
+    // order inside both halves.
+    const std::size_t d = cols_.size();
+    const double *flat = ds.flatValues().data();
+    std::size_t n_left = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint32_t r = cols_[attr][i];
+        const bool left = flat[r * d + attr] <= value;
+        goesLeft_[r] = left ? 1 : 0;
+        n_left += left ? 1 : 0;
+    }
+    for (auto &col : cols_) {
+        std::size_t out = lo;
+        std::size_t spilled = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::uint32_t r = col[i];
+            if (goesLeft_[r])
+                col[out++] = r;
+            else
+                scratch_[spilled++] = r;
+        }
+        std::copy(scratch_.begin(),
+                  scratch_.begin() +
+                      static_cast<std::ptrdiff_t>(spilled),
+                  col.begin() + static_cast<std::ptrdiff_t>(out));
+    }
+    return lo + n_left;
+}
+
+} // namespace mtperf

@@ -39,7 +39,6 @@ Core::Core(const CoreConfig &config)
     if (config_.robSize == 0)
         mtperf_fatal("ROB must have at least one entry");
     robCommit_.assign(config_.robSize, 0);
-    resultReady_.assign(kResultRing, 0);
     if (config_.modelPortContention) {
         if (config_.aluPorts == 0 || config_.loadPorts == 0 ||
             config_.storePorts == 0 || config_.fpAddPorts == 0 ||
@@ -47,11 +46,31 @@ Core::Core(const CoreConfig &config)
             mtperf_fatal("port contention model needs at least one "
                          "port per class");
         }
-        aluPortFree_.assign(config_.aluPorts, 0);
-        loadPortFree_.assign(config_.loadPorts, 0);
-        storePortFree_.assign(config_.storePorts, 0);
-        fpAddPortFree_.assign(config_.fpAddPorts, 0);
-        fpMulPortFree_.assign(config_.fpMulPorts, 0);
+        // Flat layout: [alu | load | store | fpAdd | fpMul].
+        std::uint32_t offset = 0;
+        auto group = [&offset](std::uint32_t count, Cycle occupancy) {
+            const PortGroup g{offset, count, occupancy};
+            offset += count;
+            return g;
+        };
+        const PortGroup alu = group(config_.aluPorts, 1);
+        const PortGroup load = group(config_.loadPorts, 1);
+        const PortGroup store = group(config_.storePorts, 1);
+        const PortGroup fp_add = group(config_.fpAddPorts, 1);
+        const PortGroup fp_mul = group(config_.fpMulPorts, 1);
+        // The divider shares the FP multiply port and is unpipelined.
+        PortGroup fp_div = fp_mul;
+        fp_div.occupancy = config_.fpDivLatency;
+
+        portGroups_[static_cast<std::size_t>(OpClass::IntAlu)] = alu;
+        portGroups_[static_cast<std::size_t>(OpClass::IntMul)] = alu;
+        portGroups_[static_cast<std::size_t>(OpClass::Branch)] = alu;
+        portGroups_[static_cast<std::size_t>(OpClass::Load)] = load;
+        portGroups_[static_cast<std::size_t>(OpClass::Store)] = store;
+        portGroups_[static_cast<std::size_t>(OpClass::FpAdd)] = fp_add;
+        portGroups_[static_cast<std::size_t>(OpClass::FpMul)] = fp_mul;
+        portGroups_[static_cast<std::size_t>(OpClass::FpDiv)] = fp_div;
+        portFree_.assign(offset, 0);
     }
 }
 
@@ -61,43 +80,21 @@ Core::acquirePort(OpClass cls, Cycle dispatch, Cycle ready)
     if (!config_.modelPortContention)
         return ready;
 
-    std::vector<Cycle> *ports = nullptr;
-    Cycle occupancy = 1; // pipelined ports accept one op per cycle
-    switch (cls) {
-      case OpClass::Load:
-        ports = &loadPortFree_;
-        break;
-      case OpClass::Store:
-        ports = &storePortFree_;
-        break;
-      case OpClass::FpAdd:
-        ports = &fpAddPortFree_;
-        break;
-      case OpClass::FpMul:
-        ports = &fpMulPortFree_;
-        break;
-      case OpClass::FpDiv:
-        // The divider shares the FP multiply port and is unpipelined.
-        ports = &fpMulPortFree_;
-        occupancy = config_.fpDivLatency;
-        break;
-      default:
-        ports = &aluPortFree_;
-        break;
-    }
+    const PortGroup &group = portGroups_[static_cast<std::size_t>(cls)];
+    Cycle *ports = portFree_.data() + group.offset;
 
-    // Pick the earliest-free port. The slot is reserved from dispatch
-    // onward (an out-of-order scheduler gives ready ops priority, so a
-    // data-stalled op must not push the port into the future for the
-    // independent ops behind it); the op then issues when both its
-    // slot and its inputs are ready.
+    // Pick the earliest-free port (ties to the lowest index). The slot
+    // is reserved from dispatch onward (an out-of-order scheduler
+    // gives ready ops priority, so a data-stalled op must not push the
+    // port into the future for the independent ops behind it); the op
+    // then issues when both its slot and its inputs are ready.
     std::size_t best = 0;
-    for (std::size_t i = 1; i < ports->size(); ++i) {
-        if ((*ports)[i] < (*ports)[best])
+    for (std::size_t i = 1; i < group.count; ++i) {
+        if (ports[i] < ports[best])
             best = i;
     }
-    const Cycle slot = std::max(dispatch, (*ports)[best]);
-    (*ports)[best] = slot + occupancy;
+    const Cycle slot = std::max(dispatch, ports[best]);
+    ports[best] = slot + group.occupancy;
     return std::max(ready, slot);
 }
 
@@ -263,8 +260,11 @@ Core::execute(const MicroOp &op)
     fetchReadyCycle_ = fetch_ready;
 
     // --- Dispatch: width per cycle, bounded by the reorder window --
+    // robHead_ is seq_ % robSize maintained incrementally: the slot
+    // still holds the commit cycle of op seq_ - robSize (the entry
+    // this op waits on) and is overwritten with this op's commit below.
     Cycle dispatch = std::max(fetch_ready, lastDispatchCycle_);
-    dispatch = std::max(dispatch, robCommit_[seq_ % config_.robSize]);
+    dispatch = std::max(dispatch, robCommit_[robHead_]);
     if (dispatch == lastDispatchCycle_ &&
         dispatchedThisCycle_ >= config_.width) {
         dispatch += 1;
@@ -281,7 +281,7 @@ Core::execute(const MicroOp &op)
     if (op.depDist > 0 && op.depDist <= seq_ &&
         static_cast<std::size_t>(op.depDist) < kResultRing) {
         issue = std::max(
-            issue, resultReady_[(seq_ - op.depDist) % kResultRing]);
+            issue, resultReady_[(seq_ - op.depDist) & (kResultRing - 1)]);
     }
     issue = acquirePort(op.cls, dispatch, issue);
 
@@ -363,8 +363,10 @@ Core::execute(const MicroOp &op)
         }
     }
 
-    robCommit_[seq_ % config_.robSize] = commit;
-    resultReady_[seq_ % kResultRing] = complete;
+    robCommit_[robHead_] = commit;
+    if (++robHead_ == config_.robSize)
+        robHead_ = 0;
+    resultReady_[seq_ & (kResultRing - 1)] = complete;
 
     if (mispredicted) {
         // Wrong-path fetch is not simulated; the re-steer appears as
@@ -405,12 +407,9 @@ Core::reset()
     lastFetchLine_ = ~0ULL;
     lastFetchPage_ = ~0ULL;
     std::fill(robCommit_.begin(), robCommit_.end(), 0);
-    std::fill(resultReady_.begin(), resultReady_.end(), 0);
-    std::fill(aluPortFree_.begin(), aluPortFree_.end(), 0);
-    std::fill(loadPortFree_.begin(), loadPortFree_.end(), 0);
-    std::fill(storePortFree_.begin(), storePortFree_.end(), 0);
-    std::fill(fpAddPortFree_.begin(), fpAddPortFree_.end(), 0);
-    std::fill(fpMulPortFree_.begin(), fpMulPortFree_.end(), 0);
+    robHead_ = 0;
+    resultReady_.fill(0);
+    std::fill(portFree_.begin(), portFree_.end(), 0);
 }
 
 } // namespace mtperf::uarch

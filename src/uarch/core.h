@@ -28,6 +28,7 @@
 #ifndef MTPERF_UARCH_CORE_H_
 #define MTPERF_UARCH_CORE_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -217,16 +218,33 @@ class Core
     Addr lastFetchLine_ = ~0ULL;
     Addr lastFetchPage_ = ~0ULL;
 
-    std::vector<Cycle> robCommit_;   //!< commit cycle ring, robSize deep
-    std::vector<Cycle> resultReady_; //!< completion cycle ring for deps
-    static constexpr std::size_t kResultRing = 512;
+    std::vector<Cycle> robCommit_; //!< commit cycle ring, robSize deep
+    /**
+     * Ring slot of the current instruction: the same slot is read at
+     * dispatch (the commit cycle of op seq - robSize) and overwritten
+     * at commit, then the head advances with an incremental wrap —
+     * the hot path never divides by the runtime-variable robSize.
+     */
+    std::size_t robHead_ = 0;
 
-    /** Next-free cycle per issue port, grouped by class. */
-    std::vector<Cycle> aluPortFree_;
-    std::vector<Cycle> loadPortFree_;
-    std::vector<Cycle> storePortFree_;
-    std::vector<Cycle> fpAddPortFree_;
-    std::vector<Cycle> fpMulPortFree_;
+    static constexpr std::size_t kResultRing = 512; //!< power of two
+    std::array<Cycle, kResultRing> resultReady_{}; //!< completion ring
+
+    /**
+     * Issue-port bookkeeping, flattened: one next-free-cycle array for
+     * all ports plus a per-OpClass {offset, count, occupancy} view
+     * into it. FpDiv maps onto the FpMul span with the divider's
+     * unpipelined occupancy; every other class is pipelined.
+     */
+    struct PortGroup
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t count = 0;
+        Cycle occupancy = 1;
+    };
+    static constexpr std::size_t kNumOpClasses = 8;
+    std::vector<Cycle> portFree_;
+    std::array<PortGroup, kNumOpClasses> portGroups_{};
 };
 
 } // namespace mtperf::uarch

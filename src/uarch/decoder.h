@@ -8,12 +8,22 @@
  * (ILD_STALL). Workloads compiled with 16-bit immediates — the paper
  * calls out 403.gcc — hit this repeatedly. The model charges a fixed
  * pre-decode bubble per LCP-marked instruction.
+ *
+ * Decode results are memoized in a small direct-mapped cache keyed by
+ * instruction identity (pc): re-decoding a hot loop body reduces to a
+ * tag compare instead of re-deriving the bubble. The cached entry is
+ * validated against the op's hasLcp flag, so a pc whose encoding
+ * changes (self-modifying workloads, aliased synthetic pcs) never
+ * serves a stale bubble — results are bit-identical with the cache on,
+ * off, or any size. Statistics (lcpStalls) are charged per dynamic
+ * instruction either way.
  */
 
 #ifndef MTPERF_UARCH_DECODER_H_
 #define MTPERF_UARCH_DECODER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "uarch/types.h"
 
@@ -24,6 +34,13 @@ struct DecoderConfig
 {
     /** Pre-decode bubble per length-changing prefix, in cycles. */
     Cycle lcpStallCycles = 6;
+
+    /**
+     * Decoded-op cache capacity (entries, rounded up to a power of
+     * two). 0 disables memoization; hit/miss accounting then reports
+     * every decode as a miss.
+     */
+    std::size_t decodeCacheEntries = 2048;
 };
 
 /** Front-end length-decoder model: counts and charges LCP stalls. */
@@ -38,14 +55,36 @@ class Decoder
      */
     Cycle decode(const MicroOp &op);
 
-    /** Clear statistics. */
+    /** Clear statistics and the decoded-op cache. */
     void reset();
 
     std::uint64_t lcpStalls() const { return lcpStalls_; }
 
+    /** @name Decode-cache accounting (hits + misses == lookups). */
+    ///@{
+    std::uint64_t cacheLookups() const { return cacheLookups_; }
+    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::uint64_t cacheMisses() const { return cacheMisses_; }
+    ///@}
+
   private:
+    /** One memoized decode; pc == kEmptyTag means never filled. */
+    struct CacheEntry
+    {
+        Addr pc = kEmptyTag;
+        bool hasLcp = false;
+        Cycle bubble = 0;
+    };
+
+    static constexpr Addr kEmptyTag = ~Addr{0};
+
     DecoderConfig config_;
     std::uint64_t lcpStalls_ = 0;
+    std::uint64_t cacheLookups_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
+    std::vector<CacheEntry> cache_; //!< direct-mapped, power-of-two
+    std::size_t indexMask_ = 0;
 };
 
 } // namespace mtperf::uarch

@@ -58,6 +58,9 @@ StreamGenerator::setParams(const PhaseParams &params)
         pc_ >= codeBase_ + codeLines_ * kLineBytes) {
         pc_ = codeBase_;
     }
+    hotSampler_ = ZipfSampler(hotLines_, 1.2);
+    dataSampler_ = ZipfSampler(dataLines_, params_.zipfS);
+    codeSampler_ = ZipfSampler(codeLines_, params_.codeZipfS);
 }
 
 std::uint64_t
@@ -152,10 +155,10 @@ StreamGenerator::randomDataAddress()
         rng_.uniformInt(std::uint64_t(kLineBytes / 8)) * 8;
     if (rng_.chance(params_.hotFrac)) {
         // Stack/locals/globals: a small, heavily reused region.
-        const std::uint64_t line = rng_.zipf(hotLines_, 1.2);
+        const std::uint64_t line = hotSampler_.sample(rng_);
         return hotBase_ + line * kLineBytes + offset;
     }
-    const std::uint64_t rank = rng_.zipf(dataLines_, params_.zipfS);
+    const std::uint64_t rank = dataSampler_.sample(rng_);
     return dataBase_ + scrambledLine(rank) * kLineBytes + offset;
 }
 
@@ -178,8 +181,7 @@ StreamGenerator::advancePc(bool taken_branch)
     }
     if (rng_.chance(params_.farJumpFrac)) {
         // Call or indirect jump to a zipf-hot region of the footprint.
-        const std::uint64_t line =
-            rng_.zipf(codeLines_, params_.codeZipfS);
+        const std::uint64_t line = codeSampler_.sample(rng_);
         pc_ = codeBase_ + line * kLineBytes +
               rng_.uniformInt(std::uint64_t(kLineBytes / 4)) * 4;
         return;

@@ -60,6 +60,15 @@ class StreamGenerator
     std::uint64_t hotLines_ = 1;
     std::uint64_t codeLines_ = 1;
 
+    /**
+     * Per-footprint Zipf samplers, rebuilt by setParams (per section)
+     * instead of re-deriving the rejection-inversion constants on
+     * every address draw. Bit-identical to calling Rng::zipf inline.
+     */
+    ZipfSampler hotSampler_;
+    ZipfSampler dataSampler_;
+    ZipfSampler codeSampler_;
+
     uarch::Addr pc_;
     uarch::Addr streamPos_ = 0;
     std::uint64_t chaseState_ = 0x1234567;

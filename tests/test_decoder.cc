@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "obs/metrics.h"
 #include "uarch/decoder.h"
 
 namespace mtperf::uarch {
@@ -49,6 +51,119 @@ TEST(Decoder, ResetClearsCount)
     decoder.decode(op);
     decoder.reset();
     EXPECT_EQ(decoder.lcpStalls(), 0u);
+}
+
+TEST(DecoderCache, RepeatedPcHitsAfterFirstMiss)
+{
+    Decoder decoder;
+    MicroOp op;
+    op.pc = 0x400000;
+    op.hasLcp = true;
+
+    EXPECT_EQ(decoder.decode(op), 6u);
+    EXPECT_EQ(decoder.cacheMisses(), 1u);
+    EXPECT_EQ(decoder.cacheHits(), 0u);
+
+    EXPECT_EQ(decoder.decode(op), 6u);
+    EXPECT_EQ(decoder.decode(op), 6u);
+    EXPECT_EQ(decoder.cacheMisses(), 1u);
+    EXPECT_EQ(decoder.cacheHits(), 2u);
+    EXPECT_EQ(decoder.cacheLookups(),
+              decoder.cacheHits() + decoder.cacheMisses());
+    // Stall accounting is per dynamic instruction, hit or miss.
+    EXPECT_EQ(decoder.lcpStalls(), 3u);
+}
+
+TEST(DecoderCache, EncodingChangeAtSamePcIsNotServedStale)
+{
+    Decoder decoder;
+    MicroOp plain;
+    plain.pc = 0x400000;
+    plain.hasLcp = false;
+    MicroOp prefixed = plain;
+    prefixed.hasLcp = true;
+
+    EXPECT_EQ(decoder.decode(plain), 0u);
+    // Same pc, different encoding: must re-derive, not reuse.
+    EXPECT_EQ(decoder.decode(prefixed), 6u);
+    EXPECT_EQ(decoder.decode(plain), 0u);
+    EXPECT_EQ(decoder.cacheHits(), 0u);
+    EXPECT_EQ(decoder.cacheMisses(), 3u);
+}
+
+TEST(DecoderCache, DisabledCacheCountsEveryDecodeAsMiss)
+{
+    DecoderConfig config;
+    config.decodeCacheEntries = 0;
+    Decoder decoder(config);
+    MicroOp op;
+    op.pc = 0x400000;
+    op.hasLcp = true;
+
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(decoder.decode(op), 6u);
+    EXPECT_EQ(decoder.cacheHits(), 0u);
+    EXPECT_EQ(decoder.cacheMisses(), 5u);
+    EXPECT_EQ(decoder.cacheLookups(), 5u);
+    EXPECT_EQ(decoder.lcpStalls(), 5u);
+}
+
+TEST(DecoderCache, BubblesIdenticalWithCacheOnOffAndTiny)
+{
+    DecoderConfig off;
+    off.decodeCacheEntries = 0;
+    DecoderConfig tiny;
+    tiny.decodeCacheEntries = 2; // forces heavy conflict eviction
+    Decoder with_cache;
+    Decoder without(off);
+    Decoder conflicted(tiny);
+
+    Rng rng(2024);
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp op;
+        // Small pc footprint => plenty of hits; pow-2 spaced pcs also
+        // exercise index aliasing in the tiny cache.
+        op.pc = 0x400000 + rng.uniformInt(std::uint64_t(64)) * 4;
+        op.hasLcp = rng.chance(0.1);
+        const Cycle expected = without.decode(op);
+        EXPECT_EQ(with_cache.decode(op), expected);
+        EXPECT_EQ(conflicted.decode(op), expected);
+    }
+    EXPECT_GT(with_cache.cacheHits(), 0u);
+    EXPECT_EQ(with_cache.lcpStalls(), without.lcpStalls());
+    EXPECT_EQ(conflicted.lcpStalls(), without.lcpStalls());
+}
+
+TEST(DecoderCache, ResetClearsCacheAndAccounting)
+{
+    Decoder decoder;
+    MicroOp op;
+    op.pc = 0x400000;
+    op.hasLcp = true;
+    decoder.decode(op);
+    decoder.decode(op);
+    decoder.reset();
+    EXPECT_EQ(decoder.cacheLookups(), 0u);
+    EXPECT_EQ(decoder.cacheHits(), 0u);
+    EXPECT_EQ(decoder.cacheMisses(), 0u);
+    // The first decode after reset must miss again (no stale entries).
+    decoder.decode(op);
+    EXPECT_EQ(decoder.cacheMisses(), 1u);
+    EXPECT_EQ(decoder.cacheHits(), 0u);
+}
+
+TEST(DecoderCache, GlobalInvariantHoldsAfterDecodes)
+{
+    Decoder decoder;
+    MicroOp op;
+    op.pc = 0x401000;
+    for (int i = 0; i < 100; ++i) {
+        op.pc += 4;
+        decoder.decode(op);
+    }
+    for (const auto &violation : obs::validateInvariants())
+        EXPECT_NE(violation.name, "decode.cache_accounting")
+            << violation.message;
 }
 
 } // namespace

@@ -14,7 +14,21 @@
 namespace mtperf::perf {
 namespace {
 
-/** Two-attribute CPI world: cpi = 0.5 + 60*l2m + 15*brmis. */
+/**
+ * Two-attribute CPI world: cpi = 0.5 + 60*l2m + 15*brmis, with the
+ * L2M cost steepening past 0.075 (an L2-pressure knee). The knee is
+ * what makes a model *tree* necessary here: a noise-free globally
+ * linear world is fit exactly by a single leaf model, so a correct
+ * pruner collapses it to one leaf and leaves no class structure for
+ * the diff report to track.
+ */
+double
+worldCpi(double l2m, double brmis)
+{
+    return 0.5 + 60.0 * l2m + 15.0 * brmis +
+           40.0 * std::max(0.0, l2m - 0.075);
+}
+
 Dataset
 runWith(double l2m_center, double brmis_center, std::size_t n,
         std::uint64_t seed)
@@ -27,7 +41,7 @@ runWith(double l2m_center, double brmis_center, std::size_t n,
         const double brmis =
             std::max(0.0, brmis_center * rng.uniform(0.7, 1.3));
         ds.addRow(std::vector<double>{l2m, brmis},
-                  0.5 + 60.0 * l2m + 15.0 * brmis, "app/run");
+                  worldCpi(l2m, brmis), "app/run");
     }
     return ds;
 }
@@ -43,10 +57,14 @@ worldTree()
         const double l2m = rng.uniform(0.0, 0.15);
         const double brmis = rng.uniform(0.0, 0.03);
         train.addRow(std::vector<double>{l2m, brmis},
-                     0.5 + 60.0 * l2m + 15.0 * brmis);
+                     worldCpi(l2m, brmis));
     }
     M5Options options;
-    options.minInstances = 50;
+    // Small enough that the grower reaches BrMisPr splits below the
+    // knee (L2M dominates the residual for the first few levels);
+    // pruning then folds them back into leaf models that carry the
+    // BrMisPr coefficient.
+    options.minInstances = 25;
     options.smooth = false;
     M5Prime tree(options);
     tree.fit(train);

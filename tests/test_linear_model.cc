@@ -218,5 +218,72 @@ TEST(LinearRegression, EmptyTrainingThrows)
     EXPECT_THROW(lr.fit(ds), FatalError);
 }
 
+TEST(LinearModelFitter, AgreesWithDirectFit)
+{
+    const Dataset ds = plantedDataset(300, 0.2);
+    std::vector<std::size_t> rows(ds.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    const std::vector<std::size_t> attrs{0, 1, 2};
+
+    const LinearModel direct = LinearModel::fit(ds, rows, attrs);
+    LinearModelFitter fitter(ds, rows, attrs);
+    const LinearModel via_gram = fitter.fit();
+
+    // QR vs Gram/Cholesky round differently; on a well-conditioned
+    // system the solutions agree to many digits.
+    ASSERT_EQ(via_gram.terms().size(), direct.terms().size());
+    EXPECT_NEAR(via_gram.intercept(), direct.intercept(), 1e-8);
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+        EXPECT_NEAR(via_gram.coefficient(attrs[j]),
+                    direct.coefficient(attrs[j]), 1e-8);
+    }
+}
+
+TEST(LinearModelFitter, MaeMatchesModelEvaluationBitwise)
+{
+    const Dataset ds = plantedDataset(200, 0.3);
+    std::vector<std::size_t> rows(ds.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    LinearModelFitter fitter(ds, rows, {0, 1, 2});
+    const LinearModel m = fitter.fit();
+
+    // The fitter's column-major evaluation is arranged to apply the
+    // same additions in the same order as LinearModel::predict, so
+    // cached MAEs are interchangeable with fresh ones.
+    EXPECT_EQ(fitter.meanAbsoluteError(m), m.meanAbsoluteError(ds, rows));
+}
+
+TEST(LinearModelFitter, SimplifyDropsPlantedNoiseTerm)
+{
+    // x3 carries no signal; greedy elimination under the compensated
+    // error must drop it, matching LinearModel::simplify's policy.
+    const Dataset ds = plantedDataset(300, 0.2);
+    std::vector<std::size_t> rows(ds.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    LinearModelFitter fitter(ds, rows, {0, 1, 2});
+    LinearModel m = fitter.fit();
+    fitter.simplify(m);
+    EXPECT_DOUBLE_EQ(m.coefficient(2), 0.0);
+
+    const std::vector<std::size_t> all_attrs{0, 1, 2};
+    LinearModel reference = LinearModel::fit(ds, rows, all_attrs);
+    reference.simplify(ds, rows);
+    ASSERT_EQ(m.terms().size(), reference.terms().size());
+    for (const auto &term : reference.terms())
+        EXPECT_NEAR(m.coefficient(term.attr), term.coef, 1e-8);
+}
+
+TEST(LinearModelFitter, EmptyAttributeSetFitsTheMean)
+{
+    const Dataset ds = plantedDataset(100, 0.5);
+    std::vector<std::size_t> rows(ds.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    LinearModelFitter fitter(ds, rows, {});
+    const LinearModel m = fitter.fit();
+    const LinearModel direct = LinearModel::fit(ds, rows, {});
+    EXPECT_EQ(m.intercept(), direct.intercept());
+    EXPECT_TRUE(m.terms().empty());
+}
+
 } // namespace
 } // namespace mtperf

@@ -237,5 +237,31 @@ TEST(Rng, ShuffleEmptyAndSingleton)
     EXPECT_EQ(one, std::vector<int>{42});
 }
 
+TEST(ZipfSampler, BitIdenticalToRngZipf)
+{
+    // The sampler precomputes the rejection-inversion constants once;
+    // it must consume the same uniform stream and produce the same
+    // values as the per-call Rng::zipf for every (n, s) shape the
+    // workload generator uses.
+    const struct
+    {
+        std::uint64_t n;
+        double s;
+    } shapes[] = {{1, 1.2}, {2, 0.8}, {7, 1.0}, {64, 1.2},
+                  {1000, 0.6}, {65536, 1.1}};
+
+    for (const auto &shape : shapes) {
+        Rng direct(4242), sampled(4242);
+        const ZipfSampler sampler(shape.n, shape.s);
+        for (int i = 0; i < 5000; ++i) {
+            ASSERT_EQ(sampler.sample(sampled),
+                      direct.zipf(shape.n, shape.s))
+                << "n=" << shape.n << " s=" << shape.s << " draw " << i;
+        }
+        // Identical uniform consumption: generators stay in lockstep.
+        EXPECT_EQ(direct.next(), sampled.next());
+    }
+}
+
 } // namespace
 } // namespace mtperf
