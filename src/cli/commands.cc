@@ -4,8 +4,10 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <ostream>
+#include <set>
 #include <span>
 #include <sstream>
 
@@ -30,6 +32,8 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "workload/runner.h"
+#include "workload/spec_gen.h"
+#include "workload/spec_io.h"
 #include "workload/spec_suite.h"
 #include "workload/stream_gen.h"
 
@@ -167,6 +171,47 @@ learnerFrom(const ArgParser &parser, std::size_t dataset_size)
     return RegressorFactory::create(spec);
 }
 
+/** The --workload-file/--workload-dir pair for spec-driven commands. */
+void
+addWorkloadSourceOptions(ArgParser &parser)
+{
+    parser.addString("workload-file", "",
+                     "run this workload spec JSON instead of the "
+                     "built-in suite (\"-\" reads stdin)");
+    parser.addString("workload-dir", "",
+                     "run every *.json workload spec in this "
+                     "directory instead of the built-in suite");
+}
+
+/**
+ * The workload list a command should run: --workload-file and/or
+ * --workload-dir when given (combined, duplicate names rejected),
+ * otherwise the suite registry (committed specs/ or the compiled
+ * table — see spec_suite.h).
+ */
+std::vector<workload::WorkloadSpec>
+suiteFromFlags(const ArgParser &parser)
+{
+    const std::string file = parser.getString("workload-file");
+    const std::string dir = parser.getString("workload-dir");
+    if (file.empty() && dir.empty())
+        return workload::specLikeSuite();
+
+    std::vector<workload::WorkloadSpec> suite;
+    if (!dir.empty())
+        suite = workload::loadWorkloadSpecDir(dir);
+    if (!file.empty())
+        suite.push_back(workload::loadWorkloadSpecFile(file));
+    std::set<std::string> names;
+    for (const auto &spec : suite) {
+        if (!names.insert(spec.name).second)
+            throw UsageError("duplicate workload name '" + spec.name +
+                             "' across --workload-dir and "
+                             "--workload-file");
+    }
+    return suite;
+}
+
 } // namespace
 
 int
@@ -181,6 +226,7 @@ cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("checkpoint", "",
                      "checkpoint path for crash-safe resume (completed "
                      "workloads survive a kill; removed on success)");
+    addWorkloadSourceOptions(parser);
     addCommonOptions(parser);
     parser.parse(args);
     applyCommonOptions(parser);
@@ -192,14 +238,150 @@ cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
     options.seed = parser.getSize("seed");
     options.paramJitter = parser.getDouble("jitter", 0.0, 1.0);
 
+    const auto suite = suiteFromFlags(parser);
     const std::string checkpoint = parser.getString("checkpoint");
     const Dataset ds =
         checkpoint.empty()
-            ? perf::collectSuiteDataset(options)
-            : perf::collectSuiteDatasetCheckpointed(options, checkpoint);
+            ? perf::collectSuiteDataset(suite, options)
+            : perf::collectSuiteDatasetCheckpointed(suite, options,
+                                                    checkpoint);
     writeDatasetCsvFile(parser.getString("out"), ds);
     out << "wrote " << ds.size() << " sections to "
         << parser.getString("out") << "\n";
+    return 0;
+}
+
+namespace {
+
+/** "64KiB", "2.5MiB": byte counts for the workloads table. */
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    static const char *kUnits[] = {"B", "KiB", "MiB", "GiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    const bool whole = value == static_cast<double>(
+                                    static_cast<std::uint64_t>(value));
+    return formatDouble(value, whole ? 0 : 1) + kUnits[unit];
+}
+
+} // namespace
+
+int
+cmdWorkloads(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("workload-dir", "",
+                     "also list every *.json workload spec in this "
+                     "directory");
+    parser.addString("export", "",
+                     "write every listed workload into this directory "
+                     "as canonical spec JSON files");
+    addCommonOptions(parser);
+    parser.parse(args);
+    applyCommonOptions(parser);
+
+    auto suite = workload::specLikeSuite();
+    out << "suite source: " << workload::suiteSourceDescription()
+        << "\n";
+    const std::string dir = parser.getString("workload-dir");
+    if (!dir.empty()) {
+        std::set<std::string> names;
+        for (const auto &spec : suite)
+            names.insert(spec.name);
+        for (auto &spec : workload::loadWorkloadSpecDir(dir)) {
+            if (!names.insert(spec.name).second)
+                throw UsageError("workload '" + spec.name + "' in " +
+                                 dir + " shadows a suite workload of "
+                                 "the same name");
+            suite.push_back(std::move(spec));
+        }
+    }
+
+    out << padRight("name", 22) << padLeft("phases", 7)
+        << padLeft("sections", 9) << "  working set\n";
+    for (const auto &spec : suite) {
+        std::uint64_t ws_min = UINT64_MAX, ws_max = 0;
+        for (const auto &phase : spec.phases) {
+            ws_min = std::min(ws_min, phase.params.workingSetBytes);
+            ws_max = std::max(ws_max, phase.params.workingSetBytes);
+        }
+        std::string range = humanBytes(ws_min);
+        if (ws_max != ws_min)
+            range += ".." + humanBytes(ws_max);
+        out << padRight(spec.name, 22)
+            << padLeft(std::to_string(spec.phases.size()), 7)
+            << padLeft(std::to_string(spec.totalSections()), 9)
+            << "  " << range << "\n";
+    }
+
+    const std::string export_dir = parser.getString("export");
+    if (!export_dir.empty()) {
+        std::filesystem::create_directories(export_dir);
+        for (const auto &spec : suite) {
+            workload::saveWorkloadSpecFile(
+                (std::filesystem::path(export_dir) /
+                 (spec.name + ".json"))
+                    .string(),
+                spec);
+        }
+        out << "exported " << suite.size() << " workload specs to "
+            << export_dir << "\n";
+    }
+    return 0;
+}
+
+int
+cmdGenworkload(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addSize("seed", 1,
+                   "generator seed (the same seed always yields the "
+                   "same bytes)");
+    parser.addSize("count", 1, "number of workload specs to mint");
+    parser.addString("out-dir", "",
+                     "write <name>.json files here instead of stdout "
+                     "(required when --count > 1)");
+    parser.addString("prefix", "gen", "generated workload name prefix");
+    parser.addSize("max-phases", 3, "most phases per workload");
+    parser.addSize("min-sections", 500,
+                   "fewest sections per workload");
+    parser.addSize("max-sections", 700, "most sections per workload");
+    addCommonOptions(parser);
+    parser.parse(args);
+    applyCommonOptions(parser);
+
+    workload::GenOptions options;
+    options.seed = parser.getSize("seed");
+    options.count = parser.getSize("count", 1, 100000);
+    options.maxPhases = parser.getSize("max-phases", 1, 64);
+    options.minSections = parser.getSize("min-sections", 1, 100000000);
+    options.maxSections = parser.getSize("max-sections", 1, 100000000);
+    options.namePrefix = parser.getString("prefix");
+
+    const std::string out_dir = parser.getString("out-dir");
+    if (out_dir.empty() && options.count != 1)
+        throw UsageError("--count > 1 needs --out-dir DIR (stdout "
+                         "holds a single spec document)");
+
+    const auto specs = workload::generateWorkloads(options);
+    if (out_dir.empty()) {
+        out << workload::workloadSpecToJson(specs.front()) << "\n";
+        return 0;
+    }
+    std::filesystem::create_directories(out_dir);
+    for (const auto &spec : specs) {
+        workload::saveWorkloadSpecFile(
+            (std::filesystem::path(out_dir) / (spec.name + ".json"))
+                .string(),
+            spec);
+    }
+    out << "wrote " << specs.size() << " workload spec"
+        << (specs.size() == 1 ? "" : "s") << " to " << out_dir << "\n";
     return 0;
 }
 
@@ -450,15 +632,24 @@ cmdStack(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
     parser.addString("workload", "",
-                     "suite workload name (see suite_explorer)", true);
+                     "suite workload name (see mtperf workloads)");
+    parser.addString("workload-file", "",
+                     "workload spec JSON instead of a suite name "
+                     "(\"-\" reads stdin)");
     parser.addSize("instructions", 500000, "instructions to simulate");
     parser.addSize("seed", 42, "stream seed");
     addCommonOptions(parser);
     parser.parse(args);
     applyCommonOptions(parser);
 
-    const auto spec =
-        workload::suiteWorkload(parser.getString("workload"));
+    const std::string name = parser.getString("workload");
+    const std::string file = parser.getString("workload-file");
+    if (name.empty() == file.empty())
+        throw UsageError("stack needs exactly one of --workload NAME "
+                         "or --workload-file FILE");
+    const auto spec = file.empty()
+                          ? workload::suiteWorkload(name)
+                          : workload::loadWorkloadSpecFile(file);
     uarch::Core core;
     const std::uint64_t budget =
         parser.getSize("instructions", 1, 1000000000000ULL);
@@ -610,7 +801,10 @@ usageText()
     return "usage: mtperf <command> [options]\n"
            "\n"
            "commands:\n"
-           "  simulate   run the SPEC-like suite, write a section CSV\n"
+           "  simulate   run the workload suite, write a section CSV\n"
+           "  workloads  list available workload specs; --export DIR\n"
+           "             writes them as canonical spec JSON files\n"
+           "  genworkload  mint novel workload specs from --seed\n"
            "  train      learn an M5' model tree from a section CSV\n"
            "  print      pretty-print a saved model\n"
            "  predict    apply a saved model to a CSV\n"
@@ -635,7 +829,11 @@ usageText()
            "commands that read\n"
            "datasets accept --salvage to recover the valid rows of a\n"
            "damaged file. simulate --checkpoint PATH resumes a killed\n"
-           "run. train and crossval take\n"
+           "run. simulate and stack take --workload-file FILE (\"-\"\n"
+           "reads stdin) to run a workload spec JSON, and simulate\n"
+           "--workload-dir DIR runs every *.json spec in DIR; see\n"
+           "DESIGN.md section 12 for the schema.\n"
+           "train and crossval take\n"
            "--model name[:key=value,...] to pick the learner, e.g.\n"
            "--model mlp:hidden=24-12,epochs=250. predict --connect\n"
            "HOST[:PORT]|unix:PATH sends rows to a running serve\n"
@@ -654,6 +852,10 @@ commandFor(const std::string &subcommand)
 {
     if (subcommand == "simulate")
         return cmdSimulate;
+    if (subcommand == "workloads")
+        return cmdWorkloads;
+    if (subcommand == "genworkload")
+        return cmdGenworkload;
     if (subcommand == "train")
         return cmdTrain;
     if (subcommand == "print")

@@ -7,16 +7,18 @@
  * processes. The binary in tools/ is a thin dispatcher over these.
  *
  * Subcommands:
- *   simulate  — run the SPEC-like suite, write a section CSV
- *   train     — learn an M5' model from a section CSV, save it
- *   print     — pretty-print a saved model
- *   predict   — apply a saved model to a CSV, report accuracy
- *   analyze   — classification + contribution report for a CSV
- *   crossval  — k-fold cross-validation of M5' on a CSV
- *   diff      — before/after comparison of two section CSVs
- *   stack     — simulator-attributed CPI stack for one workload
- *   serve     — prediction server: batched inference over a socket
- *   version   — build metadata (version, git sha, compiler)
+ *   simulate    — run the suite (or spec files), write a section CSV
+ *   workloads   — list and export available workload specs
+ *   genworkload — mint novel workload specs from a seed
+ *   train       — learn an M5' model from a section CSV, save it
+ *   print       — pretty-print a saved model
+ *   predict     — apply a saved model to a CSV, report accuracy
+ *   analyze     — classification + contribution report for a CSV
+ *   crossval    — k-fold cross-validation of M5' on a CSV
+ *   diff        — before/after comparison of two section CSVs
+ *   stack       — simulator-attributed CPI stack for one workload
+ *   serve       — prediction server: batched inference over a socket
+ *   version     — build metadata (version, git sha, compiler)
  *
  * Observability: every command also accepts --trace-out FILE (write a
  * Chrome trace-event JSON of the run, loadable in Perfetto),
@@ -38,6 +40,9 @@ using CommandFn = int (*)(const std::vector<std::string> &args,
                           std::ostream &out);
 
 int cmdSimulate(const std::vector<std::string> &args, std::ostream &out);
+int cmdWorkloads(const std::vector<std::string> &args, std::ostream &out);
+int cmdGenworkload(const std::vector<std::string> &args,
+                   std::ostream &out);
 int cmdTrain(const std::vector<std::string> &args, std::ostream &out);
 int cmdPrint(const std::vector<std::string> &args, std::ostream &out);
 int cmdPredict(const std::vector<std::string> &args, std::ostream &out);

@@ -1,0 +1,588 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mtperf::json {
+
+// ---------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool value)
+{
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.bool_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double value)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.number_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeInteger(std::uint64_t value)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.number_ = static_cast<double>(value);
+    v.integral_ = true;
+    v.integer_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string value)
+{
+    JsonValue v;
+    v.type_ = Type::String;
+    v.string_ = std::move(value);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.type_ = Type::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<Member> members)
+{
+    JsonValue v;
+    v.type_ = Type::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+const char *
+JsonValue::typeName(Type type)
+{
+    switch (type) {
+    case Type::Null:
+        return "null";
+    case Type::Bool:
+        return "bool";
+    case Type::Number:
+        return "number";
+    case Type::String:
+        return "string";
+    case Type::Array:
+        return "array";
+    case Type::Object:
+        return "object";
+    }
+    return "unknown";
+}
+
+bool
+JsonValue::boolean() const
+{
+    mtperf_assert(isBool(), "boolean() on a ", typeName());
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    mtperf_assert(isNumber(), "number() on a ", typeName());
+    return number_;
+}
+
+std::uint64_t
+JsonValue::unsignedIntegral() const
+{
+    mtperf_assert(integral_, "unsignedIntegral() on a non-integral ",
+                  typeName());
+    return integer_;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    mtperf_assert(isString(), "string() on a ", typeName());
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    mtperf_assert(isArray(), "array() on a ", typeName());
+    return array_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::members() const
+{
+    mtperf_assert(isObject(), "members() on a ", typeName());
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    mtperf_assert(isObject(), "find() on a ", typeName());
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Containers deeper than this are rejected (a sane document limit). */
+constexpr std::size_t kMaxDepth = 100;
+
+/**
+ * Recursive-descent parser over a whole in-memory document. Tracks
+ * line/column and the JSON path of the enclosing container so every
+ * error names where in the document it happened.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const std::string &source)
+        : text_(text), source_(source)
+    {
+    }
+
+    JsonValue
+    parseDocument()
+    {
+        skipWhitespace();
+        JsonValue root = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing content after the JSON document");
+        return root;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        std::string where;
+        if (!path_.empty()) {
+            where = " (at ";
+            for (const auto &segment : path_)
+                where += segment;
+            where += ")";
+        }
+        mtperf_fatal(source_, ":", line_, ":", column_, ": ", msg,
+                     where);
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        return text_[pos_];
+    }
+
+    char
+    advance()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            advance();
+        }
+    }
+
+    void
+    expect(char wanted, const char *what)
+    {
+        if (atEnd())
+            fail(std::string("unexpected end of input, expected ") +
+                 what);
+        const char got = peek();
+        if (got != wanted)
+            fail(std::string("expected ") + what + ", got '" + got +
+                 "'");
+        advance();
+    }
+
+    bool
+    consumeLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal)
+            return false;
+        for (std::size_t i = 0; i < literal.size(); ++i)
+            advance();
+        return true;
+    }
+
+    JsonValue
+    parseValue(std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            fail("document nests deeper than " +
+                 std::to_string(kMaxDepth) + " levels");
+        skipWhitespace();
+        if (atEnd())
+            fail("unexpected end of input, expected a value");
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return JsonValue::makeString(parseString());
+        case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::makeBool(true);
+            fail("invalid literal (expected 'true')");
+        case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::makeBool(false);
+            fail("invalid literal (expected 'false')");
+        case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue::makeNull();
+            fail("invalid literal (expected 'null')");
+        default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    JsonValue
+    parseObject(std::size_t depth)
+    {
+        expect('{', "'{'");
+        std::vector<JsonValue::Member> members;
+        std::set<std::string> seen;
+        skipWhitespace();
+        if (!atEnd() && peek() == '}') {
+            advance();
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWhitespace();
+            if (atEnd())
+                fail("unexpected end of input inside an object");
+            if (peek() != '"')
+                fail("object keys must be strings");
+            const std::string key = parseString();
+            if (!seen.insert(key).second)
+                fail("duplicate key '" + key + "'");
+            skipWhitespace();
+            expect(':', "':' after object key");
+            path_.push_back(path_.empty() ? key : "." + key);
+            members.emplace_back(key, parseValue(depth + 1));
+            path_.pop_back();
+            skipWhitespace();
+            if (atEnd())
+                fail("unexpected end of input inside an object");
+            const char c = advance();
+            if (c == '}')
+                break;
+            if (c != ',')
+                fail(std::string("expected ',' or '}' in object, "
+                                 "got '") +
+                     c + "'");
+        }
+        return JsonValue::makeObject(std::move(members));
+    }
+
+    JsonValue
+    parseArray(std::size_t depth)
+    {
+        expect('[', "'['");
+        std::vector<JsonValue> items;
+        skipWhitespace();
+        if (!atEnd() && peek() == ']') {
+            advance();
+            return JsonValue::makeArray(std::move(items));
+        }
+        while (true) {
+            path_.push_back("[" + std::to_string(items.size()) + "]");
+            items.push_back(parseValue(depth + 1));
+            path_.pop_back();
+            skipWhitespace();
+            if (atEnd())
+                fail("unexpected end of input inside an array");
+            const char c = advance();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fail(std::string("expected ',' or ']' in array, "
+                                 "got '") +
+                     c + "'");
+        }
+        return JsonValue::makeArray(std::move(items));
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"', "'\"'");
+        std::string out;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            const char c = advance();
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                fail("unterminated escape sequence");
+            const char esc = advance();
+            switch (esc) {
+            case '"':
+                out.push_back('"');
+                break;
+            case '\\':
+                out.push_back('\\');
+                break;
+            case '/':
+                out.push_back('/');
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u':
+                appendUnicodeEscape(out);
+                break;
+            default:
+                fail(std::string("invalid escape '\\") + esc + "'");
+            }
+        }
+        return out;
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                fail("unterminated \\u escape");
+            const char c = advance();
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return value;
+    }
+
+    void
+    appendUnicodeEscape(std::string &out)
+    {
+        unsigned code = parseHex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (atEnd() || peek() != '\\')
+                fail("high surrogate without a following \\u escape");
+            advance();
+            if (atEnd() || peek() != 'u')
+                fail("high surrogate without a following \\u escape");
+            advance();
+            const unsigned low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+        }
+        // UTF-8 encode.
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        bool integral = true;
+        if (peek() == '-') {
+            negative = true;
+            advance();
+        }
+        // Integer part: "0" or [1-9][0-9]*.
+        if (atEnd() || peek() < '0' || peek() > '9')
+            fail("invalid number: missing digits");
+        if (peek() == '0') {
+            advance();
+            if (!atEnd() && peek() >= '0' && peek() <= '9')
+                fail("invalid number: leading zero");
+        } else {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (!atEnd() && peek() == '.') {
+            integral = false;
+            advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("invalid number: missing fraction digits");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            integral = false;
+            advance();
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("invalid number: missing exponent digits");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        const std::string_view token =
+            text_.substr(start, pos_ - start);
+
+        double value = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            token.data(), token.data() + token.size(), value);
+        if (ec != std::errc() || ptr != token.data() + token.size())
+            fail("invalid number '" + std::string(token) + "'");
+        if (!std::isfinite(value))
+            fail("number '" + std::string(token) +
+                 "' overflows a double");
+
+        if (integral && !negative) {
+            std::uint64_t exact = 0;
+            const auto [iptr, iec] = std::from_chars(
+                token.data(), token.data() + token.size(), exact);
+            if (iec == std::errc() &&
+                iptr == token.data() + token.size())
+                return JsonValue::makeInteger(exact);
+        }
+        return JsonValue::makeNumber(value);
+    }
+
+    std::string_view text_;
+    std::string source_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t column_ = 1;
+    std::vector<std::string> path_;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text, const std::string &source)
+{
+    Parser parser(text, source);
+    return parser.parseDocument();
+}
+
+JsonValue
+parseJsonFile(const std::string &path)
+{
+    std::ostringstream content;
+    if (path == "-") {
+        content << std::cin.rdbuf();
+        return parseJson(content.str(), "<stdin>");
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        mtperf_fatal("cannot open JSON file ", path);
+    content << in.rdbuf();
+    if (in.bad())
+        mtperf_fatal("error reading JSON file ", path);
+    return parseJson(content.str(), path);
+}
+
+std::string
+jsonNumberText(double value)
+{
+    if (!std::isfinite(value))
+        mtperf_fatal("JSON cannot represent non-finite number");
+    char buffer[64];
+    const auto [ptr, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    mtperf_assert(ec == std::errc(), "to_chars failed");
+    return std::string(buffer, ptr);
+}
+
+} // namespace mtperf::json

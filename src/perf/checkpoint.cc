@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/section_collector.h"
+#include "workload/spec_io.h"
 #include "workload/spec_suite.h"
 
 namespace mtperf::perf {
@@ -59,14 +60,25 @@ readCounters(std::istream &is, uarch::EventCounters &c)
 std::string
 runnerFingerprint(const workload::RunnerOptions &options)
 {
+    return runnerFingerprint(options, workload::specLikeSuite());
+}
+
+std::string
+runnerFingerprint(const workload::RunnerOptions &options,
+                  const std::vector<workload::WorkloadSpec> &suite)
+{
     std::ostringstream os;
     os.precision(17);
     os << "instructionsPerSection " << options.instructionsPerSection
        << "\nparamJitter " << options.paramJitter << "\nseed "
        << options.seed << "\nsectionScale " << options.sectionScale
        << "\n";
-    for (const auto &spec : workload::specLikeSuite())
-        os << "workload " << spec.name << " " << spec.phases.size()
+    // Hash the full spec document, not just name and phase count:
+    // now that workloads are editable data, a tweaked parameter must
+    // invalidate a stale checkpoint just like a changed seed does.
+    for (const auto &spec : suite)
+        os << "workload "
+           << crc32Hex(crc32(workload::workloadSpecToJson(spec)))
            << "\n";
     return crc32Hex(crc32(os.str()));
 }
@@ -219,9 +231,18 @@ Dataset
 collectSuiteDatasetCheckpointed(const workload::RunnerOptions &options,
                                 const std::string &checkpoint_path)
 {
-    const auto suite = workload::specLikeSuite();
+    return collectSuiteDatasetCheckpointed(
+        workload::specLikeSuite(), options, checkpoint_path);
+}
+
+Dataset
+collectSuiteDatasetCheckpointed(
+    const std::vector<workload::WorkloadSpec> &suite,
+    const workload::RunnerOptions &options,
+    const std::string &checkpoint_path)
+{
     SuiteCheckpoint checkpoint(checkpoint_path,
-                               runnerFingerprint(options));
+                               runnerFingerprint(options, suite));
     checkpoint.load();
     const std::size_t resumed = checkpoint.completedCount();
     if (resumed > 0) {

@@ -35,6 +35,11 @@ namespace mtperf::perf {
  */
 std::string runnerFingerprint(const workload::RunnerOptions &options);
 
+/** Same, over an explicit workload list (spec-file runs). */
+std::string runnerFingerprint(
+    const workload::RunnerOptions &options,
+    const std::vector<workload::WorkloadSpec> &suite);
+
 /** Persistent set of completed workloads for one suite run. */
 class SuiteCheckpoint
 {
@@ -86,6 +91,12 @@ class SuiteCheckpoint
  * removed once the whole suite has run and the dataset is assembled.
  */
 Dataset collectSuiteDatasetCheckpointed(
+    const workload::RunnerOptions &options,
+    const std::string &checkpoint_path);
+
+/** Same, over an explicit workload list (spec-file runs). */
+Dataset collectSuiteDatasetCheckpointed(
+    const std::vector<workload::WorkloadSpec> &suite,
     const workload::RunnerOptions &options,
     const std::string &checkpoint_path);
 

@@ -64,8 +64,14 @@ sectionsToDataset(const std::vector<workload::SectionRecord> &records)
 Dataset
 collectSuiteDataset(const workload::RunnerOptions &options)
 {
+    return collectSuiteDataset(workload::specLikeSuite(), options);
+}
+
+Dataset
+collectSuiteDataset(const std::vector<workload::WorkloadSpec> &suite,
+                    const workload::RunnerOptions &options)
+{
     obs::ScopedSpan span("sim", "sim.collect");
-    const auto suite = workload::specLikeSuite();
     informAs("sim", "simulating ", suite.size(), " workloads (",
              options.instructionsPerSection, " instructions/section, ",
              globalThreadCount(), " thread",

@@ -28,6 +28,11 @@ Dataset sectionsToDataset(
 /** Run the full SPEC-like suite and return its section dataset. */
 Dataset collectSuiteDataset(const workload::RunnerOptions &options = {});
 
+/** Run an explicit workload list (e.g. loaded spec files) instead. */
+Dataset collectSuiteDataset(
+    const std::vector<workload::WorkloadSpec> &suite,
+    const workload::RunnerOptions &options);
+
 /**
  * Like collectSuiteDataset(), but backed by a CSV cache at @p path:
  * if the file exists it is loaded; otherwise the suite runs and the

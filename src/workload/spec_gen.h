@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seeded sampler over the workload-spec space.
+ *
+ * The suite stops being a bounded artifact here: the generator mints
+ * novel-but-valid scenarios by sampling every PhaseParams field from
+ * the plausible region of its documented range (DESIGN.md §12),
+ * honouring the cross-field invariants (instruction-mix fractions
+ * summing below 1, pointer-chase plus stream fractions at most 1) by
+ * rejection. Candidates that violate an invariant are discarded and
+ * counted (`workload.gen_rejected`), never silently clamped — the
+ * accept/reject accounting is pinned by an obs invariant so
+ * fleet-scale generation is observable like every other subsystem.
+ *
+ * Determinism: the same GenOptions produce the same workloads —
+ * byte-identical spec documents — on every platform. All randomness
+ * flows from one Rng seeded by GenOptions::seed.
+ */
+
+#ifndef MTPERF_WORKLOAD_SPEC_GEN_H_
+#define MTPERF_WORKLOAD_SPEC_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/phase.h"
+
+namespace mtperf::workload {
+
+/** Knobs for a generation run. */
+struct GenOptions
+{
+    /** Master seed; same seed, same scenarios, same bytes. */
+    std::uint64_t seed = 1;
+
+    /** How many workloads to mint. */
+    std::size_t count = 1;
+
+    /** Phases per workload are drawn uniformly from [1, maxPhases]. */
+    std::size_t maxPhases = 3;
+
+    /** Per-workload total section budget range (inclusive). */
+    std::uint64_t minSections = 500;
+    std::uint64_t maxSections = 700;
+
+    /**
+     * Workload names are "<prefix>_s<seed>_<index>", so fleets
+     * generated from different seeds can share a directory without
+     * name collisions.
+     */
+    std::string namePrefix = "gen";
+};
+
+/**
+ * Generate @p options.count workloads. Every returned spec passes
+ * PhaseParams::validate() on all phases.
+ * @throw UsageError on contradictory options (e.g. an empty section
+ * range or maxPhases of 0).
+ */
+std::vector<WorkloadSpec> generateWorkloads(const GenOptions &options);
+
+} // namespace mtperf::workload
+
+#endif // MTPERF_WORKLOAD_SPEC_GEN_H_

@@ -410,7 +410,7 @@ perlLike()
 } // namespace
 
 std::vector<WorkloadSpec>
-specLikeSuite()
+compiledSuite()
 {
     return {
         mcfLike(),     cactusLike(), gccLike(),        hmmerLike(),
@@ -419,25 +419,6 @@ specLikeSuite()
         leslieLike(),  povrayLike(), perlLike(),       soplexLike(),
         astarLike(),
     };
-}
-
-WorkloadSpec
-suiteWorkload(const std::string &name)
-{
-    for (auto &spec : specLikeSuite()) {
-        if (spec.name == name)
-            return spec;
-    }
-    mtperf_fatal("no suite workload named '", name, "'");
-}
-
-std::vector<std::string>
-suiteWorkloadNames()
-{
-    std::vector<std::string> names;
-    for (const auto &spec : specLikeSuite())
-        names.push_back(spec.name);
-    return names;
 }
 
 } // namespace mtperf::workload

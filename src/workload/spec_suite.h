@@ -11,11 +11,30 @@
  * and so on. The absolute numbers are tuned, not measured; what the
  * experiments rely on is that the suite spans the same diverse mix of
  * bottleneck classes the paper's dataset did.
+ *
+ * Since the declarative workload language landed, the suite is *data*:
+ * specLikeSuite() resolves through a registry that loads the committed
+ * spec JSON files (bit-identical to the compiled-in table — a test
+ * pins this) and falls back to the compiled definitions when no spec
+ * directory is available. Resolution order:
+ *
+ *   1. the MTPERF_SPEC_DIR environment variable — a directory of
+ *      *.json workload specs, or the literal "builtin" to force the
+ *      compiled-in table;
+ *   2. the source tree's specs/ directory (path baked in at
+ *      configure time) when it exists and contains spec files;
+ *   3. the compiled-in table.
+ *
+ * Loaded suites are reordered canonically (compiled-suite order for
+ * known names, then extras sorted by name) so dataset row order — and
+ * therefore every downstream CSV byte — is independent of directory
+ * listing order.
  */
 
 #ifndef MTPERF_WORKLOAD_SPEC_SUITE_H_
 #define MTPERF_WORKLOAD_SPEC_SUITE_H_
 
+#include <string>
 #include <vector>
 
 #include "workload/phase.h"
@@ -25,11 +44,29 @@ namespace mtperf::workload {
 /** The full 17-workload suite, with per-phase section budgets. */
 std::vector<WorkloadSpec> specLikeSuite();
 
-/** Look up one suite workload by name. @throw FatalError if absent. */
+/**
+ * Look up one suite workload by name.
+ * @throw FatalError listing the available names if absent.
+ */
 WorkloadSpec suiteWorkload(const std::string &name);
 
 /** Names of all suite workloads, in suite order. */
 std::vector<std::string> suiteWorkloadNames();
+
+/**
+ * The hand-written C++ table, bypassing the spec registry. This is
+ * the fallback source and the oracle the loader is tested against.
+ */
+std::vector<WorkloadSpec> compiledSuite();
+
+/** Human description of where specLikeSuite() got its workloads. */
+std::string suiteSourceDescription();
+
+/**
+ * Forget the cached suite so the next specLikeSuite() call resolves
+ * its source again (tests flip MTPERF_SPEC_DIR around this).
+ */
+void reloadSuiteRegistry();
 
 } // namespace mtperf::workload
 

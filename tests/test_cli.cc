@@ -184,6 +184,119 @@ TEST_F(CliCommandTest, TreeOptionFlagsReachTheLearner)
     EXPECT_NE(out.str().find("model with 1 leaves"), std::string::npos);
 }
 
+TEST_F(CliCommandTest, WorkloadsListsSuiteAndSource)
+{
+    std::ostringstream out;
+    EXPECT_EQ(cmdWorkloads({}, out), 0);
+    EXPECT_NE(out.str().find("suite source:"), std::string::npos);
+    EXPECT_NE(out.str().find("mcf_like"), std::string::npos);
+    EXPECT_NE(out.str().find("sections"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, WorkloadsExportFeedsSimulateWorkloadDir)
+{
+    const std::string spec_dir = dir_ + "/exported";
+    std::ostringstream export_out;
+    ASSERT_EQ(cmdWorkloads({"--export", spec_dir}, export_out), 0);
+    EXPECT_NE(export_out.str().find("exported 17"), std::string::npos);
+
+    std::ostringstream sim_out;
+    EXPECT_EQ(cmdSimulate({"--workload-dir", spec_dir, "--out", csv_,
+                           "--scale", "0.005", "--instructions",
+                           "1000"},
+                          sim_out),
+              0);
+    EXPECT_TRUE(std::filesystem::exists(csv_));
+}
+
+TEST_F(CliCommandTest, GenworkloadIsDeterministicAndSimulatable)
+{
+    std::ostringstream a, b;
+    ASSERT_EQ(cmdGenworkload({"--seed", "3"}, a), 0);
+    ASSERT_EQ(cmdGenworkload({"--seed", "3"}, b), 0);
+    EXPECT_EQ(a.str(), b.str());
+
+    // The emitted document feeds straight back into simulate.
+    const std::string spec_path = dir_ + "/gen.json";
+    {
+        std::ofstream out(spec_path, std::ios::binary);
+        out << a.str();
+    }
+    std::ostringstream sim_out;
+    EXPECT_EQ(cmdSimulate({"--workload-file", spec_path, "--out", csv_,
+                           "--scale", "0.01", "--instructions",
+                           "1000"},
+                          sim_out),
+              0);
+    EXPECT_TRUE(std::filesystem::exists(csv_));
+
+    // Multiple specs need a directory; stdout holds one document.
+    std::ostringstream err_out;
+    EXPECT_EQ(runCommand("genworkload", {"--count", "2"}, err_out), 2);
+    EXPECT_NE(err_out.str().find("--out-dir"), std::string::npos);
+
+    std::ostringstream dir_out;
+    const std::string gen_dir = dir_ + "/fleet";
+    EXPECT_EQ(cmdGenworkload({"--seed", "4", "--count", "3",
+                              "--out-dir", gen_dir},
+                             dir_out),
+              0);
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(gen_dir))
+        files += entry.path().extension() == ".json";
+    EXPECT_EQ(files, 3u);
+}
+
+TEST_F(CliCommandTest, StackTakesNameOrSpecFileButNotBoth)
+{
+    std::ostringstream neither;
+    EXPECT_EQ(runCommand("stack", {}, neither), 2);
+    EXPECT_NE(neither.str().find("exactly one"), std::string::npos);
+
+    std::ostringstream both;
+    EXPECT_EQ(runCommand("stack",
+                         {"--workload", "mcf_like", "--workload-file",
+                          "x.json"},
+                         both),
+              2);
+
+    std::ostringstream gen_out;
+    ASSERT_EQ(cmdGenworkload({"--seed", "6"}, gen_out), 0);
+    const std::string spec_path = dir_ + "/stack.json";
+    {
+        std::ofstream out(spec_path, std::ios::binary);
+        out << gen_out.str();
+    }
+    std::ostringstream stack_out;
+    EXPECT_EQ(cmdStack({"--workload-file", spec_path,
+                        "--instructions", "20000"},
+                       stack_out),
+              0);
+    EXPECT_NE(stack_out.str().find("CPI stack of gen_s6_0"),
+              std::string::npos);
+}
+
+TEST_F(CliCommandTest, SimulateRejectsDuplicateWorkloadNames)
+{
+    const std::string spec_dir = dir_ + "/dup";
+    std::filesystem::create_directories(spec_dir);
+    std::ostringstream gen_out;
+    ASSERT_EQ(cmdGenworkload({"--seed", "8", "--out-dir", spec_dir},
+                             gen_out),
+              0);
+    // The same spec again via --workload-file duplicates the name.
+    std::ostringstream sim_out;
+    EXPECT_EQ(runCommand("simulate",
+                         {"--workload-dir", spec_dir,
+                          "--workload-file",
+                          spec_dir + "/gen_s8_0.json", "--out", csv_},
+                         sim_out),
+              2);
+    EXPECT_NE(sim_out.str().find("duplicate workload name"),
+              std::string::npos);
+}
+
 TEST_F(CliCommandTest, RunCommandDispatchesAndCatchesErrors)
 {
     std::ostringstream ok_out;

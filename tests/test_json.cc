@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the strict JSON reader.
+ */
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace mtperf::json {
+namespace {
+
+/** Parse that must fail; returns the error text for inspection. */
+std::string
+parseError(const std::string &text, const std::string &source = "<json>")
+{
+    try {
+        parseJson(text, source);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "parse of '" << text << "' did not throw";
+    return "";
+}
+
+TEST(Json, ScalarsParse)
+{
+    EXPECT_TRUE(parseJson("null").isNull());
+    EXPECT_TRUE(parseJson("true").boolean());
+    EXPECT_FALSE(parseJson("false").boolean());
+    EXPECT_DOUBLE_EQ(parseJson("-2.5e3").number(), -2500.0);
+    EXPECT_EQ(parseJson("\"hi\"").string(), "hi");
+    EXPECT_DOUBLE_EQ(parseJson("  0.125  ").number(), 0.125);
+}
+
+TEST(Json, IntegralLiteralsAreExact)
+{
+    const JsonValue v = parseJson("18446744073709551615");
+    ASSERT_TRUE(v.isUnsignedIntegral());
+    EXPECT_EQ(v.unsignedIntegral(), UINT64_MAX);
+
+    // Fractions, exponents and signs lose the integral tag even when
+    // the value happens to be whole: schema code wants literal counts.
+    EXPECT_FALSE(parseJson("12.0").isUnsignedIntegral());
+    EXPECT_FALSE(parseJson("1.2e1").isUnsignedIntegral());
+    EXPECT_FALSE(parseJson("-12").isUnsignedIntegral());
+}
+
+TEST(Json, ArraysAndObjectsKeepOrder)
+{
+    const JsonValue arr = parseJson("[1, \"two\", [3], {}]");
+    ASSERT_EQ(arr.array().size(), 4u);
+    EXPECT_EQ(arr.array()[1].string(), "two");
+
+    const JsonValue obj = parseJson("{\"b\": 1, \"a\": 2}");
+    ASSERT_EQ(obj.members().size(), 2u);
+    EXPECT_EQ(obj.members()[0].first, "b");
+    EXPECT_EQ(obj.members()[1].first, "a");
+    ASSERT_NE(obj.find("a"), nullptr);
+    EXPECT_DOUBLE_EQ(obj.find("a")->number(), 2.0);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parseJson("\"a\\\"b\\\\c\\/d\\n\\t\"").string(),
+              "a\"b\\c/d\n\t");
+    // \u escapes, including a surrogate pair, decode to UTF-8.
+    EXPECT_EQ(parseJson("\"\\u0041\"").string(), "A");
+    EXPECT_EQ(parseJson("\"\\u00e9\"").string(), "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\ud83d\\ude00\"").string(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ErrorsNameSourceLineColumnAndPath)
+{
+    const std::string e =
+        parseError("{\n  \"phases\": [\n    {\"name\": }\n  ]\n}",
+                   "w.json");
+    EXPECT_NE(e.find("w.json:3:"), std::string::npos) << e;
+    EXPECT_NE(e.find("phases[0]"), std::string::npos) << e;
+}
+
+TEST(Json, DuplicateKeysAreErrors)
+{
+    const std::string e = parseError("{\"a\": 1, \"a\": 2}");
+    EXPECT_NE(e.find("duplicate"), std::string::npos) << e;
+    EXPECT_NE(e.find("'a'"), std::string::npos) << e;
+}
+
+TEST(Json, StrictnessRejections)
+{
+    // Trailing content, comments, trailing commas, bare words,
+    // leading zeros, NaN/Inf, unterminated strings, raw newlines.
+    for (const char *bad :
+         {"1 2", "[1,]", "{,}", "// c\n1", "{\"a\":1,}", "tru",
+          "01", "+1", "1.", ".5", "nan", "Infinity", "\"abc",
+          "\"a\nb\"", "[1", "{\"a\"", "{\"a\":}", "'a'", ""}) {
+        EXPECT_THROW(parseJson(bad), FatalError) << bad;
+    }
+}
+
+TEST(Json, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    const std::string e = parseError(deep);
+    EXPECT_NE(e.find("nest"), std::string::npos) << e;
+}
+
+TEST(Json, NumberTextRoundTripsExactly)
+{
+    for (const double value :
+         {0.0, 1.0, 0.1, 1.0 / 3.0, 0.678609083442208, 1e-300,
+          12345678901234567.0, -0.00072,
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::max()}) {
+        const std::string text = jsonNumberText(value);
+        EXPECT_DOUBLE_EQ(parseJson(text).number(), value) << text;
+        // The emitted text is canonical: re-emitting the parsed value
+        // reproduces the same bytes.
+        EXPECT_EQ(jsonNumberText(parseJson(text).number()), text);
+    }
+    EXPECT_THROW(
+        jsonNumberText(std::numeric_limits<double>::infinity()),
+        FatalError);
+    EXPECT_THROW(
+        jsonNumberText(std::numeric_limits<double>::quiet_NaN()),
+        FatalError);
+}
+
+TEST(Json, ParseJsonFileReportsMissingFiles)
+{
+    try {
+        parseJsonFile("/nonexistent/spec.json");
+        FAIL() << "missing file did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("/nonexistent/spec.json"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mtperf::json

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the seeded workload-spec generator.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "workload/spec_gen.h"
+#include "workload/spec_io.h"
+
+namespace mtperf::workload {
+namespace {
+
+GenOptions
+smallRun(std::uint64_t seed, std::size_t count)
+{
+    GenOptions options;
+    options.seed = seed;
+    options.count = count;
+    return options;
+}
+
+TEST(SpecGen, SameSeedSameBytes)
+{
+    const auto a = generateWorkloads(smallRun(11, 4));
+    const auto b = generateWorkloads(smallRun(11, 4));
+    ASSERT_EQ(a.size(), 4u);
+    ASSERT_EQ(b.size(), 4u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(workloadSpecToJson(a[i]), workloadSpecToJson(b[i]));
+}
+
+TEST(SpecGen, DifferentSeedsDiffer)
+{
+    const auto a = generateWorkloads(smallRun(1, 1));
+    const auto b = generateWorkloads(smallRun(2, 1));
+    EXPECT_NE(workloadSpecToJson(a[0]), workloadSpecToJson(b[0]));
+}
+
+TEST(SpecGen, NamesEncodeSeedAndIndex)
+{
+    GenOptions options = smallRun(9, 2);
+    options.namePrefix = "fleet";
+    const auto specs = generateWorkloads(options);
+    EXPECT_EQ(specs[0].name, "fleet_s9_0");
+    EXPECT_EQ(specs[1].name, "fleet_s9_1");
+}
+
+TEST(SpecGen, EverySpecValidatesAndRoundTripsBitIdentically)
+{
+    const auto specs = generateWorkloads(smallRun(1234, 20));
+    ASSERT_EQ(specs.size(), 20u);
+    for (const auto &spec : specs) {
+        ASSERT_FALSE(spec.phases.empty());
+        for (const auto &phase : spec.phases)
+            EXPECT_NO_THROW(phase.params.validate()) << spec.name;
+        const std::string text = workloadSpecToJson(spec);
+        const WorkloadSpec back = parseWorkloadSpec(text, spec.name);
+        EXPECT_EQ(workloadSpecToJson(back), text) << spec.name;
+    }
+}
+
+TEST(SpecGen, HonoursStructuralBounds)
+{
+    GenOptions options = smallRun(77, 10);
+    options.maxPhases = 2;
+    options.minSections = 100;
+    options.maxSections = 120;
+    for (const auto &spec : generateWorkloads(options)) {
+        EXPECT_GE(spec.phases.size(), 1u);
+        EXPECT_LE(spec.phases.size(), 2u);
+        EXPECT_GE(spec.totalSections(), 100u);
+        EXPECT_LE(spec.totalSections(), 120u);
+    }
+}
+
+TEST(SpecGen, ContradictoryOptionsThrow)
+{
+    GenOptions inverted = smallRun(1, 1);
+    inverted.minSections = 200;
+    inverted.maxSections = 100;
+    EXPECT_THROW(generateWorkloads(inverted), UsageError);
+
+    GenOptions no_phases = smallRun(1, 1);
+    no_phases.maxPhases = 0;
+    EXPECT_THROW(generateWorkloads(no_phases), UsageError);
+
+    GenOptions nothing = smallRun(1, 0);
+    EXPECT_THROW(generateWorkloads(nothing), UsageError);
+}
+
+TEST(SpecGen, AcceptRejectAccountingIsObservable)
+{
+    const std::uint64_t sampled0 =
+        obs::counter("workload.gen_sampled").value();
+    const std::uint64_t accepted0 =
+        obs::counter("workload.gen_accepted").value();
+    const std::uint64_t rejected0 =
+        obs::counter("workload.gen_rejected").value();
+
+    std::size_t phases = 0;
+    for (const auto &spec : generateWorkloads(smallRun(5, 25)))
+        phases += spec.phases.size();
+
+    const std::uint64_t sampled =
+        obs::counter("workload.gen_sampled").value() - sampled0;
+    const std::uint64_t accepted =
+        obs::counter("workload.gen_accepted").value() - accepted0;
+    const std::uint64_t rejected =
+        obs::counter("workload.gen_rejected").value() - rejected0;
+
+    // One accepted candidate per emitted phase; every draw is either
+    // accepted or rejected, never lost.
+    EXPECT_EQ(accepted, phases);
+    EXPECT_GE(sampled, accepted + rejected);
+
+    // The registered invariant agrees.
+    for (const auto &violation : obs::validateInvariants())
+        EXPECT_NE(violation.name, "workload.gen_accounted")
+            << violation.message;
+}
+
+} // namespace
+} // namespace mtperf::workload

@@ -110,6 +110,21 @@ TEST(SpecSuite, UnknownNameThrows)
     EXPECT_THROW(suiteWorkload("429.mcf"), FatalError);
 }
 
+TEST(SpecSuite, UnknownNameErrorListsAvailableWorkloads)
+{
+    try {
+        suiteWorkload("429.mcf");
+        FAIL() << "unknown workload did not throw";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("429.mcf"), std::string::npos) << what;
+        EXPECT_NE(what.find("available:"), std::string::npos) << what;
+        // Every suite workload is offered, so a typo is self-serviceable.
+        for (const auto &name : suiteWorkloadNames())
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+}
+
 TEST(SpecSuite, NamesAccessorMatchesSuite)
 {
     const auto suite = specLikeSuite();
