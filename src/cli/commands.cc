@@ -31,6 +31,8 @@
 #include "perf/section_collector.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "validate/harness.h"
+#include "validate/report.h"
 #include "workload/runner.h"
 #include "workload/spec_gen.h"
 #include "workload/spec_io.h"
@@ -781,6 +783,64 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
 }
 
 int
+cmdValidate(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addSize("instructions", 200000,
+                   "instructions to simulate per oracle workload");
+    parser.addSize("seed", 42, "stream seed");
+    parser.addString("report", "",
+                     "write the JSON drift report here (crash-safe, "
+                     "CRC-sealed)");
+    parser.addString("oracle-dir", "",
+                     "directory of oracle workload specs (default: "
+                     "specs/oracle/, else the compiled-in suite)");
+    parser.addString("inject-counter-bug", "",
+                     "test hook: double the named counter after "
+                     "simulation to rehearse an accounting bug");
+    addCommonOptions(parser);
+    parser.parse(args);
+    applyCommonOptions(parser);
+
+    validate::ValidateOptions options;
+    options.instructions =
+        parser.getSize("instructions", 1, 1000000000ULL);
+    options.seed = parser.getSize("seed");
+    options.oracleDir = parser.getString("oracle-dir");
+    options.injectCounterBug = parser.getString("inject-counter-bug");
+
+    const validate::ValidateReport report =
+        validate::runValidation(options);
+
+    for (const auto &workload : report.workloads) {
+        out << workload.workload << " (" << workload.family << "): "
+            << workload.counters.size() - workload.failed() << "/"
+            << workload.counters.size() << " counters in bounds\n";
+        for (const auto &check : workload.counters) {
+            if (check.pass)
+                continue;
+            out << "  DRIFT " << check.counter << ": actual "
+                << check.actual << " outside ["
+                << formatDouble(check.lo, 1) << ", "
+                << formatDouble(check.hi, 1) << "] (expected "
+                << formatDouble(check.expected, 1)
+                << ", relative error "
+                << formatDouble(check.relativeError, 4) << ")\n";
+        }
+    }
+    out << "checked " << report.checked() << " counters across "
+        << report.workloads.size() << " oracle workloads: "
+        << report.failed() << " drifted\n";
+
+    const std::string path = parser.getString("report");
+    if (!path.empty()) {
+        validate::writeDriftReportFile(path, report);
+        out << "drift report written to " << path << "\n";
+    }
+    return report.passed() ? 0 : kExitCounterDrift;
+}
+
+int
 cmdVersion(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
@@ -814,6 +874,9 @@ usageText()
            "  stack      simulator CPI stack for one suite workload\n"
            "  serve      prediction server with batched inference,\n"
            "             hot reload (SIGHUP/RELOAD) and STATS\n"
+           "  validate   assert the simulated event counters against\n"
+           "             analytic oracle workloads (--report FILE\n"
+           "             writes a CRC-sealed JSON drift report)\n"
            "  version    build metadata (version, git sha, compiler)\n"
            "  help       show this text\n"
            "\n"
@@ -841,7 +904,8 @@ usageText()
            "\n"
            "exit codes: 0 success, 2 usage error (bad flags or\n"
            "values), 3 bad data (missing, corrupt or unparsable\n"
-           "input), 4 internal error.\n";
+           "input), 4 internal error, 5 counter drift (validate\n"
+           "found an event counter outside its oracle bounds).\n";
 }
 
 namespace {
@@ -872,6 +936,8 @@ commandFor(const std::string &subcommand)
         return cmdStack;
     if (subcommand == "serve")
         return cmdServe;
+    if (subcommand == "validate")
+        return cmdValidate;
     if (subcommand == "version")
         return cmdVersion;
     return nullptr;

@@ -18,6 +18,8 @@
  *   diff        — before/after comparison of two section CSVs
  *   stack       — simulator-attributed CPI stack for one workload
  *   serve       — prediction server: batched inference over a socket
+ *   validate    — assert the simulator's event counters against the
+ *                 analytic oracle workloads, emit a drift report
  *   version     — build metadata (version, git sha, compiler)
  *
  * Observability: every command also accepts --trace-out FILE (write a
@@ -51,7 +53,17 @@ int cmdCrossval(const std::vector<std::string> &args, std::ostream &out);
 int cmdDiff(const std::vector<std::string> &args, std::ostream &out);
 int cmdStack(const std::vector<std::string> &args, std::ostream &out);
 int cmdServe(const std::vector<std::string> &args, std::ostream &out);
+int cmdValidate(const std::vector<std::string> &args,
+                std::ostream &out);
 int cmdVersion(const std::vector<std::string> &args, std::ostream &out);
+
+/**
+ * Exit status of `mtperf validate` when one or more counters drifted
+ * out of their oracle bounds. Distinct from the 0/2/3/4 contract so
+ * CI can tell "counter accounting regressed" (5) from "could not
+ * run" (2/3/4).
+ */
+inline constexpr int kExitCounterDrift = 5;
 
 /**
  * Dispatch @p subcommand; "help" (or anything unknown) prints usage.

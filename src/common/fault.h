@@ -38,6 +38,7 @@
  *   serve.accept          the prediction server drops a fresh connection
  *   serve.read            a serving connection dies mid-frame read
  *   obs.flush             writing a --metrics-out/--trace-out dump fails
+ *   validate.report       writing the validate drift report fails
  */
 
 #ifndef MTPERF_COMMON_FAULT_H_

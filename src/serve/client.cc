@@ -1,12 +1,26 @@
 #include "serve/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "common/logging.h"
 
 namespace mtperf::serve {
+
+std::uint64_t
+defaultRetryJitterSeed()
+{
+    // Sequential draw mixed through splitmix64 so neighboring clients
+    // get well-separated Rng streams, not adjacent seeds.
+    static std::atomic<std::uint64_t> next{1};
+    std::uint64_t z = next.fetch_add(1, std::memory_order_relaxed);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
 
 Client
 Client::connect(const std::string &address, std::uint16_t default_port,
@@ -26,7 +40,10 @@ Client::connect(const std::string &address, std::uint16_t default_port)
 Frame
 Client::call(MsgType type, std::string payload)
 {
-    int delay_ms = options_.retryDelayMs;
+    // Each call gets its own deterministic jitter stream so a replay
+    // of the same client reproduces the same schedule, call by call.
+    RetryBackoff backoff(options_.retryDelayMs, kRetryDelayCapMs,
+                         jitterSeed_ + 0x9e3779b97f4a7c15ULL * ++callCount_);
     for (int attempt = 0; attempt <= options_.retryMax; ++attempt) {
         Frame request{type, nextId_++, payload};
         writeFrame(sock_.fd(), request);
@@ -38,10 +55,9 @@ Client::call(MsgType type, std::string payload)
                          " does not match request id ", request.id,
                          " (pipelining misuse?)");
         if (reply.type == kMsgRetry) {
-            // Explicit backpressure: wait, then resubmit.
+            // Explicit backpressure: wait a jittered slot, resubmit.
             std::this_thread::sleep_for(
-                std::chrono::milliseconds(delay_ms));
-            delay_ms = std::min(delay_ms * 2, 200);
+                std::chrono::milliseconds(backoff.nextDelayMs()));
             continue;
         }
         if (reply.type == kMsgError) {

@@ -21,10 +21,58 @@
 #include <span>
 #include <string>
 
+#include "common/rng.h"
 #include "common/socket.h"
 #include "serve/protocol.h"
 
 namespace mtperf::serve {
+
+/** Hard ceiling of the RETRY backoff envelope, in milliseconds. */
+inline constexpr int kRetryDelayCapMs = 200;
+
+/**
+ * Seeded, jittered exponential backoff for RETRY resubmission.
+ *
+ * The envelope doubles from the initial delay up to the cap; each
+ * wait is drawn uniformly from [envelope/2, envelope] ("equal
+ * jitter"), so clients that were shed together do not resubmit in
+ * lockstep and re-overload the server, while every wait keeps at
+ * least half the intended envelope. Deterministic per seed: the same
+ * seed replays the same schedule, which is what the tests pin.
+ */
+class RetryBackoff
+{
+  public:
+    RetryBackoff(int initial_delay_ms, int cap_ms, std::uint64_t seed)
+        : envelopeMs_(initial_delay_ms > 0 ? initial_delay_ms : 1),
+          capMs_(cap_ms > 0 ? cap_ms : 1),
+          rng_(seed)
+    {}
+
+    /** The next wait, advancing the envelope. Always >= 1. */
+    int
+    nextDelayMs()
+    {
+        const int envelope = std::min(envelopeMs_, capMs_);
+        envelopeMs_ = std::min(envelopeMs_ * 2, capMs_);
+        const int half = envelope / 2;
+        const int jitter = static_cast<int>(rng_.uniformInt(
+            static_cast<std::uint64_t>(envelope - half + 1)));
+        return std::max(1, half + jitter);
+    }
+
+  private:
+    int envelopeMs_;
+    int capMs_;
+    Rng rng_;
+};
+
+/**
+ * A process-unique backoff seed: deterministic within a process (the
+ * n-th client always gets the n-th seed) but distinct per client, so
+ * concurrent clients' retry schedules diverge.
+ */
+std::uint64_t defaultRetryJitterSeed();
 
 /** A connected prediction-service client. */
 class Client
@@ -35,6 +83,8 @@ class Client
         int timeoutMs = 10000;  //!< receive timeout (0 = none)
         int retryMax = 50;      //!< RETRY resubmissions before giving up
         int retryDelayMs = 2;   //!< initial backoff (doubles, capped)
+        /** Backoff jitter seed; 0 draws a unique per-client seed. */
+        std::uint64_t retryJitterSeed = 0;
     };
 
     /**
@@ -89,9 +139,16 @@ class Client
 
     void close() { sock_.close(); }
 
+    /** The backoff jitter seed this client resolved to (never 0). */
+    std::uint64_t retryJitterSeed() const { return jitterSeed_; }
+
   private:
     Client(net::Socket sock, Options options)
-        : sock_(std::move(sock)), options_(options)
+        : sock_(std::move(sock)),
+          options_(options),
+          jitterSeed_(options.retryJitterSeed != 0
+                          ? options.retryJitterSeed
+                          : defaultRetryJitterSeed())
     {}
 
     /** Send @p type+@p payload, wait for the matching reply. */
@@ -99,7 +156,9 @@ class Client
 
     net::Socket sock_;
     Options options_;
+    std::uint64_t jitterSeed_;
     std::uint32_t nextId_ = 1;
+    std::uint64_t callCount_ = 0;
 };
 
 } // namespace mtperf::serve

@@ -4,6 +4,45 @@
 
 namespace mtperf::uarch {
 
+const std::array<CounterField, kNumEventCounters> &
+counterFields()
+{
+    static const std::array<CounterField, kNumEventCounters> fields = {{
+        {"cycles", &EventCounters::cycles},
+        {"instRetired", &EventCounters::instRetired},
+        {"instLoads", &EventCounters::instLoads},
+        {"instStores", &EventCounters::instStores},
+        {"brRetired", &EventCounters::brRetired},
+        {"brMispredicted", &EventCounters::brMispredicted},
+        {"l1dLineMiss", &EventCounters::l1dLineMiss},
+        {"l1iMiss", &EventCounters::l1iMiss},
+        {"l2LineMiss", &EventCounters::l2LineMiss},
+        {"dtlbL0LdMiss", &EventCounters::dtlbL0LdMiss},
+        {"dtlbLdMiss", &EventCounters::dtlbLdMiss},
+        {"dtlbLdRetiredMiss", &EventCounters::dtlbLdRetiredMiss},
+        {"dtlbAnyMiss", &EventCounters::dtlbAnyMiss},
+        {"itlbMiss", &EventCounters::itlbMiss},
+        {"ldBlockSta", &EventCounters::ldBlockSta},
+        {"ldBlockStd", &EventCounters::ldBlockStd},
+        {"ldBlockOverlapStore", &EventCounters::ldBlockOverlapStore},
+        {"misalignedMemRef", &EventCounters::misalignedMemRef},
+        {"l1dSplitLoads", &EventCounters::l1dSplitLoads},
+        {"l1dSplitStores", &EventCounters::l1dSplitStores},
+        {"lcpStalls", &EventCounters::lcpStalls},
+    }};
+    return fields;
+}
+
+std::uint64_t EventCounters::*
+counterByName(const std::string &name)
+{
+    for (const CounterField &field : counterFields()) {
+        if (name == field.name)
+            return field.member;
+    }
+    return nullptr;
+}
+
 namespace {
 
 struct MetricRow

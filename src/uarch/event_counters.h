@@ -52,6 +52,26 @@ struct EventCounters
     EventCounters delta(const EventCounters &earlier) const;
 };
 
+/** Number of EventCounters fields (cycles plus the 20 events). */
+inline constexpr std::size_t kNumEventCounters = 21;
+
+/**
+ * One EventCounters field, addressable by name: the glue that lets
+ * generic code (the counter-oracle validator, drift reports) iterate
+ * the whole counter file without hand-maintained field lists.
+ */
+struct CounterField
+{
+    const char *name;                    //!< struct field name
+    std::uint64_t EventCounters::*member;
+};
+
+/** Every EventCounters field, in declaration order. */
+const std::array<CounterField, kNumEventCounters> &counterFields();
+
+/** Member pointer for @p name, or nullptr if no such counter. */
+std::uint64_t EventCounters::*counterByName(const std::string &name);
+
 /** The paper's 20 predictor metrics, in Table I order (minus CPI). */
 enum class PerfMetric : std::uint8_t {
     InstLd,

@@ -1,0 +1,188 @@
+#include "validate/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "uarch/event_counters.h"
+#include "validate/oracle.h"
+#include "workload/spec_io.h"
+#include "workload/stream_gen.h"
+
+namespace mtperf::validate {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Configure-time default: the source tree's specs/oracle/. */
+std::string
+defaultOracleDir()
+{
+#ifdef MTPERF_ORACLE_DIR
+    return MTPERF_ORACLE_DIR;
+#else
+    return "";
+#endif
+}
+
+/** Does @p dir exist and hold at least one *.json file? */
+bool
+hasSpecFiles(const std::string &dir)
+{
+    std::error_code ec;
+    if (dir.empty() || !fs::is_directory(dir, ec))
+        return false;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Resolve the oracle suite the same way the workload registry
+ * resolves the main suite: an explicit directory wins, then the
+ * MTPERF_ORACLE_DIR environment variable ("" or "builtin" forces the
+ * compiled table), then the baked-in source-tree directory when it
+ * actually holds specs, then the compiled suite.
+ */
+std::vector<workload::WorkloadSpec>
+resolveOracleSuite(const std::string &explicit_dir)
+{
+    if (!explicit_dir.empty())
+        return workload::loadWorkloadSpecDir(explicit_dir);
+    if (const char *env = std::getenv("MTPERF_ORACLE_DIR")) {
+        const std::string dir(env);
+        if (dir.empty() || dir == "builtin")
+            return builtinOracleSuite();
+        return workload::loadWorkloadSpecDir(dir);
+    }
+    const std::string dir = defaultOracleDir();
+    if (hasSpecFiles(dir))
+        return workload::loadWorkloadSpecDir(dir);
+    return builtinOracleSuite();
+}
+
+void
+registerValidateInvariant()
+{
+    static const bool once = [] {
+        obs::registerInvariant("validate.counter_accounting", [] {
+            const std::uint64_t checked =
+                obs::counter("validate.counters_checked").value();
+            const std::uint64_t passed =
+                obs::counter("validate.counters_passed").value();
+            const std::uint64_t failed =
+                obs::counter("validate.counters_failed").value();
+            if (passed + failed == checked)
+                return std::string();
+            std::ostringstream os;
+            os << "validate.counters_passed=" << passed
+               << " + validate.counters_failed=" << failed
+               << " != validate.counters_checked=" << checked;
+            return os.str();
+        });
+        return true;
+    }();
+    (void)once;
+}
+
+/** Simulate @p spec and check it; pure in (spec, options). */
+WorkloadValidation
+validateWorkload(const workload::WorkloadSpec &spec,
+                 const ValidateOptions &options)
+{
+    const OracleFamily family = classifyOracleSpec(spec);
+    const std::vector<CounterBound> bounds =
+        oracleBounds(spec, options.coreConfig, options.instructions);
+
+    uarch::Core core(options.coreConfig);
+    workload::StreamGenerator gen(spec.phases.front().params,
+                                  options.seed);
+    for (std::uint64_t i = 0; i < options.instructions; ++i)
+        core.execute(gen.next());
+
+    uarch::EventCounters measured = core.counters();
+    if (!options.injectCounterBug.empty()) {
+        std::uint64_t uarch::EventCounters::*member =
+            uarch::counterByName(options.injectCounterBug);
+        mtperf_assert(member != nullptr,
+                      "inject-counter-bug name validated earlier");
+        measured.*member *= 2;
+    }
+
+    WorkloadValidation validation;
+    validation.workload = spec.name;
+    validation.family = familyName(family);
+    const auto &fields = uarch::counterFields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        const CounterBound &bound = bounds[i];
+        mtperf_assert(bound.counter == fields[i].name,
+                      "oracle bounds out of counter order");
+        CounterCheck check;
+        check.counter = bound.counter;
+        check.expected = bound.expected;
+        check.lo = bound.lo;
+        check.hi = bound.hi;
+        check.actual = measured.*(fields[i].member);
+        const double actual = static_cast<double>(check.actual);
+        check.relativeError =
+            (actual - bound.expected) /
+            std::max(std::abs(bound.expected), 1.0);
+        check.pass = actual >= bound.lo && actual <= bound.hi;
+        validation.counters.push_back(std::move(check));
+    }
+    return validation;
+}
+
+} // namespace
+
+ValidateReport
+runValidation(const ValidateOptions &options)
+{
+    registerValidateInvariant();
+    if (!options.injectCounterBug.empty() &&
+        uarch::counterByName(options.injectCounterBug) == nullptr) {
+        throw UsageError("--inject-counter-bug: no counter named '" +
+                         options.injectCounterBug + "'");
+    }
+    const std::vector<workload::WorkloadSpec> suite =
+        resolveOracleSuite(options.oracleDir);
+    if (suite.empty())
+        mtperf_fatal("oracle suite is empty");
+    // Classify (and thereby reject unanalyzable specs) up front so a
+    // bad directory fails before any simulation runs.
+    for (const workload::WorkloadSpec &spec : suite)
+        (void)classifyOracleSpec(spec);
+
+    ValidateReport report;
+    report.instructions = options.instructions;
+    report.seed = options.seed;
+
+    obs::ScopedSpan span("validate", "validate.run");
+    report.workloads =
+        parallelMap(globalPool(), suite.size(), [&](std::size_t i) {
+            return validateWorkload(suite[i], options);
+        });
+
+    std::uint64_t passed = 0;
+    std::uint64_t failed = 0;
+    for (const WorkloadValidation &w : report.workloads)
+        for (const CounterCheck &c : w.counters)
+            (c.pass ? passed : failed) += 1;
+    obs::counter("validate.counters_checked").add(passed + failed);
+    obs::counter("validate.counters_passed").add(passed);
+    obs::counter("validate.counters_failed").add(failed);
+    return report;
+}
+
+} // namespace mtperf::validate

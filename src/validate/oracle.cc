@@ -1,0 +1,664 @@
+#include "validate/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "uarch/types.h"
+
+namespace mtperf::validate {
+
+using uarch::kLineBytes;
+using uarch::kPageBytes;
+using workload::PhaseParams;
+using workload::PhaseSpec;
+using workload::WorkloadSpec;
+
+namespace {
+
+/** Instructions per code line / page (4-byte sequential encoding). */
+constexpr std::uint64_t kOpsPerCodeLine = kLineBytes / 4;
+constexpr std::uint64_t kOpsPerCodePage = kPageBytes / 4;
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** [n,n] — a structurally exact count. */
+CounterBound
+exact(const char *counter, double n)
+{
+    return {counter, n, n, n};
+}
+
+/**
+ * Binomial(n, p) with a 5-sigma noise margin plus a small absolute
+ * floor. Degenerate p (0 or 1) gives an exact bound: the generator
+ * draws each event independently, so p==0 can never fire and p==1
+ * always does.
+ */
+CounterBound
+binomial(const char *counter, std::uint64_t n, double p)
+{
+    const double nd = static_cast<double>(n);
+    if (p <= 0.0)
+        return exact(counter, 0.0);
+    if (p >= 1.0)
+        return exact(counter, nd);
+    const double expected = nd * p;
+    const double slack = 5.0 * std::sqrt(nd * p * (1.0 - p)) + 16.0;
+    return {counter, expected, std::max(0.0, expected - slack),
+            std::min(nd, expected + slack)};
+}
+
+/**
+ * A capacity-bound miss counter: each of @p n uniform-random accesses
+ * over a space of @p population units can hit only among at most
+ * @p resident resident units, so misses >= n * (1 - resident /
+ * population) minus sampling noise; the structural ceiling is n.
+ */
+CounterBound
+capacityMisses(const char *counter, std::uint64_t n,
+               std::uint64_t resident, std::uint64_t population)
+{
+    const double nd = static_cast<double>(n);
+    const double p_hit = static_cast<double>(resident) /
+                         static_cast<double>(population);
+    const double expected = nd * (1.0 - p_hit);
+    const double slack = 5.0 * std::sqrt(nd * p_hit) + 64.0;
+    return {counter, expected, std::max(0.0, expected - slack), nd};
+}
+
+/**
+ * I-side counts for a strictly sequential PC (no taken branches): one
+ * cache/TLB access per unit transition, so the first pass touches
+ * min(units, ceil(n / opsPerUnit)) distinct units, each missing once.
+ * Within @p capacity the footprint maps at most @c associativity
+ * units per set, so nothing is ever evicted and the count is exact;
+ * beyond it LRU evicts sequentially reused units, so anywhere up to
+ * every transition can miss.
+ */
+CounterBound
+sequentialCodeMisses(const char *counter, std::uint64_t n,
+                     std::uint64_t units, std::uint64_t opsPerUnit,
+                     std::uint64_t capacity)
+{
+    const std::uint64_t touches = ceilDiv(n, opsPerUnit);
+    const double first_pass =
+        static_cast<double>(std::min(units, touches));
+    if (units <= capacity)
+        return {counter, first_pass, first_pass, first_pass};
+    return {counter, first_pass, first_pass,
+            static_cast<double>(touches)};
+}
+
+/**
+ * I-side counts for a jumping PC (branch families): only first
+ * touches can miss while the footprint fits, but the lower bound is
+ * just the entry line/page because jump targets are stochastic.
+ */
+CounterBound
+jumpingCodeMisses(const char *counter, std::uint64_t n,
+                  std::uint64_t units, std::uint64_t capacity)
+{
+    const double nd = static_cast<double>(n);
+    const double hi = units <= capacity
+                          ? static_cast<double>(std::min<std::uint64_t>(
+                                units, n))
+                          : nd;
+    return {counter, std::min(hi, static_cast<double>(units)),
+            n > 0 ? 1.0 : 0.0, hi};
+}
+
+/** Code footprint geometry of @p params (StreamGenerator's view). */
+struct CodeGeometry
+{
+    std::uint64_t lines;
+    std::uint64_t pages;
+};
+
+CodeGeometry
+codeGeometry(const PhaseParams &params)
+{
+    const std::uint64_t lines = std::max<std::uint64_t>(
+        1, params.codeFootprintBytes / kLineBytes);
+    // The PC wraps at codeBase + lines*kLineBytes, so the page count
+    // follows the line count, not the raw byte footprint.
+    return {lines, std::max<std::uint64_t>(
+                       1, ceilDiv(lines * kLineBytes, kPageBytes))};
+}
+
+const PhaseParams &
+singlePhase(const WorkloadSpec &spec)
+{
+    if (spec.phases.size() != 1) {
+        throw UsageError("workload '" + spec.name +
+                         "' is not an oracle workload: oracle specs "
+                         "have exactly one phase, got " +
+                         std::to_string(spec.phases.size()));
+    }
+    return spec.phases.front().params;
+}
+
+[[noreturn]] void
+notOracle(const WorkloadSpec &spec, const std::string &why)
+{
+    throw UsageError("workload '" + spec.name +
+                     "' is not an oracle workload: " + why);
+}
+
+void
+requireZero(const WorkloadSpec &spec, double value, const char *field)
+{
+    if (value != 0.0) {
+        notOracle(spec, std::string(field) + " must be 0, got " +
+                            json::jsonNumberText(value));
+    }
+}
+
+} // namespace
+
+const char *
+familyName(OracleFamily family)
+{
+    switch (family) {
+      case OracleFamily::Chase: return "chase";
+      case OracleFamily::Lcp: return "lcp";
+      case OracleFamily::BranchLadder: return "branch_ladder";
+      case OracleFamily::BranchNoise: return "branch_noise";
+      case OracleFamily::Stride: return "stride";
+    }
+    return "unknown";
+}
+
+OracleFamily
+classifyOracleSpec(const WorkloadSpec &spec)
+{
+    const PhaseParams &p = singlePhase(spec);
+    requireZero(spec, p.storeFrac, "storeFrac");
+    requireZero(spec, p.fpAddFrac, "fpAddFrac");
+    requireZero(spec, p.fpMulFrac, "fpMulFrac");
+    requireZero(spec, p.fpDivFrac, "fpDivFrac");
+    requireZero(spec, p.intMulFrac, "intMulFrac");
+    requireZero(spec, p.misalignedFrac, "misalignedFrac");
+    requireZero(spec, p.storeForwardFrac, "storeForwardFrac");
+
+    if (p.loadFrac == 1.0 && p.branchFrac == 0.0) {
+        if (p.pointerChaseFrac == 1.0) {
+            requireZero(spec, p.chasePageLocalFrac,
+                        "chasePageLocalFrac");
+            return OracleFamily::Chase;
+        }
+        if (p.streamFrac == 1.0) {
+            requireZero(spec, p.lcpFrac, "lcpFrac");
+            if (p.strideBytes != kLineBytes) {
+                notOracle(spec, "stride workloads need strideBytes == " +
+                                    std::to_string(kLineBytes));
+            }
+            return OracleFamily::Stride;
+        }
+        notOracle(spec, "pure-load specs must set pointerChaseFrac "
+                        "or streamFrac to 1");
+    }
+    if (p.branchFrac == 1.0 && p.loadFrac == 0.0) {
+        requireZero(spec, p.lcpFrac, "lcpFrac");
+        if (p.branchEntropy == 0.0 && p.takenBias == 1.0)
+            return OracleFamily::BranchLadder;
+        if (p.branchEntropy == 1.0)
+            return OracleFamily::BranchNoise;
+        notOracle(spec, "branch specs must be all-taken "
+                        "(branchEntropy 0, takenBias 1) or pure noise "
+                        "(branchEntropy 1)");
+    }
+    if (p.loadFrac == 0.0 && p.branchFrac == 0.0) {
+        if (p.lcpFrac == 1.0)
+            return OracleFamily::Lcp;
+        notOracle(spec, "pure-ALU specs must set lcpFrac to 1");
+    }
+    notOracle(spec, "instruction mix is not one of the analyzable "
+                    "shapes (all-load, all-branch or all-ALU)");
+}
+
+namespace {
+
+/** Shared zero bounds for the counters a family can never touch. */
+void
+zeroAll(std::vector<CounterBound> &bounds,
+        std::initializer_list<const char *> names)
+{
+    for (const char *name : names)
+        bounds.push_back(exact(name, 0.0));
+}
+
+std::vector<CounterBound>
+chaseBounds(const WorkloadSpec &spec, const PhaseParams &p,
+            const uarch::CoreConfig &config, std::uint64_t n)
+{
+    const std::uint64_t data_lines =
+        std::max<std::uint64_t>(1, p.workingSetBytes / kLineBytes);
+    const std::uint64_t data_pages = std::max<std::uint64_t>(
+        1, data_lines * kLineBytes / kPageBytes);
+    const std::uint64_t l1d_lines =
+        config.l1d.sizeBytes / config.l1d.lineBytes;
+    const std::uint64_t l2_lines =
+        config.l2.sizeBytes / config.l2.lineBytes;
+    const std::uint64_t tlb_reach =
+        config.dtlbL0.entries + config.dtlbMain.entries;
+    // The capacity-ratio argument needs the working set to dwarf every
+    // structure the walk can hit in; 16x keeps the residual hit rate
+    // under ~7% so the lower bounds stay tight.
+    if (data_lines < 16 * (l1d_lines + l2_lines)) {
+        notOracle(spec, "chase working set must be at least 16x the "
+                        "combined L1D+L2 capacity");
+    }
+    if (data_pages < 16 * tlb_reach) {
+        notOracle(spec, "chase working set must span at least 16x the "
+                        "combined DTLB reach");
+    }
+
+    const CodeGeometry code = codeGeometry(p);
+    const std::uint64_t l1i_lines =
+        config.l1i.sizeBytes / config.l1i.lineBytes;
+
+    std::vector<CounterBound> bounds;
+    const double nd = static_cast<double>(n);
+    // Fully serial dependent loads: one memory latency plus one page
+    // walk per op, give or take the few percent of L2/TLB hits.
+    bounds.push_back(
+        {"cycles",
+         nd * static_cast<double>(config.memLatency +
+                                  config.pageWalkLatency),
+         0.9 * nd * static_cast<double>(config.memLatency),
+         1.05 * nd *
+                 static_cast<double>(config.memLatency +
+                                     config.pageWalkLatency +
+                                     config.dtlbL0MissLatency +
+                                     config.l1dHitLatency + 8) +
+             10000.0});
+    bounds.push_back(exact("instRetired", nd));
+    bounds.push_back(exact("instLoads", nd));
+    zeroAll(bounds, {"instStores", "brRetired", "brMispredicted"});
+    bounds.push_back(
+        capacityMisses("l1dLineMiss", n, l1d_lines, data_lines));
+    bounds.push_back(sequentialCodeMisses("l1iMiss", n, code.lines,
+                                          kOpsPerCodeLine, l1i_lines));
+    bounds.push_back(capacityMisses("l2LineMiss", n,
+                                    l1d_lines + l2_lines, data_lines));
+    bounds.push_back(capacityMisses("dtlbL0LdMiss", n,
+                                    config.dtlbL0.entries, data_pages));
+    bounds.push_back(
+        capacityMisses("dtlbLdMiss", n, tlb_reach, data_pages));
+    bounds.push_back(
+        capacityMisses("dtlbLdRetiredMiss", n, tlb_reach, data_pages));
+    bounds.push_back(
+        capacityMisses("dtlbAnyMiss", n, tlb_reach, data_pages));
+    bounds.push_back(sequentialCodeMisses("itlbMiss", n, code.pages,
+                                          kOpsPerCodePage,
+                                          config.itlb.entries));
+    zeroAll(bounds, {"ldBlockSta", "ldBlockStd", "ldBlockOverlapStore",
+                     "misalignedMemRef", "l1dSplitLoads",
+                     "l1dSplitStores"});
+    bounds.push_back(binomial("lcpStalls", n, p.lcpFrac));
+    return bounds;
+}
+
+std::vector<CounterBound>
+lcpBounds(const PhaseParams &p, const uarch::CoreConfig &config,
+          std::uint64_t n)
+{
+    const CodeGeometry code = codeGeometry(p);
+    const std::uint64_t l1i_lines =
+        config.l1i.sizeBytes / config.l1i.lineBytes;
+    const CounterBound l1i = sequentialCodeMisses(
+        "l1iMiss", n, code.lines, kOpsPerCodeLine, l1i_lines);
+    const CounterBound itlb = sequentialCodeMisses(
+        "itlbMiss", n, code.pages, kOpsPerCodePage,
+        config.itlb.entries);
+
+    std::vector<CounterBound> bounds;
+    const double nd = static_cast<double>(n);
+    const double bubble =
+        static_cast<double>(config.decoder.lcpStallCycles);
+    // Every op carries the 6-cycle pre-decode bubble, which alone
+    // exceeds the machine width, so the fetch unit is the only
+    // throughput limit: cycles == bubble*N plus the I-side refills.
+    const double refill_hi =
+        l1i.hi * static_cast<double>(config.memLatency) +
+        itlb.hi * static_cast<double>(config.pageWalkLatency);
+    bounds.push_back({"cycles", bubble * nd + refill_hi / 2.0,
+                      bubble * nd, bubble * nd + refill_hi + 1024.0});
+    bounds.push_back(exact("instRetired", nd));
+    zeroAll(bounds, {"instLoads", "instStores", "brRetired",
+                     "brMispredicted", "l1dLineMiss"});
+    bounds.push_back(l1i);
+    zeroAll(bounds, {"l2LineMiss", "dtlbL0LdMiss", "dtlbLdMiss",
+                     "dtlbLdRetiredMiss", "dtlbAnyMiss"});
+    bounds.push_back(itlb);
+    zeroAll(bounds, {"ldBlockSta", "ldBlockStd", "ldBlockOverlapStore",
+                     "misalignedMemRef", "l1dSplitLoads",
+                     "l1dSplitStores"});
+    bounds.push_back(exact("lcpStalls", nd));
+    return bounds;
+}
+
+std::vector<CounterBound>
+branchBounds(const PhaseParams &p, const uarch::CoreConfig &config,
+             std::uint64_t n, bool noise)
+{
+    const CodeGeometry code = codeGeometry(p);
+    const std::uint64_t l1i_lines =
+        config.l1i.sizeBytes / config.l1i.lineBytes;
+    const CounterBound l1i =
+        jumpingCodeMisses("l1iMiss", n, code.lines, l1i_lines);
+    const CounterBound itlb =
+        jumpingCodeMisses("itlbMiss", n, code.pages,
+                          config.itlb.entries);
+
+    // All-taken ladder: every 2-bit table initializes weakly-taken and
+    // only ever sees taken outcomes, so no entry can cross into the
+    // not-taken half — exactly zero mispredicts. Noise: the outcome is
+    // an independent fair coin drawn after the prediction, so each
+    // branch mispredicts with probability exactly 1/2 no matter what
+    // the predictor learned: Binomial(N, 1/2).
+    const CounterBound mispredicts =
+        noise ? binomial("brMispredicted", n, 0.5)
+              : exact("brMispredicted", 0.0);
+
+    std::vector<CounterBound> bounds;
+    const double nd = static_cast<double>(n);
+    const double width = static_cast<double>(config.width);
+    const double penalty = static_cast<double>(config.mispredictPenalty);
+    const double refill_hi =
+        l1i.hi * static_cast<double>(config.memLatency) +
+        itlb.hi * static_cast<double>(config.pageWalkLatency);
+    // Correct-path branches flow at the machine width; every
+    // mispredict serializes a re-steer of mispredictPenalty cycles.
+    const double cycles_lo =
+        std::max(std::ceil(nd / width),
+                 std::max(0.0, mispredicts.lo - 1.0) * penalty);
+    const double cycles_hi = nd / width +
+                             mispredicts.hi * (penalty + 4.0) +
+                             refill_hi + 4096.0;
+    bounds.push_back({"cycles",
+                      nd / width + mispredicts.expected * (penalty + 2.0),
+                      cycles_lo, cycles_hi});
+    bounds.push_back(exact("instRetired", nd));
+    zeroAll(bounds, {"instLoads", "instStores"});
+    bounds.push_back(exact("brRetired", nd));
+    bounds.push_back(mispredicts);
+    bounds.push_back(exact("l1dLineMiss", 0.0));
+    bounds.push_back(l1i);
+    zeroAll(bounds, {"l2LineMiss", "dtlbL0LdMiss", "dtlbLdMiss",
+                     "dtlbLdRetiredMiss", "dtlbAnyMiss"});
+    bounds.push_back(itlb);
+    zeroAll(bounds, {"ldBlockSta", "ldBlockStd", "ldBlockOverlapStore",
+                     "misalignedMemRef", "l1dSplitLoads",
+                     "l1dSplitStores", "lcpStalls"});
+    return bounds;
+}
+
+std::vector<CounterBound>
+strideBounds(const WorkloadSpec &spec, const PhaseParams &p,
+             const uarch::CoreConfig &config, std::uint64_t n)
+{
+    const std::uint64_t data_lines =
+        std::max<std::uint64_t>(1, p.workingSetBytes / kLineBytes);
+    const std::uint64_t l2_lines =
+        config.l2.sizeBytes / config.l2.lineBytes;
+    // Wrapped-around lines must be long evicted when revisited, or
+    // the every-line-misses / every-(d+1)-th-line-L2-misses argument
+    // breaks down.
+    if (data_lines < 16 * l2_lines) {
+        notOracle(spec, "stride working set must be at least 16x the "
+                        "L2 capacity");
+    }
+    const std::uint64_t wraps = n * kLineBytes / p.workingSetBytes;
+
+    const CodeGeometry code = codeGeometry(p);
+    const std::uint64_t l1i_lines =
+        config.l1i.sizeBytes / config.l1i.lineBytes;
+
+    std::vector<CounterBound> bounds;
+    const double nd = static_cast<double>(n);
+    const double wrap_slack = static_cast<double>(wraps) + 2.0;
+
+    // Next-line prefetch of degree d turns the L2 demand-miss pattern
+    // into exactly one miss per d+1 sequential lines.
+    const std::uint64_t degree =
+        config.l2.nextLinePrefetch ? config.l2.prefetchDegree + 1 : 1;
+    const double l2_expected = nd / static_cast<double>(degree);
+    // One DTLB fill per page; both levels miss together because a
+    // page is only ever revisited a full working-set lap later.
+    const std::uint64_t pages_per_line_run = kPageBytes / kLineBytes;
+    const double dtlb_expected =
+        nd / static_cast<double>(pages_per_line_run);
+    const auto per_page = [&](const char *counter) {
+        return CounterBound{counter, dtlb_expected,
+                            std::max(0.0, dtlb_expected - 2.0),
+                            dtlb_expected + wrap_slack};
+    };
+
+    // The critical path runs through the reorder window recurrence
+    // commit[i] >= commit[i - robSize] + latency[i] (an op cannot
+    // dispatch until the op robSize before it commits) together with
+    // in-order commit monotonicity. A path may therefore hop back
+    // robSize ops and collect that op's full latency, or one op and
+    // collect (almost) nothing — and the adversarial path chains
+    // L2-miss loads. Misses recur every `degree` ops, so the cheapest
+    // miss-to-miss hop spans k ops, where k is the smallest multiple
+    // of `degree` that is >= robSize, and the steady-state rate is
+    // memLatency / k cycles per op. The lower bound is airtight; the
+    // upper bound adds the TLB-walk detours the path can also collect
+    // (one per lcm(degree, opsPerPage) ops), commit-width drag on the
+    // intermediate single-op hops, and a 10% + constant margin for
+    // cold-start transients (the first pass misses L2 on every line
+    // until the prefetcher warms).
+    const double width = static_cast<double>(config.width);
+    const double rob = static_cast<double>(config.robSize);
+    const double k =
+        std::ceil(rob / static_cast<double>(degree)) *
+        static_cast<double>(degree);
+    const double miss_rate = static_cast<double>(config.memLatency) / k;
+    const std::uint64_t walk_period =
+        std::lcm<std::uint64_t>(degree, pages_per_line_run);
+    const double walk_rate =
+        static_cast<double>(config.pageWalkLatency) /
+        static_cast<double>(walk_period);
+    const double width_rate = (k - static_cast<double>(degree)) /
+                              (k * width);
+    const double cycles_lo = std::max(
+        std::ceil(nd / width),
+        static_cast<double>(config.memLatency) *
+            std::max(0.0, std::floor(nd / k) - 1.0));
+    bounds.push_back(
+        {"cycles", nd * (miss_rate + walk_rate), cycles_lo,
+         1.10 * nd * (miss_rate + walk_rate + width_rate) + 8192.0});
+    bounds.push_back(exact("instRetired", nd));
+    bounds.push_back(exact("instLoads", nd));
+    zeroAll(bounds, {"instStores", "brRetired", "brMispredicted"});
+    // Stride == line size with no L1D prefetch: every load opens a
+    // fresh line, so each one is an L1D miss.
+    bounds.push_back(exact("l1dLineMiss", nd));
+    bounds.push_back(sequentialCodeMisses("l1iMiss", n, code.lines,
+                                          kOpsPerCodeLine, l1i_lines));
+    bounds.push_back({"l2LineMiss", l2_expected,
+                      std::max(0.0, std::floor(l2_expected) - 1.0),
+                      std::ceil(l2_expected) + wrap_slack});
+    bounds.push_back(per_page("dtlbL0LdMiss"));
+    bounds.push_back(per_page("dtlbLdMiss"));
+    bounds.push_back(per_page("dtlbLdRetiredMiss"));
+    bounds.push_back(per_page("dtlbAnyMiss"));
+    bounds.push_back(sequentialCodeMisses("itlbMiss", n, code.pages,
+                                          kOpsPerCodePage,
+                                          config.itlb.entries));
+    zeroAll(bounds, {"ldBlockSta", "ldBlockStd", "ldBlockOverlapStore",
+                     "misalignedMemRef", "l1dSplitLoads",
+                     "l1dSplitStores", "lcpStalls"});
+    return bounds;
+}
+
+/** Reorder @p bounds into counterFields() order and check coverage. */
+std::vector<CounterBound>
+inCounterOrder(std::vector<CounterBound> bounds)
+{
+    std::vector<CounterBound> ordered;
+    ordered.reserve(uarch::kNumEventCounters);
+    for (const uarch::CounterField &field : uarch::counterFields()) {
+        const auto it = std::find_if(
+            bounds.begin(), bounds.end(),
+            [&](const CounterBound &b) {
+                return b.counter == field.name;
+            });
+        mtperf_assert(it != bounds.end(),
+                      "oracle family missing a counter bound");
+        ordered.push_back(*it);
+    }
+    mtperf_assert(ordered.size() == bounds.size(),
+                  "oracle family has duplicate counter bounds");
+    return ordered;
+}
+
+} // namespace
+
+std::vector<CounterBound>
+oracleBounds(const WorkloadSpec &spec, const uarch::CoreConfig &config,
+             std::uint64_t instructions)
+{
+    const OracleFamily family = classifyOracleSpec(spec);
+    const PhaseParams &p = singlePhase(spec);
+    std::vector<CounterBound> bounds;
+    switch (family) {
+      case OracleFamily::Chase:
+        bounds = chaseBounds(spec, p, config, instructions);
+        break;
+      case OracleFamily::Lcp:
+        bounds = lcpBounds(p, config, instructions);
+        break;
+      case OracleFamily::BranchLadder:
+        bounds = branchBounds(p, config, instructions, false);
+        break;
+      case OracleFamily::BranchNoise:
+        bounds = branchBounds(p, config, instructions, true);
+        break;
+      case OracleFamily::Stride:
+        bounds = strideBounds(spec, p, config, instructions);
+        break;
+    }
+    return inCounterOrder(std::move(bounds));
+}
+
+workload::PhaseParams
+oracleChasePhase(workload::PhaseParams params)
+{
+    params.loadFrac = 1.0;
+    params.storeFrac = 0.0;
+    params.branchFrac = 0.0;
+    params.fpAddFrac = 0.0;
+    params.fpMulFrac = 0.0;
+    params.fpDivFrac = 0.0;
+    params.intMulFrac = 0.0;
+    params.pointerChaseFrac = 1.0;
+    params.chasePageLocalFrac = 0.0;
+    params.streamFrac = 0.0;
+    params.misalignedFrac = 0.0;
+    params.storeForwardFrac = 0.0;
+    params.storeAddrSlowFrac = 0.0;
+    // Keep the generated working set's variety but push it into the
+    // region where the capacity-ratio bounds are sound (and keep it
+    // page-aligned so line and page counts stay exact).
+    constexpr std::uint64_t kFloor = 128ULL * 1024 * 1024;
+    params.workingSetBytes =
+        kFloor + params.workingSetBytes % kFloor / kPageBytes *
+                     kPageBytes;
+    return params;
+}
+
+namespace {
+
+PhaseParams
+oracleBasePhase(const char *name)
+{
+    PhaseParams p;
+    p.name = name;
+    p.loadFrac = 0.0;
+    p.storeFrac = 0.0;
+    p.branchFrac = 0.0;
+    p.fpAddFrac = 0.0;
+    p.fpMulFrac = 0.0;
+    p.fpDivFrac = 0.0;
+    p.intMulFrac = 0.0;
+    p.workingSetBytes = 64 * 1024;
+    p.hotFrac = 0.0;
+    p.hotBytes = 16 * 1024;
+    p.pointerChaseFrac = 0.0;
+    p.chasePageLocalFrac = 0.0;
+    p.streamFrac = 0.0;
+    p.strideBytes = kLineBytes;
+    p.zipfS = 0.9;
+    p.branchEntropy = 0.0;
+    p.takenBias = 0.5;
+    p.codeFootprintBytes = 16 * 1024;
+    p.codeZipfS = 1.1;
+    p.farJumpFrac = 0.0;
+    p.depGeoP = 0.25;
+    p.depNoneFrac = 1.0;
+    p.lcpFrac = 0.0;
+    p.misalignedFrac = 0.0;
+    p.storeForwardFrac = 0.0;
+    p.storeForwardPartialFrac = 0.0;
+    p.storeAddrSlowFrac = 0.0;
+    return p;
+}
+
+WorkloadSpec
+oneOracle(const char *name, PhaseParams params)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.phases.push_back(PhaseSpec{std::move(params), 1});
+    return spec;
+}
+
+} // namespace
+
+std::vector<WorkloadSpec>
+builtinOracleSuite()
+{
+    std::vector<WorkloadSpec> suite;
+
+    PhaseParams chase = oracleBasePhase("chase");
+    chase.loadFrac = 1.0;
+    chase.pointerChaseFrac = 1.0;
+    chase.workingSetBytes = 256ULL * 1024 * 1024;
+    suite.push_back(oneOracle("oracle_chase", chase));
+
+    PhaseParams lcp = oracleBasePhase("lcp");
+    lcp.lcpFrac = 1.0;
+    suite.push_back(oneOracle("oracle_lcp", lcp));
+
+    PhaseParams ladder = oracleBasePhase("ladder");
+    ladder.branchFrac = 1.0;
+    ladder.takenBias = 1.0;
+    ladder.farJumpFrac = 0.15;
+    suite.push_back(oneOracle("oracle_branch_ladder", ladder));
+
+    PhaseParams noise = oracleBasePhase("noise");
+    noise.branchFrac = 1.0;
+    noise.branchEntropy = 1.0;
+    noise.farJumpFrac = 0.15;
+    suite.push_back(oneOracle("oracle_branch_noise", noise));
+
+    PhaseParams stride = oracleBasePhase("stride");
+    stride.loadFrac = 1.0;
+    stride.streamFrac = 1.0;
+    stride.workingSetBytes = 64ULL * 1024 * 1024;
+    suite.push_back(oneOracle("oracle_stride", stride));
+
+    return suite;
+}
+
+} // namespace mtperf::validate

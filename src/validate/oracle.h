@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Analytic counter oracles for directed microbenchmark workloads.
+ *
+ * The paper's method trains on the 20 Table-I event counters, so a
+ * silent accounting bug poisons every downstream model. Following the
+ * CounterPoint / event-validation approach (PAPERS.md), this module
+ * derives *expected* counts — with explicit ±tolerance bounds — for a
+ * small family of degenerate workloads whose behaviour is analyzable
+ * in closed form from the PhaseParams and the machine geometry alone:
+ *
+ *   chase          every op a pointer-chase load over a working set
+ *                  far larger than every cache and TLB, so the miss
+ *                  ratios collapse to capacity ratios;
+ *   lcp            every op an ALU op with a length-changing prefix,
+ *                  so lcpStalls == instRetired exactly;
+ *   branch_ladder  every op an always-taken branch, so brRetired == N
+ *                  and (tables initialize weakly-taken) exactly zero
+ *                  mispredicts;
+ *   branch_noise   every op a coin-flip branch, so brMispredicted is
+ *                  Binomial(N, 1/2) regardless of predictor quality;
+ *   stride         every op a sequential 1-line-stride load, so the
+ *                  L1D misses every line, the L2 (next-line prefetch,
+ *                  degree d) demand-misses exactly every d+1-th line,
+ *                  and the DTLB misses once per page.
+ *
+ * Each bound states which geometry it read (DESIGN.md §13 has the
+ * full derivations). Bounds are sound for any instruction count and
+ * any thread count — a counter outside its bound is an accounting
+ * regression, not noise.
+ */
+
+#ifndef MTPERF_VALIDATE_ORACLE_H_
+#define MTPERF_VALIDATE_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/core.h"
+#include "workload/phase.h"
+
+namespace mtperf::validate {
+
+/** The analyzable workload shapes. */
+enum class OracleFamily {
+    Chase,
+    Lcp,
+    BranchLadder,
+    BranchNoise,
+    Stride,
+};
+
+/** Stable name of a family ("chase", "lcp", ...). */
+const char *familyName(OracleFamily family);
+
+/** Closed-form expectation for one EventCounters field. */
+struct CounterBound
+{
+    std::string counter; //!< EventCounters field name
+    double expected = 0; //!< analytic point estimate
+    double lo = 0;       //!< inclusive lower bound
+    double hi = 0;       //!< inclusive upper bound
+};
+
+/**
+ * Classify @p spec as one of the oracle families.
+ * @throw UsageError naming the offending field when the spec is not
+ * degenerate enough to analyze (oracle bounds would be unsound).
+ */
+OracleFamily classifyOracleSpec(const workload::WorkloadSpec &spec);
+
+/**
+ * Expected-count bounds for all kNumEventCounters fields of a run of
+ * @p instructions ops of @p spec on a machine shaped by @p config.
+ * @throw UsageError when the spec is not an oracle workload or its
+ * geometry violates a family precondition (e.g. a chase working set
+ * small enough that capacity miss ratios stop being tight).
+ */
+std::vector<CounterBound> oracleBounds(const workload::WorkloadSpec &spec,
+                                       const uarch::CoreConfig &config,
+                                       std::uint64_t instructions);
+
+/**
+ * The built-in oracle suite: one committed-spec-equivalent workload
+ * per family, in family declaration order. specs/oracle/ holds the
+ * same five documents; a test pins the two byte-identical.
+ */
+std::vector<workload::WorkloadSpec> builtinOracleSuite();
+
+/**
+ * Rewrite @p params into a valid chase-family phase, preserving the
+ * fields the chase bounds do not constrain (lcpFrac, ILP shape, code
+ * footprint, zipf exponents). Used by the property tests to turn
+ * generator-minted phases into oracle-checkable ones.
+ */
+workload::PhaseParams oracleChasePhase(workload::PhaseParams params);
+
+} // namespace mtperf::validate
+
+#endif // MTPERF_VALIDATE_ORACLE_H_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Structured drift reports for counter validation.
+ *
+ * A validation run produces one report: per workload, per counter,
+ * the analytic expectation, the inclusive bounds, the measured value
+ * and the relative error. The JSON serialization is canonical (same
+ * run, same bytes, no timestamps) and ends with a CRC32 over every
+ * preceding byte, so the reader rejects any truncation or bit flip —
+ * the same integrity contract the model and checkpoint formats carry.
+ *
+ * Writes go through common/atomic_file behind the `validate.report`
+ * fault site: a torn write either never surfaces (the temp file is
+ * abandoned) or is rejected on read, and an injected failure
+ * propagates as FatalError naming the path (CLI exit 3).
+ */
+
+#ifndef MTPERF_VALIDATE_REPORT_H_
+#define MTPERF_VALIDATE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtperf::validate {
+
+/** One counter checked against its oracle bound. */
+struct CounterCheck
+{
+    std::string counter;
+    double expected = 0;
+    double lo = 0;
+    double hi = 0;
+    std::uint64_t actual = 0;
+    double relativeError = 0; //!< (actual - expected) / max(|expected|, 1)
+    bool pass = false;
+};
+
+/** All counters of one oracle workload. */
+struct WorkloadValidation
+{
+    std::string workload;
+    std::string family;
+    std::vector<CounterCheck> counters;
+
+    std::size_t failed() const;
+};
+
+/** A full validation run. */
+struct ValidateReport
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t seed = 0;
+    std::vector<WorkloadValidation> workloads;
+
+    std::size_t checked() const;
+    std::size_t failed() const;
+    bool passed() const { return failed() == 0; }
+};
+
+/** Canonical CRC-sealed JSON text (no trailing newline). */
+std::string driftReportToJson(const ValidateReport &report);
+
+/**
+ * Atomically write @p report to @p path (fault site validate.report).
+ * @throw FatalError naming the path on any failure.
+ */
+void writeDriftReportFile(const std::string &path,
+                          const ValidateReport &report);
+
+/**
+ * Parse @p text as a drift report, verifying the CRC seal and the
+ * full schema. @p source names the input in errors.
+ * @throw FatalError on any damage or schema violation.
+ */
+ValidateReport parseDriftReport(std::string_view text,
+                                const std::string &source);
+
+/** Load a drift report file. @throw FatalError on any damage. */
+ValidateReport readDriftReportFile(const std::string &path);
+
+} // namespace mtperf::validate
+
+#endif // MTPERF_VALIDATE_REPORT_H_

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the client's jittered RETRY backoff: deterministic per
+ * seed, divergent across default-derived seeds (no thundering herd),
+ * and always inside the [1, cap] envelope with its exponential
+ * lower half.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+
+namespace mtperf::serve {
+namespace {
+
+std::vector<int>
+schedule(RetryBackoff backoff, int draws)
+{
+    std::vector<int> delays;
+    for (int i = 0; i < draws; ++i)
+        delays.push_back(backoff.nextDelayMs());
+    return delays;
+}
+
+TEST(RetryBackoff, SameSeedReplaysTheSameSchedule)
+{
+    const auto a = schedule(RetryBackoff(2, kRetryDelayCapMs, 99), 32);
+    const auto b = schedule(RetryBackoff(2, kRetryDelayCapMs, 99), 32);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RetryBackoff, DelaysStayInsideTheJitterEnvelope)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+        RetryBackoff backoff(2, kRetryDelayCapMs, seed);
+        int envelope = 2;
+        for (int i = 0; i < 64; ++i) {
+            const int delay = backoff.nextDelayMs();
+            EXPECT_GE(delay, std::max(1, envelope / 2));
+            EXPECT_LE(delay, envelope);
+            EXPECT_LE(delay, kRetryDelayCapMs);
+            envelope = std::min(envelope * 2, kRetryDelayCapMs);
+        }
+    }
+}
+
+TEST(RetryBackoff, DegenerateDelaysAreClampedToOneMs)
+{
+    RetryBackoff backoff(0, kRetryDelayCapMs, 5);
+    EXPECT_GE(backoff.nextDelayMs(), 1);
+}
+
+TEST(RetryBackoff, TwoDefaultSeededClientsDiverge)
+{
+    // Shed-together clients must not resubmit in lockstep: two
+    // schedules from consecutively drawn default seeds have to
+    // disagree somewhere once the envelope is wide enough to jitter.
+    const std::uint64_t seed_a = defaultRetryJitterSeed();
+    const std::uint64_t seed_b = defaultRetryJitterSeed();
+    ASSERT_NE(seed_a, seed_b);
+    const auto a = schedule(RetryBackoff(2, kRetryDelayCapMs, seed_a), 32);
+    const auto b = schedule(RetryBackoff(2, kRetryDelayCapMs, seed_b), 32);
+    EXPECT_NE(a, b);
+}
+
+TEST(RetryBackoff, DefaultSeedsAreProcessUnique)
+{
+    std::vector<std::uint64_t> seeds;
+    for (int i = 0; i < 64; ++i)
+        seeds.push_back(defaultRetryJitterSeed());
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end());
+}
+
+} // namespace
+} // namespace mtperf::serve

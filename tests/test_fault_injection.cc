@@ -209,6 +209,26 @@ TEST_F(FaultInjectionTest, CliFaultSpecYieldsBadDataExit)
     EXPECT_FALSE(fs::exists(out_csv));
 }
 
+TEST_F(FaultInjectionTest, ValidateDriftReportWriteFailureExitsThree)
+{
+    // A failed drift-report write must never masquerade as a clean
+    // validation: the exit is 3 (not 0), the error names the report
+    // path, and no report file survives.
+    const std::string report = dir_ + "/drift_report.json";
+    std::ostringstream out;
+    const int rc = cli::runCommand(
+        "validate",
+        {"--instructions", "20000", "--report", report,
+         "--fault-spec", "validate.report:1:1"},
+        out);
+    fault::clear();
+    EXPECT_EQ(rc, 3) << out.str();
+    EXPECT_NE(rc, 0);
+    EXPECT_NE(out.str().find(report), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("injected fault"), std::string::npos);
+    EXPECT_FALSE(fs::exists(report));
+}
+
 // ---------------------------------------------------------------
 // Checkpoint/resume: kill-and-resume must be byte-identical
 // ---------------------------------------------------------------

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the validation harness: a clean simulator passes every
+ * oracle bound, the outcome is identical at any thread count, an
+ * injected accounting bug is caught and named, and the obs counters
+ * obey their invariant.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "uarch/event_counters.h"
+#include "validate/harness.h"
+#include "validate/oracle.h"
+
+namespace mtperf::validate {
+namespace {
+
+ValidateOptions
+fastOptions()
+{
+    ValidateOptions options;
+    options.instructions = 20000;
+    options.seed = 42;
+    return options;
+}
+
+class ValidateHarnessTest : public testing::Test
+{
+  protected:
+    void TearDown() override { setGlobalThreadCount(0); }
+};
+
+TEST_F(ValidateHarnessTest, CleanSimulatorPassesEveryBound)
+{
+    const ValidateReport report = runValidation(fastOptions());
+    EXPECT_EQ(report.workloads.size(), 5u);
+    EXPECT_EQ(report.checked(),
+              5u * uarch::kNumEventCounters);
+    EXPECT_EQ(report.failed(), 0u) << driftReportToJson(report);
+    EXPECT_TRUE(report.passed());
+    for (const WorkloadValidation &w : report.workloads)
+        EXPECT_EQ(w.counters.size(), uarch::kNumEventCounters)
+            << w.workload;
+}
+
+TEST_F(ValidateHarnessTest, ReportIsIdenticalAtAnyThreadCount)
+{
+    setGlobalThreadCount(1);
+    const std::string serial =
+        driftReportToJson(runValidation(fastOptions()));
+    setGlobalThreadCount(4);
+    const std::string parallel =
+        driftReportToJson(runValidation(fastOptions()));
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ValidateHarnessTest, InjectedCounterBugIsCaughtAndNamed)
+{
+    // The hook doubles a measured counter — one spurious increment
+    // per real event, the classic accounting off-by-one.
+    ValidateOptions options = fastOptions();
+    options.injectCounterBug = "dtlbLdMiss";
+    const ValidateReport report = runValidation(options);
+    EXPECT_FALSE(report.passed());
+    bool named = false;
+    for (const WorkloadValidation &w : report.workloads) {
+        for (const CounterCheck &c : w.counters) {
+            if (!c.pass) {
+                EXPECT_EQ(c.counter, "dtlbLdMiss")
+                    << "collateral drift in " << w.workload;
+                named = true;
+            }
+        }
+    }
+    EXPECT_TRUE(named);
+
+    // lcpStalls is pinned [N, N] by the lcp family, so the doubled
+    // count is off by exactly N.
+    options.injectCounterBug = "lcpStalls";
+    const ValidateReport lcp = runValidation(options);
+    EXPECT_EQ(lcp.failed(), 1u);
+}
+
+TEST_F(ValidateHarnessTest, UnknownInjectNameIsAUsageError)
+{
+    ValidateOptions options = fastOptions();
+    options.injectCounterBug = "noSuchCounter";
+    EXPECT_THROW(runValidation(options), UsageError);
+}
+
+TEST_F(ValidateHarnessTest, UnloadableOracleDirIsFatal)
+{
+    ValidateOptions options = fastOptions();
+    options.oracleDir = testing::TempDir() + "/no_such_oracle_dir";
+    EXPECT_THROW(runValidation(options), FatalError);
+}
+
+TEST_F(ValidateHarnessTest, ObsCountersBalanceAndInvariantHolds)
+{
+    const std::uint64_t checked_before =
+        obs::counter("validate.counters_checked").value();
+    const std::uint64_t passed_before =
+        obs::counter("validate.counters_passed").value();
+    const std::uint64_t failed_before =
+        obs::counter("validate.counters_failed").value();
+
+    const ValidateReport report = runValidation(fastOptions());
+
+    const std::uint64_t checked =
+        obs::counter("validate.counters_checked").value() -
+        checked_before;
+    const std::uint64_t passed =
+        obs::counter("validate.counters_passed").value() -
+        passed_before;
+    const std::uint64_t failed =
+        obs::counter("validate.counters_failed").value() -
+        failed_before;
+    EXPECT_EQ(checked, report.checked());
+    EXPECT_EQ(failed, report.failed());
+    EXPECT_EQ(checked, passed + failed);
+    EXPECT_TRUE(obs::validateInvariants().empty());
+}
+
+} // namespace
+} // namespace mtperf::validate

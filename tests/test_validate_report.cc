@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the CRC-sealed drift report format: canonical round
+ * trips, the committed reference report, and the full corruption
+ * corpus (every truncation and every single-bit flip of the
+ * reference bytes must be rejected, never silently accepted).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "corruption_corpus.h"
+#include "validate/report.h"
+
+namespace mtperf::validate {
+namespace {
+
+std::string
+referencePath()
+{
+    return std::string(MTPERF_TEST_DATA_DIR) +
+           "/reference_drift_report.json";
+}
+
+ValidateReport
+sampleReport()
+{
+    ValidateReport report;
+    report.instructions = 1000;
+    report.seed = 7;
+    WorkloadValidation w;
+    w.workload = "oracle_lcp";
+    w.family = "lcp";
+    w.counters.push_back(
+        {"lcpStalls", 1000.0, 1000.0, 1000.0, 1000, 0.0, true});
+    w.counters.push_back(
+        {"cycles", 6000.0, 6000.0, 6400.0, 6500, 0.0833, false});
+    report.workloads.push_back(w);
+    return report;
+}
+
+TEST(DriftReport, JsonRoundTripPreservesEveryField)
+{
+    const ValidateReport report = sampleReport();
+    const std::string json = driftReportToJson(report);
+    // Canonical: no trailing newline, CRC seal last.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find(",\"crc32\":"), std::string::npos);
+    EXPECT_EQ(json, driftReportToJson(report));
+
+    const ValidateReport parsed = parseDriftReport(json, "test");
+    EXPECT_EQ(parsed.instructions, 1000u);
+    EXPECT_EQ(parsed.seed, 7u);
+    ASSERT_EQ(parsed.workloads.size(), 1u);
+    EXPECT_EQ(parsed.workloads[0].workload, "oracle_lcp");
+    EXPECT_EQ(parsed.workloads[0].family, "lcp");
+    ASSERT_EQ(parsed.workloads[0].counters.size(), 2u);
+    const CounterCheck &drift = parsed.workloads[0].counters[1];
+    EXPECT_EQ(drift.counter, "cycles");
+    EXPECT_EQ(drift.actual, 6500u);
+    EXPECT_DOUBLE_EQ(drift.hi, 6400.0);
+    EXPECT_FALSE(drift.pass);
+    EXPECT_EQ(parsed.checked(), 2u);
+    EXPECT_EQ(parsed.failed(), 1u);
+    EXPECT_FALSE(parsed.passed());
+}
+
+TEST(DriftReport, FileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "/drift_roundtrip.json";
+    writeDriftReportFile(path, sampleReport());
+    const ValidateReport loaded = readDriftReportFile(path);
+    EXPECT_EQ(driftReportToJson(loaded),
+              driftReportToJson(sampleReport()));
+}
+
+TEST(DriftReport, CommittedReferenceReportLoads)
+{
+    // The committed artifact of `mtperf validate --instructions 20000
+    // --seed 42`: five clean workloads, every counter checked.
+    const ValidateReport reference =
+        readDriftReportFile(referencePath());
+    EXPECT_EQ(reference.instructions, 20000u);
+    EXPECT_EQ(reference.seed, 42u);
+    EXPECT_EQ(reference.workloads.size(), 5u);
+    EXPECT_EQ(reference.checked(), 105u);
+    EXPECT_EQ(reference.failed(), 0u);
+    EXPECT_TRUE(reference.passed());
+}
+
+TEST(DriftReport, RejectsForeignAndTamperedDocuments)
+{
+    EXPECT_THROW(parseDriftReport("", "test"), FatalError);
+    EXPECT_THROW(parseDriftReport("{}", "test"), FatalError);
+    EXPECT_THROW(parseDriftReport("not json", "test"), FatalError);
+    // A structurally perfect report with a recomputed-by-hand wrong
+    // seal must fail the CRC check, not the schema walk.
+    std::string json = driftReportToJson(sampleReport());
+    const auto seal = json.rfind(",\"crc32\":");
+    ASSERT_NE(seal, std::string::npos);
+    std::string reSealed = json.substr(0, seal) + ",\"crc32\":1}";
+    EXPECT_THROW(parseDriftReport(reSealed, "test"), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Corruption corpus over the committed reference report
+// ---------------------------------------------------------------
+
+TEST(DriftReportCorruption, EveryTruncationIsRejected)
+{
+    const std::string bytes =
+        testutil::slurpFile(referencePath());
+    ASSERT_GT(bytes.size(), 1000u);
+    const std::string scratch =
+        testing::TempDir() + "/drift_truncated.json";
+    testutil::forEachTruncation(
+        bytes, scratch,
+        [&](std::size_t len) {
+            EXPECT_THROW(readDriftReportFile(scratch), FatalError)
+                << "truncation to " << len
+                << " bytes was accepted";
+        },
+        7);
+}
+
+TEST(DriftReportCorruption, EveryBitFlipIsRejected)
+{
+    const std::string bytes =
+        testutil::slurpFile(referencePath());
+    const std::string scratch =
+        testing::TempDir() + "/drift_flipped.json";
+    testutil::forEachBitFlip(
+        bytes, scratch,
+        [&](std::size_t offset, int bit) {
+            EXPECT_THROW(readDriftReportFile(scratch), FatalError)
+                << "flip of byte " << offset << " bit " << bit
+                << " was accepted";
+        },
+        13);
+}
+
+} // namespace
+} // namespace mtperf::validate
