@@ -15,9 +15,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "multicore/corun_runner.h"
+#include "multicore/system.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "uarch/core.h"
+#include "uarch/event_counters.h"
 #include "workload/runner.h"
 #include "workload/spec_suite.h"
 #include "workload/stream_gen.h"
@@ -59,6 +62,41 @@ BM_CoreStreaming(benchmark::State &state)
         state, suiteWorkload("libquantum_like").phases[0].params);
 }
 BENCHMARK(BM_CoreStreaming);
+
+void
+BM_CoreDuoCorun(benchmark::State &state)
+{
+    // Two cores in lockstep over the shared L2: items/s is co-run
+    // instructions per second, directly comparable to the solo core
+    // benchmarks above (the gap is the subsystem's stepping +
+    // contention overhead).
+    multicore::MulticoreSystem system(uarch::CoreConfig::core2Like(),
+                                      2);
+    StreamGenerator a(suiteWorkload("mcf_like").phases[0].params, 99);
+    StreamGenerator b(suiteWorkload("gcc_like").phases[0].params,
+                      99 ^ 0x9e3779b97f4a7c15ULL);
+    const std::vector<bool> runnable(2, true);
+    for (auto _ : state) {
+        const std::uint32_t c = system.nextCore(runnable);
+        system.core(c).execute(c == 0 ? a.next() : b.next());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreDuoCorun);
+
+void
+BM_CoreDuoSoloLane(benchmark::State &state)
+{
+    // One core through the shared port: the delta against
+    // BM_CoreMemoryBound is the pure cost of the port indirection.
+    multicore::MulticoreSystem system(uarch::CoreConfig::core2Like(),
+                                      1);
+    StreamGenerator gen(suiteWorkload("mcf_like").phases[0].params, 99);
+    for (auto _ : state)
+        system.core(0).execute(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreDuoSoloLane);
 
 void
 BM_StreamGeneratorOnly(benchmark::State &state)
@@ -186,6 +224,78 @@ runHeadline(double scale, const std::string &json_path)
                   << " violated: " << violation.message << "\n";
         return 1;
     }
+    // Self-check 4: the single-core suite must not know the shared
+    // L2 exists — every contention counter stays zero.
+    for (const SectionRecord &rec : records) {
+        if (rec.counters.l2SharedMisses != 0 ||
+            rec.counters.l2OccupancyEvictedByOther != 0 ||
+            rec.counters.prefetchCancellations != 0) {
+            std::cerr << "perf_sim: contention counters nonzero in a "
+                         "single-core run ("
+                      << rec.workload << " section "
+                      << rec.sectionIndex << ")\n";
+            return 1;
+        }
+    }
+
+    // BM_CoreDuo headline: one two-core co-run scenario, gated on
+    // counters (determinism and attributed contention), never on wall
+    // time.
+    multicore::CorunScenario scenario;
+    scenario.lanes.push_back(suiteWorkload("mcf_like"));
+    scenario.lanes.push_back(suiteWorkload("gcc_like"));
+    const auto corun_started = std::chrono::steady_clock::now();
+    const std::vector<SectionRecord> corun =
+        multicore::runCorunScenario(scenario, options);
+    const double corun_elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      corun_started)
+            .count();
+
+    // Self-check 5: co-run determinism, counter for counter.
+    {
+        const std::vector<SectionRecord> again =
+            multicore::runCorunScenario(scenario, options);
+        if (again.size() != corun.size()) {
+            std::cerr << "perf_sim: non-deterministic co-run section "
+                         "count\n";
+            return 1;
+        }
+        for (std::size_t i = 0; i < corun.size(); ++i) {
+            for (const auto &field : uarch::counterFields()) {
+                if (corun[i].counters.*(field.member) !=
+                    again[i].counters.*(field.member)) {
+                    std::cerr << "perf_sim: non-deterministic co-run "
+                                 "counter "
+                              << field.name << " at section " << i
+                              << "\n";
+                    return 1;
+                }
+            }
+        }
+    }
+    // Self-check 6: the shared L2 attributes interference to both
+    // cores; a co-run whose contention counters are zero is a broken
+    // shared hierarchy.
+    std::uint64_t corun_instructions = 0;
+    std::uint64_t contention_events = 0;
+    std::uint64_t per_core_contention[2] = {0, 0};
+    for (const SectionRecord &rec : corun) {
+        corun_instructions += rec.counters.instRetired;
+        const std::uint64_t events =
+            rec.counters.l2SharedMisses +
+            rec.counters.l2OccupancyEvictedByOther +
+            rec.counters.prefetchCancellations;
+        contention_events += events;
+        per_core_contention[rec.core % 2] += events;
+    }
+    if (per_core_contention[0] == 0 || per_core_contention[1] == 0) {
+        std::cerr << "perf_sim: co-run contention not attributed to "
+                     "both cores (core 0: "
+                  << per_core_contention[0] << ", core 1: "
+                  << per_core_contention[1] << ")\n";
+        return 1;
+    }
 
     const double sections_per_sec =
         elapsed > 0.0 ? static_cast<double>(records.size()) / elapsed
@@ -198,6 +308,11 @@ runHeadline(double scale, const std::string &json_path)
                           static_cast<double>(lookups)
                     : 0.0;
 
+    const double corun_inst_per_sec =
+        corun_elapsed > 0.0
+            ? static_cast<double>(corun_instructions) / corun_elapsed
+            : 0.0;
+
     std::cout << "perf_sim headline: suite of " << records.size()
               << " sections (" << instructions
               << " simulated instructions) in " << elapsed << " s\n"
@@ -207,7 +322,11 @@ runHeadline(double scale, const std::string &json_path)
               << static_cast<std::uint64_t>(inst_per_sec)
               << " instructions/sec\n"
               << "  decode cache: " << lookups << " lookups, hit rate "
-              << hit_rate << "\n";
+              << hit_rate << "\n"
+              << "  core duo: " << corun.size() << " co-run sections, "
+              << static_cast<std::uint64_t>(corun_inst_per_sec)
+              << " instructions/sec, " << contention_events
+              << " contention events\n";
 
     std::ofstream json(json_path);
     json << "{\"sections_per_sec\":" << sections_per_sec
@@ -216,6 +335,11 @@ runHeadline(double scale, const std::string &json_path)
          << ",\"instructions\":" << instructions
          << ",\"wall_seconds\":" << elapsed
          << ",\"decode_cache_hit_rate\":" << hit_rate
+         << ",\"coreduo_sections\":" << corun.size()
+         << ",\"coreduo_instructions\":" << corun_instructions
+         << ",\"coreduo_instructions_per_sec\":" << corun_inst_per_sec
+         << ",\"coreduo_contention_events\":" << contention_events
+         << ",\"coreduo_wall_seconds\":" << corun_elapsed
          << ",\"section_scale\":" << scale << ",\"git_sha\":\""
          << obs::buildGitSha() << "\"}\n";
     std::cout << "wrote " << json_path << "\n";

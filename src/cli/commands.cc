@@ -4,6 +4,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <ostream>
@@ -18,6 +19,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "data/io.h"
+#include "multicore/corun_runner.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -214,6 +216,47 @@ suiteFromFlags(const ArgParser &parser)
     return suite;
 }
 
+/**
+ * Parse --corun into scenarios: sets are ';'-separated, lanes within
+ * a set ','-separated, each lane a workload name resolved against
+ * @p suite; every set must name exactly @p cores lanes.
+ */
+std::vector<multicore::CorunScenario>
+corunScenariosFrom(const std::string &corun, std::uint32_t cores,
+                   const std::vector<workload::WorkloadSpec> &suite)
+{
+    std::vector<multicore::CorunScenario> scenarios;
+    for (const std::string &set : split(corun, ';')) {
+        const std::vector<std::string> names = split(set, ',');
+        if (names.size() != cores) {
+            throw UsageError(
+                "--corun set '" + set + "' names " +
+                std::to_string(names.size()) + " workload" +
+                (names.size() == 1 ? "" : "s") + " but --cores is " +
+                std::to_string(cores) +
+                "; each ';'-separated set must pin one workload per "
+                "core");
+        }
+        multicore::CorunScenario scenario;
+        for (const std::string &name : names) {
+            const auto it = std::find_if(
+                suite.begin(), suite.end(),
+                [&](const workload::WorkloadSpec &spec) {
+                    return spec.name == name;
+                });
+            if (it == suite.end()) {
+                throw UsageError(
+                    "--corun: no workload named '" + name +
+                    "' in the suite (run `mtperf workloads` to list "
+                    "names, or point --workload-dir at your specs)");
+            }
+            scenario.lanes.push_back(*it);
+        }
+        scenarios.push_back(std::move(scenario));
+    }
+    return scenarios;
+}
+
 } // namespace
 
 int
@@ -225,6 +268,12 @@ cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
     parser.addSize("instructions", 10000, "instructions per section");
     parser.addSize("seed", 42, "master seed");
     parser.addDouble("jitter", 0.18, "per-section parameter jitter");
+    parser.addSize("cores", 1,
+                   "simulate this many cores over one shared L2 "
+                   "(lockstep, deterministic; needs --corun)");
+    parser.addString("corun", "",
+                     "co-run sets: comma-separated workload names per "
+                     "set (one per core), sets separated by ';'");
     parser.addString("checkpoint", "",
                      "checkpoint path for crash-safe resume (completed "
                      "workloads survive a kill; removed on success)");
@@ -240,13 +289,35 @@ cmdSimulate(const std::vector<std::string> &args, std::ostream &out)
     options.seed = parser.getSize("seed");
     options.paramJitter = parser.getDouble("jitter", 0.0, 1.0);
 
+    const auto cores =
+        static_cast<std::uint32_t>(parser.getSize("cores", 1, 64));
+    const std::string corun = parser.getString("corun");
+    if (!corun.empty() && cores < 2) {
+        throw UsageError("--corun needs --cores >= 2 (a co-run set "
+                         "pins one workload per core)");
+    }
+    if (corun.empty() && cores >= 2) {
+        throw UsageError("--cores " + std::to_string(cores) +
+                         " needs --corun to say what each core runs "
+                         "(e.g. --corun mcf_like,gcc_like)");
+    }
+
     const auto suite = suiteFromFlags(parser);
     const std::string checkpoint = parser.getString("checkpoint");
-    const Dataset ds =
-        checkpoint.empty()
-            ? perf::collectSuiteDataset(suite, options)
-            : perf::collectSuiteDatasetCheckpointed(suite, options,
-                                                    checkpoint);
+    Dataset ds;
+    if (corun.empty()) {
+        ds = checkpoint.empty()
+                 ? perf::collectSuiteDataset(suite, options)
+                 : perf::collectSuiteDatasetCheckpointed(suite, options,
+                                                         checkpoint);
+    } else {
+        const auto scenarios =
+            corunScenariosFrom(corun, cores, suite);
+        ds = checkpoint.empty()
+                 ? perf::collectCorunDataset(scenarios, options)
+                 : perf::collectCorunDatasetCheckpointed(
+                       scenarios, options, checkpoint);
+    }
     writeDatasetCsvFile(parser.getString("out"), ds);
     out << "wrote " << ds.size() << " sections to "
         << parser.getString("out") << "\n";
@@ -273,6 +344,63 @@ humanBytes(std::uint64_t bytes)
 
 } // namespace
 
+namespace {
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+std::string
+jsonQuoted(const std::string &text)
+{
+    std::string quoted = "\"";
+    for (char c : text) {
+        if (c == '"' || c == '\\') {
+            quoted += '\\';
+            quoted += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            quoted += buf;
+        } else {
+            quoted += c;
+        }
+    }
+    quoted += '"';
+    return quoted;
+}
+
+/**
+ * The --json listing: canonical fixed key order (source, then
+ * workloads each as name/phases/sections/workingSetMinBytes/
+ * workingSetMaxBytes), emitted by hand so the bytes are stable and
+ * machine consumers can diff them; a test pins the round trip
+ * through common/json.
+ */
+void
+writeWorkloadsJson(std::ostream &out,
+                   const std::vector<workload::WorkloadSpec> &suite)
+{
+    out << "{\n  \"source\": "
+        << jsonQuoted(workload::suiteSourceDescription()) << ",\n"
+        << "  \"workloads\": [";
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &spec = suite[i];
+        std::uint64_t ws_min = UINT64_MAX, ws_max = 0;
+        for (const auto &phase : spec.phases) {
+            ws_min = std::min(ws_min, phase.params.workingSetBytes);
+            ws_max = std::max(ws_max, phase.params.workingSetBytes);
+        }
+        out << (i == 0 ? "\n" : ",\n") << "    {\"name\": "
+            << jsonQuoted(spec.name)
+            << ", \"phases\": " << spec.phases.size()
+            << ", \"sections\": " << spec.totalSections()
+            << ", \"workingSetMinBytes\": " << ws_min
+            << ", \"workingSetMaxBytes\": " << ws_max << "}";
+    }
+    out << "\n  ]\n}\n";
+}
+
+} // namespace
+
 int
 cmdWorkloads(const std::vector<std::string> &args, std::ostream &out)
 {
@@ -283,13 +411,19 @@ cmdWorkloads(const std::vector<std::string> &args, std::ostream &out)
     parser.addString("export", "",
                      "write every listed workload into this directory "
                      "as canonical spec JSON files");
+    parser.addFlag("json",
+                   "machine-readable listing (canonical key order; "
+                   "round-trips through a JSON parser)");
     addCommonOptions(parser);
     parser.parse(args);
     applyCommonOptions(parser);
 
     auto suite = workload::specLikeSuite();
-    out << "suite source: " << workload::suiteSourceDescription()
-        << "\n";
+    const bool as_json = parser.getFlag("json");
+    if (!as_json) {
+        out << "suite source: "
+            << workload::suiteSourceDescription() << "\n";
+    }
     const std::string dir = parser.getString("workload-dir");
     if (!dir.empty()) {
         std::set<std::string> names;
@@ -302,6 +436,15 @@ cmdWorkloads(const std::vector<std::string> &args, std::ostream &out)
                                  "the same name");
             suite.push_back(std::move(spec));
         }
+    }
+
+    if (as_json) {
+        writeWorkloadsJson(out, suite);
+        const std::string export_dir = parser.getString("export");
+        if (export_dir.empty())
+            return 0;
+        throw UsageError("--json and --export do not combine; export "
+                         "writes spec files, not the listing");
     }
 
     out << padRight("name", 22) << padLeft("phases", 7)
@@ -861,9 +1004,13 @@ usageText()
     return "usage: mtperf <command> [options]\n"
            "\n"
            "commands:\n"
-           "  simulate   run the workload suite, write a section CSV\n"
+           "  simulate   run the workload suite, write a section CSV;\n"
+           "             --cores N --corun a,b[;c,d] co-runs workload\n"
+           "             sets over one shared L2 with per-core\n"
+           "             contention counters\n"
            "  workloads  list available workload specs; --export DIR\n"
-           "             writes them as canonical spec JSON files\n"
+           "             writes them as canonical spec JSON files and\n"
+           "             --json emits a machine-readable listing\n"
            "  genworkload  mint novel workload specs from --seed\n"
            "  train      learn an M5' model tree from a section CSV\n"
            "  print      pretty-print a saved model\n"

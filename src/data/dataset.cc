@@ -15,9 +15,35 @@ Dataset::addRow(std::span<const double> attrs, double target, std::string tag)
         mtperf_fatal("row width ", attrs.size(), " does not match schema (",
                      schema_.numAttributes(), " attributes)");
     }
+    if (!corun_.empty())
+        mtperf_fatal("cannot mix rows with and without co-run provenance");
     values_.insert(values_.end(), attrs.begin(), attrs.end());
     targets_.push_back(target);
     tags_.push_back(std::move(tag));
+}
+
+void
+Dataset::addRowCorun(std::span<const double> attrs, double target,
+                     std::string tag, RowCorun corun)
+{
+    if (attrs.size() != schema_.numAttributes()) {
+        mtperf_fatal("row width ", attrs.size(), " does not match schema (",
+                     schema_.numAttributes(), " attributes)");
+    }
+    if (corun_.size() != targets_.size())
+        mtperf_fatal("cannot mix rows with and without co-run provenance");
+    values_.insert(values_.end(), attrs.begin(), attrs.end());
+    targets_.push_back(target);
+    tags_.push_back(std::move(tag));
+    corun_.push_back(std::move(corun));
+}
+
+const RowCorun &
+Dataset::corun(std::size_t r) const
+{
+    mtperf_assert(hasCorun() && r < corun_.size(),
+                  "co-run provenance index out of range");
+    return corun_[r];
 }
 
 std::span<const double>
@@ -64,8 +90,12 @@ Dataset
 Dataset::subset(std::span<const std::size_t> indices) const
 {
     Dataset out(schema_);
-    for (std::size_t idx : indices)
-        out.addRow(row(idx), target(idx), tag(idx));
+    for (std::size_t idx : indices) {
+        if (hasCorun())
+            out.addRowCorun(row(idx), target(idx), tag(idx), corun(idx));
+        else
+            out.addRow(row(idx), target(idx), tag(idx));
+    }
     return out;
 }
 
@@ -86,7 +116,10 @@ Dataset::withAttributes(
         const auto full_row = row(r);
         for (std::size_t i = 0; i < attribute_indices.size(); ++i)
             projected[i] = full_row[attribute_indices[i]];
-        out.addRow(projected, target(r), tag(r));
+        if (hasCorun())
+            out.addRowCorun(projected, target(r), tag(r), corun(r));
+        else
+            out.addRow(projected, target(r), tag(r));
     }
     return out;
 }
@@ -96,8 +129,13 @@ Dataset::append(const Dataset &other)
 {
     if (!(schema_ == other.schema_))
         mtperf_fatal("cannot append dataset with a different schema");
-    for (std::size_t r = 0; r < other.size(); ++r)
-        addRow(other.row(r), other.target(r), other.tag(r));
+    for (std::size_t r = 0; r < other.size(); ++r) {
+        if (other.hasCorun())
+            addRowCorun(other.row(r), other.target(r), other.tag(r),
+                        other.corun(r));
+        else
+            addRow(other.row(r), other.target(r), other.tag(r));
+    }
 }
 
 } // namespace mtperf

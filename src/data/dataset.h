@@ -19,6 +19,16 @@
 
 namespace mtperf {
 
+/**
+ * Per-row co-run provenance: which core produced a row and under
+ * which co-run set. Rows from single-core runs carry none.
+ */
+struct RowCorun
+{
+    std::uint32_t core = 0;
+    std::string corunSet;
+};
+
 /** Numeric regression dataset with named attributes and a target. */
 class Dataset
 {
@@ -42,6 +52,20 @@ class Dataset
      */
     void addRow(std::span<const double> attrs, double target,
                 std::string tag = "");
+
+    /**
+     * Append a row carrying co-run provenance. A dataset either has
+     * provenance on every row or on none; mixing the two addRow
+     * flavours is a fatal error.
+     */
+    void addRowCorun(std::span<const double> attrs, double target,
+                     std::string tag, RowCorun corun);
+
+    /** True when rows carry co-run provenance. */
+    bool hasCorun() const { return !corun_.empty(); }
+
+    /** Co-run provenance of row @p r. @pre hasCorun(). */
+    const RowCorun &corun(std::size_t r) const;
 
     /** Attribute values of row @p r. */
     std::span<const double> row(std::size_t r) const;
@@ -89,6 +113,7 @@ class Dataset
     std::vector<double> values_;   //!< row-major, size() * numAttributes()
     std::vector<double> targets_;
     std::vector<std::string> tags_;
+    std::vector<RowCorun> corun_;  //!< empty, or one entry per row
 };
 
 } // namespace mtperf

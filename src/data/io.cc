@@ -50,11 +50,30 @@ datasetFromCsvTable(const CsvTable &table, const std::string &target_name,
         options.salvage || options.nonFinite == NonFinitePolicy::Drop;
     const std::size_t target_col = table.columnIndex(target_name);
 
+    // "core" and "corun_set" are reserved provenance columns written
+    // by multicore co-run collection; they only count as provenance
+    // (not attributes) when both are present, so a hand-made dataset
+    // with a single column of either name still round-trips.
+    std::size_t probe_core = Schema::npos;
+    std::size_t probe_set = Schema::npos;
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+        if (c == target_col)
+            continue;
+        if (table.header[c] == "core")
+            probe_core = c;
+        else if (table.header[c] == "corun_set")
+            probe_set = c;
+    }
+    const bool has_corun =
+        probe_core != Schema::npos && probe_set != Schema::npos;
+    const std::size_t core_col = has_corun ? probe_core : Schema::npos;
+    const std::size_t set_col = has_corun ? probe_set : Schema::npos;
+
     std::size_t tag_col = Schema::npos;
     std::vector<std::string> attr_names;
     std::vector<std::size_t> attr_cols;
     for (std::size_t c = 0; c < table.columns(); ++c) {
-        if (c == target_col)
+        if (c == target_col || c == core_col || c == set_col)
             continue;
         if (table.header[c] == "tag") {
             tag_col = c;
@@ -71,6 +90,7 @@ datasetFromCsvTable(const CsvTable &table, const std::string &target_name,
         const auto &row = table.rows[r];
         bool row_ok = true;
         double target = 0.0;
+        RowCorun corun;
         try {
             for (std::size_t i = 0; i < attr_cols.size(); ++i) {
                 attrs[i] = parseDouble(row[attr_cols[i]],
@@ -79,6 +99,20 @@ datasetFromCsvTable(const CsvTable &table, const std::string &target_name,
             }
             target = parseDouble(row[target_col],
                                  cellContext(table, r, target_col));
+            if (has_corun) {
+                const double core_value =
+                    parseDouble(row[core_col],
+                                cellContext(table, r, core_col));
+                if (core_value < 0 ||
+                    core_value != std::floor(core_value)) {
+                    mtperf_fatal(cellContext(table, r, core_col),
+                                 ": core must be a nonnegative "
+                                 "integer, got '",
+                                 row[core_col], "'");
+                }
+                corun.core = static_cast<std::uint32_t>(core_value);
+                corun.corunSet = row[set_col];
+            }
         } catch (const FatalError &) {
             if (!drop_bad_rows)
                 throw;
@@ -109,7 +143,11 @@ datasetFromCsvTable(const CsvTable &table, const std::string &target_name,
         }
         std::string tag =
             tag_col == Schema::npos ? std::string() : row[tag_col];
-        ds.addRow(attrs, target, std::move(tag));
+        if (has_corun)
+            ds.addRowCorun(attrs, target, std::move(tag),
+                           std::move(corun));
+        else
+            ds.addRow(attrs, target, std::move(tag));
     }
     if (dropped > table.droppedRows) {
         warn(table.source, ": dropped ", dropped - table.droppedRows,
@@ -147,6 +185,12 @@ datasetToCsvTable(const Dataset &ds)
     table.header = ds.schema().attributeNames();
     table.header.push_back(ds.schema().targetName());
     table.header.push_back("tag");
+    // Reserved provenance columns, written only for co-run datasets
+    // so single-core CSV bytes stay exactly as they always were.
+    if (ds.hasCorun()) {
+        table.header.push_back("core");
+        table.header.push_back("corun_set");
+    }
     table.rows.reserve(ds.size());
     for (std::size_t r = 0; r < ds.size(); ++r) {
         std::vector<std::string> row;
@@ -162,6 +206,10 @@ datasetToCsvTable(const Dataset &ds)
         os << ds.target(r);
         row.push_back(os.str());
         row.push_back(ds.tag(r));
+        if (ds.hasCorun()) {
+            row.push_back(std::to_string(ds.corun(r).core));
+            row.push_back(ds.corun(r).corunSet);
+        }
         table.rows.push_back(std::move(row));
     }
     return table;

@@ -1,0 +1,229 @@
+#include "multicore/corun_runner.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "multicore/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/stream_gen.h"
+
+namespace mtperf::multicore {
+
+namespace {
+
+/** FNV-1a of a workload name (same derivation as the solo runner). */
+std::uint64_t
+nameHash(const std::string &name)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (char c : name)
+        hash = (hash ^ static_cast<unsigned char>(c)) *
+               1099511628211ULL;
+    return hash;
+}
+
+/**
+ * One core's workload execution state. The seeding mirrors the solo
+ * runner exactly — options.seed ^ FNV(name) with the same per-phase
+ * generator derivation — plus a golden-ratio core salt, so identical
+ * workloads on different cores run distinct deterministic streams.
+ */
+struct Lane
+{
+    const workload::WorkloadSpec *spec = nullptr;
+    std::uint64_t laneSeed = 0;
+    Rng jitterRng{0};
+    std::size_t phaseIndex = 0;
+    std::size_t sectionsInPhase = 0;
+    std::size_t sectionInPhase = 0;
+    std::size_t sectionIndex = 0; //!< lane-local running section index
+    std::uint64_t instrInSection = 0;
+    std::optional<workload::StreamGenerator> gen;
+    uarch::EventCounters before;
+    std::vector<workload::SectionRecord> records;
+    bool done = false;
+};
+
+std::size_t
+scaledSections(const workload::PhaseSpec &phase, double scale)
+{
+    return static_cast<std::size_t>(std::llround(
+        static_cast<double>(phase.sections) * scale));
+}
+
+/** Enter the next phase with a nonzero section budget, if any. */
+void
+advancePhase(Lane &lane, const workload::RunnerOptions &options)
+{
+    while (lane.phaseIndex < lane.spec->phases.size()) {
+        const auto &phase = lane.spec->phases[lane.phaseIndex];
+        const std::size_t sections =
+            scaledSections(phase, options.sectionScale);
+        if (sections == 0) {
+            ++lane.phaseIndex;
+            continue;
+        }
+        lane.sectionsInPhase = sections;
+        lane.sectionInPhase = 0;
+        lane.gen.emplace(phase.params,
+                         lane.laneSeed ^
+                             (lane.sectionIndex * 0x9e3779b9ULL + 1));
+        return;
+    }
+    lane.done = true;
+}
+
+} // namespace
+
+std::string
+corunSetName(const CorunScenario &scenario)
+{
+    std::string name;
+    for (std::size_t i = 0; i < scenario.lanes.size(); ++i) {
+        if (i > 0)
+            name += '+';
+        name += scenario.lanes[i].name;
+    }
+    return name;
+}
+
+std::vector<workload::SectionRecord>
+runCorunScenario(const CorunScenario &scenario,
+                 const workload::RunnerOptions &options)
+{
+    if (scenario.lanes.empty())
+        mtperf_fatal("co-run scenario has no lanes");
+    if (options.instructionsPerSection == 0)
+        mtperf_fatal("instructionsPerSection must be positive");
+    for (const auto &spec : scenario.lanes) {
+        if (spec.phases.empty())
+            mtperf_fatal("workload '", spec.name, "' has no phases");
+    }
+    MTPERF_FAULT_POINT("sim.workload.fail");
+
+    const std::string set_name = corunSetName(scenario);
+    obs::ScopedSpan span("sim", "sim.corun " + set_name);
+    static obs::Counter &sectionsSimulated =
+        obs::counter("sim.sections_simulated");
+    static obs::Counter &instructionsExecuted =
+        obs::counter("sim.instructions_executed");
+    static obs::Counter &corunScenarios =
+        obs::counter("sim.corun.scenarios");
+    static obs::Counter &corunSharedMisses =
+        obs::counter("sim.corun.l2_shared_misses");
+    static obs::Counter &corunEvictedByOther =
+        obs::counter("sim.corun.l2_evicted_by_other");
+    static obs::Counter &corunPrefetchCancels =
+        obs::counter("sim.corun.prefetch_cancellations");
+
+    const auto num_cores =
+        static_cast<std::uint32_t>(scenario.lanes.size());
+    MulticoreSystem system(options.coreConfig, num_cores);
+
+    std::vector<Lane> lanes(num_cores);
+    std::vector<bool> runnable(num_cores, false);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        Lane &lane = lanes[c];
+        lane.spec = &scenario.lanes[c];
+        lane.laneSeed = options.seed ^ nameHash(lane.spec->name) ^
+                        (c * 0x9e3779b97f4a7c15ULL);
+        lane.jitterRng = Rng(lane.laneSeed);
+        advancePhase(lane, options);
+        runnable[c] = !lane.done;
+    }
+
+    auto any_runnable = [&runnable] {
+        for (bool r : runnable)
+            if (r)
+                return true;
+        return false;
+    };
+
+    while (any_runnable()) {
+        const std::uint32_t c = system.nextCore(runnable);
+        Lane &lane = lanes[c];
+        const auto &phase = lane.spec->phases[lane.phaseIndex];
+
+        if (lane.instrInSection == 0) {
+            lane.gen->setParams(workload::jitterPhase(
+                phase.params, options.paramJitter, lane.jitterRng));
+            lane.before = system.counters(c);
+        }
+
+        system.core(c).execute(lane.gen->next());
+
+        if (++lane.instrInSection < options.instructionsPerSection)
+            continue;
+        lane.instrInSection = 0;
+
+        workload::SectionRecord record;
+        record.workload = lane.spec->name;
+        record.phase = phase.params.name;
+        record.sectionIndex = lane.sectionIndex++;
+        record.counters = system.counters(c).delta(lane.before);
+        record.core = c;
+        record.corunSet = set_name;
+        lane.records.push_back(std::move(record));
+
+        if (++lane.sectionInPhase == lane.sectionsInPhase) {
+            ++lane.phaseIndex;
+            advancePhase(lane, options);
+            runnable[c] = !lane.done;
+        }
+    }
+
+    std::vector<workload::SectionRecord> records;
+    std::size_t total = 0;
+    for (const auto &lane : lanes)
+        total += lane.records.size();
+    records.reserve(total);
+    for (auto &lane : lanes) {
+        records.insert(records.end(),
+                       std::make_move_iterator(lane.records.begin()),
+                       std::make_move_iterator(lane.records.end()));
+    }
+
+    sectionsSimulated.add(records.size());
+    instructionsExecuted.add(records.size() *
+                             options.instructionsPerSection);
+    corunScenarios.add(1);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const SharedL2Stats &stats = system.sharedL2().stats(c);
+        corunSharedMisses.add(stats.l2SharedMisses);
+        corunEvictedByOther.add(stats.l2OccupancyEvictedByOther);
+        corunPrefetchCancels.add(stats.prefetchCancellations);
+    }
+    return records;
+}
+
+std::vector<workload::SectionRecord>
+runCorunSuite(const std::vector<CorunScenario> &scenarios,
+              const workload::RunnerOptions &options)
+{
+    // Scenarios are independent simulations; each is serial inside
+    // (the arbitration contract fixes the instruction interleaving),
+    // so mapping over the pool and merging in scenario order keeps
+    // the record stream byte-identical at any --threads.
+    auto per_scenario =
+        parallelMap(globalPool(), scenarios.size(), [&](std::size_t i) {
+            return runCorunScenario(scenarios[i], options);
+        });
+
+    std::vector<workload::SectionRecord> all;
+    std::size_t total = 0;
+    for (const auto &records : per_scenario)
+        total += records.size();
+    all.reserve(total);
+    for (auto &records : per_scenario) {
+        all.insert(all.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+    }
+    return all;
+}
+
+} // namespace mtperf::multicore

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sectioned co-run execution over a multicore system.
+ *
+ * A co-run scenario pins one workload per core and steps the whole
+ * system under the MulticoreSystem arbitration contract, snapshotting
+ * each core's merged counter file (core events + its shared-L2
+ * contention events) at that core's section boundaries. Each lane
+ * mirrors the single-core runner's seeding exactly, salted by its
+ * core id, so `--corun a,a` runs two *different* deterministic
+ * instances of `a` — and a one-core scenario reproduces the private
+ * hierarchy's instruction stream verbatim.
+ *
+ * Scenarios are independent simulations; the suite runner maps them
+ * over the global pool and merges in scenario order, so output bytes
+ * are independent of --threads.
+ */
+
+#ifndef MTPERF_MULTICORE_CORUN_RUNNER_H_
+#define MTPERF_MULTICORE_CORUN_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/phase.h"
+#include "workload/runner.h"
+
+namespace mtperf::multicore {
+
+/** One co-run: lane i runs on core i. */
+struct CorunScenario
+{
+    std::vector<workload::WorkloadSpec> lanes;
+};
+
+/** The scenario's label: lane workload names joined with '+'. */
+std::string corunSetName(const CorunScenario &scenario);
+
+/**
+ * Run one scenario; records carry core ids and the co-run label,
+ * ordered core by core (each core's sections in execution order).
+ */
+std::vector<workload::SectionRecord> runCorunScenario(
+    const CorunScenario &scenario,
+    const workload::RunnerOptions &options);
+
+/** Run every scenario (global pool), merged in scenario order. */
+std::vector<workload::SectionRecord> runCorunSuite(
+    const std::vector<CorunScenario> &scenarios,
+    const workload::RunnerOptions &options);
+
+} // namespace mtperf::multicore
+
+#endif // MTPERF_MULTICORE_CORUN_RUNNER_H_

@@ -1,0 +1,164 @@
+#include "multicore/shared_l2.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace mtperf::multicore {
+
+namespace {
+
+/**
+ * Directory slots: 4x the cache's line count (min 64Ki), rounded to a
+ * power of two. Big enough that a working set a few times the cache
+ * rarely collides, small enough to bound memory for any footprint.
+ */
+std::uint64_t
+directorySize(const uarch::CacheConfig &config)
+{
+    const std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    return std::bit_ceil(std::max<std::uint64_t>(4 * lines, 64 * 1024));
+}
+
+uarch::CacheConfig
+noInternalPrefetch(uarch::CacheConfig config)
+{
+    // The shared streamer issues fills explicitly so it can track
+    // ownership; the cache's built-in prefetcher must stay out.
+    config.nextLinePrefetch = false;
+    return config;
+}
+
+} // namespace
+
+SharedL2::SharedL2(const uarch::CacheConfig &config,
+                   std::uint32_t num_cores)
+    : cache_(noInternalPrefetch(config)),
+      numCores_(num_cores),
+      lineBytes_(config.lineBytes),
+      prefetch_(config.nextLinePrefetch),
+      prefetchDegree_(config.prefetchDegree),
+      stats_(num_cores)
+{
+    if (num_cores == 0)
+        mtperf_fatal("shared L2 needs at least one core");
+    owner_.assign(config.sizeBytes / config.lineBytes, kNoCore);
+    coreCycleAccesses_.assign(num_cores, 0);
+    const std::uint64_t slots = directorySize(config);
+    lost_.assign(slots, LostLine{});
+    lostMask_ = slots - 1;
+}
+
+SharedL2::LostLine &
+SharedL2::lostSlot(uarch::Addr line_addr)
+{
+    return lost_[line_addr & lostMask_];
+}
+
+void
+SharedL2::noteFill(std::uint32_t core,
+                   const uarch::CacheAccessOutcome &outcome,
+                   uarch::Addr line_addr)
+{
+    if (outcome.evictedValid) {
+        const std::uint32_t victim = owner_[outcome.lineIndex];
+        if (victim != kNoCore && victim != core) {
+            ++stats_[victim].l2OccupancyEvictedByOther;
+            LostLine &slot = lostSlot(outcome.evictedLineAddr);
+            slot.lineAddr = outcome.evictedLineAddr;
+            slot.owner = victim;
+            slot.valid = true;
+        }
+    }
+    // The filled line is resident again; whoever lost it earlier has
+    // been repaid, so the directory entry (if it is this line's) dies.
+    LostLine &slot = lostSlot(line_addr);
+    if (slot.valid && slot.lineAddr == line_addr)
+        slot.valid = false;
+    owner_[outcome.lineIndex] = core;
+}
+
+uarch::L2AccessResult
+SharedL2::access(std::uint32_t core, uarch::Addr addr,
+                 uarch::L2AccessKind kind, uarch::Cycle cycle)
+{
+    (void)kind; // all demand kinds arbitrate and track identically
+
+    // Same-cycle arbitration: accesses arrive in (cycle, core id)
+    // order, so every same-cycle access another core already issued is
+    // ahead in the queue and costs one extra cycle. In a tie the
+    // lowest core id pays nothing. A core never queues behind itself —
+    // its private hierarchy already timed its own accesses — so a solo
+    // core sees zero delay always, exactly like a private L2.
+    if (!anyAccess_ || cycle != lastCycle_) {
+        anyAccess_ = true;
+        lastCycle_ = cycle;
+        sameCycleAccesses_ = 0;
+        std::fill(coreCycleAccesses_.begin(), coreCycleAccesses_.end(),
+                  0u);
+    }
+    const uarch::Cycle queue_delay =
+        sameCycleAccesses_ - coreCycleAccesses_[core];
+    ++sameCycleAccesses_;
+    ++coreCycleAccesses_[core];
+
+    // Disjoint per-process physical address spaces: salt the core id
+    // into bits the working sets can never reach (see the class doc).
+    addr |= static_cast<uarch::Addr>(core) << 44;
+
+    const uarch::Addr line_addr = cache_.lineAddrOf(addr);
+    const uarch::CacheAccessOutcome outcome = cache_.accessTracked(addr);
+    if (outcome.hit) {
+        owner_[outcome.lineIndex] = core;
+        return {true, queue_delay};
+    }
+
+    // Demand miss. If this core previously lost this very line to
+    // another core's fill, that is a shared miss: contention, not
+    // capacity of its own making.
+    {
+        const LostLine &slot = lostSlot(line_addr);
+        if (slot.valid && slot.lineAddr == line_addr &&
+            slot.owner == core)
+            ++stats_[core].l2SharedMisses;
+    }
+    noteFill(core, outcome, line_addr);
+
+    if (prefetch_) {
+        if (lastMissCore_ != kNoCore && lastMissCore_ != core) {
+            // Another core owned the stream; this miss retrains it
+            // and issues no fills.
+            ++stats_[lastMissCore_].prefetchCancellations;
+        } else {
+            for (std::uint32_t d = 1; d <= prefetchDegree_; ++d) {
+                const uarch::Addr pf_addr =
+                    addr + d * std::uint64_t(lineBytes_);
+                const uarch::CacheAccessOutcome fill =
+                    cache_.fillTracked(pf_addr);
+                if (!fill.hit)
+                    noteFill(core, fill, cache_.lineAddrOf(pf_addr));
+                else
+                    owner_[fill.lineIndex] = core;
+            }
+        }
+        lastMissCore_ = core;
+    }
+    return {false, queue_delay};
+}
+
+void
+SharedL2::reset()
+{
+    cache_.reset();
+    std::fill(owner_.begin(), owner_.end(), kNoCore);
+    std::fill(lost_.begin(), lost_.end(), LostLine{});
+    std::fill(stats_.begin(), stats_.end(), SharedL2Stats{});
+    lastMissCore_ = kNoCore;
+    lastCycle_ = 0;
+    sameCycleAccesses_ = 0;
+    std::fill(coreCycleAccesses_.begin(), coreCycleAccesses_.end(), 0u);
+    anyAccess_ = false;
+}
+
+} // namespace mtperf::multicore

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A shared last-level cache with per-core interference accounting.
+ *
+ * SharedL2 implements uarch::L2Port over one tag-only Cache that N
+ * cores hit concurrently. On top of the plain hit/miss behaviour it
+ * adds the three things a private L2 cannot express:
+ *
+ *  - Arbitration. The cache has one tag pipeline; an access landing
+ *    in the same cycle as accesses from *other* cores queues one
+ *    cycle behind each of them. Cores are stepped in (cycle, core id)
+ *    order (the MulticoreSystem contract), so "before" is
+ *    deterministic: the lowest core id wins the tie and pays no
+ *    delay. A core never queues behind its own same-cycle accesses —
+ *    the private hierarchy already timed those — so a solo core pays
+ *    zero delay everywhere, exactly like a private L2.
+ *
+ *  - Occupancy tracking. Every physical line slot remembers which
+ *    core last touched it. When a fill displaces a valid line owned
+ *    by a *different* core, the victim core's
+ *    l2OccupancyEvictedByOther advances and the lost line address is
+ *    recorded in a direct-mapped stolen-line directory; when the
+ *    victim core later demand-misses on that same line, its
+ *    l2SharedMisses advances — the canonical "my working set was
+ *    pushed out" signal. The directory is direct-mapped and bounded
+ *    (collisions overwrite, deterministically), so a co-run over an
+ *    arbitrarily large footprint cannot grow memory without bound;
+ *    a collision can only undercount shared misses, never invent one.
+ *
+ *  - Address-space isolation. Co-run lanes model independent
+ *    processes, whose physical pages never alias, so the port salts
+ *    every address with the core id in bit 44 and up before it
+ *    touches the tags. Set indices sit far below bit 44, so a solo
+ *    core (any id) sees the exact conflict pattern of a private L2,
+ *    and core 0's addresses are bit-for-bit unsalted.
+ *
+ *  - A shared next-line streamer. The L2 prefetcher is one stream: a
+ *    demand miss from the core that missed last extends the stream
+ *    exactly as the private prefetcher would, but a demand miss from
+ *    a different core *retrains* it — the previous owner's
+ *    prefetchCancellations advances and the retraining miss issues no
+ *    fills (the stream needs one miss to lock on). A solo core in a
+ *    shared hierarchy therefore sees the exact private fill pattern,
+ *    and all three contention counters stay structurally zero.
+ */
+
+#ifndef MTPERF_MULTICORE_SHARED_L2_H_
+#define MTPERF_MULTICORE_SHARED_L2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/cache.h"
+#include "uarch/l2_port.h"
+
+namespace mtperf::multicore {
+
+/** Per-core interference tallies kept by the shared L2. */
+struct SharedL2Stats
+{
+    std::uint64_t l2SharedMisses = 0;
+    std::uint64_t l2OccupancyEvictedByOther = 0;
+    std::uint64_t prefetchCancellations = 0;
+};
+
+/** N-core shared L2 with owner tracking and a shared streamer. */
+class SharedL2 final : public uarch::L2Port
+{
+  public:
+    /**
+     * Build a shared cache of @p config geometry for @p num_cores
+     * cores. The cache's own prefetcher is disabled (the shared
+     * streamer replaces it); @p config's nextLinePrefetch and
+     * prefetchDegree decide whether and how far the shared streamer
+     * fills.
+     */
+    SharedL2(const uarch::CacheConfig &config, std::uint32_t num_cores);
+
+    uarch::L2AccessResult access(std::uint32_t core, uarch::Addr addr,
+                                 uarch::L2AccessKind kind,
+                                 uarch::Cycle cycle) override;
+
+    std::uint32_t numCores() const { return numCores_; }
+    const SharedL2Stats &stats(std::uint32_t core) const
+    {
+        return stats_[core];
+    }
+    const uarch::Cache &cache() const { return cache_; }
+
+    /** Invalidate lines, clear owners, directory and statistics. */
+    void reset();
+
+  private:
+    /** One stolen-line directory slot (direct-mapped). */
+    struct LostLine
+    {
+        uarch::Addr lineAddr = 0;
+        std::uint32_t owner = 0;
+        bool valid = false;
+    };
+
+    void noteFill(std::uint32_t core,
+                  const uarch::CacheAccessOutcome &outcome,
+                  uarch::Addr line_addr);
+    LostLine &lostSlot(uarch::Addr line_addr);
+
+    uarch::Cache cache_;
+    std::uint32_t numCores_;
+    std::uint32_t lineBytes_;
+    bool prefetch_;
+    std::uint32_t prefetchDegree_;
+
+    std::vector<std::uint32_t> owner_; //!< per line slot: last toucher
+    std::vector<LostLine> lost_;       //!< stolen-line directory
+    std::uint64_t lostMask_ = 0;
+    std::vector<SharedL2Stats> stats_;
+
+    static constexpr std::uint32_t kNoCore = ~0U;
+    std::uint32_t lastMissCore_ = kNoCore; //!< streamer training state
+
+    uarch::Cycle lastCycle_ = 0;
+    std::uint32_t sameCycleAccesses_ = 0; //!< total in lastCycle_
+    std::vector<std::uint32_t> coreCycleAccesses_; //!< per core
+    bool anyAccess_ = false;
+};
+
+} // namespace mtperf::multicore
+
+#endif // MTPERF_MULTICORE_SHARED_L2_H_

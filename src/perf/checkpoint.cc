@@ -21,38 +21,45 @@ namespace mtperf::perf {
 
 namespace {
 
-constexpr const char *kHeaderLine = "mtperf-checkpoint v1";
+// v2: counter serialization is counterFields()-driven (21 -> 24
+// fields), record lines carry workload/core/co-run provenance, and
+// the body has a "corun" line so a stale co-run checkpoint rejects
+// with a specific message. v1 files fail the header check and
+// restart, which is the correct (conservative) behaviour.
+constexpr const char *kHeaderLine = "mtperf-checkpoint v2";
 
 /**
- * Counter fields in serialization order. Every field is a uint64, so
+ * Counter fields in declaration order. Every field is a uint64, so
  * the text round-trip is exact and a resumed run reproduces the
  * uninterrupted run's dataset byte for byte.
  */
 void
 writeCounters(std::ostream &os, const uarch::EventCounters &c)
 {
-    os << c.cycles << " " << c.instRetired << " " << c.instLoads << " "
-       << c.instStores << " " << c.brRetired << " " << c.brMispredicted
-       << " " << c.l1dLineMiss << " " << c.l1iMiss << " "
-       << c.l2LineMiss << " " << c.dtlbL0LdMiss << " " << c.dtlbLdMiss
-       << " " << c.dtlbLdRetiredMiss << " " << c.dtlbAnyMiss << " "
-       << c.itlbMiss << " " << c.ldBlockSta << " " << c.ldBlockStd
-       << " " << c.ldBlockOverlapStore << " " << c.misalignedMemRef
-       << " " << c.l1dSplitLoads << " " << c.l1dSplitStores << " "
-       << c.lcpStalls;
+    bool first = true;
+    for (const auto &field : uarch::counterFields()) {
+        if (!first)
+            os << " ";
+        os << c.*(field.member);
+        first = false;
+    }
 }
 
 bool
 readCounters(std::istream &is, uarch::EventCounters &c)
 {
-    return static_cast<bool>(
-        is >> c.cycles >> c.instRetired >> c.instLoads >> c.instStores >>
-        c.brRetired >> c.brMispredicted >> c.l1dLineMiss >> c.l1iMiss >>
-        c.l2LineMiss >> c.dtlbL0LdMiss >> c.dtlbLdMiss >>
-        c.dtlbLdRetiredMiss >> c.dtlbAnyMiss >> c.itlbMiss >>
-        c.ldBlockSta >> c.ldBlockStd >> c.ldBlockOverlapStore >>
-        c.misalignedMemRef >> c.l1dSplitLoads >> c.l1dSplitStores >>
-        c.lcpStalls);
+    for (const auto &field : uarch::counterFields()) {
+        if (!(is >> c.*(field.member)))
+            return false;
+    }
+    return true;
+}
+
+/** The co-run set token for a record line ("-" = single-core). */
+std::string
+corunToken(const std::string &corun_set)
+{
+    return corun_set.empty() ? std::string("-") : corun_set;
 }
 
 } // namespace
@@ -83,9 +90,45 @@ runnerFingerprint(const workload::RunnerOptions &options,
     return crc32Hex(crc32(os.str()));
 }
 
+std::string
+corunFingerprint(const workload::RunnerOptions &options,
+                 const std::vector<multicore::CorunScenario> &scenarios)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "instructionsPerSection " << options.instructionsPerSection
+       << "\nparamJitter " << options.paramJitter << "\nseed "
+       << options.seed << "\nsectionScale " << options.sectionScale
+       << "\n";
+    for (const auto &scenario : scenarios) {
+        os << "scenario";
+        os << " cores " << scenario.lanes.size();
+        for (const auto &spec : scenario.lanes)
+            os << " "
+               << crc32Hex(crc32(workload::workloadSpecToJson(spec)));
+        os << "\n";
+    }
+    return crc32Hex(crc32(os.str()));
+}
+
+std::string
+corunDescription(const std::vector<multicore::CorunScenario> &scenarios)
+{
+    std::string desc;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        if (i > 0)
+            desc += ';';
+        desc += multicore::corunSetName(scenarios[i]);
+    }
+    return desc;
+}
+
 SuiteCheckpoint::SuiteCheckpoint(std::string path,
-                                 std::string fingerprint)
-    : path_(std::move(path)), fingerprint_(std::move(fingerprint))
+                                 std::string fingerprint,
+                                 std::string corun)
+    : path_(std::move(path)),
+      fingerprint_(std::move(fingerprint)),
+      corun_(std::move(corun))
 {
 }
 
@@ -96,7 +139,9 @@ SuiteCheckpoint::load()
     if (!in)
         return; // no checkpoint yet: a fresh run
 
+    rejection_.clear();
     auto reject = [this](const std::string &cause) {
+        rejection_ = cause;
         warn("ignoring checkpoint ", path_, ": ", cause,
              "; restarting the suite from scratch");
         std::lock_guard<std::mutex> lock(mutex_);
@@ -123,6 +168,18 @@ SuiteCheckpoint::load()
     std::string word, fingerprint;
     if (!(is >> word >> fingerprint) || word != "fingerprint")
         return reject("missing fingerprint");
+    std::string corun;
+    if (!(is >> word >> corun) || word != "corun")
+        return reject("missing co-run line");
+    // A mismatched co-run set gets the specific message (the
+    // fingerprint would differ too, but "your parameters changed" is
+    // not actionable when what changed is the pairing).
+    if (corun != corun_) {
+        return reject("it was written for co-run set '" + corun +
+                      "', but this run simulates '" + corun_ +
+                      "'; delete the checkpoint file or rerun with "
+                      "the original --cores/--corun arguments");
+    }
     if (fingerprint != fingerprint_) {
         return reject(
             "it was written with different run parameters (fingerprint " +
@@ -143,12 +200,15 @@ SuiteCheckpoint::load()
         records.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
             workload::SectionRecord record;
-            record.workload = name;
-            if (!(is >> word >> record.phase >> record.sectionIndex) ||
+            std::string set_token;
+            if (!(is >> word >> record.workload >> record.phase >>
+                  record.sectionIndex >> record.core >> set_token) ||
                 word != "record" ||
                 !readCounters(is, record.counters)) {
                 return reject("bad record in workload " + name);
             }
+            if (set_token != "-")
+                record.corunSet = std::move(set_token);
             records.push_back(std::move(record));
         }
         done[name] = std::move(records);
@@ -208,11 +268,13 @@ SuiteCheckpoint::persistLocked() const
     std::ostringstream body;
     body << kHeaderLine << "\n";
     body << "fingerprint " << fingerprint_ << "\n";
+    body << "corun " << corun_ << "\n";
     for (const auto &[name, records] : done_) {
         body << "workload " << name << " " << records.size() << "\n";
         for (const auto &record : records) {
-            body << "record " << record.phase << " "
-                 << record.sectionIndex << " ";
+            body << "record " << record.workload << " " << record.phase
+                 << " " << record.sectionIndex << " " << record.core
+                 << " " << corunToken(record.corunSet) << " ";
             writeCounters(body, record.counters);
             body << "\n";
         }
@@ -274,6 +336,59 @@ collectSuiteDatasetCheckpointed(
         total += records.size();
     all.reserve(total);
     for (auto &records : per_workload) {
+        all.insert(all.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+    }
+    informAs("sim", "collected ", all.size(), " sections");
+    Dataset ds = sectionsToDataset(all);
+    checkpoint.removeFile();
+    return ds;
+}
+
+Dataset
+collectCorunDatasetCheckpointed(
+    const std::vector<multicore::CorunScenario> &scenarios,
+    const workload::RunnerOptions &options,
+    const std::string &checkpoint_path)
+{
+    SuiteCheckpoint checkpoint(checkpoint_path,
+                               corunFingerprint(options, scenarios),
+                               corunDescription(scenarios));
+    checkpoint.load();
+    const std::size_t resumed = checkpoint.completedCount();
+    if (resumed > 0) {
+        informAs("sim", "resuming from checkpoint ", checkpoint_path,
+                 ": ", resumed, " of ", scenarios.size(),
+                 " scenarios already complete");
+    }
+    informAs("sim", "co-running ", scenarios.size(), " scenario",
+             scenarios.size() == 1 ? "" : "s", " (",
+             options.instructionsPerSection, " instructions/section, ",
+             globalThreadCount(), " thread",
+             globalThreadCount() == 1 ? "" : "s", ")...");
+
+    // The restart unit is a whole scenario, keyed by its position so
+    // duplicate co-run sets stay distinct.
+    auto per_scenario =
+        parallelMap(globalPool(), scenarios.size(), [&](std::size_t i) {
+            const std::string key = "corun#" + std::to_string(i);
+            if (checkpoint.completed(key)) {
+                auto records = checkpoint.recordsFor(key);
+                obs::counter("sim.sections_resumed").add(records.size());
+                return records;
+            }
+            auto records =
+                multicore::runCorunScenario(scenarios[i], options);
+            checkpoint.record(key, records);
+            return records;
+        });
+
+    std::vector<workload::SectionRecord> all;
+    std::size_t total = 0;
+    for (const auto &records : per_scenario)
+        total += records.size();
+    all.reserve(total);
+    for (auto &records : per_scenario) {
         all.insert(all.end(), std::make_move_iterator(records.begin()),
                    std::make_move_iterator(records.end()));
     }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "multicore/corun_runner.h"
 #include "workload/runner.h"
 
 namespace mtperf::perf {
@@ -40,11 +41,33 @@ std::string runnerFingerprint(
     const workload::RunnerOptions &options,
     const std::vector<workload::WorkloadSpec> &suite);
 
+/**
+ * Fingerprint of a multicore co-run: the runner options plus the
+ * core count and every lane's full spec document, so a different
+ * --cores or co-run pairing invalidates a stale checkpoint.
+ */
+std::string corunFingerprint(
+    const workload::RunnerOptions &options,
+    const std::vector<multicore::CorunScenario> &scenarios);
+
+/**
+ * Human-readable co-run description stored verbatim in the
+ * checkpoint ("a+b;c+d" — scenario set names joined with ';'), used
+ * to give a stale-corun rejection a message that names both sets.
+ */
+std::string corunDescription(
+    const std::vector<multicore::CorunScenario> &scenarios);
+
 /** Persistent set of completed workloads for one suite run. */
 class SuiteCheckpoint
 {
   public:
-    SuiteCheckpoint(std::string path, std::string fingerprint);
+    /**
+     * @param corun the run's co-run description; "-" (the default)
+     * for single-core suite runs.
+     */
+    SuiteCheckpoint(std::string path, std::string fingerprint,
+                    std::string corun = "-");
 
     /**
      * Load any existing checkpoint file. A missing file starts fresh;
@@ -76,11 +99,19 @@ class SuiteCheckpoint
 
     const std::string &path() const { return path_; }
 
+    /**
+     * Why the last load() rejected its file (empty if it loaded
+     * cleanly or no file existed). The same text is also warned.
+     */
+    const std::string &rejectionReason() const { return rejection_; }
+
   private:
     void persistLocked() const;
 
     std::string path_;
     std::string fingerprint_;
+    std::string corun_;
+    std::string rejection_;
     mutable std::mutex mutex_;
     std::map<std::string, std::vector<workload::SectionRecord>> done_;
 };
@@ -97,6 +128,18 @@ Dataset collectSuiteDatasetCheckpointed(
 /** Same, over an explicit workload list (spec-file runs). */
 Dataset collectSuiteDatasetCheckpointed(
     const std::vector<workload::WorkloadSpec> &suite,
+    const workload::RunnerOptions &options,
+    const std::string &checkpoint_path);
+
+/**
+ * collectCorunDataset() with checkpoint/resume backed by @p path.
+ * The restart unit is one scenario (a scenario's lanes share the
+ * L2, so it cannot be split); completed scenarios replay from the
+ * checkpoint, and a checkpoint from a different --corun set or core
+ * count is rejected with a message naming both.
+ */
+Dataset collectCorunDatasetCheckpointed(
+    const std::vector<multicore::CorunScenario> &scenarios,
     const workload::RunnerOptions &options,
     const std::string &checkpoint_path);
 

@@ -51,11 +51,27 @@ Dataset
 sectionsToDataset(const std::vector<workload::SectionRecord> &records)
 {
     registerCollectionInvariant();
-    Dataset ds(uarch::perfSchema());
+    // Records from a co-run carry their co-run label; such a stream
+    // gets the contention-extended schema plus per-row provenance.
+    bool has_corun = false;
     for (const auto &record : records) {
-        const auto ratios = uarch::metricRatios(record.counters);
-        ds.addRow(ratios, uarch::cpiOf(record.counters),
-                  record.workload + "/" + record.phase);
+        if (!record.corunSet.empty()) {
+            has_corun = true;
+            break;
+        }
+    }
+    Dataset ds(has_corun ? uarch::corunPerfSchema()
+                         : uarch::perfSchema());
+    for (const auto &record : records) {
+        const std::string tag = record.workload + "/" + record.phase;
+        if (has_corun) {
+            const auto ratios = uarch::corunMetricRatios(record.counters);
+            ds.addRowCorun(ratios, uarch::cpiOf(record.counters), tag,
+                           {record.core, record.corunSet});
+        } else {
+            const auto ratios = uarch::metricRatios(record.counters);
+            ds.addRow(ratios, uarch::cpiOf(record.counters), tag);
+        }
     }
     obs::counter("sim.sections_collected").add(ds.size());
     return ds;
@@ -77,6 +93,23 @@ collectSuiteDataset(const std::vector<workload::WorkloadSpec> &suite,
              globalThreadCount(), " thread",
              globalThreadCount() == 1 ? "" : "s", ")...");
     const auto records = workload::runSuite(suite, options);
+    informAs("sim", "collected ", records.size(), " sections");
+    return sectionsToDataset(records);
+}
+
+Dataset
+collectCorunDataset(
+    const std::vector<multicore::CorunScenario> &scenarios,
+    const workload::RunnerOptions &options)
+{
+    obs::ScopedSpan span("sim", "sim.collect");
+    informAs("sim", "co-running ", scenarios.size(), " scenario",
+             scenarios.size() == 1 ? "" : "s", " (",
+             options.instructionsPerSection, " instructions/section, ",
+             globalThreadCount(), " thread",
+             globalThreadCount() == 1 ? "" : "s", ")...");
+    const auto records =
+        multicore::runCorunSuite(scenarios, options);
     informAs("sim", "collected ", records.size(), " sections");
     return sectionsToDataset(records);
 }

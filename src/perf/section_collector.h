@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "multicore/corun_runner.h"
 #include "workload/runner.h"
 
 namespace mtperf::perf {
@@ -31,6 +32,14 @@ Dataset collectSuiteDataset(const workload::RunnerOptions &options = {});
 /** Run an explicit workload list (e.g. loaded spec files) instead. */
 Dataset collectSuiteDataset(
     const std::vector<workload::WorkloadSpec> &suite,
+    const workload::RunnerOptions &options);
+
+/**
+ * Run multicore co-run scenarios and return their section dataset
+ * over corunPerfSchema(), with per-row core/co-run-set provenance.
+ */
+Dataset collectCorunDataset(
+    const std::vector<multicore::CorunScenario> &scenarios,
     const workload::RunnerOptions &options);
 
 /**

@@ -38,8 +38,8 @@ Cache::setIndex(Addr line_addr) const
     return static_cast<std::uint32_t>(line_addr & (numSets_ - 1));
 }
 
-bool
-Cache::lookup(Addr addr, bool demand)
+CacheAccessOutcome
+Cache::lookupTracked(Addr addr, bool demand)
 {
     const Addr line_addr = addr >> lineShift_;
     const std::uint32_t set = setIndex(line_addr);
@@ -47,11 +47,14 @@ Cache::lookup(Addr addr, bool demand)
                  static_cast<std::size_t>(set) * config_.associativity;
     ++useClock_;
 
+    CacheAccessOutcome out;
     for (std::uint32_t w = 0; w < config_.associativity; ++w) {
         Line &line = base[w];
         if (line.valid && line.tag == line_addr) {
             line.lastUse = useClock_;
-            return true;
+            out.hit = true;
+            out.lineIndex = set * config_.associativity + w;
+            return out;
         }
     }
 
@@ -65,12 +68,23 @@ Cache::lookup(Addr addr, bool demand)
         if (base[w].lastUse < victim->lastUse)
             victim = &base[w];
     }
+    if (victim->valid) {
+        out.evictedValid = true;
+        out.evictedLineAddr = victim->tag;
+    }
     victim->valid = true;
     victim->tag = line_addr;
     victim->lastUse = useClock_;
     if (!demand)
         ++prefetchFills_;
-    return false;
+    out.lineIndex = static_cast<std::uint32_t>(victim - lines_.data());
+    return out;
+}
+
+bool
+Cache::lookup(Addr addr, bool demand)
+{
+    return lookupTracked(addr, demand).hit;
 }
 
 bool
@@ -87,6 +101,16 @@ Cache::access(Addr addr)
         }
     }
     return hit;
+}
+
+CacheAccessOutcome
+Cache::accessTracked(Addr addr)
+{
+    ++accesses_;
+    CacheAccessOutcome out = lookupTracked(addr, true);
+    if (!out.hit)
+        ++misses_;
+    return out;
 }
 
 bool
@@ -108,6 +132,12 @@ void
 Cache::fill(Addr addr)
 {
     lookup(addr, false);
+}
+
+CacheAccessOutcome
+Cache::fillTracked(Addr addr)
+{
+    return lookupTracked(addr, false);
 }
 
 void

@@ -32,6 +32,19 @@ struct CacheConfig
     std::uint32_t prefetchDegree = 1;
 };
 
+/**
+ * Outcome of a tracked cache lookup: which physical line slot was
+ * touched or filled, and what (if anything) was displaced. A shared
+ * cache uses this to keep per-slot owner bookkeeping.
+ */
+struct CacheAccessOutcome
+{
+    bool hit = false;
+    std::uint32_t lineIndex = 0; //!< set * associativity + way
+    bool evictedValid = false;   //!< a valid line was displaced
+    Addr evictedLineAddr = 0;    //!< its line address (addr / lineBytes)
+};
+
 /** Tag-only set-associative cache with LRU replacement. */
 class Cache
 {
@@ -44,11 +57,24 @@ class Cache
      */
     bool access(Addr addr);
 
+    /**
+     * Like access(), but reports the touched slot and any eviction,
+     * and never triggers the internal next-line prefetcher — callers
+     * that need tracking (the shared L2) run their own streamer.
+     */
+    CacheAccessOutcome accessTracked(Addr addr);
+
     /** True if the line containing @p addr is resident (no update). */
     bool probe(Addr addr) const;
 
     /** Fill the line containing @p addr without counting a demand access. */
     void fill(Addr addr);
+
+    /** Like fill(), but reports the touched slot and any eviction. */
+    CacheAccessOutcome fillTracked(Addr addr);
+
+    /** Line address (tag granularity) of @p addr. */
+    Addr lineAddrOf(Addr addr) const { return addr >> lineShift_; }
 
     /** Invalidate all lines and clear statistics. */
     void reset();
@@ -73,6 +99,7 @@ class Cache
 
     std::uint32_t setIndex(Addr line_addr) const;
     bool lookup(Addr addr, bool demand);
+    CacheAccessOutcome lookupTracked(Addr addr, bool demand);
 
     CacheConfig config_;
     std::uint32_t numSets_ = 0;

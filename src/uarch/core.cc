@@ -23,8 +23,11 @@ CpiStack::delta(const CpiStack &earlier) const
     return d;
 }
 
-Core::Core(const CoreConfig &config)
+Core::Core(const CoreConfig &config, L2Port *shared_l2,
+           std::uint32_t core_id)
     : config_(config),
+      sharedL2_(shared_l2),
+      coreId_(core_id),
       l1i_(config.l1i),
       l1d_(config.l1d),
       l2_(config.l2),
@@ -98,6 +101,14 @@ Core::acquirePort(OpClass cls, Cycle dispatch, Cycle ready)
     return std::max(ready, slot);
 }
 
+L2AccessResult
+Core::l2Access(Addr addr, L2AccessKind kind, Cycle cycle)
+{
+    if (sharedL2_ != nullptr)
+        return sharedL2_->access(coreId_, addr, kind, cycle);
+    return {l2_.access(addr), 0};
+}
+
 Cycle
 Core::fetch(const MicroOp &op)
 {
@@ -123,9 +134,11 @@ Core::fetch(const MicroOp &op)
             // Code refills from the unified L2; the PMU's L2M metric
             // (MEM_LOAD_RETIRED.L2_LINE_MISS) counts loads only, so a
             // code L2 miss costs time without bumping that counter.
-            const Cycle refill = l2_.access(op.pc)
-                                     ? config_.l1iMissToL2Latency
-                                     : config_.memLatency;
+            const L2AccessResult l2r =
+                l2Access(op.pc, L2AccessKind::Code, ready);
+            const Cycle refill = (l2r.hit ? config_.l1iMissToL2Latency
+                                          : config_.memLatency) +
+                                 l2r.queueDelay;
             ready += refill;
             opPenalties_.frontend += refill;
         }
@@ -184,21 +197,24 @@ Core::executeLoad(const MicroOp &op, Cycle issue)
         opPenalties_.memOther += config_.splitPenalty;
     }
 
-    auto line_latency = [this](Addr addr, bool count_load_miss) {
+    auto line_latency = [this, issue](Addr addr, bool count_load_miss) {
         if (l1d_.access(addr))
             return config_.l1dHitLatency;
         if (count_load_miss)
             ++counters_.l1dLineMiss;
-        if (l2_.access(addr)) {
-            opPenalties_.memL1d +=
-                config_.l2HitLatency - config_.l1dHitLatency;
-            return config_.l2HitLatency;
+        const L2AccessResult l2r =
+            l2Access(addr, L2AccessKind::Load, issue);
+        if (l2r.hit) {
+            opPenalties_.memL1d += config_.l2HitLatency -
+                                   config_.l1dHitLatency +
+                                   l2r.queueDelay;
+            return config_.l2HitLatency + l2r.queueDelay;
         }
         if (count_load_miss)
             ++counters_.l2LineMiss;
-        opPenalties_.memL2 +=
-            config_.memLatency - config_.l1dHitLatency;
-        return config_.memLatency;
+        opPenalties_.memL2 += config_.memLatency -
+                              config_.l1dHitLatency + l2r.queueDelay;
+        return config_.memLatency + l2r.queueDelay;
     };
 
     Cycle latency = line_latency(op.addr, true);
@@ -240,7 +256,7 @@ Core::executeStore(const MicroOp &op, Cycle issue)
     // add commit latency (and the PMU's load-miss events stay load
     // only). Write-allocate keeps the tags warm for later loads.
     if (!l1d_.access(op.addr))
-        l2_.access(op.addr);
+        l2Access(op.addr, L2AccessKind::Store, issue);
 
     lsq_.recordStore(op.addr, op.size, op.storeAddrSlow, seq_);
     return issue + 1 + extra;

@@ -36,6 +36,7 @@
 #include "uarch/cache.h"
 #include "uarch/decoder.h"
 #include "uarch/event_counters.h"
+#include "uarch/l2_port.h"
 #include "uarch/lsq.h"
 #include "uarch/tlb.h"
 #include "uarch/types.h"
@@ -140,7 +141,15 @@ struct CpiStack
 class Core
 {
   public:
-    explicit Core(const CoreConfig &config = CoreConfig::core2Like());
+    /**
+     * Build a core. With the default null @p shared_l2 the core owns
+     * a private L2 and behaves exactly as the single-core model; with
+     * a port, every L2-level access goes through it as @p core_id and
+     * the private L2 sits unused.
+     */
+    explicit Core(const CoreConfig &config = CoreConfig::core2Like(),
+                  L2Port *shared_l2 = nullptr,
+                  std::uint32_t core_id = 0);
 
     /** Execute (time) one instruction. */
     void execute(const MicroOp &op);
@@ -165,6 +174,9 @@ class Core
 
     const CoreConfig &config() const { return config_; }
 
+    /** This core's id within a multicore system (0 when standalone). */
+    std::uint32_t coreId() const { return coreId_; }
+
     /** @name Component access (read-only, for tests and reports) */
     ///@{
     const Cache &l1i() const { return l1i_; }
@@ -179,8 +191,11 @@ class Core
     Cycle executeLoad(const MicroOp &op, Cycle issue);
     Cycle executeStore(const MicroOp &op, Cycle issue);
     Cycle acquirePort(OpClass cls, Cycle dispatch, Cycle ready);
+    L2AccessResult l2Access(Addr addr, L2AccessKind kind, Cycle cycle);
 
     CoreConfig config_;
+    L2Port *sharedL2_ = nullptr; //!< null = private hierarchy
+    std::uint32_t coreId_ = 0;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;

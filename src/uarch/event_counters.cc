@@ -29,6 +29,10 @@ counterFields()
         {"l1dSplitLoads", &EventCounters::l1dSplitLoads},
         {"l1dSplitStores", &EventCounters::l1dSplitStores},
         {"lcpStalls", &EventCounters::lcpStalls},
+        {"l2SharedMisses", &EventCounters::l2SharedMisses},
+        {"l2OccupancyEvictedByOther",
+         &EventCounters::l2OccupancyEvictedByOther},
+        {"prefetchCancellations", &EventCounters::prefetchCancellations},
     }};
     return fields;
 }
@@ -125,6 +129,11 @@ EventCounters::delta(const EventCounters &earlier) const
     d.l1dSplitLoads = l1dSplitLoads - earlier.l1dSplitLoads;
     d.l1dSplitStores = l1dSplitStores - earlier.l1dSplitStores;
     d.lcpStalls = lcpStalls - earlier.lcpStalls;
+    d.l2SharedMisses = l2SharedMisses - earlier.l2SharedMisses;
+    d.l2OccupancyEvictedByOther =
+        l2OccupancyEvictedByOther - earlier.l2OccupancyEvictedByOther;
+    d.prefetchCancellations =
+        prefetchCancellations - earlier.prefetchCancellations;
     return d;
 }
 
@@ -200,6 +209,62 @@ perfSchema()
     std::vector<Attribute> attrs;
     attrs.reserve(kNumPerfMetrics);
     for (const auto &row : metricTable())
+        attrs.push_back({row.name, row.description});
+    return Schema(std::move(attrs), "CPI");
+}
+
+namespace {
+
+const std::array<MetricRow, kNumContentionMetrics> &
+contentionTable()
+{
+    static const std::array<MetricRow, kNumContentionMetrics> table = {{
+        {"L2ShM", "L2_SHARED_MISSES",
+         "Shared L2 re-misses on lines lost to another core, "
+         "per instruction"},
+        {"L2EvOth", "L2_OCCUPANCY_EVICTED_BY_OTHER",
+         "Shared L2 lines of this core evicted by another core, "
+         "per instruction"},
+        {"PfCancel", "PREFETCH_CANCELLATIONS",
+         "Shared-streamer retrains forced by another core, "
+         "per instruction"},
+    }};
+    return table;
+}
+
+} // namespace
+
+const std::string &
+contentionMetricName(std::size_t index)
+{
+    return contentionTable()[index].name;
+}
+
+std::array<double, kNumCorunMetrics>
+corunMetricRatios(const EventCounters &c)
+{
+    const std::array<double, kNumPerfMetrics> base = metricRatios(c);
+    const auto inst = static_cast<double>(c.instRetired);
+    std::array<double, kNumCorunMetrics> out{};
+    for (std::size_t i = 0; i < kNumPerfMetrics; ++i)
+        out[i] = base[i];
+    out[kNumPerfMetrics + 0] =
+        static_cast<double>(c.l2SharedMisses) / inst;
+    out[kNumPerfMetrics + 1] =
+        static_cast<double>(c.l2OccupancyEvictedByOther) / inst;
+    out[kNumPerfMetrics + 2] =
+        static_cast<double>(c.prefetchCancellations) / inst;
+    return out;
+}
+
+Schema
+corunPerfSchema()
+{
+    std::vector<Attribute> attrs;
+    attrs.reserve(kNumCorunMetrics);
+    for (const auto &row : metricTable())
+        attrs.push_back({row.name, row.description});
+    for (const auto &row : contentionTable())
         attrs.push_back({row.name, row.description});
     return Schema(std::move(attrs), "CPI");
 }

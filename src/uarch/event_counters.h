@@ -45,6 +45,16 @@ struct EventCounters
     std::uint64_t l1dSplitStores = 0;  //!< L1D_SPLIT.STORES
     std::uint64_t lcpStalls = 0;       //!< ILD_STALL
 
+    // Shared-hierarchy interference events. A single-core run owns
+    // its whole hierarchy, so these are structurally zero there; a
+    // multicore co-run's shared L2 attributes them per core.
+    std::uint64_t l2SharedMisses = 0; //!< demand re-miss on a line this
+                                      //!< core lost to another core
+    std::uint64_t l2OccupancyEvictedByOther = 0; //!< this core's lines
+                                                 //!< evicted by others
+    std::uint64_t prefetchCancellations = 0; //!< shared-streamer retrains
+                                             //!< stolen by another core
+
     /** Zero every counter. */
     void reset() { *this = EventCounters{}; }
 
@@ -52,8 +62,8 @@ struct EventCounters
     EventCounters delta(const EventCounters &earlier) const;
 };
 
-/** Number of EventCounters fields (cycles plus the 20 events). */
-inline constexpr std::size_t kNumEventCounters = 21;
+/** Number of EventCounters fields (cycles, 20 events, 3 contention). */
+inline constexpr std::size_t kNumEventCounters = 24;
 
 /**
  * One EventCounters field, addressable by name: the glue that lets
@@ -123,6 +133,31 @@ double cpiOf(const EventCounters &counters);
  * descriptions) and "CPI" as the target.
  */
 Schema perfSchema();
+
+/** Number of contention metrics appended by corunPerfSchema(). */
+inline constexpr std::size_t kNumContentionMetrics = 3;
+
+/** Number of attributes in corunPerfSchema(). */
+inline constexpr std::size_t kNumCorunMetrics =
+    kNumPerfMetrics + kNumContentionMetrics;
+
+/** Short name of contention metric @p index (0..2). */
+const std::string &contentionMetricName(std::size_t index);
+
+/**
+ * Per-instruction ratios of a counter delta for co-run datasets: the
+ * 20 Table I metrics followed by the 3 contention metrics.
+ * @pre counters.instRetired > 0.
+ */
+std::array<double, kNumCorunMetrics> corunMetricRatios(
+    const EventCounters &counters);
+
+/**
+ * Dataset schema for multicore co-run sections: perfSchema()'s 20
+ * attributes plus the 3 per-instruction contention metrics, so model
+ * trees can split on interference-visible events. Target stays "CPI".
+ */
+Schema corunPerfSchema();
 
 } // namespace mtperf::uarch
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The seam between a core and a shared last-level cache.
+ *
+ * A Core built without a port owns its private L2 and times accesses
+ * exactly as the single-core model always has. A Core built with an
+ * L2Port routes every L2-level access (code refills, demand loads,
+ * store drains) through it instead, letting a multicore system
+ * interpose a shared cache that arbitrates same-cycle accesses and
+ * attributes interference events per core. The port returns hit/miss
+ * plus any arbitration delay; the core folds the delay into the
+ * latency it charges, so contention is visible in cycle counts
+ * without the core knowing who else exists.
+ */
+
+#ifndef MTPERF_UARCH_L2_PORT_H_
+#define MTPERF_UARCH_L2_PORT_H_
+
+#include <cstdint>
+
+#include "uarch/types.h"
+
+namespace mtperf::uarch {
+
+/** What kind of access a core is making at the L2 level. */
+enum class L2AccessKind : std::uint8_t {
+    Code,  //!< L1I refill
+    Load,  //!< demand load (L1D miss)
+    Store, //!< store-buffer drain (write-allocate)
+};
+
+/** Outcome of one L2-level access through a port. */
+struct L2AccessResult
+{
+    bool hit = false;
+    Cycle queueDelay = 0; //!< extra cycles from same-cycle arbitration
+};
+
+/** Abstract L2-level cache a core can share with others. */
+class L2Port
+{
+  public:
+    virtual ~L2Port() = default;
+
+    /**
+     * Access the line containing @p addr on behalf of @p core at
+     * @p cycle. Implementations may assume accesses arrive in
+     * nondecreasing @p cycle order with ties in ascending core order
+     * (the multicore stepping contract).
+     */
+    virtual L2AccessResult access(std::uint32_t core, Addr addr,
+                                  L2AccessKind kind, Cycle cycle) = 0;
+};
+
+} // namespace mtperf::uarch
+
+#endif // MTPERF_UARCH_L2_PORT_H_

@@ -22,7 +22,13 @@
  *   stride         every op a sequential 1-line-stride load, so the
  *                  L1D misses every line, the L2 (next-line prefetch,
  *                  degree d) demand-misses exactly every d+1-th line,
- *                  and the DTLB misses once per page.
+ *                  and the DTLB misses once per page;
+ *   chase_pair     two co-run pointer chases whose working sets each
+ *                  fit the shared L2 alone but overflow it together,
+ *                  so the interference counters (l2SharedMisses and
+ *                  friends) must land inside the proportional-
+ *                  occupancy bounds of DESIGN.md §14 — and must be
+ *                  exactly zero in every solo family.
  *
  * Each bound states which geometry it read (DESIGN.md §13 has the
  * full derivations). Bounds are sound for any instruction count and
@@ -49,6 +55,7 @@ enum class OracleFamily {
     BranchLadder,
     BranchNoise,
     Stride,
+    ChasePair, //!< never classified; only chasePairBounds() bounds it
 };
 
 /** Stable name of a family ("chase", "lcp", ...). */
@@ -87,6 +94,39 @@ std::vector<CounterBound> oracleBounds(const workload::WorkloadSpec &spec,
  * same five documents; a test pins the two byte-identical.
  */
 std::vector<workload::WorkloadSpec> builtinOracleSuite();
+
+/**
+ * Fewest instructions per lane for which the chase_pair calibration
+ * holds: the co-run must reach occupancy steady state, or the
+ * cold-start transient dominates the contention counts. Runs shorter
+ * than this skip the pair (and chasePairBounds() refuses them).
+ */
+inline constexpr std::uint64_t kChasePairMinInstructions = 100000;
+
+/**
+ * The built-in co-run chase pair, in core order. Each lane is a pure
+ * pointer chase sized so it fits the shared L2 comfortably alone
+ * (<= 3/4 of its lines) yet the two together overflow it (>= 5/4
+ * combined): run solo, every contention counter is structurally
+ * zero; co-run, both cores must show shared misses.
+ */
+std::vector<workload::WorkloadSpec> builtinChasePair();
+
+/**
+ * Expected-count bounds for all kNumEventCounters fields of @p
+ * self's lane when it co-runs against @p other on the shared L2 of
+ * @p config, both lanes executing @p instructions ops. The private
+ * counters reuse the solo chase arguments; the L2 and interference
+ * counters come from the steady-state proportional-occupancy model
+ * (DESIGN.md §14) with margins calibrated to hold across seeds while
+ * still rejecting a doubled — or silently zeroed — counter.
+ * @throw UsageError when a lane is not a pure chase or the working
+ * sets violate the fits-alone / overflows-together preconditions.
+ */
+std::vector<CounterBound> chasePairBounds(
+    const workload::WorkloadSpec &self,
+    const workload::WorkloadSpec &other,
+    const uarch::CoreConfig &config, std::uint64_t instructions);
 
 /**
  * Rewrite @p params into a valid chase-family phase, preserving the

@@ -31,6 +31,12 @@ struct SectionRecord
     std::string phase;
     std::size_t sectionIndex = 0; //!< position within the workload run
     uarch::EventCounters counters; //!< deltas over the section
+
+    /** @name Co-run provenance (multicore runs only) */
+    ///@{
+    std::uint32_t core = 0;  //!< core id; 0 in single-core runs
+    std::string corunSet;    //!< "a+b" co-run label; empty single-core
+    ///@}
 };
 
 /** Execution parameters for a suite run. */

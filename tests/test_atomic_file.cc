@@ -3,6 +3,8 @@
  * Tests for crash-safe atomic file publication.
  */
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -24,7 +26,8 @@ class AtomicFileTest : public testing::Test
     void
     SetUp() override
     {
-        dir_ = testing::TempDir() + "/mtperf_atomic";
+        dir_ = testing::TempDir() + "/mtperf_atomic_" +
+               std::to_string(::getpid());
         fs::create_directories(dir_);
         target_ = dir_ + "/artifact.txt";
         fs::remove(target_);

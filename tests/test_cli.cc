@@ -3,6 +3,8 @@
  * Tests for the CLI argument parser and subcommands.
  */
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -12,6 +14,7 @@
 #include "cli/args.h"
 #include "cli/commands.h"
 #include "common/fault.h"
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace mtperf::cli {
@@ -107,7 +110,8 @@ class CliCommandTest : public testing::Test
     void
     SetUp() override
     {
-        dir_ = testing::TempDir() + "/mtperf_cli";
+        dir_ = testing::TempDir() + "/mtperf_cli_" +
+               std::to_string(::getpid());
         std::filesystem::create_directories(dir_);
         csv_ = dir_ + "/sections.csv";
         model_ = dir_ + "/model.m5";
@@ -207,6 +211,91 @@ TEST_F(CliCommandTest, WorkloadsExportFeedsSimulateWorkloadDir)
                           sim_out),
               0);
     EXPECT_TRUE(std::filesystem::exists(csv_));
+}
+
+TEST_F(CliCommandTest, WorkloadsJsonRoundTripsThroughTheParser)
+{
+    std::ostringstream out;
+    ASSERT_EQ(cmdWorkloads({"--json"}, out), 0);
+    // Exactly one parseable document, nothing else on stdout: the
+    // strict parser rejects any stray "suite source:" banner text.
+    const json::JsonValue doc =
+        json::parseJson(out.str(), "<workloads>");
+    ASSERT_TRUE(doc.isObject());
+    const json::JsonValue *source = doc.find("source");
+    ASSERT_NE(source, nullptr);
+    EXPECT_TRUE(source->isString());
+    const json::JsonValue *workloads = doc.find("workloads");
+    ASSERT_NE(workloads, nullptr);
+    ASSERT_TRUE(workloads->isArray());
+    EXPECT_EQ(workloads->array().size(), 17u);
+
+    bool saw_mcf = false;
+    for (const json::JsonValue &w : workloads->array()) {
+        ASSERT_TRUE(w.isObject());
+        // Canonical key order, machine-countable fields.
+        ASSERT_EQ(w.members().size(), 5u);
+        EXPECT_EQ(w.members()[0].first, "name");
+        EXPECT_EQ(w.members()[1].first, "phases");
+        EXPECT_EQ(w.members()[2].first, "sections");
+        EXPECT_EQ(w.members()[3].first, "workingSetMinBytes");
+        EXPECT_EQ(w.members()[4].first, "workingSetMaxBytes");
+        EXPECT_TRUE(w.members()[1].second.isUnsignedIntegral());
+        if (w.find("name")->string() == "mcf_like")
+            saw_mcf = true;
+    }
+    EXPECT_TRUE(saw_mcf);
+
+    // --json is a listing format; it cannot combine with --export.
+    std::ostringstream both;
+    EXPECT_EQ(runCommand("workloads",
+                         {"--json", "--export", dir_ + "/exp"},
+                         both),
+              2);
+}
+
+TEST_F(CliCommandTest, SimulateCorunWiring)
+{
+    // The co-run flags validate as a pair...
+    std::ostringstream a;
+    EXPECT_EQ(runCommand("simulate",
+                         {"--corun", "mcf_like,gcc_like", "--out",
+                          csv_},
+                         a),
+              2);
+    EXPECT_NE(a.str().find("--cores"), std::string::npos);
+    std::ostringstream b;
+    EXPECT_EQ(runCommand("simulate", {"--cores", "2", "--out", csv_},
+                         b),
+              2);
+    EXPECT_NE(b.str().find("--corun"), std::string::npos);
+    // ...each set must match the core count and name real workloads.
+    std::ostringstream c;
+    EXPECT_EQ(runCommand("simulate",
+                         {"--cores", "2", "--corun", "mcf_like",
+                          "--out", csv_},
+                         c),
+              2);
+    std::ostringstream d;
+    EXPECT_EQ(runCommand("simulate",
+                         {"--cores", "2", "--corun",
+                          "mcf_like,no_such_like", "--out", csv_},
+                         d),
+              2);
+    EXPECT_NE(d.str().find("no workload named"), std::string::npos);
+
+    // The happy path lands provenance columns in the CSV.
+    std::ostringstream sim_out;
+    ASSERT_EQ(cmdSimulate({"--cores", "2", "--corun",
+                           "mcf_like,gcc_like", "--out", csv_,
+                           "--scale", "0.01", "--instructions",
+                           "1000"},
+                          sim_out),
+              0);
+    std::ifstream in(csv_);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find(",core,corun_set"), std::string::npos);
 }
 
 TEST_F(CliCommandTest, GenworkloadIsDeterministicAndSimulatable)

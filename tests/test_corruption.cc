@@ -7,6 +7,8 @@
  * formats must at minimum never crash.
  */
 
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -36,7 +38,8 @@ class CorruptionCorpusTest : public testing::Test
     void
     SetUp() override
     {
-        dir_ = testing::TempDir() + "/mtperf_corpus";
+        dir_ = testing::TempDir() + "/mtperf_corpus_" +
+               std::to_string(::getpid());
         fs::create_directories(dir_);
     }
 

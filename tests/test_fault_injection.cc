@@ -6,6 +6,8 @@
  * of a checkpointed suite run.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
@@ -38,7 +40,8 @@ class FaultInjectionTest : public testing::Test
     {
         // Remove leftovers from previous runs: tests assert on the
         // *absence* of files after aborted writes.
-        dir_ = testing::TempDir() + "/mtperf_fault";
+        dir_ = testing::TempDir() + "/mtperf_fault_" +
+               std::to_string(::getpid());
         fs::remove_all(dir_);
         fs::create_directories(dir_);
         fault::clear();

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Checkpoint/resume for multicore co-runs: a resumed run must be
+ * byte-identical to an uninterrupted one at any --threads value, and
+ * a checkpoint written for a different co-run set or core count must
+ * be rejected with a message naming both sets.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "data/io.h"
+#include "multicore/corun_runner.h"
+#include "perf/checkpoint.h"
+#include "perf/section_collector.h"
+#include "workload/runner.h"
+#include "workload/spec_suite.h"
+
+namespace mtperf::multicore {
+namespace {
+
+workload::WorkloadSpec
+suiteWorkload(const std::string &name)
+{
+    for (const workload::WorkloadSpec &spec :
+         workload::specLikeSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    ADD_FAILURE() << "no suite workload named " << name;
+    return {};
+}
+
+workload::RunnerOptions
+fastOptions()
+{
+    workload::RunnerOptions options;
+    options.sectionScale = 0.01;
+    options.instructionsPerSection = 500;
+    options.seed = 42;
+    return options;
+}
+
+CorunScenario
+pairScenario(const std::string &a, const std::string &b)
+{
+    CorunScenario scenario;
+    scenario.lanes.push_back(suiteWorkload(a));
+    scenario.lanes.push_back(suiteWorkload(b));
+    return scenario;
+}
+
+std::string
+datasetBytes(const Dataset &ds)
+{
+    std::ostringstream os;
+    writeDatasetCsv(os, ds);
+    return os.str();
+}
+
+class MulticoreCheckpointTest : public testing::Test
+{
+  protected:
+    void TearDown() override { setGlobalThreadCount(0); }
+};
+
+TEST_F(MulticoreCheckpointTest, ResumeIsByteIdenticalAtAnyThreadCount)
+{
+    const std::vector<CorunScenario> scenarios = {
+        pairScenario("mcf_like", "gcc_like"),
+        pairScenario("bzip2_like", "lbm_like"),
+    };
+    const workload::RunnerOptions options = fastOptions();
+    const std::string path =
+        testing::TempDir() + "/corun_resume.checkpoint";
+    std::remove(path.c_str());
+
+    const std::string uninterrupted = datasetBytes(
+        perf::collectCorunDatasetCheckpointed(scenarios, options, path));
+
+    // Rehearse a kill after scenario 0 at several thread counts: seed
+    // a checkpoint holding only that scenario's records, resume, and
+    // demand the uninterrupted bytes back.
+    for (unsigned threads : {1u, 4u}) {
+        {
+            perf::SuiteCheckpoint partial(
+                path, perf::corunFingerprint(options, scenarios),
+                perf::corunDescription(scenarios));
+            partial.load();
+            ASSERT_EQ(partial.completedCount(), 0u);
+            partial.record("corun#0",
+                           runCorunScenario(scenarios[0], options));
+        }
+        setGlobalThreadCount(threads);
+        const std::string resumed = datasetBytes(
+            perf::collectCorunDatasetCheckpointed(scenarios, options,
+                                                  path));
+        EXPECT_EQ(resumed, uninterrupted) << threads << " threads";
+    }
+}
+
+TEST_F(MulticoreCheckpointTest, StaleCorunSetIsRejectedByName)
+{
+    const std::vector<CorunScenario> written = {
+        pairScenario("mcf_like", "gcc_like")};
+    const std::vector<CorunScenario> wanted = {
+        pairScenario("bzip2_like", "lbm_like")};
+    const workload::RunnerOptions options = fastOptions();
+    const std::string path =
+        testing::TempDir() + "/corun_stale.checkpoint";
+    std::remove(path.c_str());
+
+    {
+        perf::SuiteCheckpoint stale(
+            path, perf::corunFingerprint(options, written),
+            perf::corunDescription(written));
+        stale.record("corun#0", runCorunScenario(written[0], options));
+    }
+
+    // Loading it for a different pairing must refuse the records and
+    // say which set the file belongs to and which one runs now.
+    perf::SuiteCheckpoint checkpoint(
+        path, perf::corunFingerprint(options, wanted),
+        perf::corunDescription(wanted));
+    checkpoint.load();
+    EXPECT_EQ(checkpoint.completedCount(), 0u);
+    const std::string &reason = checkpoint.rejectionReason();
+    EXPECT_NE(reason.find("mcf_like+gcc_like"), std::string::npos)
+        << reason;
+    EXPECT_NE(reason.find("bzip2_like+lbm_like"), std::string::npos)
+        << reason;
+    EXPECT_NE(reason.find("--cores"), std::string::npos) << reason;
+
+    // And the collection itself restarts cleanly from scratch.
+    {
+        perf::SuiteCheckpoint again(
+            path, perf::corunFingerprint(options, written),
+            perf::corunDescription(written));
+        again.record("corun#0", runCorunScenario(written[0], options));
+    }
+    const std::string recovered = datasetBytes(
+        perf::collectCorunDatasetCheckpointed(wanted, options, path));
+    std::remove(path.c_str());
+    const std::string fresh = datasetBytes(
+        perf::collectCorunDatasetCheckpointed(wanted, options, path));
+    EXPECT_EQ(recovered, fresh);
+}
+
+TEST_F(MulticoreCheckpointTest, DifferentCoreCountChangesFingerprint)
+{
+    const workload::RunnerOptions options = fastOptions();
+    std::vector<CorunScenario> two = {
+        pairScenario("mcf_like", "gcc_like")};
+    std::vector<CorunScenario> four = {CorunScenario{}};
+    four[0].lanes = {suiteWorkload("mcf_like"),
+                     suiteWorkload("gcc_like"),
+                     suiteWorkload("bzip2_like"),
+                     suiteWorkload("lbm_like")};
+    EXPECT_NE(perf::corunFingerprint(options, two),
+              perf::corunFingerprint(options, four));
+    // Lane order is part of the pairing, not cosmetics: core 0
+    // running a is a different machine state than core 0 running b.
+    std::vector<CorunScenario> swapped = {
+        pairScenario("gcc_like", "mcf_like")};
+    EXPECT_NE(perf::corunFingerprint(options, two),
+              perf::corunFingerprint(options, swapped));
+}
+
+} // namespace
+} // namespace mtperf::multicore

@@ -5,6 +5,8 @@
  * default workload, and must name the damaged file when they error.
  */
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -27,7 +29,8 @@ class SpecCorruptionTest : public testing::Test
     void
     SetUp() override
     {
-        dir_ = testing::TempDir() + "/mtperf_spec_corruption";
+        dir_ = testing::TempDir() + "/mtperf_spec_corruption_" +
+               std::to_string(::getpid());
         std::filesystem::remove_all(dir_); // stale corpus files
         std::filesystem::create_directories(dir_);
         path_ = dir_ + "/victim.json";

@@ -25,7 +25,18 @@ ValidateOptions
 fastOptions()
 {
     ValidateOptions options;
+    // Deliberately below kChasePairMinInstructions: the fast tests
+    // exercise the five solo families; the pair has its own tests.
     options.instructions = 20000;
+    options.seed = 42;
+    return options;
+}
+
+ValidateOptions
+steadyStateOptions()
+{
+    ValidateOptions options;
+    options.instructions = kChasePairMinInstructions;
     options.seed = 42;
     return options;
 }
@@ -85,6 +96,58 @@ TEST_F(ValidateHarnessTest, InjectedCounterBugIsCaughtAndNamed)
     options.injectCounterBug = "lcpStalls";
     const ValidateReport lcp = runValidation(options);
     EXPECT_EQ(lcp.failed(), 1u);
+}
+
+TEST_F(ValidateHarnessTest, ChasePairRidesAlongAtSteadyStateLength)
+{
+    const ValidateReport report = runValidation(steadyStateOptions());
+    ASSERT_EQ(report.workloads.size(), 7u);
+    EXPECT_EQ(report.failed(), 0u) << driftReportToJson(report);
+
+    // The two pair lanes trail the solo sweep, and each must show
+    // real contention: nonzero shared misses on BOTH cores...
+    for (std::size_t i = 5; i < 7; ++i) {
+        const WorkloadValidation &w = report.workloads[i];
+        EXPECT_EQ(w.family, "chase_pair") << w.workload;
+        for (const CounterCheck &c : w.counters) {
+            if (c.counter == "l2SharedMisses" ||
+                c.counter == "l2OccupancyEvictedByOther" ||
+                c.counter == "prefetchCancellations") {
+                EXPECT_GT(c.actual, 0u)
+                    << w.workload << " " << c.counter;
+            }
+        }
+    }
+    // ...while the same chase shape run solo pins all three at zero.
+    const WorkloadValidation &solo = report.workloads[2];
+    ASSERT_EQ(solo.family, "chase");
+    for (const CounterCheck &c : solo.counters) {
+        if (c.counter == "l2SharedMisses" ||
+            c.counter == "l2OccupancyEvictedByOther" ||
+            c.counter == "prefetchCancellations")
+            EXPECT_EQ(c.actual, 0u) << c.counter;
+    }
+}
+
+TEST_F(ValidateHarnessTest, InjectedContentionBugIsCaughtByThePair)
+{
+    ValidateOptions options = steadyStateOptions();
+    options.injectCounterBug = "l2SharedMisses";
+    const ValidateReport report = runValidation(options);
+    EXPECT_FALSE(report.passed());
+    std::size_t drifted = 0;
+    for (const WorkloadValidation &w : report.workloads) {
+        for (const CounterCheck &c : w.counters) {
+            if (c.pass)
+                continue;
+            EXPECT_EQ(c.counter, "l2SharedMisses") << w.workload;
+            EXPECT_EQ(w.family, "chase_pair") << w.workload;
+            ++drifted;
+        }
+    }
+    // Both lanes catch the doubling; no solo family drifts (their
+    // zeros double to zero).
+    EXPECT_EQ(drifted, 2u);
 }
 
 TEST_F(ValidateHarnessTest, UnknownInjectNameIsAUsageError)
