@@ -10,12 +10,19 @@
  * rate when the batcher coalesces them across connections. RETRY
  * backpressure is honored by resubmitting the row.
  *
+ * While the load runs, a scraper thread hits the server's /metrics
+ * endpoint continuously, proving a live telemetry consumer does not
+ * perturb the headline. Perturbation is counter-asserted, never
+ * wall-clock: the final scrape's `mtperf_serve_rows_predicted` must
+ * reconcile exactly with both the client and server row counts.
+ *
  * Prints a human summary and writes BENCH_serve.json for CI trending:
  *   {"rows_per_sec":..., "p50_us":..., "p95_us":..., "p99_us":...,
- *    "rows":..., "server_rows":...}
+ *    "rows":..., "server_rows":..., "scrapes":...}
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -30,6 +37,8 @@
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "ml/tree/m5prime.h"
+#include "obs/metrics_http.h"
+#include "obs/prometheus.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -182,10 +191,36 @@ main(int argc, char **argv)
     server_options.modelPath = model_path;
     server_options.listen = "127.0.0.1";
     server_options.port = 0;
+    server_options.metricsHttp = true; // ephemeral /metrics port
     serve::Server server(server_options);
     server.start();
     const std::string address =
         "127.0.0.1:" + std::to_string(server.port());
+
+    // Scrape /metrics concurrently with the load: every scrape is a
+    // full registry snapshot plus an HTTP exchange, the exact traffic
+    // a monitoring agent would generate against a production server.
+    std::atomic<bool> scraping{true};
+    std::uint64_t scrapes = 0;
+    std::uint64_t scrape_errors = 0;
+    std::thread scraper([&] {
+        while (scraping.load(std::memory_order_relaxed)) {
+            try {
+                const obs::HttpResponse response = obs::httpGet(
+                    "127.0.0.1", server.metricsPort(), "/metrics");
+                const obs::PrometheusScrape scrape =
+                    obs::parsePrometheusText(response.body);
+                if (response.status != 200 ||
+                    !scrape.has("mtperf_serve_rows_predicted"))
+                    ++scrape_errors;
+                else
+                    ++scrapes;
+            } catch (const std::exception &) {
+                ++scrape_errors;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    });
 
     const std::size_t per_client = rows / clients;
     std::vector<ClientTotals> totals(clients);
@@ -201,6 +236,8 @@ main(int argc, char **argv)
         for (auto &thread : threads)
             thread.join();
     }
+    scraping.store(false, std::memory_order_relaxed);
+    scraper.join();
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
@@ -232,6 +269,24 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // And against the scrape plane: the final /metrics exposition is
+    // the third independent view of the same counter.
+    const obs::PrometheusScrape final_scrape = obs::parsePrometheusText(
+        obs::httpGet("127.0.0.1", server.metricsPort(), "/metrics")
+            .body);
+    const auto scraped_rows = static_cast<std::uint64_t>(
+        final_scrape.value("mtperf_serve_rows_predicted"));
+    if (scraped_rows != total_rows) {
+        std::cerr << "/metrics reported " << scraped_rows
+                  << " rows, clients counted " << total_rows << "\n";
+        return 1;
+    }
+    if (scrapes == 0 || scrape_errors != 0) {
+        std::cerr << "scraper saw " << scrapes << " good scrapes, "
+                  << scrape_errors << " errors\n";
+        return 1;
+    }
+
     std::cout << "perf_serve: " << total_rows
               << " single-row predictions over " << clients
               << " connections (window " << window << ")\n"
@@ -240,6 +295,7 @@ main(int argc, char **argv)
               << "  latency p50 " << p50 << " us, p95 " << p95
               << " us, p99 " << p99 << " us\n"
               << "  client retries " << total_retries
+              << ", concurrent scrapes " << scrapes
               << ", server stats " << stats_json << "\n";
 
     std::ofstream json(json_path);
@@ -247,6 +303,8 @@ main(int argc, char **argv)
          << p50 << ",\"p95_us\":" << p95 << ",\"p99_us\":" << p99
          << ",\"rows\":" << total_rows
          << ",\"server_rows\":" << snapshot.rowsPredicted
+         << ",\"scraped_rows\":" << scraped_rows
+         << ",\"scrapes\":" << scrapes
          << ",\"retries\":" << total_retries << "}\n";
     std::cout << "wrote " << json_path << "\n";
 

@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <set>
 #include <span>
 #include <sstream>
+#include <thread>
 
 #include "cli/args.h"
 #include "common/csv.h"
@@ -22,7 +25,11 @@
 #include "multicore/corun_runner.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "obs/prometheus.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "perf/benchdiff.h"
 #include "perf/checkpoint.h"
 #include "ml/eval/cross_validation.h"
 #include "ml/registry.h"
@@ -58,6 +65,10 @@ struct ObsOutputs
 {
     std::string tracePath;
     std::string metricsPath;
+    obs::MetricsFormat metricsFormat = obs::MetricsFormat::Json;
+    std::string timeseriesPath;
+    /** Shared: ObsOutputs is copied by value into flushObsOutputs. */
+    std::shared_ptr<obs::TimeseriesSampler> timeseries;
 };
 
 ObsOutputs g_obsOutputs;
@@ -83,8 +94,16 @@ addCommonOptions(ArgParser &parser)
                      "write a Chrome trace-event JSON of this run "
                      "(load in Perfetto or chrome://tracing)");
     parser.addString("metrics-out", "",
-                     "dump the process metrics registry as JSON when "
-                     "the command finishes");
+                     "dump the process metrics registry when the "
+                     "command finishes");
+    parser.addString("metrics-format", "json",
+                     "--metrics-out format: json or prom (Prometheus "
+                     "text exposition 0.0.4)");
+    parser.addString("timeseries-out", "",
+                     "INTERVAL:PATH — sample every counter/gauge/"
+                     "histogram at INTERVAL (e.g. 500ms or 2s) into a "
+                     "ring and write a CRC-sealed time-series JSON at "
+                     "exit");
     parser.addFlag("log-json",
                    "emit log lines as JSON objects (ts_us, level, "
                    "thread, component, msg)");
@@ -108,6 +127,32 @@ applyCommonOptions(const ArgParser &parser)
         fault::configureFromEnv();
     g_obsOutputs.tracePath = parser.getString("trace-out");
     g_obsOutputs.metricsPath = parser.getString("metrics-out");
+    const std::string format = parser.getString("metrics-format");
+    if (format == "json") {
+        g_obsOutputs.metricsFormat = obs::MetricsFormat::Json;
+    } else if (format == "prom") {
+        g_obsOutputs.metricsFormat = obs::MetricsFormat::Prometheus;
+    } else {
+        throw UsageError("--metrics-format must be json or prom, "
+                         "got '" + format + "'");
+    }
+    const std::string timeseries = parser.getString("timeseries-out");
+    if (!timeseries.empty()) {
+        obs::TimeseriesSpec spec;
+        try {
+            spec = obs::parseTimeseriesSpec(timeseries);
+        } catch (const FatalError &e) {
+            // A malformed flag value is a usage problem (exit 2),
+            // not a data problem.
+            throw UsageError(e.what());
+        }
+        obs::TimeseriesSampler::Options sampler_options;
+        sampler_options.intervalMs = spec.intervalMs;
+        g_obsOutputs.timeseriesPath = spec.path;
+        g_obsOutputs.timeseries =
+            std::make_shared<obs::TimeseriesSampler>(sampler_options);
+        g_obsOutputs.timeseries->start();
+    }
     if (!g_obsOutputs.tracePath.empty())
         obs::startTrace();
 }
@@ -881,6 +926,19 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
                    "queued rows before the server replies RETRY");
     parser.addSize("timeout-ms", 0,
                    "drop connections idle this long (0 = never)");
+    parser.addSize("metrics-port", 0,
+                   "expose GET /metrics (Prometheus text exposition) "
+                   "on this TCP port (0 = ephemeral; omit the flag to "
+                   "disable the listener)");
+    parser.addString("metrics-host", "127.0.0.1",
+                     "bind address of the /metrics listener");
+    parser.addDouble("slo-latency-us", 50000.0,
+                     "SLO latency objective per predict request");
+    parser.addSize("slo-window-s", 60,
+                   "SLO sliding window length in seconds");
+    parser.addDouble("slo-budget", 0.01,
+                     "SLO error budget: tolerated fraction of "
+                     "violating or failed requests in the window");
     addCommonOptions(parser);
     parser.parse(args);
     applyCommonOptions(parser);
@@ -901,6 +959,23 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
         parser.getSize("timeout-ms", 0, 86400000));
     options.modelPath = parser.getString("model");
     options.listen = parser.getString("listen");
+    if (parser.given("metrics-port") ||
+        parser.given("metrics-host")) {
+        options.metricsHttp = true;
+        options.metricsPort = static_cast<std::uint16_t>(
+            parser.getSize("metrics-port", 0, 65535));
+        options.metricsHost = parser.getString("metrics-host");
+    }
+    options.slo.latencyObjectiveUs =
+        parser.getDouble("slo-latency-us", 1.0, 1e9);
+    options.slo.windowSeconds = static_cast<int>(
+        parser.getSize("slo-window-s", 1, 3600));
+    options.slo.errorBudget =
+        parser.getDouble("slo-budget", 1e-6, 1.0);
+
+    // Two processes feed one merged Perfetto trace; label this one so
+    // client and server rows are distinguishable.
+    obs::setTraceProcessLabel("mtperf serve");
 
     serve::Server server(options);
     g_signalServer.store(&server, std::memory_order_relaxed);
@@ -912,6 +987,10 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
     out << "serving " << options.modelPath << " at "
         << server.endpoint()
         << " (SIGHUP reloads, SIGINT/SIGTERM stop)\n";
+    if (options.metricsHttp) {
+        out << "metrics at http://" << options.metricsHost << ":"
+            << server.metricsPort() << "/metrics\n";
+    }
     out.flush();
     server.wait();
 
@@ -923,6 +1002,226 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
     out << "server stopped; final stats: "
         << server.stats().toJson() << "\n";
     return 0;
+}
+
+namespace {
+
+/** One /metrics scrape; deltas between two make one top frame. */
+struct TopSample
+{
+    obs::PrometheusScrape scrape;
+    std::chrono::steady_clock::time_point when;
+};
+
+void
+renderTopFrame(std::ostream &out, const std::string &target,
+               const TopSample &prev, const TopSample &cur)
+{
+    const double dt = std::max(
+        std::chrono::duration<double>(cur.when - prev.when).count(),
+        1e-3);
+    const auto rate = [&](const char *name) {
+        const double delta = cur.scrape.valueOr(name, 0.0) -
+                             prev.scrape.valueOr(name, 0.0);
+        return std::max(delta, 0.0) / dt;
+    };
+    const auto gauge = [&](const char *name) {
+        return cur.scrape.valueOr(name, 0.0);
+    };
+    const auto quantile = [&](const char *q) {
+        return cur.scrape.valueOr(
+            std::string(
+                "mtperf_serve_predict_micros{quantile=\"") +
+                q + "\"}",
+            0.0);
+    };
+    const auto cell = [](double value, int digits) {
+        return padLeft(formatDouble(value, digits), 12);
+    };
+    const double batches = rate("mtperf_serve_batches");
+    const double batch_rows = rate("mtperf_serve_batch_rows");
+
+    out << "mtperf top - " << target << "  (window "
+        << formatDouble(dt, 2) << "s)\n";
+    out << "  requests/s " << cell(rate("mtperf_serve_requests"), 1)
+        << "     rows/s "
+        << cell(rate("mtperf_serve_rows_predicted"), 1) << "\n";
+    out << "  retry/s    " << cell(rate("mtperf_serve_retries"), 1)
+        << "   errors/s " << cell(rate("mtperf_serve_errors"), 1)
+        << "\n";
+    out << "  batch occupancy "
+        << (batches > 0.0 ? formatDouble(batch_rows / batches, 1)
+                          : std::string("-"))
+        << " rows/batch (" << formatDouble(batches, 1)
+        << " batches/s)\n";
+    out << "  latency us  p50 " << formatDouble(quantile("0.5"), 0)
+        << "  p95 " << formatDouble(quantile("0.95"), 0) << "  p99 "
+        << formatDouble(quantile("0.99"), 0) << "\n";
+    out << "  queue rows  now "
+        << formatDouble(gauge("mtperf_serve_queue_rows"), 0)
+        << "  peak "
+        << formatDouble(gauge("mtperf_serve_queue_rows_max"), 0)
+        << "\n";
+    const double burn =
+        gauge("mtperf_serve_slo_burn_rate_milli") / 1000.0;
+    const bool healthy =
+        gauge("mtperf_serve_slo_healthy") != 0.0;
+    out << "  SLO         burn " << formatDouble(burn, 2)
+        << (healthy ? "  healthy" : "  BUDGET EXCEEDED") << "  ("
+        << formatDouble(gauge("mtperf_serve_slo_window_requests"), 0)
+        << " reqs, "
+        << formatDouble(gauge("mtperf_serve_slo_window_violations"),
+                        0)
+        << " violations in window)\n";
+}
+
+} // namespace
+
+int
+cmdTop(const std::vector<std::string> &args, std::ostream &out)
+{
+    ArgParser parser;
+    parser.addString("connect", "",
+                     "read metrics over the binary protocol "
+                     "(HOST[:PORT] or unix:PATH)");
+    parser.addString("http", "",
+                     "scrape GET /metrics at HOST:PORT (the serve "
+                     "--metrics-port listener)");
+    parser.addFlag("once", "render a single frame and exit");
+    parser.addSize("interval-ms", 1000, "delay between scrapes");
+    parser.addSize("frames", 0,
+                   "stop after this many frames (0 = run until "
+                   "interrupted)");
+    addCommonOptions(parser);
+    parser.parse(args);
+    applyCommonOptions(parser);
+
+    const std::string address = parser.getString("connect");
+    const std::string http = parser.getString("http");
+    if (address.empty() == http.empty())
+        throw UsageError("top needs exactly one of --connect ADDRESS "
+                         "(binary protocol) or --http HOST:PORT "
+                         "(GET /metrics)");
+    const std::uint64_t interval =
+        parser.getSize("interval-ms", 10, 3600000);
+    std::uint64_t frames = parser.getSize("frames", 0, 1000000000);
+    if (parser.getFlag("once"))
+        frames = 1;
+
+    std::function<std::string()> scrape;
+    std::unique_ptr<serve::Client> client;
+    std::string target;
+    if (!address.empty()) {
+        client = std::make_unique<serve::Client>(
+            serve::Client::connect(address, kDefaultServePort));
+        scrape = [&client] { return client->metrics(); };
+        target = address;
+    } else {
+        const std::size_t colon = http.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == http.size())
+            throw UsageError("--http needs HOST:PORT, got '" + http +
+                             "'");
+        const std::string host = http.substr(0, colon);
+        std::uint64_t port_raw = 0;
+        try {
+            port_raw = parseSize(http.substr(colon + 1), "--http");
+        } catch (const FatalError &e) {
+            throw UsageError(e.what());
+        }
+        if (port_raw == 0 || port_raw > 65535)
+            throw UsageError("--http port must be in [1, 65535]");
+        const auto port = static_cast<std::uint16_t>(port_raw);
+        scrape = [host, port] {
+            const obs::HttpResponse response =
+                obs::httpGet(host, port, "/metrics");
+            if (response.status != 200)
+                mtperf_fatal("GET /metrics returned HTTP ",
+                             response.status);
+            return response.body;
+        };
+        target = http;
+    }
+
+    TopSample prev{obs::parsePrometheusText(scrape()),
+                   std::chrono::steady_clock::now()};
+    for (std::uint64_t frame = 0; frames == 0 || frame < frames;
+         ++frame) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval));
+        TopSample cur{obs::parsePrometheusText(scrape()),
+                      std::chrono::steady_clock::now()};
+        if (frames != 1)
+            out << "\x1b[2J\x1b[H"; // clear + home between frames
+        renderTopFrame(out, target, prev, cur);
+        out.flush();
+        prev = std::move(cur);
+    }
+    return 0;
+}
+
+int
+cmdBenchdiff(const std::vector<std::string> &args, std::ostream &out)
+{
+    // The parser is flag-only, so peel the two leading positionals
+    // by hand: benchdiff OLD.json NEW.json [--options].
+    std::vector<std::string> positionals;
+    std::size_t next = 0;
+    while (next < args.size() && positionals.size() < 2 &&
+           !startsWith(args[next], "--"))
+        positionals.push_back(args[next++]);
+    if (positionals.size() != 2)
+        throw UsageError("benchdiff compares two snapshots: mtperf "
+                         "benchdiff OLD.json NEW.json [options]");
+    const std::vector<std::string> rest(
+        args.begin() + static_cast<std::ptrdiff_t>(next), args.end());
+
+    ArgParser parser;
+    parser.addString("tolerance", "",
+                     "per-metric tolerance overrides: "
+                     "name=frac[,name=frac...]");
+    parser.addString("verdict-out", "",
+                     "write the CRC-sealed verdict JSON here");
+    parser.addFlag("json",
+                   "print the verdict JSON instead of the table");
+    addCommonOptions(parser);
+    parser.parse(rest);
+    applyCommonOptions(parser);
+
+    std::map<std::string, double> overrides;
+    const std::string tolerance = parser.getString("tolerance");
+    if (!tolerance.empty()) {
+        for (const std::string &entry : split(tolerance, ',')) {
+            const std::size_t eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0)
+                throw UsageError("--tolerance entries are name=frac, "
+                                 "got '" + entry + "'");
+            const std::string name = trim(entry.substr(0, eq));
+            double frac = 0.0;
+            try {
+                frac = parseDouble(entry.substr(eq + 1),
+                                   "--tolerance " + name);
+            } catch (const FatalError &e) {
+                throw UsageError(e.what());
+            }
+            if (!overrides.emplace(name, frac).second)
+                throw UsageError("--tolerance names '" + name +
+                                 "' twice");
+        }
+    }
+
+    const perf::BenchDiffReport report = perf::diffBenchFiles(
+        positionals[0], positionals[1], overrides);
+    if (parser.getFlag("json"))
+        out << perf::benchDiffToJson(report) << "\n";
+    else
+        out << perf::formatBenchDiff(report);
+    const std::string verdict = parser.getString("verdict-out");
+    if (!verdict.empty()) {
+        perf::writeBenchDiffFile(verdict, report);
+        out << "verdict written to " << verdict << "\n";
+    }
+    return report.pass() ? 0 : kExitBenchRegression;
 }
 
 int
@@ -987,9 +1286,21 @@ int
 cmdVersion(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
+    parser.addFlag("json",
+                   "emit machine-readable build provenance JSON");
     addCommonOptions(parser);
     parser.parse(args);
     applyCommonOptions(parser);
+    if (parser.getFlag("json")) {
+        // Canonical fixed key order, parseable by common/json.
+        out << "{\"mtperf_version\":1,\"version\":\""
+            << jsonEscape(obs::buildVersion()) << "\",\"git_sha\":\""
+            << jsonEscape(obs::buildGitSha()) << "\",\"compiler\":\""
+            << jsonEscape(obs::buildCompiler())
+            << "\",\"build_type\":\"" << jsonEscape(obs::buildType())
+            << "\"}\n";
+        return 0;
+    }
     out << obs::buildSummary() << "\n"
         << "version " << obs::buildVersion() << "\n"
         << "git " << obs::buildGitSha() << "\n"
@@ -1024,7 +1335,16 @@ usageText()
            "  validate   assert the simulated event counters against\n"
            "             analytic oracle workloads (--report FILE\n"
            "             writes a CRC-sealed JSON drift report)\n"
-           "  version    build metadata (version, git sha, compiler)\n"
+           "  top        live terminal dashboard over a running serve\n"
+           "             daemon: --connect ADDRESS (binary METRICS\n"
+           "             op) or --http HOST:PORT (GET /metrics);\n"
+           "             --once renders one frame and exits\n"
+           "  benchdiff  compare two BENCH_*.json snapshots with\n"
+           "             per-metric tolerance bands; exits 6 on a\n"
+           "             regression (--verdict-out writes the sealed\n"
+           "             verdict JSON)\n"
+           "  version    build metadata (version, git sha, compiler;\n"
+           "             --json for machine-readable provenance)\n"
            "  help       show this text\n"
            "\n"
            "every command accepts --threads N to size the worker\n"
@@ -1033,7 +1353,11 @@ usageText()
            "deterministic fault injection. observability:\n"
            "--trace-out FILE writes a Chrome trace-event JSON of the\n"
            "run (load in Perfetto), --metrics-out FILE dumps the\n"
-           "process metrics registry as JSON, --log-json switches\n"
+           "process metrics registry (--metrics-format json|prom\n"
+           "picks JSON or Prometheus text exposition),\n"
+           "--timeseries-out INTERVAL:PATH samples every metric on a\n"
+           "background thread (e.g. 500ms:ts.json) into a CRC-sealed\n"
+           "time-series document, --log-json switches\n"
            "stderr logging to JSON lines, and --log-level LEVEL sets\n"
            "the threshold (debug, info, warn, error).\n"
            "commands that read\n"
@@ -1052,7 +1376,9 @@ usageText()
            "exit codes: 0 success, 2 usage error (bad flags or\n"
            "values), 3 bad data (missing, corrupt or unparsable\n"
            "input), 4 internal error, 5 counter drift (validate\n"
-           "found an event counter outside its oracle bounds).\n";
+           "found an event counter outside its oracle bounds),\n"
+           "6 bench regression (benchdiff found a gated metric\n"
+           "outside its tolerance band).\n";
 }
 
 namespace {
@@ -1085,6 +1411,10 @@ commandFor(const std::string &subcommand)
         return cmdServe;
     if (subcommand == "validate")
         return cmdValidate;
+    if (subcommand == "top")
+        return cmdTop;
+    if (subcommand == "benchdiff")
+        return cmdBenchdiff;
     if (subcommand == "version")
         return cmdVersion;
     return nullptr;
@@ -1115,12 +1445,28 @@ flushObsOutputs(int status, std::ostream &out)
     }
     if (!pending.metricsPath.empty()) {
         try {
-            obs::writeMetricsFile(pending.metricsPath);
+            obs::writeMetricsFile(pending.metricsPath,
+                                  pending.metricsFormat);
             out << "metrics written to " << pending.metricsPath
                 << "\n";
         } catch (const std::exception &e) {
             warnAs("obs", "failed to write metrics file ",
                    pending.metricsPath, ": ", e.what());
+            if (status == 0)
+                status = 3;
+        }
+    }
+    if (pending.timeseries) {
+        pending.timeseries->stop(); // takes the final sample
+        try {
+            pending.timeseries->writeFile(pending.timeseriesPath);
+            out << "timeseries written to "
+                << pending.timeseriesPath << " ("
+                << pending.timeseries->retained() << " of "
+                << pending.timeseries->taken() << " samples)\n";
+        } catch (const std::exception &e) {
+            warnAs("obs", "failed to write timeseries file ",
+                   pending.timeseriesPath, ": ", e.what());
             if (status == 0)
                 status = 3;
         }

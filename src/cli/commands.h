@@ -18,13 +18,20 @@
  *   diff        — before/after comparison of two section CSVs
  *   stack       — simulator-attributed CPI stack for one workload
  *   serve       — prediction server: batched inference over a socket
+ *   top         — live terminal dashboard over a running server's
+ *                 /metrics (HTTP scrape or binary METRICS op)
+ *   benchdiff   — compare two BENCH_*.json snapshots with per-metric
+ *                 tolerance policy; exit 6 on a regression
  *   validate    — assert the simulator's event counters against the
  *                 analytic oracle workloads, emit a drift report
- *   version     — build metadata (version, git sha, compiler)
+ *   version     — build metadata (version, git sha, compiler);
+ *                 --json emits a machine-readable document
  *
  * Observability: every command also accepts --trace-out FILE (write a
  * Chrome trace-event JSON of the run, loadable in Perfetto),
- * --metrics-out FILE (dump the process metrics registry as JSON),
+ * --metrics-out FILE (dump the metrics registry; --metrics-format
+ * picks json or Prometheus text), --timeseries-out INTERVAL:PATH
+ * (background sampler writing a CRC-sealed time-series document),
  * --log-json (structured JSON log lines on stderr) and --log-level.
  */
 
@@ -53,6 +60,9 @@ int cmdCrossval(const std::vector<std::string> &args, std::ostream &out);
 int cmdDiff(const std::vector<std::string> &args, std::ostream &out);
 int cmdStack(const std::vector<std::string> &args, std::ostream &out);
 int cmdServe(const std::vector<std::string> &args, std::ostream &out);
+int cmdTop(const std::vector<std::string> &args, std::ostream &out);
+int cmdBenchdiff(const std::vector<std::string> &args,
+                 std::ostream &out);
 int cmdValidate(const std::vector<std::string> &args,
                 std::ostream &out);
 int cmdVersion(const std::vector<std::string> &args, std::ostream &out);
@@ -64,6 +74,13 @@ int cmdVersion(const std::vector<std::string> &args, std::ostream &out);
  * run" (2/3/4).
  */
 inline constexpr int kExitCounterDrift = 5;
+
+/**
+ * Exit status of `mtperf benchdiff` when a gated metric regressed
+ * beyond its tolerance. Distinct from 0/2/3/4/5 so CI can tell
+ * "performance regressed" from "could not compare".
+ */
+inline constexpr int kExitBenchRegression = 6;
 
 /**
  * Dispatch @p subcommand; "help" (or anything unknown) prints usage.

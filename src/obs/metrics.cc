@@ -11,6 +11,7 @@
 #include "common/atomic_file.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "obs/prometheus.h"
 
 namespace mtperf::obs {
 
@@ -92,12 +93,15 @@ HistogramSnapshot::subtract(const HistogramSnapshot &baseline)
                   "subtracting histograms with different bucket layouts");
     count_ = 0;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
-        mtperf_assert(buckets_[b] >= baseline.buckets_[b],
-                      "baseline snapshot is newer than this one");
-        buckets_[b] -= baseline.buckets_[b];
+        // Clamp instead of asserting: a record() racing the two
+        // bucket copies can leave the "earlier" snapshot ahead in
+        // exactly the bucket it was incrementing.
+        buckets_[b] = buckets_[b] >= baseline.buckets_[b]
+                          ? buckets_[b] - baseline.buckets_[b]
+                          : 0;
         count_ += buckets_[b];
     }
-    sum_ -= baseline.sum_;
+    sum_ = std::max(sum_ - baseline.sum_, 0.0);
 }
 
 Histogram::Histogram(HistogramConfig config)
@@ -304,6 +308,27 @@ validateInvariants()
     return violations;
 }
 
+MetricsSnapshot
+snapshotRegistry()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    MetricsSnapshot snap;
+    snap.counters.reserve(reg.counters.size());
+    for (const auto &[name, metric] : reg.counters)
+        snap.counters.emplace_back(name, metric->value());
+    snap.gauges.reserve(reg.gauges.size());
+    for (const auto &[name, metric] : reg.gauges)
+        snap.gauges.emplace_back(
+            name,
+            MetricsSnapshot::GaugeValue{metric->value(),
+                                        metric->maxValue()});
+    snap.histograms.reserve(reg.histograms.size());
+    for (const auto &[name, metric] : reg.histograms)
+        snap.histograms.emplace_back(name, metric->snapshot());
+    return snap;
+}
+
 std::string
 metricsToJson()
 {
@@ -367,11 +392,20 @@ metricsToJson()
 }
 
 void
-writeMetricsFile(const std::string &path)
+writeMetricsFile(const std::string &path, MetricsFormat format)
 {
-    const std::string json = metricsToJson();
+    // Both formats run invariant validation first: the JSON dump
+    // embeds the violations, the Prometheus one warns via logging.
+    const std::string body = format == MetricsFormat::Json
+                                 ? metricsToJson()
+                                 : (static_cast<void>(validateInvariants()),
+                                    metricsToPrometheus());
     MTPERF_FAULT_POINT("obs.flush");
-    atomicWriteFile(path, [&](std::ostream &out) { out << json << "\n"; });
+    atomicWriteFile(path, [&](std::ostream &out) {
+        out << body;
+        if (format == MetricsFormat::Json)
+            out << "\n"; // exposition text is already \n-terminated
+    });
 }
 
 } // namespace mtperf::obs

@@ -166,6 +166,11 @@ class HistogramSnapshot
     /**
      * Subtract @p baseline (an earlier snapshot of the same
      * histogram), yielding the observations recorded in between.
+     * A baseline bucket larger than this one clamps to zero (and the
+     * sum clamps at 0.0) instead of underflowing: two snapshots of a
+     * live histogram are taken bucket-by-bucket without a global
+     * lock, so a racing record() can make an "earlier" snapshot
+     * appear ahead in one bucket.
      */
     void subtract(const HistogramSnapshot &baseline);
 
@@ -271,11 +276,40 @@ std::vector<InvariantViolation> validateInvariants();
  */
 std::string metricsToJson();
 
+/** Wire format of a metrics dump. */
+enum class MetricsFormat
+{
+    Json,       //!< metricsToJson() object
+    Prometheus, //!< text exposition (obs/prometheus.h)
+};
+
 /**
- * Crash-safe (atomic_file) dump of metricsToJson() to @p path,
- * running invariant validation first. Fault site: `obs.flush`.
+ * A coherent point-in-time copy of the whole registry, in sorted name
+ * order. This is the enumeration API the time-series sampler and the
+ * Prometheus exposition build on; individual values are read with
+ * relaxed loads, so the snapshot is per-metric (not globally) atomic.
  */
-void writeMetricsFile(const std::string &path);
+struct MetricsSnapshot
+{
+    struct GaugeValue
+    {
+        std::int64_t value = 0;
+        std::int64_t max = 0;
+    };
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, GaugeValue>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+MetricsSnapshot snapshotRegistry();
+
+/**
+ * Crash-safe (atomic_file) dump of the registry to @p path, running
+ * invariant validation first. Fault site: `obs.flush`.
+ */
+void writeMetricsFile(const std::string &path,
+                      MetricsFormat format = MetricsFormat::Json);
 
 } // namespace mtperf::obs
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal GET-only HTTP responder exposing the metrics registry in
+ * Prometheus text exposition format, plus the tiny HTTP client
+ * `mtperf top --http` and the tests use to scrape it back.
+ *
+ * This is deliberately not a web server: one accept-loop thread, one
+ * request per connection (`Connection: close`), bounded request size,
+ * three routes' worth of behavior:
+ *
+ *   GET /metrics  -> 200, text exposition of the whole registry
+ *   GET <else>    -> 404
+ *   <non-GET>     -> 405
+ *
+ * It reuses common/socket (same primitives as the serve daemon) and
+ * binds its own dedicated listener — scraping never competes with the
+ * binary protocol for the serve accept loop. Counters:
+ * `obs.metrics_http.requests`, `obs.metrics_http.errors`.
+ */
+
+#ifndef MTPERF_OBS_METRICS_HTTP_H_
+#define MTPERF_OBS_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/socket.h"
+
+namespace mtperf::obs {
+
+/** A scraping server over the process-wide registry. */
+class MetricsHttpServer
+{
+  public:
+    struct Options
+    {
+        std::string host = "127.0.0.1";
+        std::uint16_t port = 0; //!< 0 picks an ephemeral port
+    };
+
+    /** Binds and listens immediately. @throw FatalError on failure. */
+    explicit MetricsHttpServer(Options options);
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** Start the accept loop (thread `mtperf-metrics`). */
+    void start();
+
+    /** Stop the accept loop and join (idempotent). */
+    void stop();
+
+    /** The bound TCP port (useful with ephemeral binding). */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    void run();
+    void handle(net::Socket client);
+
+    Options options_;
+    net::Socket listener_;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    bool running_ = false;
+    std::atomic<bool> stopping_{false};
+};
+
+/** Status line + body of one HTTP exchange. */
+struct HttpResponse
+{
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * One-shot HTTP GET (the scraping client). Connects, sends the
+ * request, reads to EOF, parses the status line and strips headers.
+ * @throw FatalError on connect/transport errors or a malformed reply.
+ */
+HttpResponse httpGet(const std::string &host, std::uint16_t port,
+                     const std::string &path, int timeout_ms = 5000);
+
+} // namespace mtperf::obs
+
+#endif // MTPERF_OBS_METRICS_HTTP_H_

@@ -1,0 +1,134 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mtperf::obs {
+
+namespace {
+
+void
+appendNumber(std::ostream &os, double value)
+{
+    // Prometheus accepts any float text; reuse the shortest-round-trip
+    // encoder so scrapes parse back to identical bits.
+    os << (std::isfinite(value) ? json::jsonNumberText(value) : "0");
+}
+
+void
+appendSummary(std::ostream &os, const std::string &name,
+              const HistogramSnapshot &snap)
+{
+    os << "# TYPE " << name << " summary\n";
+    for (const char *q : {"0.5", "0.95", "0.99"}) {
+        os << name << "{quantile=\"" << q << "\"} ";
+        appendNumber(os, snap.percentile(parseDouble(q, "quantile")));
+        os << '\n';
+    }
+    os << name << "_sum ";
+    appendNumber(os, snap.sum());
+    os << '\n' << name << "_count " << snap.count() << '\n';
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &metricName)
+{
+    std::string out = "mtperf_";
+    out.reserve(out.size() + metricName.size());
+    for (char c : metricName) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+metricsToPrometheus(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string prom = prometheusName(name);
+        os << "# TYPE " << prom << " counter\n"
+           << prom << ' ' << value << '\n';
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string prom = prometheusName(name);
+        os << "# TYPE " << prom << " gauge\n"
+           << prom << ' ' << value.value << '\n'
+           << "# TYPE " << prom << "_max gauge\n"
+           << prom << "_max " << value.max << '\n';
+    }
+    for (const auto &[name, snap] : snapshot.histograms)
+        appendSummary(os, prometheusName(name), snap);
+    return os.str();
+}
+
+std::string
+metricsToPrometheus()
+{
+    return metricsToPrometheus(snapshotRegistry());
+}
+
+bool
+PrometheusScrape::has(const std::string &sample) const
+{
+    return samples.count(sample) != 0;
+}
+
+double
+PrometheusScrape::value(const std::string &sample) const
+{
+    const auto it = samples.find(sample);
+    if (it == samples.end())
+        mtperf_fatal("scrape has no sample '", sample, "'");
+    return it->second;
+}
+
+double
+PrometheusScrape::valueOr(const std::string &sample, double fallback) const
+{
+    const auto it = samples.find(sample);
+    return it == samples.end() ? fallback : it->second;
+}
+
+PrometheusScrape
+parsePrometheusText(const std::string &text)
+{
+    PrometheusScrape scrape;
+    for (const std::string &raw : split(text, '\n')) {
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // Only `# TYPE <name> <type>` comments are meaningful.
+            const std::vector<std::string> words = split(line, ' ');
+            if (words.size() == 4 && words[1] == "TYPE")
+                scrape.types[words[2]] = words[3];
+            continue;
+        }
+        // `<name>[{labels}] <value>` — the value is everything after
+        // the last space so label text may not contain spaces (ours
+        // never does).
+        const std::size_t space = line.rfind(' ');
+        if (space == std::string::npos || space == 0)
+            mtperf_fatal("malformed exposition line: ", line);
+        const std::string name = trim(line.substr(0, space));
+        const std::size_t brace = name.find('{');
+        if (brace != std::string::npos &&
+            (name.back() != '}' ||
+             name.find('"', brace) == std::string::npos))
+            mtperf_fatal("malformed exposition labels: ", line);
+        scrape.samples[name] =
+            parseDouble(trim(line.substr(space + 1)), "exposition value");
+    }
+    return scrape;
+}
+
+} // namespace mtperf::obs

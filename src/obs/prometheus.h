@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) over the obs registry,
+ * plus the minimal parser the `mtperf top` client uses to read a
+ * scrape back.
+ *
+ * Mapping policy (documented in DESIGN.md §15):
+ *  - every metric name is prefixed `mtperf_` and has `.`/`-` folded
+ *    to `_` (Prometheus names admit only [a-zA-Z0-9_:]);
+ *  - counters export as `counter`;
+ *  - gauges export as `gauge`, with the watermark as a second gauge
+ *    named `<name>_max`;
+ *  - histograms export as a `summary`: `quantile="0.5"/"0.95"/"0.99"`
+ *    samples plus `_sum` and `_count` (compact, and exactly the
+ *    percentile set the registry's JSON dump already publishes).
+ *
+ * The exposition is generated from one snapshotRegistry() call, so a
+ * scrape is as coherent as the registry's relaxed loads allow, and
+ * names appear in sorted order so scrapes diff cleanly.
+ */
+
+#ifndef MTPERF_OBS_PROMETHEUS_H_
+#define MTPERF_OBS_PROMETHEUS_H_
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mtperf::obs {
+
+/** Content-Type header value for the exposition format. */
+inline constexpr const char *kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/** `serve.predict_micros` -> `mtperf_serve_predict_micros`. */
+std::string prometheusName(const std::string &metricName);
+
+/** Render @p snapshot in the text exposition format. */
+std::string metricsToPrometheus(const MetricsSnapshot &snapshot);
+
+/** Snapshot the registry and render it. */
+std::string metricsToPrometheus();
+
+/**
+ * One parsed scrape. Samples are keyed by their full sample name:
+ * the bare metric name for counters/gauges, `<name>_sum`/`<name>_count`
+ * for summary components, and `<name>{quantile="0.99"}` for quantile
+ * samples (label text preserved verbatim).
+ */
+struct PrometheusScrape
+{
+    std::map<std::string, double> samples;
+    //! metric name -> declared TYPE (counter/gauge/summary/...)
+    std::map<std::string, std::string> types;
+
+    bool has(const std::string &sample) const;
+
+    /** Value of @p sample; throws FatalError when absent. */
+    double value(const std::string &sample) const;
+
+    /** Value of @p sample, or @p fallback when absent. */
+    double valueOr(const std::string &sample, double fallback) const;
+};
+
+/**
+ * Parse text exposition produced by metricsToPrometheus(). Strict
+ * about what this module emits (one sample per line, `# TYPE`
+ * comments, optional `{quantile="..."}` label); throws FatalError on
+ * malformed lines.
+ */
+PrometheusScrape parsePrometheusText(const std::string &text);
+
+} // namespace mtperf::obs
+
+#endif // MTPERF_OBS_PROMETHEUS_H_

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/logging.h"
+
 #if defined(__linux__)
 #include <pthread.h>
 #endif
@@ -37,6 +39,22 @@ currentThreadId()
     return id;
 }
 
+std::string
+kernelThreadName(const std::string &name)
+{
+    // 15 chars + NUL is the kernel's TASK_COMM_LEN contract.
+    constexpr std::size_t kMax = 15;
+    if (name.size() <= kMax)
+        return name;
+    // Keep the head (component) and the tail (instance id): 7 + '~' + 7.
+    constexpr std::size_t kTail = (kMax - 1) / 2;
+    constexpr std::size_t kHead = kMax - 1 - kTail;
+    const std::string clamped =
+        name.substr(0, kHead) + "~" + name.substr(name.size() - kTail);
+    mtperf_assert(clamped.size() == kMax, "bad kernel name clamp");
+    return clamped;
+}
+
 void
 setCurrentThreadName(const std::string &name)
 {
@@ -46,8 +64,9 @@ setCurrentThreadName(const std::string &name)
         table.names[currentThreadId()] = name;
     }
 #if defined(__linux__)
-    // The kernel caps thread names at 15 chars + NUL.
-    pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+    const int rc = pthread_setname_np(
+        pthread_self(), kernelThreadName(name).c_str());
+    mtperf_assert(rc == 0, "pthread_setname_np failed");
 #endif
 }
 

@@ -25,10 +25,21 @@ namespace mtperf::obs {
 std::uint32_t currentThreadId();
 
 /**
- * Name the calling thread for logs, traces and the OS (the kernel
- * name is truncated to 15 characters, the pthread limit).
+ * Name the calling thread for logs, traces and the OS. The full name
+ * is kept for logs/traces; the kernel copy is clamped to the pthread
+ * limit via kernelThreadName().
  */
 void setCurrentThreadName(const std::string &name);
+
+/**
+ * Clamp @p name to the kernel's 15-character thread-name limit.
+ * `pthread_setname_np` would otherwise fail with ERANGE on glibc (and
+ * a naive substr(0, 15) erases the numeric suffix that distinguishes
+ * `mtperf-worker-12` from `mtperf-worker-13`), so long names keep
+ * their head and tail around a `~` marker: `mtperf-worker-123` becomes
+ * `mtperf-~ker-123`. Names of 15 chars or fewer pass through intact.
+ */
+std::string kernelThreadName(const std::string &name);
 
 /** The name set for the calling thread ("" if never named). */
 std::string currentThreadName();

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Time-series sampler over the metrics registry.
+ *
+ * The paper's thesis — and CounterPoint's extension of it — is that
+ * performance must be watched *over time*, not summarized once at
+ * exit. A TimeseriesSampler runs a background thread that snapshots
+ * every registered counter, gauge and histogram at a fixed interval
+ * into a fixed-capacity ring buffer; when the ring is full the oldest
+ * samples are overwritten (the `taken` count keeps growing, so a
+ * reader can tell how many fell off the front).
+ *
+ * Serialization is a canonical, CRC-sealed JSON document (same seal
+ * idiom as the validate drift report: the crc32 member covers every
+ * byte before its own `,"crc32":` suffix, and no trailing newline
+ * means no truncation can masquerade as a complete document):
+ *
+ *   {"mtperf_timeseries":1,"interval_ms":I,"capacity":C,
+ *    "taken":T,"dropped":D,
+ *    "samples":[{"t_ms":...,"counters":{...},"rates":{...},
+ *                "gauges":{n:{"value":V,"max":M}},
+ *                "histograms":{n:{"count":C,"sum":S,
+ *                                 "p50":..,"p95":..,"p99":..}}},...],
+ *    "crc32":N}
+ *
+ * `rates` holds per-second counter deltas versus the previous
+ * *retained* sample (the first sample has none). Every command takes
+ * a `--timeseries-out INTERVAL:PATH` option that runs one sampler for
+ * the life of the command and writes the document at exit via
+ * atomic_file (fault site: `obs.flush`).
+ */
+
+#ifndef MTPERF_OBS_TIMESERIES_H_
+#define MTPERF_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mtperf::obs {
+
+/** Parsed `--timeseries-out INTERVAL:PATH` argument. */
+struct TimeseriesSpec
+{
+    std::uint64_t intervalMs = 0;
+    std::string path;
+};
+
+/**
+ * Parse `INTERVAL:PATH` where INTERVAL is a positive integer with an
+ * optional `ms` (default) or `s` suffix, e.g. `500ms:ts.json`,
+ * `2s:out/ts.json`. @throw FatalError on malformed specs.
+ */
+TimeseriesSpec parseTimeseriesSpec(const std::string &spec);
+
+/**
+ * Background sampler. start() spawns the thread (which samples once
+ * immediately, then every interval); stop() joins it and takes one
+ * final sample so short runs always record their end state.
+ * sampleOnce() is public so tests and the flush path can drive the
+ * ring deterministically. Counters: `obs.timeseries.samples`,
+ * `obs.timeseries.dropped`.
+ */
+class TimeseriesSampler
+{
+  public:
+    struct Options
+    {
+        std::uint64_t intervalMs = 1000;
+        std::size_t capacity = 600; //!< ring slots (10 min at 1 Hz)
+    };
+
+    explicit TimeseriesSampler(Options options);
+    ~TimeseriesSampler();
+
+    TimeseriesSampler(const TimeseriesSampler &) = delete;
+    TimeseriesSampler &operator=(const TimeseriesSampler &) = delete;
+
+    void start();
+    void stop();
+
+    /** Take one sample now (any thread). */
+    void sampleOnce();
+
+    /** Samples ever taken (>= retained()). */
+    std::uint64_t taken() const;
+
+    /** Samples currently held in the ring. */
+    std::size_t retained() const;
+
+    /** The canonical CRC-sealed document. */
+    std::string toJson() const;
+
+    /** Crash-safe dump of toJson(). Fault site: `obs.flush`. */
+    void writeFile(const std::string &path) const;
+
+    const Options &options() const { return options_; }
+
+  private:
+    struct Sample
+    {
+        std::int64_t tMs = 0; //!< since sampler construction
+        MetricsSnapshot metrics;
+    };
+
+    void run();
+
+    const Options options_;
+    const std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::vector<Sample> ring_;   //!< ring storage, capacity slots
+    std::size_t head_ = 0;       //!< next slot to write
+    std::size_t retained_ = 0;
+    std::uint64_t taken_ = 0;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+/** One decoded sample of a parsed time-series document. */
+struct ParsedTimeseriesSample
+{
+    std::int64_t tMs = 0;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> rates;
+};
+
+/** A parsed + seal-verified time-series document. */
+struct ParsedTimeseries
+{
+    std::uint64_t intervalMs = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t dropped = 0;
+    std::vector<ParsedTimeseriesSample> samples;
+};
+
+/**
+ * Parse a document produced by TimeseriesSampler::toJson(),
+ * verifying the CRC seal on the raw bytes before trusting any
+ * structure and that sample timestamps are monotone.
+ * @throw FatalError on corruption or schema violations.
+ */
+ParsedTimeseries parseTimeseries(std::string_view text,
+                                 const std::string &source);
+
+} // namespace mtperf::obs
+
+#endif // MTPERF_OBS_TIMESERIES_H_

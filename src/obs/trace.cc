@@ -1,6 +1,10 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -58,6 +62,7 @@ struct TraceState
 {
     std::mutex mutex;
     std::uint64_t session = 0; //!< bumped by every startTrace()
+    std::string processLabel = "mtperf";
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
 };
 
@@ -146,6 +151,41 @@ traceInstant(const char *category, std::string name)
                  -1});
 }
 
+std::int64_t
+traceNowMicros()
+{
+    return nowMicros();
+}
+
+void
+traceCompleteSpan(const char *category, std::string name,
+                  std::int64_t startMicros, std::int64_t endMicros)
+{
+    if (!traceEnabled())
+        return;
+    const std::int64_t epoch =
+        epochMicros.load(std::memory_order_relaxed);
+    appendEvent({category, std::move(name), startMicros - epoch,
+                 std::max<std::int64_t>(endMicros - startMicros, 0)});
+}
+
+void
+setTraceProcessLabel(std::string label)
+{
+    TraceState &st = state();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    st.processLabel = std::move(label);
+}
+
+std::string
+traceIdHex(std::uint64_t traceId)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(traceId));
+    return buf;
+}
+
 std::string
 traceToJson()
 {
@@ -153,23 +193,28 @@ traceToJson()
     // lock. In-flight spans (not yet destroyed) are simply absent.
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     std::uint64_t session = 0;
+    std::string processLabel;
     {
         TraceState &st = state();
         std::lock_guard<std::mutex> lock(st.mutex);
         buffers = st.buffers;
         session = st.session;
+        processLabel = st.processLabel;
     }
 
+    // The real pid keeps tids from colliding when a client trace and
+    // a server trace are concatenated into one merged document.
+    const long pid = static_cast<long>(::getpid());
     std::ostringstream os;
     os << "{\"traceEvents\":[";
-    bool first = true;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    appendJsonEscaped(os, processLabel);
+    os << "\"}}";
+    bool first = false;
     for (const auto &[tid, name] : namedThreads()) {
-        if (!first)
-            os << ',';
-        first = false;
-        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-              "\"tid\":"
-           << tid << ",\"args\":{\"name\":\"";
+        os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
         appendJsonEscaped(os, name);
         os << "\"}}";
     }
@@ -190,7 +235,8 @@ traceToJson()
                 os << ",\"dur\":" << event.durMicros;
             else
                 os << ",\"s\":\"t\"";
-            os << ",\"pid\":1,\"tid\":" << buffer->tid << '}';
+            os << ",\"pid\":" << pid << ",\"tid\":" << buffer->tid
+               << '}';
         }
     }
     os << "]}";

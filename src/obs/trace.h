@@ -57,6 +57,36 @@ void stopTrace();
 void traceInstant(const char *category, std::string name);
 
 /**
+ * Absolute steady-clock microseconds, for callers that measure a
+ * span themselves (e.g. the batcher timing a job's queue wait from
+ * enqueue on one thread to drain on another). Pair with
+ * traceCompleteSpan(); the session epoch is subtracted there.
+ */
+std::int64_t traceNowMicros();
+
+/**
+ * Record a caller-measured complete span on the calling thread's
+ * track. @p startMicros / @p endMicros are traceNowMicros() values;
+ * negative durations clamp to zero. No-op when tracing is disabled.
+ */
+void traceCompleteSpan(const char *category, std::string name,
+                       std::int64_t startMicros,
+                       std::int64_t endMicros);
+
+/**
+ * Label this process's track group in the viewer ("mtperf serve",
+ * "mtperf predict"). Events always carry the real pid, so traces
+ * from a client and a server process merge without tid collisions;
+ * the label tells the two apart.
+ */
+void setTraceProcessLabel(std::string label);
+
+/** `1f3a...` — the canonical 16-digit hex spelling of a trace id,
+ * used in span names (`client.predict trace=<hex>`) so one request's
+ * client→server chain greps out of a merged trace. */
+std::string traceIdHex(std::uint64_t traceId);
+
+/**
  * Everything recorded so far as Chrome trace-event JSON:
  * {"traceEvents":[...]} with "X" (complete) span events, "i" instant
  * events and "M" thread-name metadata, one tid per mtperf thread.

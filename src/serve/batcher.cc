@@ -31,6 +31,9 @@ Batcher::~Batcher()
 bool
 Batcher::submit(PredictJob &&job)
 {
+    // Watermarked depth gauge: `mtperf top` reads value + max to show
+    // current pressure and the worst the queue has ever been.
+    static obs::Gauge &queueRows = obs::gauge("serve.queue_rows");
     const std::size_t rows = job.rowCount();
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -41,6 +44,7 @@ Batcher::submit(PredictJob &&job)
         queuedRows_ += rows;
         queue_.push_back(std::move(job));
     }
+    queueRows.addTracked(static_cast<std::int64_t>(rows));
     wake_.notify_one();
     return true;
 }
@@ -103,6 +107,9 @@ Batcher::workerLoop()
                 queue_.pop_front();
                 queuedRows_ -= next;
             }
+            static obs::Gauge &queueRows =
+                obs::gauge("serve.queue_rows");
+            queueRows.add(-static_cast<std::int64_t>(batch_rows));
         }
         runBatch(batch);
     }
@@ -114,6 +121,24 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
     obs::ScopedSpan span("serve",
                          "serve.batch jobs=" +
                              std::to_string(batch.size()));
+    // Traced jobs get a per-request queue-wait span (enqueue on the
+    // connection thread -> drain here); both ends are steady-clock
+    // micros, the same clock traceNowMicros() reads.
+    const std::int64_t drainedMicros = obs::traceNowMicros();
+    if (obs::traceEnabled()) {
+        for (const PredictJob &job : batch) {
+            if (job.traceId == 0)
+                continue;
+            const std::int64_t enqueuedMicros =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    job.enqueued.time_since_epoch())
+                    .count();
+            obs::traceCompleteSpan(
+                "serve",
+                "serve.queue_wait trace=" + obs::traceIdHex(job.traceId),
+                enqueuedMicros, drainedMicros);
+        }
+    }
     const std::shared_ptr<const M5Prime> model = model_.get();
     const std::size_t width =
         model ? model->schema().numAttributes() : 0;
@@ -137,11 +162,26 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
 
     std::vector<double> predictions(total_rows);
     std::string batch_error;
+    const std::int64_t predictStart = obs::traceNowMicros();
     if (!runnable.empty()) {
         try {
             model->predictBatch(rows, width, predictions);
         } catch (const std::exception &e) {
             batch_error = e.what();
+        }
+    }
+    if (obs::traceEnabled()) {
+        // One serve.predict span per traced runnable job: the batch
+        // predicts them together, so they share the interval.
+        const std::int64_t predictEnd = obs::traceNowMicros();
+        for (std::size_t j : runnable) {
+            if (batch[j].traceId == 0)
+                continue;
+            obs::traceCompleteSpan(
+                "serve",
+                "serve.predict trace=" +
+                    obs::traceIdHex(batch[j].traceId),
+                predictStart, predictEnd);
         }
     }
 

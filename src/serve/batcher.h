@@ -88,6 +88,7 @@ struct PredictJob
     std::vector<double> rows; //!< flat, rowCount x cols
     std::uint32_t cols = 0;
     bool wantAttribution = false;
+    std::uint64_t traceId = 0; //!< client-assigned; 0 = untraced
     std::function<void(JobResult &&)> done;
     std::chrono::steady_clock::time_point enqueued;
 

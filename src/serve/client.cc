@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace mtperf::serve {
 
@@ -75,6 +76,19 @@ Client::call(MsgType type, std::string payload)
                  options_.retryMax, " attempts (overloaded)");
 }
 
+std::uint64_t
+Client::predictTraceId(std::uint64_t ordinal) const
+{
+    // splitmix64 over (seed, ordinal): deterministic per client, well
+    // separated between neighboring calls, and never zero (zero is
+    // the protocol's "untraced" sentinel).
+    std::uint64_t z = jitterSeed_ + 0x9e3779b97f4a7c15ULL * ordinal;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z == 0 ? 1 : z;
+}
+
 PredictResponse
 Client::predict(std::span<const double> rows, std::size_t cols,
                 bool want_attribution)
@@ -85,6 +99,17 @@ Client::predict(std::span<const double> rows, std::size_t cols,
     request.rows = static_cast<std::uint32_t>(
         cols == 0 ? 0 : rows.size() / cols);
     request.values.assign(rows.begin(), rows.end());
+    const std::uint64_t ordinal = ++predictCount_;
+    std::string spanName;
+    if (obs::traceEnabled()) {
+        // The span covers the whole exchange, RETRY resubmits
+        // included, under the id the server's spans will carry too.
+        request.traceId = predictTraceId(ordinal);
+        spanName = "client.predict trace=" +
+                   obs::traceIdHex(request.traceId) +
+                   " rows=" + std::to_string(request.rows);
+    }
+    obs::ScopedSpan span("client", std::move(spanName));
     const Frame reply =
         call(kMsgPredict, encodePredictRequest(request));
     return decodePredictResponse(reply.payload);
@@ -100,6 +125,12 @@ std::string
 Client::stats()
 {
     return call(kMsgStats, {}).payload;
+}
+
+std::string
+Client::metrics()
+{
+    return call(kMsgMetrics, {}).payload;
 }
 
 void
@@ -124,6 +155,14 @@ Client::sendPredict(std::span<const double> rows, std::size_t cols,
     request.rows = static_cast<std::uint32_t>(
         cols == 0 ? 0 : rows.size() / cols);
     request.values.assign(rows.begin(), rows.end());
+    if (obs::traceEnabled()) {
+        request.traceId = predictTraceId(++predictCount_);
+        obs::traceInstant("client",
+                          "client.send trace=" +
+                              obs::traceIdHex(request.traceId));
+    } else {
+        ++predictCount_;
+    }
     const std::uint32_t id = nextId_++;
     writeFrame(sock_.fd(),
                Frame{kMsgPredict, id, encodePredictRequest(request)});

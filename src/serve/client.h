@@ -113,6 +113,13 @@ class Client
     std::string stats();
 
     /**
+     * The server's metrics registry in Prometheus text exposition
+     * format (the binary-protocol twin of `GET /metrics`). Feed to
+     * obs::parsePrometheusText(); powers `mtperf top --connect`.
+     */
+    std::string metrics();
+
+    /**
      * Ask the server to reload its model file.
      * @throw FatalError with the server's message when the new file
      * is corrupt (the server keeps serving the old model).
@@ -142,6 +149,15 @@ class Client
     /** The backoff jitter seed this client resolved to (never 0). */
     std::uint64_t retryJitterSeed() const { return jitterSeed_; }
 
+    /**
+     * The trace id the n-th predict/sendPredict of this client gets
+     * (n counts from 1). Deterministic per client — the jitter seed
+     * mixed with the call ordinal — and never 0, so a traced request
+     * can be located in the server's trace by a test that knows the
+     * seed. Ids are only attached while obs tracing is enabled.
+     */
+    std::uint64_t predictTraceId(std::uint64_t ordinal) const;
+
   private:
     Client(net::Socket sock, Options options)
         : sock_(std::move(sock)),
@@ -159,6 +175,7 @@ class Client
     std::uint64_t jitterSeed_;
     std::uint32_t nextId_ = 1;
     std::uint64_t callCount_ = 0;
+    std::uint64_t predictCount_ = 0;
 };
 
 } // namespace mtperf::serve

@@ -217,10 +217,15 @@ encodePredictRequest(const PredictRequest &request)
                       std::size_t{request.rows} * request.cols,
                   "predict request shape mismatch");
     std::string out;
-    out.reserve(12 + request.values.size() * 8);
-    put32(out, request.wantAttribution ? 1u : 0u);
+    out.reserve(20 + request.values.size() * 8);
+    std::uint32_t flags = request.wantAttribution ? 1u : 0u;
+    if (request.traceId != 0)
+        flags |= 2u;
+    put32(out, flags);
     put32(out, request.rows);
     put32(out, request.cols);
+    if (request.traceId != 0)
+        put64(out, request.traceId);
     for (double v : request.values)
         putDouble(out, v);
     return out;
@@ -232,11 +237,16 @@ decodePredictRequest(std::string_view payload)
     Reader reader(payload);
     PredictRequest request;
     const std::uint32_t flags = reader.u32();
-    if ((flags & ~1u) != 0)
+    if ((flags & ~3u) != 0)
         mtperf_fatal("unknown predict request flags ", flags);
     request.wantAttribution = (flags & 1u) != 0;
     request.rows = reader.u32();
     request.cols = reader.u32();
+    if ((flags & 2u) != 0) {
+        request.traceId = reader.u64();
+        if (request.traceId == 0)
+            mtperf_fatal("trace flag set but trace id is zero");
+    }
     const std::uint64_t count =
         std::uint64_t{request.rows} * request.cols;
     if (count > kMaxPayload / 8)

@@ -52,6 +52,8 @@ constexpr MsgType kMsgInfo = 2;
 constexpr MsgType kMsgReload = 3;
 constexpr MsgType kMsgStats = 4;
 constexpr MsgType kMsgShutdown = 5;
+/** Prometheus text exposition of the server's metrics registry. */
+constexpr MsgType kMsgMetrics = 6;
 
 /** OK responses echo the request type with this bit set. */
 constexpr MsgType kMsgReplyBit = 0x80;
@@ -105,10 +107,21 @@ void writeFrame(int fd, const Frame &frame);
 // Typed payloads
 // ------------------------------------------------------------------
 
-/** PREDICT request: rows x cols counter values, row-major. */
+/**
+ * PREDICT request: rows x cols counter values, row-major.
+ *
+ * Payload layout: flags u32, rows u32, cols u32, [traceId u64 when
+ * flags bit 1 is set], then rows*cols doubles. The trace id is
+ * assigned by the client and carried through the batcher so the
+ * request's spans (client send, queue wait, batch predict, reply)
+ * link up in a merged Perfetto trace; a zero/absent id means "not
+ * traced". Old servers reject the unknown flag loudly rather than
+ * mis-parsing the shifted payload.
+ */
 struct PredictRequest
 {
     bool wantAttribution = false; //!< also return per-row leaf ids
+    std::uint64_t traceId = 0;    //!< 0 = untraced
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
     std::vector<double> values; //!< rows * cols

@@ -8,7 +8,9 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "obs/build_info.h"
+#include "obs/prometheus.h"
 #include "obs/thread_info.h"
+#include "obs/trace.h"
 
 namespace mtperf::serve {
 
@@ -28,7 +30,8 @@ struct Server::Connection
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      endpoint_(net::parseEndpoint(options_.listen, options_.port))
+      endpoint_(net::parseEndpoint(options_.listen, options_.port)),
+      stats_(options_.slo)
 {
     model_.set(std::make_shared<const M5Prime>(
         M5Prime::loadFile(options_.modelPath)));
@@ -39,6 +42,14 @@ Server::Server(ServerOptions options)
         listener_ =
             net::listenTcp(endpoint_.host, endpoint_.port, &boundPort_);
         endpoint_.port = boundPort_;
+    }
+
+    if (options_.metricsHttp) {
+        obs::MetricsHttpServer::Options metrics_options;
+        metrics_options.host = options_.metricsHost;
+        metrics_options.port = options_.metricsPort;
+        metricsServer_ = std::make_unique<obs::MetricsHttpServer>(
+            metrics_options);
     }
 
     Batcher::Options batch_options;
@@ -62,11 +73,19 @@ Server::endpoint() const
     return endpoint_.display();
 }
 
+std::uint16_t
+Server::metricsPort() const
+{
+    return metricsServer_ ? metricsServer_->port() : 0;
+}
+
 void
 Server::start()
 {
     mtperf_assert(!started_, "Server::start() called twice");
     started_ = true;
+    if (metricsServer_)
+        metricsServer_->start();
     acceptThread_ = std::thread([this] {
         obs::setCurrentThreadName("mtperf-accept");
         acceptLoop();
@@ -136,6 +155,8 @@ Server::wait()
 
     // Complete whatever predictions are still queued before stopping.
     batcher_->stop();
+    if (metricsServer_)
+        metricsServer_->stop();
     joined_ = true;
 }
 
@@ -242,9 +263,12 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
         job.rows = std::move(predict.values);
         job.cols = predict.cols;
         job.wantAttribution = predict.wantAttribution;
+        job.traceId = predict.traceId;
         job.enqueued = std::chrono::steady_clock::now();
         const std::uint32_t id = request.id;
-        job.done = [this, conn, id](JobResult &&result) {
+        const std::uint64_t traceId = predict.traceId;
+        job.done = [this, conn, id, traceId](JobResult &&result) {
+            const std::int64_t replyStart = obs::traceNowMicros();
             if (result.ok) {
                 sendOn(conn,
                        Frame{static_cast<MsgType>(kMsgPredict |
@@ -256,6 +280,12 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
                        Frame{kMsgError, id,
                              encodeError({kErrBadRequest,
                                           result.error})});
+            }
+            if (traceId != 0 && obs::traceEnabled()) {
+                obs::traceCompleteSpan(
+                    "serve",
+                    "serve.reply trace=" + obs::traceIdHex(traceId),
+                    replyStart, obs::traceNowMicros());
             }
         };
         if (!batcher_->submit(std::move(job))) {
@@ -285,6 +315,14 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
         sendOn(conn,
                Frame{static_cast<MsgType>(kMsgStats | kMsgReplyBit),
                      request.id, stats_.snapshot().toJson()});
+        return true;
+    case kMsgMetrics:
+        // Fold the SLO window first so the scrape's serve.slo_*
+        // gauges are current even when traffic has gone quiet.
+        stats_.snapshot();
+        sendOn(conn,
+               Frame{static_cast<MsgType>(kMsgMetrics | kMsgReplyBit),
+                     request.id, obs::metricsToPrometheus()});
         return true;
     case kMsgShutdown:
         sendOn(conn,

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/socket.h"
+#include "obs/metrics_http.h"
 #include "serve/batcher.h"
 #include "serve/stats.h"
 
@@ -50,6 +51,13 @@ struct ServerOptions
     std::size_t queueMaxRows = 8192;
     int pollIntervalMs = 50;          //!< stop/reload responsiveness
     int idleTimeoutMs = 0;            //!< drop idle connections (0 = never)
+
+    /** Prometheus scrape listener (a second, HTTP socket). */
+    bool metricsHttp = false;
+    std::string metricsHost = "127.0.0.1";
+    std::uint16_t metricsPort = 0;    //!< 0 picks an ephemeral port
+
+    SloOptions slo;                   //!< sliding-window SLO policy
 };
 
 /** A running prediction server. */
@@ -88,6 +96,9 @@ class Server
     /** The bound TCP port (0 for Unix-domain sockets). */
     std::uint16_t port() const { return boundPort_; }
 
+    /** The /metrics scrape port (0 when metricsHttp is off). */
+    std::uint16_t metricsPort() const;
+
     /** Printable bound address. */
     std::string endpoint() const;
 
@@ -112,6 +123,7 @@ class Server
     ModelHolder model_;
     ServeStats stats_;
     std::unique_ptr<Batcher> batcher_;
+    std::unique_ptr<obs::MetricsHttpServer> metricsServer_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<bool> reloadRequested_{false};

@@ -19,7 +19,7 @@ latencyHistogram()
 
 } // namespace
 
-ServeStats::ServeStats()
+ServeStats::ServeStats(SloOptions slo)
     : connections_(obs::counter("serve.connections")),
       requests_(obs::counter("serve.requests")),
       predictRequests_(obs::counter("serve.predict_requests")),
@@ -28,7 +28,7 @@ ServeStats::ServeStats()
       retries_(obs::counter("serve.retries")),
       reloads_(obs::counter("serve.reloads")),
       reloadFailures_(obs::counter("serve.reload_failures")),
-      latency_(latencyHistogram())
+      latency_(latencyHistogram()), slo_(slo)
 {
     base_.connections = connections_.value();
     base_.requests = requests_.value();
@@ -88,6 +88,7 @@ ServeStats::snapshot() const
     s.p50Micros = lat.percentile(0.50);
     s.p95Micros = lat.percentile(0.95);
     s.p99Micros = lat.percentile(0.99);
+    s.slo = slo_.snapshot();
     return s;
 }
 
@@ -103,7 +104,15 @@ StatsSnapshot::toJson() const
        << ",\"reloads\":" << reloads
        << ",\"reload_failures\":" << reloadFailures
        << ",\"latency_us\":{\"p50\":" << p50Micros
-       << ",\"p95\":" << p95Micros << ",\"p99\":" << p99Micros << "}}";
+       << ",\"p95\":" << p95Micros << ",\"p99\":" << p99Micros
+       << "},\"slo\":{\"objective_us\":" << slo.latencyObjectiveUs
+       << ",\"error_budget\":" << slo.errorBudget
+       << ",\"window_s\":" << slo.windowSeconds
+       << ",\"window_requests\":" << slo.requests
+       << ",\"violations\":" << slo.violations
+       << ",\"errors\":" << slo.errors
+       << ",\"burn_rate\":" << slo.burnRate << ",\"healthy\":"
+       << (slo.healthy ? "true" : "false") << "}}";
     return os.str();
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "serve/slo.h"
 
 namespace mtperf::serve {
 
@@ -42,8 +43,9 @@ struct StatsSnapshot
     double p50Micros = 0.0;         //!< predict service latency
     double p95Micros = 0.0;
     double p99Micros = 0.0;
+    SloSnapshot slo;                //!< sliding-window SLO view
 
-    /** Flat JSON rendering ({"requests":N,...}). */
+    /** Flat JSON rendering ({"requests":N,...,"slo":{...}}). */
     std::string toJson() const;
 };
 
@@ -55,17 +57,29 @@ struct StatsSnapshot
 class ServeStats
 {
   public:
-    ServeStats();
+    explicit ServeStats(SloOptions slo = {});
 
     void countConnection() { connections_.increment(); }
     void countRequest() { requests_.increment(); }
     void countPredict(std::uint64_t rows);
-    void countError() { errors_.increment(); }
+
+    void
+    countError()
+    {
+        errors_.increment();
+        slo_.recordError();
+    }
+
     void countRetry() { retries_.increment(); }
     void countReload(bool ok);
 
     /** Record one predict request's service latency. */
-    void recordLatency(double micros) { latency_.record(micros); }
+    void
+    recordLatency(double micros)
+    {
+        latency_.record(micros);
+        slo_.recordLatency(micros);
+    }
 
     StatsSnapshot snapshot() const;
 
@@ -83,6 +97,9 @@ class ServeStats
     /** Registry values when this instance was created. */
     StatsSnapshot base_;
     obs::HistogramSnapshot baseLatency_;
+
+    /** Per-instance by construction; no baseline delta needed. */
+    mutable SloTracker slo_;
 };
 
 } // namespace mtperf::serve

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the bench-snapshot regression gate: policy resolution
+ * from metric names, tolerance bands, override semantics, the sealed
+ * verdict JSON, and crash-safe verdict writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/checksum.h"
+#include "common/fault.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "perf/benchdiff.h"
+
+namespace mtperf::perf {
+namespace {
+
+/** The verdict of one named metric in a report. */
+const BenchMetricDiff &
+metricNamed(const BenchDiffReport &report, const std::string &name)
+{
+    for (const auto &m : report.metrics)
+        if (m.name == name)
+            return m;
+    ADD_FAILURE() << "metric " << name << " not in report";
+    static BenchMetricDiff none;
+    return none;
+}
+
+TEST(BenchPolicy, ResolvesFromMetricName)
+{
+    EXPECT_EQ(benchPolicyFor("git_sha"), BenchPolicy::Informational);
+    EXPECT_EQ(benchPolicyFor("retries"), BenchPolicy::Informational);
+    EXPECT_EQ(benchPolicyFor("wall_seconds"),
+              BenchPolicy::Informational);
+    EXPECT_EQ(benchPolicyFor("fit_wall_seconds"),
+              BenchPolicy::Informational);
+
+    EXPECT_EQ(benchPolicyFor("rows_per_sec"),
+              BenchPolicy::HigherBetter);
+    EXPECT_EQ(benchPolicyFor("fit_rows_per_sec"),
+              BenchPolicy::HigherBetter);
+    EXPECT_EQ(benchPolicyFor("decode_cache_hit_rate"),
+              BenchPolicy::HigherBetter);
+    EXPECT_EQ(benchPolicyFor("split_search_speedup"),
+              BenchPolicy::HigherBetter);
+
+    EXPECT_EQ(benchPolicyFor("p50_us"), BenchPolicy::LowerBetter);
+    EXPECT_EQ(benchPolicyFor("p95_us"), BenchPolicy::LowerBetter);
+    EXPECT_EQ(benchPolicyFor("p999_us"), BenchPolicy::LowerBetter);
+    EXPECT_EQ(benchPolicyFor("serve_p99_us"),
+              BenchPolicy::LowerBetter);
+
+    EXPECT_EQ(benchPolicyFor("rows"), BenchPolicy::Exact);
+    EXPECT_EQ(benchPolicyFor("leaves"), BenchPolicy::Exact);
+    EXPECT_EQ(benchPolicyFor("p_us"), BenchPolicy::Exact)
+        << "no digits: not a latency percentile";
+    EXPECT_EQ(benchPolicyFor("jump_us"), BenchPolicy::Exact)
+        << "'p' must start its own word";
+}
+
+TEST(BenchDiff, IdenticalSnapshotsPass)
+{
+    const std::string doc =
+        R"({"rows_per_sec":100000,"p95_us":120.5,"rows":5000,)"
+        R"("git_sha":"abc123","wall_seconds":3.2})";
+    const BenchDiffReport report =
+        diffBenchDocs(doc, "old", doc, "new");
+    EXPECT_TRUE(report.pass());
+    EXPECT_EQ(report.regressions(), 0u);
+    EXPECT_EQ(report.metrics.size(), 5u);
+}
+
+TEST(BenchDiff, ThroughputGatesAtTolerance)
+{
+    const std::string old_doc = R"({"rows_per_sec":100000})";
+    // 30% default tolerance: 70000 passes (boundary), 69999 fails.
+    EXPECT_TRUE(diffBenchDocs(old_doc, "o",
+                              R"({"rows_per_sec":70000})", "n")
+                    .pass());
+    const BenchDiffReport fail = diffBenchDocs(
+        old_doc, "o", R"({"rows_per_sec":69999})", "n");
+    EXPECT_FALSE(fail.pass());
+    EXPECT_EQ(fail.regressions(), 1u);
+    // Improvement never gates.
+    EXPECT_TRUE(diffBenchDocs(old_doc, "o",
+                              R"({"rows_per_sec":500000})", "n")
+                    .pass());
+}
+
+TEST(BenchDiff, LatencyGatesLowerBetter)
+{
+    const std::string old_doc = R"({"p99_us":100.0})";
+    // 50% default tolerance: 150 passes, above fails.
+    EXPECT_TRUE(
+        diffBenchDocs(old_doc, "o", R"({"p99_us":150.0})", "n")
+            .pass());
+    EXPECT_FALSE(
+        diffBenchDocs(old_doc, "o", R"({"p99_us":151.0})", "n")
+            .pass());
+    // Latency going *down* never gates.
+    EXPECT_TRUE(
+        diffBenchDocs(old_doc, "o", R"({"p99_us":1.0})", "n").pass());
+}
+
+TEST(BenchDiff, ExactMetricsGateOnAnyChange)
+{
+    EXPECT_TRUE(
+        diffBenchDocs(R"({"rows":500})", "o", R"({"rows":500})", "n")
+            .pass());
+    const BenchDiffReport report = diffBenchDocs(
+        R"({"rows":500})", "o", R"({"rows":501})", "n");
+    EXPECT_FALSE(report.pass());
+    EXPECT_EQ(metricNamed(report, "rows").policy, BenchPolicy::Exact);
+}
+
+TEST(BenchDiff, InformationalNeverGates)
+{
+    // Wall clock 100x worse, sha changed, retries exploded: all pass.
+    const BenchDiffReport report = diffBenchDocs(
+        R"({"wall_seconds":1.0,"git_sha":"aaa","retries":0})", "o",
+        R"({"wall_seconds":100.0,"git_sha":"bbb","retries":9999})",
+        "n");
+    EXPECT_TRUE(report.pass());
+    for (const auto &m : report.metrics)
+        EXPECT_EQ(m.policy, BenchPolicy::Informational) << m.name;
+}
+
+TEST(BenchDiff, ToleranceOverrides)
+{
+    const std::string old_doc = R"({"rows_per_sec":100000,"rows":500})";
+    // Tighten the throughput gate to 1%.
+    EXPECT_FALSE(diffBenchDocs(old_doc, "o",
+                               R"({"rows_per_sec":98000,"rows":500})",
+                               "n", {{"rows_per_sec", 0.01}})
+                     .pass());
+    // Loosen an exact metric into a symmetric band.
+    const BenchDiffReport banded = diffBenchDocs(
+        old_doc, "o", R"({"rows_per_sec":100000,"rows":510})", "n",
+        {{"rows", 0.05}});
+    EXPECT_TRUE(banded.pass());
+    EXPECT_EQ(metricNamed(banded, "rows").policy, BenchPolicy::Band);
+    // The band is symmetric: same override fails at +6%.
+    EXPECT_FALSE(diffBenchDocs(old_doc, "o",
+                               R"({"rows_per_sec":100000,"rows":530})",
+                               "n", {{"rows", 0.05}})
+                     .pass());
+
+    // Overriding a metric in neither snapshot is a hard error.
+    EXPECT_THROW(diffBenchDocs(old_doc, "o", old_doc, "n",
+                               {{"no_such_metric", 0.1}}),
+                 FatalError);
+    EXPECT_THROW(diffBenchDocs(old_doc, "o", old_doc, "n",
+                               {{"rows", -0.1}}),
+                 FatalError);
+}
+
+TEST(BenchDiff, MissingAndAddedMetrics)
+{
+    // A gated metric that vanished is a regression; a new metric and
+    // a vanished informational one are fine.
+    const BenchDiffReport report = diffBenchDocs(
+        R"({"rows_per_sec":1000,"wall_seconds":2.0})", "o",
+        R"({"fresh_metric":7})", "n");
+    EXPECT_FALSE(report.pass());
+    EXPECT_FALSE(metricNamed(report, "rows_per_sec").pass);
+    EXPECT_EQ(metricNamed(report, "rows_per_sec").note,
+              "missing in NEW");
+    EXPECT_TRUE(metricNamed(report, "wall_seconds").pass);
+    EXPECT_TRUE(metricNamed(report, "fresh_metric").pass);
+    EXPECT_EQ(metricNamed(report, "fresh_metric").note,
+              "added in NEW");
+}
+
+TEST(BenchDiff, RejectsNonFlatSnapshots)
+{
+    EXPECT_THROW(
+        diffBenchDocs(R"({"nested":{"x":1}})", "o", R"({"x":1})", "n"),
+        FatalError);
+    EXPECT_THROW(diffBenchDocs("{}", "o", R"({"x":1})", "n"),
+                 FatalError);
+    EXPECT_THROW(diffBenchDocs("not json", "o", R"({"x":1})", "n"),
+                 FatalError);
+}
+
+TEST(BenchDiff, VerdictJsonIsSealedAndParseable)
+{
+    const BenchDiffReport report = diffBenchDocs(
+        R"({"rows_per_sec":100000,"rows":500})", "OLD.json",
+        R"({"rows_per_sec":50000,"rows":500})", "NEW.json");
+    ASSERT_FALSE(report.pass());
+
+    const std::string json = benchDiffToJson(report);
+    EXPECT_EQ(json.find('\n'), std::string::npos)
+        << "no trailing newline: truncation must break the seal";
+
+    // The crc32 member covers every byte before its own suffix.
+    const std::string prefix = ",\"crc32\":";
+    const std::size_t seal = json.rfind(prefix);
+    ASSERT_NE(seal, std::string::npos);
+    const std::uint32_t expected = crc32(json.substr(0, seal));
+
+    const json::JsonValue doc = json::parseJson(json, "verdict");
+    EXPECT_EQ(doc.find("crc32")->unsignedIntegral(), expected);
+    EXPECT_EQ(doc.find("mtperf_benchdiff")->unsignedIntegral(), 1u);
+    EXPECT_EQ(doc.find("pass")->boolean(), false);
+    EXPECT_EQ(doc.find("regressions")->unsignedIntegral(), 1u);
+    EXPECT_EQ(doc.find("old")->string(), "OLD.json");
+    bool sawRegression = false;
+    for (const json::JsonValue &m : doc.find("metrics")->array()) {
+        if (m.find("name")->string() == "rows_per_sec") {
+            sawRegression = true;
+            EXPECT_FALSE(m.find("pass")->boolean());
+            EXPECT_EQ(m.find("policy")->string(), "higher_better");
+        }
+    }
+    EXPECT_TRUE(sawRegression);
+}
+
+TEST(BenchDiff, WriteVerdictIsCrashSafeUnderFaultInjection)
+{
+    const std::string dir = testing::TempDir() + "/mtperf_benchdiff_" +
+                            std::to_string(::getpid());
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/verdict.json";
+    const std::string doc = R"({"rows":1})";
+    const BenchDiffReport report = diffBenchDocs(doc, "o", doc, "n");
+
+    fault::configure("obs.flush:1:1");
+    EXPECT_THROW(writeBenchDiffFile(path, report),
+                 fault::InjectedFault);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    fault::clear();
+
+    writeBenchDiffFile(path, report);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_EQ(text, benchDiffToJson(report)) << "bytes match toJson";
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchDiff, CommittedSnapshotsSelfComparePass)
+{
+    // The CI gate's base case: every committed snapshot must pass
+    // against itself (and exercises diffBenchFiles' file reader).
+    for (const char *name : {"BENCH_ml.json", "BENCH_sim.json"}) {
+        const std::string path =
+            std::string(MTPERF_REPO_ROOT) + "/" + name;
+        if (!std::filesystem::exists(path))
+            GTEST_SKIP() << path << " not present";
+        const BenchDiffReport report =
+            diffBenchFiles(path, path, {});
+        EXPECT_TRUE(report.pass()) << name;
+        EXPECT_GT(report.metrics.size(), 3u) << name;
+    }
+}
+
+TEST(BenchDiff, MissingFileIsFatal)
+{
+    EXPECT_THROW(diffBenchFiles("/nonexistent/old.json",
+                                "/nonexistent/new.json", {}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mtperf::perf

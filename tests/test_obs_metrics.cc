@@ -236,6 +236,121 @@ TEST(ObsHistogram, SnapshotSubtractYieldsDelta)
     EXPECT_GT(delta.percentile(0.5), 80.0);
 }
 
+TEST(ObsHistogram, SnapshotSubtractClampsUnderflow)
+{
+    // Snapshots of a live histogram are taken bucket-by-bucket, so a
+    // racing record() can make the "baseline" run ahead of "current"
+    // in one bucket. Subtract must clamp, never wrap to 2^64-ish
+    // counts or negative sums.
+    Histogram a;
+    Histogram b;
+    for (int i = 0; i < 10; ++i)
+        a.record(3.0);
+    for (int i = 0; i < 25; ++i)
+        b.record(3.0);
+
+    HistogramSnapshot ahead = a.snapshot();  // 10 observations
+    ahead.subtract(b.snapshot());            // baseline has 25
+    EXPECT_EQ(ahead.count(), 0u) << "clamped, not wrapped";
+    EXPECT_GE(ahead.sum(), 0.0) << "sum clamps at zero";
+    for (std::uint64_t bucket : ahead.buckets())
+        EXPECT_EQ(bucket, 0u);
+
+    // Mixed case: one bucket underflows, another has a real delta.
+    Histogram c;
+    for (int i = 0; i < 5; ++i)
+        c.record(3.0);   // fewer than baseline's 25 at 3.0
+    for (int i = 0; i < 40; ++i)
+        c.record(200.0); // baseline has none here
+    HistogramSnapshot mixed = c.snapshot();
+    mixed.subtract(b.snapshot());
+    EXPECT_EQ(mixed.count(), 40u)
+        << "underflowing bucket clamps to 0; surplus bucket survives";
+    EXPECT_GT(mixed.percentile(0.5), 100.0);
+}
+
+TEST(ObsHistogram, EmptySnapshotPercentilesAndMeanAreZero)
+{
+    const Histogram h;
+    const HistogramSnapshot empty = h.snapshot();
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    for (double p : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(empty.percentile(p), 0.0) << "p=" << p;
+
+    // Subtracting a snapshot from itself yields an empty delta with
+    // the same all-zero percentile behavior.
+    Histogram g;
+    g.record(7.0);
+    HistogramSnapshot delta = g.snapshot();
+    delta.subtract(g.snapshot());
+    EXPECT_EQ(delta.count(), 0u);
+    EXPECT_DOUBLE_EQ(delta.percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, PercentileAtBucketBoundaries)
+{
+    // Two populated buckets with a gap between them: percentiles must
+    // interpolate within each populated bucket and jump across the
+    // empty gap without ever landing inside it.
+    Histogram h;
+    const std::size_t low = h.bucketFor(2.0);
+    const std::size_t high = h.bucketFor(50.0);
+    ASSERT_GT(high, low + 1) << "need an empty gap between buckets";
+    for (int i = 0; i < 50; ++i)
+        h.record(2.0);
+    for (int i = 0; i < 50; ++i)
+        h.record(50.0);
+
+    const double lowLower = low == 0 ? 0.0 : h.boundOf(low - 1);
+    const double lowUpper = h.boundOf(low);
+    const double highLower = h.boundOf(high - 1);
+    const double highUpper = h.boundOf(high);
+
+    // p=0 and p=1 pin to the extreme bucket edges.
+    EXPECT_GE(h.percentile(0.0), lowLower);
+    EXPECT_LE(h.percentile(0.0), lowUpper);
+    EXPECT_NEAR(h.percentile(1.0), highUpper, 1e-9);
+
+    // p just below 0.5 stays in the low bucket; just above crosses
+    // the empty gap into the high bucket — nothing lands in between.
+    EXPECT_LE(h.percentile(0.49), lowUpper);
+    EXPECT_GE(h.percentile(0.51), highLower);
+
+    // The p=0.5 boundary itself resolves inside a populated bucket.
+    const double p50 = h.percentile(0.5);
+    const bool inLow = p50 >= lowLower && p50 <= lowUpper;
+    const bool inHigh = p50 >= highLower && p50 <= highUpper;
+    EXPECT_TRUE(inLow || inHigh)
+        << "p50=" << p50 << " landed in the empty gap";
+}
+
+TEST(ObsRegistry, SnapshotRegistryListsEverythingSorted)
+{
+    counter("test_obs.snap_counter").add(11);
+    gauge("test_obs.snap_gauge").addTracked(4);
+    histogram("test_obs.snap_hist").record(9.0);
+
+    const MetricsSnapshot snap = snapshotRegistry();
+    const auto findCounter = [&](const std::string &name) {
+        for (const auto &[n, v] : snap.counters)
+            if (n == name)
+                return v;
+        return std::uint64_t{0};
+    };
+    EXPECT_GE(findCounter("test_obs.snap_counter"), 11u);
+    bool sawGauge = false;
+    for (const auto &[n, g] : snap.gauges)
+        if (n == "test_obs.snap_gauge") {
+            sawGauge = true;
+            EXPECT_GE(g.max, 4);
+        }
+    EXPECT_TRUE(sawGauge);
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first)
+            << "sorted order";
+}
+
 TEST(ObsRegistry, ReturnsStableReferences)
 {
     Counter &a = counter("test_obs.stable_counter");

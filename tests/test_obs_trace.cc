@@ -74,17 +74,34 @@ TEST(ObsThreadInfo, NamesAreRecordedAndListed)
     }).join();
 }
 
+TEST(ObsThreadInfo, KernelNameClampKeepsHeadAndTail)
+{
+    // Short names pass through untouched.
+    EXPECT_EQ(kernelThreadName("batcher"), "batcher");
+    // Exactly at the 15-char kernel limit: unchanged.
+    EXPECT_EQ(kernelThreadName("123456789012345"), "123456789012345");
+    // Over the limit: 7 head chars + '~' + 7 tail chars, so the
+    // component prefix and the instance id both survive.
+    EXPECT_EQ(kernelThreadName("mtperf-worker-123456"),
+              "mtperf-~-123456");
+    EXPECT_EQ(kernelThreadName("mtperf-worker-123456").size(), 15u);
+    // The distinguishing suffix survives where plain truncation
+    // would have collapsed these to the same kernel name.
+    EXPECT_NE(kernelThreadName("mtperf-worker-1000001"),
+              kernelThreadName("mtperf-worker-1000002"));
+}
+
 #if defined(__linux__)
-TEST(ObsThreadInfo, KernelNameIsSetAndTruncated)
+TEST(ObsThreadInfo, KernelNameIsSetAndClamped)
 {
     std::thread([] {
-        // 20 chars: the kernel keeps the first 15 (pthread limit),
-        // the in-process table keeps the full name.
+        // 20 chars: the kernel gets the head~tail clamp (instance id
+        // preserved), the in-process table keeps the full name.
         setCurrentThreadName("mtperf-worker-123456");
         char buf[32] = {};
         ASSERT_EQ(pthread_getname_np(pthread_self(), buf, sizeof(buf)),
                   0);
-        EXPECT_STREQ(buf, "mtperf-worker-1");
+        EXPECT_STREQ(buf, "mtperf-~-123456");
         EXPECT_EQ(currentThreadName(), "mtperf-worker-123456");
     }).join();
 }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the time-series sampler: spec parsing, ring-buffer
+ * accounting under overwrite, rate computation, the CRC-sealed
+ * document round trip, corruption rejection, and the background
+ * sampling thread.
+ *
+ * The registry is process-global, so tests use metric names under a
+ * test-unique prefix and assert deltas, never absolutes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace mtperf::obs {
+namespace {
+
+TEST(TimeseriesSpec, ParsesIntervalAndPath)
+{
+    TimeseriesSpec spec = parseTimeseriesSpec("500ms:ts.json");
+    EXPECT_EQ(spec.intervalMs, 500u);
+    EXPECT_EQ(spec.path, "ts.json");
+
+    spec = parseTimeseriesSpec("2s:out/ts.json");
+    EXPECT_EQ(spec.intervalMs, 2000u);
+    EXPECT_EQ(spec.path, "out/ts.json");
+
+    // No suffix means milliseconds.
+    spec = parseTimeseriesSpec("250:/tmp/ts.json");
+    EXPECT_EQ(spec.intervalMs, 250u);
+    EXPECT_EQ(spec.path, "/tmp/ts.json");
+
+    // The path may itself contain colons (first colon splits).
+    spec = parseTimeseriesSpec("1s:dir:with:colons.json");
+    EXPECT_EQ(spec.path, "dir:with:colons.json");
+}
+
+TEST(TimeseriesSpec, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseTimeseriesSpec(""), FatalError);
+    EXPECT_THROW(parseTimeseriesSpec("500ms"), FatalError);     // no path
+    EXPECT_THROW(parseTimeseriesSpec(":ts.json"), FatalError);  // no interval
+    EXPECT_THROW(parseTimeseriesSpec("500ms:"), FatalError);    // empty path
+    EXPECT_THROW(parseTimeseriesSpec("0:ts.json"), FatalError); // zero
+    EXPECT_THROW(parseTimeseriesSpec("0s:ts.json"), FatalError);
+    EXPECT_THROW(parseTimeseriesSpec("abc:ts.json"), FatalError);
+    EXPECT_THROW(parseTimeseriesSpec("-5:ts.json"), FatalError);
+    EXPECT_THROW(parseTimeseriesSpec("1.5s:ts.json"), FatalError);
+}
+
+TEST(TimeseriesSampler, ManualSamplesRoundTrip)
+{
+    Counter &c = counter("test_ts.roundtrip_counter");
+    TimeseriesSampler sampler({.intervalMs = 1000, .capacity = 8});
+
+    c.add(10);
+    sampler.sampleOnce();
+    c.add(30);
+    sampler.sampleOnce();
+    EXPECT_EQ(sampler.taken(), 2u);
+    EXPECT_EQ(sampler.retained(), 2u);
+
+    const std::string json = sampler.toJson();
+    EXPECT_EQ(json.find('\n'), std::string::npos)
+        << "no trailing newline: truncations must be detectable";
+
+    const ParsedTimeseries parsed = parseTimeseries(json, "test");
+    EXPECT_EQ(parsed.intervalMs, 1000u);
+    EXPECT_EQ(parsed.capacity, 8u);
+    EXPECT_EQ(parsed.taken, 2u);
+    EXPECT_EQ(parsed.dropped, 0u);
+    ASSERT_EQ(parsed.samples.size(), 2u);
+
+    const auto &first = parsed.samples[0];
+    const auto &second = parsed.samples[1];
+    ASSERT_TRUE(first.counters.count("test_ts.roundtrip_counter"));
+    const std::uint64_t v0 = first.counters.at("test_ts.roundtrip_counter");
+    const std::uint64_t v1 = second.counters.at("test_ts.roundtrip_counter");
+    EXPECT_EQ(v1 - v0, 30u);
+
+    // The first sample has no rates; the second has one per counter.
+    EXPECT_TRUE(first.rates.empty());
+    ASSERT_TRUE(second.rates.count("test_ts.roundtrip_counter"));
+    // dt is clamped to >= 1ms, so the 30-count delta reads as a rate
+    // of at most 30000/s and always > 0.
+    const double rate = second.rates.at("test_ts.roundtrip_counter");
+    EXPECT_GT(rate, 0.0);
+    EXPECT_LE(rate, 30000.0);
+}
+
+TEST(TimeseriesSampler, RingOverwriteKeepsAccounting)
+{
+    TimeseriesSampler sampler({.intervalMs = 1000, .capacity = 3});
+    for (int i = 0; i < 10; ++i)
+        sampler.sampleOnce();
+    EXPECT_EQ(sampler.taken(), 10u);
+    EXPECT_EQ(sampler.retained(), 3u);
+
+    const ParsedTimeseries parsed =
+        parseTimeseries(sampler.toJson(), "test");
+    EXPECT_EQ(parsed.taken, 10u);
+    EXPECT_EQ(parsed.dropped, 7u);
+    EXPECT_EQ(parsed.samples.size(), 3u);
+    // Retained samples are the newest, oldest-first and monotone
+    // (parseTimeseries enforces monotonicity itself).
+    for (std::size_t i = 1; i < parsed.samples.size(); ++i)
+        EXPECT_LE(parsed.samples[i - 1].tMs, parsed.samples[i].tMs);
+}
+
+TEST(TimeseriesSampler, CorruptionIsRejected)
+{
+    TimeseriesSampler sampler({.intervalMs = 1000, .capacity = 4});
+    sampler.sampleOnce();
+    sampler.sampleOnce();
+    const std::string good = sampler.toJson();
+    ASSERT_NO_THROW(parseTimeseries(good, "good"));
+
+    // Every truncation is invalid (no trailing newline to hide in).
+    for (std::size_t cut : {good.size() - 1, good.size() / 2,
+                            std::size_t{10}})
+        EXPECT_THROW(
+            parseTimeseries(good.substr(0, cut), "truncated"),
+            FatalError)
+            << "cut at " << cut;
+
+    // A flipped payload byte breaks the seal even when the JSON still
+    // parses.
+    std::string flipped = good;
+    const std::size_t at = good.find("\"t_ms\":");
+    ASSERT_NE(at, std::string::npos);
+    flipped[at + 7] = flipped[at + 7] == '1' ? '2' : '1';
+    EXPECT_THROW(parseTimeseries(flipped, "flipped"), FatalError);
+
+    // Not a timeseries document at all.
+    EXPECT_THROW(parseTimeseries("{}", "empty"), FatalError);
+    EXPECT_THROW(parseTimeseries("", "blank"), FatalError);
+}
+
+TEST(TimeseriesSampler, WriteFileIsCrashSafeUnderFaultInjection)
+{
+    const std::string path = testing::TempDir() +
+                             "/mtperf_ts_fault_" +
+                             std::to_string(::getpid()) + ".json";
+    std::filesystem::remove(path);
+    TimeseriesSampler sampler({.intervalMs = 1000, .capacity = 4});
+    sampler.sampleOnce();
+
+    fault::configure("obs.flush:1:1");
+    EXPECT_THROW(sampler.writeFile(path), fault::InjectedFault);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    fault::clear();
+
+    sampler.writeFile(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NO_THROW(parseTimeseries(text, path));
+    std::filesystem::remove(path);
+}
+
+TEST(TimeseriesSampler, BackgroundThreadSamplesAndStops)
+{
+    Counter &c = counter("test_ts.bg_counter");
+    TimeseriesSampler sampler({.intervalMs = 10, .capacity = 64});
+    sampler.start();
+    c.add(5);
+    // The thread samples immediately, then every 10ms; stop() takes a
+    // final sample, so even a short run retains >= 2 samples.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    sampler.stop();
+
+    EXPECT_GE(sampler.taken(), 2u);
+    EXPECT_EQ(sampler.retained(),
+              std::min<std::uint64_t>(sampler.taken(), 64));
+    const ParsedTimeseries parsed =
+        parseTimeseries(sampler.toJson(), "bg");
+    ASSERT_GE(parsed.samples.size(), 2u);
+    // The final sample (from stop()) must see the counter bump.
+    const auto &last = parsed.samples.back();
+    ASSERT_TRUE(last.counters.count("test_ts.bg_counter"));
+    EXPECT_GE(last.counters.at("test_ts.bg_counter"), 5u);
+
+    // stop() is idempotent; a second start/stop cycle keeps going.
+    sampler.stop();
+    const std::uint64_t before = sampler.taken();
+    sampler.start();
+    sampler.stop();
+    EXPECT_GT(sampler.taken(), before);
+}
+
+} // namespace
+} // namespace mtperf::obs
