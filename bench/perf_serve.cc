@@ -1,42 +1,65 @@
 /**
  * @file
  * Serving-throughput bench: single-row predictions per second over
- * loopback TCP, with p50/p95/p99 request latency.
+ * loopback TCP at internet-scale connection counts.
  *
- * Spins up an in-process Server on an ephemeral 127.0.0.1 port, then
- * drives it from several client connections, each keeping a window of
- * pipelined single-row PREDICT requests in flight — the workload
- * batching exists for: many tiny requests that only hit the target
- * rate when the batcher coalesces them across connections. RETRY
- * backpressure is honored by resubmitting the row.
+ * Two phases run against one in-process Server (event-loop I/O,
+ * sharded model replicas):
  *
- * While the load runs, a scraper thread hits the server's /metrics
- * endpoint continuously, proving a live telemetry consumer does not
- * perturb the headline. Perturbation is counter-asserted, never
- * wall-clock: the final scrape's `mtperf_serve_rows_predicted` must
- * reconcile exactly with both the client and server row counts.
+ *   1. a 4-connection baseline — the connection count the old
+ *      thread-per-connection server topped out at;
+ *   2. a saturating phase at --connections (default 64, 16x the
+ *      baseline) driven by a handful of poller-multiplexed client
+ *      threads, each pipelining --window requests per connection.
  *
- * Prints a human summary and writes BENCH_serve.json for CI trending:
- *   {"rows_per_sec":..., "p50_us":..., "p95_us":..., "p99_us":...,
- *    "rows":..., "server_rows":..., "scrapes":...}
+ * The driver is deliberately not the blocking serve::Client: each
+ * driver thread multiplexes dozens of non-blocking sockets through
+ * net::Poller, exactly the discipline the server's own event loop
+ * uses, so kernel-buffer stalls on either side surface as EPOLLOUT
+ * churn instead of deadlock.
+ *
+ * Every reply is bit-compared against the scalar M5Prime::predict of
+ * the same row — the batch/SIMD path must be invisible at any
+ * connection count, shard count, or thread count. Connection
+ * accounting is gated too: serve.connections_active must return to
+ * zero after each phase (leak detector) and its watermark must equal
+ * the saturating connection count.
+ *
+ * While the load runs, a scraper thread hits /metrics continuously,
+ * proving a live telemetry consumer does not perturb the headline.
+ * Reconciliation is counter-asserted, never wall-clock: the final
+ * scrape's `mtperf_serve_rows_predicted` must equal both the client
+ * and server row counts exactly.
+ *
+ * Prints a human summary and writes a git-sha-stamped
+ * BENCH_serve.json for the benchdiff CI gate:
+ *   {"rows_per_sec":..., "baseline_rows_per_sec":..., "p50_us":...,
+ *    "p95_us":..., "p99_us":..., "rows":..., "connections":...,
+ *    "baseline_connections":..., "connection_ratio":...,
+ *    "conn_watermark":..., "shards":..., "io_threads":...,
+ *    "retries":..., "wall_seconds":..., "git_sha":"..."}
  */
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/socket.h"
 #include "data/dataset.h"
 #include "ml/tree/m5prime.h"
+#include "obs/build_info.h"
 #include "obs/metrics_http.h"
 #include "obs/prometheus.h"
 #include "serve/client.h"
@@ -69,59 +92,145 @@ counterDataset(std::size_t n)
     return ds;
 }
 
-struct ClientTotals
+/**
+ * Raise RLIMIT_NOFILE far enough for @p fds simultaneous sockets
+ * (bench + server ends both live in this process) plus headroom.
+ */
+void
+raiseFdLimit(std::size_t fds)
+{
+    struct rlimit limit;
+    if (getrlimit(RLIMIT_NOFILE, &limit) != 0)
+        return;
+    const rlim_t want = static_cast<rlim_t>(2 * fds + 512);
+    if (limit.rlim_cur >= want)
+        return;
+    limit.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                         ? want
+                         : std::min(want, limit.rlim_max);
+    setrlimit(RLIMIT_NOFILE, &limit); // best effort; connect errors out
+}
+
+struct PhaseTotals
 {
     std::vector<double> latenciesUs;
     std::uint64_t rows = 0;
     std::uint64_t retries = 0;
+    double elapsedSeconds = 0.0;
+};
+
+/** One multiplexed connection inside a driver thread. */
+struct MuxConn
+{
+    net::Socket sock;
+    serve::FrameAssembler assembler;
+    std::string outbuf;
+    std::size_t outOffset = 0;
+    bool wantWrite = false;
+    /** request id -> (global row index, send time). */
+    std::map<std::uint32_t, std::pair<std::size_t,
+                                      std::chrono::steady_clock::time_point>>
+        inflight;
+    std::size_t sent = 0; //!< first-attempt requests issued
+    std::size_t done = 0;
+    std::uint32_t nextId = 1;
 };
 
 /**
- * Drive @p total single-row requests with @p window of them pipelined,
- * recording per-request latency (send to reply).
+ * Drive @p conns_per_driver connections from one thread, each owing
+ * @p quota rows with @p window requests pipelined, verifying every
+ * prediction bit-for-bit against @p expected (indexed modulo its
+ * size). Aborts the process on any mismatch.
  */
-ClientTotals
-driveClient(const std::string &address, const Dataset &ds,
-            std::size_t total, std::size_t window, std::size_t offset)
+PhaseTotals
+driveMux(const net::Endpoint &endpoint, const Dataset &ds,
+         const std::vector<double> &expected,
+         std::size_t conns_per_driver, std::size_t quota,
+         std::size_t window, std::size_t row_base)
 {
     using clock = std::chrono::steady_clock;
-    serve::Client client = serve::Client::connect(address, 0);
     const std::size_t width = ds.numAttributes();
 
-    ClientTotals totals;
-    totals.latenciesUs.reserve(total);
-    std::map<std::uint32_t, std::pair<std::size_t, clock::time_point>>
-        inflight; // id -> (row index, send time)
-    std::size_t sent = 0;
+    net::Poller poller;
+    std::vector<MuxConn> conns(conns_per_driver);
+    for (std::size_t c = 0; c < conns_per_driver; ++c) {
+        conns[c].sock = net::connectTo(endpoint, 10000);
+        net::setNonBlocking(conns[c].sock.fd());
+        poller.add(conns[c].sock.fd(), c);
+    }
 
-    auto sendRow = [&](std::size_t row_index) {
+    PhaseTotals totals;
+    totals.latenciesUs.reserve(conns_per_driver * quota);
+
+    auto sendRow = [&](MuxConn &conn, std::size_t row_index) {
         const auto row = ds.row(row_index % ds.size());
-        const std::uint32_t id = client.sendPredict(row, width);
-        inflight.emplace(id,
-                         std::make_pair(row_index, clock::now()));
+        serve::PredictRequest request;
+        request.rows = 1;
+        request.cols = static_cast<std::uint32_t>(width);
+        request.values.assign(row.begin(), row.begin() + width);
+        serve::Frame frame;
+        frame.type = serve::kMsgPredict;
+        frame.id = conn.nextId++;
+        frame.payload = serve::encodePredictRequest(request);
+        conn.outbuf += serve::encodeFrame(frame);
+        conn.inflight.emplace(
+            frame.id, std::make_pair(row_index, clock::now()));
     };
 
-    while (totals.rows < total) {
-        while (sent < total && inflight.size() < window)
-            sendRow(offset + sent++);
-        const serve::Frame reply = client.readReply();
-        const auto it = inflight.find(reply.id);
-        if (it == inflight.end()) {
+    auto flush = [&](MuxConn &conn, std::uint64_t tag) {
+        while (conn.outOffset < conn.outbuf.size()) {
+            const std::size_t wrote = net::writeSome(
+                conn.sock.fd(), conn.outbuf.data() + conn.outOffset,
+                conn.outbuf.size() - conn.outOffset);
+            if (wrote == 0) {
+                if (!conn.wantWrite) {
+                    conn.wantWrite = true;
+                    poller.modify(conn.sock.fd(), tag, true);
+                }
+                return;
+            }
+            conn.outOffset += wrote;
+        }
+        conn.outbuf.clear();
+        conn.outOffset = 0;
+        if (conn.wantWrite) {
+            conn.wantWrite = false;
+            poller.modify(conn.sock.fd(), tag, false);
+        }
+    };
+
+    auto handleFrame = [&](MuxConn &conn, const serve::Frame &reply) {
+        const auto it = conn.inflight.find(reply.id);
+        if (it == conn.inflight.end()) {
             std::cerr << "unmatched reply id " << reply.id << "\n";
             std::exit(1);
         }
         const std::size_t row_index = it->second.first;
         const auto sent_at = it->second.second;
-        inflight.erase(it);
+        conn.inflight.erase(it);
         if (reply.type == serve::kMsgRetry) {
             ++totals.retries;
-            sendRow(row_index); // resubmit, new id and clock
-            continue;
+            sendRow(conn, row_index); // resubmit, new id and clock
+            return;
         }
-        if (reply.type !=
-            (serve::kMsgPredict | serve::kMsgReplyBit)) {
+        if (reply.type != (serve::kMsgPredict | serve::kMsgReplyBit)) {
             std::cerr << "unexpected reply type "
                       << static_cast<int>(reply.type) << "\n";
+            std::exit(1);
+        }
+        const serve::PredictResponse response =
+            serve::decodePredictResponse(reply.payload);
+        if (response.predictions.size() != 1) {
+            std::cerr << "expected 1 prediction, got "
+                      << response.predictions.size() << "\n";
+            std::exit(1);
+        }
+        const double want = expected[row_index % expected.size()];
+        const double got = response.predictions[0];
+        if (std::memcmp(&want, &got, sizeof(double)) != 0) {
+            std::cerr << "bit mismatch on row " << row_index << ": "
+                      << "served " << got << " vs scalar " << want
+                      << "\n";
             std::exit(1);
         }
         totals.latenciesUs.push_back(
@@ -129,6 +238,87 @@ driveClient(const std::string &address, const Dataset &ds,
                                                       sent_at)
                 .count());
         ++totals.rows;
+        ++conn.done;
+    };
+
+    const std::size_t target = conns_per_driver * quota;
+    std::vector<net::PollEvent> events;
+    char buffer[64 * 1024];
+    while (totals.rows < target) {
+        // Top up every connection's pipeline, then push the bytes.
+        for (std::size_t c = 0; c < conns_per_driver; ++c) {
+            MuxConn &conn = conns[c];
+            while (conn.sent < quota && conn.inflight.size() < window)
+                sendRow(conn, row_base + c * quota + conn.sent++);
+            flush(conn, c);
+        }
+        poller.wait(events, 100);
+        for (const net::PollEvent &ev : events) {
+            MuxConn &conn = conns[ev.tag];
+            if (ev.readable || ev.hangup) {
+                bool eof = false;
+                const std::size_t got = net::readSome(
+                    conn.sock.fd(), buffer, sizeof(buffer), &eof);
+                if (eof) {
+                    std::cerr << "server closed connection " << ev.tag
+                              << " mid-phase\n";
+                    std::exit(1);
+                }
+                conn.assembler.feed(buffer, got);
+                serve::Frame frame;
+                while (conn.assembler.next(frame, "server"))
+                    handleFrame(conn, frame);
+            }
+            if (ev.writable)
+                flush(conn, ev.tag);
+        }
+    }
+    return totals;
+}
+
+/**
+ * Run one load phase: @p connections multiplexed over @p drivers
+ * threads, @p total rows split evenly across connections.
+ */
+PhaseTotals
+runPhase(const net::Endpoint &endpoint, const Dataset &ds,
+         const std::vector<double> &expected, std::size_t connections,
+         std::size_t drivers, std::size_t total, std::size_t window)
+{
+    drivers = std::min(drivers, connections);
+    const std::size_t quota = std::max<std::size_t>(
+        1, total / connections);
+    const std::size_t base_conns = connections / drivers;
+    const std::size_t extra = connections % drivers;
+
+    std::vector<PhaseTotals> partial(drivers);
+    const auto started = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> threads;
+        std::size_t conn_offset = 0;
+        for (std::size_t d = 0; d < drivers; ++d) {
+            const std::size_t owned = base_conns + (d < extra ? 1 : 0);
+            const std::size_t row_base = conn_offset * quota;
+            threads.emplace_back([&, d, owned, row_base] {
+                partial[d] = driveMux(endpoint, ds, expected, owned,
+                                      quota, window, row_base);
+            });
+            conn_offset += owned;
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    PhaseTotals totals;
+    totals.elapsedSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                started)
+                                .count();
+    for (PhaseTotals &p : partial) {
+        totals.latenciesUs.insert(totals.latenciesUs.end(),
+                                  p.latenciesUs.begin(),
+                                  p.latenciesUs.end());
+        totals.rows += p.rows;
+        totals.retries += p.retries;
     }
     return totals;
 }
@@ -144,14 +334,33 @@ percentile(std::vector<double> &sorted, double p)
     return sorted[index];
 }
 
+/** Spin until the live-connection gauge returns to zero (leak gate). */
+void
+awaitIdleConnections(const serve::Server &server, const char *phase)
+{
+    for (int i = 0; i < 500; ++i) {
+        if (server.stats().connectionsActive == 0)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::cerr << "connection leak after " << phase << " phase: "
+              << server.stats().connectionsActive
+              << " still registered\n";
+    std::exit(1);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::size_t rows = 200000;
-    std::size_t clients = 4;
-    std::size_t window = 64;
+    std::size_t connections = 64;
+    std::size_t baseline_connections = 4;
+    std::size_t drivers = 4;
+    std::size_t window = 16;
+    std::size_t shards = 4;
+    std::size_t io_threads = 2;
     std::string json_path = "BENCH_serve.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -164,18 +373,32 @@ main(int argc, char **argv)
         };
         if (arg == "--rows")
             rows = std::stoull(next());
-        else if (arg == "--clients")
-            clients = std::stoull(next());
+        else if (arg == "--connections")
+            connections = std::stoull(next());
+        else if (arg == "--drivers")
+            drivers = std::stoull(next());
         else if (arg == "--window")
             window = std::stoull(next());
+        else if (arg == "--shards")
+            shards = std::stoull(next());
+        else if (arg == "--io-threads")
+            io_threads = std::stoull(next());
         else if (arg == "--json")
             json_path = next();
         else {
-            std::cerr << "usage: perf_serve [--rows N] [--clients N] "
-                         "[--window N] [--json PATH]\n";
+            std::cerr << "usage: perf_serve [--rows N] "
+                         "[--connections N] [--drivers N] [--window N] "
+                         "[--shards N] [--io-threads N] [--json PATH]\n";
             return 2;
         }
     }
+    if (connections < 10 * baseline_connections) {
+        std::cerr << "--connections must be >= "
+                  << 10 * baseline_connections
+                  << " (10x the baseline) to make the scaling claim\n";
+        return 2;
+    }
+    raiseFdLimit(connections + baseline_connections);
 
     const Dataset ds = counterDataset(4000);
     M5Options tree_options;
@@ -187,15 +410,22 @@ main(int argc, char **argv)
             .string();
     tree.saveFile(model_path);
 
+    // Scalar oracle: every served prediction must match these bits.
+    std::vector<double> expected(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        expected[i] = tree.predict(ds.row(i));
+
     serve::ServerOptions server_options;
     server_options.modelPath = model_path;
     server_options.listen = "127.0.0.1";
     server_options.port = 0;
+    server_options.shards = shards;
+    server_options.ioThreads = io_threads;
     server_options.metricsHttp = true; // ephemeral /metrics port
     serve::Server server(server_options);
     server.start();
-    const std::string address =
-        "127.0.0.1:" + std::to_string(server.port());
+    const net::Endpoint endpoint = net::parseEndpoint(
+        "127.0.0.1:" + std::to_string(server.port()), 0);
 
     // Scrape /metrics concurrently with the load: every scrape is a
     // full registry snapshot plus an HTTP exchange, the exact traffic
@@ -222,46 +452,42 @@ main(int argc, char **argv)
         }
     });
 
-    const std::size_t per_client = rows / clients;
-    std::vector<ClientTotals> totals(clients);
-    const auto started = std::chrono::steady_clock::now();
-    {
-        std::vector<std::thread> threads;
-        for (std::size_t c = 0; c < clients; ++c) {
-            threads.emplace_back([&, c] {
-                totals[c] = driveClient(address, ds, per_client,
-                                        window, c * per_client);
-            });
-        }
-        for (auto &thread : threads)
-            thread.join();
-    }
+    // Phase 1: the old thread-per-connection ceiling.
+    const std::size_t baseline_rows = std::max<std::size_t>(
+        baseline_connections, rows / 5);
+    const PhaseTotals baseline =
+        runPhase(endpoint, ds, expected, baseline_connections, drivers,
+                 baseline_rows, window);
+    awaitIdleConnections(server, "baseline");
+
+    // Phase 2: saturate. 16x the connections by default.
+    const PhaseTotals saturating = runPhase(
+        endpoint, ds, expected, connections, drivers, rows, window);
+    awaitIdleConnections(server, "saturating");
+
     scraping.store(false, std::memory_order_relaxed);
     scraper.join();
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
-            .count();
 
-    std::vector<double> latencies;
-    std::uint64_t total_rows = 0;
-    std::uint64_t total_retries = 0;
-    for (const ClientTotals &t : totals) {
-        latencies.insert(latencies.end(), t.latenciesUs.begin(),
-                         t.latenciesUs.end());
-        total_rows += t.rows;
-        total_retries += t.retries;
-    }
+    std::vector<double> latencies = saturating.latenciesUs;
     std::sort(latencies.begin(), latencies.end());
     const double rows_per_sec =
-        static_cast<double>(total_rows) / elapsed;
+        saturating.elapsedSeconds > 0.0
+            ? static_cast<double>(saturating.rows) /
+                  saturating.elapsedSeconds
+            : 0.0;
+    const double baseline_rows_per_sec =
+        baseline.elapsedSeconds > 0.0
+            ? static_cast<double>(baseline.rows) /
+                  baseline.elapsedSeconds
+            : 0.0;
     const double p50 = percentile(latencies, 0.50);
     const double p95 = percentile(latencies, 0.95);
     const double p99 = percentile(latencies, 0.99);
+    const std::uint64_t total_rows = baseline.rows + saturating.rows;
+    const std::uint64_t total_retries =
+        baseline.retries + saturating.retries;
 
     // Reconcile against the server's own accounting.
-    serve::Client stats_client = serve::Client::connect(address, 0);
-    const std::string stats_json = stats_client.stats();
     const serve::StatsSnapshot snapshot = server.stats();
     if (snapshot.rowsPredicted != total_rows) {
         std::cerr << "server counted " << snapshot.rowsPredicted
@@ -270,7 +496,8 @@ main(int argc, char **argv)
     }
 
     // And against the scrape plane: the final /metrics exposition is
-    // the third independent view of the same counter.
+    // the third independent view of the same counter, and carries the
+    // connection watermark the direct snapshot does not.
     const obs::PrometheusScrape final_scrape = obs::parsePrometheusText(
         obs::httpGet("127.0.0.1", server.metricsPort(), "/metrics")
             .body);
@@ -281,31 +508,55 @@ main(int argc, char **argv)
                   << " rows, clients counted " << total_rows << "\n";
         return 1;
     }
+    const auto conn_watermark = static_cast<std::uint64_t>(
+        final_scrape.value("mtperf_serve_connections_active_max"));
+    if (conn_watermark != connections) {
+        std::cerr << "connection watermark " << conn_watermark
+                  << " != saturating connection count " << connections
+                  << "\n";
+        return 1;
+    }
     if (scrapes == 0 || scrape_errors != 0) {
         std::cerr << "scraper saw " << scrapes << " good scrapes, "
                   << scrape_errors << " errors\n";
         return 1;
     }
 
-    std::cout << "perf_serve: " << total_rows
-              << " single-row predictions over " << clients
-              << " connections (window " << window << ")\n"
-              << "  throughput " << static_cast<std::uint64_t>(rows_per_sec)
-              << " rows/sec (" << elapsed << " s)\n"
+    const double wall_seconds =
+        baseline.elapsedSeconds + saturating.elapsedSeconds;
+    std::cout << "perf_serve: " << saturating.rows
+              << " single-row predictions over " << connections
+              << " connections (" << drivers << " drivers, window "
+              << window << ", " << shards << " shards, " << io_threads
+              << " io threads)\n"
+              << "  saturating " << static_cast<std::uint64_t>(rows_per_sec)
+              << " rows/sec over " << connections << " conns vs baseline "
+              << static_cast<std::uint64_t>(baseline_rows_per_sec)
+              << " rows/sec over " << baseline_connections << " conns ("
+              << connections / baseline_connections << "x connections)\n"
               << "  latency p50 " << p50 << " us, p95 " << p95
               << " us, p99 " << p99 << " us\n"
+              << "  connection watermark " << conn_watermark
+              << ", returned to 0 after each phase\n"
               << "  client retries " << total_retries
               << ", concurrent scrapes " << scrapes
-              << ", server stats " << stats_json << "\n";
+              << ", every reply bit-identical to scalar predict\n";
 
     std::ofstream json(json_path);
-    json << "{\"rows_per_sec\":" << rows_per_sec << ",\"p50_us\":"
-         << p50 << ",\"p95_us\":" << p95 << ",\"p99_us\":" << p99
-         << ",\"rows\":" << total_rows
-         << ",\"server_rows\":" << snapshot.rowsPredicted
-         << ",\"scraped_rows\":" << scraped_rows
-         << ",\"scrapes\":" << scrapes
-         << ",\"retries\":" << total_retries << "}\n";
+    json << "{\"rows_per_sec\":" << rows_per_sec
+         << ",\"baseline_rows_per_sec\":" << baseline_rows_per_sec
+         << ",\"p50_us\":" << p50 << ",\"p95_us\":" << p95
+         << ",\"p99_us\":" << p99 << ",\"rows\":" << saturating.rows
+         << ",\"connections\":" << connections
+         << ",\"baseline_connections\":" << baseline_connections
+         << ",\"connection_ratio\":"
+         << connections / baseline_connections
+         << ",\"conn_watermark\":" << conn_watermark
+         << ",\"shards\":" << shards
+         << ",\"io_threads\":" << io_threads
+         << ",\"retries\":" << total_retries
+         << ",\"wall_seconds\":" << wall_seconds << ",\"git_sha\":\""
+         << obs::buildGitSha() << "\"}\n";
     std::cout << "wrote " << json_path << "\n";
 
     server.requestStop();

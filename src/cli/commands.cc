@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "cli/args.h"
+#include "cli/top_render.h"
 #include "common/csv.h"
 #include "common/fault.h"
 #include "common/logging.h"
@@ -630,11 +631,12 @@ namespace {
 /** Send the dataset through a prediction server in bounded chunks. */
 std::vector<double>
 predictRemote(const Dataset &ds, const std::string &address,
-              int timeout_ms)
+              int timeout_ms, const std::string &model_key)
 {
     serve::Client::Options options;
     if (timeout_ms > 0)
         options.timeoutMs = timeout_ms;
+    options.modelKey = model_key;
     serve::Client client =
         serve::Client::connect(address, kDefaultServePort, options);
 
@@ -668,6 +670,9 @@ cmdPredict(const std::vector<std::string> &args, std::ostream &out)
                      "model file (HOST[:PORT] or unix:PATH)");
     parser.addSize("timeout-ms", 0,
                    "server receive timeout (0 = client default)");
+    parser.addString("model-key", "",
+                     "with --connect: predict against this keyed "
+                     "model (empty = the server's default model)");
     parser.addString("data", "", "CSV to predict on", true);
     parser.addString("out", "", "optional predictions CSV path");
     parser.addString("target", "CPI", "target column name");
@@ -682,6 +687,13 @@ cmdPredict(const std::vector<std::string> &args, std::ostream &out)
         throw UsageError(
             "predict needs exactly one of --model FILE (local) or "
             "--connect ADDRESS (remote)");
+    const std::string model_key = parser.getString("model-key");
+    if (!model_key.empty() && address.empty())
+        throw UsageError("--model-key only applies with --connect");
+    if (model_key.size() > serve::kMaxModelKey)
+        throw UsageError("--model-key longer than " +
+                         std::to_string(serve::kMaxModelKey) +
+                         " bytes");
     const int timeout_ms = static_cast<int>(
         parser.getSize("timeout-ms", 0, 3600000));
 
@@ -692,7 +704,8 @@ cmdPredict(const std::vector<std::string> &args, std::ostream &out)
 
     std::vector<double> predictions;
     if (!address.empty()) {
-        predictions = predictRemote(ds, address, timeout_ms);
+        predictions = predictRemote(ds, address, timeout_ms,
+                                    model_key);
     } else {
         const M5Prime tree = M5Prime::loadFile(model_path);
         if (!(ds.schema() == tree.schema()))
@@ -916,6 +929,10 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
 {
     ArgParser parser;
     parser.addString("model", "", "saved model path", true);
+    parser.addString("models", "",
+                     "additional keyed models: KEY=PATH[,KEY=PATH...] "
+                     "(clients select one with --model-key; --model "
+                     "serves as key 'default')");
     parser.addString("listen", "127.0.0.1",
                      "bind address: HOST, HOST:PORT or unix:PATH");
     parser.addSize("port", kDefaultServePort,
@@ -924,6 +941,15 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
                    "most rows one inference batch coalesces");
     parser.addSize("queue-max", 8192,
                    "queued rows before the server replies RETRY");
+    parser.addSize("shards", 1,
+                   "batcher replicas; model keys spread across them "
+                   "by consistent hashing");
+    parser.addSize("io-threads", 1,
+                   "epoll event-loop threads multiplexing the "
+                   "connections");
+    parser.addSize("deadline-us", 0,
+                   "shed requests queued longer than this with RETRY "
+                   "(0 = never)");
     parser.addSize("timeout-ms", 0,
                    "drop connections idle this long (0 = never)");
     parser.addSize("metrics-port", 0,
@@ -955,10 +981,35 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
                          std::to_string(options.queueMaxRows) +
                          ") must be at least --batch-max (" +
                          std::to_string(options.batchMaxRows) + ")");
+    options.shards = parser.getSize("shards", 1, 256);
+    options.ioThreads = parser.getSize("io-threads", 1, 256);
+    options.deadlineUs = parser.getSize("deadline-us", 0, 3600000000);
     options.idleTimeoutMs = static_cast<int>(
         parser.getSize("timeout-ms", 0, 86400000));
     options.modelPath = parser.getString("model");
     options.listen = parser.getString("listen");
+    const std::string models_spec = parser.getString("models");
+    if (!models_spec.empty()) {
+        std::set<std::string> seen{"default"};
+        for (const std::string &entry : split(models_spec, ',')) {
+            const std::size_t eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == entry.size())
+                throw UsageError("--models entries are KEY=PATH, "
+                                 "got '" + entry + "'");
+            const std::string key = trim(entry.substr(0, eq));
+            const std::string path = trim(entry.substr(eq + 1));
+            if (key.empty() || key.size() > serve::kMaxModelKey)
+                throw UsageError("--models key must be 1.." +
+                                 std::to_string(serve::kMaxModelKey) +
+                                 " bytes, got '" + key + "'");
+            if (!seen.insert(key).second)
+                throw UsageError("--models key '" + key +
+                                 "' given twice ('default' is "
+                                 "reserved for --model)");
+            options.models.emplace_back(key, path);
+        }
+    }
     if (parser.given("metrics-port") ||
         parser.given("metrics-host")) {
         options.metricsHttp = true;
@@ -987,6 +1038,12 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
     out << "serving " << options.modelPath << " at "
         << server.endpoint()
         << " (SIGHUP reloads, SIGINT/SIGTERM stop)\n";
+    if (options.shards > 1 || options.ioThreads > 1 ||
+        !options.models.empty()) {
+        out << "  " << options.ioThreads << " io-thread(s), "
+            << options.shards << " shard(s), "
+            << (1 + options.models.size()) << " model(s)\n";
+    }
     if (options.metricsHttp) {
         out << "metrics at http://" << options.metricsHost << ":"
             << server.metricsPort() << "/metrics\n";
@@ -1006,73 +1063,13 @@ cmdServe(const std::vector<std::string> &args, std::ostream &out)
 
 namespace {
 
-/** One /metrics scrape; deltas between two make one top frame. */
-struct TopSample
+/** Monotonic scrape timestamp for a TopSample, in seconds. */
+double
+topNowSeconds()
 {
-    obs::PrometheusScrape scrape;
-    std::chrono::steady_clock::time_point when;
-};
-
-void
-renderTopFrame(std::ostream &out, const std::string &target,
-               const TopSample &prev, const TopSample &cur)
-{
-    const double dt = std::max(
-        std::chrono::duration<double>(cur.when - prev.when).count(),
-        1e-3);
-    const auto rate = [&](const char *name) {
-        const double delta = cur.scrape.valueOr(name, 0.0) -
-                             prev.scrape.valueOr(name, 0.0);
-        return std::max(delta, 0.0) / dt;
-    };
-    const auto gauge = [&](const char *name) {
-        return cur.scrape.valueOr(name, 0.0);
-    };
-    const auto quantile = [&](const char *q) {
-        return cur.scrape.valueOr(
-            std::string(
-                "mtperf_serve_predict_micros{quantile=\"") +
-                q + "\"}",
-            0.0);
-    };
-    const auto cell = [](double value, int digits) {
-        return padLeft(formatDouble(value, digits), 12);
-    };
-    const double batches = rate("mtperf_serve_batches");
-    const double batch_rows = rate("mtperf_serve_batch_rows");
-
-    out << "mtperf top - " << target << "  (window "
-        << formatDouble(dt, 2) << "s)\n";
-    out << "  requests/s " << cell(rate("mtperf_serve_requests"), 1)
-        << "     rows/s "
-        << cell(rate("mtperf_serve_rows_predicted"), 1) << "\n";
-    out << "  retry/s    " << cell(rate("mtperf_serve_retries"), 1)
-        << "   errors/s " << cell(rate("mtperf_serve_errors"), 1)
-        << "\n";
-    out << "  batch occupancy "
-        << (batches > 0.0 ? formatDouble(batch_rows / batches, 1)
-                          : std::string("-"))
-        << " rows/batch (" << formatDouble(batches, 1)
-        << " batches/s)\n";
-    out << "  latency us  p50 " << formatDouble(quantile("0.5"), 0)
-        << "  p95 " << formatDouble(quantile("0.95"), 0) << "  p99 "
-        << formatDouble(quantile("0.99"), 0) << "\n";
-    out << "  queue rows  now "
-        << formatDouble(gauge("mtperf_serve_queue_rows"), 0)
-        << "  peak "
-        << formatDouble(gauge("mtperf_serve_queue_rows_max"), 0)
-        << "\n";
-    const double burn =
-        gauge("mtperf_serve_slo_burn_rate_milli") / 1000.0;
-    const bool healthy =
-        gauge("mtperf_serve_slo_healthy") != 0.0;
-    out << "  SLO         burn " << formatDouble(burn, 2)
-        << (healthy ? "  healthy" : "  BUDGET EXCEEDED") << "  ("
-        << formatDouble(gauge("mtperf_serve_slo_window_requests"), 0)
-        << " reqs, "
-        << formatDouble(gauge("mtperf_serve_slo_window_violations"),
-                        0)
-        << " violations in window)\n";
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 } // namespace
@@ -1144,13 +1141,13 @@ cmdTop(const std::vector<std::string> &args, std::ostream &out)
     }
 
     TopSample prev{obs::parsePrometheusText(scrape()),
-                   std::chrono::steady_clock::now()};
+                   topNowSeconds()};
     for (std::uint64_t frame = 0; frames == 0 || frame < frames;
          ++frame) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(interval));
         TopSample cur{obs::parsePrometheusText(scrape()),
-                      std::chrono::steady_clock::now()};
+                      topNowSeconds()};
         if (frames != 1)
             out << "\x1b[2J\x1b[H"; // clear + home between frames
         renderTopFrame(out, target, prev, cur);

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Frame rendering for `mtperf top` — split from the command so the
+ * rate math is unit-testable without a live server.
+ *
+ * A frame is the delta between two /metrics scrapes. The rate math
+ * defends against hostile inputs a live scrape loop can produce:
+ *
+ *  - dt is clamped to >= 1 ms, so two scrapes with identical (or,
+ *    under clock trouble, regressed) timestamps render large-but-
+ *    finite rates instead of inf/NaN;
+ *  - counter deltas are clamped to >= 0, so a server restart between
+ *    scrapes (counters reset) renders a quiet frame, not huge
+ *    negative rates.
+ */
+
+#ifndef MTPERF_CLI_TOP_RENDER_H_
+#define MTPERF_CLI_TOP_RENDER_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/prometheus.h"
+
+namespace mtperf::cli {
+
+/** One /metrics scrape; deltas between two make one top frame. */
+struct TopSample
+{
+    obs::PrometheusScrape scrape;
+    double seconds = 0.0; //!< scrape time on any monotonic clock
+};
+
+/** dt floor applied between scrapes (seconds). */
+inline constexpr double kTopMinDtSeconds = 1e-3;
+
+/** Render one frame of `mtperf top` for the scrape pair. */
+void renderTopFrame(std::ostream &out, const std::string &target,
+                    const TopSample &prev, const TopSample &cur);
+
+} // namespace mtperf::cli
+
+#endif // MTPERF_CLI_TOP_RENDER_H_

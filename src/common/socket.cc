@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -274,6 +277,191 @@ readFully(int fd, void *data, std::size_t n)
         got += static_cast<std::size_t>(r);
     }
     return true;
+}
+
+bool
+waitWritable(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    while (true) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return true;
+        if (rc == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        failErrno("poll()");
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+        failErrno("cannot set O_NONBLOCK");
+}
+
+Socket
+acceptNonBlocking(const Socket &listener)
+{
+    while (true) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return Socket();
+        failErrno("accept()");
+    }
+}
+
+std::size_t
+readSome(int fd, void *data, std::size_t n, bool *eof)
+{
+    if (eof != nullptr)
+        *eof = false;
+    while (true) {
+        const ssize_t r = ::recv(fd, data, n, 0);
+        if (r > 0)
+            return static_cast<std::size_t>(r);
+        if (r == 0) {
+            if (eof != nullptr)
+                *eof = true;
+            return 0;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return 0;
+        failErrno("socket read failed");
+    }
+}
+
+std::size_t
+writeSome(int fd, const void *data, std::size_t n)
+{
+    while (true) {
+        const ssize_t written = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (written >= 0)
+            return static_cast<std::size_t>(written);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return 0;
+        failErrno("socket write failed");
+    }
+}
+
+Poller::Poller() : fd_(::epoll_create1(EPOLL_CLOEXEC))
+{
+    if (fd_ < 0)
+        failErrno("epoll_create1()");
+}
+
+Poller::~Poller()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+namespace {
+
+epoll_event
+epollEventFor(std::uint64_t tag, bool want_write)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = tag;
+    return ev;
+}
+
+} // namespace
+
+void
+Poller::add(int fd, std::uint64_t tag, bool want_write)
+{
+    epoll_event ev = epollEventFor(tag, want_write);
+    if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        failErrno("epoll_ctl(ADD)");
+}
+
+void
+Poller::modify(int fd, std::uint64_t tag, bool want_write)
+{
+    epoll_event ev = epollEventFor(tag, want_write);
+    if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+        failErrno("epoll_ctl(MOD)");
+}
+
+void
+Poller::remove(int fd)
+{
+    epoll_event ev{};
+    if (::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, &ev) != 0)
+        failErrno("epoll_ctl(DEL)");
+}
+
+std::size_t
+Poller::wait(std::vector<PollEvent> &events, int timeout_ms)
+{
+    constexpr int kMaxEvents = 64;
+    epoll_event raw[kMaxEvents];
+    int count;
+    while (true) {
+        count = ::epoll_wait(fd_, raw, kMaxEvents, timeout_ms);
+        if (count >= 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        failErrno("epoll_wait()");
+    }
+    events.clear();
+    events.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        PollEvent ev;
+        ev.tag = raw[i].data.u64;
+        ev.readable = (raw[i].events & EPOLLIN) != 0;
+        ev.writable = (raw[i].events & EPOLLOUT) != 0;
+        ev.hangup = (raw[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        events.push_back(ev);
+    }
+    return events.size();
+}
+
+WakeupFd::WakeupFd()
+    : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK))
+{
+    if (fd_ < 0)
+        failErrno("eventfd()");
+}
+
+WakeupFd::~WakeupFd()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+WakeupFd::signal()
+{
+    const std::uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) already guarantees a wakeup.
+    [[maybe_unused]] const ssize_t rc =
+        ::write(fd_, &one, sizeof(one));
+}
+
+void
+WakeupFd::drain()
+{
+    std::uint64_t count = 0;
+    [[maybe_unused]] const ssize_t rc =
+        ::read(fd_, &count, sizeof(count));
 }
 
 } // namespace mtperf::net

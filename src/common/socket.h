@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mtperf::net {
 
@@ -129,6 +130,109 @@ void writeAll(int fd, const void *data, std::size_t n);
  * error, a timeout, or EOF mid-buffer (a truncated frame).
  */
 bool readFully(int fd, void *data, std::size_t n);
+
+// ------------------------------------------------------------------
+// Non-blocking / readiness plumbing (the event-loop substrate)
+// ------------------------------------------------------------------
+
+/**
+ * Poll @p fd for writability. @return true when writable, false on
+ * timeout. @throw FatalError on poll failure.
+ */
+bool waitWritable(int fd, int timeout_ms);
+
+/** Put @p fd into non-blocking mode. @throw FatalError. */
+void setNonBlocking(int fd);
+
+/**
+ * Accept one connection without blocking (the listener must be
+ * non-blocking). @return an invalid Socket when nothing is pending;
+ * @throw FatalError on a real accept failure. Transient per-connection
+ * failures (ECONNABORTED) read as "nothing pending".
+ */
+Socket acceptNonBlocking(const Socket &listener);
+
+/**
+ * Read up to @p n bytes from a non-blocking socket. @return the byte
+ * count (0 when nothing is readable right now); a clean peer close
+ * sets @p *eof instead. @throw FatalError on a socket error.
+ */
+std::size_t readSome(int fd, void *data, std::size_t n, bool *eof);
+
+/**
+ * Write up to @p n bytes to a non-blocking socket, SIGPIPE
+ * suppressed. @return bytes accepted (0 when the kernel buffer is
+ * full). @throw FatalError when the peer is gone.
+ */
+std::size_t writeSome(int fd, const void *data, std::size_t n);
+
+/** One readiness report from Poller::wait. */
+struct PollEvent
+{
+    std::uint64_t tag = 0; //!< the tag the fd was registered under
+    bool readable = false;
+    bool writable = false;
+    /** Peer hung up or the fd errored; treat as readable-to-EOF. */
+    bool hangup = false;
+};
+
+/**
+ * RAII epoll instance: many fds multiplexed under caller-chosen u64
+ * tags, level-triggered (a partial read leaves the fd ready, so no
+ * drain-to-EAGAIN discipline is forced on callers). All methods
+ * throw FatalError on kernel refusal.
+ */
+class Poller
+{
+  public:
+    Poller();
+    ~Poller();
+
+    Poller(Poller &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Poller &operator=(Poller &&) = delete;
+    Poller(const Poller &) = delete;
+    Poller &operator=(const Poller &) = delete;
+
+    /** Register @p fd under @p tag, watching EPOLLIN (+EPOLLOUT). */
+    void add(int fd, std::uint64_t tag, bool want_write = false);
+
+    /** Change the EPOLLOUT interest of a registered fd. */
+    void modify(int fd, std::uint64_t tag, bool want_write);
+
+    /** Deregister @p fd (must still be open). */
+    void remove(int fd);
+
+    /**
+     * Wait up to @p timeout_ms (-1 = forever) and fill @p events.
+     * @return the number of events (0 on timeout).
+     */
+    std::size_t wait(std::vector<PollEvent> &events, int timeout_ms);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Eventfd-based cross-thread wakeup: signal() from any thread makes
+ * the fd readable so a Poller blocked in wait() returns; drain()
+ * consumes the pending count. Signals coalesce.
+ */
+class WakeupFd
+{
+  public:
+    WakeupFd();
+    ~WakeupFd();
+
+    WakeupFd(const WakeupFd &) = delete;
+    WakeupFd &operator=(const WakeupFd &) = delete;
+
+    int fd() const { return fd_; }
+    void signal();
+    void drain();
+
+  private:
+    int fd_ = -1;
+};
 
 } // namespace mtperf::net
 

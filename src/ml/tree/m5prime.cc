@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "math/stats.h"
+#include "ml/tree/flat_tree.h"
 #include "ml/tree/split_search.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -167,6 +168,7 @@ M5Prime::fit(const Dataset &train)
     std::vector<PathStep> path;
     collectLeaves(*root_, path);
     refreshSplitAttributes();
+    buildFlatTree();
 
     obs::counter("tree.fits").increment();
     obs::counter("tree.nodes").add(numNodes());
@@ -440,17 +442,50 @@ M5Prime::predictBatch(std::span<const double> rows, std::size_t width,
     mtperf_assert(rows.size() == out.size() * width,
                   "batch size mismatch: ", rows.size(), " values for ",
                   out.size(), " rows of width ", width);
+    mtperf_assert(flat_ != nullptr, "predictBatch() without a compiled "
+                  "flat tree (fit/load not completed)");
     // Chunks keep per-task overhead negligible next to the tree walks
-    // while still letting a large batch occupy the whole pool.
+    // while still letting a large batch occupy the whole pool. Each
+    // chunk is one FlatTree block: the chunk boundary never changes
+    // per-row arithmetic, so any thread count gives the same bits.
     constexpr std::size_t kChunk = 256;
     const std::size_t n = out.size();
     const std::size_t chunks = (n + kChunk - 1) / kChunk;
     globalPool().parallelFor(chunks, [&](std::size_t c) {
         const std::size_t lo = c * kChunk;
         const std::size_t hi = std::min(n, lo + kChunk);
-        for (std::size_t r = lo; r < hi; ++r)
-            out[r] = predict(rows.subspan(r * width, width));
+        flat_->predictBlock(rows.data() + lo * width, width, hi - lo,
+                            out.data() + lo);
     });
+}
+
+void
+M5Prime::buildFlatTree()
+{
+    // Pre-order, left child first: leaves are appended in exactly the
+    // order collectLeaves numbered them, so FlatTree leaf indices and
+    // leafId/leafModel() agree.
+    struct Compiler
+    {
+        FlatTree::Builder &builder;
+
+        FlatTree::Ref
+        compile(const Node &node)
+        {
+            if (node.leaf)
+                return builder.addLeaf(node.model);
+            const FlatTree::Ref self =
+                builder.addSplit(node.splitAttr, node.splitValue);
+            const FlatTree::Ref left = compile(*node.left);
+            const FlatTree::Ref right = compile(*node.right);
+            builder.setChildren(self, left, right);
+            return self;
+        }
+    };
+    FlatTree::Builder builder;
+    Compiler compiler{builder};
+    const FlatTree::Ref root = compiler.compile(*root_);
+    flat_ = std::make_unique<FlatTree>(std::move(builder).build(root));
 }
 
 std::size_t
@@ -861,6 +896,7 @@ M5Prime::load(std::istream &is, const std::string &source)
     std::vector<PathStep> path;
     tree.collectLeaves(*tree.root_, path);
     tree.refreshSplitAttributes();
+    tree.buildFlatTree();
     return tree;
 }
 

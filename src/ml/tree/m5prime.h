@@ -45,6 +45,8 @@
 
 namespace mtperf {
 
+class FlatTree;
+
 /** Tunable knobs for M5' construction. */
 struct M5Options
 {
@@ -121,10 +123,13 @@ class M5Prime : public Regressor
     double predict(std::span<const double> row) const override;
 
     /**
-     * Batch prediction, chunk-parallel over the global pool. Each row
-     * is an independent root-to-leaf walk writing its own output slot,
-     * so the result is bit-identical to the serial loop at any thread
-     * count. This is the server's hot path.
+     * Batch prediction, chunk-parallel over the global pool. Each
+     * chunk runs through the FlatTree compilation of this tree:
+     * level-by-level block descent plus leaf-grouped term-major
+     * linear-model evaluation on flat arrays — the same arithmetic in
+     * the same order as the scalar walk, so the result is
+     * bit-identical to per-row predict() at any thread count. This is
+     * the server's hot path.
      */
     void predictBatch(std::span<const double> rows, std::size_t width,
                       std::span<double> out) const override;
@@ -252,6 +257,8 @@ class M5Prime : public Regressor
     void collectLeaves(Node &node, std::vector<PathStep> &path);
     /** Recompute the cached splitAttributes() answer from leaves_. */
     void refreshSplitAttributes();
+    /** Compile root_ into flat_ (after fit() and load()). */
+    void buildFlatTree();
 
     M5Options options_;
     Schema schema_;
@@ -262,6 +269,7 @@ class M5Prime : public Regressor
     std::vector<LeafInfo> leaves_;
     std::vector<const Node *> leafNodes_;
     std::vector<std::size_t> splitAttributes_; //!< sorted, de-duplicated
+    std::unique_ptr<FlatTree> flat_; //!< batch-inference compilation
 };
 
 } // namespace mtperf

@@ -10,15 +10,20 @@
 
 namespace mtperf::serve {
 
-Batcher::Batcher(Options options, const ModelHolder &model,
-                 ServeStats &stats)
-    : options_(options), model_(model), stats_(stats)
+Batcher::Batcher(Options options, ServeStats &stats)
+    : options_(options), stats_(stats),
+      shardBatches_(obs::counter(
+          "serve.shard" + std::to_string(options.shard) + ".batches")),
+      shardBatchRows_(obs::counter(
+          "serve.shard" + std::to_string(options.shard) +
+          ".batch_rows"))
 {
     mtperf_assert(options_.batchMaxRows > 0, "batchMaxRows must be >= 1");
     mtperf_assert(options_.queueMaxRows >= options_.batchMaxRows,
                   "queueMaxRows must be >= batchMaxRows");
     worker_ = std::thread([this] {
-        obs::setCurrentThreadName("mtperf-batcher");
+        obs::setCurrentThreadName(
+            "mtperf-batch-" + std::to_string(options_.shard));
         workerLoop();
     });
 }
@@ -32,7 +37,8 @@ bool
 Batcher::submit(PredictJob &&job)
 {
     // Watermarked depth gauge: `mtperf top` reads value + max to show
-    // current pressure and the worst the queue has ever been.
+    // current pressure and the worst the queue has ever been. Shared
+    // across shards — it tracks total queued rows in the process.
     static obs::Gauge &queueRows = obs::gauge("serve.queue_rows");
     const std::size_t rows = job.rowCount();
     {
@@ -62,6 +68,13 @@ Batcher::stop()
     wake_.notify_all();
     if (worker_.joinable())
         worker_.join();
+}
+
+std::size_t
+Batcher::queuedRows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queuedRows_;
 }
 
 void
@@ -115,6 +128,19 @@ Batcher::workerLoop()
     }
 }
 
+namespace {
+
+/** Jobs of one drained batch that target the same model. */
+struct ModelGroup
+{
+    const ModelHolder *holder = nullptr;
+    std::shared_ptr<const M5Prime> model; //!< snapshot for the batch
+    std::size_t width = 0;
+    std::vector<std::size_t> jobs; //!< indices into the batch
+};
+
+} // namespace
+
 void
 Batcher::runBatch(std::vector<PredictJob> &batch)
 {
@@ -122,7 +148,7 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
                          "serve.batch jobs=" +
                              std::to_string(batch.size()));
     // Traced jobs get a per-request queue-wait span (enqueue on the
-    // connection thread -> drain here); both ends are steady-clock
+    // event-loop thread -> drain here); both ends are steady-clock
     // micros, the same clock traceNowMicros() reads.
     const std::int64_t drainedMicros = obs::traceNowMicros();
     if (obs::traceEnabled()) {
@@ -139,74 +165,108 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
                 enqueuedMicros, drainedMicros);
         }
     }
-    const std::shared_ptr<const M5Prime> model = model_.get();
-    const std::size_t width =
-        model ? model->schema().numAttributes() : 0;
 
-    // Coalesce the jobs that match the (current) model schema into
-    // one contiguous block; anything else fails with a per-job error.
-    std::vector<std::size_t> runnable;
-    std::size_t total_rows = 0;
+    // Deadline admission: a job whose queue wait already exceeded the
+    // deadline is shed before any model work — the client's RETRY
+    // resubmission will find a shorter queue.
+    const auto drained = std::chrono::steady_clock::now();
+    std::vector<char> shed(batch.size(), 0);
+    if (options_.deadlineUs > 0) {
+        const auto deadline =
+            std::chrono::microseconds(options_.deadlineUs);
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+            if (drained - batch[j].enqueued > deadline) {
+                shed[j] = 1;
+                stats_.countDeadline();
+            }
+        }
+    }
+
+    // Group the surviving jobs by target model (first-appearance
+    // order). Batches are small, so a linear holder scan beats a map.
+    std::vector<ModelGroup> groups;
+    std::vector<std::size_t> group_of(batch.size(), 0);
     for (std::size_t j = 0; j < batch.size(); ++j) {
-        if (model && batch[j].cols == width) {
-            runnable.push_back(j);
-            total_rows += batch[j].rowCount();
+        if (shed[j] != 0)
+            continue;
+        const ModelHolder *holder = batch[j].model;
+        std::size_t g = 0;
+        while (g < groups.size() && groups[g].holder != holder)
+            ++g;
+        if (g == groups.size()) {
+            ModelGroup group;
+            group.holder = holder;
+            group.model = holder != nullptr ? holder->get() : nullptr;
+            group.width = group.model != nullptr
+                              ? group.model->schema().numAttributes()
+                              : 0;
+            groups.push_back(std::move(group));
         }
+        group_of[j] = g;
+        groups[g].jobs.push_back(j);
     }
 
-    std::vector<double> rows;
-    rows.reserve(total_rows * width);
-    for (std::size_t j : runnable)
-        rows.insert(rows.end(), batch[j].rows.begin(),
-                    batch[j].rows.end());
-
-    std::vector<double> predictions(total_rows);
-    std::string batch_error;
-    const std::int64_t predictStart = obs::traceNowMicros();
-    if (!runnable.empty()) {
-        try {
-            model->predictBatch(rows, width, predictions);
-        } catch (const std::exception &e) {
-            batch_error = e.what();
-        }
-    }
-    if (obs::traceEnabled()) {
-        // One serve.predict span per traced runnable job: the batch
-        // predicts them together, so they share the interval.
-        const std::int64_t predictEnd = obs::traceNowMicros();
-        for (std::size_t j : runnable) {
-            if (batch[j].traceId == 0)
-                continue;
-            obs::traceCompleteSpan(
-                "serve",
-                "serve.predict trace=" +
-                    obs::traceIdHex(batch[j].traceId),
-                predictStart, predictEnd);
-        }
-    }
-
-    const auto now = std::chrono::steady_clock::now();
-    std::size_t offset = 0;
-    std::size_t next_runnable = 0;
+    // One coalesced predictBatch per model group; per-job results are
+    // sliced back out afterwards.
+    std::vector<JobResult> results(batch.size());
+    std::vector<char> completed(batch.size(), 0);
     std::size_t served_rows = 0;
-    for (std::size_t j = 0; j < batch.size(); ++j) {
-        PredictJob &job = batch[j];
-        JobResult result;
-        const bool is_runnable = next_runnable < runnable.size() &&
-                                 runnable[next_runnable] == j;
-        if (!model) {
-            result.error = "no model loaded";
-        } else if (!is_runnable) {
-            result.error = "request has " + std::to_string(job.cols) +
-                           " columns, model expects " +
-                           std::to_string(width);
-        } else if (!batch_error.empty()) {
-            ++next_runnable;
-            offset += job.rowCount();
-            result.error = "prediction failed: " + batch_error;
-        } else {
-            ++next_runnable;
+    for (ModelGroup &group : groups) {
+        if (group.model == nullptr)
+            continue; // those jobs fail with "no model loaded" below
+        std::vector<std::size_t> runnable;
+        std::size_t total_rows = 0;
+        for (std::size_t j : group.jobs) {
+            if (batch[j].cols == group.width) {
+                runnable.push_back(j);
+                total_rows += batch[j].rowCount();
+            }
+        }
+        std::vector<double> rows;
+        rows.reserve(total_rows * group.width);
+        for (std::size_t j : runnable)
+            rows.insert(rows.end(), batch[j].rows.begin(),
+                        batch[j].rows.end());
+
+        std::vector<double> predictions(total_rows);
+        std::string batch_error;
+        const std::int64_t predictStart = obs::traceNowMicros();
+        if (!runnable.empty()) {
+            try {
+                group.model->predictBatch(rows, group.width,
+                                          predictions);
+            } catch (const std::exception &e) {
+                batch_error = e.what();
+            }
+        }
+        if (obs::traceEnabled()) {
+            // One serve.predict span per traced runnable job: the
+            // group predicts them together, so they share the
+            // interval.
+            const std::int64_t predictEnd = obs::traceNowMicros();
+            for (std::size_t j : runnable) {
+                if (batch[j].traceId == 0)
+                    continue;
+                obs::traceCompleteSpan(
+                    "serve",
+                    "serve.predict trace=" +
+                        obs::traceIdHex(batch[j].traceId),
+                    predictStart, predictEnd);
+            }
+        }
+
+        const auto now = std::chrono::steady_clock::now();
+        std::size_t offset = 0;
+        for (std::size_t j : runnable) {
+            PredictJob &job = batch[j];
+            JobResult &result = results[j];
+            completed[j] = 1;
             const std::size_t n = job.rowCount();
+            if (!batch_error.empty()) {
+                offset += n;
+                result.error = "prediction failed: " + batch_error;
+                continue;
+            }
             result.ok = true;
             result.response.predictions.assign(
                 predictions.begin() +
@@ -218,10 +278,11 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
                 result.response.leafIds.reserve(n);
                 for (std::size_t r = 0; r < n; ++r) {
                     const std::span<const double> row(
-                        job.rows.data() + r * width, width);
+                        job.rows.data() + r * group.width,
+                        group.width);
                     result.response.leafIds.push_back(
                         static_cast<std::uint32_t>(
-                            model->leafIndexFor(row)));
+                            group.model->leafIndexFor(row)));
                 }
             }
             offset += n;
@@ -232,7 +293,25 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
                     .count());
             served_rows += n;
         }
-        if (!result.ok)
+    }
+
+    // Complete every job exactly once: shed, failed or served.
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+        PredictJob &job = batch[j];
+        JobResult &result = results[j];
+        if (shed[j] != 0) {
+            result.shed = true;
+        } else if (completed[j] == 0) {
+            if (groups[group_of[j]].model == nullptr) {
+                result.error = "no model loaded";
+            } else {
+                result.error =
+                    "request has " + std::to_string(job.cols) +
+                    " columns, model expects " +
+                    std::to_string(groups[group_of[j]].width);
+            }
+        }
+        if (!result.ok && !result.shed)
             stats_.countError();
         if (job.done)
             job.done(std::move(result));
@@ -245,6 +324,8 @@ Batcher::runBatch(std::vector<PredictJob> &batch)
     static obs::Counter &batchRows = obs::counter("serve.batch_rows");
     batches.increment();
     batchRows.add(served_rows);
+    shardBatches_.increment();
+    shardBatchRows_.add(served_rows);
 }
 
 } // namespace mtperf::serve

@@ -1,24 +1,33 @@
 /**
  * @file
- * Request batching with bounded queueing and explicit backpressure.
+ * Request batching with bounded queueing, deadlines and explicit
+ * backpressure.
  *
- * Connection threads convert PREDICT requests into jobs and submit
- * them here; a single batcher thread drains the queue, coalesces up
- * to batchMaxRows rows (across connections) into one contiguous
- * block, runs the model's predictBatch — which fans out over the
- * shared `common/parallel` pool — and completes each job's callback.
- * Batching is what amortizes the per-request virtual-call and
- * scheduling cost into >100k rows/sec on loopback.
+ * Event-loop threads convert PREDICT requests into jobs and submit
+ * them here; one batcher thread per shard drains its queue, groups
+ * the drained jobs by target model, coalesces each group's rows into
+ * one contiguous block, runs the model's predictBatch — which fans
+ * out over the shared `common/parallel` pool — and completes each
+ * job's callback. Batching is what amortizes the per-request
+ * virtual-call and scheduling cost into >100k rows/sec on loopback.
  *
- * The queue is bounded by queueMaxRows *rows* (not jobs — a thousand
- * one-row requests and one thousand-row request cost the same
- * memory): when a submit would exceed it, submit() returns false and
- * the connection replies RETRY instead of letting the server fall
- * over. A job larger than the whole queue is rejected outright.
+ * Admission control has two layers:
  *
- * Hot reload swaps the ModelHolder's shared_ptr atomically; in-flight
- * batches finish on the model they started with, so a RELOAD never
- * tears predictions mid-batch.
+ *  - The queue is bounded by queueMaxRows *rows* (not jobs — a
+ *    thousand one-row requests and one thousand-row request cost the
+ *    same memory): when a submit would exceed it, submit() returns
+ *    false and the connection replies RETRY instead of letting the
+ *    server fall over. A job larger than the whole queue is rejected
+ *    outright.
+ *  - With deadlineUs > 0, a job that waited in the queue longer than
+ *    its deadline is shed at drain time (JobResult::shed, the caller
+ *    replies RETRY): under overload the server does bounded recent
+ *    work instead of unbounded stale work, so p99 stays a function of
+ *    the deadline rather than of the backlog.
+ *
+ * Hot reload swaps a ModelHolder's shared_ptr atomically; in-flight
+ * batches finish on the model snapshot they started with, so a RELOAD
+ * never tears predictions mid-batch.
  */
 
 #ifndef MTPERF_SERVE_BATCHER_H_
@@ -42,8 +51,8 @@
 namespace mtperf::serve {
 
 /**
- * The currently-served model, swappable while serving. get() hands
- * out a shared_ptr copy, so a reader keeps its model alive across a
+ * One served model, swappable while serving. get() hands out a
+ * shared_ptr copy, so a reader keeps its model alive across a
  * concurrent set() — the old model is destroyed only when the last
  * in-flight batch using it completes.
  */
@@ -78,13 +87,17 @@ class ModelHolder
 struct JobResult
 {
     bool ok = false;
+    /** Shed by admission control (deadline); caller replies RETRY. */
+    bool shed = false;
     PredictResponse response; //!< valid when ok
-    std::string error;        //!< cause when !ok
+    std::string error;        //!< cause when !ok && !shed
 };
 
 /** One queued prediction job (the rows of one PREDICT request). */
 struct PredictJob
 {
+    /** Target model; must outlive the batcher. null = none loaded. */
+    const ModelHolder *model = nullptr;
     std::vector<double> rows; //!< flat, rowCount x cols
     std::uint32_t cols = 0;
     bool wantAttribution = false;
@@ -99,7 +112,7 @@ struct PredictJob
     }
 };
 
-/** Bounded-queue batching executor. */
+/** Bounded-queue batching executor (one shard's worker). */
 class Batcher
 {
   public:
@@ -107,10 +120,14 @@ class Batcher
     {
         std::size_t batchMaxRows = 256;
         std::size_t queueMaxRows = 8192;
+        /** Shed jobs older than this at drain time (0 = never). */
+        std::uint64_t deadlineUs = 0;
+        /** Shard index, for thread naming and per-shard metrics. */
+        std::size_t shard = 0;
     };
 
-    /** Starts the batcher thread. @p model and @p stats must outlive it. */
-    Batcher(Options options, const ModelHolder &model, ServeStats &stats);
+    /** Starts the batcher thread. @p stats must outlive it. */
+    Batcher(Options options, ServeStats &stats);
     ~Batcher();
 
     Batcher(const Batcher &) = delete;
@@ -124,6 +141,9 @@ class Batcher
 
     /** Drain every queued job, then stop the batcher thread. */
     void stop();
+
+    /** Rows currently queued (approximate; for stats). */
+    std::size_t queuedRows() const;
 
     /**
      * @name Test hooks
@@ -140,10 +160,11 @@ class Batcher
     void runBatch(std::vector<PredictJob> &batch);
 
     Options options_;
-    const ModelHolder &model_;
     ServeStats &stats_;
+    obs::Counter &shardBatches_;   //!< serve.shard<i>.batches
+    obs::Counter &shardBatchRows_; //!< serve.shard<i>.batch_rows
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::deque<PredictJob> queue_;
     std::size_t queuedRows_ = 0;

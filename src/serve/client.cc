@@ -95,6 +95,7 @@ Client::predict(std::span<const double> rows, std::size_t cols,
 {
     PredictRequest request;
     request.wantAttribution = want_attribution;
+    request.modelKey = options_.modelKey;
     request.cols = static_cast<std::uint32_t>(cols);
     request.rows = static_cast<std::uint32_t>(
         cols == 0 ? 0 : rows.size() / cols);
@@ -151,6 +152,7 @@ Client::sendPredict(std::span<const double> rows, std::size_t cols,
 {
     PredictRequest request;
     request.wantAttribution = want_attribution;
+    request.modelKey = options_.modelKey;
     request.cols = static_cast<std::uint32_t>(cols);
     request.rows = static_cast<std::uint32_t>(
         cols == 0 ? 0 : rows.size() / cols);

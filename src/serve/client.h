@@ -85,6 +85,12 @@ class Client
         int retryDelayMs = 2;   //!< initial backoff (doubles, capped)
         /** Backoff jitter seed; 0 draws a unique per-client seed. */
         std::uint64_t retryJitterSeed = 0;
+        /**
+         * Model key attached to every PREDICT this client sends.
+         * Empty targets the server's default model with a request
+         * byte stream identical to pre-multi-model clients.
+         */
+        std::string modelKey;
     };
 
     /**

@@ -210,22 +210,62 @@ writeFrame(int fd, const Frame &frame)
     net::writeAll(fd, bytes.data(), bytes.size());
 }
 
+void
+FrameAssembler::feed(const char *data, std::size_t n)
+{
+    buf_.append(data, n);
+}
+
+bool
+FrameAssembler::next(Frame &out, const std::string &source)
+{
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kHeaderSize)
+        return false;
+    const std::uint32_t length =
+        checkHeader(buf_.data() + pos_, source);
+    const std::size_t total = kHeaderSize + length + kTrailerSize;
+    if (avail < total)
+        return false;
+    out = decodeFrame(std::string_view(buf_.data() + pos_, total),
+                      source);
+    pos_ += total;
+    // Compact once the dead prefix dominates; amortized O(1) per byte.
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    return true;
+}
+
 std::string
 encodePredictRequest(const PredictRequest &request)
 {
     mtperf_assert(request.values.size() ==
                       std::size_t{request.rows} * request.cols,
                   "predict request shape mismatch");
+    mtperf_assert(request.modelKey.size() <= kMaxModelKey,
+                  "model key exceeds the protocol limit");
     std::string out;
-    out.reserve(20 + request.values.size() * 8);
+    out.reserve(24 + request.modelKey.size() +
+                request.values.size() * 8);
     std::uint32_t flags = request.wantAttribution ? 1u : 0u;
     if (request.traceId != 0)
         flags |= 2u;
+    if (!request.modelKey.empty())
+        flags |= 4u;
     put32(out, flags);
     put32(out, request.rows);
     put32(out, request.cols);
     if (request.traceId != 0)
         put64(out, request.traceId);
+    if (!request.modelKey.empty()) {
+        put32(out, static_cast<std::uint32_t>(request.modelKey.size()));
+        out += request.modelKey;
+    }
     for (double v : request.values)
         putDouble(out, v);
     return out;
@@ -237,7 +277,7 @@ decodePredictRequest(std::string_view payload)
     Reader reader(payload);
     PredictRequest request;
     const std::uint32_t flags = reader.u32();
-    if ((flags & ~3u) != 0)
+    if ((flags & ~7u) != 0)
         mtperf_fatal("unknown predict request flags ", flags);
     request.wantAttribution = (flags & 1u) != 0;
     request.rows = reader.u32();
@@ -246,6 +286,13 @@ decodePredictRequest(std::string_view payload)
         request.traceId = reader.u64();
         if (request.traceId == 0)
             mtperf_fatal("trace flag set but trace id is zero");
+    }
+    if ((flags & 4u) != 0) {
+        const std::uint32_t key_length = reader.u32();
+        if (key_length == 0 || key_length > kMaxModelKey)
+            mtperf_fatal("bad model key length ", key_length,
+                         " (want 1..", kMaxModelKey, ")");
+        request.modelKey = reader.bytes(key_length);
     }
     const std::uint64_t count =
         std::uint64_t{request.rows} * request.cols;

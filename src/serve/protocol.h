@@ -100,6 +100,40 @@ Frame decodeFrame(std::string_view bytes,
 bool readFrame(int fd, Frame &out,
                const std::string &source = "<socket>");
 
+/**
+ * Incremental frame extraction for non-blocking reads: feed() bytes
+ * as they arrive, next() yields complete frames. The header is
+ * validated as soon as its 16 bytes are buffered, so garbage on the
+ * wire fails fast instead of waiting for a bogus payload length to
+ * "complete"; CRC and length checks run per frame exactly as in
+ * decodeFrame.
+ */
+class FrameAssembler
+{
+  public:
+    /** Append @p n incoming bytes. */
+    void feed(const char *data, std::size_t n);
+
+    /**
+     * Extract the next complete frame into @p out. @return false when
+     * more bytes are needed; @throw FatalError naming @p source on a
+     * damaged header or frame. After a throw the stream is unusable
+     * (framing is lost) — close the connection.
+     */
+    bool next(Frame &out, const std::string &source = "<stream>");
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t
+    buffered() const
+    {
+        return buf_.size() - pos_;
+    }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0; //!< consumed prefix, compacted lazily
+};
+
 /** Write one frame to a connected socket. @throw FatalError. */
 void writeFrame(int fd, const Frame &frame);
 
@@ -107,21 +141,28 @@ void writeFrame(int fd, const Frame &frame);
 // Typed payloads
 // ------------------------------------------------------------------
 
+/** Longest model key a PREDICT request may carry. */
+constexpr std::uint32_t kMaxModelKey = 256;
+
 /**
  * PREDICT request: rows x cols counter values, row-major.
  *
  * Payload layout: flags u32, rows u32, cols u32, [traceId u64 when
- * flags bit 1 is set], then rows*cols doubles. The trace id is
- * assigned by the client and carried through the batcher so the
- * request's spans (client send, queue wait, batch predict, reply)
- * link up in a merged Perfetto trace; a zero/absent id means "not
- * traced". Old servers reject the unknown flag loudly rather than
- * mis-parsing the shifted payload.
+ * flags bit 1 is set], [keyLen u32 + key bytes when flags bit 2 is
+ * set], then rows*cols doubles. The trace id is assigned by the
+ * client and carried through the batcher so the request's spans
+ * (client send, queue wait, batch predict, reply) link up in a merged
+ * Perfetto trace; a zero/absent id means "not traced". The model key
+ * selects one of a multi-model server's registered models (absent =
+ * the default model), and a request without a key is byte-identical
+ * to the pre-multi-model encoding. Old servers reject unknown flags
+ * loudly rather than mis-parsing the shifted payload.
  */
 struct PredictRequest
 {
     bool wantAttribution = false; //!< also return per-row leaf ids
     std::uint64_t traceId = 0;    //!< 0 = untraced
+    std::string modelKey;         //!< empty = the server's default model
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
     std::vector<double> values; //!< rows * cols

@@ -1,0 +1,158 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mtperf::serve {
+
+namespace {
+
+constexpr std::size_t kVirtualNodes = 64;
+
+/** splitmix64 finalizer: cheap, well-mixed 64-bit avalanche. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the key bytes, then avalanched through mix64. */
+std::uint64_t
+hashKey(const std::string &key)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull;
+    }
+    return mix64(h);
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(Options options, ServeStats &stats)
+{
+    mtperf_assert(options.shards >= 1, "need at least one shard");
+    batchers_.reserve(options.shards);
+    ring_.reserve(options.shards * kVirtualNodes);
+    for (std::size_t s = 0; s < options.shards; ++s) {
+        Batcher::Options shard_options = options.batcher;
+        shard_options.shard = s;
+        batchers_.push_back(
+            std::make_unique<Batcher>(shard_options, stats));
+        for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+            const std::uint64_t point =
+                mix64((static_cast<std::uint64_t>(s) << 32) | v);
+            ring_.emplace_back(point, s);
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+ShardRouter::~ShardRouter()
+{
+    stop();
+}
+
+ModelEntry &
+ShardRouter::addModel(const std::string &key, const std::string &path,
+                      std::shared_ptr<const M5Prime> model)
+{
+    mtperf_assert(!key.empty(), "model key must be non-empty");
+    mtperf_assert(key.size() <= kMaxModelKey,
+                  "model key exceeds the protocol limit");
+    for (auto &entry : entries_) {
+        if (entry->key == key) {
+            entry->path = path;
+            entry->holder.set(std::move(model));
+            return *entry;
+        }
+    }
+    auto entry = std::make_unique<ModelEntry>();
+    entry->key = key;
+    entry->path = path;
+    entry->shard = shardFor(key);
+    entry->holder.set(std::move(model));
+    entries_.push_back(std::move(entry));
+    return *entries_.back();
+}
+
+const ModelEntry *
+ShardRouter::find(const std::string &key) const
+{
+    for (const auto &entry : entries_) {
+        if (entry->key == key)
+            return entry.get();
+    }
+    return nullptr;
+}
+
+const ModelEntry *
+ShardRouter::defaultEntry() const
+{
+    return entries_.empty() ? nullptr : entries_.front().get();
+}
+
+std::vector<ModelEntry *>
+ShardRouter::entries()
+{
+    std::vector<ModelEntry *> out;
+    out.reserve(entries_.size());
+    for (auto &entry : entries_)
+        out.push_back(entry.get());
+    return out;
+}
+
+std::size_t
+ShardRouter::shardFor(const std::string &key) const
+{
+    const std::uint64_t h = hashKey(key);
+    // First ring point clockwise of the key's hash; wrap to the
+    // smallest point when the hash lies past the largest.
+    auto it = std::upper_bound(
+        ring_.begin(), ring_.end(), h,
+        [](std::uint64_t value, const auto &node) {
+            return value < node.first;
+        });
+    if (it == ring_.end())
+        it = ring_.begin();
+    return it->second;
+}
+
+bool
+ShardRouter::submit(const ModelEntry &entry, PredictJob &&job)
+{
+    mtperf_assert(entry.shard < batchers_.size(),
+                  "entry shard out of range");
+    job.model = &entry.holder;
+    return batchers_[entry.shard]->submit(std::move(job));
+}
+
+std::size_t
+ShardRouter::queuedRows() const
+{
+    std::size_t total = 0;
+    for (const auto &batcher : batchers_)
+        total += batcher->queuedRows();
+    return total;
+}
+
+Batcher &
+ShardRouter::shardBatcher(std::size_t shard)
+{
+    mtperf_assert(shard < batchers_.size(), "shard out of range");
+    return *batchers_[shard];
+}
+
+void
+ShardRouter::stop()
+{
+    for (auto &batcher : batchers_)
+        batcher->stop();
+}
+
+} // namespace mtperf::serve

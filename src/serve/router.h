@@ -1,0 +1,119 @@
+/**
+ * @file
+ * In-process shard router: a keyed model registry spread across
+ * independent batcher replicas by consistent hashing.
+ *
+ * The server registers every model it serves under a string key
+ * ("default" for the unkeyed legacy path). Each key maps onto one of
+ * `shards` batcher replicas through a consistent-hash ring (64
+ * virtual nodes per shard, splitmix64-mixed), so:
+ *
+ *  - one slow or saturated model only backs up its own shard's queue;
+ *    requests for models on other shards keep their latency;
+ *  - adding a shard moves ~1/N of the keys instead of rehashing all
+ *    of them, keeping shard assignment stable across config edits;
+ *  - the mapping is a pure function of (key, shard count) — no
+ *    coordination, the event-loop thread routes with a binary search.
+ *
+ * Each model's ModelHolder lives in its registry entry; hot reload
+ * (SIGHUP / RELOAD) swaps holders atomically per entry, so every
+ * shard hot-swaps independently and in-flight batches finish on the
+ * snapshot they started with.
+ *
+ * Determinism contract: routing never affects results. Any key routes
+ * to exactly one shard, every shard runs the same predictBatch code,
+ * and predictBatch is bit-identical to scalar predict — so a client
+ * sees byte-identical predictions at any --shards setting.
+ */
+
+#ifndef MTPERF_SERVE_ROUTER_H_
+#define MTPERF_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/batcher.h"
+
+namespace mtperf::serve {
+
+/** One registered model: key, source path, swappable holder. */
+struct ModelEntry
+{
+    std::string key;
+    std::string path;      //!< file the model (re)loads from
+    std::size_t shard = 0; //!< batcher replica this key hashes to
+    ModelHolder holder;
+};
+
+/** Keyed model registry + consistent-hash routing over N batchers. */
+class ShardRouter
+{
+  public:
+    struct Options
+    {
+        std::size_t shards = 1;
+        /** Per-shard batcher tuning; `shard` is filled per replica. */
+        Batcher::Options batcher;
+    };
+
+    /** Starts one batcher thread per shard. @p stats must outlive. */
+    ShardRouter(Options options, ServeStats &stats);
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /**
+     * Register @p model under @p key (loaded from @p path). Keys are
+     * unique; re-registering an existing key swaps its model instead.
+     * @return the entry (stable address for the router's lifetime).
+     */
+    ModelEntry &addModel(const std::string &key,
+                         const std::string &path,
+                         std::shared_ptr<const M5Prime> model);
+
+    /** @return the entry for @p key, or nullptr when unregistered. */
+    const ModelEntry *find(const std::string &key) const;
+
+    /** The first-registered entry (legacy unkeyed requests). */
+    const ModelEntry *defaultEntry() const;
+
+    /** Every registered entry, in registration order. */
+    std::vector<ModelEntry *> entries();
+
+    /** Pure hash: which shard a key lands on (any key, registered
+     *  or not). Exposed for tests and for `mtperf serve` logging. */
+    std::size_t shardFor(const std::string &key) const;
+
+    /**
+     * Route @p job to @p entry's shard. Fills job.model. @return
+     * false when that shard's queue is full (caller replies RETRY).
+     */
+    bool submit(const ModelEntry &entry, PredictJob &&job);
+
+    std::size_t numShards() const { return batchers_.size(); }
+    std::size_t numModels() const { return entries_.size(); }
+
+    /** Total rows queued across all shards (approximate). */
+    std::size_t queuedRows() const;
+
+    /** Direct shard access for tests (pause/resume hooks). */
+    Batcher &shardBatcher(std::size_t shard);
+
+    /** Drain and stop every shard's batcher thread. */
+    void stop();
+
+  private:
+    /** Registration order; unique_ptr keeps entry addresses stable. */
+    std::vector<std::unique_ptr<ModelEntry>> entries_;
+    std::vector<std::unique_ptr<Batcher>> batchers_;
+    /** Sorted (point, shard) ring; 64 virtual nodes per shard. */
+    std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+} // namespace mtperf::serve
+
+#endif // MTPERF_SERVE_ROUTER_H_

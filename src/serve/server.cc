@@ -4,37 +4,49 @@
 
 #include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "common/fault.h"
 #include "common/logging.h"
 #include "obs/build_info.h"
 #include "obs/prometheus.h"
-#include "obs/thread_info.h"
 #include "obs/trace.h"
 
 namespace mtperf::serve {
 
-/**
- * Per-connection shared state. Batcher callbacks hold a shared_ptr,
- * so the socket outlives the connection thread until the last queued
- * response for it was written (or dropped). All writes to the socket
- * go through one mutex because responses complete on the batcher
- * thread while RETRY/error replies come from the connection thread.
- */
-struct Server::Connection
+namespace {
+
+/** The key legacy (unkeyed) PREDICT requests resolve to. */
+constexpr const char *kDefaultModelKey = "default";
+
+std::shared_ptr<const M5Prime>
+loadModel(const std::string &path)
 {
-    net::Socket sock;
-    std::mutex writeMutex;
-    std::atomic<bool> open{true};
-};
+    return std::make_shared<const M5Prime>(M5Prime::loadFile(path));
+}
+
+} // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       endpoint_(net::parseEndpoint(options_.listen, options_.port)),
       stats_(options_.slo)
 {
-    model_.set(std::make_shared<const M5Prime>(
-        M5Prime::loadFile(options_.modelPath)));
+    mtperf_assert(options_.shards >= 1, "need at least one shard");
+    mtperf_assert(options_.ioThreads >= 1,
+                  "need at least one I/O thread");
+
+    ShardRouter::Options router_options;
+    router_options.shards = options_.shards;
+    router_options.batcher.batchMaxRows = options_.batchMaxRows;
+    router_options.batcher.queueMaxRows = options_.queueMaxRows;
+    router_options.batcher.deadlineUs = options_.deadlineUs;
+    router_ = std::make_unique<ShardRouter>(router_options, stats_);
+
+    router_->addModel(kDefaultModelKey, options_.modelPath,
+                      loadModel(options_.modelPath));
+    for (const auto &[key, path] : options_.models)
+        router_->addModel(key, path, loadModel(path));
 
     if (endpoint_.unixDomain) {
         listener_ = net::listenUnix(endpoint_.path);
@@ -51,12 +63,6 @@ Server::Server(ServerOptions options)
         metricsServer_ = std::make_unique<obs::MetricsHttpServer>(
             metrics_options);
     }
-
-    Batcher::Options batch_options;
-    batch_options.batchMaxRows = options_.batchMaxRows;
-    batch_options.queueMaxRows = options_.queueMaxRows;
-    batcher_ =
-        std::make_unique<Batcher>(batch_options, model_, stats_);
 }
 
 Server::~Server()
@@ -79,6 +85,15 @@ Server::metricsPort() const
     return metricsServer_ ? metricsServer_->port() : 0;
 }
 
+StatsSnapshot
+Server::stats() const
+{
+    StatsSnapshot s = stats_.snapshot();
+    s.shards = router_->numShards();
+    s.models = router_->numModels();
+    return s;
+}
+
 void
 Server::start()
 {
@@ -86,10 +101,32 @@ Server::start()
     started_ = true;
     if (metricsServer_)
         metricsServer_->start();
-    acceptThread_ = std::thread([this] {
-        obs::setCurrentThreadName("mtperf-accept");
-        acceptLoop();
-    });
+
+    loops_.reserve(options_.ioThreads);
+    for (std::size_t i = 0; i < options_.ioThreads; ++i) {
+        EventLoop::Options loop_options;
+        loop_options.pollIntervalMs = options_.pollIntervalMs;
+        loop_options.idleTimeoutMs = options_.idleTimeoutMs;
+        loop_options.name = "io-" + std::to_string(i);
+        EventLoop::Handlers handlers;
+        handlers.onFrame = [this](Conn &conn, Frame &&frame) {
+            stats_.countRequest();
+            dispatch(conn, std::move(frame));
+        };
+        handlers.onProtocolError = [this](Conn &conn,
+                                          const std::string &message) {
+            onProtocolError(conn, message);
+        };
+        if (i == 0) {
+            handlers.onAccept = [this](net::Socket &&sock) {
+                onAccept(std::move(sock));
+            };
+        }
+        loops_.push_back(std::make_unique<EventLoop>(
+            loop_options, std::move(handlers)));
+    }
+    for (std::size_t i = 0; i < loops_.size(); ++i)
+        loops_[i]->start(i == 0 ? &listener_ : nullptr);
 }
 
 void
@@ -107,25 +144,30 @@ Server::requestReload()
 bool
 Server::reloadNow(std::string *error)
 {
-    // One reload at a time; predictions are not blocked (they hold
-    // their own shared_ptr snapshot of the model).
+    // One reload at a time; predictions are not blocked (in-flight
+    // batches hold their own shared_ptr snapshot of each model).
     std::lock_guard<std::mutex> lock(reloadMutex_);
-    try {
-        auto fresh = std::make_shared<const M5Prime>(
-            M5Prime::loadFile(options_.modelPath));
-        model_.set(std::move(fresh));
-        stats_.countReload(true);
-        informAs("serve", "reloaded model from ", options_.modelPath);
-        return true;
-    } catch (const std::exception &e) {
-        stats_.countReload(false);
-        warnAs("serve",
-               "model reload failed, keeping the serving model: ",
-               e.what());
-        if (error != nullptr)
-            *error = e.what();
-        return false;
+    std::string messages;
+    for (ModelEntry *entry : router_->entries()) {
+        try {
+            entry->holder.set(loadModel(entry->path));
+            informAs("serve", "reloaded model '", entry->key,
+                     "' from ", entry->path);
+        } catch (const std::exception &e) {
+            warnAs("serve", "reload of model '", entry->key,
+                   "' failed, keeping the serving model: ", e.what());
+            if (!messages.empty())
+                messages += "; ";
+            messages += entry->key;
+            messages += ": ";
+            messages += e.what();
+        }
     }
+    const bool ok = messages.empty();
+    stats_.countReload(ok);
+    if (!ok && error != nullptr)
+        *error = messages;
+    return ok;
 }
 
 void
@@ -135,118 +177,67 @@ Server::wait()
         return;
     if (!started_) {
         joined_ = true;
-        batcher_->stop();
+        router_->stop();
+        if (metricsServer_)
+            metricsServer_->stop();
         return;
     }
-    if (acceptThread_.joinable())
-        acceptThread_.join();
 
-    // Unblock every connection thread parked in a read, then join.
-    {
-        std::lock_guard<std::mutex> lock(connMutex_);
-        for (auto &weak : connections_) {
-            if (auto conn = weak.lock())
-                conn->sock.shutdownBoth();
-        }
+    // The loops carry the traffic; this thread only watches for stop
+    // and SIGHUP-style reload requests.
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        if (reloadRequested_.exchange(false, std::memory_order_relaxed))
+            reloadNow(nullptr);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.pollIntervalMs));
     }
-    for (auto &thread : connThreads_)
-        thread.join();
-    connThreads_.clear();
 
-    // Complete whatever predictions are still queued before stopping.
-    batcher_->stop();
+    // Graceful order: drain queued predictions first (their replies
+    // flush through the still-live loops), then stop the loops (which
+    // nurse any remaining bytes out and close every connection).
+    router_->stop();
+    for (auto &loop : loops_)
+        loop->stop();
+    listener_.close();
     if (metricsServer_)
         metricsServer_->stop();
     joined_ = true;
 }
 
 void
-Server::acceptLoop()
+Server::onAccept(net::Socket &&sock)
 {
-    while (!stopping_.load(std::memory_order_relaxed)) {
-        if (reloadRequested_.exchange(false, std::memory_order_relaxed))
-            reloadNow(nullptr);
-        if (!net::waitReadable(listener_.fd(), options_.pollIntervalMs))
-            continue;
-        try {
-            net::Socket accepted = net::acceptOn(listener_);
-            MTPERF_FAULT_POINT("serve.accept");
-            auto conn = std::make_shared<Connection>();
-            conn->sock = std::move(accepted);
-            stats_.countConnection();
-            std::lock_guard<std::mutex> lock(connMutex_);
-            connections_.push_back(conn);
-            const std::size_t conn_index = connections_.size();
-            connThreads_.emplace_back([this, conn, conn_index] {
-                obs::setCurrentThreadName(
-                    "mtperf-conn-" + std::to_string(conn_index));
-                serveConnection(conn);
-            });
-        } catch (const std::exception &e) {
-            // A failed or fault-injected accept drops that one
-            // connection; the server keeps serving.
-            stats_.countError();
-            warnAs("serve", "accept failed: ", e.what());
-        }
-    }
-    listener_.close();
-}
-
-void
-Server::sendOn(const std::shared_ptr<Connection> &conn,
-               const Frame &frame)
-{
-    std::lock_guard<std::mutex> lock(conn->writeMutex);
-    if (!conn->open.load(std::memory_order_relaxed))
-        return;
     try {
-        writeFrame(conn->sock.fd(), frame);
-    } catch (const std::exception &) {
-        // Peer is gone; further replies on this connection are moot.
-        conn->open.store(false, std::memory_order_relaxed);
+        MTPERF_FAULT_POINT("serve.accept");
+    } catch (const std::exception &e) {
+        // A fault-injected accept drops that one connection; the
+        // server keeps serving.
+        stats_.countError();
+        warnAs("serve", "accept failed: ", e.what());
+        return;
     }
+    stats_.countConnection();
+    const std::size_t next =
+        nextLoop_.fetch_add(1, std::memory_order_relaxed);
+    loops_[next % loops_.size()]->adopt(std::move(sock));
 }
 
 void
-Server::serveConnection(std::shared_ptr<Connection> conn)
+Server::replyOn(Conn &conn, const Frame &frame, bool close_after)
 {
-    using clock = std::chrono::steady_clock;
-    auto last_activity = clock::now();
-    while (!stopping_.load(std::memory_order_relaxed) &&
-           conn->open.load(std::memory_order_relaxed)) {
-        if (!net::waitReadable(conn->sock.fd(),
-                               options_.pollIntervalMs)) {
-            if (options_.idleTimeoutMs > 0 &&
-                clock::now() - last_activity >
-                    std::chrono::milliseconds(options_.idleTimeoutMs))
-                break;
-            continue;
-        }
-        Frame request;
-        try {
-            MTPERF_FAULT_POINT("serve.read");
-            if (!readFrame(conn->sock.fd(), request, "client"))
-                break; // clean EOF
-        } catch (const std::exception &e) {
-            // Damaged frame or injected fault: tell the client if we
-            // can, then drop the connection — framing is lost.
-            stats_.countError();
-            sendOn(conn, Frame{kMsgError, request.id,
-                               encodeError({kErrBadRequest, e.what()})});
-            break;
-        }
-        last_activity = clock::now();
-        stats_.countRequest();
-        if (!dispatch(conn, request))
-            break;
-    }
-    conn->open.store(false, std::memory_order_relaxed);
-    conn->sock.shutdownBoth();
+    conn.loop().send(conn.id(), encodeFrame(frame), close_after);
 }
 
-bool
-Server::dispatch(const std::shared_ptr<Connection> &conn,
-                 Frame &request)
+void
+Server::onProtocolError(Conn &conn, const std::string &message)
+{
+    stats_.countError();
+    replyOn(conn,
+            Frame{kMsgError, 0, encodeError({kErrBadRequest, message})});
+}
+
+void
+Server::dispatch(Conn &conn, Frame &&request)
 {
     switch (request.type) {
     case kMsgPredict: {
@@ -255,9 +246,22 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
             predict = decodePredictRequest(request.payload);
         } catch (const std::exception &e) {
             stats_.countError();
-            sendOn(conn, Frame{kMsgError, request.id,
-                               encodeError({kErrBadRequest, e.what()})});
-            return true;
+            replyOn(conn,
+                    Frame{kMsgError, request.id,
+                          encodeError({kErrBadRequest, e.what()})});
+            return;
+        }
+        const ModelEntry *entry =
+            predict.modelKey.empty() ? router_->defaultEntry()
+                                     : router_->find(predict.modelKey);
+        if (entry == nullptr) {
+            stats_.countError();
+            replyOn(conn,
+                    Frame{kMsgError, request.id,
+                          encodeError({kErrModel,
+                                       "unknown model key '" +
+                                           predict.modelKey + "'"})});
+            return;
         }
         PredictJob job;
         job.rows = std::move(predict.values);
@@ -265,22 +269,30 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
         job.wantAttribution = predict.wantAttribution;
         job.traceId = predict.traceId;
         job.enqueued = std::chrono::steady_clock::now();
+        EventLoop *loop = &conn.loop();
+        const std::uint64_t connId = conn.id();
         const std::uint32_t id = request.id;
         const std::uint64_t traceId = predict.traceId;
-        job.done = [this, conn, id, traceId](JobResult &&result) {
+        job.done = [this, loop, connId, id,
+                    traceId](JobResult &&result) {
             const std::int64_t replyStart = obs::traceNowMicros();
+            Frame reply;
             if (result.ok) {
-                sendOn(conn,
-                       Frame{static_cast<MsgType>(kMsgPredict |
-                                                  kMsgReplyBit),
-                             id,
-                             encodePredictResponse(result.response)});
+                reply = Frame{static_cast<MsgType>(kMsgPredict |
+                                                   kMsgReplyBit),
+                              id,
+                              encodePredictResponse(result.response)};
+            } else if (result.shed) {
+                // Deadline admission control: the client retries
+                // against a queue that is current again.
+                stats_.countRetry();
+                reply = Frame{kMsgRetry, id, {}};
             } else {
-                sendOn(conn,
-                       Frame{kMsgError, id,
-                             encodeError({kErrBadRequest,
-                                          result.error})});
+                reply = Frame{kMsgError, id,
+                              encodeError({kErrBadRequest,
+                                           result.error})};
             }
+            loop->send(connId, encodeFrame(reply));
             if (traceId != 0 && obs::traceEnabled()) {
                 obs::traceCompleteSpan(
                     "serve",
@@ -288,67 +300,74 @@ Server::dispatch(const std::shared_ptr<Connection> &conn,
                     replyStart, obs::traceNowMicros());
             }
         };
-        if (!batcher_->submit(std::move(job))) {
+        if (!router_->submit(*entry, std::move(job))) {
             stats_.countRetry();
-            sendOn(conn, Frame{kMsgRetry, request.id, {}});
+            replyOn(conn, Frame{kMsgRetry, request.id, {}});
         }
-        return true;
+        return;
     }
     case kMsgInfo:
-        sendOn(conn,
-               Frame{static_cast<MsgType>(kMsgInfo | kMsgReplyBit),
-                     request.id, infoText()});
-        return true;
+        replyOn(conn,
+                Frame{static_cast<MsgType>(kMsgInfo | kMsgReplyBit),
+                      request.id, infoText()});
+        return;
     case kMsgReload: {
         std::string error;
         if (reloadNow(&error)) {
-            sendOn(conn, Frame{static_cast<MsgType>(kMsgReload |
-                                                    kMsgReplyBit),
-                               request.id, {}});
+            replyOn(conn, Frame{static_cast<MsgType>(kMsgReload |
+                                                     kMsgReplyBit),
+                                request.id, {}});
         } else {
-            sendOn(conn, Frame{kMsgError, request.id,
-                               encodeError({kErrModel, error})});
+            replyOn(conn, Frame{kMsgError, request.id,
+                                encodeError({kErrModel, error})});
         }
-        return true;
+        return;
     }
     case kMsgStats:
-        sendOn(conn,
-               Frame{static_cast<MsgType>(kMsgStats | kMsgReplyBit),
-                     request.id, stats_.snapshot().toJson()});
-        return true;
+        replyOn(conn,
+                Frame{static_cast<MsgType>(kMsgStats | kMsgReplyBit),
+                      request.id, stats().toJson()});
+        return;
     case kMsgMetrics:
         // Fold the SLO window first so the scrape's serve.slo_*
         // gauges are current even when traffic has gone quiet.
         stats_.snapshot();
-        sendOn(conn,
-               Frame{static_cast<MsgType>(kMsgMetrics | kMsgReplyBit),
-                     request.id, obs::metricsToPrometheus()});
-        return true;
+        replyOn(conn,
+                Frame{static_cast<MsgType>(kMsgMetrics | kMsgReplyBit),
+                      request.id, obs::metricsToPrometheus()});
+        return;
     case kMsgShutdown:
-        sendOn(conn,
-               Frame{static_cast<MsgType>(kMsgShutdown | kMsgReplyBit),
-                     request.id, {}});
+        replyOn(conn,
+                Frame{static_cast<MsgType>(kMsgShutdown | kMsgReplyBit),
+                      request.id, {}},
+                /*close_after=*/true);
         requestStop();
-        return false;
+        return;
     default:
         stats_.countError();
-        sendOn(conn,
-               Frame{kMsgError, request.id,
-                     encodeError({kErrBadRequest,
-                                  "unknown request type " +
-                                      std::to_string(request.type)})});
-        return true;
+        replyOn(conn,
+                Frame{kMsgError, request.id,
+                      encodeError({kErrBadRequest,
+                                   "unknown request type " +
+                                       std::to_string(request.type)})});
+        return;
     }
 }
 
 std::string
 Server::infoText() const
 {
-    const std::shared_ptr<const M5Prime> model = model_.get();
+    const ModelEntry *entry = router_->defaultEntry();
+    const std::shared_ptr<const M5Prime> model = entry->holder.get();
     std::ostringstream os;
     os << "build " << obs::buildSummary() << "\n";
     os << "model M5Prime\n";
     os << "source " << options_.modelPath << "\n";
+    os << "shards " << router_->numShards() << "\n";
+    os << "models " << router_->numModels();
+    for (const ModelEntry *e : router_->entries())
+        os << " " << e->key << "=shard" << e->shard;
+    os << "\n";
     const Schema &schema = model->schema();
     os << "attributes " << schema.numAttributes();
     for (std::size_t a = 0; a < schema.numAttributes(); ++a)

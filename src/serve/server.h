@@ -2,24 +2,29 @@
  * @file
  * The mtperf prediction server.
  *
- * One accept loop (TCP or Unix-domain, chosen by the listen address),
- * one thread per connection reading frames and dispatching them, one
- * batcher thread coalescing PREDICT jobs over the shared thread pool.
- * The lifecycle:
+ * A small fixed set of epoll event-loop threads (serve/event_loop.h)
+ * multiplexes every client connection; loop 0 owns the listening
+ * socket (TCP or Unix-domain, chosen by the listen address) and deals
+ * accepted connections round-robin across the loops. PREDICT frames
+ * become jobs routed by model key through the shard router
+ * (serve/router.h) onto one of `shards` batcher replicas; each
+ * batcher coalesces its jobs and runs predictBatch over the shared
+ * thread pool. The lifecycle:
  *
- *   Server server(options);   // loads the model, binds, listens
- *   server.start();           // spawns the accept + batcher threads
+ *   Server server(options);   // loads the models, binds, listens
+ *   server.start();           // spawns the I/O loops (batchers run)
  *   server.wait();            // blocks until SHUTDOWN/requestStop()
  *
  * Hot reload (RELOAD request or requestReload(), wired to SIGHUP by
- * the CLI) re-reads the model file and swaps it in atomically via
- * shared_ptr; when the replacement is corrupt the old model keeps
- * serving and the reloader gets the loader's error message. Stopping
- * is graceful: queued predictions complete, connections close, and a
- * final stats snapshot remains readable.
+ * the CLI) re-reads every model file and swaps each in atomically via
+ * shared_ptr — per-entry, so each shard hot-swaps independently; when
+ * a replacement is corrupt that entry's old model keeps serving and
+ * the reloader gets the loader's error message. Stopping is graceful:
+ * queued predictions complete and flush through the live loops,
+ * connections close, and a final stats snapshot remains readable.
  *
  * Fault sites `serve.accept` and `serve.read` (common/fault) let
- * tests rehearse a dying accept loop and mid-frame connection drops
+ * tests rehearse a dying accept path and mid-frame connection drops
  * deterministically.
  */
 
@@ -31,12 +36,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/socket.h"
 #include "obs/metrics_http.h"
-#include "serve/batcher.h"
+#include "serve/event_loop.h"
+#include "serve/router.h"
 #include "serve/stats.h"
 
 namespace mtperf::serve {
@@ -44,11 +50,16 @@ namespace mtperf::serve {
 /** Server configuration (validated eagerly by the CLI). */
 struct ServerOptions
 {
-    std::string modelPath;           //!< checksummed m5prime model file
+    std::string modelPath;           //!< the "default"-keyed model
+    /** Additional keyed models: (key, checksummed model file). */
+    std::vector<std::pair<std::string, std::string>> models;
     std::string listen = "127.0.0.1"; //!< HOST, HOST:PORT or unix:PATH
     std::uint16_t port = 0;           //!< TCP port when listen has none
     std::size_t batchMaxRows = 256;
     std::size_t queueMaxRows = 8192;
+    std::size_t shards = 1;           //!< batcher replicas
+    std::size_t ioThreads = 1;        //!< epoll event loops
+    std::uint64_t deadlineUs = 0;     //!< shed jobs queued longer (0 = off)
     int pollIntervalMs = 50;          //!< stop/reload responsiveness
     int idleTimeoutMs = 0;            //!< drop idle connections (0 = never)
 
@@ -65,7 +76,7 @@ class Server
 {
   public:
     /**
-     * Load the model, bind and listen. @throw FatalError when the
+     * Load the models, bind and listen. @throw FatalError when a
      * model is unreadable/corrupt or the address cannot be bound.
      */
     explicit Server(ServerOptions options);
@@ -74,7 +85,7 @@ class Server
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
 
-    /** Spawn the accept loop (the batcher already runs). */
+    /** Spawn the I/O loops (the batchers already run). */
     void start();
 
     /** Block until the server stopped, then release every thread. */
@@ -83,13 +94,13 @@ class Server
     /** Ask the server to stop; wait() returns soon after. */
     void requestStop();
 
-    /** Ask for a model reload at the next accept-loop tick (SIGHUP). */
+    /** Ask for a model reload at the next wait() tick (SIGHUP). */
     void requestReload();
 
     /**
-     * Reload the model file now. @return true on success; on failure
-     * the old model keeps serving and @p error (if non-null) receives
-     * the loader's message.
+     * Reload every model file now. @return true when all succeed; a
+     * failed entry keeps its old model serving and @p error (if
+     * non-null) receives the loader's message(s).
      */
     bool reloadNow(std::string *error);
 
@@ -102,37 +113,31 @@ class Server
     /** Printable bound address. */
     std::string endpoint() const;
 
-    StatsSnapshot stats() const { return stats_.snapshot(); }
+    StatsSnapshot stats() const;
 
   private:
-    struct Connection;
-
-    void acceptLoop();
-    void serveConnection(std::shared_ptr<Connection> conn);
-    bool dispatch(const std::shared_ptr<Connection> &conn,
-                  Frame &request);
+    void onAccept(net::Socket &&sock);
+    void dispatch(Conn &conn, Frame &&request);
+    void onProtocolError(Conn &conn, const std::string &message);
     std::string infoText() const;
-    static void sendOn(const std::shared_ptr<Connection> &conn,
-                       const Frame &frame);
+    static void replyOn(Conn &conn, const Frame &frame,
+                        bool close_after = false);
 
     ServerOptions options_;
     net::Endpoint endpoint_;
     std::uint16_t boundPort_ = 0;
     net::Socket listener_;
 
-    ModelHolder model_;
     ServeStats stats_;
-    std::unique_ptr<Batcher> batcher_;
+    std::unique_ptr<ShardRouter> router_;
+    std::vector<std::unique_ptr<EventLoop>> loops_;
+    std::atomic<std::size_t> nextLoop_{0}; //!< round-robin dealing
     std::unique_ptr<obs::MetricsHttpServer> metricsServer_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<bool> reloadRequested_{false};
     std::mutex reloadMutex_;
 
-    std::thread acceptThread_;
-    std::mutex connMutex_;
-    std::vector<std::weak_ptr<Connection>> connections_;
-    std::vector<std::thread> connThreads_;
     bool started_ = false;
     bool joined_ = false;
 };

@@ -26,9 +26,12 @@ ServeStats::ServeStats(SloOptions slo)
       rowsPredicted_(obs::counter("serve.rows_predicted")),
       errors_(obs::counter("serve.errors")),
       retries_(obs::counter("serve.retries")),
+      deadlineExpired_(obs::counter("serve.deadline_expired")),
       reloads_(obs::counter("serve.reloads")),
       reloadFailures_(obs::counter("serve.reload_failures")),
-      latency_(latencyHistogram()), slo_(slo)
+      latency_(latencyHistogram()),
+      connectionsActive_(obs::gauge("serve.connections_active")),
+      slo_(slo)
 {
     base_.connections = connections_.value();
     base_.requests = requests_.value();
@@ -36,6 +39,7 @@ ServeStats::ServeStats(SloOptions slo)
     base_.rowsPredicted = rowsPredicted_.value();
     base_.errors = errors_.value();
     base_.retries = retries_.value();
+    base_.deadlineExpired = deadlineExpired_.value();
     base_.reloads = reloads_.value();
     base_.reloadFailures = reloadFailures_.value();
     baseLatency_ = latency_.snapshot();
@@ -81,6 +85,9 @@ ServeStats::snapshot() const
     s.rowsPredicted = rowsPredicted_.value() - base_.rowsPredicted;
     s.errors = errors_.value() - base_.errors;
     s.retries = retries_.value() - base_.retries;
+    s.deadlineExpired =
+        deadlineExpired_.value() - base_.deadlineExpired;
+    s.connectionsActive = connectionsActive_.value();
     s.reloads = reloads_.value() - base_.reloads;
     s.reloadFailures = reloadFailures_.value() - base_.reloadFailures;
     obs::HistogramSnapshot lat = latency_.snapshot();
@@ -101,8 +108,11 @@ StatsSnapshot::toJson() const
        << ",\"predict_requests\":" << predictRequests
        << ",\"rows_predicted\":" << rowsPredicted
        << ",\"errors\":" << errors << ",\"retries\":" << retries
+       << ",\"deadline_expired\":" << deadlineExpired
        << ",\"reloads\":" << reloads
        << ",\"reload_failures\":" << reloadFailures
+       << ",\"connections_active\":" << connectionsActive
+       << ",\"shards\":" << shards << ",\"models\":" << models
        << ",\"latency_us\":{\"p50\":" << p50Micros
        << ",\"p95\":" << p95Micros << ",\"p99\":" << p99Micros
        << "},\"slo\":{\"objective_us\":" << slo.latencyObjectiveUs

@@ -38,8 +38,12 @@ struct StatsSnapshot
     std::uint64_t rowsPredicted = 0;
     std::uint64_t errors = 0;       //!< error replies + dropped conns
     std::uint64_t retries = 0;      //!< RETRY backpressure replies
+    std::uint64_t deadlineExpired = 0; //!< jobs shed past --deadline-us
     std::uint64_t reloads = 0;      //!< successful hot reloads
     std::uint64_t reloadFailures = 0;
+    std::int64_t connectionsActive = 0; //!< open connections right now
+    std::size_t shards = 0;         //!< batcher shards (0 = not set)
+    std::size_t models = 0;         //!< registered models (0 = not set)
     double p50Micros = 0.0;         //!< predict service latency
     double p95Micros = 0.0;
     double p99Micros = 0.0;
@@ -71,6 +75,7 @@ class ServeStats
     }
 
     void countRetry() { retries_.increment(); }
+    void countDeadline() { deadlineExpired_.increment(); }
     void countReload(bool ok);
 
     /** Record one predict request's service latency. */
@@ -90,9 +95,11 @@ class ServeStats
     obs::Counter &rowsPredicted_;
     obs::Counter &errors_;
     obs::Counter &retries_;
+    obs::Counter &deadlineExpired_;
     obs::Counter &reloads_;
     obs::Counter &reloadFailures_;
     obs::Histogram &latency_;
+    obs::Gauge &connectionsActive_;
 
     /** Registry values when this instance was created. */
     StatsSnapshot base_;

@@ -251,7 +251,8 @@ TEST(BenchDiff, CommittedSnapshotsSelfComparePass)
 {
     // The CI gate's base case: every committed snapshot must pass
     // against itself (and exercises diffBenchFiles' file reader).
-    for (const char *name : {"BENCH_ml.json", "BENCH_sim.json"}) {
+    for (const char *name :
+         {"BENCH_ml.json", "BENCH_sim.json", "BENCH_serve.json"}) {
         const std::string path =
             std::string(MTPERF_REPO_ROOT) + "/" + name;
         if (!std::filesystem::exists(path))

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Batch-inference determinism tests: M5Prime::predictBatch and
+ * BaggedM5::predictBatch must be bit-identical to the scalar
+ * per-row predict() at every batch shape (empty, single row,
+ * non-multiple-of-chunk counts) and at every thread-pool size —
+ * the contract the serving plane's byte-identity guarantee rests on.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "ml/tree/bagged_m5.h"
+#include "ml/tree/m5prime.h"
+
+namespace mtperf {
+namespace {
+
+constexpr std::size_t kCounters = 12;
+
+Dataset
+counterDataset(std::size_t n, std::uint64_t seed = 23)
+{
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < kCounters; ++c)
+        names.push_back("c" + std::to_string(c));
+    Dataset ds(Schema(names, "CPI"));
+    Rng rng(seed);
+    std::vector<double> row(kCounters);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < kCounters; ++c)
+            row[c] = rng.uniform();
+        const double cpi = row[0] <= 0.4
+                               ? 0.7 + 1.9 * row[1] + 0.4 * row[2]
+                               : 2.8 - 1.2 * row[3] + 0.9 * row[4];
+        ds.addRow(row, cpi + rng.normal(0.0, 0.05));
+    }
+    return ds;
+}
+
+/** Flatten @p n query rows drawn from a fresh generator. */
+std::vector<double>
+queryRows(std::size_t n, std::uint64_t seed = 77)
+{
+    Rng rng(seed);
+    std::vector<double> flat(n * kCounters);
+    for (double &v : flat)
+        v = rng.uniform() * 1.5 - 0.2; // stray outside train range
+    return flat;
+}
+
+/** Assert batch output == scalar predict, bit for bit. */
+template <typename Model>
+void
+expectBitIdentical(const Model &model, const std::vector<double> &flat,
+                   std::size_t n)
+{
+    std::vector<double> batch(n, -1.0);
+    model.predictBatch(flat, kCounters, batch);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double scalar = model.predict(
+            std::span<const double>(flat.data() + i * kCounters,
+                                    kCounters));
+        ASSERT_EQ(std::memcmp(&batch[i], &scalar, sizeof(double)), 0)
+            << "row " << i << ": batch " << batch[i] << " vs scalar "
+            << scalar;
+    }
+}
+
+class PredictBatchTest : public testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        tree_ = new M5Prime(M5Options{});
+        tree_->fit(counterDataset(1500));
+        BaggedM5Options bagged_options;
+        bagged_options.bags = 5;
+        bagged_options.treeOptions.minInstances = 60;
+        bagged_ = new BaggedM5(bagged_options);
+        bagged_->fit(counterDataset(900, 31));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete tree_;
+        tree_ = nullptr;
+        delete bagged_;
+        bagged_ = nullptr;
+    }
+
+    void
+    TearDown() override
+    {
+        setGlobalThreadCount(0); // restore the default pool
+    }
+
+    static M5Prime *tree_;
+    static BaggedM5 *bagged_;
+};
+
+M5Prime *PredictBatchTest::tree_ = nullptr;
+BaggedM5 *PredictBatchTest::bagged_ = nullptr;
+
+TEST_F(PredictBatchTest, EmptyBatchIsANoOp)
+{
+    const std::vector<double> flat;
+    std::vector<double> out;
+    tree_->predictBatch(flat, kCounters, out);
+    bagged_->predictBatch(flat, kCounters, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(PredictBatchTest, SingleRowMatchesScalar)
+{
+    expectBitIdentical(*tree_, queryRows(1), 1);
+    expectBitIdentical(*bagged_, queryRows(1), 1);
+}
+
+TEST_F(PredictBatchTest, NonMultipleOfChunkCounts)
+{
+    // The batch path chunks rows (256-row parallel chunks over
+    // 1024-row flat blocks); straddle every boundary: below one
+    // chunk, exactly one, one-past, just under/over the block size,
+    // and a ragged tail past several chunks.
+    for (const std::size_t n :
+         {2u, 255u, 256u, 257u, 511u, 513u, 1023u, 1024u, 1025u,
+          2000u}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const std::vector<double> flat = queryRows(n);
+        expectBitIdentical(*tree_, flat, n);
+    }
+}
+
+TEST_F(PredictBatchTest, TreeBitIdenticalAcrossThreadCounts)
+{
+    const std::size_t n = 1337; // deliberately ragged
+    const std::vector<double> flat = queryRows(n);
+    std::vector<double> reference(n);
+    tree_->predictBatch(flat, kCounters, reference);
+    for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        setGlobalThreadCount(threads);
+        std::vector<double> out(n, -1.0);
+        tree_->predictBatch(flat, kCounters, out);
+        ASSERT_EQ(std::memcmp(out.data(), reference.data(),
+                              n * sizeof(double)),
+                  0);
+        expectBitIdentical(*tree_, flat, n);
+    }
+}
+
+TEST_F(PredictBatchTest, BaggedBitIdenticalAcrossThreadCounts)
+{
+    // BaggedM5 averages member trees in fixed order; the order (and
+    // therefore the bits) must not depend on pool size.
+    const std::size_t n = 417;
+    const std::vector<double> flat = queryRows(n, 5);
+    std::vector<double> reference(n);
+    bagged_->predictBatch(flat, kCounters, reference);
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        setGlobalThreadCount(threads);
+        std::vector<double> out(n, -1.0);
+        bagged_->predictBatch(flat, kCounters, out);
+        ASSERT_EQ(std::memcmp(out.data(), reference.data(),
+                              n * sizeof(double)),
+                  0);
+        expectBitIdentical(*bagged_, flat, n);
+    }
+}
+
+TEST_F(PredictBatchTest, RepeatedCallsAreDeterministic)
+{
+    const std::size_t n = 300;
+    const std::vector<double> flat = queryRows(n, 9);
+    std::vector<double> first(n), second(n);
+    tree_->predictBatch(flat, kCounters, first);
+    tree_->predictBatch(flat, kCounters, second);
+    EXPECT_EQ(std::memcmp(first.data(), second.data(),
+                          n * sizeof(double)),
+              0);
+}
+
+} // namespace
+} // namespace mtperf

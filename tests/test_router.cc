@@ -1,0 +1,229 @@
+/**
+ * @file
+ * ShardRouter unit tests: consistent-hash stability and spread,
+ * keyed registration with hot-swap semantics, default-entry routing,
+ * job submission onto the right shard, and backpressure per shard.
+ */
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "ml/tree/m5prime.h"
+#include "serve/router.h"
+#include "serve/stats.h"
+
+namespace mtperf::serve {
+namespace {
+
+constexpr std::size_t kCounters = 6;
+
+Dataset
+tinyDataset(std::uint64_t seed = 11)
+{
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < kCounters; ++c)
+        names.push_back("c" + std::to_string(c));
+    Dataset ds(Schema(names, "CPI"));
+    Rng rng(seed);
+    std::vector<double> row(kCounters);
+    for (std::size_t i = 0; i < 400; ++i) {
+        for (std::size_t c = 0; c < kCounters; ++c)
+            row[c] = rng.uniform();
+        ds.addRow(row, 1.0 + row[0] + 0.5 * row[1]);
+    }
+    return ds;
+}
+
+std::shared_ptr<const M5Prime>
+fitModel(std::uint64_t seed = 11)
+{
+    auto model = std::make_shared<M5Prime>(M5Options{});
+    model->fit(tinyDataset(seed));
+    return model;
+}
+
+TEST(ShardRouterHash, ShardForIsStableAndInRange)
+{
+    ServeStats stats;
+    ShardRouter router({4, {}}, stats);
+    for (int i = 0; i < 200; ++i) {
+        const std::string key = "model-" + std::to_string(i);
+        const std::size_t shard = router.shardFor(key);
+        EXPECT_LT(shard, 4u);
+        EXPECT_EQ(shard, router.shardFor(key)) << "pure function";
+    }
+    router.stop();
+}
+
+TEST(ShardRouterHash, KeysSpreadAcrossShards)
+{
+    ServeStats stats;
+    ShardRouter router({8, {}}, stats);
+    std::map<std::size_t, int> hits;
+    for (int i = 0; i < 800; ++i)
+        ++hits[router.shardFor("workload/" + std::to_string(i))];
+    // Consistent hashing with 64 virtual nodes per shard: every
+    // shard must take a meaningful share of 800 keys.
+    EXPECT_EQ(hits.size(), 8u) << "no empty shard";
+    for (const auto &[shard, count] : hits)
+        EXPECT_GT(count, 20) << "shard " << shard << " starved";
+    router.stop();
+}
+
+TEST(ShardRouterHash, SingleShardTakesEverything)
+{
+    ServeStats stats;
+    ShardRouter router({1, {}}, stats);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(router.shardFor("k" + std::to_string(i)), 0u);
+    router.stop();
+}
+
+TEST(ShardRouterHash, GrowingTheRingMovesFewKeys)
+{
+    // The consistent-hashing promise: going from N to N+1 shards
+    // remaps roughly 1/(N+1) of the keys, not all of them.
+    ServeStats stats;
+    ShardRouter before({8, {}}, stats);
+    ShardRouter after({9, {}}, stats);
+    int moved = 0;
+    const int total = 2000;
+    for (int i = 0; i < total; ++i) {
+        const std::string key = "bench/" + std::to_string(i);
+        if (before.shardFor(key) != after.shardFor(key))
+            ++moved;
+    }
+    // Expected ~ total/9 = 222; a full rehash would move ~ 8/9 of
+    // them (~1778). Anything under half proves stability.
+    EXPECT_LT(moved, total / 2);
+    EXPECT_GT(moved, 0) << "some keys must land on the new shard";
+    before.stop();
+    after.stop();
+}
+
+TEST(ShardRouterRegistry, RegistrationOrderAndLookup)
+{
+    ServeStats stats;
+    ShardRouter router({4, {}}, stats);
+    auto model = fitModel();
+    ModelEntry &a = router.addModel("default", "a.m5", model);
+    ModelEntry &b = router.addModel("alt", "b.m5", model);
+    EXPECT_EQ(router.numModels(), 2u);
+    EXPECT_EQ(router.defaultEntry(), &a) << "first registered wins";
+    EXPECT_EQ(router.find("alt"), &b);
+    EXPECT_EQ(router.find("missing"), nullptr);
+    EXPECT_EQ(a.shard, router.shardFor("default"));
+    EXPECT_EQ(b.shard, router.shardFor("alt"));
+    const auto entries = router.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0]->key, "default");
+    EXPECT_EQ(entries[1]->key, "alt");
+    router.stop();
+}
+
+TEST(ShardRouterRegistry, ReRegisteringSwapsTheModelInPlace)
+{
+    ServeStats stats;
+    ShardRouter router({2, {}}, stats);
+    auto first = fitModel(11);
+    auto second = fitModel(99);
+    ModelEntry &entry = router.addModel("m", "first.m5", first);
+    const ModelEntry *address = &entry;
+    EXPECT_EQ(entry.holder.get(), first);
+
+    ModelEntry &again = router.addModel("m", "second.m5", second);
+    EXPECT_EQ(&again, address) << "entry address is stable";
+    EXPECT_EQ(router.numModels(), 1u);
+    EXPECT_EQ(again.holder.get(), second) << "holder swapped";
+    EXPECT_EQ(again.path, "second.m5") << "reload path follows";
+    router.stop();
+}
+
+TEST(ShardRouterSubmit, JobRunsOnTheEntrysModel)
+{
+    ServeStats stats;
+    ShardRouter router({3, {}}, stats);
+    auto model = fitModel();
+    ModelEntry &entry = router.addModel("default", "m.m5", model);
+
+    const Dataset ds = tinyDataset();
+    std::promise<JobResult> done;
+    PredictJob job;
+    job.cols = kCounters;
+    const auto row = ds.row(0);
+    job.rows.assign(row.begin(), row.begin() + kCounters);
+    job.done = [&](JobResult &&result) {
+        done.set_value(std::move(result));
+    };
+    job.enqueued = std::chrono::steady_clock::now();
+    ASSERT_TRUE(router.submit(entry, std::move(job)));
+    const JobResult result = done.get_future().get();
+    ASSERT_TRUE(result.ok);
+    ASSERT_EQ(result.response.predictions.size(), 1u);
+    EXPECT_EQ(result.response.predictions[0],
+              model->predict(ds.row(0)));
+    router.stop();
+}
+
+TEST(ShardRouterSubmit, FullShardQueueRejectsWithoutTouchingOthers)
+{
+    ServeStats stats;
+    ShardRouter::Options options;
+    options.shards = 2;
+    options.batcher.batchMaxRows = 2;
+    options.batcher.queueMaxRows = 4;
+    ShardRouter router(options, stats);
+    auto model = fitModel();
+
+    // Find two keys on different shards.
+    std::string key0 = "default", key1;
+    for (int i = 0; key1.empty() && i < 64; ++i) {
+        const std::string candidate = "k" + std::to_string(i);
+        if (router.shardFor(candidate) != router.shardFor(key0))
+            key1 = candidate;
+    }
+    ASSERT_FALSE(key1.empty());
+    ModelEntry &busy = router.addModel(key0, "a.m5", model);
+    ModelEntry &idle = router.addModel(key1, "b.m5", model);
+
+    router.shardBatcher(busy.shard).pause();
+    const Dataset ds = tinyDataset();
+    const auto row = ds.row(0);
+    auto makeJob = [&] {
+        PredictJob job;
+        job.cols = kCounters;
+        job.rows.assign(row.begin(), row.begin() + kCounters);
+        job.done = [](JobResult &&) {};
+        job.enqueued = std::chrono::steady_clock::now();
+        return job;
+    };
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(router.submit(busy, makeJob()));
+    EXPECT_FALSE(router.submit(busy, makeJob()))
+        << "shard " << busy.shard << " is full";
+    EXPECT_GE(router.queuedRows(), 4u);
+
+    // The other shard keeps serving while its sibling is saturated.
+    std::promise<JobResult> done;
+    PredictJob job = makeJob();
+    job.done = [&](JobResult &&result) {
+        done.set_value(std::move(result));
+    };
+    ASSERT_TRUE(router.submit(idle, std::move(job)));
+    EXPECT_TRUE(done.get_future().get().ok);
+
+    router.shardBatcher(busy.shard).resume();
+    router.stop();
+}
+
+} // namespace
+} // namespace mtperf::serve

@@ -416,12 +416,13 @@ TEST_F(ServeTest, BatcherBackpressureRejectsWhenFull)
     Batcher::Options options;
     options.batchMaxRows = 4;
     options.queueMaxRows = 8;
-    Batcher batcher(options, model, stats);
+    Batcher batcher(options, stats);
     batcher.pause();
 
     std::atomic<int> completed{0};
     auto makeJob = [&](std::size_t rows) {
         PredictJob job;
+        job.model = &model;
         job.cols = static_cast<std::uint32_t>(ds_.numAttributes());
         for (std::size_t r = 0; r < rows; ++r) {
             const auto row = ds_.row(r);
@@ -489,6 +490,223 @@ TEST_F(ServeTest, InjectedAcceptFaultDropsOneConnectionOnly)
     server.requestStop();
     server.wait();
     EXPECT_GE(server.stats().errors, 1u);
+}
+
+TEST_F(ServeTest, ShardedServerMatchesOfflineByteForByte)
+{
+    // The full internet-scale topology: several epoll loops, several
+    // batcher shards, concurrent clients — results must still be
+    // byte-identical to the scalar offline walk.
+    ServerOptions options = unixOptions("sharded");
+    options.shards = 4;
+    options.ioThreads = 3;
+    Server server(options);
+    server.start();
+    const std::string address = "unix:" + socketPath("sharded");
+
+    constexpr std::size_t kClients = 6;
+    constexpr std::size_t kRowsPerClient = 500;
+    constexpr std::size_t kChunk = 61;
+    const std::size_t width = ds_.numAttributes();
+    std::vector<std::vector<double>> results(kClients);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (std::size_t t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                Client client = Client::connect(address, 0);
+                for (std::size_t first = 0; first < kRowsPerClient;
+                     first += kChunk) {
+                    const std::size_t count =
+                        std::min(kChunk, kRowsPerClient - first);
+                    std::vector<double> flat;
+                    flat.reserve(count * width);
+                    for (std::size_t r = 0; r < count; ++r) {
+                        const auto row = ds_.row(
+                            (t * kRowsPerClient + first + r) %
+                            ds_.size());
+                        flat.insert(flat.end(), row.begin(),
+                                    row.end());
+                    }
+                    const PredictResponse response =
+                        client.predict(flat, width);
+                    results[t].insert(results[t].end(),
+                                      response.predictions.begin(),
+                                      response.predictions.end());
+                }
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    ASSERT_EQ(failures.load(), 0);
+    for (std::size_t t = 0; t < kClients; ++t) {
+        ASSERT_EQ(results[t].size(), kRowsPerClient);
+        for (std::size_t r = 0; r < kRowsPerClient; ++r) {
+            const double offline = tree_.predict(
+                ds_.row((t * kRowsPerClient + r) % ds_.size()));
+            EXPECT_EQ(std::memcmp(&offline, &results[t][r],
+                                  sizeof offline),
+                      0)
+                << "client " << t << " row " << r;
+        }
+    }
+
+    server.requestStop();
+    server.wait();
+    const StatsSnapshot snapshot = server.stats();
+    EXPECT_EQ(snapshot.rowsPredicted, kClients * kRowsPerClient);
+    EXPECT_EQ(snapshot.shards, 4u);
+    EXPECT_EQ(snapshot.models, 1u);
+}
+
+TEST_F(ServeTest, ModelKeyRoutesToTheKeyedModel)
+{
+    // A second, deliberately different model under key "alt": keyed
+    // requests must hit it, unkeyed ones the default, and an unknown
+    // key must fail without killing the connection.
+    const std::string alt_path = dir_ + "/alt.m5";
+    M5Options alt_options;
+    alt_options.minInstances = 400; // coarser tree => different fits
+    M5Prime alt(alt_options);
+    alt.fit(ds_);
+    alt.saveFile(alt_path);
+
+    ServerOptions options = unixOptions("keyed");
+    options.shards = 3;
+    options.models.emplace_back("alt", alt_path);
+    Server server(options);
+    server.start();
+    const std::string address = "unix:" + socketPath("keyed");
+
+    const std::size_t width = ds_.numAttributes();
+    std::vector<double> flat;
+    constexpr std::size_t kRows = 100;
+    for (std::size_t r = 0; r < kRows; ++r) {
+        const auto row = ds_.row(r);
+        flat.insert(flat.end(), row.begin(), row.end());
+    }
+
+    Client plain = Client::connect(address, 0);
+    Client::Options keyed_options;
+    keyed_options.modelKey = "alt";
+    Client keyed = Client::connect(address, 0, keyed_options);
+
+    const PredictResponse default_response =
+        plain.predict(flat, width);
+    const PredictResponse alt_response = keyed.predict(flat, width);
+    ASSERT_EQ(default_response.predictions.size(), kRows);
+    ASSERT_EQ(alt_response.predictions.size(), kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+        const double want_default = tree_.predict(ds_.row(r));
+        const double want_alt = alt.predict(ds_.row(r));
+        EXPECT_EQ(std::memcmp(&want_default,
+                              &default_response.predictions[r],
+                              sizeof want_default),
+                  0)
+            << "row " << r;
+        EXPECT_EQ(std::memcmp(&want_alt, &alt_response.predictions[r],
+                              sizeof want_alt),
+                  0)
+            << "row " << r;
+    }
+
+    // Unknown key: per-request error, connection stays usable.
+    Client::Options bad_options;
+    bad_options.modelKey = "no-such-model";
+    Client bad = Client::connect(address, 0, bad_options);
+    EXPECT_THROW(bad.predict(flat, width), FatalError);
+    EXPECT_NE(plain.info().find("models 2"), std::string::npos);
+
+    server.requestStop();
+    server.wait();
+    EXPECT_EQ(server.stats().models, 2u);
+}
+
+TEST_F(ServeTest, ActiveConnectionsGaugeReturnsToZero)
+{
+    // Connection-leak detector: the serve.connections_active gauge
+    // must rise while clients are connected and fall back to its
+    // pre-server value once every client disconnected.
+    obs::Gauge &active = obs::gauge("serve.connections_active");
+    const std::int64_t baseline = active.value();
+
+    ServerOptions options = unixOptions("gauge");
+    options.ioThreads = 2;
+    Server server(options);
+    server.start();
+    const std::string address = "unix:" + socketPath("gauge");
+
+    const std::int64_t peak_before = active.maxValue();
+    {
+        std::vector<Client> clients;
+        for (int i = 0; i < 8; ++i)
+            clients.push_back(Client::connect(address, 0));
+        // Adoption is asynchronous (loop threads); wait for all 8.
+        for (int spin = 0;
+             active.value() < baseline + 8 && spin < 2000; ++spin)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        EXPECT_EQ(active.value(), baseline + 8);
+        for (Client &client : clients)
+            client.close();
+    }
+    for (int spin = 0; active.value() > baseline && spin < 5000;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(active.value(), baseline);
+    EXPECT_GE(active.maxValue(), peak_before);
+    EXPECT_GE(active.maxValue(), 8);
+
+    server.requestStop();
+    server.wait();
+    EXPECT_EQ(active.value(), baseline);
+    EXPECT_EQ(server.stats().connectionsActive, baseline);
+}
+
+TEST_F(ServeTest, DeadlineShedsStaleJobsAsRetry)
+{
+    // Admission-control layer 2: jobs that waited past the deadline
+    // are shed at drain time with JobResult::shed (RETRY on the
+    // wire), not served late and not counted as errors.
+    ModelHolder model;
+    model.set(std::make_shared<const M5Prime>(
+        M5Prime::loadFile(modelPath_)));
+    ServeStats stats;
+    Batcher::Options options;
+    options.batchMaxRows = 16;
+    options.queueMaxRows = 64;
+    options.deadlineUs = 1000; // 1ms
+    Batcher batcher(options, stats);
+    batcher.pause();
+
+    std::atomic<int> shed{0}, served{0};
+    auto submit = [&] {
+        PredictJob job;
+        job.model = &model;
+        job.cols = static_cast<std::uint32_t>(ds_.numAttributes());
+        const auto row = ds_.row(0);
+        job.rows.assign(row.begin(), row.end());
+        job.enqueued = std::chrono::steady_clock::now();
+        job.done = [&](JobResult &&result) {
+            (result.shed ? shed : served).fetch_add(1);
+            EXPECT_FALSE(result.ok && result.shed);
+        };
+        ASSERT_TRUE(batcher.submit(std::move(job)));
+    };
+    submit();
+    submit();
+    // Let both jobs age far past the 1ms deadline, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    batcher.resume();
+    batcher.stop();
+    EXPECT_EQ(shed.load(), 2);
+    EXPECT_EQ(served.load(), 0);
+    EXPECT_EQ(stats.snapshot().deadlineExpired, 2u);
+    EXPECT_EQ(stats.snapshot().errors, 0u);
+    EXPECT_EQ(stats.snapshot().rowsPredicted, 0u);
 }
 
 TEST_F(ServeTest, InjectedReadFaultKillsOneConnectionOnly)
